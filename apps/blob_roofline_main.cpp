@@ -1,0 +1,133 @@
+// blob-roofline: explain WHY a problem lands on one side of the offload
+// threshold.
+//
+// The paper's conclusion says performance graphs are "likely required to
+// accurately determine whether a BLAS-based application would benefit
+// from GPU acceleration" (§V). This tool prints the roofline breakdown
+// behind the advisor's verdict: arithmetic intensity, the binding
+// resource on each device, per-phase time (compute / HBM / link), and
+// the break-even iteration count.
+//
+// Usage:
+//   blob-roofline --op gemm -m 4096 -n 4096 -k 32 --system dawn -i 8
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "core/advisor.hpp"
+#include "core/flops.hpp"
+#include "core/sim_backend.hpp"
+#include "sysprofile/profile.hpp"
+#include "util/cli.hpp"
+#include "util/strfmt.hpp"
+
+namespace {
+
+using namespace blob;
+
+void analyse(const profile::SystemProfile& prof, const core::Problem& p,
+             std::int64_t iterations) {
+  core::SimBackend backend(prof, 0.0);
+  const double flops = core::problem_flops(p);
+  const double ai = core::arithmetic_intensity(p);
+  const double in_bytes = core::h2d_bytes(p);
+  const double out_bytes = core::d2h_bytes(p);
+
+  std::printf("system: %s (%s)\n", prof.name.c_str(),
+              prof.description.c_str());
+  std::printf("problem: %s %lldx%lldx%lld %s, %lld iterations\n",
+              core::to_string(p.op), static_cast<long long>(p.dims.m),
+              static_cast<long long>(p.dims.n),
+              static_cast<long long>(p.dims.k), model::to_string(p.precision),
+              static_cast<long long>(iterations));
+  std::printf("  FLOPs/call:            %.3g\n", flops);
+  std::printf("  arithmetic intensity:  %.2f FLOP per transferred byte\n",
+              ai);
+  std::printf("  h2d / d2h per upload:  %s / %s\n",
+              util::pretty_bytes(in_bytes).c_str(),
+              util::pretty_bytes(out_bytes).c_str());
+
+  const double cpu_total = backend.cpu_time(p, iterations);
+  std::printf("\nCPU total:   %s  (%.1f GFLOP/s)\n",
+              util::pretty_seconds(cpu_total).c_str(),
+              core::gflops(p, iterations, cpu_total));
+
+  const double kernel = backend.kernel_time(p);
+  const double link_once =
+      in_bytes / (prof.link.h2d_bw_gbs * 1e9) + 4.0 * prof.link.latency_s +
+      out_bytes / (prof.link.d2h_bw_gbs * 1e9);
+  for (auto mode : core::kTransferModes) {
+    const double total = *backend.gpu_time(p, iterations, mode);
+    std::printf("GPU %-7s %s  (%.1f GFLOP/s)\n", core::to_string(mode),
+                util::pretty_seconds(total).c_str(),
+                core::gflops(p, iterations, total));
+  }
+  std::printf("  per-kernel device time: %s; one link round-trip: %s\n",
+              util::pretty_seconds(kernel).c_str(),
+              util::pretty_seconds(link_once).c_str());
+  const char* binding =
+      kernel * static_cast<double>(iterations) > link_once ? "device compute"
+                                                           : "the host link";
+  std::printf("  Transfer-Once is bound by %s at this iteration count\n",
+              binding);
+
+  // Break-even iteration count for Transfer-Once: smallest i with
+  // gpu(i) < cpu(i), if any within 2^20.
+  std::int64_t break_even = -1;
+  for (std::int64_t i = 1; i <= (1 << 20); i *= 2) {
+    if (*backend.gpu_time(p, i, core::TransferMode::Once) <
+        backend.cpu_time(p, i)) {
+      break_even = i;
+      break;
+    }
+  }
+  if (break_even < 0) {
+    std::printf("  break-even re-use: none up to 2^20 iterations\n");
+  } else if (break_even == 1) {
+    std::printf("  break-even re-use: GPU already wins at 1 iteration\n");
+  } else {
+    std::printf("  break-even re-use: between %lld and %lld iterations\n",
+                static_cast<long long>(break_even / 2),
+                static_cast<long long>(break_even));
+  }
+
+  core::OffloadAdvisor advisor(backend);
+  const auto advice = advisor.advise_best_mode(p, iterations);
+  std::printf("\nverdict: %s\n", advice.rationale.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blob;
+  try {
+    util::ArgParser args("blob-roofline");
+    args.add_string("--op", "gemm | gemv", "gemm");
+    args.add_int("-m", "rows", 1024);
+    args.add_int("-n", "columns", 1024);
+    args.add_int("-k", "inner GEMM dimension", 1024);
+    args.add_int("-i", "iterations (data re-use)", 1);
+    args.add_string("--system", "system profile", "dawn");
+    args.add_string("--precision", "f32 | f64", "f32");
+    args.parse(argc, argv);
+    if (args.help_requested()) {
+      std::cout << args.usage();
+      return 0;
+    }
+    core::Problem p;
+    p.op = args.get_string("--op") == "gemv" ? core::KernelOp::Gemv
+                                             : core::KernelOp::Gemm;
+    p.precision = args.get_string("--precision") == "f64"
+                      ? model::Precision::F64
+                      : model::Precision::F32;
+    p.dims = {args.get_int("-m"), args.get_int("-n"),
+              p.op == core::KernelOp::Gemm ? args.get_int("-k") : 1};
+    analyse(profile::by_name(args.get_string("--system")), p,
+            args.get_int("-i"));
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "blob-roofline: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,74 @@
+// blob-threshold: offload-threshold post-processing.
+//
+// The C++ analogue of the artifact's calculateOffloadThreshold.py: reads
+// one or more CSV files produced by gpu-blob (a combined file, or a
+// CPU-only plus a GPU-only file from split builds, as the paper's LUMI
+// workflow requires) and prints the detected offload thresholds per
+// transfer type.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/sweep.hpp"
+#include "util/strfmt.hpp"
+
+namespace {
+
+using namespace blob;
+
+int run(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: blob-threshold <sweep.csv> [more.csv ...]\n"
+                 "Multiple files are concatenated (CPU-only + GPU-only "
+                 "pairs are merged by problem size).\n";
+    return 2;
+  }
+
+  // Concatenate all files' data rows under the first file's header.
+  std::stringstream merged;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::cerr << "blob-threshold: cannot open " << argv[i] << "\n";
+      return 2;
+    }
+    std::string line;
+    bool first_line = true;
+    while (std::getline(in, line)) {
+      if (first_line) {
+        first_line = false;
+        if (i == 1) merged << line << '\n';  // keep one header
+        continue;
+      }
+      merged << line << '\n';
+    }
+  }
+
+  const core::SweepResult result = core::read_csv(merged);
+  const bool gemv = result.type->op() == core::KernelOp::Gemv;
+  std::cout << util::strfmt(
+      "%s (%s), %s, %lld iterations, %zu sizes\n", result.type->id().c_str(),
+      result.type->label().c_str(), model::to_string(result.config.precision),
+      static_cast<long long>(result.config.iterations),
+      result.samples.size());
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    std::cout << util::strfmt(
+        "  %-7s offload threshold: %s\n",
+        core::to_string(core::kTransferModes[mode]),
+        core::threshold_to_string(result.thresholds[mode], gemv).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "blob-threshold: " << e.what() << "\n";
+    return 2;
+  }
+}

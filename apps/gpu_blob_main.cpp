@@ -1,0 +1,306 @@
+// gpu-blob: the benchmark driver.
+//
+// Mirrors the artifact's runtime interface (`-i`, `-s`, `-d`) and adds
+// simulation controls. Default mode sweeps every requested problem type
+// on a simulated system profile, prints the per-type offload-threshold
+// tables to stdout, and optionally writes the artifact-style CSV files.
+//
+// Examples:
+//   gpu-blob -i 8 -s 1 -d 4096 --system isambard-ai
+//   gpu-blob -i 1 --kernel gemv --precision f64 --system lumi
+//   gpu-blob --backend host --library openblas-like -d 512 --stride 8
+//   gpu-blob --validate --system dawn
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "blas/library.hpp"
+#include "core/host_backend.hpp"
+#include "core/hybrid_backend.hpp"
+#include "core/manifest.hpp"
+#include "core/report.hpp"
+#include "core/sim_backend.hpp"
+#include "core/sweep.hpp"
+#include "core/validate.hpp"
+#include "simgpu/device.hpp"
+#include "sysprofile/profile.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/strfmt.hpp"
+
+namespace {
+
+using namespace blob;
+
+blas::CpuLibraryPersonality personality_by_name(const std::string& name) {
+  if (name == "generic") return blas::generic_personality();
+  if (name == "nvpl-like") return blas::nvpl_like_personality();
+  if (name == "armpl-like") return blas::armpl_like_personality();
+  if (name == "aocl-like") return blas::aocl_like_personality();
+  if (name == "openblas-like") return blas::openblas_like_personality();
+  if (name == "single-thread") return blas::single_thread_personality();
+  throw std::invalid_argument("unknown library personality: " + name);
+}
+
+std::vector<const core::ProblemType*> select_types(
+    const std::string& kernel, const std::string& type_id) {
+  std::vector<const core::ProblemType*> out;
+  if (!type_id.empty()) {
+    out.push_back(&core::problem_type_by_id(type_id));
+    return out;
+  }
+  if (kernel == "gemm" || kernel == "all") {
+    for (const auto& t : core::gemm_problem_types()) out.push_back(&t);
+  }
+  if (kernel == "gemv" || kernel == "all") {
+    for (const auto& t : core::gemv_problem_types()) out.push_back(&t);
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("unknown kernel selector: " + kernel);
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  util::ArgParser args("gpu-blob");
+  args.add_int("-i", "iterations per problem size (default 1)", 1);
+  args.add_int("-s", "minimum swept dimension (default 1)", 1);
+  args.add_int("-d", "maximum swept dimension (default 4096)", 4096);
+  args.add_int("--stride", "sweep stride (default 1)", 1);
+  args.add_int("--batch", "batched-GEMM batch size (default 1)", 1);
+  args.add_double("--beta", "GEMM/GEMV beta (0 enables the write-only "
+                  "C path, Table I)", 0.0);
+  args.add_string("--system", "simulated system profile (see --list-systems)",
+                  "dawn");
+  args.add_string("--backend",
+                  "sim | host | hybrid (host = this machine's CPU only; "
+                  "hybrid = this CPU vs the profile's simulated GPU)",
+                  "sim");
+  args.add_string("--library", "host-backend CPU library personality",
+                  "generic");
+  args.add_string("--kernel", "gemm | gemv | all", "all");
+  args.add_string("--type", "run a single problem type by id", "");
+  args.add_string("--precision", "f32 | f64 | both", "both");
+  args.add_string("--csv-dir", "write artifact-style CSVs to this directory",
+                  "");
+  args.add_string("--devices",
+                  "csv rows to emit: both | cpu | gpu (split-build files)",
+                  "both");
+  args.add_double("--noise", "override timing-noise sigma (sim backend)",
+                  -1.0);
+  args.add_int("--threads", "host-backend thread cap (0 = hardware)", 0);
+  args.add_flag("--validate", "checksum-validate CPU vs simulated GPU");
+  args.add_flag("--list-systems", "list system profiles and exit");
+  args.add_string("--describe", "print a system profile in detail and exit",
+                  "");
+  args.add_flag("--list-types", "list problem types and exit");
+  args.add_flag("--verbose", "info-level logging");
+  args.parse(argc, argv);
+
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+  if (args.get_flag("--verbose")) {
+    util::set_log_level(util::LogLevel::Info);
+  }
+  if (args.get_flag("--list-systems")) {
+    for (const auto& name : profile::profile_names()) {
+      const auto p = profile::by_name(name);
+      std::cout << util::strfmt("%-22s %s\n", name.c_str(),
+                                p.description.c_str());
+    }
+    return 0;
+  }
+  if (!args.get_string("--describe").empty()) {
+    const auto p = profile::by_name(args.get_string("--describe"));
+    // Table II-style hardware block plus the library behaviour the paper
+    // documents per system.
+    std::cout << p.name << ": " << p.description << "\n\n";
+    std::cout << util::strfmt(
+        "CPU   %-18s %g cores x %g FLOPs/cycle (f64) @ %g GHz = %.0f "
+        "GFLOP/s f64 peak\n",
+        p.cpu.name.c_str(), p.cpu.cores, p.cpu.fp64_flops_per_cycle_per_core,
+        p.cpu.freq_ghz, p.cpu.peak_gflops(model::Precision::F64, p.cpu.cores));
+    std::cout << util::strfmt(
+        "      memory %g GB/s socket, %g GB/s per core; LLC %g MiB\n",
+        p.cpu.socket_mem_bw_gbs, p.cpu.core_mem_bw_gbs, p.cpu.llc_mib);
+    std::cout << util::strfmt(
+        "      library: GEMM threads %s, GEMV %s%s, fork/join %.1f us\n",
+        parallel::to_string(p.cpu.gemm_thread_policy.kind),
+        p.cpu.gemv_parallel ? "threaded" : "SERIAL",
+        p.cpu.gemv_parallel
+            ? util::strfmt(" (%s)",
+                           parallel::to_string(p.cpu.gemv_thread_policy.kind))
+                  .c_str()
+            : "",
+        p.cpu.fork_join_overhead_s * 1e6);
+    std::cout << util::strfmt(
+        "GPU   %-18s %.0f / %.0f / %.0f GFLOP/s peak (f32/f64/f16), HBM %g "
+        "GB/s\n",
+        p.gpu.name.c_str(), p.gpu.peak_gflops_f32, p.gpu.peak_gflops_f64,
+        p.gpu.peak_gflops_f16, p.gpu.hbm_bw_gbs);
+    std::cout << util::strfmt(
+        "      launch %.1f us, min kernel %.1f us\n",
+        p.gpu.launch_latency_s * 1e6, p.gpu.min_kernel_s * 1e6);
+    std::cout << util::strfmt(
+        "LINK  %-18s %.1f us latency, %g / %g GB/s h2d/d2h\n",
+        p.link.name.c_str(), p.link.latency_s * 1e6, p.link.h2d_bw_gbs,
+        p.link.d2h_bw_gbs);
+    std::cout << util::strfmt(
+        "      USM: %s, page %s, fault %.1f us, migration %g GB/s\n",
+        p.link.xnack ? "page-fault migration (XNACK=1)"
+                     : "remote access only (XNACK=0)",
+        util::pretty_bytes(p.link.page_bytes).c_str(),
+        p.link.page_fault_latency_s * 1e6, p.link.migration_bw_gbs);
+    std::cout << util::strfmt("noise sigma %.3f\n", p.noise_sigma);
+    return 0;
+  }
+  if (args.get_flag("--list-types")) {
+    for (const auto& t : core::all_problem_types()) {
+      std::cout << util::strfmt("%-18s %-6s %s\n", t.id().c_str(),
+                                core::to_string(t.op()), t.label().c_str());
+    }
+    return 0;
+  }
+
+  const auto types =
+      select_types(args.get_string("--kernel"), args.get_string("--type"));
+
+  std::vector<model::Precision> precisions;
+  const std::string prec = args.get_string("--precision");
+  if (prec == "f32" || prec == "both") {
+    precisions.push_back(model::Precision::F32);
+  }
+  if (prec == "f64" || prec == "both") {
+    precisions.push_back(model::Precision::F64);
+  }
+  if (precisions.empty()) {
+    throw std::invalid_argument("unknown precision selector: " + prec);
+  }
+
+  std::unique_ptr<core::ExecutionBackend> backend;
+  profile::SystemProfile prof;
+  const bool is_sim = args.get_string("--backend") == "sim";
+  if (is_sim) {
+    prof = profile::by_name(args.get_string("--system"));
+    backend = std::make_unique<core::SimBackend>(
+        prof, args.get_double("--noise"));
+  } else if (args.get_string("--backend") == "host") {
+    backend = std::make_unique<core::HostBackend>(
+        personality_by_name(args.get_string("--library")),
+        static_cast<std::size_t>(args.get_int("--threads")));
+  } else if (args.get_string("--backend") == "hybrid") {
+    prof = profile::by_name(args.get_string("--system"));
+    backend = std::make_unique<core::HybridBackend>(
+        personality_by_name(args.get_string("--library")), prof,
+        static_cast<std::size_t>(args.get_int("--threads")));
+  } else {
+    throw std::invalid_argument("unknown backend: " +
+                                args.get_string("--backend"));
+  }
+
+  core::SweepConfig cfg;
+  cfg.s_min = args.get_int("-s");
+  cfg.s_max = args.get_int("-d");
+  cfg.stride = args.get_int("--stride");
+  cfg.iterations = args.get_int("-i");
+  cfg.batch = args.get_int("--batch");
+  cfg.beta_zero = args.get_double("--beta") == 0.0;
+
+  const std::string csv_dir = args.get_string("--csv-dir");
+  if (!csv_dir.empty()) {
+    std::filesystem::create_directories(csv_dir);
+    if (is_sim) {
+      std::vector<std::string> ids;
+      for (const auto* type : types) ids.push_back(type->id());
+      std::ofstream manifest(csv_dir + "/run_info.json");
+      core::write_run_manifest(manifest, prof, cfg, ids);
+    }
+  }
+
+  // Optional checksum validation before the sweep (small sizes; the
+  // functional simulator executes the same kernels the timing covers).
+  if (args.get_flag("--validate") && is_sim) {
+    blas::CpuBlasLibrary cpu_lib(blas::generic_personality());
+    sim::SimGpu gpu(sim::SimGpu::Config{prof.gpu, prof.link, true, 2048.0});
+    int failures = 0;
+    for (const auto* type : types) {
+      for (auto precision : precisions) {
+        for (std::int64_t s : {3LL, 17LL, 64LL}) {
+          core::Problem problem;
+          problem.op = type->op();
+          problem.precision = precision;
+          problem.dims = type->dims(s);
+          const auto v = core::validate_problem(problem, cpu_lib, gpu);
+          if (!v.passed) {
+            ++failures;
+            std::cout << util::strfmt("VALIDATION FAILED %s s=%lld: %s\n",
+                                      type->id().c_str(),
+                                      static_cast<long long>(s),
+                                      v.detail.c_str());
+          }
+        }
+      }
+    }
+    std::cout << (failures == 0 ? "validation: all checksums within 0.1%\n"
+                                : util::strfmt("validation: %d failures\n",
+                                               failures));
+    if (failures != 0) return 1;
+  }
+
+  for (const auto* type : types) {
+    std::map<model::Precision, core::SweepResult> results;
+    for (auto precision : precisions) {
+      core::SweepConfig c = cfg;
+      c.precision = precision;
+      util::log_info("sweeping " + type->id() + " " +
+                     model::to_string(precision));
+      results.emplace(precision, core::run_sweep(*backend, *type, c));
+      if (!csv_dir.empty()) {
+        const std::string devices = args.get_string("--devices");
+        const bool include_cpu = devices != "gpu";
+        const bool include_gpu = devices != "cpu";
+        const std::string suffix =
+            devices == "both" ? "" : ("_" + devices + "only");
+        const std::string path =
+            csv_dir + "/" + type->id() + "_" + model::to_string(precision) +
+            util::strfmt("_i%lld", static_cast<long long>(cfg.iterations)) +
+            suffix + ".csv";
+        std::ofstream out(path);
+        core::write_csv(out, results.at(precision), include_cpu,
+                        include_gpu);
+      }
+    }
+
+    // Threshold table (single iteration row in CLI mode).
+    const core::SweepResult& first = results.begin()->second;
+    core::ThresholdEntry entry;
+    entry.iterations = cfg.iterations;
+    if (results.count(model::Precision::F32) != 0) {
+      entry.f32 = results.at(model::Precision::F32).thresholds;
+    }
+    if (results.count(model::Precision::F64) != 0) {
+      entry.f64 = results.at(model::Precision::F64).thresholds;
+    }
+    std::cout << core::render_threshold_table(backend->name(), *type, {entry})
+              << "\n";
+    (void)first;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "gpu-blob: " << e.what() << "\n";
+    return 2;
+  }
+}

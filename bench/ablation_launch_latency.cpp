@@ -1,0 +1,40 @@
+// Ablation: kernel launch latency vs the small-size offload threshold.
+//
+// Isambard-AI's {26,26,26} square-GEMM threshold exists because the
+// GH200's total GPU fixed cost (launch + C2C link latency) sits barely
+// above the CPU library's fork/join cost. This ablation scales the
+// launch latency and watches the 1-iteration threshold move.
+
+#include "common.hpp"
+#include "core/report.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Ablation -- GPU launch latency vs square-GEMM offload threshold "
+      "(Isambard-AI, 1 iteration)");
+  bench::paper_reference({
+      "The SoC design 'almost entirely amortises the data transfer",
+      "overhead' (§IV-A); the residual threshold is set by fixed",
+      "per-kernel costs, so scaling launch latency should scale it.",
+  });
+
+  const auto base = profile::by_name("isambard-ai");
+  const auto& type = core::problem_type_by_id("gemm_square");
+
+  util::TextTable table({"launch latency", "Once f32", "Once f64"},
+                        {util::Align::Right, util::Align::Right,
+                         util::Align::Right});
+  for (double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    auto prof = base;
+    prof.gpu.launch_latency_s *= scale;
+    prof.noise_sigma = 0.0;
+    const auto entry = bench::sweep_entry(prof, type, 1);
+    table.row({util::strfmt("%.2f us", prof.gpu.launch_latency_s * 1e6),
+               core::threshold_value_string(entry.f32[0]),
+               core::threshold_value_string(entry.f64[0])});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Ablation: could transfer/compute OVERLAP rescue Transfer-Always?
+//
+// GPU-BLOB's Transfer-Always is fully synchronous: upload, kernel,
+// download, repeat. A double-buffered implementation overlaps iteration
+// i+1's upload with iteration i's kernel, so steady-state cost per
+// iteration is max(transfer, kernel) instead of their sum. This ablation
+// runs both pipelines on the actual simulator (two streams + events) and
+// reports the effect on the square-GEMM Transfer-Always threshold.
+
+#include <algorithm>
+#include <vector>
+
+#include "common.hpp"
+#include "core/threshold.hpp"
+#include "simgpu/device.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace blob;
+
+/// Synchronous Transfer-Always on the simulator: i x (h2d, kernel, d2h).
+double sync_always(const profile::SystemProfile& prof, int s, int iters) {
+  sim::SimGpu gpu(sim::SimGpu::Config{prof.gpu, prof.link, false, 0.0});
+  const std::size_t bytes = static_cast<std::size_t>(s) * s * 4;
+  auto h = gpu.alloc_host(3 * bytes);
+  auto da = gpu.alloc_device(bytes);
+  auto db = gpu.alloc_device(bytes);
+  auto dc = gpu.alloc_device(bytes);
+  for (int i = 0; i < iters; ++i) {
+    gpu.memcpy_h2d(da, h, bytes);
+    gpu.memcpy_h2d(db, h, bytes);
+    gpu.memcpy_h2d(dc, h, bytes);
+    gpu.gemm<float>(s, s, s, 1.0f, da, s, db, s, 0.0f, dc, s);
+    gpu.synchronize();
+    gpu.memcpy_d2h(h, dc, bytes);
+  }
+  return gpu.now();
+}
+
+/// Double-buffered Transfer-Always: copies run on a second stream and
+/// only the kernel's input dependency is enforced via events.
+double overlapped_always(const profile::SystemProfile& prof, int s,
+                         int iters) {
+  sim::SimGpu gpu(sim::SimGpu::Config{prof.gpu, prof.link, false, 0.0});
+  sim::Stream& copies = gpu.create_stream("uploads");
+  sim::Stream& downloads = gpu.create_stream("downloads");
+  sim::Stream& compute = gpu.default_stream();
+  const std::size_t bytes = static_cast<std::size_t>(s) * s * 4;
+  auto h = gpu.alloc_host(3 * bytes);
+  // Two buffer sets ping-pong.
+  std::vector<sim::Buffer> sets;
+  for (int i = 0; i < 6; ++i) sets.push_back(gpu.alloc_device(bytes));
+
+  for (int i = 0; i < iters; ++i) {
+    sim::Buffer& a = sets[static_cast<std::size_t>((i % 2) * 3)];
+    sim::Buffer& b = sets[static_cast<std::size_t>((i % 2) * 3 + 1)];
+    sim::Buffer& c = sets[static_cast<std::size_t>((i % 2) * 3 + 2)];
+    // Uploads for iteration i can start as soon as the copy stream is
+    // free (the buffers alternate, so no hazard with the running kernel).
+    gpu.memcpy_h2d_async(copies, a, h, bytes);
+    gpu.memcpy_h2d_async(copies, b, h, bytes);
+    gpu.memcpy_h2d_async(copies, c, h, bytes);
+    sim::Event uploaded;
+    uploaded.record(copies);
+    // The kernel needs its inputs and the previous kernel (in-order
+    // compute stream handles the latter automatically).
+    compute.wait(uploaded);
+    gpu.gemm<float>(s, s, s, 1.0f, a, s, b, s, 0.0f, c, s, &compute);
+    sim::Event kernel_done;
+    kernel_done.record(compute);
+    // Download of iteration i runs on its own stream so iteration i+1's
+    // uploads are not queued behind it.
+    downloads.wait(kernel_done);
+    gpu.memcpy_d2h_async(downloads, h, c, bytes);
+  }
+  copies.synchronize();
+  downloads.synchronize();
+  compute.synchronize();
+  return gpu.now();
+}
+
+}  // namespace
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Ablation -- synchronous vs double-buffered Transfer-Always "
+      "(square SGEMM, 32 iterations)");
+  bench::paper_reference({
+      "GPU-BLOB's Transfer-Always is synchronous by design (it mimics an",
+      "application with host phases between BLAS calls). This ablation",
+      "asks how much of the Transfer-Always penalty an overlapping",
+      "implementation could hide: steady state max(copy, kernel) vs sum.",
+  });
+
+  util::TextTable table({"system", "M=N=K", "sync (ms)", "overlapped (ms)",
+                         "speedup"},
+                        {util::Align::Left, util::Align::Right,
+                         util::Align::Right, util::Align::Right,
+                         util::Align::Right});
+  for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+    const auto prof = profile::by_name(system);
+    for (int s : {256, 1024, 4096}) {
+      const double sync_t = sync_always(prof, s, 32);
+      const double over_t = overlapped_always(prof, s, 32);
+      table.row({system, std::to_string(s),
+                 util::strfmt("%.3f", sync_t * 1e3),
+                 util::strfmt("%.3f", over_t * 1e3),
+                 util::strfmt("%.2fx", sync_t / over_t)});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nReading: overlap hides the smaller of (copy, kernel); on PCIe\n"
+      "systems where copies dominate, the speedup is bounded by the\n"
+      "kernel fraction, so Transfer-Always remains the worst mode even\n"
+      "with a perfectly pipelined implementation.\n");
+  return 0;
+}

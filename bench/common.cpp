@@ -1,0 +1,72 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+namespace blob::bench {
+
+core::ThresholdEntry sweep_entry(const profile::SystemProfile& system,
+                                 const core::ProblemType& type,
+                                 std::int64_t iterations, std::int64_t s_max,
+                                 std::int64_t stride) {
+  core::SimBackend backend(system);
+  core::SweepConfig cfg;
+  cfg.s_min = 1;
+  cfg.s_max = s_max;
+  cfg.stride = stride;
+  cfg.iterations = iterations;
+
+  cfg.precision = model::Precision::F32;
+  const auto f32 = core::run_sweep(backend, type, cfg);
+  cfg.precision = model::Precision::F64;
+  const auto f64 = core::run_sweep(backend, type, cfg);
+  return core::make_entry(f32, f64);
+}
+
+std::vector<core::ThresholdEntry> sweep_entries(
+    const profile::SystemProfile& system, const core::ProblemType& type,
+    std::int64_t s_max, std::int64_t stride) {
+  std::vector<core::ThresholdEntry> entries;
+  for (std::int64_t iters : paper_iteration_counts()) {
+    entries.push_back(sweep_entry(system, type, iters, s_max, stride));
+  }
+  return entries;
+}
+
+FigureSeries figure_series(const profile::SystemProfile& system,
+                           const core::ProblemType& type,
+                           model::Precision precision,
+                           std::int64_t iterations, std::int64_t s_max,
+                           std::int64_t stride) {
+  core::SimBackend backend(system);
+  core::SweepConfig cfg;
+  cfg.s_min = stride;  // figures start above the degenerate sizes
+  cfg.s_max = s_max;
+  cfg.stride = stride;
+  cfg.iterations = iterations;
+  cfg.precision = precision;
+  const auto result = core::run_sweep(backend, type, cfg);
+
+  FigureSeries out;
+  for (const auto& sample : result.samples) {
+    out.sizes.push_back(sample.s);
+    out.cpu.push_back(sample.cpu_gflops);
+    out.gpu_once.push_back(sample.gpu_gflops[0]);
+    out.gpu_always.push_back(sample.gpu_gflops[1]);
+    out.gpu_usm.push_back(sample.gpu_gflops[2]);
+  }
+  return out;
+}
+
+void banner(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+void paper_reference(const std::vector<std::string>& lines) {
+  std::printf("--- paper reference ---------------------------------------\n");
+  for (const auto& line : lines) std::printf("  %s\n", line.c_str());
+  std::printf("------------------------------------------------------------\n");
+}
+
+}  // namespace blob::bench

@@ -1,0 +1,60 @@
+#pragma once
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench regenerates one table or figure from the paper on the
+// simulated system profiles and prints our measured values next to the
+// paper's published ones so the reader can compare shapes directly.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/sim_backend.hpp"
+#include "core/sweep.hpp"
+#include "sysprofile/profile.hpp"
+#include "util/strfmt.hpp"
+
+namespace blob::bench {
+
+/// The iteration counts the paper's evaluation uses (§IV).
+inline const std::vector<std::int64_t>& paper_iteration_counts() {
+  static const std::vector<std::int64_t> kIters = {1, 8, 32, 64, 128};
+  return kIters;
+}
+
+/// Sweep one problem type at both precisions for one iteration count on
+/// one system and return the threshold entry (Once/Always/USM x f32/f64).
+core::ThresholdEntry sweep_entry(const profile::SystemProfile& system,
+                                 const core::ProblemType& type,
+                                 std::int64_t iterations,
+                                 std::int64_t s_max = 4096,
+                                 std::int64_t stride = 1);
+
+/// All paper iteration counts for one (system, type).
+std::vector<core::ThresholdEntry> sweep_entries(
+    const profile::SystemProfile& system, const core::ProblemType& type,
+    std::int64_t s_max = 4096, std::int64_t stride = 1);
+
+/// GFLOP/s series for figures: run a sweep and extract the CPU series
+/// and the GPU series for each transfer mode.
+struct FigureSeries {
+  std::vector<std::int64_t> sizes;
+  std::vector<double> cpu;
+  std::vector<double> gpu_once;
+  std::vector<double> gpu_always;
+  std::vector<double> gpu_usm;
+};
+
+FigureSeries figure_series(const profile::SystemProfile& system,
+                           const core::ProblemType& type,
+                           model::Precision precision, std::int64_t iterations,
+                           std::int64_t s_max = 4096, std::int64_t stride = 32);
+
+/// Print a section banner.
+void banner(const std::string& title);
+
+/// Print a short paper-reference block (verbatim expectations).
+void paper_reference(const std::vector<std::string>& lines);
+
+}  // namespace blob::bench

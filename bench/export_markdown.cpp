@@ -1,0 +1,68 @@
+// export_markdown: regenerate the EXPERIMENTS.md "ours" tables.
+//
+// Prints the measured Table III and Table IV blocks in the exact
+// markdown layout EXPERIMENTS.md uses, so the document can be refreshed
+// mechanically after any recalibration:
+//   ./build/bench/export_markdown > /tmp/ours.md
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "common.hpp"
+
+namespace {
+
+using namespace blob;
+
+std::string cell(const core::ThresholdEntry& e, std::size_t mode) {
+  return core::threshold_value_string(e.f32[mode]) + ":" +
+         core::threshold_value_string(e.f64[mode]);
+}
+
+}  // namespace
+
+int main() {
+  using namespace blob;
+  const std::vector<std::int64_t> iters = {1, 8, 32, 128};
+
+  // ------------------------------------------------------- Table III
+  std::printf("## Table III (ours)\n\n");
+  std::printf(
+      "| | DAWN Once | DAWN Always | DAWN USM | LUMI Once | LUMI Always | "
+      "LUMI USM | Isam. Once | Isam. Always | Isam. USM |\n");
+  std::printf("|---|---|---|---|---|---|---|---|---|---|\n");
+  const auto& gemm = core::problem_type_by_id("gemm_square");
+  std::map<std::string, std::map<std::int64_t, core::ThresholdEntry>> gemm_rows;
+  for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+    for (std::int64_t i : iters) {
+      gemm_rows[system][i] =
+          bench::sweep_entry(profile::by_name(system), gemm, i);
+    }
+  }
+  for (std::int64_t i : iters) {
+    const auto& d = gemm_rows["dawn"][i];
+    const auto& l = gemm_rows["lumi"][i];
+    const auto& s = gemm_rows["isambard-ai"][i];
+    std::printf("| i=%lld | %s | %s | %s | %s | %s | %s | %s | %s | %s |\n",
+                static_cast<long long>(i), cell(d, 0).c_str(),
+                cell(d, 1).c_str(), cell(d, 2).c_str(), cell(l, 0).c_str(),
+                cell(l, 1).c_str(), cell(l, 2).c_str(), cell(s, 0).c_str(),
+                cell(s, 1).c_str(), cell(s, 2).c_str());
+  }
+
+  // -------------------------------------------------------- Table IV
+  std::printf("\n## Table IV (ours, Transfer-Once)\n\n");
+  std::printf("| | DAWN | LUMI | Isambard-AI |\n|---|---|---|---|\n");
+  const auto& gemv = core::problem_type_by_id("gemv_square");
+  const std::vector<std::int64_t> gemv_iters = {1, 8, 32, 64, 128};
+  for (std::int64_t i : gemv_iters) {
+    std::printf("| i=%lld |", static_cast<long long>(i));
+    for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+      const auto e = bench::sweep_entry(profile::by_name(system), gemv, i);
+      std::printf(" %s |", cell(e, 0).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

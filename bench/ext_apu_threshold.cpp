@@ -1,0 +1,59 @@
+// Extension: does an MI300A-class APU finish what the GH200 started?
+//
+// The paper's introduction motivates the study with SoC designs, naming
+// both the GH200 (evaluated) and "AMD's MI300A, with a single, unified
+// address space ... at a peak bandwidth of 5.3 TB/s" (§I, not
+// evaluated). This bench runs the full threshold methodology on an
+// MI300A-like profile next to the three paper systems. Prediction from
+// the paper's conclusion: on such a device "it [is] very rare to
+// encounter a GEMM or GEMV problem that would not benefit from GPU
+// acceleration" — thresholds should be tiny everywhere, including for
+// GEMV, and the transfer type should barely matter.
+
+#include "common.hpp"
+#include "core/report.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Extension -- offload thresholds on an MI300A-like unified-memory "
+      "APU");
+  bench::paper_reference({
+      "Paper §I/§V: tightly-integrated SoCs change the GEMV mantra; the",
+      "MI300A removes host-device copies entirely. Findings: GEMM",
+      "thresholds are small and iteration-independent; Once/Always/USM",
+      "columns nearly coincide (no link to amortise); and Transfer-Always",
+      "produces GEMV thresholds -- something no discrete system in the",
+      "paper ever does. The CPU also shares the HBM pool, so the GEMV",
+      "crossover stays moderate rather than vanishing.",
+  });
+
+  for (const char* type_id : {"gemm_square", "gemv_square"}) {
+    const auto& type = core::problem_type_by_id(type_id);
+    for (const char* system : {"isambard-ai", "mi300a-apu"}) {
+      const auto prof = profile::by_name(system);
+      const auto entries = bench::sweep_entries(prof, type);
+      std::fputs(
+          core::render_threshold_table(prof.name, type, entries).c_str(),
+          stdout);
+    }
+  }
+
+  // Transfer-type sensitivity: ratio of Always to Once total time at a
+  // mid-size problem — near 1.0 on the APU, large on PCIe systems.
+  util::TextTable table({"system", "Always/Once @ 1024^3, 32 iters"},
+                        {util::Align::Left, util::Align::Right});
+  for (const char* system : {"dawn", "lumi", "isambard-ai", "mi300a-apu"}) {
+    core::SimBackend backend(profile::by_name(system), 0.0);
+    core::Problem p;
+    p.op = core::KernelOp::Gemm;
+    p.dims = {1024, 1024, 1024};
+    const double once = *backend.gpu_time(p, 32, core::TransferMode::Once);
+    const double always =
+        *backend.gpu_time(p, 32, core::TransferMode::Always);
+    table.row({system, util::strfmt("%.2fx", always / once)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Extension (related work, §II): the ENERGY offload threshold.
+//
+// Favaro et al. observed accelerators can be more energy efficient even
+// when slower; Torres et al. compared time *and* energy for SGEMM. This
+// bench computes both thresholds — the smallest square GEMM from which
+// the GPU persistently wins on time, and on energy — on every system.
+// The two can disagree in either direction: a busy GPU delivers more
+// FLOPs per joule at scale, but its high board power makes *small* fast
+// kernels more expensive in energy than a barely-slower CPU run.
+
+#include <optional>
+
+#include "common.hpp"
+#include "core/energy.hpp"
+#include "core/threshold.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace blob;
+
+struct Pair {
+  std::string time_threshold;
+  std::string energy_threshold;
+};
+
+Pair thresholds(const profile::SystemProfile& prof, std::int64_t iterations) {
+  std::vector<core::ThresholdSample> by_time;
+  std::vector<core::ThresholdSample> by_energy;
+  for (std::int64_t s = 2; s <= 2048; s += 2) {
+    core::Problem p;
+    p.op = core::KernelOp::Gemm;
+    p.precision = model::Precision::F32;
+    p.dims = {s, s, s};
+    const auto e = core::estimate_energy(prof, p, iterations,
+                                         core::TransferMode::Once);
+    by_time.push_back(
+        {s, core::Dims{s, s, s}, e.cpu_seconds, e.gpu_seconds});
+    by_energy.push_back(
+        {s, core::Dims{s, s, s}, e.cpu_joules, e.gpu_joules});
+  }
+  return {core::threshold_value_string(core::detect_threshold(by_time)),
+          core::threshold_value_string(core::detect_threshold(by_energy))};
+}
+
+}  // namespace
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Extension -- time vs ENERGY offload thresholds (square SGEMM, "
+      "Transfer-Once)");
+  bench::paper_reference({
+      "Related work (§II): Favaro et al. found accelerators more energy",
+      "efficient even when slower, so time and energy verdicts can",
+      "disagree in either direction. Findings here: on systems whose GPU",
+      "burns far more busy power than the socket (GH200, MI300A) the",
+      "ENERGY threshold sits well ABOVE the time threshold -- a band of",
+      "sizes where offloading saves time but costs joules. On LUMI at one",
+      "call the opposite (Favaro) band appears: energy crosses first.",
+  });
+
+  util::TextTable table(
+      {"system", "iterations", "time threshold", "energy threshold"},
+      {util::Align::Left, util::Align::Right, util::Align::Right,
+       util::Align::Right});
+  for (const char* system : {"dawn", "lumi", "isambard-ai", "mi300a-apu"}) {
+    const auto prof = profile::by_name(system);
+    for (std::int64_t iters : {1LL, 32LL}) {
+      const auto p = thresholds(prof, iters);
+      table.row({system, std::to_string(iters), p.time_threshold,
+                 p.energy_threshold});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  // One concrete disagreement example.
+  core::Problem p;
+  p.op = core::KernelOp::Gemm;
+  p.precision = model::Precision::F32;
+  p.dims = {256, 256, 256};
+  const auto e =
+      core::estimate_energy(profile::by_name("dawn"), p, 1,
+                            core::TransferMode::Once);
+  std::printf(
+      "\nExample (DAWN, 256^3 SGEMM, 1 call): CPU %.2f ms / %.2f J vs GPU "
+      "%.2f ms / %.2f J -> %s\n",
+      e.cpu_seconds * 1e3, e.cpu_joules, e.gpu_seconds * 1e3, e.gpu_joules,
+      e.gpu_more_efficient() && e.gpu_seconds > e.cpu_seconds
+          ? "slower on the GPU but cheaper in joules (the Favaro regime)"
+          : (e.gpu_more_efficient() ? "GPU wins both" : "CPU wins both"));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension (paper future work, §V): a sparse (CSR SpMV) offload study.
+//
+// The paper defers sparse BLAS because choosing representative sparse
+// problem types is non-trivial; as a first cut we sweep square matrices
+// at fixed densities and report the smallest dimension from which the
+// GPU (Transfer-Once) persistently wins.
+
+#include <optional>
+
+#include "common.hpp"
+#include "core/threshold.hpp"
+#include "sparse/model.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace blob;
+
+std::optional<std::int64_t> sparse_threshold(
+    const profile::SystemProfile& prof, double density,
+    std::int64_t iterations) {
+  std::vector<core::ThresholdSample> samples;
+  for (std::int64_t n = 256; n <= 262144; n *= 2) {
+    const auto nnz =
+        static_cast<std::int64_t>(density * static_cast<double>(n) * n);
+    if (nnz < 1) continue;
+    const double cpu =
+        static_cast<double>(iterations) *
+        sparse::spmv_cpu_time(prof.cpu, model::Precision::F64, n, n, nnz);
+    const double gpu = sparse::spmv_gpu_transfer_once_time(
+        prof.gpu, prof.link, model::Precision::F64, n, n, nnz, iterations);
+    samples.push_back({n, core::Dims{n, n, 1}, cpu, gpu});
+  }
+  const auto th = core::detect_threshold(samples);
+  if (!th.has_value()) return std::nullopt;
+  return th->s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Extension -- sparse SpMV (CSR) offload thresholds (paper future "
+      "work)");
+  bench::paper_reference({
+      "Hypothesis from §V: SpMV's even lower arithmetic intensity (2",
+      "FLOPs per ~12 bytes) should push thresholds far beyond dense",
+      "GEMV's on PCIe systems, while the GH200's coherent link keeps",
+      "offload viable at moderate re-use.",
+  });
+
+  util::TextTable table(
+      {"system", "iterations", "density 1e-4", "density 1e-3",
+       "density 1e-2"},
+      {util::Align::Left, util::Align::Right, util::Align::Right,
+       util::Align::Right, util::Align::Right});
+  for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+    const auto prof = profile::by_name(system);
+    for (std::int64_t iters : {1LL, 8LL, 64LL}) {
+      std::vector<std::string> row = {system, std::to_string(iters)};
+      for (double density : {1e-4, 1e-3, 1e-2}) {
+        const auto th = sparse_threshold(prof, density, iters);
+        row.push_back(th.has_value() ? std::to_string(*th) : "--");
+      }
+      table.row(std::move(row));
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nReading: matrix dimension (square, power-of-two sweep) from which\n"
+      "the GPU persistently wins DSpMV with Transfer-Once; '--' = never\n"
+      "within n <= 262144.\n");
+  return 0;
+}

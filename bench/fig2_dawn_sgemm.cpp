@@ -1,0 +1,43 @@
+// Fig. 2: Square SGEMM performance (1 iteration) on DAWN.
+//
+// The figure's signature feature is a sharp CPU performance drop at
+// {629, 629, 629} that gradually recovers as the problem grows, letting
+// the GPU's Transfer-Once/USM curves cross the CPU curve near 629.
+
+#include "common.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace blob;
+  bench::banner("Fig. 2 -- Square SGEMM performance (1 iteration) on DAWN");
+  bench::paper_reference({
+      "CPU GFLOP/s climbs, drops sharply at m=629, then gradually",
+      "recovers; Transfer-Once/Always/USM GPU curves rise monotonically",
+      "and overtake the CPU at ~630. Without the drop, the 1-iteration",
+      "threshold would be much higher.",
+  });
+
+  const auto profile = profile::by_name("dawn");
+  const auto series = bench::figure_series(
+      profile, core::problem_type_by_id("gemm_square"),
+      model::Precision::F32, /*iterations=*/1, /*s_max=*/4096,
+      /*stride=*/64);
+  std::fputs(core::render_series("SGEMM GFLOP/s vs M=N=K (DAWN, 1 iter)",
+                                 {"cpu", "gpu-once", "gpu-always", "gpu-usm"},
+                                 series.sizes,
+                                 {series.cpu, series.gpu_once,
+                                  series.gpu_always, series.gpu_usm})
+                .c_str(),
+            stdout);
+
+  // Zoom on the drop with unit stride so the discontinuity is visible.
+  const auto zoom = bench::figure_series(
+      profile, core::problem_type_by_id("gemm_square"),
+      model::Precision::F32, 1, /*s_max=*/700, /*stride=*/10);
+  std::fputs(core::render_series("Zoom: the CPU drop at m=629",
+                                 {"cpu", "gpu-once"}, zoom.sizes,
+                                 {zoom.cpu, zoom.gpu_once})
+                .c_str(),
+            stdout);
+  return 0;
+}

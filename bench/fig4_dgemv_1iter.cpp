@@ -1,0 +1,36 @@
+// Fig. 4: Square DGEMV performance (1 iteration) on all three systems.
+//
+// The figure motivates a key caveat of the offload threshold: on DAWN and
+// Isambard-AI there is a considerable range of sizes where the GPU beats
+// the CPU (thanks to a CPU performance drop) even though no *threshold*
+// exists — the GPU win is not persistent to the end of the sweep. On
+// LUMI the CPU wins everywhere at 1 iteration by a narrowing margin.
+
+#include "common.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace blob;
+  bench::banner("Fig. 4 -- Square DGEMV performance (1 iteration)");
+  bench::paper_reference({
+      "DAWN / Isambard-AI: a CPU drop opens a mid-range window where the",
+      "GPU wins, but the CPU recovers before the end of the sweep -> no",
+      "offload threshold despite GPU wins. LUMI: CPU always ahead at one",
+      "iteration, margin narrowing with size.",
+  });
+
+  const auto& type = core::problem_type_by_id("gemv_square");
+  for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+    const auto profile = profile::by_name(system);
+    const auto series = bench::figure_series(
+        profile, type, model::Precision::F64, /*iterations=*/1,
+        /*s_max=*/4096, /*stride=*/256);
+    std::fputs(core::render_series(
+                   "DGEMV GFLOP/s vs M=N (" + profile.name + ", 1 iter)",
+                   {"cpu", "gpu-once", "gpu-usm"}, series.sizes,
+                   {series.cpu, series.gpu_once, series.gpu_usm})
+                   .c_str(),
+               stdout);
+  }
+  return 0;
+}

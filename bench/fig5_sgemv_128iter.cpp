@@ -1,0 +1,37 @@
+// Fig. 5: Square SGEMV performance (128 iterations) on Isambard-AI and
+// DAWN.
+//
+// Isambard-AI has very steep Transfer-Once/USM curves from small sizes
+// (the GH200's NVLink-C2C) and a CPU drop at ~{256,256}; DAWN's GPU
+// curves are shallow and slowly increasing, so the CPU library keeps its
+// lead until ~4080.
+
+#include "common.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Fig. 5 -- Square SGEMV performance (128 iterations), Isambard-AI "
+      "vs DAWN");
+  bench::paper_reference({
+      "Isambard-AI: steep GPU ramps; CPU drop at ~256 pins the offload",
+      "threshold at {256, 256}. DAWN: shallow, slowly-increasing GPU",
+      "curves against a strong CPU -> threshold stays ~{4080, 4080}.",
+  });
+
+  const auto& type = core::problem_type_by_id("gemv_square");
+  for (const char* system : {"isambard-ai", "dawn"}) {
+    const auto profile = profile::by_name(system);
+    const auto series = bench::figure_series(
+        profile, type, model::Precision::F32, /*iterations=*/128,
+        /*s_max=*/4096, /*stride=*/128);
+    std::fputs(core::render_series(
+                   "SGEMV GFLOP/s vs M=N (" + profile.name + ", 128 iters)",
+                   {"cpu", "gpu-once", "gpu-usm"}, series.sizes,
+                   {series.cpu, series.gpu_once, series.gpu_usm})
+                   .c_str(),
+               stdout);
+  }
+  return 0;
+}

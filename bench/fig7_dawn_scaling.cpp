@@ -1,0 +1,35 @@
+// Fig. 7 (Appendix A): DAWN GPU SGEMM performance (32 iterations) using
+// implicit vs explicit hardware scaling on the PVC Max 1550.
+//
+// Implicit scaling exposes both tiles as one device: double the raw
+// compute, but cross-tile communication makes performance much lower and
+// far less consistent than a single explicitly-targeted tile.
+
+#include "common.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Fig. 7 -- DAWN GPU SGEMM (32 iterations): implicit vs explicit "
+      "scaling");
+  bench::paper_reference({
+      "Implicit scaling yields much lower and less-consistent performance",
+      "than explicit scaling, despite having twice the compute resources.",
+  });
+
+  const auto& type = core::problem_type_by_id("gemm_square");
+  const auto explicit_scaling = bench::figure_series(
+      profile::by_name("dawn"), type, model::Precision::F32, 32, 4096, 128);
+  const auto implicit_scaling =
+      bench::figure_series(profile::by_name("dawn-implicit"), type,
+                           model::Precision::F32, 32, 4096, 128);
+  std::fputs(core::render_series(
+                 "GPU Transfer-Once SGEMM GFLOP/s vs M=N=K (DAWN, 32 iters)",
+                 {"explicit-1-tile", "implicit-2-tile"},
+                 explicit_scaling.sizes,
+                 {explicit_scaling.gpu_once, implicit_scaling.gpu_once})
+                 .c_str(),
+             stdout);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Micro-benchmarks of the real CPU BLAS kernels on this host
+// (google-benchmark). These measure the library itself, not the
+// simulated systems; sizes are kept modest so the suite completes
+// quickly on small machines.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/ref_blas.hpp"
+#include "lapack/getrf.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/spmv.hpp"
+#include "blas/gemv.hpp"
+#include "blas/level1.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace blob;
+
+template <typename T>
+std::vector<T> random_vec(std::size_t len, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<T> v(len);
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+template <typename T>
+void BM_gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a = random_vec<T>(static_cast<std::size_t>(n) * n, 1);
+  auto b = random_vec<T>(static_cast<std::size_t>(n) * n, 2);
+  std::vector<T> c(static_cast<std::size_t>(n) * n, T(0));
+  for (auto _ : state) {
+    blas::gemm_serial(blas::Transpose::No, blas::Transpose::No, n, n, n,
+                      T(1), a.data(), n, b.data(), n, T(0), c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+
+template <typename T>
+void BM_gemv(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a = random_vec<T>(static_cast<std::size_t>(n) * n, 3);
+  auto x = random_vec<T>(static_cast<std::size_t>(n), 4);
+  std::vector<T> y(static_cast<std::size_t>(n), T(0));
+  for (auto _ : state) {
+    blas::gemv_serial(blas::Transpose::No, n, n, T(1), a.data(), n, x.data(),
+                      1, T(0), y.data(), 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n);
+}
+
+template <typename T>
+void BM_dot(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto x = random_vec<T>(static_cast<std::size_t>(n), 5);
+  auto y = random_vec<T>(static_cast<std::size_t>(n), 6);
+  for (auto _ : state) {
+    T r = blas::dot(n, x.data(), 1, y.data(), 1);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n);
+}
+
+template <typename T>
+void BM_axpy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto x = random_vec<T>(static_cast<std::size_t>(n), 7);
+  std::vector<T> y(static_cast<std::size_t>(n), T(0));
+  for (auto _ : state) {
+    blas::axpy(n, T(1.5), x.data(), 1, y.data(), 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n);
+}
+
+template <typename T>
+void BM_gemm_reference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a = random_vec<T>(static_cast<std::size_t>(n) * n, 1);
+  auto b = random_vec<T>(static_cast<std::size_t>(n) * n, 2);
+  std::vector<T> c(static_cast<std::size_t>(n) * n, T(0));
+  for (auto _ : state) {
+    blas::ref::gemm(blas::Transpose::No, blas::Transpose::No, n, n, n, T(1),
+                    a.data(), n, b.data(), n, T(0), c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+
+static void BM_spmv(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto m = sparse::CsrMatrix<double>::random(n, n, 0.01, 1);
+  auto x = random_vec<double>(static_cast<std::size_t>(n), 2);
+  std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+  for (auto _ : state) {
+    sparse::spmv_serial(m, 1.0, x.data(), 0.0, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m.nnz());
+}
+
+static void BM_getrf(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a0 = random_vec<double>(static_cast<std::size_t>(n) * n, 3);
+  for (int i = 0; i < n; ++i) a0[i + static_cast<std::size_t>(i) * n] += 4.0;
+  std::vector<int> ipiv;
+  for (auto _ : state) {
+    auto a = a0;
+    lapack::getrf(n, a.data(), n, ipiv);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n / 3);
+}
+
+BENCHMARK_TEMPLATE(BM_gemm, float)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_TEMPLATE(BM_gemm, double)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK_TEMPLATE(BM_gemv, float)->Arg(256)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_gemv, double)->Arg(256)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_dot, float)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(BM_dot, double)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(BM_axpy, float)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(BM_axpy, double)->Arg(1 << 16);
+BENCHMARK_TEMPLATE(BM_gemm_reference, double)->Arg(128);
+BENCHMARK(BM_spmv)->Arg(4096)->Arg(16384);
+BENCHMARK(BM_getrf)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

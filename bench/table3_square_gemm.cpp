@@ -1,0 +1,36 @@
+// Table III: Square SGEMM:DGEMM (M=N=K) GPU offload thresholds for each
+// data transfer type and HPC system.
+
+#include "common.hpp"
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Table III -- Square GEMM (M=N=K) offload thresholds [f32 : f64]");
+  bench::paper_reference({
+      "DAWN        i=1:   629:582 | 629:582  | 657:626",
+      "DAWN        i=8:   572:485 | 629:603  | 596:529",
+      "DAWN        i=32:  514:377 | 1018:833 | 509:389",
+      "DAWN        i=64:  514:361 | 1153:1153| 465:436",
+      "DAWN        i=128: 514:361 | 1265:1153| 412:377",
+      "LUMI        i=1:   502:237 | 441:234  | --:--",
+      "LUMI        i=8:   153:125 | 512:256  | 606:539",
+      "LUMI        i=32:  2:2     | 512:461  | 442:256",
+      "LUMI        i=64:  2:2     | 589:961  | 381:239",
+      "LUMI        i=128: 2:2     | 512:1009 | 189:153",
+      "Isambard-AI i=1:   26:26   | 26:26    | 196:411",
+      "Isambard-AI i>=8:  26:26   | 26:26    | 26:26",
+      "Shape checks: Isambard << LUMI < DAWN; Transfer-Always threshold",
+      "grows with iterations on DAWN/LUMI; Once/USM shrink.",
+  });
+
+  const auto& type = core::problem_type_by_id("gemm_square");
+  for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+    const auto profile = profile::by_name(system);
+    const auto entries = bench::sweep_entries(profile, type);
+    std::fputs(
+        core::render_threshold_table(profile.name, type, entries).c_str(),
+        stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table IV: Square SGEMV:DGEMV (M=N) GPU offload thresholds for each
+// data transfer type and HPC system.
+
+#include "common.hpp"
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Table IV -- Square GEMV (M=N) offload thresholds [f32 : f64]");
+  bench::paper_reference({
+      "DAWN        i=1:   --:--     | --:-- | --:--",
+      "DAWN        i=8:   4089:3840 | --:-- | --:--",
+      "DAWN        i=32:  4081:3065 | --:-- | 4089:3521",
+      "DAWN        i=128: 4081:3321 | --:-- | 4089:3481",
+      "LUMI        i=8:   952:1197  | --:-- | --:--",
+      "LUMI        i=32:  569:617   | --:-- | 2129:1885",
+      "LUMI        i=128: 465:545   | --:-- | 754:909",
+      "Isambard-AI i=8:   256:256   | --:-- | --:--",
+      "Isambard-AI i=32+: 256:~250  | --:-- | 256:~250",
+      "Shape checks: Transfer-Always NEVER yields a GEMV threshold on any",
+      "system; no system yields one at 1 iteration; DAWN stays ~4080",
+      "regardless of iterations; LUMI decreases with iterations;",
+      "Isambard pins at ~256 (the CPU drop).",
+  });
+
+  const auto& type = core::problem_type_by_id("gemv_square");
+  for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+    const auto profile = profile::by_name(system);
+    const auto entries = bench::sweep_entries(profile, type);
+    std::fputs(
+        core::render_threshold_table(profile.name, type, entries).c_str(),
+        stdout);
+  }
+  return 0;
+}

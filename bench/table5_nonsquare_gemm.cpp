@@ -1,0 +1,43 @@
+// Table V: the iteration count at which each SGEMM:DGEMM non-square
+// problem type first yields a (Transfer-Once) offload threshold.
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Table V -- First iteration count yielding a non-square GEMM "
+      "Transfer-Once offload threshold [f32 : f64]");
+  bench::paper_reference({
+      "Problem          DAWN   LUMI    Isambard-AI",
+      "M=N,  K=16M      1:1    1:1     1:1",
+      "M=N=32, K>=1     --:--  8:--    1:1",
+      "K=N,  M=16K      1:1    8:8     1:1",
+      "K=N=32, M>=1     --:--  32:8    1:1",
+      "M=K,  N=16K      1:1    1:8     1:1",
+      "M=K=32, N>=1     --:--  32:32   1:1",
+      "M=N,  K=32       8:8    32:32   8:8",
+      "M=N,  M=16K      1:1    8:8     1:1",
+      "Shape checks: DAWN never offloads two-dims-fixed-32 problems",
+      "(lowest arithmetic intensity); M=N,K=16M yields a threshold on",
+      "every system at 1 iteration; Isambard yields thresholds at 1",
+      "iteration for everything except M=N,K=32.",
+  });
+
+  util::TextTable table({"Problem type", "DAWN", "LUMI", "Isambard-AI"},
+                        {util::Align::Left, util::Align::Center,
+                         util::Align::Center, util::Align::Center});
+  for (const auto& type : core::gemm_problem_types()) {
+    if (type.id() == "gemm_square") continue;
+    std::vector<std::string> row = {type.label()};
+    for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+      const auto profile = profile::by_name(system);
+      const auto entries = bench::sweep_entries(profile, type);
+      row.push_back(core::first_threshold_iteration(entries));
+    }
+    table.row(std::move(row));
+  }
+  std::fputs(table.str().c_str(), stdout);
+  return 0;
+}

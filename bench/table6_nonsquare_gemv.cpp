@@ -1,0 +1,38 @@
+// Table VI: the iteration count at which each SGEMV:DGEMV non-square
+// problem type first yields a (Transfer-Once) offload threshold.
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Table VI -- First iteration count yielding a non-square GEMV "
+      "Transfer-Once offload threshold [f32 : f64]");
+  bench::paper_reference({
+      "Problem        DAWN   LUMI     Isambard-AI",
+      "M=16N          --:--  8:8      1:1",
+      "N=32, M>=1     --:--  64:32    1:1",
+      "N=16M          --:--  --:--    1:1",
+      "M=32, N>=1     --:--  --:--    1:1",
+      "Shape checks: DAWN never offloads a non-square GEMV; on LUMI only",
+      "problems with M >> N offload (AOCL's serial GEMV); Isambard",
+      "offloads everything at 1 iteration.",
+  });
+
+  util::TextTable table({"Problem type", "DAWN", "LUMI", "Isambard-AI"},
+                        {util::Align::Left, util::Align::Center,
+                         util::Align::Center, util::Align::Center});
+  for (const auto& type : core::gemv_problem_types()) {
+    if (type.id() == "gemv_square") continue;
+    std::vector<std::string> row = {type.label()};
+    for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+      const auto profile = profile::by_name(system);
+      const auto entries = bench::sweep_entries(profile, type);
+      row.push_back(core::first_threshold_iteration(entries));
+    }
+    table.row(std::move(row));
+  }
+  std::fputs(table.str().c_str(), stdout);
+  return 0;
+}

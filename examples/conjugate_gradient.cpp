@@ -1,0 +1,118 @@
+// Conjugate gradient on a sparse SPD system: the canonical SpMV-bound
+// workload behind the paper's sparse-BLAS future work (§V).
+//
+// Builds a 2-D five-point Poisson matrix in CSR, solves it with CG using
+// our SpMV and Level-1 kernels, then uses the SpMV timing model to ask
+// whether the per-iteration SpMV would be worth offloading on each
+// simulated system — CG re-uses the matrix every iteration, the
+// textbook Transfer-Once pattern.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "blas/level1.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/model.hpp"
+#include "sparse/spmv.hpp"
+#include "sysprofile/profile.hpp"
+
+namespace {
+
+using namespace blob;
+
+/// 2-D Poisson (five-point stencil) on a grid x grid domain.
+sparse::CsrMatrix<double> poisson2d(int grid) {
+  std::vector<sparse::Triplet<double>> triplets;
+  auto idx = [grid](int i, int j) { return i * grid + j; };
+  for (int i = 0; i < grid; ++i) {
+    for (int j = 0; j < grid; ++j) {
+      const int row = idx(i, j);
+      triplets.push_back({row, row, 4.0});
+      if (i > 0) triplets.push_back({row, idx(i - 1, j), -1.0});
+      if (i + 1 < grid) triplets.push_back({row, idx(i + 1, j), -1.0});
+      if (j > 0) triplets.push_back({row, idx(i, j - 1), -1.0});
+      if (j + 1 < grid) triplets.push_back({row, idx(i, j + 1), -1.0});
+    }
+  }
+  const int n = grid * grid;
+  return sparse::CsrMatrix<double>::from_triplets(n, n, std::move(triplets));
+}
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;
+};
+
+CgResult conjugate_gradient(const sparse::CsrMatrix<double>& a,
+                            const std::vector<double>& b,
+                            std::vector<double>& x, double tol,
+                            int max_iterations,
+                            parallel::ThreadPool& pool) {
+  const int n = a.rows();
+  std::vector<double> r = b;          // r = b - A x (x starts at 0)
+  std::vector<double> p = r;
+  std::vector<double> ap(static_cast<std::size_t>(n), 0.0);
+
+  double rr = blas::dot(n, r.data(), 1, r.data(), 1);
+  const double stop = tol * tol * rr;
+  CgResult result;
+  for (int it = 0; it < max_iterations; ++it) {
+    sparse::spmv(a, 1.0, p.data(), 0.0, ap.data(), &pool, pool.size());
+    const double alpha = rr / blas::dot(n, p.data(), 1, ap.data(), 1);
+    blas::axpy(n, alpha, p.data(), 1, x.data(), 1);
+    blas::axpy(n, -alpha, ap.data(), 1, r.data(), 1);
+    const double rr_next = blas::dot(n, r.data(), 1, r.data(), 1);
+    result.iterations = it + 1;
+    if (rr_next < stop) {
+      rr = rr_next;
+      break;
+    }
+    const double beta = rr_next / rr;
+    rr = rr_next;
+    // p = r + beta p.
+    for (int i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  result.residual = std::sqrt(rr);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const int grid = 128;  // 16384 unknowns, ~81k nonzeros
+  const auto a = poisson2d(grid);
+  const int n = a.rows();
+  std::vector<double> b(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+
+  parallel::ThreadPool pool(parallel::ThreadPool::hardware_threads());
+  const auto result = conjugate_gradient(a, b, x, 1e-8, 2000, pool);
+  std::printf("CG on a %dx%d Poisson system (n=%d, nnz=%lld): %d "
+              "iterations, residual %.3e\n",
+              grid, grid, n, static_cast<long long>(a.nnz()),
+              result.iterations, result.residual);
+
+  // Each CG iteration performs one SpMV on the SAME matrix: the number
+  // of CG iterations is the GPU-BLOB iteration count, and Transfer-Once
+  // is the right data-movement model.
+  std::printf("\nwould this CG's SpMV offload (Transfer-Once, %d calls)?\n",
+              result.iterations);
+  for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+    const auto prof = blob::profile::by_name(system);
+    const double cpu =
+        result.iterations *
+        sparse::spmv_cpu_time(prof.cpu, blob::model::Precision::F64, n, n,
+                              a.nnz());
+    const double gpu = sparse::spmv_gpu_transfer_once_time(
+        prof.gpu, prof.link, blob::model::Precision::F64, n, n, a.nnz(),
+        result.iterations);
+    std::printf("  %-12s CPU %8.3f ms vs GPU %8.3f ms -> %s\n", system,
+                cpu * 1e3, gpu * 1e3,
+                gpu < cpu ? "offload" : "stay on CPU");
+  }
+  std::printf("\n(CG's hundreds of matrix re-uses amortise the upload, so the\n"
+              "SoC and Infinity Fabric systems offload even this small\n"
+              "stencil system; DAWN's strong CPU keeps a slight edge)\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Blocked LU factorization and solve — the paper's §III-C example of a
+// real workload whose GEMM shapes vary wildly: each panel step of a
+// right-looking LU performs a tall-times-wide trailing update
+// (n-j) x (n-j-b) x b whose shape shrinks as the factorization proceeds.
+//
+// This example factors a system with our LAPACK-on-BLAS layer, verifies
+// the solution, and then asks the offload advisor about each panel
+// step's update GEMM — showing how the *same application* crosses the
+// offload threshold mid-run.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/advisor.hpp"
+#include "core/sim_backend.hpp"
+#include "lapack/getrf.hpp"
+#include "sysprofile/profile.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace blob;
+
+  const int n = 1536;
+  const int block = 128;
+
+  // Build a well-conditioned random system A x = b.
+  util::Xoshiro256 rng(99);
+  std::vector<double> a(static_cast<std::size_t>(n) * n);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (int i = 0; i < n; ++i) {
+    a[i + static_cast<std::size_t>(i) * n] += 4.0;
+  }
+  std::vector<double> x_true(static_cast<std::size_t>(n));
+  for (auto& v : x_true) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  for (int c = 0; c < n; ++c) {
+    for (int r = 0; r < n; ++r) {
+      b[r] += a[r + static_cast<std::size_t>(c) * n] * x_true[c];
+    }
+  }
+
+  parallel::ThreadPool pool(parallel::ThreadPool::hardware_threads());
+  auto lu = a;
+  std::vector<int> ipiv;
+  lapack::getrf(n, lu.data(), n, ipiv, &pool, pool.size(), block);
+  auto x = b;
+  lapack::getrs(n, 1, lu.data(), n, ipiv, x.data(), n, &pool, pool.size());
+
+  double max_err = 0.0;
+  for (int i = 0; i < n; ++i) {
+    max_err = std::max(max_err, std::fabs(x[i] - x_true[i]));
+  }
+  std::printf("LU solve of a %dx%d system (block %d): max |x - x_true| = "
+              "%.3e\n", n, n, block, max_err);
+
+  // Advisor: the trailing update at panel j is a GEMM of shape
+  // {n-j-block, n-j-block, block}, executed once per panel with operands
+  // freshly produced on the host (Transfer-Once per step).
+  std::printf("\ntrailing-update GEMM offload advice during this LU "
+              "(Transfer-Once, f64):\n");
+  std::printf("%8s %24s  %-12s %-12s\n", "panel j", "update shape", "dawn",
+              "isambard-ai");
+  core::SimBackend dawn(profile::by_name("dawn"));
+  core::SimBackend isambard(profile::by_name("isambard-ai"));
+  core::OffloadAdvisor dawn_advisor(dawn);
+  core::OffloadAdvisor isambard_advisor(isambard);
+  for (int j = 0; j + block < n; j += 2 * block) {
+    const int trailing = n - j - block;
+    core::Problem update;
+    update.op = core::KernelOp::Gemm;
+    update.precision = model::Precision::F64;
+    update.dims = {trailing, trailing, block};
+    const auto on_dawn =
+        dawn_advisor.advise(update, 1, core::TransferMode::Once);
+    const auto on_isambard =
+        isambard_advisor.advise(update, 1, core::TransferMode::Once);
+    std::printf("%8d %10d x %5d x %3d  %-12s %-12s\n", j, trailing,
+                trailing, block,
+                on_dawn.offload ? "offload" : "stay on CPU",
+                on_isambard.offload ? "offload" : "stay on CPU");
+  }
+  std::printf(
+      "\n(the same update shapes offload on the GH200's coherent link but "
+      "not over DAWN's PCIe at one call per panel — the offload threshold "
+      "is a property of the system, not the application)\n");
+  return 0;
+}

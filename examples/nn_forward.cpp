@@ -1,0 +1,160 @@
+// Neural-network forward pass: the workload the paper's introduction
+// motivates ("the resurgence of AI-type workloads and their reliance on
+// GEMM computations", §I).
+//
+// A small MLP runs batched inference through the CPU BLAS in f32 and in
+// f16 (the paper's future-work precision), then the offload advisor
+// evaluates each layer's GEMM shape on the simulated systems: inference
+// re-uses the weights across many batches, so Transfer-Once is the
+// honest data-movement model.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "blas/half.hpp"
+#include "blas/half_gemm.hpp"
+#include "blas/library.hpp"
+#include "core/advisor.hpp"
+#include "core/sim_backend.hpp"
+#include "sysprofile/profile.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace blob;
+
+struct Layer {
+  int in = 0;
+  int out = 0;
+  std::vector<float> weights;  // out x in, column major
+  std::vector<float> bias;     // out
+};
+
+Layer make_layer(int in, int out, util::Xoshiro256& rng) {
+  Layer layer;
+  layer.in = in;
+  layer.out = out;
+  layer.weights.resize(static_cast<std::size_t>(out) * in);
+  layer.bias.resize(static_cast<std::size_t>(out));
+  const double scale = 1.0 / std::sqrt(in);
+  for (auto& w : layer.weights) {
+    w = static_cast<float>(rng.normal() * scale);
+  }
+  for (auto& b : layer.bias) b = static_cast<float>(rng.normal() * 0.01);
+  return layer;
+}
+
+/// activations: in x batch -> out x batch, ReLU except the final layer.
+std::vector<float> forward_f32(const std::vector<Layer>& layers,
+                               std::vector<float> activations, int batch,
+                               const blas::CpuBlasLibrary& lib) {
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const Layer& layer = layers[l];
+    std::vector<float> next(static_cast<std::size_t>(layer.out) * batch);
+    // next = W (out x in) * activations (in x batch).
+    lib.do_gemm(blas::Transpose::No, blas::Transpose::No, layer.out, batch,
+                layer.in, 1.0f, layer.weights.data(), layer.out,
+                activations.data(), layer.in, 0.0f, next.data(), layer.out);
+    const bool last = l + 1 == layers.size();
+    for (int col = 0; col < batch; ++col) {
+      for (int row = 0; row < layer.out; ++row) {
+        float& v = next[row + static_cast<std::size_t>(col) * layer.out];
+        v += layer.bias[static_cast<std::size_t>(row)];
+        if (!last && v < 0.0f) v = 0.0f;
+      }
+    }
+    activations = std::move(next);
+  }
+  return activations;
+}
+
+/// The same network with f16 storage and f32 accumulation (HGEMM).
+std::vector<float> forward_f16(const std::vector<Layer>& layers,
+                               const std::vector<float>& input, int batch) {
+  std::vector<blas::f16> activations(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    activations[i] = blas::f16(input[i]);
+  }
+  int rows = layers.front().in;
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const Layer& layer = layers[l];
+    std::vector<blas::f16> weights(layer.weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] = blas::f16(layer.weights[i]);
+    }
+    std::vector<blas::f16> next(static_cast<std::size_t>(layer.out) * batch,
+                                blas::f16(0.0f));
+    blas::hgemm(blas::Transpose::No, blas::Transpose::No, layer.out, batch,
+                layer.in, 1.0f, weights.data(), layer.out,
+                activations.data(), rows, 0.0f, next.data(), layer.out);
+    const bool last = l + 1 == layers.size();
+    for (int col = 0; col < batch; ++col) {
+      for (int row = 0; row < layer.out; ++row) {
+        float v = static_cast<float>(
+            next[row + static_cast<std::size_t>(col) * layer.out]);
+        v += layer.bias[static_cast<std::size_t>(row)];
+        if (!last && v < 0.0f) v = 0.0f;
+        next[row + static_cast<std::size_t>(col) * layer.out] = blas::f16(v);
+      }
+    }
+    activations = std::move(next);
+    rows = layer.out;
+  }
+  std::vector<float> out(activations.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(activations[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const int batch = 512;
+  util::Xoshiro256 rng(2024);
+
+  std::vector<Layer> layers;
+  layers.push_back(make_layer(784, 1024, rng));
+  layers.push_back(make_layer(1024, 1024, rng));
+  layers.push_back(make_layer(1024, 10, rng));
+
+  std::vector<float> input(static_cast<std::size_t>(784) * batch);
+  for (auto& v : input) v = static_cast<float>(rng.uniform(0, 1));
+
+  blas::CpuBlasLibrary lib(blas::generic_personality());
+  const auto logits_f32 = forward_f32(layers, input, batch, lib);
+  const auto logits_f16 = forward_f16(layers, input, batch);
+
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < logits_f32.size(); ++i) {
+    max_diff = std::max(
+        max_diff,
+        static_cast<double>(std::fabs(logits_f32[i] - logits_f16[i])));
+  }
+  std::printf("MLP 784-1024-1024-10, batch %d\n", batch);
+  std::printf("  f32 logits[0..3]: %+.4f %+.4f %+.4f %+.4f\n", logits_f32[0],
+              logits_f32[1], logits_f32[2], logits_f32[3]);
+  std::printf("  max |f32 - f16| over all logits: %.4f\n", max_diff);
+
+  // Per-layer offload advice on each simulated system. Inference streams
+  // many batches against fixed weights: model ~64 batches, Transfer-Once.
+  std::printf("\nper-layer offload advice (64 batches, Transfer-Once):\n");
+  for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+    core::SimBackend backend(profile::by_name(system));
+    core::OffloadAdvisor advisor(backend);
+    std::printf("  %s:\n", system);
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      core::Problem p;
+      p.op = core::KernelOp::Gemm;
+      p.precision = model::Precision::F32;
+      p.dims = {layers[l].out, batch, layers[l].in};
+      const auto advice = advisor.advise(p, 64, core::TransferMode::Once);
+      std::printf("    layer %zu GEMM {%d, %d, %d}: %-12s (%.1fx)\n", l,
+                  layers[l].out, batch, layers[l].in,
+                  advice.offload ? "offload" : "stay on CPU",
+                  advice.speedup);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// offload_advisor: the paper's §III-D workflow as a command-line tool.
+//
+// "By relating an application's matrix / vector shape and size to those
+// evaluated by GPU-BLOB, configuring the iteration count to approximate
+// the number of BLAS kernel computations, and relating the data movement
+// characteristics to one of the data transfer types, a user can assess
+// whether it would be worth porting their application to use a GPU."
+//
+// Usage:
+//   offload_advisor --op gemm -m 2048 -n 2048 -k 2048 -i 32
+//                   --system lumi --transfer once --precision f64
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/advisor.hpp"
+#include "core/sim_backend.hpp"
+#include "sysprofile/profile.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace blob;
+  try {
+    util::ArgParser args("offload_advisor");
+    args.add_string("--op", "gemm | gemv", "gemm");
+    args.add_int("-m", "rows of A / C", 1024);
+    args.add_int("-n", "columns of B / C (GEMV: columns of A)", 1024);
+    args.add_int("-k", "inner GEMM dimension", 1024);
+    args.add_int("-i", "number of consecutive BLAS calls", 1);
+    args.add_string("--system", "system profile (gpu-blob --list-systems)",
+                    "dawn");
+    args.add_string("--transfer", "once | always | usm | best", "best");
+    args.add_string("--precision", "f32 | f64", "f32");
+    args.add_flag("--all-systems", "print advice for every profile");
+    args.parse(argc, argv);
+    if (args.help_requested()) {
+      std::cout << args.usage();
+      return 0;
+    }
+
+    core::Problem problem;
+    problem.op = args.get_string("--op") == "gemv" ? core::KernelOp::Gemv
+                                                   : core::KernelOp::Gemm;
+    problem.precision = args.get_string("--precision") == "f64"
+                            ? model::Precision::F64
+                            : model::Precision::F32;
+    problem.dims = {args.get_int("-m"), args.get_int("-n"),
+                    problem.op == core::KernelOp::Gemm ? args.get_int("-k")
+                                                       : 1};
+    const std::int64_t iterations = args.get_int("-i");
+
+    auto advise_on = [&](const std::string& system) {
+      core::SimBackend backend(profile::by_name(system));
+      core::OffloadAdvisor advisor(backend);
+      const std::string transfer = args.get_string("--transfer");
+      core::Advice advice;
+      core::TransferMode mode = core::TransferMode::Once;
+      if (transfer == "best") {
+        advice = advisor.advise_best_mode(problem, iterations);
+        mode = advice.mode;
+      } else {
+        if (transfer == "always") mode = core::TransferMode::Always;
+        if (transfer == "usm") mode = core::TransferMode::Usm;
+        advice = advisor.advise(problem, iterations, mode);
+      }
+      std::printf("[%s] %s\n", system.c_str(), advice.rationale.c_str());
+      const auto both = core::OffloadAdvisor::advise_time_and_energy(
+          profile::by_name(system), problem, iterations, mode);
+      std::printf("      energy: CPU %.3g J vs GPU %.3g J -> %s\n",
+                  both.energy.cpu_joules, both.energy.gpu_joules,
+                  both.verdict.c_str());
+    };
+
+    if (args.get_flag("--all-systems")) {
+      for (const auto& name : profile::profile_names()) advise_on(name);
+    } else {
+      advise_on(args.get_string("--system"));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "offload_advisor: " << e.what() << "\n";
+    return 2;
+  }
+}

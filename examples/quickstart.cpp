@@ -1,0 +1,60 @@
+// Quickstart: the 60-second tour of the library.
+//
+//  1. Run a real GEMM through the CPU BLAS.
+//  2. Ask a simulated heterogeneous system for CPU vs GPU timings.
+//  3. Sweep a problem type and read off the GPU offload threshold.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "blas/library.hpp"
+#include "core/advisor.hpp"
+#include "core/sim_backend.hpp"
+#include "core/sweep.hpp"
+#include "sysprofile/profile.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace blob;
+
+  // --- 1. A real SGEMM on this machine through the CPU BLAS library ----
+  blas::CpuBlasLibrary cpu(blas::generic_personality());
+  const int n = 256;
+  util::Xoshiro256 rng(42);
+  std::vector<float> a(n * n);
+  std::vector<float> b(n * n);
+  std::vector<float> c(n * n, 0.0f);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  cpu.do_gemm(blas::Transpose::No, blas::Transpose::No, n, n, n, 1.0f,
+              a.data(), n, b.data(), n, 0.0f, c.data(), n);
+  std::printf("1) real SGEMM %dx%dx%d done, C[0][0] = %f\n", n, n, n, c[0]);
+
+  // --- 2. Ask a simulated GH200 node: CPU or GPU for this problem? -----
+  core::SimBackend isambard(profile::isambard_ai());
+  core::OffloadAdvisor advisor(isambard);
+  core::Problem problem;
+  problem.op = core::KernelOp::Gemm;
+  problem.precision = model::Precision::F32;
+  problem.dims = {1024, 1024, 1024};
+  const auto advice = advisor.advise_best_mode(problem, /*iterations=*/16);
+  std::printf("2) %s\n", advice.rationale.c_str());
+
+  // --- 3. Find the square-GEMM offload threshold on that system --------
+  core::SweepConfig cfg;
+  cfg.s_min = 1;
+  cfg.s_max = 2048;
+  cfg.iterations = 8;
+  const auto result = core::run_sweep(
+      isambard, core::problem_type_by_id("gemm_square"), cfg);
+  std::printf("3) square SGEMM offload thresholds on %s (8 iterations):\n",
+              isambard.name().c_str());
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    std::printf("     %-7s %s\n", core::to_string(core::kTransferModes[mode]),
+                core::threshold_to_string(result.thresholds[mode], false)
+                    .c_str());
+  }
+  return 0;
+}

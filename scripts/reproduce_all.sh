@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Rebuild everything, run the full test suite, regenerate every paper
+# table/figure plus the ablations and future-work extensions, and leave
+# the transcripts in ./artifacts/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p artifacts
+
+echo "== tests =============================================================="
+ctest --test-dir build --output-on-failure 2>&1 | tee artifacts/ctest.txt | tail -3
+
+echo "== benches ============================================================"
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  name=$(basename "$b")
+  echo "-- $name"
+  "$b" > "artifacts/$name.txt"
+done
+
+echo "== artifact-style CSV run (square problems, 8 iterations) ============"
+./build/apps/gpu-blob -i 8 -d 1024 --stride 4 --kernel all \
+    --system isambard-ai --csv-dir artifacts/csv > artifacts/gpu-blob.txt
+ls artifacts/csv | head
+
+echo
+echo "done: transcripts in ./artifacts"

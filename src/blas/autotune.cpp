@@ -1,0 +1,61 @@
+#include "blas/autotune.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace blob::blas {
+
+namespace {
+
+volatile double g_autotune_sink = 0.0;
+
+}  // namespace
+
+template <typename T>
+AutotuneResult autotune_blocking(int size, int repeats) {
+  size = std::max(32, size);
+  repeats = std::max(1, repeats);
+
+  util::Xoshiro256 rng(0x74E5u);
+  std::vector<T> a(static_cast<std::size_t>(size) * size);
+  std::vector<T> b(static_cast<std::size_t>(size) * size);
+  std::vector<T> c(static_cast<std::size_t>(size) * size, T(0));
+  for (auto& v : a) v = static_cast<T>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<T>(rng.uniform(-1.0, 1.0));
+
+  const double flops = 2.0 * size * size * static_cast<double>(size);
+
+  AutotuneResult result;
+  for (int mc : {64, 128, 256}) {
+    for (int kc : {128, 256, 512}) {
+      for (int nc : {512, 2048}) {
+        GemmBlocking candidate{mc, kc, nc};
+        double best_seconds = 0.0;
+        for (int r = 0; r < repeats; ++r) {
+          util::WallTimer timer;
+          gemm_serial(Transpose::No, Transpose::No, size, size, size, T(1),
+                      a.data(), size, b.data(), size, T(0), c.data(), size,
+                      candidate);
+          const double t = timer.elapsed_seconds();
+          best_seconds = r == 0 ? t : std::min(best_seconds, t);
+          g_autotune_sink = static_cast<double>(c[0]);
+        }
+        const double gflops = flops / best_seconds / 1e9;
+        result.trials.emplace_back(candidate, gflops);
+        if (gflops > result.best_gflops) {
+          result.best_gflops = gflops;
+          result.blocking = candidate;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+template AutotuneResult autotune_blocking<float>(int, int);
+template AutotuneResult autotune_blocking<double>(int, int);
+
+}  // namespace blob::blas

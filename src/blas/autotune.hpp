@@ -1,0 +1,29 @@
+#pragma once
+// Empirical cache-blocking autotuner.
+//
+// Vendor libraries ship per-microarchitecture blocking tables; we measure
+// instead. autotune_blocking() times a representative GEMM under a small
+// grid of (MC, KC, NC) candidates and returns the fastest — the same
+// in-situ philosophy as GPU-BLOB itself (measure, don't model, the
+// machine you are on).
+
+#include "blas/gemm.hpp"
+
+namespace blob::blas {
+
+struct AutotuneResult {
+  GemmBlocking blocking;
+  double best_gflops = 0.0;
+  /// (candidate, gflops) for every configuration tried, in trial order.
+  std::vector<std::pair<GemmBlocking, double>> trials;
+};
+
+/// Tune for problems around `size` (M=N=K=size) in precision T.
+/// `repeats` timed runs per candidate, best-of. Deterministic inputs.
+template <typename T>
+AutotuneResult autotune_blocking(int size = 256, int repeats = 2);
+
+extern template AutotuneResult autotune_blocking<float>(int, int);
+extern template AutotuneResult autotune_blocking<double>(int, int);
+
+}  // namespace blob::blas

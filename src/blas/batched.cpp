@@ -1,0 +1,89 @@
+#include "blas/batched.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace blob::blas {
+
+namespace {
+
+/// Below this FLOP count per problem it pays to parallelise across the
+/// batch instead of inside each GEMM (fork/join per small GEMM dominates).
+constexpr double kIntraGemmFlopsThreshold = 4.0e7;
+
+template <typename T, typename ProblemFn>
+void run_batch(int batch, int m, int n, int k, parallel::ThreadPool* pool,
+               std::size_t num_threads, const ProblemFn& run_one_serial,
+               const ProblemFn& run_one_threaded) {
+  if (batch <= 0) return;
+  const std::size_t threads =
+      pool == nullptr ? 1 : std::min(num_threads, pool->size());
+  const double flops_per_problem =
+      2.0 * static_cast<double>(m) * n * std::max(1, k);
+  const bool across_batch =
+      threads > 1 && batch > 1 && flops_per_problem < kIntraGemmFlopsThreshold;
+  if (across_batch) {
+    pool->parallel_for(0, static_cast<std::size_t>(batch), 1,
+                       [&](std::size_t b0, std::size_t b1, std::size_t) {
+                         for (std::size_t i = b0; i < b1; ++i) {
+                           run_one_serial(static_cast<int>(i));
+                         }
+                       });
+  } else {
+    for (int i = 0; i < batch; ++i) run_one_threaded(i);
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemm_batched(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
+                  const T* const* a, int lda, const T* const* b, int ldb,
+                  T beta, T* const* c, int ldc, int batch,
+                  parallel::ThreadPool* pool, std::size_t num_threads) {
+  const std::function<void(int)> serial = [&](int i) {
+    gemm_serial(ta, tb, m, n, k, alpha, a[i], lda, b[i], ldb, beta, c[i],
+                ldc);
+  };
+  const std::function<void(int)> threaded = [&](int i) {
+    gemm(ta, tb, m, n, k, alpha, a[i], lda, b[i], ldb, beta, c[i], ldc, pool,
+         num_threads);
+  };
+  run_batch<T, std::function<void(int)>>(batch, m, n, k, pool, num_threads,
+                                         serial, threaded);
+}
+
+template <typename T>
+void gemm_strided_batched(Transpose ta, Transpose tb, int m, int n, int k,
+                          T alpha, const T* a, int lda,
+                          std::ptrdiff_t stride_a, const T* b, int ldb,
+                          std::ptrdiff_t stride_b, T beta, T* c, int ldc,
+                          std::ptrdiff_t stride_c, int batch,
+                          parallel::ThreadPool* pool,
+                          std::size_t num_threads) {
+  const std::function<void(int)> serial = [&](int i) {
+    gemm_serial(ta, tb, m, n, k, alpha, a + i * stride_a, lda,
+                b + i * stride_b, ldb, beta, c + i * stride_c, ldc);
+  };
+  const std::function<void(int)> threaded = [&](int i) {
+    gemm(ta, tb, m, n, k, alpha, a + i * stride_a, lda, b + i * stride_b,
+         ldb, beta, c + i * stride_c, ldc, pool, num_threads);
+  };
+  run_batch<T, std::function<void(int)>>(batch, m, n, k, pool, num_threads,
+                                         serial, threaded);
+}
+
+#define BLOB_BLAS_BATCHED_INST(T)                                            \
+  template void gemm_batched<T>(Transpose, Transpose, int, int, int, T,      \
+                                const T* const*, int, const T* const*, int,  \
+                                T, T* const*, int, int,                      \
+                                parallel::ThreadPool*, std::size_t);         \
+  template void gemm_strided_batched<T>(                                     \
+      Transpose, Transpose, int, int, int, T, const T*, int,                 \
+      std::ptrdiff_t, const T*, int, std::ptrdiff_t, T, T*, int,             \
+      std::ptrdiff_t, int, parallel::ThreadPool*, std::size_t)
+BLOB_BLAS_BATCHED_INST(float);
+BLOB_BLAS_BATCHED_INST(double);
+#undef BLOB_BLAS_BATCHED_INST
+
+}  // namespace blob::blas

@@ -1,0 +1,52 @@
+#pragma once
+// Batched GEMM (pointer-array and strided variants).
+//
+// The paper's future work targets batched kernels, noting they "can
+// greatly improve GEMM performance for small problem sizes if many can be
+// computed concurrently" (§V). Our implementation parallelises across the
+// batch when matrices are small (each worker runs serial GEMMs) and
+// within the GEMM when matrices are large.
+
+#include <cstddef>
+
+#include "blas/gemm.hpp"
+#include "blas/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::blas {
+
+/// Pointer-array batched GEMM: for b in [0, batch):
+///   C[b] = alpha * op(A[b]) * op(B[b]) + beta * C[b].
+/// All problems in the batch share dims/leading dims (the batched-BLAS
+/// "fixed" batch style).
+template <typename T>
+void gemm_batched(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
+                  const T* const* a, int lda, const T* const* b, int ldb,
+                  T beta, T* const* c, int ldc, int batch,
+                  parallel::ThreadPool* pool = nullptr,
+                  std::size_t num_threads = 1);
+
+/// Strided batched GEMM: operand `i` of problem `b` lives at
+/// base + b * stride. Matches cublasGemmStridedBatched semantics.
+template <typename T>
+void gemm_strided_batched(Transpose ta, Transpose tb, int m, int n, int k,
+                          T alpha, const T* a, int lda, std::ptrdiff_t stride_a,
+                          const T* b, int ldb, std::ptrdiff_t stride_b, T beta,
+                          T* c, int ldc, std::ptrdiff_t stride_c, int batch,
+                          parallel::ThreadPool* pool = nullptr,
+                          std::size_t num_threads = 1);
+
+#define BLOB_BLAS_BATCHED_EXTERN(T)                                          \
+  extern template void gemm_batched<T>(                                     \
+      Transpose, Transpose, int, int, int, T, const T* const*, int,         \
+      const T* const*, int, T, T* const*, int, int, parallel::ThreadPool*,  \
+      std::size_t);                                                         \
+  extern template void gemm_strided_batched<T>(                             \
+      Transpose, Transpose, int, int, int, T, const T*, int,                \
+      std::ptrdiff_t, const T*, int, std::ptrdiff_t, T, T*, int,            \
+      std::ptrdiff_t, int, parallel::ThreadPool*, std::size_t)
+BLOB_BLAS_BATCHED_EXTERN(float);
+BLOB_BLAS_BATCHED_EXTERN(double);
+#undef BLOB_BLAS_BATCHED_EXTERN
+
+}  // namespace blob::blas

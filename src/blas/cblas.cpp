@@ -1,0 +1,410 @@
+#include "blas/cblas.hpp"
+
+#include <memory>
+
+#include "blas/level1.hpp"
+#include "blas/level2.hpp"
+#include "blas/level3.hpp"
+
+namespace blob::blas {
+
+namespace {
+
+std::unique_ptr<CpuBlasLibrary>& library_slot() {
+  static std::unique_ptr<CpuBlasLibrary> lib =
+      std::make_unique<CpuBlasLibrary>(generic_personality());
+  return lib;
+}
+
+// Row-major identities for the symmetric/triangular kernels:
+//  * symv: a row-major symmetric matrix equals its column-major self with
+//    the stored triangle flipped.
+//  * trsv/trsm: row-major == column-major of the transpose, so flip the
+//    uplo AND the transpose flag (trsm additionally flips the side and
+//    swaps m/n).
+blob::blas::UpLo to_uplo(CBLAS_UPLO u) {
+  return u == CblasUpper ? blob::blas::UpLo::Upper : blob::blas::UpLo::Lower;
+}
+blob::blas::UpLo flip_uplo(CBLAS_UPLO u) {
+  return u == CblasUpper ? blob::blas::UpLo::Lower : blob::blas::UpLo::Upper;
+}
+blob::blas::Transpose to_trans(CBLAS_TRANSPOSE t) {
+  return t == CblasNoTrans ? blob::blas::Transpose::No
+                           : blob::blas::Transpose::Yes;
+}
+blob::blas::Transpose flip_trans(CBLAS_TRANSPOSE t) {
+  return t == CblasNoTrans ? blob::blas::Transpose::Yes
+                           : blob::blas::Transpose::No;
+}
+blob::blas::Diag to_diag(CBLAS_DIAG d) {
+  return d == CblasUnit ? blob::blas::Diag::Unit
+                        : blob::blas::Diag::NonUnit;
+}
+
+template <typename T>
+void symv_dispatch(CBLAS_ORDER order, CBLAS_UPLO uplo, int n, T alpha,
+                   const T* a, int lda, const T* x, int incx, T beta, T* y,
+                   int incy) {
+  const auto u = order == CblasColMajor ? to_uplo(uplo) : flip_uplo(uplo);
+  blob::blas::symv(u, n, alpha, a, lda, x, incx, beta, y, incy,
+                   cblas_library().pool(), cblas_library().max_threads());
+}
+
+template <typename T>
+void trsv_dispatch(CBLAS_ORDER order, CBLAS_UPLO uplo,
+                   CBLAS_TRANSPOSE trans, CBLAS_DIAG diag, int n, const T* a,
+                   int lda, T* x, int incx) {
+  if (order == CblasColMajor) {
+    blob::blas::trsv(to_uplo(uplo), to_trans(trans), to_diag(diag), n, a,
+                     lda, x, incx);
+  } else {
+    blob::blas::trsv(flip_uplo(uplo), flip_trans(trans), to_diag(diag), n, a,
+                     lda, x, incx);
+  }
+}
+
+template <typename T>
+void syrk_dispatch(CBLAS_ORDER order, CBLAS_UPLO uplo,
+                   CBLAS_TRANSPOSE trans, int n, int k, T alpha, const T* a,
+                   int lda, T beta, T* c, int ldc) {
+  if (order == CblasColMajor) {
+    blob::blas::syrk(to_uplo(uplo), to_trans(trans), n, k, alpha, a, lda,
+                     beta, c, ldc, cblas_library().pool(),
+                     cblas_library().max_threads());
+  } else {
+    blob::blas::syrk(flip_uplo(uplo), flip_trans(trans), n, k, alpha, a,
+                     lda, beta, c, ldc, cblas_library().pool(),
+                     cblas_library().max_threads());
+  }
+}
+
+template <typename T>
+void trsm_dispatch(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo,
+                   CBLAS_TRANSPOSE ta, CBLAS_DIAG diag, int m, int n,
+                   T alpha, const T* a, int lda, T* b, int ldb) {
+  if (order == CblasColMajor) {
+    blob::blas::trsm(side == CblasLeft ? blob::blas::Side::Left
+                                       : blob::blas::Side::Right,
+                     to_uplo(uplo), to_trans(ta), to_diag(diag), m, n, alpha,
+                     a, lda, b, ldb, cblas_library().pool(),
+                     cblas_library().max_threads());
+  } else {
+    // Row-major solve == column-major solve of the transposed system:
+    // op(A_rm) X = B  <=>  X^T op'(A_cm) = B^T where A_cm = A_rm^T.
+    // Flipping the side transposes the equation, which together with the
+    // buffer reinterpretation cancels the transpose flip: flip side and
+    // uplo, KEEP the transpose flag, swap m and n.
+    blob::blas::trsm(side == CblasLeft ? blob::blas::Side::Right
+                                       : blob::blas::Side::Left,
+                     flip_uplo(uplo), to_trans(ta), to_diag(diag), n, m,
+                     alpha, a, lda, b, ldb, cblas_library().pool(),
+                     cblas_library().max_threads());
+  }
+}
+
+}  // namespace
+
+void cblas_set_library(CpuLibraryPersonality personality,
+                       std::size_t max_threads) {
+  library_slot() =
+      std::make_unique<CpuBlasLibrary>(std::move(personality), max_threads);
+}
+
+const CpuBlasLibrary& cblas_library() { return *library_slot(); }
+
+}  // namespace blob::blas
+
+using blob::blas::cblas_library;
+
+namespace {
+
+// A row-major GEMV is the column-major GEMV of the transposed op with
+// m/n swapped.
+template <typename T>
+void gemv_dispatch(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
+                   T alpha, const T* a, int lda, const T* x, int incx,
+                   T beta, T* y, int incy) {
+  if (order == CblasColMajor) {
+    cblas_library().do_gemv(
+        trans == CblasNoTrans ? blob::blas::Transpose::No
+                              : blob::blas::Transpose::Yes,
+        m, n, alpha, a, lda, x, incx, beta, y, incy);
+  } else {
+    cblas_library().do_gemv(
+        trans == CblasNoTrans ? blob::blas::Transpose::Yes
+                              : blob::blas::Transpose::No,
+        n, m, alpha, a, lda, x, incx, beta, y, incy);
+  }
+}
+
+// Row-major GEMM via the identity C^T = op(B)^T * op(A)^T: swap the
+// operand order and m/n, keep each operand's transpose flag.
+template <typename T>
+void gemm_dispatch(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
+                   int m, int n, int k, T alpha, const T* a, int lda,
+                   const T* b, int ldb, T beta, T* c, int ldc) {
+  using blob::blas::Transpose;
+  const Transpose top_a = ta == CblasNoTrans ? Transpose::No : Transpose::Yes;
+  const Transpose top_b = tb == CblasNoTrans ? Transpose::No : Transpose::Yes;
+  if (order == CblasColMajor) {
+    cblas_library().do_gemm(top_a, top_b, m, n, k, alpha, a, lda, b, ldb,
+                            beta, c, ldc);
+  } else {
+    cblas_library().do_gemm(top_b, top_a, n, m, k, alpha, b, ldb, a, lda,
+                            beta, c, ldc);
+  }
+}
+
+// Row-major identities for the symmetric/triangular kernels:
+//  * symv: a row-major symmetric matrix equals its column-major self with
+//    the stored triangle flipped.
+//  * trsv/trsm: row-major == column-major of the transpose, so flip the
+//    uplo AND the transpose flag (trsm additionally flips the side and
+//    swaps m/n).
+blob::blas::UpLo to_uplo(CBLAS_UPLO u) {
+  return u == CblasUpper ? blob::blas::UpLo::Upper : blob::blas::UpLo::Lower;
+}
+blob::blas::UpLo flip_uplo(CBLAS_UPLO u) {
+  return u == CblasUpper ? blob::blas::UpLo::Lower : blob::blas::UpLo::Upper;
+}
+blob::blas::Transpose to_trans(CBLAS_TRANSPOSE t) {
+  return t == CblasNoTrans ? blob::blas::Transpose::No
+                           : blob::blas::Transpose::Yes;
+}
+blob::blas::Transpose flip_trans(CBLAS_TRANSPOSE t) {
+  return t == CblasNoTrans ? blob::blas::Transpose::Yes
+                           : blob::blas::Transpose::No;
+}
+blob::blas::Diag to_diag(CBLAS_DIAG d) {
+  return d == CblasUnit ? blob::blas::Diag::Unit
+                        : blob::blas::Diag::NonUnit;
+}
+
+template <typename T>
+void symv_dispatch(CBLAS_ORDER order, CBLAS_UPLO uplo, int n, T alpha,
+                   const T* a, int lda, const T* x, int incx, T beta, T* y,
+                   int incy) {
+  const auto u = order == CblasColMajor ? to_uplo(uplo) : flip_uplo(uplo);
+  blob::blas::symv(u, n, alpha, a, lda, x, incx, beta, y, incy,
+                   cblas_library().pool(), cblas_library().max_threads());
+}
+
+template <typename T>
+void trsv_dispatch(CBLAS_ORDER order, CBLAS_UPLO uplo,
+                   CBLAS_TRANSPOSE trans, CBLAS_DIAG diag, int n, const T* a,
+                   int lda, T* x, int incx) {
+  if (order == CblasColMajor) {
+    blob::blas::trsv(to_uplo(uplo), to_trans(trans), to_diag(diag), n, a,
+                     lda, x, incx);
+  } else {
+    blob::blas::trsv(flip_uplo(uplo), flip_trans(trans), to_diag(diag), n, a,
+                     lda, x, incx);
+  }
+}
+
+template <typename T>
+void syrk_dispatch(CBLAS_ORDER order, CBLAS_UPLO uplo,
+                   CBLAS_TRANSPOSE trans, int n, int k, T alpha, const T* a,
+                   int lda, T beta, T* c, int ldc) {
+  if (order == CblasColMajor) {
+    blob::blas::syrk(to_uplo(uplo), to_trans(trans), n, k, alpha, a, lda,
+                     beta, c, ldc, cblas_library().pool(),
+                     cblas_library().max_threads());
+  } else {
+    blob::blas::syrk(flip_uplo(uplo), flip_trans(trans), n, k, alpha, a,
+                     lda, beta, c, ldc, cblas_library().pool(),
+                     cblas_library().max_threads());
+  }
+}
+
+template <typename T>
+void trsm_dispatch(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo,
+                   CBLAS_TRANSPOSE ta, CBLAS_DIAG diag, int m, int n,
+                   T alpha, const T* a, int lda, T* b, int ldb) {
+  if (order == CblasColMajor) {
+    blob::blas::trsm(side == CblasLeft ? blob::blas::Side::Left
+                                       : blob::blas::Side::Right,
+                     to_uplo(uplo), to_trans(ta), to_diag(diag), m, n, alpha,
+                     a, lda, b, ldb, cblas_library().pool(),
+                     cblas_library().max_threads());
+  } else {
+    // Row-major solve == column-major solve of the transposed system:
+    // op(A_rm) X = B  <=>  X^T op'(A_cm) = B^T where A_cm = A_rm^T.
+    // Flipping the side transposes the equation, which together with the
+    // buffer reinterpretation cancels the transpose flip: flip side and
+    // uplo, KEEP the transpose flag, swap m and n.
+    blob::blas::trsm(side == CblasLeft ? blob::blas::Side::Right
+                                       : blob::blas::Side::Left,
+                     flip_uplo(uplo), to_trans(ta), to_diag(diag), n, m,
+                     alpha, a, lda, b, ldb, cblas_library().pool(),
+                     cblas_library().max_threads());
+  }
+}
+
+}  // namespace
+
+
+extern "C" {
+
+// ----------------------------------------------------------- Level 1
+
+float cblas_sdot(int n, const float* x, int incx, const float* y, int incy) {
+  return blob::blas::dot(n, x, incx, y, incy);
+}
+double cblas_ddot(int n, const double* x, int incx, const double* y,
+                  int incy) {
+  return blob::blas::dot(n, x, incx, y, incy);
+}
+void cblas_saxpy(int n, float alpha, const float* x, int incx, float* y,
+                 int incy) {
+  blob::blas::axpy(n, alpha, x, incx, y, incy);
+}
+void cblas_daxpy(int n, double alpha, const double* x, int incx, double* y,
+                 int incy) {
+  blob::blas::axpy(n, alpha, x, incx, y, incy);
+}
+void cblas_sscal(int n, float alpha, float* x, int incx) {
+  blob::blas::scal(n, alpha, x, incx);
+}
+void cblas_dscal(int n, double alpha, double* x, int incx) {
+  blob::blas::scal(n, alpha, x, incx);
+}
+float cblas_snrm2(int n, const float* x, int incx) {
+  return blob::blas::nrm2(n, x, incx);
+}
+double cblas_dnrm2(int n, const double* x, int incx) {
+  return blob::blas::nrm2(n, x, incx);
+}
+float cblas_sasum(int n, const float* x, int incx) {
+  return blob::blas::asum(n, x, incx);
+}
+double cblas_dasum(int n, const double* x, int incx) {
+  return blob::blas::asum(n, x, incx);
+}
+std::size_t cblas_isamax(int n, const float* x, int incx) {
+  const int i = blob::blas::iamax(n, x, incx);
+  return i < 0 ? 0 : static_cast<std::size_t>(i);
+}
+std::size_t cblas_idamax(int n, const double* x, int incx) {
+  const int i = blob::blas::iamax(n, x, incx);
+  return i < 0 ? 0 : static_cast<std::size_t>(i);
+}
+void cblas_scopy(int n, const float* x, int incx, float* y, int incy) {
+  blob::blas::copy(n, x, incx, y, incy);
+}
+void cblas_dcopy(int n, const double* x, int incx, double* y, int incy) {
+  blob::blas::copy(n, x, incx, y, incy);
+}
+void cblas_sswap(int n, float* x, int incx, float* y, int incy) {
+  blob::blas::swap(n, x, incx, y, incy);
+}
+void cblas_dswap(int n, double* x, int incx, double* y, int incy) {
+  blob::blas::swap(n, x, incx, y, incy);
+}
+
+void cblas_srot(int n, float* x, int incx, float* y, int incy, float c,
+                float s) {
+  blob::blas::rot(n, x, incx, y, incy, c, s);
+}
+void cblas_drot(int n, double* x, int incx, double* y, int incy, double c,
+                double s) {
+  blob::blas::rot(n, x, incx, y, incy, c, s);
+}
+void cblas_srotg(float* a, float* b, float* c, float* s) {
+  blob::blas::rotg(*a, *b, *c, *s);
+}
+void cblas_drotg(double* a, double* b, double* c, double* s) {
+  blob::blas::rotg(*a, *b, *c, *s);
+}
+
+// ----------------------------------------------------------- Level 2
+
+void cblas_sgemv(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
+                 float alpha, const float* a, int lda, const float* x,
+                 int incx, float beta, float* y, int incy) {
+  gemv_dispatch(order, trans, m, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+void cblas_dgemv(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
+                 double alpha, const double* a, int lda, const double* x,
+                 int incx, double beta, double* y, int incy) {
+  gemv_dispatch(order, trans, m, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+
+void cblas_sger(CBLAS_ORDER order, int m, int n, float alpha, const float* x,
+                int incx, const float* y, int incy, float* a, int lda) {
+  if (order == CblasColMajor) {
+    blob::blas::ger(m, n, alpha, x, incx, y, incy, a, lda,
+                    cblas_library().pool(), cblas_library().max_threads());
+  } else {
+    blob::blas::ger(n, m, alpha, y, incy, x, incx, a, lda,
+                    cblas_library().pool(), cblas_library().max_threads());
+  }
+}
+void cblas_dger(CBLAS_ORDER order, int m, int n, double alpha,
+                const double* x, int incx, const double* y, int incy,
+                double* a, int lda) {
+  if (order == CblasColMajor) {
+    blob::blas::ger(m, n, alpha, x, incx, y, incy, a, lda,
+                    cblas_library().pool(), cblas_library().max_threads());
+  } else {
+    blob::blas::ger(n, m, alpha, y, incy, x, incx, a, lda,
+                    cblas_library().pool(), cblas_library().max_threads());
+  }
+}
+
+void cblas_ssymv(CBLAS_ORDER order, CBLAS_UPLO uplo, int n, float alpha,
+                 const float* a, int lda, const float* x, int incx,
+                 float beta, float* y, int incy) {
+  symv_dispatch(order, uplo, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+void cblas_dsymv(CBLAS_ORDER order, CBLAS_UPLO uplo, int n, double alpha,
+                 const double* a, int lda, const double* x, int incx,
+                 double beta, double* y, int incy) {
+  symv_dispatch(order, uplo, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+void cblas_strsv(CBLAS_ORDER order, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 CBLAS_DIAG diag, int n, const float* a, int lda, float* x,
+                 int incx) {
+  trsv_dispatch(order, uplo, trans, diag, n, a, lda, x, incx);
+}
+void cblas_dtrsv(CBLAS_ORDER order, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 CBLAS_DIAG diag, int n, const double* a, int lda, double* x,
+                 int incx) {
+  trsv_dispatch(order, uplo, trans, diag, n, a, lda, x, incx);
+}
+
+// ----------------------------------------------------------- Level 3
+
+void cblas_ssyrk(CBLAS_ORDER order, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 int n, int k, float alpha, const float* a, int lda,
+                 float beta, float* c, int ldc) {
+  syrk_dispatch(order, uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+}
+void cblas_dsyrk(CBLAS_ORDER order, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 int n, int k, double alpha, const double* a, int lda,
+                 double beta, double* c, int ldc) {
+  syrk_dispatch(order, uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+}
+void cblas_strsm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo,
+                 CBLAS_TRANSPOSE ta, CBLAS_DIAG diag, int m, int n,
+                 float alpha, const float* a, int lda, float* b, int ldb) {
+  trsm_dispatch(order, side, uplo, ta, diag, m, n, alpha, a, lda, b, ldb);
+}
+void cblas_dtrsm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo,
+                 CBLAS_TRANSPOSE ta, CBLAS_DIAG diag, int m, int n,
+                 double alpha, const double* a, int lda, double* b, int ldb) {
+  trsm_dispatch(order, side, uplo, ta, diag, m, n, alpha, a, lda, b, ldb);
+}
+
+void cblas_sgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
+                 int m, int n, int k, float alpha, const float* a, int lda,
+                 const float* b, int ldb, float beta, float* c, int ldc) {
+  gemm_dispatch(order, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+void cblas_dgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
+                 int m, int n, int k, double alpha, const double* a, int lda,
+                 const double* b, int ldb, double beta, double* c, int ldc) {
+  gemm_dispatch(order, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+}  // extern "C"

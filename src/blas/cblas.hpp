@@ -1,0 +1,116 @@
+#pragma once
+// CBLAS-compatible C interface.
+//
+// GPU-BLOB implements every CPU library "with the common Cblas
+// interface" (§III-B1); this header provides that interface over our
+// kernels so existing CBLAS call sites can link against this library
+// unchanged. Only the column-major subset GPU-BLOB exercises plus the
+// row-major wrappers is provided; the enums mirror netlib's values.
+//
+// The global library instance used by these entry points defaults to the
+// generic personality on all hardware threads and can be replaced with
+// blob_cblas_set_library().
+
+#include <cstddef>
+
+#include "blas/library.hpp"
+
+extern "C" {
+
+enum CBLAS_ORDER { CblasRowMajor = 101, CblasColMajor = 102 };
+enum CBLAS_TRANSPOSE {
+  CblasNoTrans = 111,
+  CblasTrans = 112,
+  CblasConjTrans = 113
+};
+enum CBLAS_UPLO { CblasUpper = 121, CblasLower = 122 };
+enum CBLAS_DIAG { CblasNonUnit = 131, CblasUnit = 132 };
+enum CBLAS_SIDE { CblasLeft = 141, CblasRight = 142 };
+
+// Level 1.
+float cblas_sdot(int n, const float* x, int incx, const float* y, int incy);
+double cblas_ddot(int n, const double* x, int incx, const double* y,
+                  int incy);
+void cblas_saxpy(int n, float alpha, const float* x, int incx, float* y,
+                 int incy);
+void cblas_daxpy(int n, double alpha, const double* x, int incx, double* y,
+                 int incy);
+void cblas_sscal(int n, float alpha, float* x, int incx);
+void cblas_dscal(int n, double alpha, double* x, int incx);
+float cblas_snrm2(int n, const float* x, int incx);
+double cblas_dnrm2(int n, const double* x, int incx);
+float cblas_sasum(int n, const float* x, int incx);
+double cblas_dasum(int n, const double* x, int incx);
+std::size_t cblas_isamax(int n, const float* x, int incx);
+std::size_t cblas_idamax(int n, const double* x, int incx);
+void cblas_scopy(int n, const float* x, int incx, float* y, int incy);
+void cblas_dcopy(int n, const double* x, int incx, double* y, int incy);
+void cblas_sswap(int n, float* x, int incx, float* y, int incy);
+void cblas_dswap(int n, double* x, int incx, double* y, int incy);
+void cblas_srot(int n, float* x, int incx, float* y, int incy, float c,
+                float s);
+void cblas_drot(int n, double* x, int incx, double* y, int incy, double c,
+                double s);
+void cblas_srotg(float* a, float* b, float* c, float* s);
+void cblas_drotg(double* a, double* b, double* c, double* s);
+
+// Level 2.
+void cblas_sgemv(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
+                 float alpha, const float* a, int lda, const float* x,
+                 int incx, float beta, float* y, int incy);
+void cblas_dgemv(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
+                 double alpha, const double* a, int lda, const double* x,
+                 int incx, double beta, double* y, int incy);
+void cblas_sger(CBLAS_ORDER order, int m, int n, float alpha, const float* x,
+                int incx, const float* y, int incy, float* a, int lda);
+void cblas_dger(CBLAS_ORDER order, int m, int n, double alpha,
+                const double* x, int incx, const double* y, int incy,
+                double* a, int lda);
+
+void cblas_ssymv(CBLAS_ORDER order, CBLAS_UPLO uplo, int n, float alpha,
+                 const float* a, int lda, const float* x, int incx,
+                 float beta, float* y, int incy);
+void cblas_dsymv(CBLAS_ORDER order, CBLAS_UPLO uplo, int n, double alpha,
+                 const double* a, int lda, const double* x, int incx,
+                 double beta, double* y, int incy);
+void cblas_strsv(CBLAS_ORDER order, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 CBLAS_DIAG diag, int n, const float* a, int lda, float* x,
+                 int incx);
+void cblas_dtrsv(CBLAS_ORDER order, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 CBLAS_DIAG diag, int n, const double* a, int lda, double* x,
+                 int incx);
+
+// Level 3.
+void cblas_ssyrk(CBLAS_ORDER order, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 int n, int k, float alpha, const float* a, int lda,
+                 float beta, float* c, int ldc);
+void cblas_dsyrk(CBLAS_ORDER order, CBLAS_UPLO uplo, CBLAS_TRANSPOSE trans,
+                 int n, int k, double alpha, const double* a, int lda,
+                 double beta, double* c, int ldc);
+void cblas_strsm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo,
+                 CBLAS_TRANSPOSE ta, CBLAS_DIAG diag, int m, int n,
+                 float alpha, const float* a, int lda, float* b, int ldb);
+void cblas_dtrsm(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo,
+                 CBLAS_TRANSPOSE ta, CBLAS_DIAG diag, int m, int n,
+                 double alpha, const double* a, int lda, double* b, int ldb);
+void cblas_sgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
+                 int m, int n, int k, float alpha, const float* a, int lda,
+                 const float* b, int ldb, float beta, float* c, int ldc);
+void cblas_dgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
+                 int m, int n, int k, double alpha, const double* a, int lda,
+                 const double* b, int ldb, double beta, double* c, int ldc);
+
+}  // extern "C"
+
+namespace blob::blas {
+
+/// Replace the library instance behind the cblas_* entry points (e.g. to
+/// switch personalities or cap threads). Not thread-safe with respect to
+/// concurrent cblas calls.
+void cblas_set_library(CpuLibraryPersonality personality,
+                       std::size_t max_threads = 0);
+
+/// The library currently backing the cblas_* entry points.
+const CpuBlasLibrary& cblas_library();
+
+}  // namespace blob::blas

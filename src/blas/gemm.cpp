@@ -1,0 +1,171 @@
+#include "blas/gemm.hpp"
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+#include "blas/microkernel.hpp"
+#include "blas/microkernel_avx2.hpp"
+#include "blas/pack.hpp"
+
+namespace blob::blas {
+
+namespace {
+
+/// Per-precision register blocking. 8x8 f32 / 8x4 f64 accumulators fit in
+/// AVX2's 16 vector registers with room for the A broadcast and B loads.
+template <typename T>
+struct RegisterBlocking;
+
+template <>
+struct RegisterBlocking<float> {
+  static constexpr int MR = 8;
+  static constexpr int NR = 8;
+};
+
+template <>
+struct RegisterBlocking<double> {
+  static constexpr int MR = 8;
+  static constexpr int NR = 4;
+};
+
+/// Scale C[0:m, 0:n] by beta (with the beta == 0 write-only fast path the
+/// paper verifies vendor libraries implement, Table I).
+template <typename T>
+void scale_c(int m, int n, T beta, T* c, int ldc) {
+  if (beta == T(1)) return;
+  for (int j = 0; j < n; ++j) {
+    T* col = c + static_cast<std::size_t>(j) * ldc;
+    if (beta == T(0)) {
+      std::fill(col, col + m, T(0));
+    } else {
+      for (int i = 0; i < m; ++i) col[i] *= beta;
+    }
+  }
+}
+
+/// Serial blocked GEMM over a C sub-view. C must already be beta-scaled;
+/// this routine only accumulates alpha * op(A) * op(B).
+template <typename T>
+void gemm_accumulate(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
+                     const T* a, int lda, const T* b, int ldb, T* c, int ldc,
+                     const GemmBlocking& blocking) {
+  constexpr int MR = RegisterBlocking<T>::MR;
+  constexpr int NR = RegisterBlocking<T>::NR;
+  const int mc = std::max(MR, blocking.mc / MR * MR);
+  const int kcb = std::max(1, blocking.kc);
+  const int ncb = std::max(NR, blocking.nc / NR * NR);
+
+  std::vector<T> packed_a(static_cast<std::size_t>(mc) * kcb + MR * 2);
+  std::vector<T> packed_b(static_cast<std::size_t>(kcb) * ncb + NR * 2);
+
+  for (int jc = 0; jc < n; jc += ncb) {
+    const int nc = std::min(ncb, n - jc);
+    for (int pc = 0; pc < k; pc += kcb) {
+      const int kc = std::min(kcb, k - pc);
+      detail::pack_b<T, NR>(tb, b, ldb, pc, jc, kc, nc, packed_b.data());
+      for (int ic = 0; ic < m; ic += mc) {
+        const int mcur = std::min(mc, m - ic);
+        detail::pack_a<T, MR>(ta, a, lda, ic, pc, mcur, kc, packed_a.data());
+        for (int jr = 0; jr < nc; jr += NR) {
+          const int nr = std::min(NR, nc - jr);
+          const T* b_panel =
+              packed_b.data() +
+              static_cast<std::size_t>(jr / NR) * (kc * NR);
+          for (int ir = 0; ir < mcur; ir += MR) {
+            const int mr = std::min(MR, mcur - ir);
+            const T* a_panel =
+                packed_a.data() +
+                static_cast<std::size_t>(ir / MR) * (kc * MR);
+            T* c_tile = c + (ic + ir) +
+                        static_cast<std::size_t>(jc + jr) * ldc;
+#if BLOB_HAVE_AVX2_MICROKERNEL
+            // Full tiles take the hand-vectorised path; edges fall back
+            // to the generic kernel.
+            if (mr == MR && nr == NR) {
+              if constexpr (std::is_same_v<T, float>) {
+                detail::micro_kernel_f32_8x8_avx2(kc, alpha, a_panel,
+                                                  b_panel, c_tile, ldc,
+                                                  /*accumulate=*/true);
+                continue;
+              } else if constexpr (std::is_same_v<T, double>) {
+                detail::micro_kernel_f64_8x4_avx2(kc, alpha, a_panel,
+                                                  b_panel, c_tile, ldc,
+                                                  /*accumulate=*/true);
+                continue;
+              }
+            }
+#endif
+            detail::micro_kernel<T, MR, NR>(kc, alpha, a_panel, b_panel,
+                                            c_tile, ldc, mr, nr,
+                                            /*accumulate=*/true);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemm_serial(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
+                 const T* a, int lda, const T* b, int ldb, T beta, T* c,
+                 int ldc, const GemmBlocking& blocking) {
+  check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+  scale_c(m, n, beta, c, ldc);
+  if (alpha == T(0) || k == 0) return;
+  gemm_accumulate(ta, tb, m, n, k, alpha, a, lda, b, ldb, c, ldc, blocking);
+}
+
+template <typename T>
+void gemm(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
+          const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc,
+          parallel::ThreadPool* pool, std::size_t num_threads,
+          const GemmBlocking& blocking) {
+  check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+
+  const std::size_t threads =
+      pool == nullptr ? 1 : std::min(num_threads, pool->size());
+  // Each worker needs a worthwhile N slice; tiny problems run serial.
+  constexpr int kMinColsPerThread = 8;
+  if (threads <= 1 || n < kMinColsPerThread * 2) {
+    gemm_serial(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+                blocking);
+    return;
+  }
+
+  pool->parallel_for(
+      0, static_cast<std::size_t>(n), kMinColsPerThread,
+      [&](std::size_t j_begin, std::size_t j_end, std::size_t /*worker*/) {
+        const int jb = static_cast<int>(j_begin);
+        const int nloc = static_cast<int>(j_end - j_begin);
+        // op(B) column slice: for NoTrans skip columns; for Trans the
+        // logical columns of op(B) are rows of B.
+        const T* b_slice =
+            tb == Transpose::No ? b + static_cast<std::size_t>(jb) * ldb
+                                : b + jb;
+        T* c_slice = c + static_cast<std::size_t>(jb) * ldc;
+        gemm_serial(ta, tb, m, nloc, k, alpha, a, lda, b_slice, ldb, beta,
+                    c_slice, ldc, blocking);
+      });
+}
+
+template void gemm_serial<float>(Transpose, Transpose, int, int, int, float,
+                                 const float*, int, const float*, int, float,
+                                 float*, int, const GemmBlocking&);
+template void gemm_serial<double>(Transpose, Transpose, int, int, int, double,
+                                  const double*, int, const double*, int,
+                                  double, double*, int, const GemmBlocking&);
+template void gemm<float>(Transpose, Transpose, int, int, int, float,
+                          const float*, int, const float*, int, float, float*,
+                          int, parallel::ThreadPool*, std::size_t,
+                          const GemmBlocking&);
+template void gemm<double>(Transpose, Transpose, int, int, int, double,
+                           const double*, int, const double*, int, double,
+                           double*, int, parallel::ThreadPool*, std::size_t,
+                           const GemmBlocking&);
+
+}  // namespace blob::blas

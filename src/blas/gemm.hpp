@@ -1,0 +1,56 @@
+#pragma once
+// Optimized GEMM: packed, cache-blocked (BLIS-style MC/KC/NC), threaded.
+//
+// C = alpha * op(A) * op(B) + beta * C, column major.
+//
+// Threading model: the N dimension is split into contiguous slices, one
+// per thread, and each thread runs the serial blocked kernel on its slice
+// (individual BLAS calls are not split across sockets in the paper's
+// methodology either, §IV). The thread count is supplied by the caller —
+// the library personality decides it (all-threads, single-thread, or
+// scaled with problem size, see parallel/policy.hpp).
+
+#include "blas/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::blas {
+
+/// Cache blocking parameters. Defaults target ~32 KiB L1 / ~1 MiB L2.
+struct GemmBlocking {
+  int mc = 128;  ///< rows of the packed A block
+  int kc = 256;  ///< depth of the packed panels
+  int nc = 2048; ///< columns of the packed B panel
+};
+
+/// Serial blocked GEMM on the calling thread.
+template <typename T>
+void gemm_serial(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
+                 const T* a, int lda, const T* b, int ldb, T beta, T* c,
+                 int ldc, const GemmBlocking& blocking = {});
+
+/// Threaded GEMM; runs on `pool` with at most `num_threads` workers
+/// (clamped to pool.size()). num_threads <= 1 or a null pool runs serial.
+template <typename T>
+void gemm(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
+          const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc,
+          parallel::ThreadPool* pool = nullptr, std::size_t num_threads = 1,
+          const GemmBlocking& blocking = {});
+
+extern template void gemm_serial<float>(Transpose, Transpose, int, int, int,
+                                        float, const float*, int,
+                                        const float*, int, float, float*, int,
+                                        const GemmBlocking&);
+extern template void gemm_serial<double>(Transpose, Transpose, int, int, int,
+                                         double, const double*, int,
+                                         const double*, int, double, double*,
+                                         int, const GemmBlocking&);
+extern template void gemm<float>(Transpose, Transpose, int, int, int, float,
+                                 const float*, int, const float*, int, float,
+                                 float*, int, parallel::ThreadPool*,
+                                 std::size_t, const GemmBlocking&);
+extern template void gemm<double>(Transpose, Transpose, int, int, int, double,
+                                  const double*, int, const double*, int,
+                                  double, double*, int, parallel::ThreadPool*,
+                                  std::size_t, const GemmBlocking&);
+
+}  // namespace blob::blas

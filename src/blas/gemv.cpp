@@ -1,0 +1,120 @@
+#include "blas/gemv.hpp"
+
+#include <algorithm>
+
+#include "blas/ref_blas.hpp"
+
+namespace blob::blas {
+
+namespace {
+
+/// NoTrans row-slab kernel: y[r0:r1] = beta*y[r0:r1] + alpha*A[r0:r1,:]*x.
+/// Unit increments only. Processes columns in groups of four so each pass
+/// over the y slab does four fused updates (better load/store balance).
+template <typename T>
+void gemv_rows_unit(int r0, int r1, int n, T alpha, const T* a, int lda,
+                    const T* x, T beta, T* y) {
+  for (int i = r0; i < r1; ++i) y[i] = beta == T(0) ? T(0) : beta * y[i];
+  if (alpha == T(0)) return;
+
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const T x0 = alpha * x[j];
+    const T x1 = alpha * x[j + 1];
+    const T x2 = alpha * x[j + 2];
+    const T x3 = alpha * x[j + 3];
+    const T* c0 = a + static_cast<std::size_t>(j) * lda;
+    const T* c1 = c0 + lda;
+    const T* c2 = c1 + lda;
+    const T* c3 = c2 + lda;
+    for (int i = r0; i < r1; ++i) {
+      y[i] += x0 * c0[i] + x1 * c1[i] + x2 * c2[i] + x3 * c3[i];
+    }
+  }
+  for (; j < n; ++j) {
+    const T xj = alpha * x[j];
+    const T* col = a + static_cast<std::size_t>(j) * lda;
+    for (int i = r0; i < r1; ++i) y[i] += xj * col[i];
+  }
+}
+
+/// Trans column-dot kernel: y[j] = beta*y[j] + alpha*dot(A[:,j], x) for
+/// j in [c0, c1). Unit increments only.
+template <typename T>
+void gemv_cols_unit(int c0, int c1, int m, T alpha, const T* a, int lda,
+                    const T* x, T beta, T* y) {
+  for (int j = c0; j < c1; ++j) {
+    const T* col = a + static_cast<std::size_t>(j) * lda;
+    T sum = T(0);
+    for (int i = 0; i < m; ++i) sum += col[i] * x[i];
+    const T prior = beta == T(0) ? T(0) : beta * y[j];
+    y[j] = prior + alpha * sum;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemv_serial(Transpose ta, int m, int n, T alpha, const T* a, int lda,
+                 const T* x, int incx, T beta, T* y, int incy) {
+  check_gemv(ta, m, n, lda, incx, incy);
+  if (incx != 1 || incy != 1) {
+    ref::gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+    return;
+  }
+  if (ta == Transpose::No) {
+    if (m == 0) return;
+    gemv_rows_unit(0, m, n, alpha, a, lda, x, beta, y);
+  } else {
+    if (n == 0) return;
+    gemv_cols_unit(0, n, m, alpha, a, lda, x, beta, y);
+  }
+}
+
+template <typename T>
+void gemv(Transpose ta, int m, int n, T alpha, const T* a, int lda,
+          const T* x, int incx, T beta, T* y, int incy,
+          parallel::ThreadPool* pool, std::size_t num_threads) {
+  check_gemv(ta, m, n, lda, incx, incy);
+  const std::size_t threads =
+      pool == nullptr ? 1 : std::min(num_threads, pool->size());
+  constexpr std::size_t kMinRowsPerThread = 256;
+  const std::size_t out_len =
+      static_cast<std::size_t>(ta == Transpose::No ? m : n);
+
+  if (threads <= 1 || incx != 1 || incy != 1 ||
+      out_len < kMinRowsPerThread * 2) {
+    gemv_serial(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+    return;
+  }
+
+  if (ta == Transpose::No) {
+    pool->parallel_for(0, static_cast<std::size_t>(m), kMinRowsPerThread,
+                       [&](std::size_t r0, std::size_t r1, std::size_t) {
+                         gemv_rows_unit(static_cast<int>(r0),
+                                        static_cast<int>(r1), n, alpha, a,
+                                        lda, x, beta, y);
+                       });
+  } else {
+    pool->parallel_for(0, static_cast<std::size_t>(n), kMinRowsPerThread,
+                       [&](std::size_t c0, std::size_t c1, std::size_t) {
+                         gemv_cols_unit(static_cast<int>(c0),
+                                        static_cast<int>(c1), m, alpha, a,
+                                        lda, x, beta, y);
+                       });
+  }
+}
+
+template void gemv_serial<float>(Transpose, int, int, float, const float*,
+                                 int, const float*, int, float, float*, int);
+template void gemv_serial<double>(Transpose, int, int, double, const double*,
+                                  int, const double*, int, double, double*,
+                                  int);
+template void gemv<float>(Transpose, int, int, float, const float*, int,
+                          const float*, int, float, float*, int,
+                          parallel::ThreadPool*, std::size_t);
+template void gemv<double>(Transpose, int, int, double, const double*, int,
+                           const double*, int, double, double*, int,
+                           parallel::ThreadPool*, std::size_t);
+
+}  // namespace blob::blas

@@ -1,0 +1,41 @@
+#pragma once
+// Optimized GEMV: y = alpha * op(A) * x + beta * y, column major.
+//
+// NoTrans splits the row range across threads (each worker reads a
+// contiguous row slab of every column); Trans splits the output (columns
+// of A) across threads, each computing independent column dots. Whether
+// GEMV is threaded at all is a library-personality decision — the paper
+// traces LUMI's surprisingly low GEMV offload thresholds to AOCL *not*
+// parallelising GEMV (§IV-B, Fig. 6).
+
+#include "blas/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::blas {
+
+/// Serial GEMV with unit or strided increments.
+template <typename T>
+void gemv_serial(Transpose ta, int m, int n, T alpha, const T* a, int lda,
+                 const T* x, int incx, T beta, T* y, int incy);
+
+/// Threaded GEMV. Strided increments fall back to the serial kernel
+/// (GPU-BLOB only exercises incx = incy = 1, paper §III-A).
+template <typename T>
+void gemv(Transpose ta, int m, int n, T alpha, const T* a, int lda,
+          const T* x, int incx, T beta, T* y, int incy,
+          parallel::ThreadPool* pool = nullptr, std::size_t num_threads = 1);
+
+extern template void gemv_serial<float>(Transpose, int, int, float,
+                                        const float*, int, const float*, int,
+                                        float, float*, int);
+extern template void gemv_serial<double>(Transpose, int, int, double,
+                                         const double*, int, const double*,
+                                         int, double, double*, int);
+extern template void gemv<float>(Transpose, int, int, float, const float*,
+                                 int, const float*, int, float, float*, int,
+                                 parallel::ThreadPool*, std::size_t);
+extern template void gemv<double>(Transpose, int, int, double, const double*,
+                                  int, const double*, int, double, double*,
+                                  int, parallel::ThreadPool*, std::size_t);
+
+}  // namespace blob::blas

@@ -1,0 +1,124 @@
+#pragma once
+// Software half-precision storage types: IEEE-754 binary16 and bfloat16.
+//
+// The paper's future work calls for FP16/BF16 kernel support and notes
+// that oneMKL's MKL_F16 "is defined internally as an unsigned short" with
+// no conversion helpers (§V). We provide exactly those helpers: 16-bit
+// storage types with explicit float conversions (round-to-nearest-even on
+// the way down) so HGEMM can run with float accumulation on any host.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace blob::blas {
+
+namespace detail {
+
+constexpr std::uint32_t f32_bits(float f) {
+  return std::bit_cast<std::uint32_t>(f);
+}
+constexpr float bits_f32(std::uint32_t u) { return std::bit_cast<float>(u); }
+
+/// Convert float -> IEEE binary16 bits, round-to-nearest-even, with
+/// correct handling of subnormals, infinities, and NaN.
+constexpr std::uint16_t f32_to_f16_bits(float f) {
+  const std::uint32_t bits = f32_bits(f);
+  const std::uint32_t sign = (bits >> 16) & 0x8000u;
+  const std::uint32_t abs = bits & 0x7fffffffu;
+
+  if (abs >= 0x7f800000u) {  // inf or NaN
+    const std::uint32_t mantissa = abs & 0x007fffffu;
+    // Preserve NaN-ness; quieten the payload into the top mantissa bit.
+    return static_cast<std::uint16_t>(sign | 0x7c00u |
+                                      (mantissa != 0 ? 0x0200u : 0u));
+  }
+  if (abs >= 0x477ff000u) {  // rounds to +-inf in half precision
+    return static_cast<std::uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x38800000u) {  // subnormal or zero in half precision
+    if (abs < 0x33000000u) {  // rounds to +-0
+      return static_cast<std::uint16_t>(sign);
+    }
+    // Subnormal: the result is mantissa24 >> shift where shift in [14, 24],
+    // rounded to nearest-even from the discarded low bits.
+    const int shift = 126 - static_cast<int>(abs >> 23);
+    const std::uint32_t mantissa = (abs & 0x007fffffu) | 0x00800000u;
+    const std::uint32_t shifted = mantissa >> shift;
+    const std::uint32_t rem = mantissa & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t out = shifted;
+    if (rem > halfway || (rem == halfway && (shifted & 1u) != 0)) ++out;
+    return static_cast<std::uint16_t>(sign | out);
+  }
+  // Normal range: rebias exponent from 127 to 15 and round 13 bits away.
+  std::uint32_t rounded = abs + 0x00000fffu + ((abs >> 13) & 1u);
+  return static_cast<std::uint16_t>(sign | ((rounded - 0x38000000u) >> 13));
+}
+
+constexpr float f16_bits_to_f32(std::uint16_t h) {
+  const std::uint32_t sign = static_cast<std::uint32_t>(h & 0x8000u) << 16;
+  const std::uint32_t exponent = (h >> 10) & 0x1fu;
+  const std::uint32_t mantissa = h & 0x3ffu;
+  if (exponent == 0x1fu) {  // inf/NaN
+    return bits_f32(sign | 0x7f800000u | (mantissa << 13));
+  }
+  if (exponent == 0) {
+    if (mantissa == 0) return bits_f32(sign);  // +-0
+    // Subnormal: normalise.
+    int e = -1;
+    std::uint32_t m = mantissa;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x400u) == 0);
+    return bits_f32(sign | ((127 - 15 - e) << 23) | ((m & 0x3ffu) << 13));
+  }
+  return bits_f32(sign | ((exponent + 127 - 15) << 23) | (mantissa << 13));
+}
+
+}  // namespace detail
+
+/// IEEE-754 binary16 storage type (1 sign, 5 exponent, 10 mantissa bits).
+struct f16 {
+  std::uint16_t bits = 0;
+
+  constexpr f16() = default;
+  explicit constexpr f16(float f) : bits(detail::f32_to_f16_bits(f)) {}
+  explicit constexpr operator float() const {
+    return detail::f16_bits_to_f32(bits);
+  }
+  static constexpr f16 from_bits(std::uint16_t b) {
+    f16 h;
+    h.bits = b;
+    return h;
+  }
+};
+
+/// bfloat16 storage type (1 sign, 8 exponent, 7 mantissa bits): the top
+/// half of a binary32 with round-to-nearest-even truncation.
+struct bf16 {
+  std::uint16_t bits = 0;
+
+  constexpr bf16() = default;
+  explicit constexpr bf16(float f) {
+    std::uint32_t u = detail::f32_bits(f);
+    if ((u & 0x7f800000u) == 0x7f800000u && (u & 0x007fffffu) != 0) {
+      // NaN: keep it a NaN after truncation.
+      bits = static_cast<std::uint16_t>((u >> 16) | 0x0040u);
+      return;
+    }
+    const std::uint32_t rounding = 0x7fffu + ((u >> 16) & 1u);
+    bits = static_cast<std::uint16_t>((u + rounding) >> 16);
+  }
+  explicit constexpr operator float() const {
+    return detail::bits_f32(static_cast<std::uint32_t>(bits) << 16);
+  }
+  static constexpr bf16 from_bits(std::uint16_t b) {
+    bf16 h;
+    h.bits = b;
+    return h;
+  }
+};
+
+}  // namespace blob::blas

@@ -1,0 +1,89 @@
+#include "blas/half_gemm.hpp"
+
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/gemv.hpp"
+
+namespace blob::blas {
+
+namespace {
+
+/// Widen a column-major 16-bit matrix view (after op) into a dense float
+/// buffer with leading dimension = rows.
+template <typename Half>
+std::vector<float> widen(Transpose t, const Half* a, int lda, int rows,
+                         int cols) {
+  std::vector<float> out(static_cast<std::size_t>(rows) * cols);
+  for (int j = 0; j < cols; ++j) {
+    for (int i = 0; i < rows; ++i) {
+      const Half h = t == Transpose::No
+                         ? a[i + static_cast<std::size_t>(j) * lda]
+                         : a[j + static_cast<std::size_t>(i) * lda];
+      out[i + static_cast<std::size_t>(j) * rows] = static_cast<float>(h);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+template <typename Half>
+void hgemm(Transpose ta, Transpose tb, int m, int n, int k, float alpha,
+           const Half* a, int lda, const Half* b, int ldb, float beta,
+           Half* c, int ldc, parallel::ThreadPool* pool,
+           std::size_t num_threads) {
+  check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+
+  // Widen-in, compute in f32 with the packed engine, round-once-out.
+  std::vector<float> fa = widen(ta, a, lda, m, k);
+  std::vector<float> fb = widen(tb, b, ldb, k, n);
+  std::vector<float> fc(static_cast<std::size_t>(m) * n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      fc[i + static_cast<std::size_t>(j) * m] =
+          static_cast<float>(c[i + static_cast<std::size_t>(j) * ldc]);
+    }
+  }
+  gemm(Transpose::No, Transpose::No, m, n, k, alpha,
+       fa.data(), std::max(1, m), fb.data(), std::max(1, k), beta, fc.data(),
+       std::max(1, m), pool, num_threads);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      c[i + static_cast<std::size_t>(j) * ldc] =
+          Half(fc[i + static_cast<std::size_t>(j) * m]);
+    }
+  }
+}
+
+template <typename Half>
+void hgemv(Transpose ta, int m, int n, float alpha, const Half* a, int lda,
+           const Half* x, float beta, Half* y) {
+  check_gemv(ta, m, n, lda, 1, 1);
+  const int xlen = ta == Transpose::No ? n : m;
+  const int ylen = ta == Transpose::No ? m : n;
+  if (ylen == 0) return;
+
+  std::vector<float> fa = widen(Transpose::No, a, lda, m, n);
+  std::vector<float> fx(static_cast<std::size_t>(xlen));
+  std::vector<float> fy(static_cast<std::size_t>(ylen));
+  for (int i = 0; i < xlen; ++i) fx[i] = static_cast<float>(x[i]);
+  for (int i = 0; i < ylen; ++i) fy[i] = static_cast<float>(y[i]);
+  gemv_serial(ta, m, n, alpha, fa.data(), std::max(1, m), fx.data(), 1, beta,
+              fy.data(), 1);
+  for (int i = 0; i < ylen; ++i) y[i] = Half(fy[i]);
+}
+
+template void hgemm<f16>(Transpose, Transpose, int, int, int, float,
+                         const f16*, int, const f16*, int, float, f16*, int,
+                         parallel::ThreadPool*, std::size_t);
+template void hgemm<bf16>(Transpose, Transpose, int, int, int, float,
+                          const bf16*, int, const bf16*, int, float, bf16*,
+                          int, parallel::ThreadPool*, std::size_t);
+template void hgemv<f16>(Transpose, int, int, float, const f16*, int,
+                         const f16*, float, f16*);
+template void hgemv<bf16>(Transpose, int, int, float, const bf16*, int,
+                          const bf16*, float, bf16*);
+
+}  // namespace blob::blas

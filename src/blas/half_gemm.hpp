@@ -1,0 +1,41 @@
+#pragma once
+// Half-precision GEMM/GEMV (HGEMM / HGEMV) with float accumulation.
+//
+// Implements the paper's future-work item (§V): FP16 and BF16 kernels
+// with the conversion helpers oneMKL's MKL_F16 lacks. Inputs and outputs
+// are 16-bit storage types; all arithmetic accumulates in binary32, the
+// same behaviour as tensor-core HMMA with FP32 accumulate.
+
+#include "blas/half.hpp"
+#include "blas/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::blas {
+
+/// C = alpha * op(A) * op(B) + beta * C with f16/bf16 storage, f32 math.
+/// alpha/beta are float to avoid double rounding of the scalars.
+template <typename Half>
+void hgemm(Transpose ta, Transpose tb, int m, int n, int k, float alpha,
+           const Half* a, int lda, const Half* b, int ldb, float beta,
+           Half* c, int ldc, parallel::ThreadPool* pool = nullptr,
+           std::size_t num_threads = 1);
+
+/// y = alpha * op(A) * x + beta * y with f16/bf16 storage, f32 math.
+template <typename Half>
+void hgemv(Transpose ta, int m, int n, float alpha, const Half* a, int lda,
+           const Half* x, float beta, Half* y);
+
+extern template void hgemm<f16>(Transpose, Transpose, int, int, int, float,
+                                const f16*, int, const f16*, int, float,
+                                f16*, int, parallel::ThreadPool*,
+                                std::size_t);
+extern template void hgemm<bf16>(Transpose, Transpose, int, int, int, float,
+                                 const bf16*, int, const bf16*, int, float,
+                                 bf16*, int, parallel::ThreadPool*,
+                                 std::size_t);
+extern template void hgemv<f16>(Transpose, int, int, float, const f16*, int,
+                                const f16*, float, f16*);
+extern template void hgemv<bf16>(Transpose, int, int, float, const bf16*,
+                                 int, const bf16*, float, bf16*);
+
+}  // namespace blob::blas

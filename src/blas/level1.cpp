@@ -1,0 +1,142 @@
+#include "blas/level1.hpp"
+
+#include <cmath>
+
+#include <cstring>
+
+#include "blas/ref_blas.hpp"
+
+namespace blob::blas {
+
+template <typename T>
+void axpy(int n, T alpha, const T* x, int incx, T* y, int incy) {
+  if (n <= 0 || alpha == T(0)) return;
+  if (incx == 1 && incy == 1) {
+    for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+  } else {
+    ref::axpy(n, alpha, x, incx, y, incy);
+  }
+}
+
+template <typename T>
+T dot(int n, const T* x, int incx, const T* y, int incy) {
+  if (n <= 0) return T(0);
+  if (incx == 1 && incy == 1) {
+    // Four partial accumulators break the serial dependence chain and let
+    // the compiler use independent vector accumulators.
+    T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
+    int i = 0;
+    for (; i + 4 <= n; i += 4) {
+      s0 += x[i] * y[i];
+      s1 += x[i + 1] * y[i + 1];
+      s2 += x[i + 2] * y[i + 2];
+      s3 += x[i + 3] * y[i + 3];
+    }
+    for (; i < n; ++i) s0 += x[i] * y[i];
+    return (s0 + s1) + (s2 + s3);
+  }
+  return ref::dot(n, x, incx, y, incy);
+}
+
+template <typename T>
+void scal(int n, T alpha, T* x, int incx) {
+  if (n <= 0 || incx <= 0) return;
+  if (incx == 1) {
+    for (int i = 0; i < n; ++i) x[i] *= alpha;
+  } else {
+    ref::scal(n, alpha, x, incx);
+  }
+}
+
+template <typename T>
+T nrm2(int n, const T* x, int incx) {
+  return ref::nrm2(n, x, incx);
+}
+
+template <typename T>
+T asum(int n, const T* x, int incx) {
+  if (n <= 0 || incx <= 0) return T(0);
+  if (incx == 1) {
+    T sum = T(0);
+    for (int i = 0; i < n; ++i) sum += x[i] < T(0) ? -x[i] : x[i];
+    return sum;
+  }
+  return ref::asum(n, x, incx);
+}
+
+template <typename T>
+int iamax(int n, const T* x, int incx) {
+  return ref::iamax(n, x, incx);
+}
+
+template <typename T>
+void copy(int n, const T* x, int incx, T* y, int incy) {
+  if (n <= 0) return;
+  if (incx == 1 && incy == 1) {
+    std::memcpy(y, x, static_cast<std::size_t>(n) * sizeof(T));
+  } else {
+    ref::copy(n, x, incx, y, incy);
+  }
+}
+
+template <typename T>
+void swap(int n, T* x, int incx, T* y, int incy) {
+  ref::swap(n, x, incx, y, incy);
+}
+
+template <typename T>
+void rot(int n, T* x, int incx, T* y, int incy, T c, T s) {
+  if (n <= 0) return;
+  int ix = incx >= 0 ? 0 : (n - 1) * -incx;
+  int iy = incy >= 0 ? 0 : (n - 1) * -incy;
+  for (int i = 0; i < n; ++i, ix += incx, iy += incy) {
+    const T xi = x[ix];
+    const T yi = y[iy];
+    x[ix] = c * xi + s * yi;
+    y[iy] = c * yi - s * xi;
+  }
+}
+
+template <typename T>
+void rotg(T& a, T& b, T& c, T& s) {
+  // netlib BLAS srotg/drotg with the anti-overflow scaling.
+  const T abs_a = a < T(0) ? -a : a;
+  const T abs_b = b < T(0) ? -b : b;
+  const T roe = abs_a > abs_b ? a : b;
+  const T scale = abs_a + abs_b;
+  if (scale == T(0)) {
+    c = T(1);
+    s = T(0);
+    a = T(0);
+    b = T(0);
+    return;
+  }
+  const T sa = a / scale;
+  const T sb = b / scale;
+  T r = scale * std::sqrt(sa * sa + sb * sb);
+  if (roe < T(0)) r = -r;
+  c = a / r;
+  s = b / r;
+  T z = T(1);
+  if (abs_a > abs_b) z = s;
+  if (abs_b >= abs_a && c != T(0)) z = T(1) / c;
+  a = r;
+  b = z;
+}
+
+#define BLOB_BLAS_L1_INST(T)                                 \
+  template void axpy<T>(int, T, const T*, int, T*, int);     \
+  template T dot<T>(int, const T*, int, const T*, int);      \
+  template void scal<T>(int, T, T*, int);                    \
+  template T nrm2<T>(int, const T*, int);                    \
+  template T asum<T>(int, const T*, int);                    \
+  template int iamax<T>(int, const T*, int);                 \
+  template void copy<T>(int, const T*, int, T*, int);        \
+  template void swap<T>(int, T*, int, T*, int);       \
+  template void rot<T>(int, T*, int, T*, int, T, T);  \
+  template void rotg<T>(T&, T&, T&, T&)
+BLOB_BLAS_L1_INST(float);
+BLOB_BLAS_L1_INST(double);
+#undef BLOB_BLAS_L1_INST
+
+}  // namespace blob::blas

@@ -1,0 +1,60 @@
+#pragma once
+// Optimized Level 1 kernels. For unit strides these compile to clean
+// vectorizable loops; strided cases delegate to the reference kernels.
+
+#include "blas/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::blas {
+
+template <typename T>
+void axpy(int n, T alpha, const T* x, int incx, T* y, int incy);
+
+template <typename T>
+T dot(int n, const T* x, int incx, const T* y, int incy);
+
+template <typename T>
+void scal(int n, T alpha, T* x, int incx);
+
+template <typename T>
+T nrm2(int n, const T* x, int incx);
+
+template <typename T>
+T asum(int n, const T* x, int incx);
+
+template <typename T>
+int iamax(int n, const T* x, int incx);
+
+template <typename T>
+void copy(int n, const T* x, int incx, T* y, int incy);
+
+template <typename T>
+void swap(int n, T* x, int incx, T* y, int incy);
+
+/// Apply a Givens plane rotation: (x_i, y_i) <- (c x_i + s y_i,
+/// -s x_i + c y_i).
+template <typename T>
+void rot(int n, T* x, int incx, T* y, int incy, T c, T s);
+
+/// Generate a Givens rotation annihilating b: on return a holds r,
+/// b holds the reconstruction value z, and (c, s) the rotation
+/// (netlib srotg/drotg semantics).
+template <typename T>
+void rotg(T& a, T& b, T& c, T& s);
+
+#define BLOB_BLAS_L1_EXTERN(T)                                      \
+  extern template void axpy<T>(int, T, const T*, int, T*, int);     \
+  extern template T dot<T>(int, const T*, int, const T*, int);      \
+  extern template void scal<T>(int, T, T*, int);                    \
+  extern template T nrm2<T>(int, const T*, int);                    \
+  extern template T asum<T>(int, const T*, int);                    \
+  extern template int iamax<T>(int, const T*, int);                 \
+  extern template void copy<T>(int, const T*, int, T*, int);        \
+  extern template void swap<T>(int, T*, int, T*, int);       \
+  extern template void rot<T>(int, T*, int, T*, int, T, T);  \
+  extern template void rotg<T>(T&, T&, T&, T&)
+BLOB_BLAS_L1_EXTERN(float);
+BLOB_BLAS_L1_EXTERN(double);
+#undef BLOB_BLAS_L1_EXTERN
+
+}  // namespace blob::blas

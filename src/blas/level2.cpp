@@ -1,0 +1,80 @@
+#include "blas/level2.hpp"
+
+#include <algorithm>
+
+#include "blas/ref_blas.hpp"
+
+namespace blob::blas {
+
+template <typename T>
+void ger(int m, int n, T alpha, const T* x, int incx, const T* y, int incy,
+         T* a, int lda, parallel::ThreadPool* pool, std::size_t num_threads) {
+  if (m <= 0 || n <= 0 || alpha == T(0)) return;
+  const std::size_t threads =
+      pool == nullptr ? 1 : std::min(num_threads, pool->size());
+  if (threads <= 1 || incx != 1 || incy != 1 || n < 16) {
+    ref::ger(m, n, alpha, x, incx, y, incy, a, lda);
+    return;
+  }
+  // Columns of A are independent rank-1 updates: split across workers.
+  pool->parallel_for(0, static_cast<std::size_t>(n), 8,
+                     [&](std::size_t j0, std::size_t j1, std::size_t) {
+                       for (std::size_t j = j0; j < j1; ++j) {
+                         const T t = alpha * y[j];
+                         T* col = a + j * static_cast<std::size_t>(lda);
+                         for (int i = 0; i < m; ++i) col[i] += x[i] * t;
+                       }
+                     });
+}
+
+template <typename T>
+void symv(UpLo uplo, int n, T alpha, const T* a, int lda, const T* x,
+          int incx, T beta, T* y, int incy, parallel::ThreadPool* pool,
+          std::size_t num_threads) {
+  if (n <= 0) return;
+  const std::size_t threads =
+      pool == nullptr ? 1 : std::min(num_threads, pool->size());
+  if (threads <= 1 || incx != 1 || incy != 1 || n < 256) {
+    ref::symv(uplo, n, alpha, a, lda, x, incx, beta, y, incy);
+    return;
+  }
+  // Output rows are independent given the full symmetric read accessor.
+  pool->parallel_for(
+      0, static_cast<std::size_t>(n), 64,
+      [&](std::size_t i0, std::size_t i1, std::size_t) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          T sum = T(0);
+          for (int j = 0; j < n; ++j) {
+            sum += ref::sym_at(uplo, a, lda, static_cast<int>(i), j) * x[j];
+          }
+          const T prior = beta == T(0) ? T(0) : beta * y[i];
+          y[i] = prior + alpha * sum;
+        }
+      });
+}
+
+template <typename T>
+void trmv(UpLo uplo, Transpose ta, Diag diag, int n, const T* a, int lda,
+          T* x, int incx) {
+  ref::trmv(uplo, ta, diag, n, a, lda, x, incx);
+}
+
+template <typename T>
+void trsv(UpLo uplo, Transpose ta, Diag diag, int n, const T* a, int lda,
+          T* x, int incx) {
+  ref::trsv(uplo, ta, diag, n, a, lda, x, incx);
+}
+
+#define BLOB_BLAS_L2_INST(T)                                               \
+  template void ger<T>(int, int, T, const T*, int, const T*, int, T*, int, \
+                       parallel::ThreadPool*, std::size_t);                \
+  template void symv<T>(UpLo, int, T, const T*, int, const T*, int, T, T*, \
+                        int, parallel::ThreadPool*, std::size_t);          \
+  template void trmv<T>(UpLo, Transpose, Diag, int, const T*, int, T*,     \
+                        int);                                              \
+  template void trsv<T>(UpLo, Transpose, Diag, int, const T*, int, T*, int)
+BLOB_BLAS_L2_INST(float);
+BLOB_BLAS_L2_INST(double);
+#undef BLOB_BLAS_L2_INST
+
+}  // namespace blob::blas

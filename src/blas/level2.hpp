@@ -1,0 +1,43 @@
+#pragma once
+// Remaining Level 2 kernels (beyond GEMV): GER, SYMV, TRMV, TRSV.
+// GER and SYMV are threaded; the triangular kernels are inherently
+// sequential in their dependence structure and stay serial.
+
+#include "blas/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::blas {
+
+template <typename T>
+void ger(int m, int n, T alpha, const T* x, int incx, const T* y, int incy,
+         T* a, int lda, parallel::ThreadPool* pool = nullptr,
+         std::size_t num_threads = 1);
+
+template <typename T>
+void symv(UpLo uplo, int n, T alpha, const T* a, int lda, const T* x,
+          int incx, T beta, T* y, int incy,
+          parallel::ThreadPool* pool = nullptr, std::size_t num_threads = 1);
+
+template <typename T>
+void trmv(UpLo uplo, Transpose ta, Diag diag, int n, const T* a, int lda,
+          T* x, int incx);
+
+template <typename T>
+void trsv(UpLo uplo, Transpose ta, Diag diag, int n, const T* a, int lda,
+          T* x, int incx);
+
+#define BLOB_BLAS_L2_EXTERN(T)                                             \
+  extern template void ger<T>(int, int, T, const T*, int, const T*, int,   \
+                              T*, int, parallel::ThreadPool*, std::size_t); \
+  extern template void symv<T>(UpLo, int, T, const T*, int, const T*, int, \
+                               T, T*, int, parallel::ThreadPool*,          \
+                               std::size_t);                               \
+  extern template void trmv<T>(UpLo, Transpose, Diag, int, const T*, int,  \
+                               T*, int);                                   \
+  extern template void trsv<T>(UpLo, Transpose, Diag, int, const T*, int,  \
+                               T*, int)
+BLOB_BLAS_L2_EXTERN(float);
+BLOB_BLAS_L2_EXTERN(double);
+#undef BLOB_BLAS_L2_EXTERN
+
+}  // namespace blob::blas

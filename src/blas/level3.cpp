@@ -1,0 +1,162 @@
+#include "blas/level3.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "blas/ref_blas.hpp"
+
+namespace blob::blas {
+
+template <typename T>
+void symm(Side side, UpLo uplo, int m, int n, T alpha, const T* a, int lda,
+          const T* b, int ldb, T beta, T* c, int ldc,
+          parallel::ThreadPool* pool, std::size_t num_threads) {
+  if (m <= 0 || n <= 0) return;
+  // Densify the symmetric operand once, then use the packed GEMM engine.
+  // Costs one O(d^2) copy to gain the O(d^3) kernel's full throughput.
+  const int d = side == Side::Left ? m : n;
+  std::vector<T> dense(static_cast<std::size_t>(d) * d);
+  for (int j = 0; j < d; ++j) {
+    for (int i = 0; i < d; ++i) {
+      dense[i + static_cast<std::size_t>(j) * d] =
+          ref::sym_at(uplo, a, lda, i, j);
+    }
+  }
+  if (side == Side::Left) {
+    gemm(Transpose::No, Transpose::No, m, n, m, alpha, dense.data(), d, b,
+         ldb, beta, c, ldc, pool, num_threads);
+  } else {
+    gemm(Transpose::No, Transpose::No, m, n, n, alpha, b, ldb, dense.data(),
+         d, beta, c, ldc, pool, num_threads);
+  }
+}
+
+template <typename T>
+void syrk(UpLo uplo, Transpose trans, int n, int k, T alpha, const T* a,
+          int lda, T beta, T* c, int ldc, parallel::ThreadPool* pool,
+          std::size_t num_threads) {
+  if (n <= 0) return;
+  if (n < 64 || k <= 0) {
+    ref::syrk(uplo, trans, n, k, alpha, a, lda, beta, c, ldc);
+    return;
+  }
+  // Compute the full product with GEMM into a scratch buffer, then fold
+  // the requested triangle into C. Trades n^2 scratch for the fast kernel.
+  std::vector<T> full(static_cast<std::size_t>(n) * n, T(0));
+  const Transpose tb =
+      trans == Transpose::No ? Transpose::Yes : Transpose::No;
+  gemm(trans, tb, n, n, k, alpha, a, lda, a, lda, T(0), full.data(), n, pool,
+       num_threads);
+  for (int j = 0; j < n; ++j) {
+    const int i_lo = uplo == UpLo::Upper ? 0 : j;
+    const int i_hi = uplo == UpLo::Upper ? j : n - 1;
+    for (int i = i_lo; i <= i_hi; ++i) {
+      T& cij = c[i + static_cast<std::size_t>(j) * ldc];
+      cij = (beta == T(0) ? T(0) : beta * cij) +
+            full[i + static_cast<std::size_t>(j) * n];
+    }
+  }
+}
+
+template <typename T>
+void syr2k(UpLo uplo, Transpose trans, int n, int k, T alpha, const T* a,
+           int lda, const T* b, int ldb, T beta, T* c, int ldc,
+           parallel::ThreadPool* pool, std::size_t num_threads) {
+  if (n <= 0) return;
+  if (n < 64 || k <= 0) {
+    ref::syr2k(uplo, trans, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  // full = alpha * (op(A) op(B)^T + op(B) op(A)^T) via two GEMMs, then
+  // fold the requested triangle into C.
+  std::vector<T> full(static_cast<std::size_t>(n) * n, T(0));
+  const Transpose t2 = trans == Transpose::No ? Transpose::Yes : Transpose::No;
+  gemm(trans, t2, n, n, k, alpha, a, lda, b, ldb, T(0), full.data(), n, pool,
+       num_threads);
+  gemm(trans, t2, n, n, k, alpha, b, ldb, a, lda, T(1), full.data(), n, pool,
+       num_threads);
+  for (int j = 0; j < n; ++j) {
+    const int i_lo = uplo == UpLo::Upper ? 0 : j;
+    const int i_hi = uplo == UpLo::Upper ? j : n - 1;
+    for (int i = i_lo; i <= i_hi; ++i) {
+      T& cij = c[i + static_cast<std::size_t>(j) * ldc];
+      cij = (beta == T(0) ? T(0) : beta * cij) +
+            full[i + static_cast<std::size_t>(j) * n];
+    }
+  }
+}
+
+template <typename T>
+void trmm(Side side, UpLo uplo, Transpose ta, Diag diag, int m, int n,
+          T alpha, const T* a, int lda, T* b, int ldb) {
+  ref::trmm(side, uplo, ta, diag, m, n, alpha, a, lda, b, ldb);
+}
+
+template <typename T>
+void trsm(Side side, UpLo uplo, Transpose ta, Diag diag, int m, int n,
+          T alpha, const T* a, int lda, T* b, int ldb,
+          parallel::ThreadPool* pool, std::size_t num_threads) {
+  if (m <= 0 || n <= 0) return;
+  constexpr int kBlock = 128;
+  if (side != Side::Left || ta != Transpose::No || m <= kBlock) {
+    // Small problems and the less common variants use the reference
+    // algorithm directly; the blocked path below covers the Left/NoTrans
+    // case that dominates factorization workloads.
+    ref::trsm(side, uplo, ta, diag, m, n, alpha, a, lda, b, ldb);
+    return;
+  }
+
+  // Scale once up front, then recurse over diagonal blocks:
+  //   Lower: for each block s: solve A[s,s] X_s = B_s, then
+  //          B_trailing -= A[trailing, s] * X_s.
+  //   Upper: same, walking blocks from the bottom right.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      b[i + static_cast<std::size_t>(j) * ldb] *= alpha;
+    }
+  }
+  if (uplo == UpLo::Lower) {
+    for (int s = 0; s < m; s += kBlock) {
+      const int bs = std::min(kBlock, m - s);
+      ref::trsm(Side::Left, uplo, ta, diag, bs, n, T(1),
+                a + s + static_cast<std::size_t>(s) * lda, lda, b + s, ldb);
+      const int trailing = m - s - bs;
+      if (trailing > 0) {
+        gemm(Transpose::No, Transpose::No, trailing, n, bs, T(-1),
+             a + (s + bs) + static_cast<std::size_t>(s) * lda, lda, b + s,
+             ldb, T(1), b + s + bs, ldb, pool, num_threads);
+      }
+    }
+  } else {
+    for (int s_end = m; s_end > 0; s_end -= kBlock) {
+      const int bs = std::min(kBlock, s_end);
+      const int s = s_end - bs;
+      ref::trsm(Side::Left, uplo, ta, diag, bs, n, T(1),
+                a + s + static_cast<std::size_t>(s) * lda, lda, b + s, ldb);
+      if (s > 0) {
+        gemm(Transpose::No, Transpose::No, s, n, bs, T(-1),
+             a + static_cast<std::size_t>(s) * lda, lda, b + s, ldb, T(1), b,
+             ldb, pool, num_threads);
+      }
+    }
+  }
+}
+
+#define BLOB_BLAS_L3_INST(T)                                                \
+  template void symm<T>(Side, UpLo, int, int, T, const T*, int, const T*,  \
+                        int, T, T*, int, parallel::ThreadPool*,             \
+                        std::size_t);                                       \
+  template void syrk<T>(UpLo, Transpose, int, int, T, const T*, int, T,    \
+                        T*, int, parallel::ThreadPool*, std::size_t);       \
+  template void syr2k<T>(UpLo, Transpose, int, int, T, const T*, int,      \
+                         const T*, int, T, T*, int, parallel::ThreadPool*,  \
+                         std::size_t);                                      \
+  template void trmm<T>(Side, UpLo, Transpose, Diag, int, int, T, const T*, \
+                        int, T*, int);                                      \
+  template void trsm<T>(Side, UpLo, Transpose, Diag, int, int, T, const T*, \
+                        int, T*, int, parallel::ThreadPool*, std::size_t)
+BLOB_BLAS_L3_INST(float);
+BLOB_BLAS_L3_INST(double);
+#undef BLOB_BLAS_L3_INST
+
+}  // namespace blob::blas

@@ -1,0 +1,60 @@
+#pragma once
+// Remaining Level 3 kernels (beyond GEMM): SYMM, SYRK, TRMM, TRSM.
+//
+// SYMM and SYRK reduce to the packed GEMM engine; TRSM uses the classic
+// blocked algorithm (solve a diagonal block with the reference kernel,
+// update the trailing panel with GEMM). TRMM delegates to the reference
+// kernel — it is included for interface completeness, not performance.
+
+#include "blas/gemm.hpp"
+#include "blas/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::blas {
+
+template <typename T>
+void symm(Side side, UpLo uplo, int m, int n, T alpha, const T* a, int lda,
+          const T* b, int ldb, T beta, T* c, int ldc,
+          parallel::ThreadPool* pool = nullptr, std::size_t num_threads = 1);
+
+template <typename T>
+void syrk(UpLo uplo, Transpose trans, int n, int k, T alpha, const T* a,
+          int lda, T beta, T* c, int ldc,
+          parallel::ThreadPool* pool = nullptr, std::size_t num_threads = 1);
+
+/// Symmetric rank-2k update via the packed GEMM engine.
+template <typename T>
+void syr2k(UpLo uplo, Transpose trans, int n, int k, T alpha, const T* a,
+           int lda, const T* b, int ldb, T beta, T* c, int ldc,
+           parallel::ThreadPool* pool = nullptr, std::size_t num_threads = 1);
+
+template <typename T>
+void trmm(Side side, UpLo uplo, Transpose ta, Diag diag, int m, int n,
+          T alpha, const T* a, int lda, T* b, int ldb);
+
+/// Blocked triangular solve with multiple right-hand sides.
+template <typename T>
+void trsm(Side side, UpLo uplo, Transpose ta, Diag diag, int m, int n,
+          T alpha, const T* a, int lda, T* b, int ldb,
+          parallel::ThreadPool* pool = nullptr, std::size_t num_threads = 1);
+
+#define BLOB_BLAS_L3_EXTERN(T)                                               \
+  extern template void symm<T>(Side, UpLo, int, int, T, const T*, int,       \
+                               const T*, int, T, T*, int,                    \
+                               parallel::ThreadPool*, std::size_t);          \
+  extern template void syrk<T>(UpLo, Transpose, int, int, T, const T*, int,  \
+                               T, T*, int, parallel::ThreadPool*,            \
+                               std::size_t);                                 \
+  extern template void syr2k<T>(UpLo, Transpose, int, int, T, const T*,     \
+                                int, const T*, int, T, T*, int,             \
+                                parallel::ThreadPool*, std::size_t);        \
+  extern template void trmm<T>(Side, UpLo, Transpose, Diag, int, int, T,     \
+                               const T*, int, T*, int);                      \
+  extern template void trsm<T>(Side, UpLo, Transpose, Diag, int, int, T,     \
+                               const T*, int, T*, int,                       \
+                               parallel::ThreadPool*, std::size_t)
+BLOB_BLAS_L3_EXTERN(float);
+BLOB_BLAS_L3_EXTERN(double);
+#undef BLOB_BLAS_L3_EXTERN
+
+}  // namespace blob::blas

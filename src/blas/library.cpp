@@ -1,0 +1,70 @@
+#include "blas/library.hpp"
+
+namespace blob::blas {
+
+CpuLibraryPersonality generic_personality() {
+  CpuLibraryPersonality p;
+  p.name = "generic";
+  return p;
+}
+
+CpuLibraryPersonality nvpl_like_personality() {
+  CpuLibraryPersonality p;
+  p.name = "nvpl-like";
+  p.gemm_threads = parallel::all_threads_policy();
+  p.gemv_threads = parallel::all_threads_policy();
+  return p;
+}
+
+CpuLibraryPersonality armpl_like_personality() {
+  CpuLibraryPersonality p;
+  p.name = "armpl-like";
+  p.gemm_threads = parallel::scaled_policy(2.0e6);
+  p.gemv_threads = parallel::scaled_policy(1.0e6);
+  return p;
+}
+
+CpuLibraryPersonality aocl_like_personality() {
+  CpuLibraryPersonality p;
+  p.name = "aocl-like";
+  p.gemm_threads = parallel::all_threads_policy();
+  p.gemv_parallel = false;  // the paper's perf-stat finding: 0.89 CPUs
+  return p;
+}
+
+CpuLibraryPersonality openblas_like_personality() {
+  CpuLibraryPersonality p;
+  p.name = "openblas-like";
+  p.gemm_threads = parallel::all_threads_policy();
+  p.gemv_threads = parallel::all_threads_policy();
+  return p;
+}
+
+CpuLibraryPersonality single_thread_personality() {
+  CpuLibraryPersonality p;
+  p.name = "single-thread";
+  p.gemm_threads = parallel::single_thread_policy();
+  p.gemv_threads = parallel::single_thread_policy();
+  p.gemv_parallel = false;
+  return p;
+}
+
+CpuBlasLibrary::CpuBlasLibrary(CpuLibraryPersonality personality,
+                               std::size_t max_threads)
+    : personality_(std::move(personality)),
+      pool_(std::make_unique<parallel::ThreadPool>(
+          max_threads == 0 ? parallel::ThreadPool::hardware_threads()
+                           : max_threads)) {}
+
+std::size_t CpuBlasLibrary::gemm_thread_count(int m, int n, int k) const {
+  const double flops = 2.0 * m * static_cast<double>(n) * k;
+  return personality_.gemm_threads.threads_for(flops, pool_->size());
+}
+
+std::size_t CpuBlasLibrary::gemv_thread_count(int m, int n) const {
+  if (!personality_.gemv_parallel) return 1;
+  const double flops = 2.0 * static_cast<double>(m) * n;
+  return personality_.gemv_threads.threads_for(flops, pool_->size());
+}
+
+}  // namespace blob::blas

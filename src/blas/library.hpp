@@ -1,0 +1,85 @@
+#pragma once
+// CPU BLAS "library personalities" and the dispatching library object.
+//
+// The paper shows that which vendor library you link changes the offload
+// threshold as much as the hardware does: NVPL uses every thread at every
+// size, ArmPL scales threads with problem size (Fig. 3), AOCL does not
+// parallelise GEMV at all (Fig. 6, the perf-stat "0.89 CPUs" finding).
+// A CpuLibraryPersonality captures those policy decisions; CpuBlasLibrary
+// applies them when dispatching to the optimized kernels.
+
+#include <memory>
+#include <string>
+
+#include "blas/gemm.hpp"
+#include "blas/gemv.hpp"
+#include "blas/types.hpp"
+#include "parallel/policy.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::blas {
+
+/// Policy bundle describing how a vendor library schedules BLAS calls.
+struct CpuLibraryPersonality {
+  std::string name = "generic";
+  /// Thread-count selection for GEMM-class (Level 3) kernels.
+  parallel::ThreadPolicy gemm_threads = parallel::all_threads_policy();
+  /// Thread-count selection for GEMV-class (Level 2) kernels.
+  parallel::ThreadPolicy gemv_threads = parallel::all_threads_policy();
+  /// AOCL-like libraries leave GEMV serial regardless of the policy.
+  bool gemv_parallel = true;
+  /// Cache blocking used by the packed GEMM engine.
+  GemmBlocking blocking{};
+};
+
+/// Built-in personalities modelled on the libraries in the study.
+CpuLibraryPersonality generic_personality();
+CpuLibraryPersonality nvpl_like_personality();     ///< all threads, always
+CpuLibraryPersonality armpl_like_personality();    ///< threads scale w/ size
+CpuLibraryPersonality aocl_like_personality();     ///< serial GEMV
+CpuLibraryPersonality openblas_like_personality(); ///< parallel GEMV
+CpuLibraryPersonality single_thread_personality();
+
+/// A CPU BLAS library instance: a worker pool plus a personality.
+/// Thread-safe for concurrent calls only if the callers use disjoint
+/// output buffers and the pool is externally synchronised; the benchmark
+/// harness issues calls sequentially, as real BLAS apps do per socket.
+class CpuBlasLibrary {
+ public:
+  /// `max_threads` caps the pool (0 = hardware concurrency).
+  explicit CpuBlasLibrary(CpuLibraryPersonality personality,
+                          std::size_t max_threads = 0);
+
+  [[nodiscard]] const CpuLibraryPersonality& personality() const {
+    return personality_;
+  }
+  [[nodiscard]] std::size_t max_threads() const { return pool_->size(); }
+
+  /// Threads the personality would choose for a GEMM of this size.
+  [[nodiscard]] std::size_t gemm_thread_count(int m, int n, int k) const;
+  /// Threads the personality would choose for a GEMV of this size.
+  [[nodiscard]] std::size_t gemv_thread_count(int m, int n) const;
+
+  template <typename T>
+  void do_gemm(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
+               const T* a, int lda, const T* b, int ldb, T beta, T* c,
+               int ldc) const {
+    gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, pool_.get(),
+         gemm_thread_count(m, n, k), personality_.blocking);
+  }
+
+  template <typename T>
+  void do_gemv(Transpose ta, int m, int n, T alpha, const T* a, int lda,
+               const T* x, int incx, T beta, T* y, int incy) const {
+    gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy, pool_.get(),
+         gemv_thread_count(m, n));
+  }
+
+  [[nodiscard]] parallel::ThreadPool* pool() const { return pool_.get(); }
+
+ private:
+  CpuLibraryPersonality personality_;
+  std::unique_ptr<parallel::ThreadPool> pool_;
+};
+
+}  // namespace blob::blas

@@ -1,0 +1,52 @@
+#pragma once
+// GEMM micro-kernel: computes an MR x NR tile of C from packed panels.
+//
+// The accumulator lives in a fixed-size local array so the compiler keeps
+// it in vector registers; with -O3/-march=native GCC vectorises the NR
+// loop. MR/NR are chosen per precision in gemm.cpp (8x8 for f32, 8x4 for
+// f64 fit comfortably in 16 AVX2 registers).
+
+#include <cstddef>
+
+namespace blob::blas::detail {
+
+/// C[0:mr, 0:nr] = alpha * (a_panel . b_panel) + beta-prepared C.
+///
+/// a_panel: kc steps of MR values, b_panel: kc steps of NR values (packed
+/// by pack_a/pack_b, zero padded). `mr`/`nr` give the live tile size for
+/// edge tiles; the multiply always runs the full MR x NR since padding is
+/// zero, only the writeback is clipped.
+///
+/// `accumulate` selects C += result (true) vs C = result (false); the
+/// beta scaling of C happens in the driver so the micro-kernel stays
+/// branch-free in the k loop.
+template <typename T, int MR, int NR>
+void micro_kernel(int kc, T alpha, const T* a_panel, const T* b_panel, T* c,
+                  int ldc, int mr, int nr, bool accumulate) {
+  T acc[MR][NR] = {};
+  for (int p = 0; p < kc; ++p) {
+    const T* a = a_panel + static_cast<std::size_t>(p) * MR;
+    const T* b = b_panel + static_cast<std::size_t>(p) * NR;
+    for (int i = 0; i < MR; ++i) {
+      const T ai = a[i];
+      for (int j = 0; j < NR; ++j) {
+        acc[i][j] += ai * b[j];
+      }
+    }
+  }
+  if (accumulate) {
+    for (int j = 0; j < nr; ++j) {
+      for (int i = 0; i < mr; ++i) {
+        c[i + static_cast<std::size_t>(j) * ldc] += alpha * acc[i][j];
+      }
+    }
+  } else {
+    for (int j = 0; j < nr; ++j) {
+      for (int i = 0; i < mr; ++i) {
+        c[i + static_cast<std::size_t>(j) * ldc] = alpha * acc[i][j];
+      }
+    }
+  }
+}
+
+}  // namespace blob::blas::detail

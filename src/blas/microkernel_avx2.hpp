@@ -1,0 +1,94 @@
+#pragma once
+// Hand-vectorised AVX2+FMA GEMM micro-kernels.
+//
+// The generic micro-kernel relies on auto-vectorisation; these kernels
+// pin the register allocation explicitly: an 8x8 f32 tile holds C in
+// 8 ymm accumulators (one per column), broadcasts B and loads A as full
+// vectors — the standard BLIS-style inner loop. Compiled only when the
+// target supports AVX2/FMA; gemm.cpp dispatches at compile time and
+// falls back to the generic kernel for edge tiles.
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define BLOB_HAVE_AVX2_MICROKERNEL 1
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace blob::blas::detail {
+
+/// f32 8x8 full tile: C[0:8, 0:8] (+)= alpha * a_panel . b_panel.
+/// Panels are packed (MR=8, NR=8, zero padded); only full tiles use this
+/// path — callers clip edges with the generic kernel.
+inline void micro_kernel_f32_8x8_avx2(int kc, float alpha,
+                                      const float* a_panel,
+                                      const float* b_panel, float* c,
+                                      int ldc, bool accumulate) {
+  __m256 acc[8];
+  for (int j = 0; j < 8; ++j) acc[j] = _mm256_setzero_ps();
+
+  for (int p = 0; p < kc; ++p) {
+    const __m256 a = _mm256_loadu_ps(a_panel + static_cast<std::size_t>(p) * 8);
+    const float* b = b_panel + static_cast<std::size_t>(p) * 8;
+    for (int j = 0; j < 8; ++j) {
+      acc[j] = _mm256_fmadd_ps(a, _mm256_broadcast_ss(b + j), acc[j]);
+    }
+  }
+
+  const __m256 va = _mm256_set1_ps(alpha);
+  for (int j = 0; j < 8; ++j) {
+    float* col = c + static_cast<std::size_t>(j) * ldc;
+    const __m256 scaled = _mm256_mul_ps(va, acc[j]);
+    if (accumulate) {
+      _mm256_storeu_ps(col, _mm256_add_ps(_mm256_loadu_ps(col), scaled));
+    } else {
+      _mm256_storeu_ps(col, scaled);
+    }
+  }
+}
+
+/// f64 8x4 full tile: C[0:8, 0:4] (+)= alpha * a_panel . b_panel.
+/// Two ymm rows of four doubles per column = 8 accumulators.
+inline void micro_kernel_f64_8x4_avx2(int kc, double alpha,
+                                      const double* a_panel,
+                                      const double* b_panel, double* c,
+                                      int ldc, bool accumulate) {
+  __m256d acc_lo[4];
+  __m256d acc_hi[4];
+  for (int j = 0; j < 4; ++j) {
+    acc_lo[j] = _mm256_setzero_pd();
+    acc_hi[j] = _mm256_setzero_pd();
+  }
+
+  for (int p = 0; p < kc; ++p) {
+    const double* a = a_panel + static_cast<std::size_t>(p) * 8;
+    const __m256d a_lo = _mm256_loadu_pd(a);
+    const __m256d a_hi = _mm256_loadu_pd(a + 4);
+    const double* b = b_panel + static_cast<std::size_t>(p) * 4;
+    for (int j = 0; j < 4; ++j) {
+      const __m256d bj = _mm256_broadcast_sd(b + j);
+      acc_lo[j] = _mm256_fmadd_pd(a_lo, bj, acc_lo[j]);
+      acc_hi[j] = _mm256_fmadd_pd(a_hi, bj, acc_hi[j]);
+    }
+  }
+
+  const __m256d va = _mm256_set1_pd(alpha);
+  for (int j = 0; j < 4; ++j) {
+    double* col = c + static_cast<std::size_t>(j) * ldc;
+    const __m256d lo = _mm256_mul_pd(va, acc_lo[j]);
+    const __m256d hi = _mm256_mul_pd(va, acc_hi[j]);
+    if (accumulate) {
+      _mm256_storeu_pd(col, _mm256_add_pd(_mm256_loadu_pd(col), lo));
+      _mm256_storeu_pd(col + 4, _mm256_add_pd(_mm256_loadu_pd(col + 4), hi));
+    } else {
+      _mm256_storeu_pd(col, lo);
+      _mm256_storeu_pd(col + 4, hi);
+    }
+  }
+}
+
+}  // namespace blob::blas::detail
+
+#else
+#define BLOB_HAVE_AVX2_MICROKERNEL 0
+#endif

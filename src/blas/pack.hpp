@@ -1,0 +1,56 @@
+#pragma once
+// Panel packing for the blocked GEMM (BLIS-style).
+//
+// pack_a copies an MC x KC block of op(A) into row-panels of height MR so
+// the micro-kernel streams it with unit stride; pack_b copies a KC x NC
+// block of op(B) into column-panels of width NR. Edge panels are
+// zero-padded to the full MR/NR so the micro-kernel never needs a scalar
+// edge path for the packed operand.
+
+#include <cstddef>
+
+#include "blas/types.hpp"
+
+namespace blob::blas::detail {
+
+/// Pack op(A)[i0:i0+mc, p0:p0+kc] into `dst` as ceil(mc/MR) consecutive
+/// panels, each panel laid out k-major: panel[p*MR + r].
+template <typename T, int MR>
+void pack_a(Transpose ta, const T* a, int lda, int i0, int p0, int mc, int kc,
+            T* dst) {
+  auto at = [&](int i, int p) -> T {
+    return ta == Transpose::No
+               ? a[(i0 + i) + static_cast<std::size_t>(p0 + p) * lda]
+               : a[(p0 + p) + static_cast<std::size_t>(i0 + i) * lda];
+  };
+  for (int ir = 0; ir < mc; ir += MR) {
+    const int rows = mc - ir < MR ? mc - ir : MR;
+    for (int p = 0; p < kc; ++p) {
+      int r = 0;
+      for (; r < rows; ++r) *dst++ = at(ir + r, p);
+      for (; r < MR; ++r) *dst++ = T(0);
+    }
+  }
+}
+
+/// Pack op(B)[p0:p0+kc, j0:j0+nc] into `dst` as ceil(nc/NR) consecutive
+/// panels, each panel laid out k-major: panel[p*NR + cidx].
+template <typename T, int NR>
+void pack_b(Transpose tb, const T* b, int ldb, int p0, int j0, int kc, int nc,
+            T* dst) {
+  auto at = [&](int p, int j) -> T {
+    return tb == Transpose::No
+               ? b[(p0 + p) + static_cast<std::size_t>(j0 + j) * ldb]
+               : b[(j0 + j) + static_cast<std::size_t>(p0 + p) * ldb];
+  };
+  for (int jr = 0; jr < nc; jr += NR) {
+    const int cols = nc - jr < NR ? nc - jr : NR;
+    for (int p = 0; p < kc; ++p) {
+      int cidx = 0;
+      for (; cidx < cols; ++cidx) *dst++ = at(p, jr + cidx);
+      for (; cidx < NR; ++cidx) *dst++ = T(0);
+    }
+  }
+}
+
+}  // namespace blob::blas::detail

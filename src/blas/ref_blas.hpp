@@ -1,0 +1,465 @@
+#pragma once
+// Reference BLAS kernels: straightforward, unoptimized, obviously-correct
+// loop nests used as the correctness oracle for the optimized kernels and
+// as the functional executor inside the GPU simulator. All routines use
+// column-major storage and explicit leading dimensions.
+//
+// Naming and semantics follow netlib BLAS:
+//   gemm:  C = alpha*op(A)*op(B) + beta*C
+//   gemv:  y = alpha*op(A)*x + beta*y
+//   ger :  A = alpha*x*y^T + A
+//   symv:  y = alpha*A*x + beta*y        (A symmetric, one triangle stored)
+//   symm:  C = alpha*A*B + beta*C        (A symmetric)
+//   syrk:  C = alpha*A*A^T + beta*C      (C symmetric)
+//   trmv/trmm: triangular multiply; trsv/trsm: triangular solve.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "blas/types.hpp"
+
+namespace blob::blas::ref {
+
+// ---------------------------------------------------------------------------
+// Level 1
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void axpy(int n, T alpha, const T* x, int incx, T* y, int incy) {
+  if (n <= 0 || alpha == T(0)) return;
+  int ix = incx >= 0 ? 0 : (n - 1) * -incx;
+  int iy = incy >= 0 ? 0 : (n - 1) * -incy;
+  for (int i = 0; i < n; ++i, ix += incx, iy += incy) {
+    y[iy] += alpha * x[ix];
+  }
+}
+
+template <typename T>
+T dot(int n, const T* x, int incx, const T* y, int incy) {
+  T sum = T(0);
+  if (n <= 0) return sum;
+  int ix = incx >= 0 ? 0 : (n - 1) * -incx;
+  int iy = incy >= 0 ? 0 : (n - 1) * -incy;
+  for (int i = 0; i < n; ++i, ix += incx, iy += incy) {
+    sum += x[ix] * y[iy];
+  }
+  return sum;
+}
+
+template <typename T>
+void scal(int n, T alpha, T* x, int incx) {
+  if (n <= 0 || incx <= 0) return;
+  for (int i = 0, ix = 0; i < n; ++i, ix += incx) x[ix] *= alpha;
+}
+
+template <typename T>
+T nrm2(int n, const T* x, int incx) {
+  if (n <= 0 || incx <= 0) return T(0);
+  // Scaled sum of squares as in the netlib reference to avoid overflow.
+  T scale = T(0);
+  T ssq = T(1);
+  for (int i = 0, ix = 0; i < n; ++i, ix += incx) {
+    if (x[ix] != T(0)) {
+      const T absxi = std::abs(x[ix]);
+      if (scale < absxi) {
+        const T r = scale / absxi;
+        ssq = T(1) + ssq * r * r;
+        scale = absxi;
+      } else {
+        const T r = absxi / scale;
+        ssq += r * r;
+      }
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+template <typename T>
+T asum(int n, const T* x, int incx) {
+  T sum = T(0);
+  if (n <= 0 || incx <= 0) return sum;
+  for (int i = 0, ix = 0; i < n; ++i, ix += incx) sum += std::abs(x[ix]);
+  return sum;
+}
+
+/// Index (0-based) of the element with the largest absolute value; -1 when
+/// n <= 0. Ties resolve to the first occurrence, as in netlib.
+template <typename T>
+int iamax(int n, const T* x, int incx) {
+  if (n <= 0 || incx <= 0) return -1;
+  int best = 0;
+  T best_abs = std::abs(x[0]);
+  for (int i = 1, ix = incx; i < n; ++i, ix += incx) {
+    const T a = std::abs(x[ix]);
+    if (a > best_abs) {
+      best = i;
+      best_abs = a;
+    }
+  }
+  return best;
+}
+
+template <typename T>
+void copy(int n, const T* x, int incx, T* y, int incy) {
+  if (n <= 0) return;
+  int ix = incx >= 0 ? 0 : (n - 1) * -incx;
+  int iy = incy >= 0 ? 0 : (n - 1) * -incy;
+  for (int i = 0; i < n; ++i, ix += incx, iy += incy) y[iy] = x[ix];
+}
+
+template <typename T>
+void swap(int n, T* x, int incx, T* y, int incy) {
+  if (n <= 0) return;
+  int ix = incx >= 0 ? 0 : (n - 1) * -incx;
+  int iy = incy >= 0 ? 0 : (n - 1) * -incy;
+  for (int i = 0; i < n; ++i, ix += incx, iy += incy) {
+    const T tmp = x[ix];
+    x[ix] = y[iy];
+    y[iy] = tmp;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Level 2
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void gemv(Transpose ta, int m, int n, T alpha, const T* a, int lda,
+          const T* x, int incx, T beta, T* y, int incy) {
+  check_gemv(ta, m, n, lda, incx, incy);
+  const int ylen = ta == Transpose::No ? m : n;
+  const int xlen = ta == Transpose::No ? n : m;
+  if (ylen == 0) return;
+
+  int iy = incy >= 0 ? 0 : (ylen - 1) * -incy;
+  for (int i = 0; i < ylen; ++i, iy += incy) {
+    y[iy] = beta == T(0) ? T(0) : beta * y[iy];
+  }
+  if (alpha == T(0) || xlen == 0) return;
+
+  if (ta == Transpose::No) {
+    // y += alpha * A * x : accumulate column axpys.
+    int jx = incx >= 0 ? 0 : (n - 1) * -incx;
+    for (int j = 0; j < n; ++j, jx += incx) {
+      const T t = alpha * x[jx];
+      int iy2 = incy >= 0 ? 0 : (m - 1) * -incy;
+      for (int i = 0; i < m; ++i, iy2 += incy) {
+        y[iy2] += t * a[i + static_cast<std::size_t>(j) * lda];
+      }
+    }
+  } else {
+    // y += alpha * A^T * x : each output element is a column dot.
+    int jy = incy >= 0 ? 0 : (n - 1) * -incy;
+    for (int j = 0; j < n; ++j, jy += incy) {
+      T sum = T(0);
+      int ix = incx >= 0 ? 0 : (m - 1) * -incx;
+      for (int i = 0; i < m; ++i, ix += incx) {
+        sum += a[i + static_cast<std::size_t>(j) * lda] * x[ix];
+      }
+      y[jy] += alpha * sum;
+    }
+  }
+}
+
+template <typename T>
+void ger(int m, int n, T alpha, const T* x, int incx, const T* y, int incy,
+         T* a, int lda) {
+  if (m <= 0 || n <= 0 || alpha == T(0)) return;
+  int jy = incy >= 0 ? 0 : (n - 1) * -incy;
+  for (int j = 0; j < n; ++j, jy += incy) {
+    const T t = alpha * y[jy];
+    int ix = incx >= 0 ? 0 : (m - 1) * -incx;
+    for (int i = 0; i < m; ++i, ix += incx) {
+      a[i + static_cast<std::size_t>(j) * lda] += x[ix] * t;
+    }
+  }
+}
+
+/// Read element (i, j) of a symmetric matrix with only `uplo` stored.
+template <typename T>
+T sym_at(UpLo uplo, const T* a, int lda, int i, int j) {
+  const bool swap_ij = (uplo == UpLo::Upper) ? (i > j) : (i < j);
+  if (swap_ij) {
+    const int t = i;
+    i = j;
+    j = t;
+  }
+  return a[i + static_cast<std::size_t>(j) * lda];
+}
+
+template <typename T>
+void symv(UpLo uplo, int n, T alpha, const T* a, int lda, const T* x,
+          int incx, T beta, T* y, int incy) {
+  if (n <= 0) return;
+  int iy = incy >= 0 ? 0 : (n - 1) * -incy;
+  for (int i = 0; i < n; ++i, iy += incy) {
+    y[iy] = beta == T(0) ? T(0) : beta * y[iy];
+  }
+  if (alpha == T(0)) return;
+  int iy2 = incy >= 0 ? 0 : (n - 1) * -incy;
+  for (int i = 0; i < n; ++i, iy2 += incy) {
+    T sum = T(0);
+    int jx = incx >= 0 ? 0 : (n - 1) * -incx;
+    for (int j = 0; j < n; ++j, jx += incx) {
+      sum += sym_at(uplo, a, lda, i, j) * x[jx];
+    }
+    y[iy2] += alpha * sum;
+  }
+}
+
+template <typename T>
+void trmv(UpLo uplo, Transpose ta, Diag diag, int n, const T* a, int lda,
+          T* x, int incx) {
+  if (n <= 0 || incx <= 0) return;
+  // Dense helper: gather x, multiply, scatter. Reference quality only.
+  auto at = [&](int i, int j) -> T {
+    if (i == j) return diag == Diag::Unit ? T(1) : a[i + std::size_t(j) * lda];
+    const bool stored = (uplo == UpLo::Upper) ? (i < j) : (i > j);
+    return stored ? a[i + static_cast<std::size_t>(j) * lda] : T(0);
+  };
+  std::vector<T> result(static_cast<std::size_t>(n), T(0));
+  for (int i = 0; i < n; ++i) {
+    T sum = T(0);
+    for (int j = 0; j < n; ++j) {
+      const T aij = ta == Transpose::No ? at(i, j) : at(j, i);
+      sum += aij * x[static_cast<std::size_t>(j) * incx];
+    }
+    result[static_cast<std::size_t>(i)] = sum;
+  }
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i) * incx] = result[static_cast<std::size_t>(i)];
+  }
+}
+
+template <typename T>
+void trsv(UpLo uplo, Transpose ta, Diag diag, int n, const T* a, int lda,
+          T* x, int incx) {
+  if (n <= 0 || incx <= 0) return;
+  auto at = [&](int i, int j) -> T {
+    return a[i + static_cast<std::size_t>(j) * lda];
+  };
+  const bool lower = (uplo == UpLo::Lower) != (ta == Transpose::Yes);
+  // Effective element accessor after the transpose op.
+  auto eff = [&](int i, int j) -> T {
+    return ta == Transpose::No ? at(i, j) : at(j, i);
+  };
+  if (lower) {  // forward substitution
+    for (int i = 0; i < n; ++i) {
+      T sum = x[static_cast<std::size_t>(i) * incx];
+      for (int j = 0; j < i; ++j) {
+        sum -= eff(i, j) * x[static_cast<std::size_t>(j) * incx];
+      }
+      if (diag == Diag::NonUnit) sum /= eff(i, i);
+      x[static_cast<std::size_t>(i) * incx] = sum;
+    }
+  } else {  // backward substitution
+    for (int i = n - 1; i >= 0; --i) {
+      T sum = x[static_cast<std::size_t>(i) * incx];
+      for (int j = i + 1; j < n; ++j) {
+        sum -= eff(i, j) * x[static_cast<std::size_t>(j) * incx];
+      }
+      if (diag == Diag::NonUnit) sum /= eff(i, i);
+      x[static_cast<std::size_t>(i) * incx] = sum;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Level 3
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void gemm(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
+          const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc) {
+  check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
+  if (m == 0 || n == 0) return;
+
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      T& cij = c[i + static_cast<std::size_t>(j) * ldc];
+      cij = beta == T(0) ? T(0) : beta * cij;
+    }
+  }
+  if (alpha == T(0) || k == 0) return;
+
+  auto a_at = [&](int i, int p) -> T {
+    return ta == Transpose::No ? a[i + static_cast<std::size_t>(p) * lda]
+                               : a[p + static_cast<std::size_t>(i) * lda];
+  };
+  auto b_at = [&](int p, int j) -> T {
+    return tb == Transpose::No ? b[p + static_cast<std::size_t>(j) * ldb]
+                               : b[j + static_cast<std::size_t>(p) * ldb];
+  };
+  for (int j = 0; j < n; ++j) {
+    for (int p = 0; p < k; ++p) {
+      const T bpj = alpha * b_at(p, j);
+      if (bpj == T(0)) continue;
+      for (int i = 0; i < m; ++i) {
+        c[i + static_cast<std::size_t>(j) * ldc] += a_at(i, p) * bpj;
+      }
+    }
+  }
+}
+
+template <typename T>
+void symm(Side side, UpLo uplo, int m, int n, T alpha, const T* a, int lda,
+          const T* b, int ldb, T beta, T* c, int ldc) {
+  if (m <= 0 || n <= 0) return;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      T& cij = c[i + static_cast<std::size_t>(j) * ldc];
+      cij = beta == T(0) ? T(0) : beta * cij;
+    }
+  }
+  if (alpha == T(0)) return;
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      T sum = T(0);
+      if (side == Side::Left) {  // C += alpha * A(sym mxm) * B
+        for (int p = 0; p < m; ++p) {
+          sum += sym_at(uplo, a, lda, i, p) *
+                 b[p + static_cast<std::size_t>(j) * ldb];
+        }
+      } else {  // C += alpha * B * A(sym nxn)
+        for (int p = 0; p < n; ++p) {
+          sum += b[i + static_cast<std::size_t>(p) * ldb] *
+                 sym_at(uplo, a, lda, p, j);
+        }
+      }
+      c[i + static_cast<std::size_t>(j) * ldc] += alpha * sum;
+    }
+  }
+}
+
+template <typename T>
+void syrk(UpLo uplo, Transpose trans, int n, int k, T alpha, const T* a,
+          int lda, T beta, T* c, int ldc) {
+  if (n <= 0) return;
+  auto a_at = [&](int i, int p) -> T {
+    return trans == Transpose::No ? a[i + static_cast<std::size_t>(p) * lda]
+                                  : a[p + static_cast<std::size_t>(i) * lda];
+  };
+  for (int j = 0; j < n; ++j) {
+    const int i_lo = uplo == UpLo::Upper ? 0 : j;
+    const int i_hi = uplo == UpLo::Upper ? j : n - 1;
+    for (int i = i_lo; i <= i_hi; ++i) {
+      T sum = T(0);
+      for (int p = 0; p < k; ++p) sum += a_at(i, p) * a_at(j, p);
+      T& cij = c[i + static_cast<std::size_t>(j) * ldc];
+      cij = (beta == T(0) ? T(0) : beta * cij) + alpha * sum;
+    }
+  }
+}
+
+/// syr2k: C = alpha*(op(A) op(B)^T + op(B) op(A)^T) + beta*C, C symmetric
+/// with only `uplo` stored. trans == No: op(X) = X (n x k).
+template <typename T>
+void syr2k(UpLo uplo, Transpose trans, int n, int k, T alpha, const T* a,
+           int lda, const T* b, int ldb, T beta, T* c, int ldc) {
+  if (n <= 0) return;
+  auto a_at = [&](int i, int p) -> T {
+    return trans == Transpose::No ? a[i + static_cast<std::size_t>(p) * lda]
+                                  : a[p + static_cast<std::size_t>(i) * lda];
+  };
+  auto b_at = [&](int i, int p) -> T {
+    return trans == Transpose::No ? b[i + static_cast<std::size_t>(p) * ldb]
+                                  : b[p + static_cast<std::size_t>(i) * ldb];
+  };
+  for (int j = 0; j < n; ++j) {
+    const int i_lo = uplo == UpLo::Upper ? 0 : j;
+    const int i_hi = uplo == UpLo::Upper ? j : n - 1;
+    for (int i = i_lo; i <= i_hi; ++i) {
+      T sum = T(0);
+      for (int p = 0; p < k; ++p) {
+        sum += a_at(i, p) * b_at(j, p) + b_at(i, p) * a_at(j, p);
+      }
+      T& cij = c[i + static_cast<std::size_t>(j) * ldc];
+      cij = (beta == T(0) ? T(0) : beta * cij) + alpha * sum;
+    }
+  }
+}
+
+template <typename T>
+void trmm(Side side, UpLo uplo, Transpose ta, Diag diag, int m, int n,
+          T alpha, const T* a, int lda, T* b, int ldb) {
+  if (m <= 0 || n <= 0) return;
+  const int adim = side == Side::Left ? m : n;
+  auto at = [&](int i, int j) -> T {
+    if (i == j) return diag == Diag::Unit ? T(1) : a[i + std::size_t(j) * lda];
+    const bool stored = (uplo == UpLo::Upper) ? (i < j) : (i > j);
+    return stored ? a[i + static_cast<std::size_t>(j) * lda] : T(0);
+  };
+  auto eff = [&](int i, int j) -> T {
+    return ta == Transpose::No ? at(i, j) : at(j, i);
+  };
+  std::vector<T> col(static_cast<std::size_t>(adim));
+  if (side == Side::Left) {  // B = alpha * op(A) * B
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < m; ++i) {
+        col[static_cast<std::size_t>(i)] =
+            b[i + static_cast<std::size_t>(j) * ldb];
+      }
+      for (int i = 0; i < m; ++i) {
+        T sum = T(0);
+        for (int p = 0; p < m; ++p) {
+          sum += eff(i, p) * col[static_cast<std::size_t>(p)];
+        }
+        b[i + static_cast<std::size_t>(j) * ldb] = alpha * sum;
+      }
+    }
+  } else {  // B = alpha * B * op(A)
+    std::vector<T> row(static_cast<std::size_t>(n));
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        row[static_cast<std::size_t>(j)] =
+            b[i + static_cast<std::size_t>(j) * ldb];
+      }
+      for (int j = 0; j < n; ++j) {
+        T sum = T(0);
+        for (int p = 0; p < n; ++p) {
+          sum += row[static_cast<std::size_t>(p)] * eff(p, j);
+        }
+        b[i + static_cast<std::size_t>(j) * ldb] = alpha * sum;
+      }
+    }
+  }
+}
+
+template <typename T>
+void trsm(Side side, UpLo uplo, Transpose ta, Diag diag, int m, int n,
+          T alpha, const T* a, int lda, T* b, int ldb) {
+  if (m <= 0 || n <= 0) return;
+  // Scale B by alpha first, then solve op(A) * X = B (Left) or
+  // X * op(A) = B (Right) column-by-column / row-by-row via trsv logic.
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      b[i + static_cast<std::size_t>(j) * ldb] *= alpha;
+    }
+  }
+  if (side == Side::Left) {
+    for (int j = 0; j < n; ++j) {
+      trsv(uplo, ta, diag, m, a, lda, b + static_cast<std::size_t>(j) * ldb,
+           1);
+    }
+  } else {
+    // X * op(A) = B  <=>  op(A)^T * X^T = B^T: solve each row of B with
+    // the transposed-op triangular matrix.
+    const Transpose flipped =
+        ta == Transpose::No ? Transpose::Yes : Transpose::No;
+    std::vector<T> row(static_cast<std::size_t>(n));
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        row[static_cast<std::size_t>(j)] =
+            b[i + static_cast<std::size_t>(j) * ldb];
+      }
+      trsv(uplo, flipped, diag, n, a, lda, row.data(), 1);
+      for (int j = 0; j < n; ++j) {
+        b[i + static_cast<std::size_t>(j) * ldb] =
+            row[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+}
+
+}  // namespace blob::blas::ref

@@ -1,0 +1,36 @@
+#include "blas/types.hpp"
+
+namespace blob::blas {
+
+const char* to_string(Transpose t) {
+  return t == Transpose::No ? "N" : "T";
+}
+const char* to_string(UpLo u) { return u == UpLo::Upper ? "U" : "L"; }
+const char* to_string(Diag d) { return d == Diag::NonUnit ? "N" : "U"; }
+const char* to_string(Side s) { return s == Side::Left ? "L" : "R"; }
+
+namespace {
+
+void require(bool ok, const std::string& message) {
+  if (!ok) throw BlasError("blas: " + message);
+}
+
+}  // namespace
+
+void check_gemm(Transpose ta, Transpose tb, int m, int n, int k, int lda,
+                int ldb, int ldc) {
+  require(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
+  const int a_rows = ta == Transpose::No ? m : k;
+  const int b_rows = tb == Transpose::No ? k : n;
+  require(lda >= std::max(1, a_rows), "gemm: lda too small");
+  require(ldb >= std::max(1, b_rows), "gemm: ldb too small");
+  require(ldc >= std::max(1, m), "gemm: ldc too small");
+}
+
+void check_gemv(Transpose /*ta*/, int m, int n, int lda, int incx, int incy) {
+  require(m >= 0 && n >= 0, "gemv: negative dimension");
+  require(lda >= std::max(1, m), "gemv: lda too small");
+  require(incx != 0 && incy != 0, "gemv: zero increment");
+}
+
+}  // namespace blob::blas

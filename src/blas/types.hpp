@@ -1,0 +1,44 @@
+#pragma once
+// Common BLAS enumerations and dimension checking.
+//
+// All matrices are column major with explicit leading dimensions, exactly
+// as in GPU-BLOB (paper §III-A: "All matrices and vectors are stored in
+// column major format"; lda=M, ldb=K, ldc=M for GEMM).
+
+#include <stdexcept>
+#include <string>
+
+namespace blob::blas {
+
+enum class Transpose { No, Yes };
+enum class UpLo { Upper, Lower };
+enum class Diag { NonUnit, Unit };
+enum class Side { Left, Right };
+
+const char* to_string(Transpose t);
+const char* to_string(UpLo u);
+const char* to_string(Diag d);
+const char* to_string(Side s);
+
+/// Raised on invalid dimensions or leading dimensions (the library-level
+/// analogue of reference BLAS's XERBLA).
+struct BlasError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Number of rows of op(A) when A is m x n before the transpose op.
+inline int op_rows(Transpose t, int rows, int cols) {
+  return t == Transpose::No ? rows : cols;
+}
+inline int op_cols(Transpose t, int rows, int cols) {
+  return t == Transpose::No ? cols : rows;
+}
+
+/// Validate GEMM arguments; throws BlasError with a descriptive message.
+void check_gemm(Transpose ta, Transpose tb, int m, int n, int k, int lda,
+                int ldb, int ldc);
+
+/// Validate GEMV arguments.
+void check_gemv(Transpose ta, int m, int n, int lda, int incx, int incy);
+
+}  // namespace blob::blas

@@ -1,0 +1,83 @@
+#include "core/advisor.hpp"
+
+#include <stdexcept>
+
+#include "core/flops.hpp"
+#include "core/sim_backend.hpp"
+#include "util/strfmt.hpp"
+
+namespace blob::core {
+
+Advice OffloadAdvisor::advise(const Problem& problem, std::int64_t iterations,
+                              TransferMode mode) {
+  Advice advice;
+  advice.mode = mode;
+  advice.cpu_seconds = backend_.cpu_time(problem, iterations);
+  const auto gpu = backend_.gpu_time(problem, iterations, mode);
+  if (!gpu.has_value()) {
+    advice.offload = false;
+    advice.gpu_seconds = 0.0;
+    advice.rationale = "backend has no GPU; stay on the CPU";
+    return advice;
+  }
+  advice.gpu_seconds = *gpu;
+  advice.speedup =
+      advice.gpu_seconds > 0.0 ? advice.cpu_seconds / advice.gpu_seconds : 0.0;
+  advice.offload = advice.speedup > 1.0;
+  advice.rationale = util::strfmt(
+      "%s %lldx%lldx%lld (%s, %lld iters, %s): CPU %.3g s vs GPU %.3g s -> "
+      "%s (%.2fx); arithmetic intensity %.2f FLOP/byte",
+      to_string(problem.op), static_cast<long long>(problem.dims.m),
+      static_cast<long long>(problem.dims.n),
+      static_cast<long long>(problem.dims.k),
+      model::to_string(problem.precision),
+      static_cast<long long>(iterations), to_string(mode),
+      advice.cpu_seconds, advice.gpu_seconds,
+      advice.offload ? "offload to GPU" : "stay on CPU", advice.speedup,
+      arithmetic_intensity(problem));
+  return advice;
+}
+
+Advice OffloadAdvisor::advise_best_mode(const Problem& problem,
+                                        std::int64_t iterations) {
+  Advice best;
+  bool first = true;
+  for (TransferMode mode : kTransferModes) {
+    Advice a = advise(problem, iterations, mode);
+    if (first || (a.gpu_seconds > 0.0 &&
+                  (best.gpu_seconds <= 0.0 ||
+                   a.gpu_seconds < best.gpu_seconds))) {
+      best = a;
+      first = false;
+    }
+  }
+  return best;
+}
+
+double OffloadAdvisor::predicted_speedup(const Problem& problem,
+                                         std::int64_t iterations,
+                                         TransferMode mode) {
+  return advise(problem, iterations, mode).speedup;
+}
+
+OffloadAdvisor::TimeEnergyAdvice OffloadAdvisor::advise_time_and_energy(
+    const profile::SystemProfile& profile, const Problem& problem,
+    std::int64_t iterations, TransferMode mode) {
+  TimeEnergyAdvice out;
+  SimBackend backend(profile, 0.0);
+  OffloadAdvisor advisor(backend);
+  out.time = advisor.advise(problem, iterations, mode);
+  out.energy = estimate_energy(profile, problem, iterations, mode);
+  const bool time_says_gpu = out.time.offload;
+  const bool energy_says_gpu = out.energy.gpu_more_efficient();
+  if (time_says_gpu && energy_says_gpu) {
+    out.verdict = "offload";
+  } else if (!time_says_gpu && !energy_says_gpu) {
+    out.verdict = "stay";
+  } else {
+    out.verdict = "trade-off";
+  }
+  return out;
+}
+
+}  // namespace blob::core

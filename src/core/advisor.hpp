@@ -1,0 +1,65 @@
+#pragma once
+// Offload advisor.
+//
+// The paper positions the offload threshold as a porting-decision tool:
+// "By relating an application's matrix / vector shape and size to those
+// evaluated by GPU-BLOB, configuring the iteration count to approximate
+// the number of BLAS kernel computations, and relating the data movement
+// characteristics to one of the data transfer types, a user can assess
+// whether it would be worth porting their application to use a GPU"
+// (§III-D). The advisor automates that workflow against a backend.
+
+#include <string>
+
+#include "core/backend.hpp"
+#include "core/energy.hpp"
+#include "core/problem.hpp"
+
+namespace blob::core {
+
+struct Advice {
+  bool offload = false;       ///< should this workload use the GPU?
+  double cpu_seconds = 0.0;   ///< predicted CPU total
+  double gpu_seconds = 0.0;   ///< predicted GPU total (chosen mode)
+  double speedup = 1.0;       ///< cpu/gpu (>1 means GPU faster)
+  TransferMode mode = TransferMode::Once;
+  std::string rationale;      ///< human-readable explanation
+};
+
+class OffloadAdvisor {
+ public:
+  explicit OffloadAdvisor(ExecutionBackend& backend) : backend_(backend) {}
+
+  /// Advise for a specific problem, iteration count, and transfer mode.
+  [[nodiscard]] Advice advise(const Problem& problem, std::int64_t iterations,
+                              TransferMode mode);
+
+  /// Advise choosing the best transfer mode automatically.
+  [[nodiscard]] Advice advise_best_mode(const Problem& problem,
+                                        std::int64_t iterations);
+
+  /// The paper's caveat (§V): even without a persistent threshold the GPU
+  /// may win over a size range. This helper reports the GPU/CPU speedup
+  /// for the exact problem rather than relying on the threshold alone.
+  [[nodiscard]] double predicted_speedup(const Problem& problem,
+                                         std::int64_t iterations,
+                                         TransferMode mode);
+
+  /// Time AND energy advice against a specific system profile (the
+  /// related-work extension: the two can disagree). Requires profile
+  /// data, so it takes the profile rather than the backend.
+  struct TimeEnergyAdvice {
+    Advice time;
+    EnergyEstimate energy;
+    /// "offload", "stay", or "trade-off" (verdicts disagree).
+    std::string verdict;
+  };
+  static TimeEnergyAdvice advise_time_and_energy(
+      const profile::SystemProfile& profile, const Problem& problem,
+      std::int64_t iterations, TransferMode mode);
+
+ private:
+  ExecutionBackend& backend_;
+};
+
+}  // namespace blob::core

@@ -1,0 +1,17 @@
+#include "core/backend.hpp"
+
+namespace blob::core {
+
+const char* to_string(TransferMode mode) {
+  switch (mode) {
+    case TransferMode::Once:
+      return "once";
+    case TransferMode::Always:
+      return "always";
+    case TransferMode::Usm:
+      return "usm";
+  }
+  return "?";
+}
+
+}  // namespace blob::core

@@ -1,0 +1,40 @@
+#include "core/energy.hpp"
+
+#include <algorithm>
+
+#include "core/sim_backend.hpp"
+
+namespace blob::core {
+
+EnergyEstimate estimate_energy(const profile::SystemProfile& profile,
+                               const Problem& problem,
+                               std::int64_t iterations, TransferMode mode) {
+  SimBackend backend(profile, /*noise_override=*/0.0);
+  EnergyEstimate e;
+
+  // CPU side: busy power at the thread count the library would pick.
+  const auto& d = problem.dims;
+  const double threads =
+      problem.op == KernelOp::Gemm
+          ? profile.cpu.gemm_threads(static_cast<double>(d.m),
+                                     static_cast<double>(d.n),
+                                     static_cast<double>(d.k))
+          : profile.cpu.gemv_threads(static_cast<double>(d.m),
+                                     static_cast<double>(d.n));
+  e.cpu_seconds = backend.cpu_time(problem, iterations);
+  e.cpu_joules = e.cpu_seconds * profile.cpu.power_w(threads);
+
+  // GPU side: split the total into kernel-busy and transfer/idle time.
+  e.gpu_seconds = *backend.gpu_time(problem, iterations, mode);
+  const double kernel_total =
+      backend.kernel_time(problem) * static_cast<double>(iterations);
+  const double busy = std::min(kernel_total, e.gpu_seconds);
+  const double waiting = e.gpu_seconds - busy;
+  e.gpu_joules = busy * profile.gpu.board_power_w +
+                 waiting * profile.gpu.idle_w +
+                 // the host socket idles while it drives the GPU
+                 e.gpu_seconds * profile.cpu.idle_w;
+  return e;
+}
+
+}  // namespace blob::core

@@ -1,0 +1,38 @@
+#pragma once
+// Energy accounting for offload decisions.
+//
+// The paper's related work shows run-time and energy verdicts can
+// disagree: Favaro et al. found FPGAs more energy efficient "even when
+// [they] had a longer runtime" (§II). This extension computes a
+// first-order energy estimate for the same CPU/GPU executions the time
+// models cover, enabling an *energy offload threshold* alongside the
+// paper's time-based one.
+//
+// Model: CPU energy = busy-power(threads) * time. GPU energy =
+// board-power * kernel time + idle-power * transfer time, plus the host
+// socket idling while it waits (blocking transfers and synchronous
+// kernels, as GPU-BLOB issues them).
+
+#include "core/backend.hpp"
+#include "core/problem.hpp"
+#include "sysprofile/profile.hpp"
+
+namespace blob::core {
+
+struct EnergyEstimate {
+  double cpu_joules = 0.0;        ///< all-CPU execution
+  double gpu_joules = 0.0;        ///< GPU execution incl. host idle
+  double cpu_seconds = 0.0;
+  double gpu_seconds = 0.0;
+  /// True when the GPU uses less energy even if it is not faster.
+  [[nodiscard]] bool gpu_more_efficient() const {
+    return gpu_joules < cpu_joules;
+  }
+};
+
+/// Estimate both executions of `iterations` calls under `mode`.
+EnergyEstimate estimate_energy(const profile::SystemProfile& profile,
+                               const Problem& problem,
+                               std::int64_t iterations, TransferMode mode);
+
+}  // namespace blob::core

@@ -1,0 +1,73 @@
+#include "core/flops.hpp"
+
+#include <algorithm>
+
+namespace blob::core {
+
+double gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k,
+                  bool beta_zero) {
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  const double q = beta_zero ? 0.0 : 2.0;
+  return 2.0 * md * nd * kd + md * nd + q * md * nd;
+}
+
+double gemv_flops(std::int64_t m, std::int64_t n, bool beta_zero) {
+  const double md = static_cast<double>(m);
+  const double nd = static_cast<double>(n);
+  const double q = beta_zero ? 0.0 : 2.0;
+  return 2.0 * md * nd + md + q * md;
+}
+
+double problem_flops(const Problem& problem) {
+  const double base =
+      problem.op == KernelOp::Gemm
+          ? gemm_flops(problem.dims.m, problem.dims.n, problem.dims.k,
+                       problem.beta_zero)
+          : gemv_flops(problem.dims.m, problem.dims.n, problem.beta_zero);
+  const double batch = problem.op == KernelOp::Gemm
+                           ? static_cast<double>(std::max<std::int64_t>(
+                                 1, problem.batch))
+                           : 1.0;
+  return base * batch;
+}
+
+double h2d_bytes(const Problem& problem) {
+  const double es = static_cast<double>(model::bytes_of(problem.precision));
+  const double m = static_cast<double>(problem.dims.m);
+  const double n = static_cast<double>(problem.dims.n);
+  const double k = static_cast<double>(problem.dims.k);
+  if (problem.op == KernelOp::Gemm) {
+    const double batch =
+        static_cast<double>(std::max<std::int64_t>(1, problem.batch));
+    return batch * es * (m * k + k * n + m * n);  // A, B, C all uploaded
+  }
+  return es * (m * n + n + m);  // A, x, y
+}
+
+double d2h_bytes(const Problem& problem) {
+  const double es = static_cast<double>(model::bytes_of(problem.precision));
+  const double m = static_cast<double>(problem.dims.m);
+  const double n = static_cast<double>(problem.dims.n);
+  if (problem.op == KernelOp::Gemm) {
+    const double batch =
+        static_cast<double>(std::max<std::int64_t>(1, problem.batch));
+    return batch * es * m * n;
+  }
+  return es * m;
+}
+
+double arithmetic_intensity(const Problem& problem) {
+  const double bytes = h2d_bytes(problem) + d2h_bytes(problem);
+  return bytes > 0 ? problem_flops(problem) / bytes : 0.0;
+}
+
+double gflops(const Problem& problem, std::int64_t iterations,
+              double total_seconds) {
+  if (total_seconds <= 0.0 || iterations <= 0) return 0.0;
+  return problem_flops(problem) * static_cast<double>(iterations) /
+         total_seconds / 1e9;
+}
+
+}  // namespace blob::core

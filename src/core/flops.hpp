@@ -1,0 +1,42 @@
+#pragma once
+// FLOP counting and transfer-byte accounting (paper §III-A).
+//
+// GPU-BLOB counts GEMM as 2MNK + MN + qMN and GEMV as 2MN + M + qM where
+// q = 0 if beta == 0 and q = 2 otherwise — the paper's Table I experiment
+// established that modern libraries implement the beta=0 optimization but
+// not an alpha=1 one, so alpha never enters the count.
+
+#include <cstdint>
+
+#include "core/problem.hpp"
+
+namespace blob::core {
+
+/// FLOPs of one GEMM call under the paper's model.
+double gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k,
+                  bool beta_zero);
+
+/// FLOPs of one GEMV call under the paper's model.
+double gemv_flops(std::int64_t m, std::int64_t n, bool beta_zero);
+
+/// FLOPs of one call of `problem`.
+double problem_flops(const Problem& problem);
+
+/// Bytes copied host->device per upload of the problem's input data
+/// structures (A, B, C for GEMM; A, x, y for GEMV — §III-B2).
+double h2d_bytes(const Problem& problem);
+
+/// Bytes copied device->host per download of the output structure
+/// (C for GEMM; y for GEMV).
+double d2h_bytes(const Problem& problem);
+
+/// Arithmetic intensity (FLOPs per byte of h2d+d2h traffic for a single
+/// round trip) — the quantity the paper uses to explain which non-square
+/// problems never offload profitably (§IV-C).
+double arithmetic_intensity(const Problem& problem);
+
+/// GFLOP/s given total seconds for `iterations` calls.
+double gflops(const Problem& problem, std::int64_t iterations,
+              double total_seconds);
+
+}  // namespace blob::core

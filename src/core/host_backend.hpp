@@ -1,0 +1,43 @@
+#pragma once
+// HostBackend: real execution of our CPU BLAS under a wall clock.
+//
+// This is the "CPU-only build" mode of GPU-BLOB (§III): it measures the
+// machine the benchmark runs on. There is no GPU, so gpu_time returns
+// nullopt and the harness emits CPU-only CSV data — exactly the workflow
+// the paper used on LUMI, where the CPU and GPU halves were built and run
+// separately.
+
+#include <memory>
+#include <vector>
+
+#include "blas/library.hpp"
+#include "core/backend.hpp"
+
+namespace blob::core {
+
+class HostBackend final : public ExecutionBackend {
+ public:
+  /// `repeats` timed repetitions are taken and the minimum reported
+  /// (standard practice to suppress scheduler noise).
+  explicit HostBackend(blas::CpuLibraryPersonality personality,
+                       std::size_t max_threads = 0, int repeats = 3);
+
+  [[nodiscard]] std::string name() const override;
+
+  double cpu_time(const Problem& problem, std::int64_t iterations) override;
+  std::optional<double> gpu_time(const Problem&, std::int64_t,
+                                 TransferMode) override {
+    return std::nullopt;
+  }
+
+  [[nodiscard]] const blas::CpuBlasLibrary& library() const { return lib_; }
+
+ private:
+  template <typename T>
+  double run_timed(const Problem& problem, std::int64_t iterations);
+
+  blas::CpuBlasLibrary lib_;
+  int repeats_;
+};
+
+}  // namespace blob::core

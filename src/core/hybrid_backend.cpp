@@ -1,0 +1,26 @@
+#include "core/hybrid_backend.hpp"
+
+namespace blob::core {
+
+HybridBackend::HybridBackend(blas::CpuLibraryPersonality personality,
+                             profile::SystemProfile gpu_profile,
+                             std::size_t max_threads, int repeats)
+    : host_(std::move(personality), max_threads, repeats),
+      sim_(std::move(gpu_profile), /*noise_override=*/0.0) {}
+
+std::string HybridBackend::name() const {
+  return host_.name() + "+sim:" + sim_.name();
+}
+
+double HybridBackend::cpu_time(const Problem& problem,
+                               std::int64_t iterations) {
+  return host_.cpu_time(problem, iterations);
+}
+
+std::optional<double> HybridBackend::gpu_time(const Problem& problem,
+                                              std::int64_t iterations,
+                                              TransferMode mode) {
+  return sim_.gpu_time(problem, iterations, mode);
+}
+
+}  // namespace blob::core

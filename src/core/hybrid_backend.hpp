@@ -1,0 +1,38 @@
+#pragma once
+// HybridBackend: real CPU, simulated GPU.
+//
+// The question a porting decision actually asks is "would GPU X beat the
+// CPU I am running on?" — which needs measured CPU times on *this*
+// machine against modelled times for a GPU you may not own yet. The
+// hybrid backend measures the CPU side with HostBackend and answers the
+// GPU side from a system profile's GPU + link models, so `gpu-blob
+// --backend hybrid --system isambard-ai` sweeps your machine against a
+// simulated GH200.
+
+#include "core/host_backend.hpp"
+#include "core/sim_backend.hpp"
+
+namespace blob::core {
+
+class HybridBackend final : public ExecutionBackend {
+ public:
+  HybridBackend(blas::CpuLibraryPersonality personality,
+                profile::SystemProfile gpu_profile,
+                std::size_t max_threads = 0, int repeats = 3);
+
+  [[nodiscard]] std::string name() const override;
+
+  /// Measured on this machine.
+  double cpu_time(const Problem& problem, std::int64_t iterations) override;
+
+  /// Modelled from the profile's GPU and link (noise-free).
+  std::optional<double> gpu_time(const Problem& problem,
+                                 std::int64_t iterations,
+                                 TransferMode mode) override;
+
+ private:
+  HostBackend host_;
+  SimBackend sim_;
+};
+
+}  // namespace blob::core

@@ -1,0 +1,141 @@
+#include "core/manifest.hpp"
+
+#include "util/json.hpp"
+
+namespace blob::core {
+
+namespace {
+
+const char* quirk_kind_name(model::PerfQuirk::Kind kind) {
+  switch (kind) {
+    case model::PerfQuirk::Kind::DropAt:
+      return "drop-at";
+    case model::PerfQuirk::Kind::StepUpAt:
+      return "step-up-at";
+    case model::PerfQuirk::Kind::PlateauFrom:
+      return "plateau-from";
+  }
+  return "?";
+}
+
+void write_curve(util::JsonWriter& json, const char* name,
+                 const model::EfficiencyCurve& curve) {
+  json.key(name).begin_object();
+  json.kv("eff_max", curve.eff_max);
+  json.kv("eff_min", curve.eff_min);
+  json.kv("half_size", curve.half_size);
+  json.kv("exponent", curve.exponent);
+  json.end_object();
+}
+
+void write_quirks(util::JsonWriter& json, const char* name,
+                  const std::vector<model::PerfQuirk>& quirks) {
+  json.key(name).begin_array();
+  for (const auto& q : quirks) {
+    json.begin_object();
+    json.kv("kind", quirk_kind_name(q.kind));
+    json.kv("position", q.position);
+    json.kv("magnitude", q.magnitude);
+    json.kv("span", q.span);
+    json.kv("scope", q.scope == model::QuirkScope::Any
+                         ? "any"
+                         : (q.scope == model::QuirkScope::F32Only ? "f32"
+                                                                  : "f64"));
+    json.kv("max_min_mn", q.max_min_mn);
+    json.kv("min_aspect", q.min_aspect);
+    json.end_object();
+  }
+  json.end_array();
+}
+
+}  // namespace
+
+void write_run_manifest(std::ostream& out,
+                        const profile::SystemProfile& profile,
+                        const SweepConfig& config,
+                        const std::vector<std::string>& problem_type_ids) {
+  util::JsonWriter json(out);
+  json.begin_object();
+  json.kv("tool", "gpu-blob-repro");
+  json.kv("format_version", 1);
+
+  json.key("sweep").begin_object();
+  json.kv("s_min", config.s_min);
+  json.kv("s_max", config.s_max);
+  json.kv("stride", config.stride);
+  json.kv("iterations", config.iterations);
+  json.kv("batch", config.batch);
+  json.kv("precision", model::to_string(config.precision));
+  json.kv("beta_zero", config.beta_zero);
+  json.end_object();
+
+  json.key("problem_types").begin_array();
+  for (const auto& id : problem_type_ids) json.value(id);
+  json.end_array();
+
+  json.key("system").begin_object();
+  json.kv("name", profile.name);
+  json.kv("description", profile.description);
+  json.kv("noise_sigma", profile.noise_sigma);
+
+  const auto& cpu = profile.cpu;
+  json.key("cpu").begin_object();
+  json.kv("name", cpu.name);
+  json.kv("cores", cpu.cores);
+  json.kv("fp64_flops_per_cycle_per_core", cpu.fp64_flops_per_cycle_per_core);
+  json.kv("freq_ghz", cpu.freq_ghz);
+  json.kv("socket_mem_bw_gbs", cpu.socket_mem_bw_gbs);
+  json.kv("core_mem_bw_gbs", cpu.core_mem_bw_gbs);
+  json.kv("llc_mib", cpu.llc_mib);
+  json.kv("cache_bw_gbs", cpu.cache_bw_gbs);
+  json.kv("warm_compute_boost", cpu.warm_compute_boost);
+  json.kv("warm_up_iterations", cpu.warm_up_iterations);
+  json.kv("gemv_parallel", cpu.gemv_parallel);
+  json.kv("call_overhead_s", cpu.call_overhead_s);
+  json.kv("fork_join_overhead_s", cpu.fork_join_overhead_s);
+  json.kv("gemm_thread_policy",
+          parallel::to_string(cpu.gemm_thread_policy.kind));
+  json.kv("gemv_thread_policy",
+          parallel::to_string(cpu.gemv_thread_policy.kind));
+  write_curve(json, "gemm_eff", cpu.gemm_eff);
+  write_curve(json, "gemv_eff", cpu.gemv_eff);
+  write_quirks(json, "gemm_quirks", cpu.gemm_quirks);
+  write_quirks(json, "gemv_quirks", cpu.gemv_quirks);
+  json.end_object();
+
+  const auto& gpu = profile.gpu;
+  json.key("gpu").begin_object();
+  json.kv("name", gpu.name);
+  json.kv("peak_gflops_f32", gpu.peak_gflops_f32);
+  json.kv("peak_gflops_f64", gpu.peak_gflops_f64);
+  json.kv("peak_gflops_f16", gpu.peak_gflops_f16);
+  json.kv("hbm_bw_gbs", gpu.hbm_bw_gbs);
+  json.kv("launch_latency_s", gpu.launch_latency_s);
+  json.kv("min_kernel_s", gpu.min_kernel_s);
+  write_curve(json, "gemm_eff", gpu.gemm_eff);
+  write_curve(json, "gemv_eff", gpu.gemv_eff);
+  write_quirks(json, "gemm_quirks", gpu.gemm_quirks);
+  write_quirks(json, "gemv_quirks", gpu.gemv_quirks);
+  json.end_object();
+
+  const auto& link = profile.link;
+  json.key("link").begin_object();
+  json.kv("name", link.name);
+  json.kv("latency_s", link.latency_s);
+  json.kv("h2d_bw_gbs", link.h2d_bw_gbs);
+  json.kv("d2h_bw_gbs", link.d2h_bw_gbs);
+  json.kv("pageable_penalty", link.pageable_penalty);
+  json.kv("page_bytes", link.page_bytes);
+  json.kv("page_fault_latency_s", link.page_fault_latency_s);
+  json.kv("migration_bw_gbs", link.migration_bw_gbs);
+  json.kv("xnack", link.xnack);
+  json.kv("remote_access_penalty", link.remote_access_penalty);
+  json.kv("usm_kernel_overhead_s", link.usm_kernel_overhead_s);
+  json.end_object();
+
+  json.end_object();  // system
+  json.end_object();  // root
+  out << '\n';
+}
+
+}  // namespace blob::core

@@ -1,0 +1,28 @@
+#pragma once
+// Run manifest: a machine-readable reproducibility record.
+//
+// The paper's artifact appendix walks through compiler versions, module
+// loads, and environment variables needed to reproduce each system's
+// data. Our equivalent: every CSV-producing run can emit a
+// run_info.json capturing the complete simulated-system parameterisation
+// and sweep configuration, so any number in any CSV can be traced to the
+// exact model constants that produced it.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "sysprofile/profile.hpp"
+
+namespace blob::core {
+
+/// Write the manifest as JSON: tool info, full system-profile parameter
+/// dump (CPU/GPU/link models incl. quirks), sweep configuration, and the
+/// list of problem-type ids the run covered.
+void write_run_manifest(std::ostream& out,
+                        const profile::SystemProfile& profile,
+                        const SweepConfig& config,
+                        const std::vector<std::string>& problem_type_ids);
+
+}  // namespace blob::core

@@ -1,0 +1,79 @@
+#include "core/problem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blob::core {
+
+const char* to_string(KernelOp op) {
+  return op == KernelOp::Gemm ? "gemm" : "gemv";
+}
+
+namespace {
+
+// GEMM dimension relationships (paper Fig. 1 / Table V).
+Dims gemm_square(std::int64_t s) { return {s, s, s}; }
+Dims gemm_tall_k(std::int64_t s) { return {s, s, 16 * s}; }       // M=N, K=16M
+Dims gemm_fixed_mn(std::int64_t s) { return {32, 32, s}; }        // M=N=32, K>=1
+Dims gemm_wide_m(std::int64_t s) { return {16 * s, s, s}; }       // K=N, M=16K
+Dims gemm_fixed_kn(std::int64_t s) { return {s, 32, 32}; }        // K=N=32, M>=1
+Dims gemm_tall_n(std::int64_t s) { return {s, 16 * s, s}; }       // M=K, N=16K
+Dims gemm_fixed_mk(std::int64_t s) { return {32, s, 32}; }        // M=K=32, N>=1
+Dims gemm_thin_k(std::int64_t s) { return {s, s, 32}; }           // M=N, K=32
+Dims gemm_short_k(std::int64_t s) {                               // M=N, M=16K
+  return {s, s, std::max<std::int64_t>(1, s / 16)};
+}
+
+// GEMV dimension relationships (paper Fig. 1 / Table VI).
+Dims gemv_square(std::int64_t s) { return {s, s, 1}; }
+Dims gemv_tall(std::int64_t s) { return {16 * s, s, 1}; }         // M=16N
+Dims gemv_fixed_n(std::int64_t s) { return {s, 32, 1}; }          // N=32, M>=1
+Dims gemv_wide(std::int64_t s) { return {s, 16 * s, 1}; }         // N=16M
+Dims gemv_fixed_m(std::int64_t s) { return {32, s, 1}; }          // M=32, N>=1
+
+}  // namespace
+
+const std::vector<ProblemType>& gemm_problem_types() {
+  static const std::vector<ProblemType> kTypes = {
+      {KernelOp::Gemm, "gemm_square", "M=N=K", gemm_square},
+      {KernelOp::Gemm, "gemm_tall_k", "M=N, K=16M", gemm_tall_k},
+      {KernelOp::Gemm, "gemm_fixed_mn_32", "M=N=32, K>=1", gemm_fixed_mn},
+      {KernelOp::Gemm, "gemm_wide_m", "K=N, M=16K", gemm_wide_m},
+      {KernelOp::Gemm, "gemm_fixed_kn_32", "K=N=32, M>=1", gemm_fixed_kn},
+      {KernelOp::Gemm, "gemm_tall_n", "M=K, N=16K", gemm_tall_n},
+      {KernelOp::Gemm, "gemm_fixed_mk_32", "M=K=32, N>=1", gemm_fixed_mk},
+      {KernelOp::Gemm, "gemm_thin_k", "M=N, K=32", gemm_thin_k},
+      {KernelOp::Gemm, "gemm_short_k", "M=N, M=16K", gemm_short_k},
+  };
+  return kTypes;
+}
+
+const std::vector<ProblemType>& gemv_problem_types() {
+  static const std::vector<ProblemType> kTypes = {
+      {KernelOp::Gemv, "gemv_square", "M=N", gemv_square},
+      {KernelOp::Gemv, "gemv_tall", "M=16N", gemv_tall},
+      {KernelOp::Gemv, "gemv_fixed_n_32", "N=32, M>=1", gemv_fixed_n},
+      {KernelOp::Gemv, "gemv_wide", "N=16M", gemv_wide},
+      {KernelOp::Gemv, "gemv_fixed_m_32", "M=32, N>=1", gemv_fixed_m},
+  };
+  return kTypes;
+}
+
+const std::vector<ProblemType>& all_problem_types() {
+  static const std::vector<ProblemType> kAll = [] {
+    std::vector<ProblemType> all = gemm_problem_types();
+    const auto& gemv = gemv_problem_types();
+    all.insert(all.end(), gemv.begin(), gemv.end());
+    return all;
+  }();
+  return kAll;
+}
+
+const ProblemType& problem_type_by_id(const std::string& id) {
+  for (const auto& t : all_problem_types()) {
+    if (t.id() == id) return t;
+  }
+  throw std::invalid_argument("unknown problem type: " + id);
+}
+
+}  // namespace blob::core

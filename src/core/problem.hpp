@@ -1,0 +1,79 @@
+#pragma once
+// Problem types: the fixed relationships between a BLAS kernel's
+// dimensions that GPU-BLOB sweeps (paper §III-C, Fig. 1).
+//
+// A problem type maps the swept parameter `s` (bounded by the runtime
+// arguments -s and -d) to concrete {M, N, K} (GEMM) or {M, N} (GEMV)
+// dimensions. The registry contains the paper's full set: square GEMM
+// plus eight non-square GEMM types, and square GEMV plus four non-square
+// GEMV types — 9 GEMM + 5 GEMV, matching the artifact's 28 CSV files
+// across two precisions.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perfmodel/precision.hpp"
+
+namespace blob::core {
+
+enum class KernelOp { Gemm, Gemv };
+
+const char* to_string(KernelOp op);
+
+/// Concrete dimensions of one problem instance. For GEMV, k is unused
+/// and fixed to 1.
+struct Dims {
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+};
+
+/// A named dimension relationship, e.g. "M=N, K=16M".
+class ProblemType {
+ public:
+  using DimsFn = Dims (*)(std::int64_t s);
+
+  ProblemType(KernelOp op, std::string id, std::string label, DimsFn fn)
+      : op_(op), id_(std::move(id)), label_(std::move(label)), fn_(fn) {}
+
+  [[nodiscard]] KernelOp op() const { return op_; }
+  /// Short machine name used in CSV file names, e.g. "gemm_square".
+  [[nodiscard]] const std::string& id() const { return id_; }
+  /// Paper-style label, e.g. "M=N, K=16M".
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] Dims dims(std::int64_t s) const { return fn_(s); }
+
+ private:
+  KernelOp op_;
+  std::string id_;
+  std::string label_;
+  DimsFn fn_;
+};
+
+/// All 9 GEMM problem types in paper order (square first, then Table V's
+/// rows).
+const std::vector<ProblemType>& gemm_problem_types();
+
+/// All 5 GEMV problem types in paper order (square first, then Table
+/// VI's rows).
+const std::vector<ProblemType>& gemv_problem_types();
+
+/// Both lists concatenated (GEMM first).
+const std::vector<ProblemType>& all_problem_types();
+
+/// Look up by id; throws std::invalid_argument if unknown.
+const ProblemType& problem_type_by_id(const std::string& id);
+
+/// One fully specified benchmark problem.
+struct Problem {
+  KernelOp op = KernelOp::Gemm;
+  model::Precision precision = model::Precision::F32;
+  Dims dims;
+  bool beta_zero = true;  ///< GPU-BLOB's default: C initialised to 0
+  /// > 1 turns each call into a batched-GEMM of this many independent
+  /// products (paper §V future work). GEMV ignores it.
+  std::int64_t batch = 1;
+};
+
+}  // namespace blob::core

@@ -1,0 +1,90 @@
+#include "core/report.hpp"
+
+#include <stdexcept>
+
+#include "util/strfmt.hpp"
+#include "util/table.hpp"
+
+namespace blob::core {
+
+namespace {
+
+std::string cell(const std::optional<OffloadThreshold>& a,
+                 const std::optional<OffloadThreshold>& b) {
+  return threshold_value_string(a) + " : " + threshold_value_string(b);
+}
+
+}  // namespace
+
+ThresholdEntry make_entry(const SweepResult& f32_result,
+                          const SweepResult& f64_result) {
+  if (f32_result.config.iterations != f64_result.config.iterations ||
+      f32_result.type != f64_result.type) {
+    throw std::invalid_argument("make_entry: mismatched sweeps");
+  }
+  ThresholdEntry e;
+  e.iterations = f32_result.config.iterations;
+  e.f32 = f32_result.thresholds;
+  e.f64 = f64_result.thresholds;
+  return e;
+}
+
+std::string render_threshold_table(const std::string& system_name,
+                                   const ProblemType& type,
+                                   const std::vector<ThresholdEntry>& rows) {
+  util::TextTable table(
+      {"Iterations", "Once", "Always", "USM"},
+      {util::Align::Right, util::Align::Center, util::Align::Center,
+       util::Align::Center});
+  for (const auto& row : rows) {
+    table.row({std::to_string(row.iterations), cell(row.f32[0], row.f64[0]),
+               cell(row.f32[1], row.f64[1]), cell(row.f32[2], row.f64[2])});
+  }
+  const char* kind = type.op() == KernelOp::Gemm ? "GEMM" : "GEMV";
+  return util::strfmt("%s %s (%s) offload thresholds [f32 : f64]\n",
+                      system_name.c_str(), kind, type.label().c_str()) +
+         table.str();
+}
+
+std::string first_threshold_iteration(
+    const std::vector<ThresholdEntry>& rows) {
+  std::string f32 = "--";
+  std::string f64 = "--";
+  for (const auto& row : rows) {
+    if (f32 == "--" && row.f32[0].has_value()) {
+      f32 = std::to_string(row.iterations);
+    }
+    if (f64 == "--" && row.f64[0].has_value()) {
+      f64 = std::to_string(row.iterations);
+    }
+  }
+  return f32 + " : " + f64;
+}
+
+std::string render_series(const std::string& title,
+                          const std::vector<std::string>& labels,
+                          const std::vector<std::int64_t>& sizes,
+                          const std::vector<std::vector<double>>& series) {
+  if (labels.size() != series.size()) {
+    throw std::invalid_argument("render_series: labels/series mismatch");
+  }
+  for (const auto& s : series) {
+    if (s.size() != sizes.size()) {
+      throw std::invalid_argument("render_series: series length mismatch");
+    }
+  }
+  std::vector<std::string> header = {"size"};
+  header.insert(header.end(), labels.begin(), labels.end());
+  std::vector<util::Align> align(header.size(), util::Align::Right);
+  util::TextTable table(header, align);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::vector<std::string> row = {std::to_string(sizes[i])};
+    for (const auto& s : series) {
+      row.push_back(util::strfmt("%.2f", s[i]));
+    }
+    table.row(std::move(row));
+  }
+  return title + "\n" + table.str();
+}
+
+}  // namespace blob::core

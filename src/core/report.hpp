@@ -1,0 +1,53 @@
+#pragma once
+// Paper-style reporting.
+//
+// Renders the offload-threshold tables GPU-BLOB prints to stdout, in the
+// layout of the paper's Tables III/IV (rows = iteration counts, columns =
+// transfer types, each cell "f32 : f64") and Tables V/VI (rows = problem
+// types, cells = first iteration count producing a threshold).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+
+namespace blob::core {
+
+/// Results of one (problem type, iteration count) pair for both
+/// precisions on one system.
+struct ThresholdEntry {
+  std::int64_t iterations = 0;
+  /// Per transfer mode, per precision (f32 = index 0, f64 = index 1).
+  std::array<std::optional<OffloadThreshold>, 3> f32;
+  std::array<std::optional<OffloadThreshold>, 3> f64;
+};
+
+/// Render a Table III/IV-style block for one system and problem type:
+/// one row per iteration count, "Once / Always / USM" columns with
+/// "f32 : f64" threshold values.
+std::string render_threshold_table(const std::string& system_name,
+                                   const ProblemType& type,
+                                   const std::vector<ThresholdEntry>& rows);
+
+/// For Tables V/VI: the smallest tested iteration count at which problem
+/// `entries` (ascending in iterations) produced a Transfer-Once
+/// threshold, per precision; "--" if never. Returns "i32 : i64".
+std::string first_threshold_iteration(const std::vector<ThresholdEntry>& rows);
+
+/// Render a GFLOP/s-vs-size series (a paper "figure") as aligned text
+/// columns suitable for plotting or eyeballing: size, then one column
+/// per labelled series.
+std::string render_series(const std::string& title,
+                          const std::vector<std::string>& labels,
+                          const std::vector<std::int64_t>& sizes,
+                          const std::vector<std::vector<double>>& series);
+
+/// Build a ThresholdEntry from a pair of sweeps (f32 and f64) of the
+/// same type/iterations.
+ThresholdEntry make_entry(const SweepResult& f32_result,
+                          const SweepResult& f64_result);
+
+}  // namespace blob::core

@@ -1,0 +1,125 @@
+#include "core/sim_backend.hpp"
+
+#include "core/flops.hpp"
+
+namespace blob::core {
+
+SimBackend::SimBackend(profile::SystemProfile profile, double noise_override,
+                       std::uint64_t noise_seed)
+    : profile_(std::move(profile)),
+      noise_(noise_override >= 0.0 ? noise_override : profile_.noise_sigma,
+             noise_seed) {}
+
+double SimBackend::cpu_time(const Problem& problem, std::int64_t iterations) {
+  const auto& d = problem.dims;
+  const double iters = static_cast<double>(iterations);
+  double total = 0.0;
+  if (problem.op == KernelOp::Gemm && problem.batch > 1) {
+    total = iters * profile_.cpu.gemm_batched_time(
+                        problem.precision, static_cast<double>(d.m),
+                        static_cast<double>(d.n), static_cast<double>(d.k),
+                        static_cast<double>(problem.batch),
+                        problem.beta_zero);
+  } else if (problem.op == KernelOp::Gemm) {
+    total = profile_.cpu.gemm_total_time(
+        problem.precision, static_cast<double>(d.m),
+        static_cast<double>(d.n), static_cast<double>(d.k), iters,
+        problem.beta_zero);
+  } else {
+    total = profile_.cpu.gemv_total_time(
+        problem.precision, static_cast<double>(d.m),
+        static_cast<double>(d.n), iters, problem.beta_zero);
+  }
+  const double factor =
+      noise_.factor(profile_.name, "cpu", problem.precision, d.m, d.n, d.k,
+                    iterations);
+  return total * factor;
+}
+
+double SimBackend::kernel_time(const Problem& problem) const {
+  const auto& d = problem.dims;
+  if (problem.op == KernelOp::Gemm && problem.batch > 1) {
+    return profile_.gpu.gemm_batched_kernel_time(
+        problem.precision, static_cast<double>(d.m),
+        static_cast<double>(d.n), static_cast<double>(d.k),
+        static_cast<double>(problem.batch), problem.beta_zero);
+  }
+  return problem.op == KernelOp::Gemm
+             ? profile_.gpu.gemm_kernel_time(problem.precision,
+                                             static_cast<double>(d.m),
+                                             static_cast<double>(d.n),
+                                             static_cast<double>(d.k),
+                                             problem.beta_zero)
+             : profile_.gpu.gemv_kernel_time(problem.precision,
+                                             static_cast<double>(d.m),
+                                             static_cast<double>(d.n),
+                                             problem.beta_zero);
+}
+
+std::optional<double> SimBackend::gpu_time(const Problem& problem,
+                                           std::int64_t iterations,
+                                           TransferMode mode) {
+  const double in_bytes = h2d_bytes(problem);
+  const double out_bytes = d2h_bytes(problem);
+  // Per-structure byte counts: USM faults are charged per allocation,
+  // matching the SimGpu device's accounting exactly.
+  const double es = static_cast<double>(model::bytes_of(problem.precision));
+  const double md = static_cast<double>(problem.dims.m);
+  const double nd = static_cast<double>(problem.dims.n);
+  const double kd = static_cast<double>(problem.dims.k);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;  // A, B/x, C/y
+  if (problem.op == KernelOp::Gemm) {
+    s0 = es * md * kd;
+    s1 = es * kd * nd;
+    s2 = es * md * nd;
+  } else {
+    s0 = es * md * nd;
+    s1 = es * nd;
+    s2 = es * md;
+  }
+  const double kernel = kernel_time(problem);
+  const double iters = static_cast<double>(iterations);
+  const auto& link = profile_.link;
+
+  double total = 0.0;
+  switch (mode) {
+    case TransferMode::Once:
+      // GPU-BLOB issues one explicit copy per data structure (3 for GEMM,
+      // 3 for GEMV), so the link latency is paid per structure.
+      total = 3.0 * link.latency_s + in_bytes / (link.h2d_bw_gbs * 1e9) +
+              iters * kernel + link.d2h_time(out_bytes, true);
+      break;
+    case TransferMode::Always:
+      total = iters * (3.0 * link.latency_s +
+                       in_bytes / (link.h2d_bw_gbs * 1e9) + kernel +
+                       link.d2h_time(out_bytes, true));
+      break;
+    case TransferMode::Usm:
+      if (link.xnack) {
+        // First kernel faults each structure across; later kernels run
+        // device-resident (plus any per-kernel driver tax); host reads
+        // the output back at the end.
+        total = link.usm_first_touch_time(s0) + link.usm_first_touch_time(s1) +
+                link.usm_first_touch_time(s2) +
+                iters * (kernel + link.usm_kernel_overhead_s) +
+                link.usm_writeback_time(out_bytes);
+      } else {
+        // No page migration: every kernel's reads AND the output write
+        // cross the link.
+        total = iters * (link.usm_remote_access_time(in_bytes + out_bytes) +
+                         link.usm_kernel_overhead_s + kernel);
+      }
+      break;
+  }
+
+  const auto& d = problem.dims;
+  const char* tag = mode == TransferMode::Once
+                        ? "gpu-once"
+                        : (mode == TransferMode::Always ? "gpu-always"
+                                                        : "gpu-usm");
+  const double factor = noise_.factor(profile_.name, tag, problem.precision,
+                                      d.m, d.n, d.k, iterations);
+  return total * factor;
+}
+
+}  // namespace blob::core

@@ -1,0 +1,40 @@
+#pragma once
+// SimBackend: timing from the calibrated system models, in virtual time.
+//
+// The analytic path evaluates the same cost terms the SimGpu device would
+// accumulate on its stream — one h2d per input structure, kernels, one
+// d2h per output — so full s=1..4096 sweeps run in milliseconds. Tests
+// cross-check SimBackend's arithmetic against an actual SimGpu run.
+
+#include "core/backend.hpp"
+#include "perfmodel/noise.hpp"
+#include "sysprofile/profile.hpp"
+
+namespace blob::core {
+
+class SimBackend final : public ExecutionBackend {
+ public:
+  /// `noise_override` < 0 keeps the profile's own sigma.
+  explicit SimBackend(profile::SystemProfile profile,
+                      double noise_override = -1.0,
+                      std::uint64_t noise_seed = 0x5eed);
+
+  [[nodiscard]] std::string name() const override { return profile_.name; }
+  [[nodiscard]] const profile::SystemProfile& profile() const {
+    return profile_;
+  }
+
+  double cpu_time(const Problem& problem, std::int64_t iterations) override;
+  std::optional<double> gpu_time(const Problem& problem,
+                                 std::int64_t iterations,
+                                 TransferMode mode) override;
+
+  /// One kernel execution on the device, excluding any link traffic.
+  [[nodiscard]] double kernel_time(const Problem& problem) const;
+
+ private:
+  profile::SystemProfile profile_;
+  model::NoiseModel noise_;
+};
+
+}  // namespace blob::core

@@ -1,0 +1,193 @@
+#include "core/sweep.hpp"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/flops.hpp"
+#include "util/csv.hpp"
+#include "util/strfmt.hpp"
+
+namespace blob::core {
+
+void SweepResult::detect_thresholds() {
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    std::vector<ThresholdSample> ts;
+    ts.reserve(samples.size());
+    for (const auto& sample : samples) {
+      if (!sample.has_gpu || std::isnan(sample.gpu_seconds[mode])) continue;
+      ts.push_back(ThresholdSample{sample.s, sample.dims,
+                                   sample.cpu_seconds,
+                                   sample.gpu_seconds[mode]});
+    }
+    thresholds[mode] = detect_threshold(ts);
+  }
+}
+
+SweepResult run_sweep(ExecutionBackend& backend, const ProblemType& type,
+                      const SweepConfig& config) {
+  if (config.s_min < 1 || config.s_max < config.s_min ||
+      config.stride < 1) {
+    throw std::invalid_argument("run_sweep: invalid sweep bounds");
+  }
+
+  SweepResult result;
+  result.type = &type;
+  result.config = config;
+  result.backend_name = backend.name();
+
+  for (std::int64_t s = config.s_min; s <= config.s_max;
+       s += config.stride) {
+    Problem problem;
+    problem.op = type.op();
+    problem.precision = config.precision;
+    problem.dims = type.dims(s);
+    problem.beta_zero = config.beta_zero;
+    problem.batch = config.batch;
+
+    SweepSample sample;
+    sample.s = s;
+    sample.dims = problem.dims;
+    // Interleaved CPU then GPU execution, GPU-BLOB's default style.
+    sample.cpu_seconds = backend.cpu_time(problem, config.iterations);
+    sample.cpu_gflops =
+        gflops(problem, config.iterations, sample.cpu_seconds);
+    for (std::size_t mode = 0; mode < 3; ++mode) {
+      const auto t =
+          backend.gpu_time(problem, config.iterations, kTransferModes[mode]);
+      if (t.has_value()) {
+        sample.has_gpu = true;
+        sample.gpu_seconds[mode] = *t;
+        sample.gpu_gflops[mode] = gflops(problem, config.iterations, *t);
+      } else {
+        sample.gpu_seconds[mode] = std::numeric_limits<double>::quiet_NaN();
+        sample.gpu_gflops[mode] = 0.0;
+      }
+    }
+    result.samples.push_back(sample);
+  }
+
+  result.detect_thresholds();
+  return result;
+}
+
+namespace {
+
+const std::vector<std::string>& csv_header() {
+  static const std::vector<std::string> kHeader = {
+      "problem_type", "kernel",       "precision", "device",
+      "transfer",     "iterations",   "batch",     "s",
+      "m",            "n",            "k",         "total_seconds",
+      "gflops"};
+  return kHeader;
+}
+
+std::vector<std::string> csv_row(const SweepResult& r,
+                                 const SweepSample& sample,
+                                 const std::string& device,
+                                 const std::string& transfer,
+                                 double seconds, double gf) {
+  return {r.type->id(),
+          to_string(r.type->op()),
+          model::to_string(r.config.precision),
+          device,
+          transfer,
+          std::to_string(r.config.iterations),
+          std::to_string(r.config.batch),
+          std::to_string(sample.s),
+          std::to_string(sample.dims.m),
+          std::to_string(sample.dims.n),
+          std::to_string(sample.dims.k),
+          util::strfmt("%.9e", seconds),
+          util::strfmt("%.6f", gf)};
+}
+
+}  // namespace
+
+void write_csv(std::ostream& out, const SweepResult& result,
+               bool include_cpu, bool include_gpu) {
+  util::CsvWriter writer(out, csv_header());
+  for (const auto& sample : result.samples) {
+    if (include_cpu) {
+      writer.row(csv_row(result, sample, "cpu", "none", sample.cpu_seconds,
+                         sample.cpu_gflops));
+    }
+    if (!include_gpu || !sample.has_gpu) continue;
+    for (std::size_t mode = 0; mode < 3; ++mode) {
+      writer.row(csv_row(result, sample, "gpu",
+                         to_string(kTransferModes[mode]),
+                         sample.gpu_seconds[mode],
+                         sample.gpu_gflops[mode]));
+    }
+  }
+}
+
+SweepResult read_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument("read_csv: empty input");
+  }
+  const auto header = util::csv_parse_line(line);
+  if (header != csv_header()) {
+    throw std::invalid_argument("read_csv: unexpected header");
+  }
+
+  SweepResult result;
+  bool first = true;
+  // Keyed reassembly: rows arrive cpu-first per sample in write order,
+  // but we tolerate merged CPU-only + GPU-only files (the LUMI workflow)
+  // by matching on s.
+  auto find_sample = [&](std::int64_t s) -> SweepSample& {
+    for (auto& existing : result.samples) {
+      if (existing.s == s) return existing;
+    }
+    result.samples.emplace_back();
+    result.samples.back().s = s;
+    for (auto& g : result.samples.back().gpu_seconds) {
+      g = std::numeric_limits<double>::quiet_NaN();
+    }
+    return result.samples.back();
+  };
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = util::csv_parse_line(line);
+    if (f.size() != csv_header().size()) {
+      throw std::invalid_argument("read_csv: bad row width");
+    }
+    if (first) {
+      result.type = &problem_type_by_id(f[0]);
+      result.config.precision =
+          f[2] == "f64" ? model::Precision::F64 : model::Precision::F32;
+      result.config.iterations = std::stoll(f[5]);
+      result.config.batch = std::stoll(f[6]);
+      first = false;
+    }
+    const std::int64_t s = std::stoll(f[7]);
+    SweepSample& sample = find_sample(s);
+    sample.dims = Dims{std::stoll(f[8]), std::stoll(f[9]), std::stoll(f[10])};
+    const double seconds = std::stod(f[11]);
+    const double gf = std::stod(f[12]);
+    if (f[3] == "cpu") {
+      sample.cpu_seconds = seconds;
+      sample.cpu_gflops = gf;
+    } else {
+      sample.has_gpu = true;
+      for (std::size_t mode = 0; mode < 3; ++mode) {
+        if (f[4] == to_string(kTransferModes[mode])) {
+          sample.gpu_seconds[mode] = seconds;
+          sample.gpu_gflops[mode] = gf;
+        }
+      }
+    }
+  }
+  if (first) throw std::invalid_argument("read_csv: no data rows");
+  result.config.s_min = result.samples.front().s;
+  result.config.s_max = result.samples.back().s;
+  result.detect_thresholds();
+  return result;
+}
+
+}  // namespace blob::core

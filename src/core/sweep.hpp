@@ -1,0 +1,76 @@
+#pragma once
+// The sweep runner: GPU-BLOB's main loop.
+//
+// For a problem type and iteration count, every swept size s in
+// [s_min, s_max] (optionally strided) is executed on the CPU and on the
+// GPU under each transfer type, interleaved — GPU-BLOB's default
+// execution style (§IV). The result carries total times and GFLOP/s per
+// sample plus the detected offload threshold per transfer type, and can
+// be serialised to the artifact's CSV layout.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "core/backend.hpp"
+#include "core/problem.hpp"
+#include "core/threshold.hpp"
+
+namespace blob::core {
+
+struct SweepConfig {
+  std::int64_t s_min = 1;     ///< runtime argument -s
+  std::int64_t s_max = 4096;  ///< runtime argument -d
+  std::int64_t stride = 1;    ///< sample every `stride`-th size
+  std::int64_t iterations = 1;///< runtime argument -i
+  model::Precision precision = model::Precision::F32;
+  bool beta_zero = true;
+  /// Batched-GEMM batch size (1 = plain GEMM; GEMV ignores it).
+  std::int64_t batch = 1;
+};
+
+struct SweepSample {
+  std::int64_t s = 0;
+  Dims dims;
+  double cpu_seconds = 0.0;
+  double cpu_gflops = 0.0;
+  /// Indexed by TransferMode order (Once, Always, Usm); NaN time and 0
+  /// GFLOP/s when the backend has no GPU.
+  std::array<double, 3> gpu_seconds{};
+  std::array<double, 3> gpu_gflops{};
+  bool has_gpu = false;
+};
+
+struct SweepResult {
+  const ProblemType* type = nullptr;
+  SweepConfig config;
+  std::string backend_name;
+  std::vector<SweepSample> samples;
+  /// Thresholds per transfer mode (empty optionals when none / no GPU).
+  std::array<std::optional<OffloadThreshold>, 3> thresholds;
+
+  /// Recompute `thresholds` from `samples` (called by run_sweep; exposed
+  /// for tools that post-process merged CPU-only + GPU-only data, the
+  /// paper's LUMI workflow).
+  void detect_thresholds();
+};
+
+/// Execute the sweep on `backend`.
+SweepResult run_sweep(ExecutionBackend& backend, const ProblemType& type,
+                      const SweepConfig& config);
+
+/// Write a result as CSV in the artifact's per-problem-type layout:
+/// one row per (sample, device/transfer-mode). `include_cpu` /
+/// `include_gpu` produce the artifact's split CPU-only / GPU-only files
+/// (the paper's LUMI workflow); blob-threshold re-merges them.
+void write_csv(std::ostream& out, const SweepResult& result,
+               bool include_cpu = true, bool include_gpu = true);
+
+/// Parse a CSV previously written by write_csv back into a result
+/// (backend_name/type are restored by id lookup). Used by the
+/// threshold post-processing tool and by round-trip tests.
+SweepResult read_csv(std::istream& in);
+
+}  // namespace blob::core

@@ -1,0 +1,58 @@
+#include "core/threshold.hpp"
+
+#include <string>
+
+#include "util/strfmt.hpp"
+
+namespace blob::core {
+
+std::optional<OffloadThreshold> detect_threshold(
+    std::span<const ThresholdSample> samples) {
+  const std::size_t n = samples.size();
+  if (n == 0) return std::nullopt;
+
+  // gpu_wins[i]: the GPU is strictly better at sample i.
+  std::vector<bool> gpu_wins(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gpu_wins[i] = samples[i].gpu_seconds < samples[i].cpu_seconds;
+  }
+
+  // The threshold must hold "for all subsequent problem sizes" (§III-D),
+  // so scan backwards for the longest suffix of wins, tolerating isolated
+  // one-sample dips that are flanked by wins on both sides.
+  if (!gpu_wins[n - 1]) return std::nullopt;
+
+  std::size_t start = n - 1;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    if (gpu_wins[i]) {
+      start = i;
+      continue;
+    }
+    const bool isolated_dip =
+        i > 0 && gpu_wins[i - 1] && gpu_wins[i + 1];
+    if (!isolated_dip) break;
+    // The dip itself is tolerated; the suffix continues at i-1 which the
+    // loop will pick up as a win.
+  }
+
+  return OffloadThreshold{samples[start].s, samples[start].dims};
+}
+
+std::string threshold_to_string(const std::optional<OffloadThreshold>& t,
+                                bool gemv) {
+  if (!t.has_value()) return "--";
+  if (gemv) {
+    return util::strfmt("{%lld, %lld}", static_cast<long long>(t->dims.m),
+                        static_cast<long long>(t->dims.n));
+  }
+  return util::strfmt("{%lld, %lld, %lld}", static_cast<long long>(t->dims.m),
+                      static_cast<long long>(t->dims.n),
+                      static_cast<long long>(t->dims.k));
+}
+
+std::string threshold_value_string(const std::optional<OffloadThreshold>& t) {
+  if (!t.has_value()) return "--";
+  return std::to_string(static_cast<long long>(t->s));
+}
+
+}  // namespace blob::core

@@ -1,0 +1,51 @@
+#pragma once
+// GPU offload threshold detection (paper §III-D).
+//
+// Given the per-size CPU and GPU total times of an ascending sweep, the
+// offload threshold is the smallest problem size from which the GPU is
+// better for that size AND every larger size in the sweep. "To account
+// for any momentary drops in GPU performance that are due to abnormal
+// system behaviour or noise, the previous and current problem size's
+// performance is taken into consideration": an isolated single-sample
+// GPU loss flanked by GPU wins does not reset the threshold.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace blob::core {
+
+/// One sweep sample as seen by the detector.
+struct ThresholdSample {
+  std::int64_t s = 0;  ///< swept parameter
+  Dims dims;           ///< concrete dimensions at s
+  double cpu_seconds = 0.0;
+  double gpu_seconds = 0.0;
+};
+
+/// The detected threshold: the swept parameter and its dimensions.
+struct OffloadThreshold {
+  std::int64_t s = 0;
+  Dims dims;
+};
+
+/// Detect the offload threshold over ascending samples; nullopt when the
+/// GPU never establishes a persistent win (the paper's "--" entries).
+/// The final sample must be a GPU win for a threshold to exist (a
+/// trailing dip cannot be confirmed as momentary).
+std::optional<OffloadThreshold> detect_threshold(
+    std::span<const ThresholdSample> samples);
+
+/// Render a threshold as the paper does: "{m, n, k}" / "{m, n}" for
+/// GEMV, or "--" for none. `gemv` drops the k component.
+std::string threshold_to_string(const std::optional<OffloadThreshold>& t,
+                                bool gemv);
+
+/// Compact form used in the paper's tables: just the swept dimension
+/// value ("629") or "--".
+std::string threshold_value_string(const std::optional<OffloadThreshold>& t);
+
+}  // namespace blob::core

@@ -1,0 +1,134 @@
+#include "core/validate.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/strfmt.hpp"
+
+namespace blob::core {
+
+namespace {
+
+template <typename T>
+void fill_random(T* data, std::size_t len, util::Xoshiro256& rng) {
+  for (std::size_t i = 0; i < len; ++i) {
+    data[i] = static_cast<T>(rng.uniform(-1.0, 1.0));
+  }
+}
+
+template <typename T>
+ValidationResult validate_impl(const Problem& problem,
+                               const blas::CpuBlasLibrary& cpu,
+                               sim::SimGpu& gpu) {
+  const auto m = static_cast<int>(problem.dims.m);
+  const auto n = static_cast<int>(problem.dims.n);
+  const auto k = static_cast<int>(problem.dims.k);
+  const T beta = problem.beta_zero ? T(0) : T(2);
+
+  ValidationResult result;
+
+  if (problem.op == KernelOp::Gemm) {
+    const std::size_t a_len = static_cast<std::size_t>(m) * k;
+    const std::size_t b_len = static_cast<std::size_t>(k) * n;
+    const std::size_t c_len = static_cast<std::size_t>(m) * n;
+
+    // Host-side data, constant seed.
+    std::vector<T> a(a_len);
+    std::vector<T> b(b_len);
+    std::vector<T> c_cpu(c_len, T(0));
+    util::Xoshiro256 rng(kDataSeed);
+    fill_random(a.data(), a_len, rng);
+    fill_random(b.data(), b_len, rng);
+
+    cpu.do_gemm(blas::Transpose::No, blas::Transpose::No, m, n, k, T(1),
+                a.data(), std::max(1, m), b.data(), std::max(1, k), beta,
+                c_cpu.data(), std::max(1, m));
+
+    // GPU side: pinned staging + device buffers, Transfer-Once style.
+    auto ha = gpu.alloc_host(a_len * sizeof(T));
+    auto hb = gpu.alloc_host(b_len * sizeof(T));
+    auto hc = gpu.alloc_host(c_len * sizeof(T));
+    std::memcpy(ha.data(), a.data(), a_len * sizeof(T));
+    std::memcpy(hb.data(), b.data(), b_len * sizeof(T));
+
+    auto da = gpu.alloc_device(a_len * sizeof(T));
+    auto db = gpu.alloc_device(b_len * sizeof(T));
+    auto dc = gpu.alloc_device(c_len * sizeof(T));
+    gpu.memcpy_h2d(da, ha, a_len * sizeof(T));
+    gpu.memcpy_h2d(db, hb, b_len * sizeof(T));
+    gpu.memcpy_h2d(dc, hc, c_len * sizeof(T));
+    gpu.gemm<T>(m, n, k, T(1), da, std::max(1, m), db, std::max(1, k), beta,
+                dc, std::max(1, m));
+    gpu.synchronize();
+    gpu.memcpy_d2h(hc, dc, c_len * sizeof(T));
+
+    result.cpu_checksum = checksum(c_cpu.data(), c_len);
+    result.gpu_checksum = checksum(hc.as<T>(), c_len);
+  } else {
+    const std::size_t a_len = static_cast<std::size_t>(m) * n;
+    const std::size_t x_len = static_cast<std::size_t>(n);
+    const std::size_t y_len = static_cast<std::size_t>(m);
+
+    std::vector<T> a(a_len);
+    std::vector<T> x(x_len);
+    std::vector<T> y_cpu(y_len, T(0));
+    util::Xoshiro256 rng(kDataSeed);
+    fill_random(a.data(), a_len, rng);
+    fill_random(x.data(), x_len, rng);
+
+    cpu.do_gemv(blas::Transpose::No, m, n, T(1), a.data(), std::max(1, m),
+                x.data(), 1, beta, y_cpu.data(), 1);
+
+    auto ha = gpu.alloc_host(a_len * sizeof(T));
+    auto hx = gpu.alloc_host(x_len * sizeof(T));
+    auto hy = gpu.alloc_host(y_len * sizeof(T));
+    std::memcpy(ha.data(), a.data(), a_len * sizeof(T));
+    std::memcpy(hx.data(), x.data(), x_len * sizeof(T));
+
+    auto da = gpu.alloc_device(a_len * sizeof(T));
+    auto dx = gpu.alloc_device(x_len * sizeof(T));
+    auto dy = gpu.alloc_device(y_len * sizeof(T));
+    gpu.memcpy_h2d(da, ha, a_len * sizeof(T));
+    gpu.memcpy_h2d(dx, hx, x_len * sizeof(T));
+    gpu.memcpy_h2d(dy, hy, y_len * sizeof(T));
+    gpu.gemv<T>(m, n, T(1), da, std::max(1, m), dx, beta, dy);
+    gpu.synchronize();
+    gpu.memcpy_d2h(hy, dy, y_len * sizeof(T));
+
+    result.cpu_checksum = checksum(y_cpu.data(), y_len);
+    result.gpu_checksum = checksum(hy.as<T>(), y_len);
+  }
+
+  const double denom =
+      std::max({std::fabs(result.cpu_checksum), std::fabs(result.gpu_checksum),
+                1e-30});
+  result.relative_error =
+      std::fabs(result.cpu_checksum - result.gpu_checksum) / denom;
+  result.passed = result.relative_error <= kChecksumTolerance;
+  result.detail = util::strfmt("cpu=%.9g gpu=%.9g rel=%.3g",
+                               result.cpu_checksum, result.gpu_checksum,
+                               result.relative_error);
+  return result;
+}
+
+}  // namespace
+
+ValidationResult validate_problem(const Problem& problem,
+                                  const blas::CpuBlasLibrary& cpu,
+                                  sim::SimGpu& gpu) {
+  switch (problem.precision) {
+    case model::Precision::F32:
+      return validate_impl<float>(problem, cpu, gpu);
+    case model::Precision::F64:
+      return validate_impl<double>(problem, cpu, gpu);
+    default: {
+      ValidationResult r;
+      r.detail = "unsupported precision for validation";
+      return r;
+    }
+  }
+}
+
+}  // namespace blob::core

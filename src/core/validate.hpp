@@ -1,0 +1,49 @@
+#pragma once
+// CPU/GPU result validation (paper §III-B).
+//
+// GPU-BLOB seeds both devices' inputs identically (constant srand seed)
+// and compares output checksums with a 0.1% relative margin for
+// floating-point rounding. We do the same: run the problem through the
+// CPU BLAS library and through the simulated GPU's functional kernels on
+// identically seeded data, and compare checksums.
+
+#include <cstdint>
+#include <string>
+
+#include "blas/library.hpp"
+#include "core/problem.hpp"
+#include "simgpu/device.hpp"
+
+namespace blob::core {
+
+struct ValidationResult {
+  bool passed = false;
+  double cpu_checksum = 0.0;
+  double gpu_checksum = 0.0;
+  double relative_error = 0.0;
+  std::string detail;
+};
+
+/// The relative checksum tolerance the paper permits.
+inline constexpr double kChecksumTolerance = 1e-3;
+
+/// Seed constant shared by every buffer initialisation so CPU and GPU
+/// data of equal dimensions are always identical (§III-B).
+inline constexpr std::uint64_t kDataSeed = 0xB10Bu;
+
+/// Execute `problem` once on the CPU library and once on the simulated
+/// GPU (Transfer-Once style), then compare output checksums.
+/// Only f32/f64 problems are supported.
+ValidationResult validate_problem(const Problem& problem,
+                                  const blas::CpuBlasLibrary& cpu,
+                                  sim::SimGpu& gpu);
+
+/// Sum of elements — the simple checksum GPU-BLOB uses.
+template <typename T>
+double checksum(const T* data, std::size_t len) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < len; ++i) sum += static_cast<double>(data[i]);
+  return sum;
+}
+
+}  // namespace blob::core

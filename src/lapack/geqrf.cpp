@@ -1,0 +1,127 @@
+#include "lapack/geqrf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/gemv.hpp"
+#include "blas/level2.hpp"
+#include "blas/level3.hpp"
+#include "blas/ref_blas.hpp"
+
+namespace blob::lapack {
+
+namespace {
+
+/// Generate the Householder reflector for x = A[j:m, j]:
+/// H x = (beta, 0, ..., 0)^T with H = I - tau v v^T, v[0] = 1.
+/// Writes beta to A[j,j], v[1:] below it; returns tau (0 for a zero
+/// column: H = I).
+template <typename T>
+T make_reflector(int m, int j, T* a, int lda) {
+  T* x = a + j + static_cast<std::size_t>(j) * lda;
+  const int len = m - j;
+  if (len <= 1) return T(0);
+
+  const T alpha = x[0];
+  T norm_rest = blas::ref::nrm2(len - 1, x + 1, 1);
+  if (norm_rest == T(0)) return T(0);  // already upper triangular here
+
+  const T norm_x = std::hypot(alpha, norm_rest);
+  const T beta = alpha >= T(0) ? -norm_x : norm_x;  // avoid cancellation
+  const T tau = (beta - alpha) / beta;
+  const T inv = T(1) / (alpha - beta);
+  for (int i = 1; i < len; ++i) x[i] *= inv;
+  x[0] = beta;
+  return tau;
+}
+
+/// Apply H = I - tau v v^T (v from column j of the factor, v[0]=1
+/// implicit) to C[j:m, 0:ncols] with leading dimension ldc.
+template <typename T>
+void apply_reflector(int m, int j, const T* qr, int lda, T tau, T* c,
+                     int ldc, int ncols, std::vector<T>& w) {
+  if (tau == T(0) || ncols <= 0) return;
+  const int len = m - j;
+  const T* v = qr + j + static_cast<std::size_t>(j) * lda;  // v[0] -> beta!
+  // w = C^T v, treating v[0] as 1.
+  w.assign(static_cast<std::size_t>(ncols), T(0));
+  for (int col = 0; col < ncols; ++col) {
+    const T* ccol = c + j + static_cast<std::size_t>(col) * ldc;
+    T sum = ccol[0];  // v[0] == 1
+    for (int i = 1; i < len; ++i) sum += v[i] * ccol[i];
+    w[static_cast<std::size_t>(col)] = sum;
+  }
+  // C -= tau * v * w^T.
+  for (int col = 0; col < ncols; ++col) {
+    T* ccol = c + j + static_cast<std::size_t>(col) * ldc;
+    const T tw = tau * w[static_cast<std::size_t>(col)];
+    ccol[0] -= tw;
+    for (int i = 1; i < len; ++i) ccol[i] -= v[i] * tw;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void geqrf(int m, int n, T* a, int lda, std::vector<T>& tau,
+           parallel::ThreadPool* /*pool*/, std::size_t /*threads*/,
+           int /*block*/) {
+  if (m < 0 || n < 0 || m < n || lda < std::max(1, m)) {
+    throw blas::BlasError("geqrf: bad dimensions (need m >= n)");
+  }
+  tau.assign(static_cast<std::size_t>(n), T(0));
+  std::vector<T> w;
+  for (int j = 0; j < n; ++j) {
+    const T t = make_reflector(m, j, a, lda);
+    tau[static_cast<std::size_t>(j)] = t;
+    // Trailing update: apply H_j to A[j:m, j+1:n].
+    if (j + 1 < n) {
+      apply_reflector(m, j, a, lda, t,
+                      a + static_cast<std::size_t>(j + 1) * lda, lda,
+                      n - j - 1, w);
+    }
+  }
+}
+
+template <typename T>
+void ormqr_qt(int m, int n, int nrhs, const T* qr, int lda,
+              const std::vector<T>& tau, T* c, int ldc) {
+  if (m < 0 || n < 0 || nrhs < 0 || lda < std::max(1, m) ||
+      ldc < std::max(1, m)) {
+    throw blas::BlasError("ormqr_qt: bad dimensions");
+  }
+  if (static_cast<int>(tau.size()) < n) {
+    throw blas::BlasError("ormqr_qt: tau too short");
+  }
+  std::vector<T> w;
+  // Q^T = H_{n-1} ... H_1 H_0 applied left to right.
+  for (int j = 0; j < n; ++j) {
+    apply_reflector(m, j, qr, lda, tau[static_cast<std::size_t>(j)], c, ldc,
+                    nrhs, w);
+  }
+}
+
+template <typename T>
+void gels(int m, int n, int nrhs, T* a, int lda, T* b, int ldb,
+          parallel::ThreadPool* pool, std::size_t threads) {
+  std::vector<T> tau;
+  geqrf(m, n, a, lda, tau, pool, threads);
+  ormqr_qt(m, n, nrhs, a, lda, tau, b, ldb);
+  // Solve R x = (Q^T b)[0:n] in place.
+  blas::trsm(blas::Side::Left, blas::UpLo::Upper, blas::Transpose::No,
+             blas::Diag::NonUnit, n, nrhs, T(1), a, lda, b, ldb, pool,
+             threads);
+}
+
+#define BLOB_LAPACK_GEQRF_INST(T)                                        \
+  template void geqrf<T>(int, int, T*, int, std::vector<T>&,             \
+                         parallel::ThreadPool*, std::size_t, int);       \
+  template void ormqr_qt<T>(int, int, int, const T*, int,                \
+                            const std::vector<T>&, T*, int);             \
+  template void gels<T>(int, int, int, T*, int, T*, int,                 \
+                        parallel::ThreadPool*, std::size_t)
+BLOB_LAPACK_GEQRF_INST(float);
+BLOB_LAPACK_GEQRF_INST(double);
+#undef BLOB_LAPACK_GEQRF_INST
+
+}  // namespace blob::lapack

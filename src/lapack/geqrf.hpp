@@ -1,0 +1,49 @@
+#pragma once
+// Householder QR factorization and least squares (LAPACK geqrf / ormqr /
+// gels subset).
+//
+// QR rounds out the factorization layer: its panel/update structure is
+// another of the "matrices of all shapes and sizes" workloads (§III-C) —
+// the trailing update applies a block reflector as two GEMMs whose shape
+// degrades exactly like LU's.
+
+#include <vector>
+
+#include "blas/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::lapack {
+
+/// In-place Householder QR of A (m x n, m >= n, column major):
+/// R ends up in the upper triangle, the Householder vectors below the
+/// diagonal (unit leading element implicit), and `tau` holds the n
+/// reflector coefficients. Blocked with compact-WY trailing updates.
+template <typename T>
+void geqrf(int m, int n, T* a, int lda, std::vector<T>& tau,
+           parallel::ThreadPool* pool = nullptr, std::size_t threads = 1,
+           int block = 32);
+
+/// Apply Q^T (from geqrf) to C (m x nrhs): C <- Q^T C. Used by gels.
+template <typename T>
+void ormqr_qt(int m, int n, int nrhs, const T* qr, int lda,
+              const std::vector<T>& tau, T* c, int ldc);
+
+/// Minimum-norm least squares: minimise ||A x - b||_2 for full-rank A
+/// (m x n, m >= n). On return the first n rows of b hold x; A is
+/// overwritten with its QR factors.
+template <typename T>
+void gels(int m, int n, int nrhs, T* a, int lda, T* b, int ldb,
+          parallel::ThreadPool* pool = nullptr, std::size_t threads = 1);
+
+#define BLOB_LAPACK_GEQRF_EXTERN(T)                                         \
+  extern template void geqrf<T>(int, int, T*, int, std::vector<T>&,         \
+                                parallel::ThreadPool*, std::size_t, int);   \
+  extern template void ormqr_qt<T>(int, int, int, const T*, int,            \
+                                   const std::vector<T>&, T*, int);         \
+  extern template void gels<T>(int, int, int, T*, int, T*, int,             \
+                               parallel::ThreadPool*, std::size_t)
+BLOB_LAPACK_GEQRF_EXTERN(float);
+BLOB_LAPACK_GEQRF_EXTERN(double);
+#undef BLOB_LAPACK_GEQRF_EXTERN
+
+}  // namespace blob::lapack

@@ -1,0 +1,141 @@
+#include "lapack/getrf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/gemm.hpp"
+#include "blas/level3.hpp"
+
+namespace blob::lapack {
+
+namespace {
+
+/// Unblocked right-looking LU on the panel A[j0:n, j0:j0+jb), pivoting
+/// full rows of the n-column matrix.
+template <typename T>
+void getrf_panel(int n_rows, int n_cols_total, int j0, int jb, T* a, int lda,
+                 std::vector<int>& ipiv) {
+  for (int j = j0; j < j0 + jb; ++j) {
+    // Find the pivot in column j below (and including) row j.
+    int pivot = j;
+    T best = std::abs(a[j + static_cast<std::size_t>(j) * lda]);
+    for (int i = j + 1; i < n_rows; ++i) {
+      const T v = std::abs(a[i + static_cast<std::size_t>(j) * lda]);
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best == T(0)) {
+      throw FactorizationError("getrf: exactly singular at column " +
+                               std::to_string(j));
+    }
+    ipiv[static_cast<std::size_t>(j)] = pivot;
+    if (pivot != j) {
+      // Swap complete rows (all n_cols_total columns).
+      for (int c = 0; c < n_cols_total; ++c) {
+        std::swap(a[j + static_cast<std::size_t>(c) * lda],
+                  a[pivot + static_cast<std::size_t>(c) * lda]);
+      }
+    }
+    // Scale the column below the pivot and update the trailing panel.
+    const T inv = T(1) / a[j + static_cast<std::size_t>(j) * lda];
+    for (int i = j + 1; i < n_rows; ++i) {
+      a[i + static_cast<std::size_t>(j) * lda] *= inv;
+    }
+    for (int c = j + 1; c < j0 + jb; ++c) {
+      const T ajc = a[j + static_cast<std::size_t>(c) * lda];
+      if (ajc == T(0)) continue;
+      for (int i = j + 1; i < n_rows; ++i) {
+        a[i + static_cast<std::size_t>(c) * lda] -=
+            a[i + static_cast<std::size_t>(j) * lda] * ajc;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void getrf(int n, T* a, int lda, std::vector<int>& ipiv,
+           parallel::ThreadPool* pool, std::size_t threads, int block) {
+  if (n < 0 || lda < std::max(1, n)) {
+    throw blas::BlasError("getrf: bad dimensions");
+  }
+  ipiv.assign(static_cast<std::size_t>(n), 0);
+  block = std::max(1, block);
+
+  for (int j0 = 0; j0 < n; j0 += block) {
+    const int jb = std::min(block, n - j0);
+    // Factor the current panel (pivoting swaps whole rows, so the
+    // already-factored left part and the unfactored right part follow).
+    getrf_panel(n, n, j0, jb, a, lda, ipiv);
+
+    const int trailing = n - j0 - jb;
+    if (trailing > 0) {
+      // U12 = L11^-1 * A12  (unit lower triangular solve).
+      blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Transpose::No,
+                 blas::Diag::Unit, jb, trailing, T(1),
+                 a + j0 + static_cast<std::size_t>(j0) * lda, lda,
+                 a + j0 + static_cast<std::size_t>(j0 + jb) * lda, lda, pool,
+                 threads);
+      // A22 -= L21 * U12: the tall-times-wide GEMM that dominates LU.
+      blas::gemm(blas::Transpose::No, blas::Transpose::No, n - j0 - jb,
+                 trailing, jb, T(-1),
+                 a + (j0 + jb) + static_cast<std::size_t>(j0) * lda, lda,
+                 a + j0 + static_cast<std::size_t>(j0 + jb) * lda, lda, T(1),
+                 a + (j0 + jb) + static_cast<std::size_t>(j0 + jb) * lda,
+                 lda, pool, threads);
+    }
+  }
+}
+
+template <typename T>
+void getrs(int n, int nrhs, const T* lu, int lda,
+           const std::vector<int>& ipiv, T* b, int ldb,
+           parallel::ThreadPool* pool, std::size_t threads) {
+  if (n < 0 || nrhs < 0 || lda < std::max(1, n) || ldb < std::max(1, n)) {
+    throw blas::BlasError("getrs: bad dimensions");
+  }
+  if (static_cast<int>(ipiv.size()) < n) {
+    throw blas::BlasError("getrs: ipiv too short");
+  }
+  // Apply the row interchanges to B (sequentially, as in LAPACK laswp).
+  for (int i = 0; i < n; ++i) {
+    const int p = ipiv[static_cast<std::size_t>(i)];
+    if (p != i) {
+      for (int c = 0; c < nrhs; ++c) {
+        std::swap(b[i + static_cast<std::size_t>(c) * ldb],
+                  b[p + static_cast<std::size_t>(c) * ldb]);
+      }
+    }
+  }
+  // L y = P b (unit lower), then U x = y.
+  blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Transpose::No,
+             blas::Diag::Unit, n, nrhs, T(1), lu, lda, b, ldb, pool,
+             threads);
+  blas::trsm(blas::Side::Left, blas::UpLo::Upper, blas::Transpose::No,
+             blas::Diag::NonUnit, n, nrhs, T(1), lu, lda, b, ldb, pool,
+             threads);
+}
+
+template <typename T>
+void gesv(int n, int nrhs, T* a, int lda, T* b, int ldb,
+          parallel::ThreadPool* pool, std::size_t threads) {
+  std::vector<int> ipiv;
+  getrf(n, a, lda, ipiv, pool, threads);
+  getrs(n, nrhs, a, lda, ipiv, b, ldb, pool, threads);
+}
+
+#define BLOB_LAPACK_GETRF_INST(T)                                          \
+  template void getrf<T>(int, T*, int, std::vector<int>&,                  \
+                         parallel::ThreadPool*, std::size_t, int);         \
+  template void getrs<T>(int, int, const T*, int, const std::vector<int>&, \
+                         T*, int, parallel::ThreadPool*, std::size_t);     \
+  template void gesv<T>(int, int, T*, int, T*, int, parallel::ThreadPool*, \
+                        std::size_t)
+BLOB_LAPACK_GETRF_INST(float);
+BLOB_LAPACK_GETRF_INST(double);
+#undef BLOB_LAPACK_GETRF_INST
+
+}  // namespace blob::lapack

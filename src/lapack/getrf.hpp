@@ -1,0 +1,57 @@
+#pragma once
+// LU factorization with partial pivoting (LAPACK getrf/getrs/gesv).
+//
+// LU is one of the paper's motivating real workloads whose GEMM updates
+// have "matrices of all shapes and sizes" (§III-C): the trailing-matrix
+// update of a blocked LU is exactly a tall-times-wide GEMM whose shape
+// shrinks every panel. Built entirely on our BLAS (trsm + gemm), blocked
+// with a classic right-looking algorithm.
+
+#include <vector>
+
+#include "blas/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::lapack {
+
+/// Raised when a factorization encounters an exactly singular pivot or
+/// a non-positive-definite matrix (potrf).
+struct FactorizationError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// In-place blocked LU with partial pivoting: A (n x n, column major,
+/// leading dimension lda) becomes L\U; ipiv[i] records the row swapped
+/// with row i (0-based, LAPACK-style sequential interpretation).
+/// Throws FactorizationError on an exactly zero pivot column.
+template <typename T>
+void getrf(int n, T* a, int lda, std::vector<int>& ipiv,
+           parallel::ThreadPool* pool = nullptr, std::size_t threads = 1,
+           int block = 64);
+
+/// Solve A * X = B for nrhs right-hand sides using a prior getrf result.
+/// B is n x nrhs column major (ldb >= n) and is overwritten with X.
+template <typename T>
+void getrs(int n, int nrhs, const T* lu, int lda,
+           const std::vector<int>& ipiv, T* b, int ldb,
+           parallel::ThreadPool* pool = nullptr, std::size_t threads = 1);
+
+/// Factor-and-solve convenience (LAPACK gesv): A is overwritten with its
+/// LU factors, B with the solution.
+template <typename T>
+void gesv(int n, int nrhs, T* a, int lda, T* b, int ldb,
+          parallel::ThreadPool* pool = nullptr, std::size_t threads = 1);
+
+#define BLOB_LAPACK_GETRF_EXTERN(T)                                        \
+  extern template void getrf<T>(int, T*, int, std::vector<int>&,           \
+                                parallel::ThreadPool*, std::size_t, int);  \
+  extern template void getrs<T>(int, int, const T*, int,                   \
+                                const std::vector<int>&, T*, int,          \
+                                parallel::ThreadPool*, std::size_t);       \
+  extern template void gesv<T>(int, int, T*, int, T*, int,                 \
+                               parallel::ThreadPool*, std::size_t)
+BLOB_LAPACK_GETRF_EXTERN(float);
+BLOB_LAPACK_GETRF_EXTERN(double);
+#undef BLOB_LAPACK_GETRF_EXTERN
+
+}  // namespace blob::lapack

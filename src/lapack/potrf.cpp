@@ -1,0 +1,142 @@
+#include "lapack/potrf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/gemm.hpp"
+#include "blas/level3.hpp"
+
+namespace blob::lapack {
+
+namespace {
+
+/// Unblocked lower Cholesky of A[j0:j0+jb, j0:j0+jb] with the update of
+/// the rows below handled by the caller.
+template <typename T>
+void potrf_diag_lower(int j0, int jb, T* a, int lda) {
+  for (int j = j0; j < j0 + jb; ++j) {
+    T d = a[j + static_cast<std::size_t>(j) * lda];
+    for (int p = j0; p < j; ++p) {
+      const T l = a[j + static_cast<std::size_t>(p) * lda];
+      d -= l * l;
+    }
+    if (!(d > T(0))) {
+      throw FactorizationError("potrf: matrix is not positive definite at " +
+                               std::to_string(j));
+    }
+    d = std::sqrt(d);
+    a[j + static_cast<std::size_t>(j) * lda] = d;
+    const T inv = T(1) / d;
+    for (int i = j + 1; i < j0 + jb; ++i) {
+      T v = a[i + static_cast<std::size_t>(j) * lda];
+      for (int p = j0; p < j; ++p) {
+        v -= a[i + static_cast<std::size_t>(p) * lda] *
+             a[j + static_cast<std::size_t>(p) * lda];
+      }
+      a[i + static_cast<std::size_t>(j) * lda] = v * inv;
+    }
+  }
+}
+
+template <typename T>
+void potrf_lower(int n, T* a, int lda, parallel::ThreadPool* pool,
+                 std::size_t threads, int block) {
+  for (int j0 = 0; j0 < n; j0 += block) {
+    const int jb = std::min(block, n - j0);
+    potrf_diag_lower(j0, jb, a, lda);
+    const int below = n - j0 - jb;
+    if (below > 0) {
+      // L21 = A21 * L11^-T.
+      blas::trsm(blas::Side::Right, blas::UpLo::Lower, blas::Transpose::Yes,
+                 blas::Diag::NonUnit, below, jb, T(1),
+                 a + j0 + static_cast<std::size_t>(j0) * lda, lda,
+                 a + (j0 + jb) + static_cast<std::size_t>(j0) * lda, lda,
+                 pool, threads);
+      // A22 -= L21 * L21^T (trailing symmetric update).
+      blas::syrk(blas::UpLo::Lower, blas::Transpose::No, below, jb, T(-1),
+                 a + (j0 + jb) + static_cast<std::size_t>(j0) * lda, lda,
+                 T(1),
+                 a + (j0 + jb) + static_cast<std::size_t>(j0 + jb) * lda,
+                 lda, pool, threads);
+    }
+  }
+}
+
+/// Transpose the lower factor into the upper triangle in place.
+template <typename T>
+void mirror_lower_to_upper(int n, T* a, int lda) {
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) {
+      a[j + static_cast<std::size_t>(i) * lda] =
+          a[i + static_cast<std::size_t>(j) * lda];
+    }
+  }
+}
+
+/// Mirror the upper triangle into the lower one (so the lower algorithm
+/// can run on upper-stored input).
+template <typename T>
+void mirror_upper_to_lower(int n, T* a, int lda) {
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) {
+      a[i + static_cast<std::size_t>(j) * lda] =
+          a[j + static_cast<std::size_t>(i) * lda];
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void potrf(blas::UpLo uplo, int n, T* a, int lda, parallel::ThreadPool* pool,
+           std::size_t threads, int block) {
+  if (n < 0 || lda < std::max(1, n)) {
+    throw blas::BlasError("potrf: bad dimensions");
+  }
+  block = std::max(1, block);
+  if (uplo == blas::UpLo::Lower) {
+    potrf_lower(n, a, lda, pool, threads, block);
+  } else {
+    // Factor via the lower algorithm on the mirrored data, then mirror
+    // the factor back. Costs one O(n^2) transpose each way.
+    mirror_upper_to_lower(n, a, lda);
+    potrf_lower(n, a, lda, pool, threads, block);
+    mirror_lower_to_upper(n, a, lda);
+  }
+}
+
+template <typename T>
+void potrs(blas::UpLo uplo, int n, int nrhs, const T* factor, int lda, T* b,
+           int ldb, parallel::ThreadPool* pool, std::size_t threads) {
+  if (n < 0 || nrhs < 0 || lda < std::max(1, n) || ldb < std::max(1, n)) {
+    throw blas::BlasError("potrs: bad dimensions");
+  }
+  if (uplo == blas::UpLo::Lower) {
+    // L y = b, then L^T x = y.
+    blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Transpose::No,
+               blas::Diag::NonUnit, n, nrhs, T(1), factor, lda, b, ldb, pool,
+               threads);
+    blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Transpose::Yes,
+               blas::Diag::NonUnit, n, nrhs, T(1), factor, lda, b, ldb, pool,
+               threads);
+  } else {
+    // U^T y = b, then U x = y.
+    blas::trsm(blas::Side::Left, blas::UpLo::Upper, blas::Transpose::Yes,
+               blas::Diag::NonUnit, n, nrhs, T(1), factor, lda, b, ldb, pool,
+               threads);
+    blas::trsm(blas::Side::Left, blas::UpLo::Upper, blas::Transpose::No,
+               blas::Diag::NonUnit, n, nrhs, T(1), factor, lda, b, ldb, pool,
+               threads);
+  }
+}
+
+#define BLOB_LAPACK_POTRF_INST(T)                                          \
+  template void potrf<T>(blas::UpLo, int, T*, int, parallel::ThreadPool*,  \
+                         std::size_t, int);                                \
+  template void potrs<T>(blas::UpLo, int, int, const T*, int, T*, int,     \
+                         parallel::ThreadPool*, std::size_t)
+BLOB_LAPACK_POTRF_INST(float);
+BLOB_LAPACK_POTRF_INST(double);
+#undef BLOB_LAPACK_POTRF_INST
+
+}  // namespace blob::lapack

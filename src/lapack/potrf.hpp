@@ -1,0 +1,38 @@
+#pragma once
+// Cholesky factorization (LAPACK potrf/potrs) for symmetric positive
+// definite matrices, blocked on our BLAS (trsm + syrk + gemm).
+
+#include <stdexcept>
+
+#include "lapack/getrf.hpp"  // FactorizationError
+#include "blas/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::lapack {
+
+/// In-place blocked Cholesky of the `uplo` triangle of A (n x n, column
+/// major): A = L*L^T (Lower) or U^T*U (Upper). Only the requested
+/// triangle is referenced or written. Throws FactorizationError if A is
+/// not positive definite.
+template <typename T>
+void potrf(blas::UpLo uplo, int n, T* a, int lda,
+           parallel::ThreadPool* pool = nullptr, std::size_t threads = 1,
+           int block = 64);
+
+/// Solve A * X = B given the potrf factor (same uplo); B (n x nrhs,
+/// column major) is overwritten with X.
+template <typename T>
+void potrs(blas::UpLo uplo, int n, int nrhs, const T* factor, int lda, T* b,
+           int ldb, parallel::ThreadPool* pool = nullptr,
+           std::size_t threads = 1);
+
+#define BLOB_LAPACK_POTRF_EXTERN(T)                                        \
+  extern template void potrf<T>(blas::UpLo, int, T*, int,                  \
+                                parallel::ThreadPool*, std::size_t, int);  \
+  extern template void potrs<T>(blas::UpLo, int, int, const T*, int, T*,   \
+                                int, parallel::ThreadPool*, std::size_t)
+BLOB_LAPACK_POTRF_EXTERN(float);
+BLOB_LAPACK_POTRF_EXTERN(double);
+#undef BLOB_LAPACK_POTRF_EXTERN
+
+}  // namespace blob::lapack

@@ -1,0 +1,51 @@
+#include "parallel/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blob::parallel {
+
+const char* to_string(ThreadPolicyKind kind) {
+  switch (kind) {
+    case ThreadPolicyKind::AllThreads:
+      return "all-threads";
+    case ThreadPolicyKind::SingleThread:
+      return "single-thread";
+    case ThreadPolicyKind::ScaleWithProblem:
+      return "scale-with-problem";
+  }
+  return "?";
+}
+
+std::size_t ThreadPolicy::threads_for(double flops,
+                                      std::size_t max_threads) const {
+  max_threads = std::max<std::size_t>(1, max_threads);
+  switch (kind) {
+    case ThreadPolicyKind::AllThreads:
+      return max_threads;
+    case ThreadPolicyKind::SingleThread:
+      return 1;
+    case ThreadPolicyKind::ScaleWithProblem: {
+      if (flops <= 0.0 || flops_per_thread <= 0.0) return 1;
+      const double ideal = std::ceil(flops / flops_per_thread);
+      const double clamped =
+          std::clamp(ideal, 1.0, static_cast<double>(max_threads));
+      return static_cast<std::size_t>(clamped);
+    }
+  }
+  return 1;
+}
+
+ThreadPolicy all_threads_policy() {
+  return ThreadPolicy{ThreadPolicyKind::AllThreads, 0.0};
+}
+
+ThreadPolicy single_thread_policy() {
+  return ThreadPolicy{ThreadPolicyKind::SingleThread, 0.0};
+}
+
+ThreadPolicy scaled_policy(double flops_per_thread) {
+  return ThreadPolicy{ThreadPolicyKind::ScaleWithProblem, flops_per_thread};
+}
+
+}  // namespace blob::parallel

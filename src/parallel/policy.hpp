@@ -1,0 +1,48 @@
+#pragma once
+// Thread-count selection policies.
+//
+// The paper attributes Isambard-AI's tiny offload thresholds partly to
+// NVPL "seemingly attempt[ing] to use all available threads for every
+// problem size, whilst ArmPL scales the thread count with the problem
+// size" (§IV-A, Fig. 3). These policies are that mechanism, shared by the
+// real CPU BLAS dispatch layer and the simulated CPU timing model.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace blob::parallel {
+
+/// How a BLAS library chooses its thread count for a given problem.
+enum class ThreadPolicyKind {
+  /// Always use every available thread (NVPL-like).
+  AllThreads,
+  /// Always run serial (AOCL-like GEMV; single-threaded builds).
+  SingleThread,
+  /// Grow the thread count with the problem's FLOP count so small
+  /// problems avoid fork/join overhead (ArmPL-like).
+  ScaleWithProblem,
+};
+
+const char* to_string(ThreadPolicyKind kind);
+
+/// Policy instance with its tuning knobs.
+struct ThreadPolicy {
+  ThreadPolicyKind kind = ThreadPolicyKind::AllThreads;
+  /// For ScaleWithProblem: add one thread for every `flops_per_thread`
+  /// FLOPs of work, saturating at max_threads.
+  double flops_per_thread = 2.0e6;
+
+  /// Number of threads the library would use for a problem performing
+  /// `flops` floating-point operations with `max_threads` available.
+  /// Always returns a value in [1, max_threads].
+  [[nodiscard]] std::size_t threads_for(double flops,
+                                        std::size_t max_threads) const;
+};
+
+/// Named constructors matching the library personalities in src/blas.
+ThreadPolicy all_threads_policy();
+ThreadPolicy single_thread_policy();
+ThreadPolicy scaled_policy(double flops_per_thread = 2.0e6);
+
+}  // namespace blob::parallel

@@ -1,0 +1,113 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace blob::parallel {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(std::max<std::size_t>(1, num_threads)) {
+  // The calling thread acts as worker 0 during parallel_for, so we spawn
+  // one fewer OS thread than the logical pool size.
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::run_task(const Task& task) {
+  try {
+    (*current_fn_)(task.begin, task.end, task.worker);
+  } catch (...) {
+    const std::scoped_lock lock(mutex_);
+    if (!first_exception_) first_exception_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t /*worker_index*/) {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_ && queue_.empty()) return;
+    const Task task = queue_.back();
+    queue_.pop_back();
+    lock.unlock();
+    run_task(task);
+    lock.lock();
+    if (--outstanding_ == 0) work_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t grain, const RangeFn& fn) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n = end - begin;
+
+  const std::size_t max_chunks = std::min(num_threads_, (n + grain - 1) / grain);
+  if (max_chunks <= 1 || workers_.empty()) {
+    fn(begin, end, 0);
+    return;
+  }
+
+  // Contiguous, near-equal partition (OpenMP static schedule analogue):
+  // chunk c covers [begin + c*base + min(c, rem), ...) so sizes differ by
+  // at most one element.
+  const std::size_t base = n / max_chunks;
+  const std::size_t rem = n % max_chunks;
+
+  std::vector<Task> tasks;
+  tasks.reserve(max_chunks - 1);
+  std::size_t cursor = begin;
+  Task own{};
+  for (std::size_t c = 0; c < max_chunks; ++c) {
+    const std::size_t len = base + (c < rem ? 1 : 0);
+    const Task task{cursor, cursor + len, c};
+    cursor += len;
+    if (c == 0) {
+      own = task;  // run on the calling thread
+    } else {
+      tasks.push_back(task);
+    }
+  }
+
+  {
+    const std::scoped_lock lock(mutex_);
+    current_fn_ = &fn;
+    first_exception_ = nullptr;
+    queue_ = std::move(tasks);
+    outstanding_ = queue_.size();
+  }
+  work_ready_.notify_all();
+
+  run_task(own);
+
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [this] { return outstanding_ == 0; });
+  current_fn_ = nullptr;
+  if (first_exception_) {
+    auto e = first_exception_;
+    first_exception_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool(ThreadPool::hardware_threads());
+  return pool;
+}
+
+}  // namespace blob::parallel

@@ -1,0 +1,76 @@
+#pragma once
+// Fixed-size worker thread pool with a blocking parallel_for.
+//
+// Our CPU BLAS threads Level 2/3 kernels across this pool, the analogue of
+// the OpenMP runtime that vendor libraries use (the paper pins it with
+// OMP_NUM_THREADS / OMP_PROC_BIND). The pool is created once per library
+// instance; parallel_for partitions an index range into contiguous chunks,
+// runs them on the workers (the calling thread participates), and blocks
+// until all chunks finish. Exceptions thrown by chunk bodies are captured
+// and rethrown on the calling thread.
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace blob::parallel {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `num_threads` total workers (including the caller
+  /// during parallel_for). num_threads == 0 is promoted to 1; a pool of 1
+  /// executes everything inline with zero synchronisation cost.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return num_threads_; }
+
+  /// Chunk body: receives [begin, end) of the index sub-range and the
+  /// worker index in [0, num_threads).
+  using RangeFn = std::function<void(std::size_t begin, std::size_t end,
+                                     std::size_t worker)>;
+
+  /// Split [begin, end) into at most `size()` contiguous chunks of at
+  /// least `grain` elements each and run them concurrently; blocks until
+  /// all chunks complete. Safe to call with begin >= end (no-op).
+  /// Not reentrant: chunk bodies must not call parallel_for on this pool.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const RangeFn& fn);
+
+  /// Hardware concurrency with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  struct Task {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t worker = 0;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void run_task(const Task& task);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const RangeFn* current_fn_ = nullptr;
+  std::vector<Task> queue_;
+  std::size_t outstanding_ = 0;
+  std::exception_ptr first_exception_;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool sized to hardware_threads(); lazily created.
+ThreadPool& default_pool();
+
+}  // namespace blob::parallel

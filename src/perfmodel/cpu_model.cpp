@@ -1,0 +1,164 @@
+#include "perfmodel/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blob::model {
+
+namespace {
+
+double precision_rate_scale(Precision p) {
+  switch (p) {
+    case Precision::F64:
+      return 1.0;
+    case Precision::F32:
+      return 2.0;
+    case Precision::F16:
+    case Precision::BF16:
+      return 4.0;
+  }
+  return 1.0;
+}
+
+/// FLOP counts follow the paper's model (§III-A): 2MNK + MN + qMN with
+/// q = 0 when beta == 0 and q = 2 otherwise.
+double gemm_flops(double m, double n, double k, bool beta_zero) {
+  return 2.0 * m * n * k + m * n + (beta_zero ? 0.0 : 2.0 * m * n);
+}
+double gemv_flops(double m, double n, bool beta_zero) {
+  return 2.0 * m * n + m + (beta_zero ? 0.0 : 2.0 * m);
+}
+
+}  // namespace
+
+double CpuModel::peak_gflops(Precision p, double threads) const {
+  threads = std::clamp(threads, 1.0, cores);
+  return threads * fp64_flops_per_cycle_per_core * freq_ghz *
+         precision_rate_scale(p);
+}
+
+double CpuModel::gemm_threads(double m, double n, double k) const {
+  return static_cast<double>(gemm_thread_policy.threads_for(
+      gemm_flops(m, n, k, true), static_cast<std::size_t>(cores)));
+}
+
+double CpuModel::gemv_threads(double m, double n) const {
+  if (!gemv_parallel) return 1.0;
+  return static_cast<double>(gemv_thread_policy.threads_for(
+      gemv_flops(m, n, true), static_cast<std::size_t>(cores)));
+}
+
+double CpuModel::gemm_time(Precision p, double m, double n, double k,
+                           bool beta_zero, bool warm) const {
+  if (m <= 0 || n <= 0 || k <= 0) return call_overhead_s;
+  const double x = gemm_effective_dim(m, n, k);
+  const double threads = gemm_threads(m, n, k);
+  const double peak = peak_gflops(p, threads) * 1e9;
+  // More threads need a bigger problem to ramp: each worker sees roughly
+  // a 1/threads share of the work, so the ramp position scales with
+  // cbrt(threads). This is what makes 72-thread NVPL slower than a
+  // single NVPL thread at small sizes (Fig. 3).
+  const double ramp_x = x / std::cbrt(std::max(1.0, threads));
+  double achieved =
+      peak * gemm_eff.at(ramp_x) * apply_quirks(gemm_quirks, x, p, m, n);
+  if (warm) achieved *= warm_compute_boost;
+  const double compute_s = gemm_flops(m, n, k, beta_zero) / achieved;
+
+  // beta != 0 additionally reads C (it is write-only otherwise).
+  const double c_traffic = (beta_zero ? 1.0 : 2.0) * m * n;
+  const double bytes =
+      static_cast<double>(bytes_of(p)) * (m * k + k * n + c_traffic);
+  double bw = (threads > 1 ? socket_mem_bw_gbs : core_mem_bw_gbs) * 1e9;
+  if (warm && bytes <= llc_mib * 1048576.0) bw = cache_bw_gbs * 1e9;
+  const double memory_s = bytes / bw;
+
+  double t = std::max(compute_s, memory_s) + call_overhead_s;
+  if (threads > 1) t += fork_join_overhead_s;
+  return t;
+}
+
+double CpuModel::gemv_time(Precision p, double m, double n, bool beta_zero,
+                           bool warm) const {
+  if (m <= 0 || n <= 0) return call_overhead_s;
+  const double x = gemv_effective_dim(m, n);
+  const double threads = gemv_threads(m, n);
+  const double peak = peak_gflops(p, threads) * 1e9;
+  const double compute_s = gemv_flops(m, n, beta_zero) / peak;
+
+  // GEMV streams the matrix once: bandwidth-bound at any realistic size,
+  // so the efficiency ramp and library quirks act on the achieved
+  // bandwidth. Aggregate bandwidth grows with the threads actually used,
+  // saturating at the socket's limit.
+  const double y_traffic = (beta_zero ? 1.0 : 2.0) * m;
+  const double bytes =
+      static_cast<double>(bytes_of(p)) * (m * n + n + y_traffic);
+  double bw =
+      std::min(socket_mem_bw_gbs, core_mem_bw_gbs * std::max(1.0, threads)) *
+      1e9;
+  if (warm && bytes <= llc_mib * 1048576.0) bw = cache_bw_gbs * 1e9;
+  bw *= gemv_eff.at(x) / gemv_eff.eff_max;  // ramp normalised to 1 at peak
+  bw *= apply_quirks(gemv_quirks, x, p, m, n);
+  const double memory_s = bytes / bw;
+
+  double t = std::max(compute_s, memory_s) + call_overhead_s;
+  if (threads > 1) t += fork_join_overhead_s;
+  return t;
+}
+
+double CpuModel::gemm_total_time(Precision p, double m, double n, double k,
+                                 double iterations, bool beta_zero) const {
+  if (iterations <= 0) return 0.0;
+  const double cold = gemm_time(p, m, n, k, beta_zero, false);
+  const double cold_iters = std::min(iterations, warm_up_iterations);
+  if (iterations <= cold_iters) return cold * iterations;
+  const double warm = gemm_time(p, m, n, k, beta_zero, true);
+  return cold * cold_iters + (iterations - cold_iters) * warm;
+}
+
+double CpuModel::gemv_total_time(Precision p, double m, double n,
+                                 double iterations, bool beta_zero) const {
+  if (iterations <= 0) return 0.0;
+  // No warm path: measured GEMV curves are iteration-independent (§IV-B).
+  return gemv_time(p, m, n, beta_zero, false) * iterations;
+}
+
+double CpuModel::gemm_batched_time(Precision p, double m, double n,
+                                   double k, double batch,
+                                   bool beta_zero) const {
+  if (batch <= 1.0) return gemm_time(p, m, n, k, beta_zero);
+  if (m <= 0 || n <= 0 || k <= 0) return call_overhead_s;
+  const double x = gemm_effective_dim(m, n, k);
+  // Across-batch parallelism: all cores active, each running whole items
+  // at the single-thread ramp position.
+  const double threads = std::min(cores, batch);
+  const double peak = peak_gflops(p, threads) * 1e9;
+  const double achieved =
+      peak * gemm_eff.at(x) * apply_quirks(gemm_quirks, x, p, m, n);
+  const double compute_s = batch * gemm_flops(m, n, k, beta_zero) / achieved;
+  const double c_traffic = (beta_zero ? 1.0 : 2.0) * m * n;
+  const double bytes = batch * static_cast<double>(bytes_of(p)) *
+                       (m * k + k * n + c_traffic);
+  const double memory_s = bytes / (socket_mem_bw_gbs * 1e9);
+  double t = std::max(compute_s, memory_s) + call_overhead_s;
+  if (threads > 1) t += fork_join_overhead_s;
+  return t;
+}
+
+double CpuModel::power_w(double threads) const {
+  const double fraction = std::clamp(threads / std::max(1.0, cores), 0.0, 1.0);
+  return idle_w + (tdp_w - idle_w) * fraction;
+}
+
+double CpuModel::gemm_gflops(Precision p, double m, double n, double k,
+                             bool beta_zero) const {
+  const double t = gemm_time(p, m, n, k, beta_zero);
+  return t > 0 ? gemm_flops(m, n, k, beta_zero) / t / 1e9 : 0.0;
+}
+
+double CpuModel::gemv_gflops(Precision p, double m, double n,
+                             bool beta_zero) const {
+  const double t = gemv_time(p, m, n, beta_zero);
+  return t > 0 ? gemv_flops(m, n, beta_zero) / t / 1e9 : 0.0;
+}
+
+}  // namespace blob::model

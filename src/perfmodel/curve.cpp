@@ -1,0 +1,31 @@
+#include "perfmodel/curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blob::model {
+
+double EfficiencyCurve::at(double x) const {
+  if (x <= 0.0) return eff_min;
+  const double xp = std::pow(x, exponent);
+  const double hp = std::pow(half_size, exponent);
+  const double eff = eff_min + (eff_max - eff_min) * xp / (xp + hp);
+  return std::clamp(eff, 1e-6, 1.0);
+}
+
+double gemm_effective_dim(double m, double n, double k) {
+  if (m <= 0 || n <= 0 || k <= 0) return 0.0;
+  return std::cbrt(m * n * k);
+}
+
+double gemv_effective_dim(double m, double n) {
+  if (m <= 0 || n <= 0) return 0.0;
+  return std::sqrt(m * n);
+}
+
+double gemv_gpu_effective_dim(double m, double n) {
+  if (m <= 0 || n <= 0) return 0.0;
+  return 2.0 * m * m / (m + n);
+}
+
+}  // namespace blob::model

@@ -1,0 +1,40 @@
+#pragma once
+// Efficiency ramp curves.
+//
+// Real BLAS performance curves rise from near zero at tiny sizes toward an
+// asymptotic fraction of theoretical peak as blocking and parallelism
+// amortize (every figure in the paper has this shape). We model the ramp
+// with a Hill function of the problem's *effective dimension*:
+//
+//   eff(x) = eff_min + (eff_max - eff_min) * x^p / (x^p + half^p)
+//
+// where x is cbrt(M*N*K) for GEMM-like kernels and sqrt(M*N) for
+// GEMV-like kernels, so square and non-square problems of equal work get
+// equal ramp positions.
+
+namespace blob::model {
+
+struct EfficiencyCurve {
+  double eff_max = 0.80;   ///< asymptotic fraction of theoretical peak
+  double eff_min = 0.005;  ///< floor at size 1 (launch/dispatch bound)
+  double half_size = 256;  ///< x at which the ramp reaches its midpoint
+  double exponent = 2.0;   ///< steepness of the ramp
+
+  /// Efficiency in (0, eff_max] at effective dimension `x` (>= 0).
+  [[nodiscard]] double at(double x) const;
+};
+
+/// Effective dimension of a GEMM: the side of the cube with equal work.
+double gemm_effective_dim(double m, double n, double k);
+
+/// Effective dimension of a GEMV: the side of the square with equal work.
+double gemv_effective_dim(double m, double n);
+
+/// Shape-aware GEMV dimension for GPU ramps: GPUs parallelise GEMV over
+/// rows, so tall problems (m >> n) fill the device like a larger square
+/// one while wide problems (n >> m) behave like a much smaller one.
+/// Defined as 2m^2/(m+n), which equals m for square problems (keeping
+/// square calibration unchanged).
+double gemv_gpu_effective_dim(double m, double n);
+
+}  // namespace blob::model

@@ -1,0 +1,93 @@
+#include "perfmodel/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blob::model {
+
+namespace {
+
+double gemm_flops(double m, double n, double k, bool beta_zero) {
+  return 2.0 * m * n * k + m * n + (beta_zero ? 0.0 : 2.0 * m * n);
+}
+double gemv_flops(double m, double n, bool beta_zero) {
+  return 2.0 * m * n + m + (beta_zero ? 0.0 : 2.0 * m);
+}
+
+}  // namespace
+
+double GpuModel::peak_gflops(Precision p) const {
+  switch (p) {
+    case Precision::F32:
+      return peak_gflops_f32;
+    case Precision::F64:
+      return peak_gflops_f64;
+    case Precision::F16:
+    case Precision::BF16:
+      return peak_gflops_f16;
+  }
+  return peak_gflops_f32;
+}
+
+double GpuModel::gemm_kernel_time(Precision p, double m, double n, double k,
+                                  bool beta_zero) const {
+  if (m <= 0 || n <= 0 || k <= 0) return launch_latency_s;
+  const double x = gemm_effective_dim(m, n, k);
+  const double achieved = peak_gflops(p) * 1e9 * gemm_eff.at(x) *
+                          apply_quirks(gemm_quirks, x, p, m, n);
+  const double compute_s = gemm_flops(m, n, k, beta_zero) / achieved;
+  const double c_traffic = (beta_zero ? 1.0 : 2.0) * m * n;
+  const double bytes =
+      static_cast<double>(bytes_of(p)) * (m * k + k * n + c_traffic);
+  const double memory_s = bytes / (hbm_bw_gbs * 1e9);
+  return std::max({compute_s, memory_s, min_kernel_s}) + launch_latency_s;
+}
+
+double GpuModel::gemv_kernel_time(Precision p, double m, double n,
+                                  bool beta_zero) const {
+  if (m <= 0 || n <= 0) return launch_latency_s;
+  const double x = gemv_effective_dim(m, n);
+  const double compute_s = gemv_flops(m, n, beta_zero) / (peak_gflops(p) * 1e9);
+  // GEMV is memory-bound: the ramp and quirks act on achieved bandwidth
+  // (eff_max is the fraction of HBM bandwidth the kernel ever reaches).
+  // Shape pathologies (tall/wide) are vendor quirks, not ramp terms.
+  const double y_traffic = (beta_zero ? 1.0 : 2.0) * m;
+  const double bytes =
+      static_cast<double>(bytes_of(p)) * (m * n + n + y_traffic);
+  const double bw = hbm_bw_gbs * 1e9 * gemv_eff.at(x) *
+                    apply_quirks(gemv_quirks, x, p, m, n);
+  const double memory_s = bytes / bw;
+  return std::max({compute_s, memory_s, min_kernel_s}) + launch_latency_s;
+}
+
+double GpuModel::gemm_batched_kernel_time(Precision p, double m, double n,
+                                           double k, double batch,
+                                           bool beta_zero) const {
+  if (batch <= 1.0) return gemm_kernel_time(p, m, n, k, beta_zero);
+  if (m <= 0 || n <= 0 || k <= 0) return launch_latency_s;
+  const double x_item = gemm_effective_dim(m, n, k);
+  const double x_agg = x_item * std::cbrt(batch);
+  const double achieved = peak_gflops(p) * 1e9 * gemm_eff.at(x_agg) *
+                          apply_quirks(gemm_quirks, x_item, p, m, n);
+  const double compute_s =
+      batch * gemm_flops(m, n, k, beta_zero) / achieved;
+  const double c_traffic = (beta_zero ? 1.0 : 2.0) * m * n;
+  const double bytes = batch * static_cast<double>(bytes_of(p)) *
+                       (m * k + k * n + c_traffic);
+  const double memory_s = bytes / (hbm_bw_gbs * 1e9);
+  return std::max({compute_s, memory_s, min_kernel_s}) + launch_latency_s;
+}
+
+double GpuModel::gemm_gflops(Precision p, double m, double n, double k,
+                             bool beta_zero) const {
+  const double t = gemm_kernel_time(p, m, n, k, beta_zero);
+  return t > 0 ? gemm_flops(m, n, k, beta_zero) / t / 1e9 : 0.0;
+}
+
+double GpuModel::gemv_gflops(Precision p, double m, double n,
+                             bool beta_zero) const {
+  const double t = gemv_kernel_time(p, m, n, beta_zero);
+  return t > 0 ? gemv_flops(m, n, beta_zero) / t / 1e9 : 0.0;
+}
+
+}  // namespace blob::model

@@ -1,0 +1,69 @@
+#pragma once
+// Analytic GPU timing model.
+//
+// A GPU kernel's predicted time is
+//   max(flops / (peak * eff(x) * quirks(x)),  bytes / hbm_bw,  min_kernel)
+//   + launch latency
+// The efficiency ramp captures tile/wave quantisation (small problems
+// cannot fill the device); launch latency dominates the smallest sizes.
+// Data movement over the host link is modelled separately (link_model.hpp)
+// because GPU-BLOB charges it per transfer type (§III-B2).
+
+#include <string>
+#include <vector>
+
+#include "perfmodel/curve.hpp"
+#include "perfmodel/precision.hpp"
+#include "perfmodel/quirk.hpp"
+
+namespace blob::model {
+
+struct GpuModel {
+  std::string name = "generic-gpu";
+
+  double peak_gflops_f32 = 20000.0;
+  double peak_gflops_f64 = 10000.0;
+  double peak_gflops_f16 = 80000.0;  ///< matrix-engine path
+  double hbm_bw_gbs = 1500.0;
+  double launch_latency_s = 8.0e-6;  ///< kernel launch + queue submit
+  double min_kernel_s = 2.0e-6;      ///< floor on any kernel's execution
+
+  // Power (first-order): busy board power while a kernel runs, idle
+  // power while the device waits on transfers.
+  double board_power_w = 500.0;
+  double idle_w = 80.0;
+
+  EfficiencyCurve gemm_eff{0.80, 0.001, 700.0, 1.8};
+  EfficiencyCurve gemv_eff{0.85, 0.002, 900.0, 1.6};
+  std::vector<PerfQuirk> gemm_quirks;
+  std::vector<PerfQuirk> gemv_quirks;
+
+  [[nodiscard]] double peak_gflops(Precision p) const;
+
+  /// Predicted seconds for one GEMM kernel (excluding host-link traffic).
+  /// beta == 0 skips the C read (the Table I optimization).
+  [[nodiscard]] double gemm_kernel_time(Precision p, double m, double n,
+                                        double k,
+                                        bool beta_zero = true) const;
+
+  /// Predicted seconds for one GEMV kernel (excluding host-link traffic).
+  [[nodiscard]] double gemv_kernel_time(Precision p, double m, double n,
+                                        bool beta_zero = true) const;
+
+  /// Predicted seconds for ONE batched-GEMM kernel computing `batch`
+  /// independent m x n x k products: a single launch whose device fill
+  /// follows the aggregate work (cbrt(batch) times the per-item
+  /// effective dimension) — the mechanism behind batched BLAS's small-
+  /// size wins (paper §V future work).
+  [[nodiscard]] double gemm_batched_kernel_time(Precision p, double m,
+                                                double n, double k,
+                                                double batch,
+                                                bool beta_zero = true) const;
+
+  [[nodiscard]] double gemm_gflops(Precision p, double m, double n, double k,
+                                   bool beta_zero = true) const;
+  [[nodiscard]] double gemv_gflops(Precision p, double m, double n,
+                                   bool beta_zero = true) const;
+};
+
+}  // namespace blob::model

@@ -1,0 +1,39 @@
+#include "perfmodel/link_model.hpp"
+
+#include <cmath>
+
+namespace blob::model {
+
+double LinkModel::h2d_time(double bytes, bool pinned) const {
+  if (bytes <= 0) return 0.0;
+  const double bw = h2d_bw_gbs * 1e9 / (pinned ? 1.0 : pageable_penalty);
+  return latency_s + bytes / bw;
+}
+
+double LinkModel::d2h_time(double bytes, bool pinned) const {
+  if (bytes <= 0) return 0.0;
+  const double bw = d2h_bw_gbs * 1e9 / (pinned ? 1.0 : pageable_penalty);
+  return latency_s + bytes / bw;
+}
+
+double LinkModel::usm_first_touch_time(double bytes) const {
+  if (bytes <= 0) return 0.0;
+  if (!xnack) return usm_remote_access_time(bytes);
+  const double pages = std::ceil(bytes / page_bytes);
+  return pages * page_fault_latency_s + bytes / (migration_bw_gbs * 1e9);
+}
+
+double LinkModel::usm_remote_access_time(double bytes) const {
+  if (bytes <= 0) return 0.0;
+  const double bw = h2d_bw_gbs * 1e9 / remote_access_penalty;
+  return bytes / bw;
+}
+
+double LinkModel::usm_writeback_time(double bytes) const {
+  if (bytes <= 0) return 0.0;
+  if (!xnack) return usm_remote_access_time(bytes);
+  const double pages = std::ceil(bytes / page_bytes);
+  return pages * page_fault_latency_s + bytes / (migration_bw_gbs * 1e9);
+}
+
+}  // namespace blob::model

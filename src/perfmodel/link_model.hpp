@@ -1,0 +1,56 @@
+#pragma once
+// CPU-GPU interconnect and USM page-migration model.
+//
+// Explicit transfers: latency + bytes/bandwidth, with a pinned-memory
+// speedup (GPU-BLOB uses cudaMallocHost/hipHostMalloc, §III-B2).
+// USM (managed memory): first-touch page faults migrate data at page
+// granularity with per-fault latency; vendor migration heuristics make
+// this slower than explicit DMA, which is what the paper observes on LUMI
+// ("this poor USM performance must be a result of the vendor's page
+// migration heuristics", §IV-A). With XNACK disabled, no migration occurs
+// and every device access crosses the link — the paper cites up to a 40x
+// penalty on an AMD MI100.
+
+#include <string>
+
+namespace blob::model {
+
+struct LinkModel {
+  std::string name = "pcie4-x16";
+
+  double latency_s = 1.0e-5;      ///< per explicit-transfer setup cost
+  double h2d_bw_gbs = 24.0;       ///< pinned host-to-device bandwidth
+  double d2h_bw_gbs = 22.0;       ///< pinned device-to-host bandwidth
+  double pageable_penalty = 2.2;  ///< divide bandwidth by this if unpinned
+
+  // USM / managed memory.
+  double page_bytes = 65536.0;         ///< migration granularity
+  double page_fault_latency_s = 6.0e-6;///< per migrated page
+  double migration_bw_gbs = 12.0;      ///< effective migration bandwidth
+  bool xnack = true;                   ///< page-fault migration enabled
+  double remote_access_penalty = 40.0; ///< xnack=off: bw divided by this
+  /// Per-kernel driver tax on managed memory even when resident (page
+  /// table / residency bookkeeping) — large on ROCm, ~zero on NVLink-C2C.
+  double usm_kernel_overhead_s = 0.0;
+
+  /// Seconds to move `bytes` host->device with an explicit copy.
+  [[nodiscard]] double h2d_time(double bytes, bool pinned = true) const;
+
+  /// Seconds to move `bytes` device->host with an explicit copy.
+  [[nodiscard]] double d2h_time(double bytes, bool pinned = true) const;
+
+  /// Seconds of first-touch page-fault migration for `bytes` of managed
+  /// memory being pulled to the device.
+  [[nodiscard]] double usm_first_touch_time(double bytes) const;
+
+  /// Seconds for the device to access `bytes` of host-resident managed
+  /// memory when XNACK is off (no migration: every access crosses the
+  /// link at a penalised rate).
+  [[nodiscard]] double usm_remote_access_time(double bytes) const;
+
+  /// Seconds to write back `bytes` of managed memory to the host after
+  /// device writes (page faults on the host side).
+  [[nodiscard]] double usm_writeback_time(double bytes) const;
+};
+
+}  // namespace blob::model

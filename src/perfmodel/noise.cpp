@@ -1,0 +1,23 @@
+#include "perfmodel/noise.hpp"
+
+#include "util/rng.hpp"
+
+namespace blob::model {
+
+double NoiseModel::factor(const std::string& system, const char* kernel,
+                          Precision p, std::int64_t m, std::int64_t n,
+                          std::int64_t k, std::int64_t iterations) const {
+  if (sigma_ <= 0.0) return 1.0;
+  std::uint64_t h = seed_;
+  h = util::hash_combine(h, util::fnv1a(system.c_str()));
+  h = util::hash_combine(h, util::fnv1a(kernel));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(p));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(m));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(n));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(k));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(iterations));
+  util::Xoshiro256 rng(h);
+  return rng.lognormal_factor(sigma_);
+}
+
+}  // namespace blob::model

@@ -1,0 +1,38 @@
+#pragma once
+// Deterministic timing noise.
+//
+// The offload-threshold detector must tolerate "momentary drops in GPU
+// performance that are due to abnormal system behaviour or noise" (paper
+// §III-D). To exercise that logic reproducibly, the simulator injects
+// log-normal multiplicative noise whose seed derives from the system
+// name, kernel, precision, dimensions, and iteration count — the same
+// inputs always produce the same "noise", so every bench run and test is
+// bit-reproducible.
+
+#include <cstdint>
+#include <string>
+
+#include "perfmodel/precision.hpp"
+
+namespace blob::model {
+
+class NoiseModel {
+ public:
+  /// `sigma` is the log-normal shape (0 disables noise entirely);
+  /// `seed` namespaces independent experiments.
+  explicit NoiseModel(double sigma = 0.0, std::uint64_t seed = 0x5eed)
+      : sigma_(sigma), seed_(seed) {}
+
+  [[nodiscard]] double sigma() const { return sigma_; }
+
+  /// Multiplicative factor (median 1.0) for the given sample identity.
+  [[nodiscard]] double factor(const std::string& system, const char* kernel,
+                              Precision p, std::int64_t m, std::int64_t n,
+                              std::int64_t k, std::int64_t iterations) const;
+
+ private:
+  double sigma_;
+  std::uint64_t seed_;
+};
+
+}  // namespace blob::model

@@ -1,0 +1,38 @@
+#pragma once
+// Numeric precision tags shared by the timing models, the simulator, and
+// the benchmark harness.
+
+#include <cstddef>
+
+namespace blob::model {
+
+enum class Precision { F32, F64, F16, BF16 };
+
+constexpr std::size_t bytes_of(Precision p) {
+  switch (p) {
+    case Precision::F32:
+      return 4;
+    case Precision::F64:
+      return 8;
+    case Precision::F16:
+    case Precision::BF16:
+      return 2;
+  }
+  return 4;
+}
+
+constexpr const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::F32:
+      return "f32";
+    case Precision::F64:
+      return "f64";
+    case Precision::F16:
+      return "f16";
+    case Precision::BF16:
+      return "bf16";
+  }
+  return "?";
+}
+
+}  // namespace blob::model

@@ -1,0 +1,81 @@
+#include "perfmodel/quirk.hpp"
+
+#include <algorithm>
+
+namespace blob::model {
+
+double PerfQuirk::factor(double x) const {
+  switch (kind) {
+    case Kind::DropAt: {
+      if (x < position || span <= 0.0) return 1.0;
+      const double progress = std::min(1.0, (x - position) / span);
+      return 1.0 - magnitude * (1.0 - progress);
+    }
+    case Kind::StepUpAt:
+      return x < position ? magnitude : 1.0;
+    case Kind::PlateauFrom:
+      // Achieved perf ~ eff(x) * x-independent peak; dividing by x/position
+      // past the knee freezes the achieved GFLOP/s at its knee value
+      // asymptotically (eff is near-flat there).
+      return x <= position ? 1.0 : position / x;
+  }
+  return 1.0;
+}
+
+bool PerfQuirk::applies_to(Precision p, double m, double n) const {
+  const double lo = std::min(m, n);
+  const double hi = std::max(m, n);
+  if (lo > max_min_mn) return false;
+  if (lo > 0 && hi / lo < min_aspect) return false;
+  if (orientation == Orientation::Wide && n <= m) return false;
+  if (orientation == Orientation::Tall && m <= n) return false;
+  switch (scope) {
+    case QuirkScope::Any:
+      return true;
+    case QuirkScope::F32Only:
+      return p == Precision::F32 || p == Precision::F16 ||
+             p == Precision::BF16;
+    case QuirkScope::F64Only:
+      return p == Precision::F64;
+  }
+  return true;
+}
+
+double apply_quirks(const std::vector<PerfQuirk>& quirks, double x,
+                    Precision p, double m, double n) {
+  double f = 1.0;
+  for (const auto& q : quirks) {
+    if (q.applies_to(p, m, n)) f *= q.factor(x);
+  }
+  return std::max(f, 1e-6);
+}
+
+PerfQuirk drop_at(double position, double magnitude, double span,
+                  QuirkScope scope) {
+  PerfQuirk q;
+  q.kind = PerfQuirk::Kind::DropAt;
+  q.position = position;
+  q.magnitude = magnitude;
+  q.span = span;
+  q.scope = scope;
+  return q;
+}
+
+PerfQuirk step_up_at(double position, double pre_factor, QuirkScope scope) {
+  PerfQuirk q;
+  q.kind = PerfQuirk::Kind::StepUpAt;
+  q.position = position;
+  q.magnitude = pre_factor;
+  q.scope = scope;
+  return q;
+}
+
+PerfQuirk plateau_from(double position, QuirkScope scope) {
+  PerfQuirk q;
+  q.kind = PerfQuirk::Kind::PlateauFrom;
+  q.position = position;
+  q.scope = scope;
+  return q;
+}
+
+}  // namespace blob::model

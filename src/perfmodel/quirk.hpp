@@ -1,0 +1,73 @@
+#pragma once
+// Library-heuristic performance quirks.
+//
+// The paper repeatedly attributes offload-threshold artefacts to vendor
+// heuristics rather than hardware: a "sharp CPU performance drop at
+// {629,629,629} that is gradually recovered from" on DAWN (Fig. 2), a
+// "large Transfer-Once GPU performance jump at {32,32,2560}" on LUMI, and
+// "quickly plateauing GPU performance" for small fixed dimensions. Quirks
+// are multiplicative factors on achieved GFLOP/s as a function of the
+// effective problem dimension, composed on top of the efficiency ramp.
+
+#include <vector>
+
+#include "perfmodel/precision.hpp"
+
+namespace blob::model {
+
+/// Which precisions a quirk applies to (vendor heuristics frequently
+/// differ between SGEMM and DGEMM code paths — see the paper's LUMI
+/// non-square discussion, §IV-C).
+enum class QuirkScope { Any, F32Only, F64Only };
+
+struct PerfQuirk {
+  enum class Kind {
+    /// Perf drops by `magnitude` (fraction, e.g. 0.55) at x >= position
+    /// and linearly recovers over `span` (a block-size switch gone wrong).
+    DropAt,
+    /// Perf is multiplied by `magnitude` (< 1) for x < position and is
+    /// unaffected after it (a kernel-selection jump).
+    StepUpAt,
+    /// Achieved GFLOP/s stops growing at x > position (flat-lining GPU
+    /// path for degenerate shapes).
+    PlateauFrom,
+  };
+
+  Kind kind = Kind::DropAt;
+  double position = 0.0;   ///< effective dimension where the quirk acts
+  double magnitude = 0.5;  ///< drop fraction / pre-step multiplier
+  double span = 512.0;     ///< recovery width for DropAt
+  QuirkScope scope = QuirkScope::Any;
+
+  // Shape filters: vendor pathologies are usually shape-specific.
+  /// Applies only when the problem's smallest output dimension
+  /// min(M, N) is <= this (skinny-output GEMMs, e.g. the paper's LUMI
+  /// {32,32,K} findings).
+  double max_min_mn = 1e18;
+  /// Applies only when max(M,N)/min(M,N) >= this (non-square problems).
+  double min_aspect = 1.0;
+  /// Further restrict to wide (N > M) or tall (M > N) problems.
+  enum class Orientation { Any, Wide, Tall };
+  Orientation orientation = Orientation::Any;
+
+  /// Multiplicative factor on achieved performance at effective dim `x`.
+  [[nodiscard]] double factor(double x) const;
+
+  /// True when the quirk applies to precision `p` and an M x N output
+  /// (for GEMV, the matrix shape).
+  [[nodiscard]] bool applies_to(Precision p, double m, double n) const;
+};
+
+/// Compose all quirks applicable to `p` and shape (m, n) at `x`
+/// (product of factors; 1.0 when empty).
+double apply_quirks(const std::vector<PerfQuirk>& quirks, double x,
+                    Precision p, double m = 1e18, double n = 1e18);
+
+/// Convenience constructors.
+PerfQuirk drop_at(double position, double magnitude, double span,
+                  QuirkScope scope = QuirkScope::Any);
+PerfQuirk step_up_at(double position, double pre_factor,
+                     QuirkScope scope = QuirkScope::Any);
+PerfQuirk plateau_from(double position, QuirkScope scope = QuirkScope::Any);
+
+}  // namespace blob::model

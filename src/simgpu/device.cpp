@@ -1,0 +1,293 @@
+#include "simgpu/device.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "blas/ref_blas.hpp"
+#include "perfmodel/curve.hpp"
+
+namespace blob::sim {
+
+SimGpu::SimGpu(Config config)
+    : config_(std::move(config)),
+      stream_(&clock_, "default", config_.trace ? &trace_ : nullptr) {}
+
+Stream& SimGpu::create_stream(std::string name) {
+  extra_streams_.push_back(std::make_unique<Stream>(
+      &clock_, std::move(name), config_.trace ? &trace_ : nullptr));
+  return *extra_streams_.back();
+}
+
+Buffer SimGpu::alloc_host(std::size_t bytes, bool pinned) {
+  return Buffer(pinned ? MemKind::HostPinned : MemKind::HostPageable, bytes,
+                &tracker_);
+}
+
+Buffer SimGpu::alloc_device(std::size_t bytes) {
+  return Buffer(MemKind::Device, bytes, &tracker_);
+}
+
+Buffer SimGpu::alloc_managed(std::size_t bytes) {
+  return Buffer(MemKind::Managed, bytes, &tracker_);
+}
+
+void SimGpu::memcpy_h2d(Buffer& dst, const Buffer& src, std::size_t bytes) {
+  if (dst.kind() != MemKind::Device) {
+    throw SimError("memcpy_h2d: destination must be a device buffer");
+  }
+  if (src.kind() == MemKind::Device) {
+    throw SimError("memcpy_h2d: source must be host memory");
+  }
+  if (bytes > dst.bytes() || bytes > src.bytes()) {
+    throw SimError("memcpy_h2d: copy exceeds buffer size");
+  }
+  std::memcpy(dst.data(), src.data(), bytes);
+  h2d_bytes_ += bytes;
+  const bool pinned = src.kind() == MemKind::HostPinned;
+  stream_.enqueue(config_.link.h2d_time(static_cast<double>(bytes), pinned),
+                  "h2d");
+  stream_.synchronize();  // explicit copies in GPU-BLOB are blocking
+}
+
+double SimGpu::memcpy_h2d_async(Stream& stream, Buffer& dst,
+                                const Buffer& src, std::size_t bytes) {
+  if (dst.kind() != MemKind::Device) {
+    throw SimError("memcpy_h2d_async: destination must be a device buffer");
+  }
+  if (src.kind() == MemKind::Device) {
+    throw SimError("memcpy_h2d_async: source must be host memory");
+  }
+  if (bytes > dst.bytes() || bytes > src.bytes()) {
+    throw SimError("memcpy_h2d_async: copy exceeds buffer size");
+  }
+  std::memcpy(dst.data(), src.data(), bytes);
+  h2d_bytes_ += bytes;
+  const bool pinned = src.kind() == MemKind::HostPinned;
+  return stream.enqueue(
+      config_.link.h2d_time(static_cast<double>(bytes), pinned),
+      "h2d-async");
+}
+
+double SimGpu::memcpy_d2h_async(Stream& stream, Buffer& dst,
+                                const Buffer& src, std::size_t bytes) {
+  if (src.kind() != MemKind::Device) {
+    throw SimError("memcpy_d2h_async: source must be a device buffer");
+  }
+  if (dst.kind() == MemKind::Device) {
+    throw SimError("memcpy_d2h_async: destination must be host memory");
+  }
+  if (bytes > dst.bytes() || bytes > src.bytes()) {
+    throw SimError("memcpy_d2h_async: copy exceeds buffer size");
+  }
+  std::memcpy(dst.data(), src.data(), bytes);
+  d2h_bytes_ += bytes;
+  const bool pinned = dst.kind() == MemKind::HostPinned;
+  return stream.enqueue(
+      config_.link.d2h_time(static_cast<double>(bytes), pinned),
+      "d2h-async");
+}
+
+void SimGpu::memcpy_d2h(Buffer& dst, const Buffer& src, std::size_t bytes) {
+  if (src.kind() != MemKind::Device) {
+    throw SimError("memcpy_d2h: source must be a device buffer");
+  }
+  if (dst.kind() == MemKind::Device) {
+    throw SimError("memcpy_d2h: destination must be host memory");
+  }
+  if (bytes > dst.bytes() || bytes > src.bytes()) {
+    throw SimError("memcpy_d2h: copy exceeds buffer size");
+  }
+  std::memcpy(dst.data(), src.data(), bytes);
+  d2h_bytes_ += bytes;
+  const bool pinned = dst.kind() == MemKind::HostPinned;
+  stream_.enqueue(config_.link.d2h_time(static_cast<double>(bytes), pinned),
+                  "d2h");
+  stream_.synchronize();
+}
+
+void SimGpu::host_access_managed(Buffer& buffer) {
+  if (buffer.kind() != MemKind::Managed) return;
+  if (buffer.residency() == Residency::Device) {
+    clock_.advance(
+        config_.link.usm_writeback_time(static_cast<double>(buffer.bytes())));
+    buffer.set_residency(Residency::Host);
+    buffer.set_device_dirty(false);
+  }
+}
+
+void SimGpu::reset_managed(Buffer& buffer) {
+  if (buffer.kind() != MemKind::Managed) return;
+  buffer.set_residency(Residency::Host);
+  buffer.set_device_dirty(false);
+}
+
+double SimGpu::managed_in_cost(Buffer& buffer) {
+  if (buffer.kind() != MemKind::Managed) return 0.0;
+  if (!config_.link.xnack) {
+    // No page migration: every kernel touches host memory over the link.
+    return config_.link.usm_remote_access_time(
+        static_cast<double>(buffer.bytes()));
+  }
+  if (buffer.residency() == Residency::Host) {
+    buffer.set_residency(Residency::Device);
+    return config_.link.usm_first_touch_time(
+        static_cast<double>(buffer.bytes()));
+  }
+  return 0.0;
+}
+
+void SimGpu::require_device_visible(const Buffer& buffer,
+                                    const char* what) const {
+  if (buffer.kind() != MemKind::Device && buffer.kind() != MemKind::Managed) {
+    throw SimError(std::string("kernel operand '") + what +
+                   "' must be device or managed memory");
+  }
+}
+
+template <>
+model::Precision SimGpu::precision_of<float>() {
+  return model::Precision::F32;
+}
+template <>
+model::Precision SimGpu::precision_of<double>() {
+  return model::Precision::F64;
+}
+
+template <typename T>
+double SimGpu::gemm(int m, int n, int k, T alpha, Buffer& a, int lda,
+                    Buffer& b, int ldb, T beta, Buffer& c, int ldc,
+                    Stream* stream) {
+  require_device_visible(a, "A");
+  require_device_visible(b, "B");
+  require_device_visible(c, "C");
+
+  double usm_cost = managed_in_cost(a) + managed_in_cost(b);
+  usm_cost += managed_in_cost(c);
+  if (c.kind() == MemKind::Managed) {
+    c.set_device_dirty(true);
+    if (!config_.link.xnack) {
+      // The output write also crosses the link without page migration.
+      usm_cost += config_.link.usm_remote_access_time(
+          static_cast<double>(c.bytes()));
+    }
+  }
+  if (a.kind() == MemKind::Managed || b.kind() == MemKind::Managed ||
+      c.kind() == MemKind::Managed) {
+    usm_cost += config_.link.usm_kernel_overhead_s;
+  }
+
+  const double kernel_s =
+      config_.gpu.gemm_kernel_time(precision_of<T>(), m, n, k);
+  (stream != nullptr ? *stream : stream_)
+      .enqueue(usm_cost + kernel_s, "gemm");
+  ++kernels_;
+
+  if (config_.functional &&
+      model::gemm_effective_dim(m, n, k) <= config_.functional_dim_limit) {
+    blas::ref::gemm(blas::Transpose::No, blas::Transpose::No, m, n, k, alpha,
+                    a.as<T>(), lda, b.as<T>(), ldb, beta, c.as<T>(), ldc);
+  }
+  return usm_cost + kernel_s;
+}
+
+template <typename T>
+double SimGpu::gemv(int m, int n, T alpha, Buffer& a, int lda, Buffer& x,
+                    T beta, Buffer& y, Stream* stream) {
+  require_device_visible(a, "A");
+  require_device_visible(x, "x");
+  require_device_visible(y, "y");
+
+  double usm_cost = managed_in_cost(a) + managed_in_cost(x);
+  usm_cost += managed_in_cost(y);
+  if (y.kind() == MemKind::Managed) {
+    y.set_device_dirty(true);
+    if (!config_.link.xnack) {
+      usm_cost += config_.link.usm_remote_access_time(
+          static_cast<double>(y.bytes()));
+    }
+  }
+  if (a.kind() == MemKind::Managed || x.kind() == MemKind::Managed ||
+      y.kind() == MemKind::Managed) {
+    usm_cost += config_.link.usm_kernel_overhead_s;
+  }
+
+  const double kernel_s = config_.gpu.gemv_kernel_time(precision_of<T>(), m, n);
+  (stream != nullptr ? *stream : stream_)
+      .enqueue(usm_cost + kernel_s, "gemv");
+  ++kernels_;
+
+  if (config_.functional &&
+      model::gemv_effective_dim(m, n) <= config_.functional_dim_limit) {
+    blas::ref::gemv(blas::Transpose::No, m, n, alpha, a.as<T>(), lda,
+                    x.as<T>(), 1, beta, y.as<T>(), 1);
+  }
+  return usm_cost + kernel_s;
+}
+
+template <typename T>
+double SimGpu::gemm_strided_batched(int m, int n, int k, T alpha, Buffer& a,
+                                    int lda, std::int64_t stride_a,
+                                    Buffer& b, int ldb,
+                                    std::int64_t stride_b, T beta, Buffer& c,
+                                    int ldc, std::int64_t stride_c,
+                                    int batch, Stream* stream) {
+  require_device_visible(a, "A");
+  require_device_visible(b, "B");
+  require_device_visible(c, "C");
+  if (batch < 1) throw SimError("gemm_strided_batched: batch must be >= 1");
+  const std::size_t need_a =
+      (static_cast<std::size_t>(batch - 1) * stride_a +
+       static_cast<std::size_t>(lda) * k) * sizeof(T);
+  const std::size_t need_c =
+      (static_cast<std::size_t>(batch - 1) * stride_c +
+       static_cast<std::size_t>(ldc) * n) * sizeof(T);
+  if (need_a > a.bytes() || need_c > c.bytes()) {
+    throw SimError("gemm_strided_batched: strides exceed buffer");
+  }
+
+  double usm_cost = managed_in_cost(a) + managed_in_cost(b);
+  usm_cost += managed_in_cost(c);
+  if (c.kind() == MemKind::Managed) c.set_device_dirty(true);
+  if (a.kind() == MemKind::Managed || b.kind() == MemKind::Managed ||
+      c.kind() == MemKind::Managed) {
+    usm_cost += config_.link.usm_kernel_overhead_s;
+  }
+
+  const double kernel_s = config_.gpu.gemm_batched_kernel_time(
+      precision_of<T>(), m, n, k, static_cast<double>(batch));
+  (stream != nullptr ? *stream : stream_)
+      .enqueue(usm_cost + kernel_s, "gemm-batched");
+  ++kernels_;
+
+  if (config_.functional &&
+      model::gemm_effective_dim(m, n, k) * std::cbrt(batch) <=
+          config_.functional_dim_limit) {
+    for (int i = 0; i < batch; ++i) {
+      blas::ref::gemm(blas::Transpose::No, blas::Transpose::No, m, n, k,
+                      alpha, a.as<T>() + i * stride_a, lda,
+                      b.as<T>() + i * stride_b, ldb, beta,
+                      c.as<T>() + i * stride_c, ldc);
+    }
+  }
+  return usm_cost + kernel_s;
+}
+
+template double SimGpu::gemm<float>(int, int, int, float, Buffer&, int,
+                                    Buffer&, int, float, Buffer&, int,
+                                    Stream*);
+template double SimGpu::gemm<double>(int, int, int, double, Buffer&, int,
+                                     Buffer&, int, double, Buffer&, int,
+                                     Stream*);
+template double SimGpu::gemv<float>(int, int, float, Buffer&, int, Buffer&,
+                                    float, Buffer&, Stream*);
+template double SimGpu::gemv<double>(int, int, double, Buffer&, int, Buffer&,
+                                     double, Buffer&, Stream*);
+template double SimGpu::gemm_strided_batched<float>(
+    int, int, int, float, Buffer&, int, std::int64_t, Buffer&, int,
+    std::int64_t, float, Buffer&, int, std::int64_t, int, Stream*);
+template double SimGpu::gemm_strided_batched<double>(
+    int, int, int, double, Buffer&, int, std::int64_t, Buffer&, int,
+    std::int64_t, double, Buffer&, int, std::int64_t, int, Stream*);
+
+}  // namespace blob::sim

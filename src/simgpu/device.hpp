@@ -1,0 +1,152 @@
+#pragma once
+// SimGpu: a functional-plus-timed GPU device.
+//
+// Kernels execute numerically on host-backed storage (so results and
+// checksums are real, matching GPU-BLOB's CPU/GPU validation, §III-B) but
+// elapsed time comes from the analytic GpuModel/LinkModel. For very large
+// problems the numeric execution can be skipped (`functional_dim_limit`)
+// so virtual-time sweeps to d=4096 stay fast; timing is unaffected.
+//
+// The device owns a host-side virtual clock and a default stream. All
+// public operations advance virtual time; none sleep.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "perfmodel/gpu_model.hpp"
+#include "perfmodel/link_model.hpp"
+#include "perfmodel/precision.hpp"
+#include "simgpu/memory.hpp"
+#include "simgpu/stream.hpp"
+#include "util/timer.hpp"
+
+namespace blob::sim {
+
+class SimGpu {
+ public:
+  struct Config {
+    model::GpuModel gpu;
+    model::LinkModel link;
+    /// Execute kernels numerically (false = timing-only sweeps).
+    bool functional = true;
+    /// Skip numeric execution above this effective dimension even when
+    /// functional (keeps full-range sweeps tractable on one core).
+    double functional_dim_limit = 1024.0;
+    /// Record every operation into the device's TraceSink (see trace()).
+    bool trace = false;
+  };
+
+  explicit SimGpu(Config config);
+
+  [[nodiscard]] const model::GpuModel& gpu_model() const {
+    return config_.gpu;
+  }
+  [[nodiscard]] const model::LinkModel& link_model() const {
+    return config_.link;
+  }
+  [[nodiscard]] util::SimClock& clock() { return clock_; }
+  [[nodiscard]] Stream& default_stream() { return stream_; }
+  [[nodiscard]] MemoryTracker& memory() { return tracker_; }
+  [[nodiscard]] const TraceSink& trace() const { return trace_; }
+
+  /// Create an additional stream (cudaStreamCreate analogue). The
+  /// returned reference stays valid for the device's lifetime.
+  Stream& create_stream(std::string name);
+
+  /// Current host virtual time in seconds.
+  [[nodiscard]] double now() const { return clock_.now(); }
+
+  // -- allocation ----------------------------------------------------------
+
+  Buffer alloc_host(std::size_t bytes, bool pinned = true);
+  Buffer alloc_device(std::size_t bytes);
+  Buffer alloc_managed(std::size_t bytes);
+
+  // -- explicit transfers (synchronous: host blocks until complete) --------
+
+  /// Copy a host buffer into a device buffer. Pinned-ness of the host
+  /// side sets the bandwidth (paper §III-B2 uses pinned throughout).
+  void memcpy_h2d(Buffer& dst, const Buffer& src, std::size_t bytes);
+  void memcpy_d2h(Buffer& dst, const Buffer& src, std::size_t bytes);
+
+  // -- asynchronous transfers (enqueue on a stream; host not blocked) ----
+  // The payload is copied eagerly (the simulator has no real DMA engine),
+  // so reading the destination before synchronizing observes the data
+  // early — only the *timing* is asynchronous, which is what the
+  // overlap experiments measure. Returns the op's completion time.
+  double memcpy_h2d_async(Stream& stream, Buffer& dst, const Buffer& src,
+                          std::size_t bytes);
+  double memcpy_d2h_async(Stream& stream, Buffer& dst, const Buffer& src,
+                          std::size_t bytes);
+
+  // -- managed-memory residency --------------------------------------------
+
+  /// Host touches a managed buffer (read or write): migrates pages back
+  /// if the device holds them. Called by the harness before validating.
+  void host_access_managed(Buffer& buffer);
+
+  /// Reset a managed buffer to host residency without cost (test setup).
+  static void reset_managed(Buffer& buffer);
+
+  // -- kernels ---------------------------------------------------------------
+
+  /// Enqueue C = alpha * A * B + beta * C (column major, no transposes —
+  /// GPU-BLOB's configuration). Operands must be Device or Managed
+  /// buffers; managed operands fault-migrate on first device touch.
+  /// Returns the kernel's model-predicted duration in seconds.
+  /// `stream` = nullptr enqueues on the default stream.
+  template <typename T>
+  double gemm(int m, int n, int k, T alpha, Buffer& a, int lda, Buffer& b,
+              int ldb, T beta, Buffer& c, int ldc,
+              Stream* stream = nullptr);
+
+  /// Enqueue y = alpha * A * x + beta * y. Same operand rules as gemm.
+  template <typename T>
+  double gemv(int m, int n, T alpha, Buffer& a, int lda, Buffer& x, T beta,
+              Buffer& y, Stream* stream = nullptr);
+
+  /// Enqueue ONE batched-GEMM kernel over strided operands (the
+  /// cublasGemmStridedBatched analogue): problem b reads/writes at
+  /// base + b * stride elements. A single launch; device fill follows
+  /// the aggregate size (see GpuModel::gemm_batched_kernel_time).
+  template <typename T>
+  double gemm_strided_batched(int m, int n, int k, T alpha, Buffer& a,
+                              int lda, std::int64_t stride_a, Buffer& b,
+                              int ldb, std::int64_t stride_b, T beta,
+                              Buffer& c, int ldc, std::int64_t stride_c,
+                              int batch, Stream* stream = nullptr);
+
+  /// Block the host until all device work completes.
+  void synchronize() { stream_.synchronize(); }
+
+  /// Kernel-launch count since construction.
+  [[nodiscard]] std::size_t kernels_launched() const { return kernels_; }
+
+  /// Cumulative explicit-transfer traffic since construction (both the
+  /// blocking and async paths; USM migrations are not counted here).
+  [[nodiscard]] std::size_t h2d_bytes_total() const { return h2d_bytes_; }
+  [[nodiscard]] std::size_t d2h_bytes_total() const { return d2h_bytes_; }
+
+ private:
+  template <typename T>
+  static model::Precision precision_of();
+
+  /// Charge USM migration for a kernel operand and flip residency.
+  double managed_in_cost(Buffer& buffer);
+  void require_device_visible(const Buffer& buffer, const char* what) const;
+
+  Config config_;
+  util::SimClock clock_;
+  TraceSink trace_;
+  Stream stream_;
+  std::vector<std::unique_ptr<Stream>> extra_streams_;
+  MemoryTracker tracker_;
+  std::size_t kernels_ = 0;
+  std::size_t h2d_bytes_ = 0;
+  std::size_t d2h_bytes_ = 0;
+};
+
+}  // namespace blob::sim

@@ -1,0 +1,60 @@
+#include "simgpu/stream.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "simgpu/memory.hpp"
+#include "util/strfmt.hpp"
+
+namespace blob::sim {
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<OpRecord>& ops) {
+  out << "[\n";
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const auto& op = ops[i];
+    out << util::strfmt(
+        "  {\"name\": \"%s\", \"cat\": \"sim\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": \"%s\"}%s\n",
+        op.label.c_str(), op.start * 1e6, (op.end - op.start) * 1e6,
+        op.stream.c_str(), i + 1 < ops.size() ? "," : "");
+  }
+  out << "]\n";
+}
+
+Stream::Stream(util::SimClock* host_clock, std::string name,
+               TraceSink* trace)
+    : host_clock_(host_clock), name_(std::move(name)), trace_(trace) {
+  if (host_clock_ == nullptr) {
+    throw SimError("Stream: null host clock");
+  }
+}
+
+double Stream::enqueue(double duration_s, const char* label) {
+  if (duration_s < 0.0) throw SimError("Stream: negative duration");
+  const double start = std::max(tail_, host_clock_->now());
+  tail_ = start + duration_s;
+  ++ops_;
+  if (trace_ != nullptr) {
+    trace_->record(OpRecord{name_, label, start, tail_});
+  }
+  return tail_;
+}
+
+void Stream::wait(const Event& event) {
+  if (!event.recorded()) throw SimError("Stream: wait on unrecorded event");
+  tail_ = std::max(tail_, event.time());
+}
+
+void Stream::synchronize() { host_clock_->advance_to(tail_); }
+
+bool Stream::idle() const { return tail_ <= host_clock_->now(); }
+
+double Event::elapsed_seconds(const Event& start, const Event& stop) {
+  if (!start.recorded() || !stop.recorded()) {
+    throw SimError("Event: elapsed_seconds on unrecorded event");
+  }
+  return stop.time() - start.time();
+}
+
+}  // namespace blob::sim

@@ -1,0 +1,105 @@
+#pragma once
+// Simulated execution streams and events.
+//
+// A Stream is an in-order virtual timeline: each enqueued operation
+// (copy, kernel) starts no earlier than both the stream's tail and the
+// host's current virtual time, and extends the tail by the operation's
+// model-predicted duration. Events capture timeline positions so tests
+// can assert ordering; synchronize() advances the host clock to the tail,
+// exactly how cudaStreamSynchronize blocks the host.
+
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace blob::sim {
+
+/// One recorded simulated operation (for timeline inspection and the
+/// chrome-trace exporter).
+struct OpRecord {
+  std::string stream;
+  std::string label;
+  double start = 0.0;  ///< virtual seconds
+  double end = 0.0;
+};
+
+/// Shared sink for operation records; owned by the device, written by
+/// its streams when tracing is enabled.
+class TraceSink {
+ public:
+  void record(OpRecord op) { ops_.push_back(std::move(op)); }
+  [[nodiscard]] const std::vector<OpRecord>& ops() const { return ops_; }
+  void clear() { ops_.clear(); }
+
+ private:
+  std::vector<OpRecord> ops_;
+};
+
+/// Serialise a trace in Chrome's trace-event JSON format (open with
+/// chrome://tracing or Perfetto). Timestamps are microseconds of virtual
+/// time; each stream becomes a thread lane.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<OpRecord>& ops);
+
+class Stream {
+ public:
+  /// `host_clock` is the device's host-side virtual clock; enqueue times
+  /// are lower-bounded by it (work cannot start before it is submitted).
+  explicit Stream(util::SimClock* host_clock, std::string name = "stream0",
+                  TraceSink* trace = nullptr);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Append an operation of `duration_s` seconds; returns its completion
+  /// time on the virtual timeline. `label` is recorded when tracing.
+  double enqueue(double duration_s, const char* label = "op");
+
+  /// Order this stream after a recorded event from another stream
+  /// (cudaStreamWaitEvent): subsequent work starts no earlier than the
+  /// event's timestamp.
+  void wait(const class Event& event);
+
+  /// Virtual time at which all currently enqueued work completes.
+  [[nodiscard]] double tail() const { return tail_; }
+
+  /// Block the host until the stream drains (advances the host clock).
+  void synchronize();
+
+  /// True when the stream has no work pending beyond the host clock.
+  [[nodiscard]] bool idle() const;
+
+  /// Number of operations enqueued since construction.
+  [[nodiscard]] std::size_t ops_enqueued() const { return ops_; }
+
+ private:
+  util::SimClock* host_clock_;
+  std::string name_;
+  TraceSink* trace_ = nullptr;
+  double tail_ = 0.0;
+  std::size_t ops_ = 0;
+};
+
+/// A recorded position on a stream's timeline (cudaEvent analogue).
+class Event {
+ public:
+  Event() = default;
+
+  /// Capture the stream's current tail.
+  void record(const Stream& stream) {
+    time_ = stream.tail();
+    recorded_ = true;
+  }
+
+  [[nodiscard]] bool recorded() const { return recorded_; }
+  [[nodiscard]] double time() const { return time_; }
+
+  /// Seconds between two recorded events (cudaEventElapsedTime).
+  static double elapsed_seconds(const Event& start, const Event& stop);
+
+ private:
+  double time_ = 0.0;
+  bool recorded_ = false;
+};
+
+}  // namespace blob::sim

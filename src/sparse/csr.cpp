@@ -1,0 +1,116 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace blob::sparse {
+
+template <typename T>
+CsrMatrix<T> CsrMatrix<T>::from_triplets(int rows, int cols,
+                                         std::vector<Triplet<T>> triplets) {
+  if (rows < 0 || cols < 0) throw SparseError("csr: negative dimensions");
+  for (const auto& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      throw SparseError("csr: triplet index out of range");
+    }
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet<T>& a, const Triplet<T>& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+
+  for (std::size_t i = 0; i < triplets.size();) {
+    const int r = triplets[i].row;
+    const int c = triplets[i].col;
+    T sum = T(0);
+    while (i < triplets.size() && triplets[i].row == r &&
+           triplets[i].col == c) {
+      sum += triplets[i].value;
+      ++i;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(sum);
+    m.row_ptr_[static_cast<std::size_t>(r) + 1]++;
+  }
+  for (int r = 0; r < rows; ++r) {
+    m.row_ptr_[static_cast<std::size_t>(r) + 1] +=
+        m.row_ptr_[static_cast<std::size_t>(r)];
+  }
+  return m;
+}
+
+template <typename T>
+CsrMatrix<T> CsrMatrix<T>::from_dense(int rows, int cols, const T* dense,
+                                      int ld) {
+  if (ld < std::max(1, rows)) throw SparseError("csr: bad leading dim");
+  std::vector<Triplet<T>> triplets;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const T v = dense[r + static_cast<std::size_t>(c) * ld];
+      if (v != T(0)) triplets.push_back({r, c, v});
+    }
+  }
+  return from_triplets(rows, cols, std::move(triplets));
+}
+
+template <typename T>
+CsrMatrix<T> CsrMatrix<T>::random(int rows, int cols, double density,
+                                  std::uint64_t seed, bool ensure_diagonal) {
+  if (density <= 0.0 || density > 1.0) {
+    throw SparseError("csr: density must be in (0, 1]");
+  }
+  util::Xoshiro256 rng(seed);
+  std::vector<Triplet<T>> triplets;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const bool on_diagonal = ensure_diagonal && r == c && rows == cols;
+      if (on_diagonal || rng.next_double() < density) {
+        triplets.push_back(
+            {r, c, static_cast<T>(rng.uniform(-1.0, 1.0))});
+      }
+    }
+  }
+  return from_triplets(rows, cols, std::move(triplets));
+}
+
+template <typename T>
+std::vector<T> CsrMatrix<T>::to_dense() const {
+  std::vector<T> dense(static_cast<std::size_t>(rows_) * cols_, T(0));
+  for (int r = 0; r < rows_; ++r) {
+    for (std::int64_t i = row_ptr_[static_cast<std::size_t>(r)];
+         i < row_ptr_[static_cast<std::size_t>(r) + 1]; ++i) {
+      dense[r + static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(i)]) *
+                    rows_] = values_[static_cast<std::size_t>(i)];
+    }
+  }
+  return dense;
+}
+
+template <typename T>
+T CsrMatrix<T>::at(int row, int col) const {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+    throw SparseError("csr: index out of range");
+  }
+  const auto begin =
+      col_idx_.begin() + static_cast<std::ptrdiff_t>(
+                             row_ptr_[static_cast<std::size_t>(row)]);
+  const auto end =
+      col_idx_.begin() + static_cast<std::ptrdiff_t>(
+                             row_ptr_[static_cast<std::size_t>(row) + 1]);
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return T(0);
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+template class CsrMatrix<float>;
+template class CsrMatrix<double>;
+
+}  // namespace blob::sparse

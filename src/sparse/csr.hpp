@@ -1,0 +1,79 @@
+#pragma once
+// Compressed Sparse Row matrices.
+//
+// The paper's final future-work item is sparse BLAS support in GPU-BLOB
+// (§V). CSR is the core subset: the storage format every vendor sparse
+// library exchanges, plus the construction paths a benchmark needs —
+// triplets (COO), dense conversion, and seeded random generation.
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace blob::sparse {
+
+struct SparseError : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+/// One (row, col, value) entry for triplet construction.
+template <typename T>
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  T value = T(0);
+};
+
+/// CSR matrix with 32-bit indices, column-sorted rows.
+template <typename T>
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Build from triplets; duplicate (row, col) entries are summed.
+  static CsrMatrix from_triplets(int rows, int cols,
+                                 std::vector<Triplet<T>> triplets);
+
+  /// Build from a dense column-major matrix, dropping exact zeros.
+  static CsrMatrix from_dense(int rows, int cols, const T* dense, int ld);
+
+  /// Uniformly random pattern with expected `density` in (0, 1]; values
+  /// uniform in [-1, 1); deterministic in `seed`. `ensure_diagonal`
+  /// forces a nonzero on every diagonal entry of square matrices.
+  static CsrMatrix random(int rows, int cols, double density,
+                          std::uint64_t seed, bool ensure_diagonal = false);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] std::int64_t nnz() const {
+    return static_cast<std::int64_t>(values_.size());
+  }
+  [[nodiscard]] double density() const {
+    const double cells = static_cast<double>(rows_) * cols_;
+    return cells > 0 ? static_cast<double>(nnz()) / cells : 0.0;
+  }
+
+  [[nodiscard]] const std::vector<std::int64_t>& row_ptr() const {
+    return row_ptr_;
+  }
+  [[nodiscard]] const std::vector<int>& col_idx() const { return col_idx_; }
+  [[nodiscard]] const std::vector<T>& values() const { return values_; }
+
+  /// Dense column-major copy (rows x cols).
+  [[nodiscard]] std::vector<T> to_dense() const;
+
+  /// Element lookup by binary search within the row; 0 if absent.
+  [[nodiscard]] T at(int row, int col) const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<std::int64_t> row_ptr_;  // rows + 1
+  std::vector<int> col_idx_;           // nnz
+  std::vector<T> values_;              // nnz
+};
+
+extern template class CsrMatrix<float>;
+extern template class CsrMatrix<double>;
+
+}  // namespace blob::sparse

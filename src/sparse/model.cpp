@@ -1,0 +1,80 @@
+#include "sparse/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blob::sparse {
+
+double spmv_bytes(model::Precision p, std::int64_t rows, std::int64_t cols,
+                  std::int64_t nnz) {
+  const double vb = static_cast<double>(model::bytes_of(p));
+  const double values = vb * static_cast<double>(nnz);
+  const double indices = 4.0 * static_cast<double>(nnz);
+  const double row_ptr = 8.0 * (static_cast<double>(rows) + 1.0);
+  const double y_write = vb * static_cast<double>(rows);
+  // Expected unique x elements touched: cols * (1 - (1-1/cols)^(nnz/?)).
+  // Approximated by min(nnz, cols) — each distinct column read once when
+  // cache-resident.
+  const double x_read =
+      vb * static_cast<double>(std::min<std::int64_t>(nnz, cols));
+  return values + indices + row_ptr + y_write + x_read;
+}
+
+double gather_locality(model::Precision p, std::int64_t cols,
+                       double cache_mib) {
+  const double x_bytes =
+      static_cast<double>(model::bytes_of(p)) * static_cast<double>(cols);
+  const double cache = cache_mib * 1048576.0;
+  if (x_bytes <= cache) return 1.0;
+  // Past the cache, each gather increasingly misses: decay with the
+  // ratio, floored so the model stays finite.
+  return std::max(0.25, cache / x_bytes);
+}
+
+double spmv_cpu_time(const model::CpuModel& cpu, model::Precision p,
+                     std::int64_t rows, std::int64_t cols, std::int64_t nnz,
+                     bool threaded) {
+  if (rows <= 0 || cols <= 0 || nnz <= 0) return cpu.call_overhead_s;
+  const double bytes = spmv_bytes(p, rows, cols, nnz);
+  const double base_bw =
+      (threaded ? cpu.socket_mem_bw_gbs : cpu.core_mem_bw_gbs) * 1e9;
+  const double bw = base_bw * gather_locality(p, cols, cpu.llc_mib);
+  const double flops = 2.0 * static_cast<double>(nnz);
+  const double peak = cpu.peak_gflops(p, threaded ? cpu.cores : 1.0) * 1e9;
+  double t = std::max(bytes / bw, flops / peak) + cpu.call_overhead_s;
+  if (threaded) t += cpu.fork_join_overhead_s;
+  return t;
+}
+
+double spmv_gpu_kernel_time(const model::GpuModel& gpu, model::Precision p,
+                            std::int64_t rows, std::int64_t cols,
+                            std::int64_t nnz) {
+  if (rows <= 0 || cols <= 0 || nnz <= 0) return gpu.launch_latency_s;
+  const double bytes = spmv_bytes(p, rows, cols, nnz);
+  // GPU gathers hide latency with parallelism but still lose bandwidth
+  // on scattered x reads; reuse the 40 MiB-class L2 as the locality knob.
+  const double bw = gpu.hbm_bw_gbs * 1e9 * gather_locality(p, cols, 40.0);
+  const double flops = 2.0 * static_cast<double>(nnz);
+  const double compute = flops / (gpu.peak_gflops(p) * 1e9);
+  return std::max({bytes / bw, compute, gpu.min_kernel_s}) +
+         gpu.launch_latency_s;
+}
+
+double spmv_gpu_transfer_once_time(const model::GpuModel& gpu,
+                                   const model::LinkModel& link,
+                                   model::Precision p, std::int64_t rows,
+                                   std::int64_t cols, std::int64_t nnz,
+                                   std::int64_t iterations) {
+  const double vb = static_cast<double>(model::bytes_of(p));
+  const double up = vb * static_cast<double>(nnz) +          // values
+                    4.0 * static_cast<double>(nnz) +         // col idx
+                    8.0 * (static_cast<double>(rows) + 1) +  // row ptr
+                    vb * static_cast<double>(cols);          // x
+  const double down = vb * static_cast<double>(rows);        // y
+  return 4.0 * link.latency_s + up / (link.h2d_bw_gbs * 1e9) +
+         static_cast<double>(iterations) *
+             spmv_gpu_kernel_time(gpu, p, rows, cols, nnz) +
+         link.d2h_time(down, true);
+}
+
+}  // namespace blob::sparse

@@ -1,0 +1,47 @@
+#pragma once
+// SpMV timing model on top of the CPU/GPU/link roofline models —
+// the machinery for a sparse offload-threshold study (paper §V future
+// work).
+//
+// SpMV performs 2*nnz FLOPs while streaming nnz values + nnz column
+// indices + the row pointers, and gathering x with data-dependent
+// locality. The gather efficiency falls with matrix width (x no longer
+// fits in cache), which the model captures with a simple locality factor.
+
+#include <cstdint>
+
+#include "perfmodel/cpu_model.hpp"
+#include "perfmodel/gpu_model.hpp"
+#include "perfmodel/link_model.hpp"
+#include "perfmodel/precision.hpp"
+
+namespace blob::sparse {
+
+/// Bytes streamed by one CSR SpMV (values + indices + row ptr + y write
+/// + the expected unique x traffic).
+double spmv_bytes(model::Precision p, std::int64_t rows, std::int64_t cols,
+                  std::int64_t nnz);
+
+/// Gather-locality factor in (0, 1]: 1 when x fits in `cache_mib`.
+double gather_locality(model::Precision p, std::int64_t cols,
+                       double cache_mib);
+
+/// Predicted seconds of one CPU SpMV call.
+double spmv_cpu_time(const model::CpuModel& cpu, model::Precision p,
+                     std::int64_t rows, std::int64_t cols, std::int64_t nnz,
+                     bool threaded = true);
+
+/// Predicted seconds of one GPU SpMV kernel (no host-link traffic).
+double spmv_gpu_kernel_time(const model::GpuModel& gpu, model::Precision p,
+                            std::int64_t rows, std::int64_t cols,
+                            std::int64_t nnz);
+
+/// Total GPU seconds for `iterations` SpMVs with Transfer-Once movement
+/// of the CSR arrays and x, and y back.
+double spmv_gpu_transfer_once_time(const model::GpuModel& gpu,
+                                   const model::LinkModel& link,
+                                   model::Precision p, std::int64_t rows,
+                                   std::int64_t cols, std::int64_t nnz,
+                                   std::int64_t iterations);
+
+}  // namespace blob::sparse

@@ -1,0 +1,78 @@
+#include "sparse/spmv.hpp"
+
+#include <algorithm>
+
+namespace blob::sparse {
+
+namespace {
+
+template <typename T>
+void spmv_rows(const CsrMatrix<T>& a, T alpha, const T* x, T beta, T* y,
+               int r0, int r1) {
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (int r = r0; r < r1; ++r) {
+    T sum = T(0);
+    for (std::int64_t i = row_ptr[static_cast<std::size_t>(r)];
+         i < row_ptr[static_cast<std::size_t>(r) + 1]; ++i) {
+      sum += values[static_cast<std::size_t>(i)] *
+             x[col_idx[static_cast<std::size_t>(i)]];
+    }
+    const T prior = beta == T(0) ? T(0) : beta * y[r];
+    y[r] = prior + alpha * sum;
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void spmv_serial(const CsrMatrix<T>& a, T alpha, const T* x, T beta, T* y) {
+  spmv_rows(a, alpha, x, beta, y, 0, a.rows());
+}
+
+template <typename T>
+void spmv(const CsrMatrix<T>& a, T alpha, const T* x, T beta, T* y,
+          parallel::ThreadPool* pool, std::size_t threads) {
+  const std::size_t usable =
+      pool == nullptr ? 1 : std::min(threads, pool->size());
+  if (usable <= 1 || a.rows() < 64 || a.nnz() < 4096) {
+    spmv_serial(a, alpha, x, beta, y);
+    return;
+  }
+  // Partition rows into `usable` chunks of roughly equal nnz using the
+  // row_ptr prefix sums (already the cumulative nnz).
+  const auto& row_ptr = a.row_ptr();
+  std::vector<int> bounds;
+  bounds.push_back(0);
+  for (std::size_t c = 1; c < usable; ++c) {
+    const std::int64_t target =
+        static_cast<std::int64_t>(c) * a.nnz() / static_cast<std::int64_t>(usable);
+    const auto it =
+        std::lower_bound(row_ptr.begin(), row_ptr.end(), target);
+    int row = static_cast<int>(it - row_ptr.begin());
+    row = std::clamp(row, bounds.back(), a.rows());
+    bounds.push_back(row);
+  }
+  bounds.push_back(a.rows());
+
+  pool->parallel_for(0, usable, 1,
+                     [&](std::size_t c0, std::size_t c1, std::size_t) {
+                       for (std::size_t c = c0; c < c1; ++c) {
+                         spmv_rows(a, alpha, x, beta, y, bounds[c],
+                                   bounds[c + 1]);
+                       }
+                     });
+}
+
+template void spmv_serial<float>(const CsrMatrix<float>&, float, const float*,
+                                 float, float*);
+template void spmv_serial<double>(const CsrMatrix<double>&, double,
+                                  const double*, double, double*);
+template void spmv<float>(const CsrMatrix<float>&, float, const float*, float,
+                          float*, parallel::ThreadPool*, std::size_t);
+template void spmv<double>(const CsrMatrix<double>&, double, const double*,
+                           double, double*, parallel::ThreadPool*,
+                           std::size_t);
+
+}  // namespace blob::sparse

@@ -1,0 +1,30 @@
+#pragma once
+// Sparse matrix-vector product: y = alpha * A * x + beta * y, CSR A.
+
+#include "parallel/thread_pool.hpp"
+#include "sparse/csr.hpp"
+
+namespace blob::sparse {
+
+/// Serial CSR SpMV.
+template <typename T>
+void spmv_serial(const CsrMatrix<T>& a, T alpha, const T* x, T beta, T* y);
+
+/// Threaded CSR SpMV: rows are partitioned into contiguous chunks of
+/// roughly equal nnz (a static load-balanced schedule).
+template <typename T>
+void spmv(const CsrMatrix<T>& a, T alpha, const T* x, T beta, T* y,
+          parallel::ThreadPool* pool = nullptr, std::size_t threads = 1);
+
+extern template void spmv_serial<float>(const CsrMatrix<float>&, float,
+                                        const float*, float, float*);
+extern template void spmv_serial<double>(const CsrMatrix<double>&, double,
+                                         const double*, double, double*);
+extern template void spmv<float>(const CsrMatrix<float>&, float,
+                                 const float*, float, float*,
+                                 parallel::ThreadPool*, std::size_t);
+extern template void spmv<double>(const CsrMatrix<double>&, double,
+                                  const double*, double, double*,
+                                  parallel::ThreadPool*, std::size_t);
+
+}  // namespace blob::sparse

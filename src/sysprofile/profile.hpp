@@ -1,0 +1,74 @@
+#pragma once
+// System profiles: the simulated analogues of the paper's three HPC
+// systems (Table II) plus the library/configuration variants used in
+// Figures 3, 6, and 7.
+//
+// Each profile bundles a CPU timing model, a GPU timing model, and a link
+// model, calibrated so the *shape* of the paper's results reproduces:
+// threshold ordering across systems, trend direction versus iteration
+// count, and the library-heuristic artefacts called out in the text. The
+// absolute GFLOP/s are derived from the public hardware numbers the paper
+// itself quotes (FLOPs/cycle, HBM and interconnect bandwidths).
+
+#include <string>
+#include <vector>
+
+#include "perfmodel/cpu_model.hpp"
+#include "perfmodel/gpu_model.hpp"
+#include "perfmodel/link_model.hpp"
+
+namespace blob::profile {
+
+struct SystemProfile {
+  std::string name;
+  std::string description;
+  model::CpuModel cpu;
+  model::GpuModel gpu;
+  model::LinkModel link;
+  /// Log-normal timing-noise shape injected by the simulator backend.
+  double noise_sigma = 0.01;
+};
+
+/// DAWN-like: strong Xeon socket + oneMKL (thread count scales with
+/// problem size, block-switch perf drop at 629), one PVC tile over PCIe.
+SystemProfile dawn();
+
+/// DAWN variant for Fig. 7: implicit scaling across both PVC tiles —
+/// twice the raw compute, cross-tile costs, and unstable performance.
+SystemProfile dawn_implicit_scaling();
+
+/// LUMI-like: modest EPYC socket + AOCL (all-threads GEMM fork/join,
+/// serial GEMV), one MI250X GCD over Infinity Fabric, slow USM paging.
+SystemProfile lumi();
+
+/// LUMI variant for Fig. 6: OpenBLAS-like CPU library (parallel GEMV).
+SystemProfile lumi_openblas();
+
+/// LUMI variant for the HSA_XNACK discussion: USM with page faulting
+/// disabled (every device access crosses the link).
+SystemProfile lumi_xnack_off();
+
+/// Isambard-AI-like: GH200 superchip — capable Grace CPU with NVPL
+/// (all threads at every size), Hopper GPU over NVLink-C2C.
+SystemProfile isambard_ai();
+
+/// Isambard-AI variant for Fig. 3: ArmPL-like CPU library (thread count
+/// scales with problem size).
+SystemProfile isambard_ai_armpl();
+
+/// Isambard-AI variant for Fig. 3: NVPL restricted to a single thread.
+SystemProfile isambard_ai_nvpl_1t();
+
+/// MI300A-style APU (the paper's §I motivation for re-assessing the
+/// mantra): CPU and GPU share one 5.3 TB/s HBM pool — no host-device
+/// copies at all, so "transfer" modes only differ by coherence costs.
+SystemProfile mi300a_apu();
+
+/// Look up a profile by name ("dawn", "lumi", "isambard-ai", ...).
+/// Throws std::invalid_argument for unknown names.
+SystemProfile by_name(const std::string& name);
+
+/// All registered profile names.
+std::vector<std::string> profile_names();
+
+}  // namespace blob::profile

@@ -1,0 +1,166 @@
+#include "util/cli.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace blob::util {
+
+namespace {
+
+using ArgError = ArgParser::ArgError;
+
+std::int64_t parse_int(const std::string& name, const std::string& text) {
+  std::int64_t value = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) {
+    throw ArgError("option " + name + ": expected integer, got '" + text +
+                   "'");
+  }
+  return value;
+}
+
+double parse_double(const std::string& name, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double value = std::stod(text, &pos);
+    if (pos != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw ArgError("option " + name + ": expected number, got '" + text + "'");
+  }
+}
+
+}  // namespace
+
+void ArgParser::add_int(const std::string& name, std::string help,
+                        std::int64_t default_value) {
+  Option o;
+  o.kind = Kind::Int;
+  o.help = std::move(help);
+  o.int_value = default_value;
+  options_.emplace(name, std::move(o));
+}
+
+void ArgParser::add_double(const std::string& name, std::string help,
+                           double default_value) {
+  Option o;
+  o.kind = Kind::Double;
+  o.help = std::move(help);
+  o.double_value = default_value;
+  options_.emplace(name, std::move(o));
+}
+
+void ArgParser::add_string(const std::string& name, std::string help,
+                           std::string default_value) {
+  Option o;
+  o.kind = Kind::String;
+  o.help = std::move(help);
+  o.string_value = std::move(default_value);
+  options_.emplace(name, std::move(o));
+}
+
+void ArgParser::add_flag(const std::string& name, std::string help) {
+  Option o;
+  o.kind = Kind::Flag;
+  o.help = std::move(help);
+  options_.emplace(name, std::move(o));
+}
+
+std::vector<std::string> ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      if (!arg.empty() && arg.front() == '-' && arg.size() > 1 &&
+          !(arg.size() > 1 && (std::isdigit(arg[1]) != 0 || arg[1] == '.'))) {
+        throw ArgError("unknown option: " + arg);
+      }
+      positional.push_back(arg);
+      continue;
+    }
+    Option& opt = it->second;
+    if (opt.kind == Kind::Flag) {
+      opt.flag_value = true;
+      set_options_.insert(arg);
+      continue;
+    }
+    if (i + 1 >= argc) throw ArgError("option " + arg + ": missing value");
+    const std::string value = argv[++i];
+    switch (opt.kind) {
+      case Kind::Int:
+        opt.int_value = parse_int(arg, value);
+        break;
+      case Kind::Double:
+        opt.double_value = parse_double(arg, value);
+        break;
+      case Kind::String:
+        opt.string_value = value;
+        break;
+      case Kind::Flag:
+        break;  // unreachable
+    }
+    set_options_.insert(arg);
+  }
+  return positional;
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name,
+                                         Kind kind) const {
+  auto it = options_.find(name);
+  if (it == options_.end() || it->second.kind != kind) {
+    throw ArgError("undeclared option queried: " + name);
+  }
+  return it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return find(name, Kind::Int).int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return find(name, Kind::Double).double_value;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::String).string_value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  return find(name, Kind::Flag).flag_value;
+}
+
+bool ArgParser::was_set(const std::string& name) const {
+  return set_options_.contains(name);
+}
+
+std::string ArgParser::usage() const {
+  std::string out = "usage: " + program_ + " [options]\n\noptions:\n";
+  for (const auto& [name, opt] : options_) {
+    out += "  " + name;
+    switch (opt.kind) {
+      case Kind::Int:
+        out += " <int>";
+        break;
+      case Kind::Double:
+        out += " <num>";
+        break;
+      case Kind::String:
+        out += " <str>";
+        break;
+      case Kind::Flag:
+        break;
+    }
+    out += "\n      " + opt.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace blob::util

@@ -1,0 +1,74 @@
+#pragma once
+// Command-line argument parsing for the gpu-blob executable and the bench
+// binaries. Mirrors the artifact's runtime interface: `-i <iterations>`,
+// `-s <min-dim>`, `-d <max-dim>`, plus named string/flag options.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace blob::util {
+
+/// Declarative command-line parser.
+///
+/// Usage:
+///   ArgParser p("gpu-blob");
+///   p.add_int("-i", "iterations per problem size", 1);
+///   p.add_string("--system", "system profile name", "host");
+///   p.add_flag("--no-validate", "skip checksum validation");
+///   p.parse(argc, argv);          // throws ArgError on bad input
+///   int iters = p.get_int("-i");
+class ArgParser {
+ public:
+  /// Raised on unknown options, missing values, or malformed numbers.
+  struct ArgError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+  };
+
+  explicit ArgParser(std::string program) : program_(std::move(program)) {}
+
+  void add_int(const std::string& name, std::string help,
+               std::int64_t default_value);
+  void add_double(const std::string& name, std::string help,
+                  double default_value);
+  void add_string(const std::string& name, std::string help,
+                  std::string default_value);
+  void add_flag(const std::string& name, std::string help);
+
+  /// Parse argv; returns positional (non-option) arguments in order.
+  /// Recognises `--help`/`-h` by setting help_requested().
+  std::vector<std::string> parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] bool was_set(const std::string& name) const;
+
+  [[nodiscard]] bool help_requested() const { return help_requested_; }
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { Int, Double, String, Flag };
+  struct Option {
+    Kind kind = Kind::Flag;
+    std::string help;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool flag_value = false;
+  };
+
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::map<std::string, Option> options_;
+  std::set<std::string> set_options_;
+  bool help_requested_ = false;
+};
+
+}  // namespace blob::util

@@ -1,0 +1,44 @@
+#pragma once
+// CSV emission matching GPU-BLOB's artifact output format.
+//
+// The paper's artifact produces one CSV per problem type containing the
+// dimensions, run-time, and GFLOP/s of every problem size (AD appendix).
+// CsvWriter provides RFC-4180 quoting and a fixed header schema.
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blob::util {
+
+/// Quote a field per RFC 4180 if it contains a comma, quote, or newline.
+std::string csv_escape(std::string_view field);
+
+/// Streams rows of comma-separated values to any std::ostream.
+/// The header is written on construction; row width is validated.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Write one row. Throws std::invalid_argument if the number of fields
+  /// differs from the header width.
+  void row(const std::vector<std::string>& fields);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+  [[nodiscard]] std::size_t width() const { return width_; }
+
+ private:
+  void write_line(const std::vector<std::string>& fields);
+
+  std::ostream& out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+/// Parse a single CSV line (RFC-4180 quoting) into fields.
+/// Used by tests and by the offload-threshold post-processing tool that
+/// mirrors the artifact's calculateOffloadThreshold.py.
+std::vector<std::string> csv_parse_line(std::string_view line);
+
+}  // namespace blob::util

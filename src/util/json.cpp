@@ -1,0 +1,154 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strfmt.hpp"
+
+namespace blob::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strfmt("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& out, bool pretty)
+    : out_(out), pretty_(pretty) {}
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (started_) throw std::logic_error("json: multiple top-level values");
+    started_ = true;
+    return;
+  }
+  Level& top = stack_.back();
+  if (top.scope == Scope::Object && !key_pending_) {
+    throw std::logic_error("json: object member requires a key");
+  }
+  if (top.scope == Scope::Array) {
+    if (top.has_items) out_ << ',';
+    newline_indent();
+  }
+  top.has_items = true;
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back({Scope::Object, false});
+  started_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().scope != Scope::Object ||
+      key_pending_) {
+    throw std::logic_error("json: unbalanced end_object");
+  }
+  const bool had = stack_.back().has_items;
+  stack_.pop_back();
+  if (had) newline_indent();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back({Scope::Array, false});
+  started_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back().scope != Scope::Array) {
+    throw std::logic_error("json: unbalanced end_array");
+  }
+  const bool had = stack_.back().has_items;
+  stack_.pop_back();
+  if (had) newline_indent();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back().scope != Scope::Object ||
+      key_pending_) {
+    throw std::logic_error("json: key outside an object");
+  }
+  if (stack_.back().has_items) out_ << ',';
+  newline_indent();
+  out_ << '"' << json_escape(name) << "\":";
+  if (pretty_) out_ << ' ';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ << '"' << json_escape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isfinite(v)) {
+    out_ << strfmt("%.17g", v);
+  } else {
+    out_ << "null";  // JSON has no Inf/NaN
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  return *this;
+}
+
+}  // namespace blob::util

@@ -1,0 +1,71 @@
+#pragma once
+// Minimal streaming JSON writer.
+//
+// Used for run manifests and the chrome-trace exporter's structured
+// cousin: emits syntactically valid JSON with proper string escaping and
+// automatic comma management. Not a parser and not a DOM — a writer.
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blob::util {
+
+/// Escape a string for inclusion inside JSON double quotes.
+std::string json_escape(std::string_view s);
+
+/// Streaming writer: begin_object/end_object, begin_array/end_array,
+/// key(), and scalar value emitters. Throws std::logic_error on misuse
+/// (value without a key inside an object, unbalanced end, ...).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, bool pretty = true);
+  ~JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit the key of the next object member.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::size_t v) {
+    return value(static_cast<std::int64_t>(v));
+  }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key + value shorthand.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// True when every container has been closed.
+  [[nodiscard]] bool complete() const { return stack_.empty() && started_; }
+
+ private:
+  enum class Scope { Object, Array };
+  void before_value();
+  void newline_indent();
+
+  std::ostream& out_;
+  bool pretty_;
+  bool started_ = false;
+  bool key_pending_ = false;
+  struct Level {
+    Scope scope;
+    bool has_items = false;
+  };
+  std::vector<Level> stack_;
+};
+
+}  // namespace blob::util

@@ -1,0 +1,25 @@
+#pragma once
+// Minimal leveled logging to stderr.
+//
+// The harness logs sweep progress and simulator diagnostics; bench output
+// itself goes to stdout so logging must stay on stderr.
+
+#include <string>
+
+namespace blob::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line ("[level] message") to stderr if enabled.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace blob::util

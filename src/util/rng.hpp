@@ -1,0 +1,110 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// GPU-BLOB initialises CPU and GPU input buffers with rand() after srand()
+// with a constant seed so that checksums can be compared across devices
+// (paper §III-B). We need the same property plus reproducible pseudo-noise
+// in the timing models, so we implement SplitMix64 (for seeding) and
+// xoshiro256** (for streams) rather than relying on implementation-defined
+// std::rand behaviour.
+
+#include <cstdint>
+#include <cmath>
+
+namespace blob::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into stream state.
+/// Reference: Sebastiano Vigna, public domain.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with 2^256-1 period.
+class Xoshiro256 {
+ public:
+  explicit constexpr Xoshiro256(std::uint64_t seed) : s_{} { reseed(seed); }
+
+  constexpr void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// adequate for noise injection, not a hot path).
+  double normal() {
+    double u1 = next_double();
+    // Avoid log(0).
+    while (u1 <= 0.0) u1 = next_double();
+    const double u2 = next_double();
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  /// Log-normal multiplicative factor with median 1 and shape `sigma`.
+  /// Used to model run-to-run timing noise.
+  double lognormal_factor(double sigma) { return std::exp(sigma * normal()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Stable 64-bit hash combiner for deriving per-(system, kernel, size)
+/// noise seeds. Order-sensitive.
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  // 64-bit variant of boost::hash_combine using the golden-ratio constant.
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+
+/// FNV-1a for strings, constexpr so profile names can seed at compile time.
+constexpr std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  while (*s != '\0') {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(*s++));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace blob::util

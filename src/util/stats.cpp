@@ -1,0 +1,85 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace blob::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+namespace {
+
+double sorted_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+
+  RunningStats rs;
+  for (double x : samples) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.median = sorted_percentile(sorted, 50.0);
+  if (s.count > 1) {
+    s.ci95_halfwidth =
+        1.959963984540054 * s.stddev / std::sqrt(static_cast<double>(s.count));
+  }
+  return s;
+}
+
+double median(std::span<const double> samples) {
+  return percentile(samples, 50.0);
+}
+
+double percentile(std::span<const double> samples, double p) {
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  return sorted_percentile(sorted, p);
+}
+
+double geomean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : samples) {
+    if (x <= 0.0) throw std::invalid_argument("geomean: non-positive sample");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+}  // namespace blob::util

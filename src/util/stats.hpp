@@ -1,0 +1,61 @@
+#pragma once
+// Summary statistics used by the benchmark harness.
+//
+// GPU-BLOB reports run-times "as an average of three runs" (paper Table I)
+// and the harness needs robust aggregates (median, confidence intervals)
+// when timing noisy host executions.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace blob::util {
+
+/// Streaming mean/variance via Welford's algorithm. O(1) space, stable.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Aggregate description of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Half-width of the 95% normal-approximation confidence interval of
+  /// the mean; 0 when count < 2.
+  double ci95_halfwidth = 0.0;
+};
+
+/// Compute a full Summary of `samples` (copies and sorts internally).
+Summary summarize(std::span<const double> samples);
+
+/// Median of `samples`. Returns 0 for an empty span.
+double median(std::span<const double> samples);
+
+/// p-th percentile (0..100) using linear interpolation between closest
+/// ranks. Returns 0 for an empty span.
+double percentile(std::span<const double> samples, double p);
+
+/// Geometric mean; all samples must be > 0. Returns 0 for an empty span.
+double geomean(std::span<const double> samples);
+
+}  // namespace blob::util

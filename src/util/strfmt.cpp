@@ -1,0 +1,52 @@
+#include "util/strfmt.hpp"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+namespace blob::util {
+
+std::string strfmt(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    throw std::runtime_error("strfmt: vsnprintf encoding error");
+  }
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string pretty_double(double v, int digits) {
+  std::string s = strfmt("%.*g", digits, v);
+  return s;
+}
+
+std::string pretty_bytes(double bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (std::fabs(bytes) >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return unit == 0 ? strfmt("%.0f %s", bytes, kUnits[unit])
+                   : strfmt("%.2f %s", bytes, kUnits[unit]);
+}
+
+std::string pretty_seconds(double seconds) {
+  const double a = std::fabs(seconds);
+  if (a >= 1.0) return strfmt("%.3f s", seconds);
+  if (a >= 1e-3) return strfmt("%.3f ms", seconds * 1e3);
+  if (a >= 1e-6) return strfmt("%.3f us", seconds * 1e6);
+  return strfmt("%.1f ns", seconds * 1e9);
+}
+
+}  // namespace blob::util

@@ -1,0 +1,28 @@
+#pragma once
+// Small printf-style string formatting helper.
+//
+// libstdc++ shipped with GCC 12 does not provide <format>, so the project
+// uses this thin, bounds-checked wrapper around vsnprintf instead.
+
+#include <string>
+
+namespace blob::util {
+
+/// Format `fmt` printf-style into a std::string.
+///
+/// Throws std::runtime_error if the format string is malformed (vsnprintf
+/// reports an encoding error).
+[[gnu::format(printf, 1, 2)]]
+std::string strfmt(const char* fmt, ...);
+
+/// Render a double with `digits` significant digits, trimming trailing
+/// zeros ("1.5" not "1.50000"). Used by table/CSV writers.
+std::string pretty_double(double v, int digits = 6);
+
+/// Render a byte count with a binary-unit suffix ("3.2 GiB").
+std::string pretty_bytes(double bytes);
+
+/// Render seconds using an adaptive unit ("12.3 us", "4.56 ms", "1.23 s").
+std::string pretty_seconds(double seconds);
+
+}  // namespace blob::util

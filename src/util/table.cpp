@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace blob::util {
+
+TextTable::TextTable(std::vector<std::string> header, std::vector<Align> align)
+    : header_(std::move(header)), align_(std::move(align)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+  align_.resize(header_.size(), Align::Left);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  if (cells.size() > header_.size()) {
+    throw std::invalid_argument("TextTable: row wider than header");
+  }
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::rule() { pending_rule_ = true; }
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width, Align align) {
+  if (s.size() >= width) return s;
+  const std::size_t total = width - s.size();
+  switch (align) {
+    case Align::Left:
+      return s + std::string(total, ' ');
+    case Align::Right:
+      return std::string(total, ' ') + s;
+    case Align::Center: {
+      const std::size_t left = total / 2;
+      return std::string(left, ' ') + s + std::string(total - left, ' ');
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line.append(w + 2, '-');
+      line.push_back('+');
+    }
+    line.push_back('\n');
+    return line;
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line.push_back(' ');
+      line.append(pad(cells[c], widths[c], align_[c]));
+      line.append(" |");
+    }
+    line.push_back('\n');
+    return line;
+  };
+
+  std::string out = hline();
+  out += render_row(header_);
+  out += hline();
+  for (const auto& r : rows_) {
+    if (r.rule_before) out += hline();
+    out += render_row(r.cells);
+  }
+  out += hline();
+  return out;
+}
+
+}  // namespace blob::util

@@ -1,0 +1,47 @@
+#pragma once
+// Fixed-width text table rendering.
+//
+// GPU-BLOB prints the offload-threshold results "in a table to stdout"
+// (AD appendix); TextTable renders the paper-style tables for the bench
+// binaries that regenerate Tables I and III-VI.
+
+#include <string>
+#include <vector>
+
+namespace blob::util {
+
+/// Column alignment for TextTable.
+enum class Align { Left, Right, Center };
+
+/// Accumulates rows of strings and renders an ASCII table with column
+/// separators, a header rule, and per-column alignment.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header,
+                     std::vector<Align> align = {});
+
+  /// Append a data row; short rows are padded with empty cells, rows wider
+  /// than the header throw std::invalid_argument.
+  void row(std::vector<std::string> cells);
+
+  /// Insert a horizontal rule before the next appended row.
+  void rule();
+
+  /// Render the full table, each line terminated by '\n'.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace blob::util

@@ -1,0 +1,55 @@
+#pragma once
+// Wall-clock and virtual timers.
+//
+// The benchmark harness runs in one of two timing domains:
+//  * real time   — WallTimer measures host execution of our CPU BLAS;
+//  * virtual time — SimClock accumulates model-predicted seconds so that
+//    a full s=1..d=4096 sweep of simulated systems completes in seconds.
+
+#include <chrono>
+
+namespace blob::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Virtual clock: a monotone accumulator of model-predicted durations.
+/// All simulated components (GPU streams, DMA engine, CPU model) advance
+/// a SimClock instead of sleeping.
+class SimClock {
+ public:
+  /// Current virtual time in seconds since clock creation.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Advance the clock by `seconds` (must be non-negative).
+  void advance(double seconds) {
+    if (seconds > 0.0) now_ += seconds;
+  }
+
+  /// Move the clock forward to `t` if `t` is later than now.
+  /// Used when joining asynchronous simulated timelines (stream sync).
+  void advance_to(double t) {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace blob::util

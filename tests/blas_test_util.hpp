@@ -1,0 +1,40 @@
+#pragma once
+// Shared helpers for the BLAS test binaries.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace blob::test {
+
+template <typename T>
+std::vector<T> random_vector(std::size_t len, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<T> v(len);
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+/// Tolerance scaled to the reduction depth: |err| <= tol * (1 + |ref|).
+template <typename T>
+void expect_near_rel(const std::vector<T>& actual,
+                     const std::vector<T>& expected, double tol) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double a = static_cast<double>(actual[i]);
+    const double e = static_cast<double>(expected[i]);
+    ASSERT_LE(std::fabs(a - e), tol * (1.0 + std::fabs(e)))
+        << "index " << i << ": " << a << " vs " << e;
+  }
+}
+
+template <typename T>
+constexpr double gemm_tol(int k) {
+  const double eps = std::is_same_v<T, float> ? 1.2e-7 : 2.3e-16;
+  return 8.0 * eps * std::max(1, k);
+}
+
+}  // namespace blob::test

@@ -1,0 +1,154 @@
+// Batched GEMM (pointer-array and strided) plus the library-personality
+// dispatch layer.
+
+#include <gtest/gtest.h>
+
+#include "blas/batched.hpp"
+#include "blas/library.hpp"
+#include "blas/ref_blas.hpp"
+#include "blas_test_util.hpp"
+
+namespace {
+
+using namespace blob;
+using blas::Transpose;
+using blob::test::random_vector;
+
+TEST(Batched, PointerArrayMatchesLoopOfGemms) {
+  const int m = 17, n = 13, k = 9, batch = 12;
+  std::vector<std::vector<double>> a(batch), b(batch), c_opt(batch),
+      c_ref(batch);
+  std::vector<const double*> ap(batch), bp(batch);
+  std::vector<double*> cp(batch);
+  for (int i = 0; i < batch; ++i) {
+    a[i] = random_vector<double>(static_cast<std::size_t>(m) * k, 100 + i);
+    b[i] = random_vector<double>(static_cast<std::size_t>(k) * n, 200 + i);
+    c_opt[i] = random_vector<double>(static_cast<std::size_t>(m) * n, 300 + i);
+    c_ref[i] = c_opt[i];
+    ap[i] = a[i].data();
+    bp[i] = b[i].data();
+    cp[i] = c_opt[i].data();
+  }
+  parallel::ThreadPool pool(4);
+  blas::gemm_batched(Transpose::No, Transpose::No, m, n, k, 1.5, ap.data(),
+                     m, bp.data(), k, 0.5, cp.data(), m, batch, &pool, 4);
+  for (int i = 0; i < batch; ++i) {
+    blas::ref::gemm(Transpose::No, Transpose::No, m, n, k, 1.5, a[i].data(),
+                    m, b[i].data(), k, 0.5, c_ref[i].data(), m);
+    test::expect_near_rel(c_opt[i], c_ref[i], 1e-12);
+  }
+}
+
+TEST(Batched, StridedMatchesPointerArray) {
+  const int m = 8, n = 8, k = 8, batch = 20;
+  const std::ptrdiff_t sa = m * k, sb = k * n, sc = m * n;
+  auto a = random_vector<double>(static_cast<std::size_t>(sa) * batch, 1);
+  auto b = random_vector<double>(static_cast<std::size_t>(sb) * batch, 2);
+  auto c_strided =
+      random_vector<double>(static_cast<std::size_t>(sc) * batch, 3);
+  auto c_pointer = c_strided;
+
+  blas::gemm_strided_batched(Transpose::No, Transpose::No, m, n, k, 1.0,
+                             a.data(), m, sa, b.data(), k, sb, 0.0,
+                             c_strided.data(), m, sc, batch);
+
+  std::vector<const double*> ap(batch), bp(batch);
+  std::vector<double*> cp(batch);
+  for (int i = 0; i < batch; ++i) {
+    ap[i] = a.data() + i * sa;
+    bp[i] = b.data() + i * sb;
+    cp[i] = c_pointer.data() + i * sc;
+  }
+  blas::gemm_batched(Transpose::No, Transpose::No, m, n, k, 1.0, ap.data(),
+                     m, bp.data(), k, 0.0, cp.data(), m, batch);
+  test::expect_near_rel(c_strided, c_pointer, 0.0);
+}
+
+TEST(Batched, LargeMatricesUseIntraGemmParallelism) {
+  // FLOPs above the across-batch cutoff: still must be correct.
+  const int m = 256, n = 256, k = 256, batch = 2;
+  parallel::ThreadPool pool(4);
+  const std::ptrdiff_t stride = static_cast<std::ptrdiff_t>(m) * k;
+  auto a = random_vector<double>(static_cast<std::size_t>(stride) * batch, 4);
+  auto b = random_vector<double>(static_cast<std::size_t>(stride) * batch, 5);
+  std::vector<double> c(static_cast<std::size_t>(m) * n * batch, 0.0);
+  blas::gemm_strided_batched(Transpose::No, Transpose::No, m, n, k, 1.0,
+                             a.data(), m, stride, b.data(), k, stride, 0.0,
+                             c.data(), m, static_cast<std::ptrdiff_t>(m) * n,
+                             batch, &pool, 4);
+  for (int i = 0; i < batch; ++i) {
+    std::vector<double> expected(static_cast<std::size_t>(m) * n, 0.0);
+    blas::ref::gemm(Transpose::No, Transpose::No, m, n, k, 1.0,
+                    a.data() + i * stride, m, b.data() + i * stride, k, 0.0,
+                    expected.data(), m);
+    for (int e = 0; e < m * n; ++e) {
+      ASSERT_NEAR(c[static_cast<std::size_t>(i) * m * n + e], expected[e],
+                  1e-9 * (1.0 + std::fabs(expected[e])));
+    }
+  }
+}
+
+TEST(Batched, ZeroBatchIsNoop) {
+  std::vector<const double*> ap;
+  std::vector<double*> cp;
+  blas::gemm_batched<double>(Transpose::No, Transpose::No, 4, 4, 4, 1.0,
+                             ap.data(), 4, ap.data(), 4, 0.0, cp.data(), 4,
+                             0);
+  SUCCEED();
+}
+
+// ----------------------------------------------------------- personality
+
+TEST(Library, PersonalitiesExposeDocumentedBehaviour) {
+  EXPECT_TRUE(blas::nvpl_like_personality().gemv_parallel);
+  EXPECT_FALSE(blas::aocl_like_personality().gemv_parallel);
+  EXPECT_TRUE(blas::openblas_like_personality().gemv_parallel);
+  EXPECT_EQ(blas::armpl_like_personality().gemm_threads.kind,
+            parallel::ThreadPolicyKind::ScaleWithProblem);
+  EXPECT_EQ(blas::nvpl_like_personality().gemm_threads.kind,
+            parallel::ThreadPolicyKind::AllThreads);
+  EXPECT_EQ(blas::single_thread_personality().gemm_threads.kind,
+            parallel::ThreadPolicyKind::SingleThread);
+}
+
+TEST(Library, AoclLikeNeverThreadsGemv) {
+  blas::CpuBlasLibrary lib(blas::aocl_like_personality(), 8);
+  EXPECT_EQ(lib.gemv_thread_count(4096, 4096), 1u);
+  EXPECT_EQ(lib.gemm_thread_count(4096, 4096, 4096), 8u);
+}
+
+TEST(Library, ArmplLikeScalesGemmThreads) {
+  blas::CpuBlasLibrary lib(blas::armpl_like_personality(), 8);
+  EXPECT_EQ(lib.gemm_thread_count(8, 8, 8), 1u);
+  EXPECT_EQ(lib.gemm_thread_count(2048, 2048, 2048), 8u);
+}
+
+TEST(Library, DispatchedGemmIsCorrect) {
+  blas::CpuBlasLibrary lib(blas::nvpl_like_personality(), 4);
+  const int m = 60, n = 50, k = 40;
+  auto a = random_vector<float>(static_cast<std::size_t>(m) * k, 6);
+  auto b = random_vector<float>(static_cast<std::size_t>(k) * n, 7);
+  std::vector<float> c_lib(static_cast<std::size_t>(m) * n, 0.0f);
+  std::vector<float> c_ref(c_lib);
+  lib.do_gemm(Transpose::No, Transpose::No, m, n, k, 1.0f, a.data(), m,
+              b.data(), k, 0.0f, c_lib.data(), m);
+  blas::ref::gemm(Transpose::No, Transpose::No, m, n, k, 1.0f, a.data(), m,
+                  b.data(), k, 0.0f, c_ref.data(), m);
+  test::expect_near_rel(c_lib, c_ref, 1e-4);
+}
+
+TEST(Library, DispatchedGemvIsCorrect) {
+  blas::CpuBlasLibrary lib(blas::openblas_like_personality(), 4);
+  const int m = 700, n = 300;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * n, 8);
+  auto x = random_vector<double>(n, 9);
+  std::vector<double> y_lib(m, 0.0);
+  std::vector<double> y_ref(m, 0.0);
+  lib.do_gemv(Transpose::No, m, n, 1.0, a.data(), m, x.data(), 1, 0.0,
+              y_lib.data(), 1);
+  blas::ref::gemv(Transpose::No, m, n, 1.0, a.data(), m, x.data(), 1, 0.0,
+                  y_ref.data(), 1);
+  test::expect_near_rel(y_lib, y_ref, 1e-12);
+}
+
+}  // namespace

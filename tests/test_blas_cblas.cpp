@@ -1,0 +1,302 @@
+// CBLAS-compatible C interface: column-major calls must match the native
+// kernels, row-major calls must match a transposed formulation.
+
+#include <gtest/gtest.h>
+
+#include "blas/cblas.hpp"
+#include "blas/ref_blas.hpp"
+#include "blas_test_util.hpp"
+
+namespace {
+
+using namespace blob;
+using blob::test::random_vector;
+
+TEST(Cblas, Level1EntryPoints) {
+  auto x = random_vector<double>(100, 1);
+  auto y = random_vector<double>(100, 2);
+  EXPECT_DOUBLE_EQ(cblas_ddot(100, x.data(), 1, y.data(), 1),
+                   blas::ref::dot(100, x.data(), 1, y.data(), 1));
+  EXPECT_DOUBLE_EQ(cblas_dnrm2(100, x.data(), 1),
+                   blas::ref::nrm2(100, x.data(), 1));
+  EXPECT_DOUBLE_EQ(cblas_dasum(100, x.data(), 1),
+                   blas::ref::asum(100, x.data(), 1));
+  EXPECT_EQ(cblas_idamax(100, x.data(), 1),
+            static_cast<std::size_t>(blas::ref::iamax(100, x.data(), 1)));
+
+  auto y2 = y;
+  cblas_daxpy(100, 1.5, x.data(), 1, y.data(), 1);
+  blas::ref::axpy(100, 1.5, x.data(), 1, y2.data(), 1);
+  EXPECT_EQ(y, y2);
+
+  auto xs = x;
+  cblas_dscal(100, 0.5, xs.data(), 1);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(xs[i], 0.5 * x[i]);
+
+  std::vector<double> dst(100, 0.0);
+  cblas_dcopy(100, x.data(), 1, dst.data(), 1);
+  EXPECT_EQ(dst, x);
+  cblas_dswap(100, dst.data(), 1, y.data(), 1);
+  EXPECT_EQ(dst, y2);
+
+  // float variants share the same plumbing; spot-check one.
+  std::vector<float> fx = {3.0f, -4.0f};
+  EXPECT_FLOAT_EQ(cblas_snrm2(2, fx.data(), 1), 5.0f);
+  EXPECT_FLOAT_EQ(cblas_sasum(2, fx.data(), 1), 7.0f);
+  EXPECT_EQ(cblas_isamax(2, fx.data(), 1), 1u);
+  std::vector<float> fy = {0.0f, 0.0f};
+  cblas_saxpy(2, 2.0f, fx.data(), 1, fy.data(), 1);
+  EXPECT_FLOAT_EQ(fy[1], -8.0f);
+  EXPECT_FLOAT_EQ(cblas_sdot(2, fx.data(), 1, fy.data(), 1), 50.0f);
+  cblas_sscal(2, 0.5f, fy.data(), 1);
+  EXPECT_FLOAT_EQ(fy[0], 3.0f);
+  std::vector<float> fz(2);
+  cblas_scopy(2, fy.data(), 1, fz.data(), 1);
+  cblas_sswap(2, fy.data(), 1, fz.data(), 1);
+  EXPECT_FLOAT_EQ(fz[0], 3.0f);
+}
+
+TEST(Cblas, ColMajorGemmMatchesReference) {
+  const int m = 17, n = 13, k = 9;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * k, 3);
+  auto b = random_vector<double>(static_cast<std::size_t>(k) * n, 4);
+  auto c1 = random_vector<double>(static_cast<std::size_t>(m) * n, 5);
+  auto c2 = c1;
+  cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, m, n, k, 1.5,
+              a.data(), m, b.data(), k, 0.5, c1.data(), m);
+  blas::ref::gemm(blas::Transpose::No, blas::Transpose::No, m, n, k, 1.5,
+                  a.data(), m, b.data(), k, 0.5, c2.data(), m);
+  test::expect_near_rel(c1, c2, 1e-12);
+}
+
+TEST(Cblas, RowMajorGemmMatchesTransposedFormulation) {
+  // Row-major C (m x n) with row-major A (m x k), B (k x n): compute the
+  // same product column-major by viewing the row-major buffers as the
+  // transposed matrices.
+  const int m = 6, n = 5, k = 4;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * k, 6);
+  auto b = random_vector<double>(static_cast<std::size_t>(k) * n, 7);
+  std::vector<double> c_rm(static_cast<std::size_t>(m) * n, 0.0);
+  cblas_dgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans, m, n, k, 1.0,
+              a.data(), k, b.data(), n, 0.0, c_rm.data(), n);
+
+  // Element check against a scalar triple loop in row-major indexing.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int p = 0; p < k; ++p) {
+        sum += a[static_cast<std::size_t>(i) * k + p] *
+               b[static_cast<std::size_t>(p) * n + j];
+      }
+      ASSERT_NEAR(c_rm[static_cast<std::size_t>(i) * n + j], sum, 1e-12);
+    }
+  }
+}
+
+TEST(Cblas, RowMajorGemmWithTransposes) {
+  const int m = 5, n = 7, k = 6;
+  // A is k x m stored row-major and used transposed.
+  auto a = random_vector<float>(static_cast<std::size_t>(k) * m, 8);
+  auto b = random_vector<float>(static_cast<std::size_t>(k) * n, 9);
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  cblas_sgemm(CblasRowMajor, CblasTrans, CblasNoTrans, m, n, k, 1.0f,
+              a.data(), m, b.data(), n, 0.0f, c.data(), n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float sum = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        sum += a[static_cast<std::size_t>(p) * m + i] *
+               b[static_cast<std::size_t>(p) * n + j];
+      }
+      ASSERT_NEAR(c[static_cast<std::size_t>(i) * n + j], sum, 1e-4);
+    }
+  }
+}
+
+TEST(Cblas, GemvBothOrders) {
+  const int m = 11, n = 8;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * n, 10);
+  auto x = random_vector<double>(n, 11);
+  std::vector<double> y_cm(m, 0.0);
+  cblas_dgemv(CblasColMajor, CblasNoTrans, m, n, 1.0, a.data(), m, x.data(),
+              1, 0.0, y_cm.data(), 1);
+  std::vector<double> y_ref(m, 0.0);
+  blas::ref::gemv(blas::Transpose::No, m, n, 1.0, a.data(), m, x.data(), 1,
+                  0.0, y_ref.data(), 1);
+  test::expect_near_rel(y_cm, y_ref, 1e-12);
+
+  // Row-major: same logical matrix stored row-major (= its transpose
+  // stored column-major with lda = n).
+  std::vector<double> a_rm(static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      a_rm[static_cast<std::size_t>(i) * n + j] =
+          a[i + static_cast<std::size_t>(j) * m];
+    }
+  }
+  std::vector<double> y_rm(m, 0.0);
+  cblas_dgemv(CblasRowMajor, CblasNoTrans, m, n, 1.0, a_rm.data(), n,
+              x.data(), 1, 0.0, y_rm.data(), 1);
+  test::expect_near_rel(y_rm, y_ref, 1e-12);
+
+  // float spot check.
+  std::vector<float> fa = {1.0f, 2.0f};  // 1x2 col-major
+  std::vector<float> fx = {3.0f, 4.0f};
+  std::vector<float> fy = {0.0f};
+  cblas_sgemv(CblasColMajor, CblasNoTrans, 1, 2, 1.0f, fa.data(), 1,
+              fx.data(), 1, 0.0f, fy.data(), 1);
+  EXPECT_FLOAT_EQ(fy[0], 11.0f);
+}
+
+TEST(Cblas, GerBothOrders) {
+  const int m = 4, n = 3;
+  auto x = random_vector<double>(m, 12);
+  auto y = random_vector<double>(n, 13);
+  std::vector<double> a_cm(static_cast<std::size_t>(m) * n, 1.0);
+  cblas_dger(CblasColMajor, m, n, 2.0, x.data(), 1, y.data(), 1, a_cm.data(),
+             m);
+  std::vector<double> a_rm(static_cast<std::size_t>(m) * n, 1.0);
+  cblas_dger(CblasRowMajor, m, n, 2.0, x.data(), 1, y.data(), 1, a_rm.data(),
+             n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double expected = 1.0 + 2.0 * x[i] * y[j];
+      ASSERT_NEAR(a_cm[i + static_cast<std::size_t>(j) * m], expected, 1e-13);
+      ASSERT_NEAR(a_rm[static_cast<std::size_t>(i) * n + j], expected, 1e-13);
+    }
+  }
+  std::vector<float> sx = {1.0f, 2.0f};
+  std::vector<float> sy = {3.0f};
+  std::vector<float> sa = {0.0f, 0.0f};
+  cblas_sger(CblasColMajor, 2, 1, 1.0f, sx.data(), 1, sy.data(), 1, sa.data(),
+             2);
+  EXPECT_FLOAT_EQ(sa[1], 6.0f);
+}
+
+TEST(Cblas, RotAndRotg) {
+  double a = 3.0, b = 4.0, c = 0.0, s = 0.0;
+  cblas_drotg(&a, &b, &c, &s);
+  EXPECT_NEAR(c * c + s * s, 1.0, 1e-14);
+  EXPECT_NEAR(a, 5.0, 1e-14);
+  std::vector<double> x = {1.0, 0.0};
+  std::vector<double> y = {0.0, 1.0};
+  cblas_drot(2, x.data(), 1, y.data(), 1, c, s);
+  EXPECT_NEAR(x[0] * x[0] + y[0] * y[0], 1.0, 1e-14);
+  float fa = 0.0f, fb = 5.0f, fc = 0.0f, fs = 0.0f;
+  cblas_srotg(&fa, &fb, &fc, &fs);
+  EXPECT_NEAR(fc * fc + fs * fs, 1.0f, 1e-6f);
+  std::vector<float> fx = {1.0f};
+  std::vector<float> fy = {2.0f};
+  cblas_srot(1, fx.data(), 1, fy.data(), 1, 0.6f, 0.8f);
+  EXPECT_FLOAT_EQ(fx[0], 0.6f * 1.0f + 0.8f * 2.0f);
+}
+
+TEST(Cblas, SymvBothOrders) {
+  const int n = 12;
+  auto a = random_vector<double>(static_cast<std::size_t>(n) * n, 20);
+  auto x = random_vector<double>(n, 21);
+  std::vector<double> y_cm(n, 0.0);
+  cblas_dsymv(CblasColMajor, CblasLower, n, 1.0, a.data(), n, x.data(), 1,
+              0.0, y_cm.data(), 1);
+  std::vector<double> y_ref(n, 0.0);
+  blas::ref::symv(blas::UpLo::Lower, n, 1.0, a.data(), n, x.data(), 1, 0.0,
+                  y_ref.data(), 1);
+  test::expect_near_rel(y_cm, y_ref, 1e-12);
+  // Row-major lower == column-major upper on the same buffer.
+  std::vector<double> y_rm(n, 0.0);
+  cblas_dsymv(CblasRowMajor, CblasUpper, n, 1.0, a.data(), n, x.data(), 1,
+              0.0, y_rm.data(), 1);
+  test::expect_near_rel(y_rm, y_ref, 1e-12);
+  std::vector<float> fa = {2.0f};
+  std::vector<float> fx = {3.0f};
+  std::vector<float> fy = {0.0f};
+  cblas_ssymv(CblasColMajor, CblasUpper, 1, 1.0f, fa.data(), 1, fx.data(), 1,
+              0.0f, fy.data(), 1);
+  EXPECT_FLOAT_EQ(fy[0], 6.0f);
+}
+
+TEST(Cblas, TrsvSolvesBothOrders) {
+  // Lower triangular [[2,0],[1,4]] (column major) x = [2, 9].
+  std::vector<double> a = {2.0, 1.0, 0.0, 4.0};
+  std::vector<double> x = {2.0, 9.0};
+  cblas_dtrsv(CblasColMajor, CblasLower, CblasNoTrans, CblasNonUnit, 2,
+              a.data(), 2, x.data(), 1);
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+  // The same logical matrix row-major: [[2,0],[1,4]] stored by rows is
+  // {2, 0, 1, 4}; solving should give the same answer.
+  std::vector<double> a_rm = {2.0, 0.0, 1.0, 4.0};
+  std::vector<double> x2 = {2.0, 9.0};
+  cblas_dtrsv(CblasRowMajor, CblasLower, CblasNoTrans, CblasNonUnit, 2,
+              a_rm.data(), 2, x2.data(), 1);
+  EXPECT_NEAR(x2[0], 1.0, 1e-14);
+  EXPECT_NEAR(x2[1], 2.0, 1e-14);
+  std::vector<float> fa = {4.0f};
+  std::vector<float> fx = {8.0f};
+  cblas_strsv(CblasColMajor, CblasUpper, CblasNoTrans, CblasNonUnit, 1,
+              fa.data(), 1, fx.data(), 1);
+  EXPECT_FLOAT_EQ(fx[0], 2.0f);
+}
+
+TEST(Cblas, SyrkMatchesReference) {
+  const int n = 10, k = 6;
+  auto a = random_vector<double>(static_cast<std::size_t>(n) * k, 22);
+  std::vector<double> c1(static_cast<std::size_t>(n) * n, 1.0);
+  auto c2 = c1;
+  cblas_dsyrk(CblasColMajor, CblasLower, CblasNoTrans, n, k, 1.5, a.data(),
+              n, 0.5, c1.data(), n);
+  blas::ref::syrk(blas::UpLo::Lower, blas::Transpose::No, n, k, 1.5,
+                  a.data(), n, 0.5, c2.data(), n);
+  test::expect_near_rel(c1, c2, 1e-12);
+  std::vector<float> sa = {2.0f};
+  std::vector<float> sc = {0.0f};
+  cblas_ssyrk(CblasColMajor, CblasUpper, CblasNoTrans, 1, 1, 1.0f, sa.data(),
+              1, 0.0f, sc.data(), 1);
+  EXPECT_FLOAT_EQ(sc[0], 4.0f);
+}
+
+TEST(Cblas, TrsmSolvesBothOrders) {
+  const int m = 20, n = 6;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * m, 23);
+  for (int i = 0; i < m; ++i) a[i + static_cast<std::size_t>(i) * m] += 4.0;
+  auto b_cm = random_vector<double>(static_cast<std::size_t>(m) * n, 24);
+  auto b_ref = b_cm;
+  cblas_dtrsm(CblasColMajor, CblasLeft, CblasLower, CblasNoTrans,
+              CblasNonUnit, m, n, 1.0, a.data(), m, b_cm.data(), m);
+  blas::ref::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Transpose::No,
+                  blas::Diag::NonUnit, m, n, 1.0, a.data(), m, b_ref.data(),
+                  m);
+  test::expect_near_rel(b_cm, b_ref, 1e-10);
+
+  // Row-major equivalence: view the same column-major buffers as
+  // row-major transposes. X solves op(A) X = B column-major iff X^T
+  // solves the row-major problem X^T op(A)^T = B^T with side Right.
+  auto b_rm = b_ref;  // holds X column-major == X^T row-major (n x m)
+  // Rebuild B^T row-major = B column-major buffer reused: we instead
+  // verify the row-major path on a fresh small system.
+  std::vector<double> a2 = {2.0, 0.0, 1.0, 4.0};  // row-major lower 2x2
+  std::vector<double> rhs = {2.0, 9.0};           // one column, m=2, n=1
+  // Row-major B (2x1) has ldb = 1.
+  cblas_dtrsm(CblasRowMajor, CblasLeft, CblasLower, CblasNoTrans,
+              CblasNonUnit, 2, 1, 1.0, a2.data(), 2, rhs.data(), 1);
+  EXPECT_NEAR(rhs[0], 1.0, 1e-14);
+  EXPECT_NEAR(rhs[1], 2.0, 1e-14);
+  (void)b_rm;
+  std::vector<float> fa = {4.0f};
+  std::vector<float> fb = {8.0f};
+  cblas_strsm(CblasColMajor, CblasLeft, CblasUpper, CblasNoTrans,
+              CblasNonUnit, 1, 1, 1.0f, fa.data(), 1, fb.data(), 1);
+  EXPECT_FLOAT_EQ(fb[0], 2.0f);
+}
+
+TEST(Cblas, LibrarySwapTakesEffect) {
+  blas::cblas_set_library(blas::single_thread_personality(), 1);
+  EXPECT_EQ(blas::cblas_library().personality().name, "single-thread");
+  // Calls still work after the swap.
+  std::vector<double> x = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(cblas_ddot(2, x.data(), 1, x.data(), 1), 5.0);
+  blas::cblas_set_library(blas::generic_personality());
+  EXPECT_EQ(blas::cblas_library().personality().name, "generic");
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// GEMV and the remaining Level 2 kernels (GER, SYMV, TRMV, TRSV).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "blas/gemv.hpp"
+#include "blas/level2.hpp"
+#include "blas/ref_blas.hpp"
+#include "blas_test_util.hpp"
+
+namespace {
+
+using namespace blob;
+using blas::Diag;
+using blas::Transpose;
+using blas::UpLo;
+using blob::test::random_vector;
+
+template <typename T>
+void run_gemv_case(Transpose ta, int m, int n, T alpha, T beta,
+                   parallel::ThreadPool* pool = nullptr,
+                   std::size_t threads = 1) {
+  const int lda = std::max(1, m);
+  const int xlen = ta == Transpose::No ? n : m;
+  const int ylen = ta == Transpose::No ? m : n;
+  auto a = random_vector<T>(static_cast<std::size_t>(lda) * std::max(1, n), 1);
+  auto x = random_vector<T>(static_cast<std::size_t>(std::max(1, xlen)), 2);
+  auto y_opt = random_vector<T>(static_cast<std::size_t>(std::max(1, ylen)), 3);
+  auto y_ref = y_opt;
+  blas::gemv(ta, m, n, alpha, a.data(), lda, x.data(), 1, beta, y_opt.data(),
+             1, pool, threads);
+  blas::ref::gemv(ta, m, n, alpha, a.data(), lda, x.data(), 1, beta,
+                  y_ref.data(), 1);
+  const double tol = std::is_same_v<T, float> ? 1e-4 : 1e-12;
+  test::expect_near_rel(y_opt, y_ref, tol);
+}
+
+using GemvParam = std::tuple<int, int>;
+class GemvShapes : public ::testing::TestWithParam<GemvParam> {};
+
+TEST_P(GemvShapes, NoTransMatchesReference) {
+  auto [m, n] = GetParam();
+  run_gemv_case<float>(Transpose::No, m, n, 1.0f, 0.0f);
+  run_gemv_case<double>(Transpose::No, m, n, 1.0, 0.0);
+}
+
+TEST_P(GemvShapes, TransMatchesReference) {
+  auto [m, n] = GetParam();
+  run_gemv_case<double>(Transpose::Yes, m, n, 2.0, -1.0);
+}
+
+TEST_P(GemvShapes, AlphaBetaCombinations) {
+  auto [m, n] = GetParam();
+  run_gemv_case<double>(Transpose::No, m, n, 4.0, 0.0);
+  run_gemv_case<double>(Transpose::No, m, n, 1.0, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemvShapes,
+    ::testing::Values(GemvParam{1, 1}, GemvParam{1, 64}, GemvParam{64, 1},
+                      GemvParam{3, 5}, GemvParam{17, 33}, GemvParam{32, 32},
+                      GemvParam{100, 7}, GemvParam{7, 100},
+                      GemvParam{513, 300}, GemvParam{2048, 32},
+                      GemvParam{32, 2048}));
+
+TEST(Gemv, StridedFallsBackToReference) {
+  const int m = 20, n = 15;
+  auto a = random_vector<double>(m * n, 4);
+  auto x = random_vector<double>(2 * n, 5);
+  auto y_opt = random_vector<double>(3 * m, 6);
+  auto y_ref = y_opt;
+  blas::gemv(Transpose::No, m, n, 1.0, a.data(), m, x.data(), 2, 0.5,
+             y_opt.data(), 3);
+  blas::ref::gemv(Transpose::No, m, n, 1.0, a.data(), m, x.data(), 2, 0.5,
+                  y_ref.data(), 3);
+  test::expect_near_rel(y_opt, y_ref, 1e-12);
+}
+
+TEST(Gemv, BetaZeroOverwritesNanY) {
+  std::vector<double> a = {2.0};
+  std::vector<double> x = {3.0};
+  std::vector<double> y = {std::nan("")};
+  blas::gemv(Transpose::No, 1, 1, 1.0, a.data(), 1, x.data(), 1, 0.0,
+             y.data(), 1);
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+}
+
+class GemvThreaded : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GemvThreaded, ThreadedMatchesReference) {
+  parallel::ThreadPool pool(GetParam());
+  run_gemv_case<double>(Transpose::No, 2000, 300, 1.0, 0.0, &pool,
+                        GetParam());
+  run_gemv_case<float>(Transpose::Yes, 300, 2000, 1.0f, 2.0f, &pool,
+                       GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GemvThreaded, ::testing::Values(2, 4, 8));
+
+TEST(Gemv, RejectsInvalidArguments) {
+  std::vector<double> buf(16);
+  EXPECT_THROW(blas::gemv(Transpose::No, 8, 2, 1.0, buf.data(), 4, buf.data(),
+                          1, 0.0, buf.data(), 1),
+               blas::BlasError);
+  EXPECT_THROW(blas::gemv(Transpose::No, 2, 2, 1.0, buf.data(), 2, buf.data(),
+                          0, 0.0, buf.data(), 1),
+               blas::BlasError);
+}
+
+// ------------------------------------------------------------------- ger
+
+TEST(Ger, MatchesManualOuterProduct) {
+  const int m = 5, n = 4;
+  auto x = random_vector<double>(m, 7);
+  auto y = random_vector<double>(n, 8);
+  std::vector<double> a(static_cast<std::size_t>(m) * n, 1.0);
+  blas::ger(m, n, 2.0, x.data(), 1, y.data(), 1, a.data(), m);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < m; ++i) {
+      ASSERT_NEAR(a[i + static_cast<std::size_t>(j) * m],
+                  1.0 + 2.0 * x[i] * y[j], 1e-13);
+    }
+  }
+}
+
+TEST(Ger, ThreadedMatchesReference) {
+  const int m = 300, n = 200;
+  parallel::ThreadPool pool(4);
+  auto x = random_vector<double>(m, 9);
+  auto y = random_vector<double>(n, 10);
+  auto a_opt = random_vector<double>(static_cast<std::size_t>(m) * n, 11);
+  auto a_ref = a_opt;
+  blas::ger(m, n, 1.5, x.data(), 1, y.data(), 1, a_opt.data(), m, &pool, 4);
+  blas::ref::ger(m, n, 1.5, x.data(), 1, y.data(), 1, a_ref.data(), m);
+  test::expect_near_rel(a_opt, a_ref, 1e-13);
+}
+
+// ------------------------------------------------------------------ symv
+
+class SymvCase : public ::testing::TestWithParam<std::tuple<UpLo, int>> {};
+
+TEST_P(SymvCase, MatchesDenseGemv) {
+  auto [uplo, n] = GetParam();
+  auto a = random_vector<double>(static_cast<std::size_t>(n) * n, 12);
+  // Build the dense symmetric equivalent from the stored triangle.
+  std::vector<double> dense(static_cast<std::size_t>(n) * n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      dense[i + static_cast<std::size_t>(j) * n] =
+          blas::ref::sym_at(uplo, a.data(), n, i, j);
+    }
+  }
+  auto x = random_vector<double>(n, 13);
+  auto y_symv = random_vector<double>(n, 14);
+  auto y_dense = y_symv;
+  blas::symv(uplo, n, 1.5, a.data(), n, x.data(), 1, 0.5, y_symv.data(), 1);
+  blas::ref::gemv(Transpose::No, n, n, 1.5, dense.data(), n, x.data(), 1,
+                  0.5, y_dense.data(), 1);
+  test::expect_near_rel(y_symv, y_dense, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SymvCase,
+    ::testing::Combine(::testing::Values(UpLo::Upper, UpLo::Lower),
+                       ::testing::Values(1, 5, 64, 300)));
+
+TEST(Symv, ThreadedMatchesSerial) {
+  const int n = 400;
+  parallel::ThreadPool pool(4);
+  auto a = random_vector<double>(static_cast<std::size_t>(n) * n, 15);
+  auto x = random_vector<double>(n, 16);
+  auto y1 = random_vector<double>(n, 17);
+  auto y2 = y1;
+  blas::symv(UpLo::Lower, n, 1.0, a.data(), n, x.data(), 1, 0.0, y1.data(),
+             1, &pool, 4);
+  blas::ref::symv(UpLo::Lower, n, 1.0, a.data(), n, x.data(), 1, 0.0,
+                  y2.data(), 1);
+  test::expect_near_rel(y1, y2, 1e-12);
+}
+
+// ------------------------------------------------------------- trmv/trsv
+
+class TriangularCase
+    : public ::testing::TestWithParam<std::tuple<UpLo, Transpose, Diag>> {};
+
+TEST_P(TriangularCase, TrsvInvertsTrmv) {
+  auto [uplo, trans, diag] = GetParam();
+  const int n = 50;
+  auto a = random_vector<double>(static_cast<std::size_t>(n) * n, 18);
+  // Make the matrix well-conditioned: dominant diagonal.
+  for (int i = 0; i < n; ++i) a[i + static_cast<std::size_t>(i) * n] += 4.0;
+  auto x0 = random_vector<double>(n, 19);
+  auto x = x0;
+  blas::trmv(uplo, trans, diag, n, a.data(), n, x.data(), 1);
+  blas::trsv(uplo, trans, diag, n, a.data(), n, x.data(), 1);
+  test::expect_near_rel(x, x0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TriangularCase,
+    ::testing::Combine(::testing::Values(UpLo::Upper, UpLo::Lower),
+                       ::testing::Values(Transpose::No, Transpose::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit)));
+
+TEST(Trsv, SolvesKnownSystem) {
+  // Lower triangular [[2,0],[1,4]] x = [2, 9] -> x = [1, 2].
+  std::vector<double> a = {2.0, 1.0, 0.0, 4.0};  // column major 2x2
+  std::vector<double> x = {2.0, 9.0};
+  blas::trsv(UpLo::Lower, Transpose::No, Diag::NonUnit, 2, a.data(), 2,
+             x.data(), 1);
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+}  // namespace

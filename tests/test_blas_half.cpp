@@ -1,0 +1,177 @@
+// Half-precision storage types (f16, bf16) and HGEMM/HGEMV.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "blas/gemm.hpp"
+#include "blas/half.hpp"
+#include "blas/half_gemm.hpp"
+#include "blas_test_util.hpp"
+
+namespace {
+
+using namespace blob;
+using blas::bf16;
+using blas::f16;
+using blob::test::random_vector;
+
+// --------------------------------------------------------------- f16
+
+TEST(F16, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const f16 h(static_cast<float>(i));
+    EXPECT_EQ(static_cast<float>(h), static_cast<float>(i)) << i;
+  }
+}
+
+TEST(F16, KnownBitPatterns) {
+  EXPECT_EQ(f16(1.0f).bits, 0x3c00);
+  EXPECT_EQ(f16(-2.0f).bits, 0xc000);
+  EXPECT_EQ(f16(0.5f).bits, 0x3800);
+  EXPECT_EQ(f16(65504.0f).bits, 0x7bff);  // largest finite half
+  EXPECT_EQ(f16(0.0f).bits, 0x0000);
+  EXPECT_EQ(f16(-0.0f).bits, 0x8000);
+}
+
+TEST(F16, OverflowBecomesInfinity) {
+  EXPECT_EQ(f16(70000.0f).bits, 0x7c00);
+  EXPECT_EQ(f16(-1e30f).bits, 0xfc00);
+  EXPECT_TRUE(std::isinf(static_cast<float>(f16(1e9f))));
+}
+
+TEST(F16, NanIsPreserved) {
+  const f16 h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(std::isnan(static_cast<float>(h)));
+}
+
+TEST(F16, SubnormalsRoundTrip) {
+  // Smallest positive half subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(f16(tiny).bits, 0x0001);
+  EXPECT_EQ(static_cast<float>(f16::from_bits(0x0001)), tiny);
+  // Below half the smallest subnormal rounds to zero.
+  EXPECT_EQ(f16(std::ldexp(1.0f, -26)).bits, 0x0000);
+  // Largest subnormal.
+  const float big_sub = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(f16(big_sub).bits, 0x03ff);
+}
+
+TEST(F16, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half; ties go
+  // to even (1.0 here).
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(f16(halfway).bits, 0x3c00);
+  // Slightly above the halfway point rounds up.
+  const float above = 1.0f + std::ldexp(1.5f, -11);
+  EXPECT_EQ(f16(above).bits, 0x3c01);
+}
+
+TEST(F16, RoundTripThroughFloatIsIdentity) {
+  // Every finite half value must survive half -> float -> half.
+  for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+    const auto h = f16::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    if (std::isnan(f)) continue;  // NaN payloads may differ
+    EXPECT_EQ(f16(f).bits, h.bits) << "bits=" << bits;
+  }
+}
+
+// -------------------------------------------------------------- bf16
+
+TEST(Bf16, TruncatesMantissa) {
+  EXPECT_EQ(static_cast<float>(bf16(1.0f)), 1.0f);
+  EXPECT_EQ(static_cast<float>(bf16(-2.5f)), -2.5f);
+  // bf16 has float32's exponent range: no overflow at 1e30.
+  EXPECT_FALSE(std::isinf(static_cast<float>(bf16(1e30f))));
+}
+
+TEST(Bf16, RoundToNearestEven) {
+  // 1 + 2^-8 is halfway between two bf16 values; ties to even -> 1.0.
+  EXPECT_EQ(bf16(1.0f + std::ldexp(1.0f, -8)).bits, 0x3f80);
+  EXPECT_EQ(bf16(1.0f + std::ldexp(1.5f, -8)).bits, 0x3f81);
+}
+
+TEST(Bf16, NanIsPreserved) {
+  EXPECT_TRUE(std::isnan(
+      static_cast<float>(bf16(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Bf16, RoundTripThroughFloatIsIdentity) {
+  for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
+    const auto h = bf16::from_bits(static_cast<std::uint16_t>(bits));
+    const float f = static_cast<float>(h);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(bf16(f).bits, h.bits) << "bits=" << bits;
+  }
+}
+
+// ------------------------------------------------------------- hgemm
+
+template <typename Half>
+void run_hgemm_case(int m, int n, int k) {
+  auto fa = random_vector<float>(static_cast<std::size_t>(m) * k, 1);
+  auto fb = random_vector<float>(static_cast<std::size_t>(k) * n, 2);
+  std::vector<Half> a(fa.size()), b(fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) a[i] = Half(fa[i]);
+  for (std::size_t i = 0; i < fb.size(); ++i) b[i] = Half(fb[i]);
+  // Use the rounded values as the float reference inputs so the only
+  // error source is the final rounding of C.
+  for (std::size_t i = 0; i < fa.size(); ++i) a[i] = Half(fa[i]);
+  std::vector<float> fa_rounded(fa.size()), fb_rounded(fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    fa_rounded[i] = static_cast<float>(a[i]);
+  }
+  for (std::size_t i = 0; i < fb.size(); ++i) {
+    fb_rounded[i] = static_cast<float>(b[i]);
+  }
+
+  std::vector<Half> c(static_cast<std::size_t>(m) * n, Half(0.0f));
+  blas::hgemm(blas::Transpose::No, blas::Transpose::No, m, n, k, 1.0f,
+              a.data(), m, b.data(), k, 0.0f, c.data(), m);
+
+  std::vector<float> c_ref(static_cast<std::size_t>(m) * n, 0.0f);
+  blas::gemm(blas::Transpose::No, blas::Transpose::No, m, n, k, 1.0f,
+             fa_rounded.data(), m, fb_rounded.data(), k, 0.0f, c_ref.data(),
+             m);
+
+  // The accumulate happens in f32; only the output rounding differs.
+  const double tol = std::is_same_v<Half, f16> ? 1e-3 : 8e-3;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(static_cast<float>(c[i]), c_ref[i],
+                tol * (1.0 + std::fabs(c_ref[i])));
+  }
+}
+
+TEST(Hgemm, F16MatchesFloatAccumulation) {
+  run_hgemm_case<f16>(9, 7, 5);
+  run_hgemm_case<f16>(32, 32, 32);
+  run_hgemm_case<f16>(65, 33, 17);
+}
+
+TEST(Hgemm, Bf16MatchesFloatAccumulation) {
+  run_hgemm_case<bf16>(9, 7, 5);
+  run_hgemm_case<bf16>(48, 24, 40);
+}
+
+TEST(Hgemv, F16MatchesWideReference) {
+  const int m = 40, n = 30;
+  auto fa = random_vector<float>(static_cast<std::size_t>(m) * n, 3);
+  auto fx = random_vector<float>(n, 4);
+  std::vector<f16> a(fa.size()), x(fx.size()), y(m, f16(0.0f));
+  for (std::size_t i = 0; i < fa.size(); ++i) a[i] = f16(fa[i]);
+  for (std::size_t i = 0; i < fx.size(); ++i) x[i] = f16(fx[i]);
+  blas::hgemv(blas::Transpose::No, m, n, 1.0f, a.data(), m, x.data(), 0.0f,
+              y.data());
+  for (int i = 0; i < m; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      sum += static_cast<float>(a[i + static_cast<std::size_t>(j) * m]) *
+             static_cast<float>(x[j]);
+    }
+    ASSERT_NEAR(static_cast<float>(y[i]), sum, 2e-3 * (1.0 + std::fabs(sum)));
+  }
+}
+
+}  // namespace

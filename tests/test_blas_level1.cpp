@@ -1,0 +1,189 @@
+// Level 1 BLAS: optimized kernels vs the reference implementation plus
+// algebraic properties, across precisions, sizes, and strides.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "blas/level1.hpp"
+#include "blas/ref_blas.hpp"
+#include "blas_test_util.hpp"
+
+namespace {
+
+using namespace blob;
+using blob::test::random_vector;
+
+using Types = ::testing::Types<float, double>;
+
+template <typename T>
+class Level1Typed : public ::testing::Test {};
+TYPED_TEST_SUITE(Level1Typed, Types);
+
+TYPED_TEST(Level1Typed, AxpyMatchesReference) {
+  using T = TypeParam;
+  for (int n : {0, 1, 3, 64, 1000}) {
+    auto x = random_vector<T>(static_cast<std::size_t>(std::max(1, n)), 1);
+    auto y_opt = random_vector<T>(x.size(), 2);
+    auto y_ref = y_opt;
+    blas::axpy(n, T(1.5), x.data(), 1, y_opt.data(), 1);
+    blas::ref::axpy(n, T(1.5), x.data(), 1, y_ref.data(), 1);
+    test::expect_near_rel(y_opt, y_ref, 1e-12);
+  }
+}
+
+TYPED_TEST(Level1Typed, AxpyAlphaZeroIsNoop) {
+  using T = TypeParam;
+  auto x = random_vector<T>(50, 3);
+  auto y = random_vector<T>(50, 4);
+  const auto before = y;
+  blas::axpy(50, T(0), x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, before);
+}
+
+TYPED_TEST(Level1Typed, DotMatchesReferenceStridedAndUnit) {
+  using T = TypeParam;
+  const int n = 257;
+  auto x = random_vector<T>(3 * n, 5);
+  auto y = random_vector<T>(3 * n, 6);
+  const double tol = std::is_same_v<T, float> ? 1e-4 : 1e-12;
+  EXPECT_NEAR(static_cast<double>(blas::dot(n, x.data(), 1, y.data(), 1)),
+              static_cast<double>(blas::ref::dot(n, x.data(), 1, y.data(), 1)),
+              tol);
+  EXPECT_NEAR(static_cast<double>(blas::dot(n, x.data(), 3, y.data(), 2)),
+              static_cast<double>(blas::ref::dot(n, x.data(), 3, y.data(), 2)),
+              tol);
+}
+
+TYPED_TEST(Level1Typed, DotIsSymmetric) {
+  using T = TypeParam;
+  auto x = random_vector<T>(100, 7);
+  auto y = random_vector<T>(100, 8);
+  EXPECT_EQ(blas::dot(100, x.data(), 1, y.data(), 1),
+            blas::dot(100, y.data(), 1, x.data(), 1));
+}
+
+TYPED_TEST(Level1Typed, Nrm2MatchesHandComputed) {
+  using T = TypeParam;
+  std::vector<T> x = {T(3), T(4)};
+  EXPECT_NEAR(static_cast<double>(blas::nrm2(2, x.data(), 1)), 5.0, 1e-6);
+  // Scaled algorithm avoids overflow for large values.
+  std::vector<T> big = {T(3e18), T(4e18)};
+  if constexpr (std::is_same_v<T, double>) {
+    EXPECT_NEAR(blas::nrm2(2, big.data(), 1), 5e18, 1e4);
+  }
+}
+
+TYPED_TEST(Level1Typed, AsumSumsAbsoluteValues) {
+  using T = TypeParam;
+  std::vector<T> x = {T(-1), T(2), T(-3)};
+  EXPECT_NEAR(static_cast<double>(blas::asum(3, x.data(), 1)), 6.0, 1e-6);
+  EXPECT_EQ(blas::asum(0, x.data(), 1), T(0));
+}
+
+TYPED_TEST(Level1Typed, IamaxFindsFirstMaximum) {
+  using T = TypeParam;
+  std::vector<T> x = {T(1), T(-7), T(7), T(2)};
+  EXPECT_EQ(blas::iamax(4, x.data(), 1), 1);  // first occurrence wins
+  EXPECT_EQ(blas::iamax(0, x.data(), 1), -1);
+}
+
+TYPED_TEST(Level1Typed, CopyAndSwap) {
+  using T = TypeParam;
+  auto x = random_vector<T>(128, 9);
+  std::vector<T> y(128, T(0));
+  blas::copy(128, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(x, y);
+
+  auto a = random_vector<T>(64, 10);
+  auto b = random_vector<T>(64, 11);
+  const auto a0 = a;
+  const auto b0 = b;
+  blas::swap(64, a.data(), 1, b.data(), 1);
+  EXPECT_EQ(a, b0);
+  EXPECT_EQ(b, a0);
+}
+
+TYPED_TEST(Level1Typed, ScalScalesInPlace) {
+  using T = TypeParam;
+  auto x = random_vector<T>(100, 12);
+  auto expected = x;
+  for (auto& v : expected) v *= T(2.5);
+  blas::scal(100, T(2.5), x.data(), 1);
+  test::expect_near_rel(x, expected, 1e-12);
+}
+
+TYPED_TEST(Level1Typed, RotgAnnihilatesSecondComponent) {
+  using T = TypeParam;
+  for (auto [a0, b0] : {std::pair<T, T>{3, 4}, {-3, 4}, {4, 3}, {0, 5},
+                        {5, 0}, {-1, -1}}) {
+    T a = a0, b = b0, c = 0, s = 0;
+    blas::rotg(a, b, c, s);
+    // (c, s) must be a proper rotation...
+    EXPECT_NEAR(static_cast<double>(c * c + s * s), 1.0, 1e-6);
+    // ...that maps (a0, b0) to (r, 0).
+    const double r = static_cast<double>(c) * static_cast<double>(a0) +
+                     static_cast<double>(s) * static_cast<double>(b0);
+    const double zero = static_cast<double>(c) * static_cast<double>(b0) -
+                        static_cast<double>(s) * static_cast<double>(a0);
+    EXPECT_NEAR(r, static_cast<double>(a), 1e-5 * (1.0 + std::abs(r)));
+    EXPECT_NEAR(zero, 0.0, 1e-5);
+  }
+  // Degenerate input: both zero -> identity rotation.
+  T a = 0, b = 0, c = -7, s = -7;
+  blas::rotg(a, b, c, s);
+  EXPECT_EQ(c, T(1));
+  EXPECT_EQ(s, T(0));
+}
+
+TYPED_TEST(Level1Typed, RotPreservesNorms) {
+  using T = TypeParam;
+  const int n = 100;
+  auto x = random_vector<T>(n, 40);
+  auto y = random_vector<T>(n, 41);
+  const double norm_before =
+      static_cast<double>(blas::dot(n, x.data(), 1, x.data(), 1)) +
+      static_cast<double>(blas::dot(n, y.data(), 1, y.data(), 1));
+  T a = T(3), b = T(4), c = 0, s = 0;
+  blas::rotg(a, b, c, s);
+  blas::rot(n, x.data(), 1, y.data(), 1, c, s);
+  const double norm_after =
+      static_cast<double>(blas::dot(n, x.data(), 1, x.data(), 1)) +
+      static_cast<double>(blas::dot(n, y.data(), 1, y.data(), 1));
+  EXPECT_NEAR(norm_after, norm_before, 1e-3 * (1.0 + norm_before));
+}
+
+TYPED_TEST(Level1Typed, RotInverseRestores) {
+  using T = TypeParam;
+  const int n = 64;
+  auto x = random_vector<T>(n, 42);
+  auto y = random_vector<T>(n, 43);
+  const auto x0 = x;
+  const auto y0 = y;
+  const T c = T(0.6), s = T(0.8);
+  blas::rot(n, x.data(), 1, y.data(), 1, c, s);
+  blas::rot(n, x.data(), 1, y.data(), 1, c, T(-0.8));
+  const double tol = std::is_same_v<T, float> ? 1e-5 : 1e-14;
+  test::expect_near_rel(x, x0, tol);
+  test::expect_near_rel(y, y0, tol);
+}
+
+// Property sweep: axpy linearity over many sizes.
+class AxpyLinearity : public ::testing::TestWithParam<int> {};
+
+TEST_P(AxpyLinearity, AxpyTwiceEqualsAxpySum) {
+  const int n = GetParam();
+  auto x = random_vector<double>(static_cast<std::size_t>(n), 13);
+  auto y1 = random_vector<double>(static_cast<std::size_t>(n), 14);
+  auto y2 = y1;
+  blas::axpy(n, 1.25, x.data(), 1, y1.data(), 1);
+  blas::axpy(n, 0.75, x.data(), 1, y1.data(), 1);
+  blas::axpy(n, 2.0, x.data(), 1, y2.data(), 1);
+  test::expect_near_rel(y1, y2, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AxpyLinearity,
+                         ::testing::Values(1, 2, 7, 32, 100, 1023));
+
+}  // namespace

@@ -1,0 +1,228 @@
+// Level 3 beyond GEMM: SYMM, SYRK, TRMM, TRSM — checked against the
+// reference kernels and against algebraic reconstructions.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "blas/gemm.hpp"
+#include "blas/level3.hpp"
+#include "blas/ref_blas.hpp"
+#include "blas_test_util.hpp"
+
+namespace {
+
+using namespace blob;
+using blas::Diag;
+using blas::Side;
+using blas::Transpose;
+using blas::UpLo;
+using blob::test::random_vector;
+
+// ------------------------------------------------------------------ symm
+
+class SymmCase
+    : public ::testing::TestWithParam<std::tuple<Side, UpLo, int, int>> {};
+
+TEST_P(SymmCase, MatchesReference) {
+  auto [side, uplo, m, n] = GetParam();
+  const int d = side == Side::Left ? m : n;
+  auto a = random_vector<double>(static_cast<std::size_t>(d) * d, 1);
+  auto b = random_vector<double>(static_cast<std::size_t>(m) * n, 2);
+  auto c_opt = random_vector<double>(static_cast<std::size_t>(m) * n, 3);
+  auto c_ref = c_opt;
+  blas::symm(side, uplo, m, n, 1.5, a.data(), d, b.data(), m, 0.5,
+             c_opt.data(), m);
+  blas::ref::symm(side, uplo, m, n, 1.5, a.data(), d, b.data(), m, 0.5,
+                  c_ref.data(), m);
+  test::expect_near_rel(c_opt, c_ref, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SymmCase,
+    ::testing::Combine(::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(UpLo::Upper, UpLo::Lower),
+                       ::testing::Values(1, 17, 64),
+                       ::testing::Values(1, 13, 80)));
+
+// ------------------------------------------------------------------ syrk
+
+class SyrkCase
+    : public ::testing::TestWithParam<std::tuple<UpLo, Transpose, int, int>> {
+};
+
+TEST_P(SyrkCase, MatchesReference) {
+  auto [uplo, trans, n, k] = GetParam();
+  const int a_rows = trans == Transpose::No ? n : k;
+  const int a_cols = trans == Transpose::No ? k : n;
+  auto a = random_vector<double>(
+      static_cast<std::size_t>(std::max(1, a_rows)) * std::max(1, a_cols), 4);
+  auto c_opt = random_vector<double>(static_cast<std::size_t>(n) * n, 5);
+  auto c_ref = c_opt;
+  blas::syrk(uplo, trans, n, k, 1.0, a.data(), std::max(1, a_rows), 2.0,
+             c_opt.data(), n);
+  blas::ref::syrk(uplo, trans, n, k, 1.0, a.data(), std::max(1, a_rows), 2.0,
+                  c_ref.data(), n);
+  test::expect_near_rel(c_opt, c_ref, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SyrkCase,
+    ::testing::Combine(::testing::Values(UpLo::Upper, UpLo::Lower),
+                       ::testing::Values(Transpose::No, Transpose::Yes),
+                       ::testing::Values(1, 30, 100),
+                       ::testing::Values(1, 8, 60)));
+
+TEST(Syrk, OnlyRequestedTriangleIsWritten) {
+  const int n = 40, k = 12;
+  auto a = random_vector<double>(static_cast<std::size_t>(n) * k, 6);
+  std::vector<double> c(static_cast<std::size_t>(n) * n, -99.0);
+  blas::syrk(UpLo::Upper, Transpose::No, n, k, 1.0, a.data(), n, 0.0,
+             c.data(), n);
+  // Strictly-lower part must remain untouched.
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(c[i + static_cast<std::size_t>(j) * n], -99.0);
+    }
+  }
+}
+
+TEST(Syrk, ResultIsSymmetricAcrossTriangles) {
+  const int n = 64, k = 20;
+  auto a = random_vector<double>(static_cast<std::size_t>(n) * k, 7);
+  std::vector<double> upper(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> lower(upper);
+  blas::syrk(UpLo::Upper, Transpose::No, n, k, 1.0, a.data(), n, 0.0,
+             upper.data(), n);
+  blas::syrk(UpLo::Lower, Transpose::No, n, k, 1.0, a.data(), n, 0.0,
+             lower.data(), n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) {
+      ASSERT_NEAR(upper[i + static_cast<std::size_t>(j) * n],
+                  lower[j + static_cast<std::size_t>(i) * n], 1e-11);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- syr2k
+
+class Syr2kCase
+    : public ::testing::TestWithParam<std::tuple<UpLo, Transpose, int, int>> {
+};
+
+TEST_P(Syr2kCase, MatchesReference) {
+  auto [uplo, trans, n, k] = GetParam();
+  const int a_rows = trans == Transpose::No ? n : k;
+  auto a = random_vector<double>(
+      static_cast<std::size_t>(std::max(1, a_rows)) *
+          std::max(1, trans == Transpose::No ? k : n),
+      30);
+  auto b = random_vector<double>(a.size(), 31);
+  auto c_opt = random_vector<double>(static_cast<std::size_t>(n) * n, 32);
+  auto c_ref = c_opt;
+  blas::syr2k(uplo, trans, n, k, 1.5, a.data(), std::max(1, a_rows),
+              b.data(), std::max(1, a_rows), 0.5, c_opt.data(), n);
+  blas::ref::syr2k(uplo, trans, n, k, 1.5, a.data(), std::max(1, a_rows),
+                   b.data(), std::max(1, a_rows), 0.5, c_ref.data(), n);
+  test::expect_near_rel(c_opt, c_ref, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Syr2kCase,
+    ::testing::Combine(::testing::Values(UpLo::Upper, UpLo::Lower),
+                       ::testing::Values(Transpose::No, Transpose::Yes),
+                       ::testing::Values(1, 30, 100),
+                       ::testing::Values(1, 8, 60)));
+
+TEST(Syr2k, EqualOperandsDoubleSyrk) {
+  // syr2k(A, A) == 2 * syrk(A).
+  const int n = 80, k = 20;
+  auto a = random_vector<double>(static_cast<std::size_t>(n) * k, 33);
+  std::vector<double> c1(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> c2(c1);
+  blas::syr2k(UpLo::Lower, Transpose::No, n, k, 1.0, a.data(), n, a.data(),
+              n, 0.0, c1.data(), n);
+  blas::syrk(UpLo::Lower, Transpose::No, n, k, 2.0, a.data(), n, 0.0,
+             c2.data(), n);
+  test::expect_near_rel(c1, c2, 1e-11);
+}
+
+// ------------------------------------------------------------- trmm/trsm
+
+class TrsmCase : public ::testing::TestWithParam<
+                     std::tuple<Side, UpLo, Transpose, Diag, int, int>> {};
+
+TEST_P(TrsmCase, SolveThenMultiplyRestoresB) {
+  auto [side, uplo, trans, diag, m, n] = GetParam();
+  const int d = side == Side::Left ? m : n;
+  auto a = random_vector<double>(static_cast<std::size_t>(d) * d, 8);
+  for (int i = 0; i < d; ++i) a[i + static_cast<std::size_t>(i) * d] += 4.0;
+  auto b0 = random_vector<double>(static_cast<std::size_t>(m) * n, 9);
+  auto b = b0;
+  blas::trsm(side, uplo, trans, diag, m, n, 1.0, a.data(), d, b.data(), m);
+  blas::trmm(side, uplo, trans, diag, m, n, 1.0, a.data(), d, b.data(), m);
+  test::expect_near_rel(b, b0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TrsmCase,
+    ::testing::Combine(::testing::Values(Side::Left, Side::Right),
+                       ::testing::Values(UpLo::Upper, UpLo::Lower),
+                       ::testing::Values(Transpose::No, Transpose::Yes),
+                       ::testing::Values(Diag::NonUnit, Diag::Unit),
+                       ::testing::Values(5, 33), ::testing::Values(4, 21)));
+
+TEST(Trsm, BlockedPathMatchesReference) {
+  // m > the 128 block size exercises the blocked Left/NoTrans algorithm.
+  const int m = 300, n = 40;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * m, 10);
+  for (int i = 0; i < m; ++i) a[i + static_cast<std::size_t>(i) * m] += 8.0;
+  auto b_opt = random_vector<double>(static_cast<std::size_t>(m) * n, 11);
+  auto b_ref = b_opt;
+  for (UpLo uplo : {UpLo::Lower, UpLo::Upper}) {
+    auto x_opt = b_opt;
+    auto x_ref = b_ref;
+    blas::trsm(Side::Left, uplo, Transpose::No, Diag::NonUnit, m, n, 2.0,
+               a.data(), m, x_opt.data(), m);
+    blas::ref::trsm(Side::Left, uplo, Transpose::No, Diag::NonUnit, m, n,
+                    2.0, a.data(), m, x_ref.data(), m);
+    test::expect_near_rel(x_opt, x_ref, 1e-9);
+  }
+}
+
+TEST(Trsm, BlockedPathWithThreads) {
+  const int m = 260, n = 64;
+  parallel::ThreadPool pool(4);
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * m, 12);
+  for (int i = 0; i < m; ++i) a[i + static_cast<std::size_t>(i) * m] += 8.0;
+  auto b_opt = random_vector<double>(static_cast<std::size_t>(m) * n, 13);
+  auto b_ref = b_opt;
+  blas::trsm(Side::Left, UpLo::Lower, Transpose::No, Diag::NonUnit, m, n,
+             1.0, a.data(), m, b_opt.data(), m, &pool, 4);
+  blas::ref::trsm(Side::Left, UpLo::Lower, Transpose::No, Diag::NonUnit, m,
+                  n, 1.0, a.data(), m, b_ref.data(), m);
+  test::expect_near_rel(b_opt, b_ref, 1e-9);
+}
+
+TEST(Trmm, MatchesDenseGemm) {
+  const int m = 30, n = 25;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * m, 14);
+  // Densify the upper triangle (non-unit diagonal).
+  std::vector<double> dense(static_cast<std::size_t>(m) * m, 0.0);
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i <= j; ++i) {
+      dense[i + static_cast<std::size_t>(j) * m] =
+          a[i + static_cast<std::size_t>(j) * m];
+    }
+  }
+  auto b = random_vector<double>(static_cast<std::size_t>(m) * n, 15);
+  auto b_trmm = b;
+  blas::trmm(Side::Left, UpLo::Upper, Transpose::No, Diag::NonUnit, m, n,
+             1.0, a.data(), m, b_trmm.data(), m);
+  std::vector<double> b_gemm(static_cast<std::size_t>(m) * n, 0.0);
+  blas::gemm(Transpose::No, Transpose::No, m, n, m, 1.0, dense.data(), m,
+             b.data(), m, 0.0, b_gemm.data(), m);
+  test::expect_near_rel(b_trmm, b_gemm, 1e-11);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Direct unit tests of the GEMM packing routines and micro-kernels —
+// the innermost pieces everything else rides on.
+
+#include <gtest/gtest.h>
+
+#include "blas/microkernel.hpp"
+#include "blas/microkernel_avx2.hpp"
+#include "blas/pack.hpp"
+#include "blas_test_util.hpp"
+
+namespace {
+
+using namespace blob;
+using blas::Transpose;
+using blob::test::random_vector;
+
+TEST(Pack, PackANoTransLayoutAndPadding) {
+  // A is 5x3 (m=5 exceeds one MR=4 panel -> 2 panels, second padded).
+  constexpr int MR = 4;
+  const int m = 5, k = 3;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * k, 1);
+  std::vector<double> packed(2 * MR * k, -1.0);
+  blas::detail::pack_a<double, MR>(Transpose::No, a.data(), m, 0, 0, m, k,
+                                   packed.data());
+  // Panel 0: rows 0..3, k-major: packed[p*MR + r] == A[r, p].
+  for (int p = 0; p < k; ++p) {
+    for (int r = 0; r < MR; ++r) {
+      EXPECT_DOUBLE_EQ(packed[static_cast<std::size_t>(p) * MR + r],
+                       a[r + static_cast<std::size_t>(p) * m]);
+    }
+  }
+  // Panel 1: row 4 live, rows 5..7 zero padded.
+  const double* panel1 = packed.data() + static_cast<std::size_t>(MR) * k;
+  for (int p = 0; p < k; ++p) {
+    EXPECT_DOUBLE_EQ(panel1[static_cast<std::size_t>(p) * MR],
+                     a[4 + static_cast<std::size_t>(p) * m]);
+    for (int r = 1; r < MR; ++r) {
+      EXPECT_DOUBLE_EQ(panel1[static_cast<std::size_t>(p) * MR + r], 0.0);
+    }
+  }
+}
+
+TEST(Pack, PackATransReadsTransposed) {
+  constexpr int MR = 4;
+  // op(A) is 4x2 from A stored 2x4 (ta = Trans).
+  const int rows = 2, cols = 4;
+  auto a = random_vector<double>(static_cast<std::size_t>(rows) * cols, 2);
+  std::vector<double> packed(MR * rows, 0.0);
+  blas::detail::pack_a<double, MR>(Transpose::Yes, a.data(), rows, 0, 0,
+                                   /*mc=*/4, /*kc=*/2, packed.data());
+  for (int p = 0; p < 2; ++p) {
+    for (int r = 0; r < 4; ++r) {
+      // op(A)[r, p] = A[p, r].
+      EXPECT_DOUBLE_EQ(packed[static_cast<std::size_t>(p) * MR + r],
+                       a[p + static_cast<std::size_t>(r) * rows]);
+    }
+  }
+}
+
+TEST(Pack, PackBNoTransLayoutAndPadding) {
+  constexpr int NR = 4;
+  const int k = 2, n = 5;  // 2 panels, second padded
+  auto b = random_vector<double>(static_cast<std::size_t>(k) * n, 3);
+  std::vector<double> packed(2 * NR * k, -1.0);
+  blas::detail::pack_b<double, NR>(Transpose::No, b.data(), k, 0, 0, k, n,
+                                   packed.data());
+  for (int p = 0; p < k; ++p) {
+    for (int c = 0; c < NR; ++c) {
+      EXPECT_DOUBLE_EQ(packed[static_cast<std::size_t>(p) * NR + c],
+                       b[p + static_cast<std::size_t>(c) * k]);
+    }
+  }
+  const double* panel1 = packed.data() + static_cast<std::size_t>(NR) * k;
+  for (int p = 0; p < k; ++p) {
+    EXPECT_DOUBLE_EQ(panel1[static_cast<std::size_t>(p) * NR],
+                     b[p + static_cast<std::size_t>(4) * k]);
+    for (int c = 1; c < NR; ++c) {
+      EXPECT_DOUBLE_EQ(panel1[static_cast<std::size_t>(p) * NR + c], 0.0);
+    }
+  }
+}
+
+TEST(Pack, OffsetsSelectSubBlocks) {
+  constexpr int MR = 4;
+  const int m = 8, k = 6;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * k, 4);
+  std::vector<double> packed(MR * 2, 0.0);
+  // Pack the 2x2 block at (i0=3, p0=4).
+  blas::detail::pack_a<double, MR>(Transpose::No, a.data(), m, 3, 4, 2, 2,
+                                   packed.data());
+  EXPECT_DOUBLE_EQ(packed[0], a[3 + 4 * static_cast<std::size_t>(m)]);
+  EXPECT_DOUBLE_EQ(packed[1], a[4 + 4 * static_cast<std::size_t>(m)]);
+  EXPECT_DOUBLE_EQ(packed[MR + 0], a[3 + 5 * static_cast<std::size_t>(m)]);
+}
+
+// ------------------------------------------------------------- microkernel
+
+TEST(MicroKernel, ComputesPackedProduct) {
+  constexpr int MR = 4, NR = 4;
+  const int kc = 3;
+  // Hand-built panels: a[p*MR + r] = r + 1, b[p*NR + c] = (c + 1) * 10.
+  std::vector<double> a(static_cast<std::size_t>(kc) * MR);
+  std::vector<double> b(static_cast<std::size_t>(kc) * NR);
+  for (int p = 0; p < kc; ++p) {
+    for (int r = 0; r < MR; ++r) a[static_cast<std::size_t>(p) * MR + r] = r + 1;
+    for (int c = 0; c < NR; ++c) {
+      b[static_cast<std::size_t>(p) * NR + c] = (c + 1) * 10.0;
+    }
+  }
+  std::vector<double> c(MR * NR, 5.0);
+  blas::detail::micro_kernel<double, MR, NR>(kc, 2.0, a.data(), b.data(),
+                                             c.data(), MR, MR, NR,
+                                             /*accumulate=*/true);
+  // C[r][cc] = 5 + 2 * sum_p (r+1)(cc+1)*10 = 5 + 2*kc*10*(r+1)(cc+1).
+  for (int cc = 0; cc < NR; ++cc) {
+    for (int r = 0; r < MR; ++r) {
+      EXPECT_DOUBLE_EQ(c[r + static_cast<std::size_t>(cc) * MR],
+                       5.0 + 2.0 * kc * 10.0 * (r + 1) * (cc + 1));
+    }
+  }
+}
+
+TEST(MicroKernel, EdgeClippingWritesOnlyLiveTile) {
+  constexpr int MR = 4, NR = 4;
+  std::vector<double> a(MR, 1.0);
+  std::vector<double> b(NR, 1.0);
+  std::vector<double> c(MR * NR, -3.0);
+  blas::detail::micro_kernel<double, MR, NR>(1, 1.0, a.data(), b.data(),
+                                             c.data(), MR, /*mr=*/2,
+                                             /*nr=*/2, false);
+  for (int cc = 0; cc < NR; ++cc) {
+    for (int r = 0; r < MR; ++r) {
+      const double expected = (r < 2 && cc < 2) ? 1.0 : -3.0;
+      EXPECT_DOUBLE_EQ(c[r + static_cast<std::size_t>(cc) * MR], expected);
+    }
+  }
+}
+
+#if BLOB_HAVE_AVX2_MICROKERNEL
+TEST(MicroKernel, Avx2MatchesGenericF32) {
+  const int kc = 37;
+  auto a = random_vector<float>(static_cast<std::size_t>(kc) * 8, 5);
+  auto b = random_vector<float>(static_cast<std::size_t>(kc) * 8, 6);
+  auto c_generic = random_vector<float>(64, 7);
+  auto c_avx = c_generic;
+  blas::detail::micro_kernel<float, 8, 8>(kc, 1.5f, a.data(), b.data(),
+                                          c_generic.data(), 8, 8, 8, true);
+  blas::detail::micro_kernel_f32_8x8_avx2(kc, 1.5f, a.data(), b.data(),
+                                          c_avx.data(), 8, true);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_NEAR(c_avx[i], c_generic[i], 1e-4f * (1.0f + std::abs(c_generic[i])));
+  }
+}
+
+TEST(MicroKernel, Avx2MatchesGenericF64) {
+  const int kc = 21;
+  auto a = random_vector<double>(static_cast<std::size_t>(kc) * 8, 8);
+  auto b = random_vector<double>(static_cast<std::size_t>(kc) * 4, 9);
+  auto c_generic = random_vector<double>(32, 10);
+  auto c_avx = c_generic;
+  blas::detail::micro_kernel<double, 8, 4>(kc, -0.5, a.data(), b.data(),
+                                           c_generic.data(), 8, 8, 4, true);
+  blas::detail::micro_kernel_f64_8x4_avx2(kc, -0.5, a.data(), b.data(),
+                                          c_avx.data(), 8, true);
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_NEAR(c_avx[i], c_generic[i],
+                1e-12 * (1.0 + std::abs(c_generic[i])));
+  }
+}
+#endif
+
+}  // namespace

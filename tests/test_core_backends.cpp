@@ -1,0 +1,241 @@
+// Execution backends: SimBackend arithmetic (cross-checked against a real
+// SimGpu run) and HostBackend wall-clock sanity.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/flops.hpp"
+#include "core/host_backend.hpp"
+#include "core/hybrid_backend.hpp"
+#include "core/sweep.hpp"
+#include "core/sim_backend.hpp"
+#include "simgpu/device.hpp"
+#include "sysprofile/profile.hpp"
+
+namespace {
+
+using namespace blob;
+using namespace blob::core;
+
+Problem square_gemm(std::int64_t s,
+                    model::Precision p = model::Precision::F32) {
+  Problem problem;
+  problem.op = KernelOp::Gemm;
+  problem.precision = p;
+  problem.dims = {s, s, s};
+  return problem;
+}
+
+Problem square_gemv(std::int64_t s,
+                    model::Precision p = model::Precision::F32) {
+  Problem problem;
+  problem.op = KernelOp::Gemv;
+  problem.precision = p;
+  problem.dims = {s, s, 1};
+  return problem;
+}
+
+TEST(SimBackend, CpuTimeScalesWithIterations) {
+  SimBackend backend(profile::dawn(), 0.0);
+  const auto p = square_gemv(512);
+  const double one = backend.cpu_time(p, 1);
+  const double ten = backend.cpu_time(p, 10);
+  EXPECT_NEAR(ten, 10 * one, 1e-9 * ten);  // GEMV has no warm path
+}
+
+TEST(SimBackend, GemmWarmupMakesIterationsSublinear) {
+  SimBackend backend(profile::dawn(), 0.0);
+  const auto p = square_gemm(512);
+  const double one = backend.cpu_time(p, 1);
+  const double many = backend.cpu_time(p, 100);
+  EXPECT_LT(many, 100 * one);
+  EXPECT_GT(many, 50 * one);
+}
+
+TEST(SimBackend, TransferOnceAmortisesTransfers) {
+  SimBackend backend(profile::dawn(), 0.0);
+  const auto p = square_gemm(1024);
+  const double once_1 = *backend.gpu_time(p, 1, TransferMode::Once);
+  const double once_16 = *backend.gpu_time(p, 16, TransferMode::Once);
+  const double always_16 = *backend.gpu_time(p, 16, TransferMode::Always);
+  EXPECT_LT(once_16, 16 * once_1);      // transfers paid only once
+  EXPECT_GT(always_16, once_16);        // always re-pays the link
+  EXPECT_NEAR(always_16, 16 * *backend.gpu_time(p, 1, TransferMode::Always),
+              1e-9 * always_16);
+}
+
+TEST(SimBackend, UsmXnackOffIsCatastrophic) {
+  SimBackend on(profile::lumi(), 0.0);
+  SimBackend off(profile::lumi_xnack_off(), 0.0);
+  const auto p = square_gemm(2048);
+  const double t_on = *on.gpu_time(p, 8, TransferMode::Usm);
+  const double t_off = *off.gpu_time(p, 8, TransferMode::Usm);
+  EXPECT_GT(t_off / t_on, 3.0);
+}
+
+TEST(SimBackend, NoiseIsReproduciblePerSeed) {
+  SimBackend a(profile::dawn(), 0.1, 42);
+  SimBackend b(profile::dawn(), 0.1, 42);
+  SimBackend c(profile::dawn(), 0.1, 43);
+  const auto p = square_gemm(256);
+  EXPECT_DOUBLE_EQ(a.cpu_time(p, 4), b.cpu_time(p, 4));
+  EXPECT_NE(a.cpu_time(p, 4), c.cpu_time(p, 4));
+}
+
+TEST(SimBackend, AgreesWithSimGpuDeviceTiming) {
+  // The analytic Transfer-Once path must match what an actual SimGpu
+  // stream accumulates for the same problem.
+  const auto prof = profile::dawn();
+  SimBackend backend(prof, 0.0);
+  const int m = 64;
+  const auto p = square_gemm(m, model::Precision::F32);
+  const std::int64_t iters = 4;
+  const double analytic = *backend.gpu_time(p, iters, TransferMode::Once);
+
+  sim::SimGpu gpu(sim::SimGpu::Config{prof.gpu, prof.link, false, 0.0});
+  const std::size_t mat_bytes = static_cast<std::size_t>(m) * m * 4;
+  auto ha = gpu.alloc_host(mat_bytes);
+  auto hb = gpu.alloc_host(mat_bytes);
+  auto hc = gpu.alloc_host(mat_bytes);
+  auto da = gpu.alloc_device(mat_bytes);
+  auto db = gpu.alloc_device(mat_bytes);
+  auto dc = gpu.alloc_device(mat_bytes);
+  gpu.memcpy_h2d(da, ha, mat_bytes);
+  gpu.memcpy_h2d(db, hb, mat_bytes);
+  gpu.memcpy_h2d(dc, hc, mat_bytes);
+  for (std::int64_t i = 0; i < iters; ++i) {
+    gpu.gemm<float>(m, m, m, 1.0f, da, m, db, m, 0.0f, dc, m);
+  }
+  gpu.synchronize();
+  gpu.memcpy_d2h(hc, dc, mat_bytes);
+  EXPECT_NEAR(gpu.now(), analytic, 0.05 * analytic);
+}
+
+TEST(SimBackend, UsmPathAgreesWithSimGpuManagedRun) {
+  const auto prof = profile::isambard_ai();
+  SimBackend backend(prof, 0.0);
+  const int m = 96;
+  const auto p = square_gemm(m);
+  const std::int64_t iters = 3;
+  const double analytic = *backend.gpu_time(p, iters, TransferMode::Usm);
+
+  sim::SimGpu gpu(sim::SimGpu::Config{prof.gpu, prof.link, false, 0.0});
+  const std::size_t mat_bytes = static_cast<std::size_t>(m) * m * 4;
+  auto a = gpu.alloc_managed(mat_bytes);
+  auto b = gpu.alloc_managed(mat_bytes);
+  auto c = gpu.alloc_managed(mat_bytes);
+  for (std::int64_t i = 0; i < iters; ++i) {
+    gpu.gemm<float>(m, m, m, 1.0f, a, m, b, m, 0.0f, c, m);
+  }
+  gpu.synchronize();
+  gpu.host_access_managed(c);
+  EXPECT_NEAR(gpu.now(), analytic, 0.05 * analytic);
+}
+
+TEST(SimBackend, NameMatchesProfile) {
+  EXPECT_EQ(SimBackend(profile::lumi()).name(), "lumi");
+}
+
+// ---------------------------------------------------------- host backend
+
+TEST(HostBackend, MeasuresRealGemmTime) {
+  HostBackend backend(blas::single_thread_personality(), 1, 1);
+  const auto p = square_gemm(64, model::Precision::F64);
+  const double t = backend.cpu_time(p, 1);
+  EXPECT_GT(t, 0.0);
+  // 4x the iterations should take measurably longer (allow big slack for
+  // noisy CI machines).
+  const double t4 = backend.cpu_time(p, 8);
+  EXPECT_GT(t4, t);
+}
+
+TEST(HostBackend, GemvAndGpuBehaviour) {
+  HostBackend backend(blas::generic_personality(), 2, 1);
+  const auto p = square_gemv(128);
+  EXPECT_GT(backend.cpu_time(p, 2), 0.0);
+  EXPECT_FALSE(backend.gpu_time(p, 1, TransferMode::Once).has_value());
+  EXPECT_EQ(backend.name(), "host/generic");
+}
+
+TEST(HostBackend, RejectsHalfPrecision) {
+  HostBackend backend(blas::generic_personality(), 1, 1);
+  auto p = square_gemm(8);
+  p.precision = model::Precision::F16;
+  EXPECT_THROW(backend.cpu_time(p, 1), std::invalid_argument);
+}
+
+// --------------------------------------------------------- hybrid backend
+
+TEST(HybridBackend, CombinesRealCpuWithSimulatedGpu) {
+  HybridBackend backend(blas::single_thread_personality(),
+                        profile::isambard_ai(), 1, 1);
+  const auto p = square_gemm(64);
+  // CPU side is a real measurement (positive wall time).
+  EXPECT_GT(backend.cpu_time(p, 1), 0.0);
+  // GPU side equals the noise-free SimBackend prediction exactly.
+  SimBackend sim(profile::isambard_ai(), 0.0);
+  for (auto mode : kTransferModes) {
+    EXPECT_DOUBLE_EQ(*backend.gpu_time(p, 4, mode),
+                     *sim.gpu_time(p, 4, mode));
+  }
+  EXPECT_EQ(backend.name(), "host/single-thread+sim:isambard-ai");
+}
+
+TEST(HybridBackend, RunsThroughTheSweepPipeline) {
+  HybridBackend backend(blas::single_thread_personality(), profile::dawn(),
+                        1, 1);
+  SweepConfig cfg;
+  cfg.s_max = 48;
+  cfg.stride = 16;
+  const auto r = run_sweep(backend, problem_type_by_id("gemm_square"), cfg);
+  EXPECT_EQ(r.samples.size(), 3u);
+  for (const auto& sample : r.samples) {
+    EXPECT_TRUE(sample.has_gpu);
+    EXPECT_GT(sample.cpu_seconds, 0.0);
+  }
+}
+
+TEST(SimBackendBatched, BatchOneMatchesPlainPath) {
+  SimBackend backend(profile::dawn(), 0.0);
+  auto p = square_gemm(64);
+  auto p_batched = p;
+  p_batched.batch = 1;
+  EXPECT_DOUBLE_EQ(backend.cpu_time(p, 4), backend.cpu_time(p_batched, 4));
+  EXPECT_DOUBLE_EQ(*backend.gpu_time(p, 4, TransferMode::Once),
+                   *backend.gpu_time(p_batched, 4, TransferMode::Once));
+}
+
+TEST(SimBackendBatched, BatchingHelpsSmallGemms) {
+  SimBackend backend(profile::isambard_ai(), 0.0);
+  auto p = square_gemm(16);
+  auto batched = p;
+  batched.batch = 128;
+  // Per-matrix GPU time must drop with batching (one launch, better fill).
+  const double single = *backend.gpu_time(p, 8, TransferMode::Once);
+  const double per_matrix =
+      *backend.gpu_time(batched, 8, TransferMode::Once) / 128.0;
+  EXPECT_LT(per_matrix, single);
+}
+
+TEST(SimBackendBatched, FlopsAndBytesScaleWithBatch) {
+  auto p = square_gemm(32);
+  auto batched = p;
+  batched.batch = 10;
+  EXPECT_DOUBLE_EQ(problem_flops(batched), 10 * problem_flops(p));
+  EXPECT_DOUBLE_EQ(h2d_bytes(batched), 10 * h2d_bytes(p));
+  EXPECT_DOUBLE_EQ(d2h_bytes(batched), 10 * d2h_bytes(p));
+  // Arithmetic intensity is batch-invariant.
+  EXPECT_NEAR(arithmetic_intensity(batched), arithmetic_intensity(p), 1e-12);
+}
+
+TEST(SimBackendBatched, GemvIgnoresBatch) {
+  SimBackend backend(profile::lumi(), 0.0);
+  auto p = square_gemv(256);
+  auto batched = p;
+  batched.batch = 64;
+  EXPECT_DOUBLE_EQ(backend.cpu_time(p, 2), backend.cpu_time(batched, 2));
+  EXPECT_DOUBLE_EQ(problem_flops(p), problem_flops(batched));
+}
+
+}  // namespace

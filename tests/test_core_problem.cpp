@@ -1,0 +1,184 @@
+// Problem-type registry and the FLOPs/bytes model (paper §III-A/C).
+
+#include <gtest/gtest.h>
+
+#include "core/flops.hpp"
+#include "core/problem.hpp"
+
+namespace {
+
+using namespace blob;
+using namespace blob::core;
+
+TEST(ProblemTypes, RegistryHasPaperCounts) {
+  // 9 GEMM + 5 GEMV = the artifact's 28 CSVs over two precisions.
+  EXPECT_EQ(gemm_problem_types().size(), 9u);
+  EXPECT_EQ(gemv_problem_types().size(), 5u);
+  EXPECT_EQ(all_problem_types().size(), 14u);
+}
+
+TEST(ProblemTypes, IdsAreUnique) {
+  std::set<std::string> ids;
+  for (const auto& t : all_problem_types()) ids.insert(t.id());
+  EXPECT_EQ(ids.size(), all_problem_types().size());
+}
+
+TEST(ProblemTypes, GemmDimRelationships) {
+  auto dims = [](const char* id, std::int64_t s) {
+    return problem_type_by_id(id).dims(s);
+  };
+  // Square.
+  EXPECT_EQ(dims("gemm_square", 7).m, 7);
+  EXPECT_EQ(dims("gemm_square", 7).n, 7);
+  EXPECT_EQ(dims("gemm_square", 7).k, 7);
+  // M=N, K=16M.
+  auto tall_k = dims("gemm_tall_k", 10);
+  EXPECT_EQ(tall_k.m, 10);
+  EXPECT_EQ(tall_k.n, 10);
+  EXPECT_EQ(tall_k.k, 160);
+  // M=N=32, K>=1.
+  auto fixed_mn = dims("gemm_fixed_mn_32", 77);
+  EXPECT_EQ(fixed_mn.m, 32);
+  EXPECT_EQ(fixed_mn.n, 32);
+  EXPECT_EQ(fixed_mn.k, 77);
+  // K=N, M=16K.
+  auto wide_m = dims("gemm_wide_m", 5);
+  EXPECT_EQ(wide_m.m, 80);
+  EXPECT_EQ(wide_m.n, 5);
+  EXPECT_EQ(wide_m.k, 5);
+  // K=N=32, M>=1.
+  auto fixed_kn = dims("gemm_fixed_kn_32", 9);
+  EXPECT_EQ(fixed_kn.m, 9);
+  EXPECT_EQ(fixed_kn.n, 32);
+  EXPECT_EQ(fixed_kn.k, 32);
+  // M=K, N=16K.
+  auto tall_n = dims("gemm_tall_n", 4);
+  EXPECT_EQ(tall_n.m, 4);
+  EXPECT_EQ(tall_n.n, 64);
+  EXPECT_EQ(tall_n.k, 4);
+  // M=K=32, N>=1.
+  auto fixed_mk = dims("gemm_fixed_mk_32", 50);
+  EXPECT_EQ(fixed_mk.m, 32);
+  EXPECT_EQ(fixed_mk.n, 50);
+  EXPECT_EQ(fixed_mk.k, 32);
+  // M=N, K=32.
+  auto thin_k = dims("gemm_thin_k", 640);
+  EXPECT_EQ(thin_k.m, 640);
+  EXPECT_EQ(thin_k.n, 640);
+  EXPECT_EQ(thin_k.k, 32);
+  // M=N, M=16K (K = M/16, at least 1).
+  auto short_k = dims("gemm_short_k", 64);
+  EXPECT_EQ(short_k.m, 64);
+  EXPECT_EQ(short_k.n, 64);
+  EXPECT_EQ(short_k.k, 4);
+  EXPECT_EQ(dims("gemm_short_k", 3).k, 1);  // floor of one
+}
+
+TEST(ProblemTypes, GemvDimRelationships) {
+  auto dims = [](const char* id, std::int64_t s) {
+    return problem_type_by_id(id).dims(s);
+  };
+  EXPECT_EQ(dims("gemv_square", 12).m, 12);
+  EXPECT_EQ(dims("gemv_square", 12).n, 12);
+  EXPECT_EQ(dims("gemv_tall", 12).m, 192);   // M=16N
+  EXPECT_EQ(dims("gemv_tall", 12).n, 12);
+  EXPECT_EQ(dims("gemv_fixed_n_32", 99).m, 99);
+  EXPECT_EQ(dims("gemv_fixed_n_32", 99).n, 32);
+  EXPECT_EQ(dims("gemv_wide", 12).m, 12);    // N=16M
+  EXPECT_EQ(dims("gemv_wide", 12).n, 192);
+  EXPECT_EQ(dims("gemv_fixed_m_32", 99).m, 32);
+  EXPECT_EQ(dims("gemv_fixed_m_32", 99).n, 99);
+}
+
+TEST(ProblemTypes, LookupErrors) {
+  EXPECT_THROW(problem_type_by_id("nonexistent"), std::invalid_argument);
+  EXPECT_NO_THROW(problem_type_by_id("gemm_square"));
+}
+
+TEST(ProblemTypes, OpTagging) {
+  for (const auto& t : gemm_problem_types()) {
+    EXPECT_EQ(t.op(), KernelOp::Gemm) << t.id();
+  }
+  for (const auto& t : gemv_problem_types()) {
+    EXPECT_EQ(t.op(), KernelOp::Gemv) << t.id();
+  }
+  EXPECT_STREQ(to_string(KernelOp::Gemm), "gemm");
+  EXPECT_STREQ(to_string(KernelOp::Gemv), "gemv");
+}
+
+// ----------------------------------------------------------------- flops
+
+TEST(Flops, GemmFollowsPaperModel) {
+  // 2MNK + MN + qMN, q = 0 (beta=0) or 2.
+  EXPECT_DOUBLE_EQ(gemm_flops(10, 20, 30, true), 2.0 * 10 * 20 * 30 + 200);
+  EXPECT_DOUBLE_EQ(gemm_flops(10, 20, 30, false),
+                   2.0 * 10 * 20 * 30 + 200 + 400);
+}
+
+TEST(Flops, GemvFollowsPaperModel) {
+  // 2MN + M + qM.
+  EXPECT_DOUBLE_EQ(gemv_flops(10, 20, true), 2.0 * 10 * 20 + 10);
+  EXPECT_DOUBLE_EQ(gemv_flops(10, 20, false), 2.0 * 10 * 20 + 10 + 20);
+}
+
+TEST(Flops, ProblemFlopsDispatches) {
+  Problem gemm_p;
+  gemm_p.op = KernelOp::Gemm;
+  gemm_p.dims = {8, 8, 8};
+  gemm_p.beta_zero = true;
+  EXPECT_DOUBLE_EQ(problem_flops(gemm_p), 2.0 * 512 + 64);
+
+  Problem gemv_p;
+  gemv_p.op = KernelOp::Gemv;
+  gemv_p.dims = {8, 8, 1};
+  EXPECT_DOUBLE_EQ(problem_flops(gemv_p), 2.0 * 64 + 8);
+}
+
+TEST(Flops, TransferBytesCountAllStructures) {
+  Problem p;
+  p.op = KernelOp::Gemm;
+  p.precision = model::Precision::F32;
+  p.dims = {10, 20, 30};
+  // A (10x30) + B (30x20) + C (10x20), 4 bytes each.
+  EXPECT_DOUBLE_EQ(h2d_bytes(p), 4.0 * (300 + 600 + 200));
+  EXPECT_DOUBLE_EQ(d2h_bytes(p), 4.0 * 200);
+
+  p.precision = model::Precision::F64;
+  EXPECT_DOUBLE_EQ(h2d_bytes(p), 8.0 * (300 + 600 + 200));
+
+  Problem v;
+  v.op = KernelOp::Gemv;
+  v.precision = model::Precision::F32;
+  v.dims = {10, 20, 1};
+  // A (10x20) + x (20) + y (10).
+  EXPECT_DOUBLE_EQ(h2d_bytes(v), 4.0 * (200 + 20 + 10));
+  EXPECT_DOUBLE_EQ(d2h_bytes(v), 4.0 * 10);
+}
+
+TEST(Flops, ArithmeticIntensityOrdersProblemsCorrectly) {
+  // Square GEMM has far higher AI than the skinny fixed-32 GEMM variants
+  // — the paper's explanation for which problems never offload on DAWN.
+  Problem square;
+  square.op = KernelOp::Gemm;
+  square.dims = {1024, 1024, 1024};
+  Problem skinny;
+  skinny.op = KernelOp::Gemm;
+  skinny.dims = {32, 32, 1024};
+  Problem gemv_p;
+  gemv_p.op = KernelOp::Gemv;
+  gemv_p.dims = {1024, 1024, 1};
+  EXPECT_GT(arithmetic_intensity(square), 10 * arithmetic_intensity(skinny));
+  EXPECT_GT(arithmetic_intensity(skinny), arithmetic_intensity(gemv_p));
+}
+
+TEST(Flops, GflopsComputation) {
+  Problem p;
+  p.op = KernelOp::Gemm;
+  p.dims = {100, 100, 100};
+  const double flops = 2.0 * 1e6 + 1e4;
+  EXPECT_NEAR(gflops(p, 10, 1.0), 10 * flops / 1e9, 1e-12);
+  EXPECT_DOUBLE_EQ(gflops(p, 10, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(gflops(p, 0, 1.0), 0.0);
+}
+
+}  // namespace

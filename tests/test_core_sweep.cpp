@@ -1,0 +1,256 @@
+// Sweep runner, CSV round trips (including the split CPU-only/GPU-only
+// merge the paper's LUMI workflow needs), and report rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/report.hpp"
+#include "core/sweep.hpp"
+
+namespace {
+
+using namespace blob;
+using namespace blob::core;
+
+/// Backend with an analytically known crossover: cpu = a*s, gpu = b + c*s.
+class FakeBackend final : public ExecutionBackend {
+ public:
+  FakeBackend(double cpu_slope, double gpu_fixed, double gpu_slope,
+              bool has_gpu = true)
+      : cpu_slope_(cpu_slope),
+        gpu_fixed_(gpu_fixed),
+        gpu_slope_(gpu_slope),
+        has_gpu_(has_gpu) {}
+
+  std::string name() const override { return "fake"; }
+
+  double cpu_time(const Problem& problem, std::int64_t iterations) override {
+    return cpu_slope_ * static_cast<double>(problem.dims.m) *
+           static_cast<double>(iterations);
+  }
+
+  std::optional<double> gpu_time(const Problem& problem,
+                                 std::int64_t iterations,
+                                 TransferMode mode) override {
+    if (!has_gpu_) return std::nullopt;
+    const double scale = mode == TransferMode::Always ? 2.0 : 1.0;
+    return gpu_fixed_ * scale +
+           gpu_slope_ * static_cast<double>(problem.dims.m) *
+               static_cast<double>(iterations);
+  }
+
+ private:
+  double cpu_slope_, gpu_fixed_, gpu_slope_;
+  bool has_gpu_;
+};
+
+TEST(Sweep, FindsAnalyticCrossover) {
+  // cpu = 2s, gpu_once = 100 + s -> crossover strictly after s = 100.
+  FakeBackend backend(2.0, 100.0, 1.0);
+  SweepConfig cfg;
+  cfg.s_min = 1;
+  cfg.s_max = 300;
+  cfg.iterations = 1;
+  const auto result =
+      run_sweep(backend, problem_type_by_id("gemm_square"), cfg);
+  ASSERT_TRUE(result.thresholds[0].has_value());
+  EXPECT_EQ(result.thresholds[0]->s, 101);
+  // Transfer-Always has double the fixed cost -> crossover at 201.
+  ASSERT_TRUE(result.thresholds[1].has_value());
+  EXPECT_EQ(result.thresholds[1]->s, 201);
+}
+
+TEST(Sweep, StrideSkipsSizes) {
+  FakeBackend backend(2.0, 100.0, 1.0);
+  SweepConfig cfg;
+  cfg.s_min = 1;
+  cfg.s_max = 300;
+  cfg.stride = 50;
+  const auto result =
+      run_sweep(backend, problem_type_by_id("gemm_square"), cfg);
+  EXPECT_EQ(result.samples.size(), 6u);  // 1, 51, 101, 151, 201, 251
+  ASSERT_TRUE(result.thresholds[0].has_value());
+  EXPECT_EQ(result.thresholds[0]->s, 101);
+}
+
+TEST(Sweep, CpuOnlyBackendYieldsNoThresholds) {
+  FakeBackend backend(2.0, 100.0, 1.0, /*has_gpu=*/false);
+  SweepConfig cfg;
+  cfg.s_max = 50;
+  const auto result =
+      run_sweep(backend, problem_type_by_id("gemv_square"), cfg);
+  for (const auto& t : result.thresholds) EXPECT_FALSE(t.has_value());
+  for (const auto& s : result.samples) {
+    EXPECT_FALSE(s.has_gpu);
+    EXPECT_TRUE(std::isnan(s.gpu_seconds[0]));
+    EXPECT_GT(s.cpu_gflops, 0.0);
+  }
+}
+
+TEST(Sweep, RejectsBadBounds) {
+  FakeBackend backend(1.0, 1.0, 1.0);
+  SweepConfig cfg;
+  cfg.s_min = 10;
+  cfg.s_max = 5;
+  EXPECT_THROW(run_sweep(backend, problem_type_by_id("gemm_square"), cfg),
+               std::invalid_argument);
+  cfg = SweepConfig{};
+  cfg.s_min = 0;
+  EXPECT_THROW(run_sweep(backend, problem_type_by_id("gemm_square"), cfg),
+               std::invalid_argument);
+  cfg = SweepConfig{};
+  cfg.stride = 0;
+  EXPECT_THROW(run_sweep(backend, problem_type_by_id("gemm_square"), cfg),
+               std::invalid_argument);
+}
+
+TEST(Sweep, GflopsUsesPaperFlopModel) {
+  FakeBackend backend(1.0, 0.0, 0.5);
+  SweepConfig cfg;
+  cfg.s_min = 10;
+  cfg.s_max = 10;
+  cfg.iterations = 4;
+  const auto result =
+      run_sweep(backend, problem_type_by_id("gemm_square"), cfg);
+  const auto& s = result.samples.at(0);
+  const double flops = 2.0 * 1000 + 100;  // 2MNK + MN at m=n=k=10
+  EXPECT_NEAR(s.cpu_gflops, 4 * flops / s.cpu_seconds / 1e9, 1e-9);
+}
+
+// --------------------------------------------------------------- csv
+
+TEST(SweepCsv, RoundTripPreservesEverything) {
+  FakeBackend backend(2.0, 100.0, 1.0);
+  SweepConfig cfg;
+  cfg.s_min = 1;
+  cfg.s_max = 150;
+  cfg.stride = 10;
+  cfg.iterations = 8;
+  cfg.precision = model::Precision::F64;
+  const auto original =
+      run_sweep(backend, problem_type_by_id("gemm_tall_k"), cfg);
+
+  std::stringstream buffer;
+  write_csv(buffer, original);
+  const auto restored = read_csv(buffer);
+
+  EXPECT_EQ(restored.type, original.type);
+  EXPECT_EQ(restored.config.iterations, 8);
+  EXPECT_EQ(restored.config.precision, model::Precision::F64);
+  ASSERT_EQ(restored.samples.size(), original.samples.size());
+  for (std::size_t i = 0; i < original.samples.size(); ++i) {
+    EXPECT_EQ(restored.samples[i].s, original.samples[i].s);
+    EXPECT_EQ(restored.samples[i].dims.k, original.samples[i].dims.k);
+    EXPECT_NEAR(restored.samples[i].cpu_seconds,
+                original.samples[i].cpu_seconds, 1e-15);
+    for (int mode = 0; mode < 3; ++mode) {
+      EXPECT_NEAR(restored.samples[i].gpu_seconds[mode],
+                  original.samples[i].gpu_seconds[mode], 1e-15);
+    }
+  }
+  ASSERT_TRUE(restored.thresholds[0].has_value());
+  EXPECT_EQ(restored.thresholds[0]->s, original.thresholds[0]->s);
+}
+
+TEST(SweepCsv, MergesSplitCpuAndGpuFiles) {
+  // The LUMI workflow: one CPU-only file and one GPU-only file for the
+  // same problem, concatenated (minus the second header) before
+  // threshold extraction.
+  FakeBackend cpu_only(2.0, 100.0, 1.0, /*has_gpu=*/false);
+  FakeBackend full(2.0, 100.0, 1.0, /*has_gpu=*/true);
+  SweepConfig cfg;
+  cfg.s_max = 200;
+  cfg.stride = 20;
+
+  const auto& type = problem_type_by_id("gemm_square");
+  const auto cpu_result = run_sweep(cpu_only, type, cfg);
+  auto gpu_result = run_sweep(full, type, cfg);
+  // Zero out the CPU rows of the "GPU build" — we only take its GPU rows.
+  std::stringstream merged;
+  write_csv(merged, cpu_result);
+  std::stringstream gpu_csv;
+  write_csv(gpu_csv, gpu_result);
+  std::string line;
+  bool first = true;
+  while (std::getline(gpu_csv, line)) {
+    if (first) {
+      first = false;
+      continue;  // drop the second header
+    }
+    if (line.find(",cpu,") == std::string::npos) merged << line << '\n';
+  }
+
+  const auto combined = read_csv(merged);
+  ASSERT_TRUE(combined.thresholds[0].has_value());
+  EXPECT_EQ(combined.thresholds[0]->s, 101);
+  EXPECT_EQ(combined.samples.size(), cpu_result.samples.size());
+}
+
+TEST(SweepCsv, RejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(read_csv(empty), std::invalid_argument);
+  std::stringstream bad_header("a,b,c\n1,2,3\n");
+  EXPECT_THROW(read_csv(bad_header), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ reporting
+
+TEST(Report, ThresholdTableRendersPaperStyle) {
+  FakeBackend backend(2.0, 100.0, 1.0);
+  SweepConfig cfg;
+  cfg.s_max = 300;
+  const auto& type = problem_type_by_id("gemm_square");
+  cfg.precision = model::Precision::F32;
+  const auto f32 = run_sweep(backend, type, cfg);
+  cfg.precision = model::Precision::F64;
+  const auto f64 = run_sweep(backend, type, cfg);
+
+  const auto entry = make_entry(f32, f64);
+  EXPECT_EQ(entry.iterations, 1);
+  const std::string table =
+      render_threshold_table("testsys", type, {entry});
+  EXPECT_NE(table.find("testsys GEMM"), std::string::npos);
+  EXPECT_NE(table.find("101 : 101"), std::string::npos);
+  EXPECT_NE(table.find("Once"), std::string::npos);
+  EXPECT_NE(table.find("USM"), std::string::npos);
+}
+
+TEST(Report, MakeEntryRejectsMismatchedSweeps) {
+  FakeBackend backend(2.0, 100.0, 1.0);
+  SweepConfig cfg;
+  cfg.s_max = 20;
+  const auto a = run_sweep(backend, problem_type_by_id("gemm_square"), cfg);
+  cfg.iterations = 8;
+  const auto b = run_sweep(backend, problem_type_by_id("gemm_square"), cfg);
+  EXPECT_THROW(make_entry(a, b), std::invalid_argument);
+}
+
+TEST(Report, FirstThresholdIteration) {
+  ThresholdEntry never;
+  never.iterations = 1;
+  ThresholdEntry at8;
+  at8.iterations = 8;
+  at8.f32[0] = OffloadThreshold{100, {100, 100, 100}};
+  ThresholdEntry at32;
+  at32.iterations = 32;
+  at32.f32[0] = OffloadThreshold{50, {50, 50, 50}};
+  at32.f64[0] = OffloadThreshold{60, {60, 60, 60}};
+  EXPECT_EQ(first_threshold_iteration({never, at8, at32}), "8 : 32");
+  EXPECT_EQ(first_threshold_iteration({never}), "-- : --");
+}
+
+TEST(Report, SeriesRendering) {
+  const std::string out = render_series(
+      "title", {"a", "b"}, {1, 2}, {{1.5, 2.5}, {3.0, 4.0}});
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("4.00"), std::string::npos);
+  EXPECT_THROW(render_series("t", {"a"}, {1}, {{1.0}, {2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(render_series("t", {"a"}, {1, 2}, {{1.0}}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// Offload-threshold detector (paper §III-D).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/threshold.hpp"
+
+namespace {
+
+using namespace blob::core;
+
+ThresholdSample sample(std::int64_t s, double cpu, double gpu) {
+  return ThresholdSample{s, Dims{s, s, s}, cpu, gpu};
+}
+
+TEST(Threshold, EmptyInputHasNoThreshold) {
+  EXPECT_FALSE(detect_threshold({}).has_value());
+}
+
+TEST(Threshold, GpuAlwaysWinsFromFirstSample) {
+  std::vector<ThresholdSample> samples;
+  for (int s = 1; s <= 10; ++s) samples.push_back(sample(s, 2.0, 1.0));
+  const auto t = detect_threshold(samples);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->s, 1);
+}
+
+TEST(Threshold, GpuNeverWins) {
+  std::vector<ThresholdSample> samples;
+  for (int s = 1; s <= 10; ++s) samples.push_back(sample(s, 1.0, 2.0));
+  EXPECT_FALSE(detect_threshold(samples).has_value());
+}
+
+TEST(Threshold, TieGoesToCpu) {
+  // Strictly-better semantics: equal times do not count as a GPU win.
+  std::vector<ThresholdSample> samples = {sample(1, 1.0, 1.0),
+                                          sample(2, 1.0, 1.0)};
+  EXPECT_FALSE(detect_threshold(samples).has_value());
+}
+
+TEST(Threshold, SimpleCrossover) {
+  std::vector<ThresholdSample> samples;
+  for (int s = 1; s <= 20; ++s) {
+    samples.push_back(sample(s, static_cast<double>(s), 10.0));
+  }
+  const auto t = detect_threshold(samples);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->s, 11);  // first size where s > 10
+  EXPECT_EQ(t->dims.m, 11);
+}
+
+TEST(Threshold, IsolatedDipIsTolerated) {
+  // GPU wins from s=5 except for one momentary dip at s=12.
+  std::vector<ThresholdSample> samples;
+  for (int s = 1; s <= 20; ++s) {
+    const double gpu = (s >= 5 && s != 12) ? 1.0 : 3.0;
+    samples.push_back(sample(s, 2.0, gpu));
+  }
+  const auto t = detect_threshold(samples);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->s, 5);
+}
+
+TEST(Threshold, ConsecutiveDipsResetTheThreshold) {
+  std::vector<ThresholdSample> samples;
+  for (int s = 1; s <= 20; ++s) {
+    const double gpu = (s >= 5 && s != 12 && s != 13) ? 1.0 : 3.0;
+    samples.push_back(sample(s, 2.0, gpu));
+  }
+  const auto t = detect_threshold(samples);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->s, 14);  // the double dip is a real loss
+}
+
+TEST(Threshold, TrailingLossKillsTheThreshold) {
+  // A dip at the final sample cannot be confirmed as momentary.
+  std::vector<ThresholdSample> samples;
+  for (int s = 1; s <= 10; ++s) {
+    const double gpu = s == 10 ? 3.0 : 1.0;
+    samples.push_back(sample(s, 2.0, gpu));
+  }
+  EXPECT_FALSE(detect_threshold(samples).has_value());
+}
+
+TEST(Threshold, MidSweepWindowWithoutPersistenceDoesNotCount) {
+  // The paper's Fig. 4 caveat: a GPU-favourable window that the CPU
+  // recovers from must not produce a threshold.
+  std::vector<ThresholdSample> samples;
+  for (int s = 1; s <= 30; ++s) {
+    const double gpu = (s >= 10 && s <= 20) ? 1.0 : 3.0;
+    samples.push_back(sample(s, 2.0, gpu));
+  }
+  EXPECT_FALSE(detect_threshold(samples).has_value());
+}
+
+TEST(Threshold, LastSampleOnlyWin) {
+  std::vector<ThresholdSample> samples;
+  for (int s = 1; s <= 10; ++s) {
+    samples.push_back(sample(s, 2.0, s == 10 ? 1.0 : 3.0));
+  }
+  const auto t = detect_threshold(samples);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->s, 10);
+}
+
+TEST(Threshold, SingleSample) {
+  EXPECT_TRUE(detect_threshold({{sample(3, 2.0, 1.0)}}).has_value());
+  EXPECT_FALSE(detect_threshold({{sample(3, 1.0, 2.0)}}).has_value());
+}
+
+TEST(Threshold, DipAtSecondToLastToleratedIfFlanked) {
+  std::vector<ThresholdSample> samples;
+  for (int s = 1; s <= 10; ++s) {
+    samples.push_back(sample(s, 2.0, s == 9 ? 3.0 : 1.0));
+  }
+  const auto t = detect_threshold(samples);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->s, 1);
+}
+
+TEST(Threshold, StringRendering) {
+  OffloadThreshold t;
+  t.s = 629;
+  t.dims = {629, 629, 629};
+  EXPECT_EQ(threshold_to_string(t, false), "{629, 629, 629}");
+  EXPECT_EQ(threshold_to_string(t, true), "{629, 629}");
+  EXPECT_EQ(threshold_to_string(std::nullopt, false), "--");
+  EXPECT_EQ(threshold_value_string(t), "629");
+  EXPECT_EQ(threshold_value_string(std::nullopt), "--");
+}
+
+TEST(Threshold, NonSquareDimsReported) {
+  std::vector<ThresholdSample> samples;
+  for (int s = 1; s <= 5; ++s) {
+    samples.push_back(
+        ThresholdSample{s, Dims{16 * s, s, 1}, 2.0, 1.0});
+  }
+  const auto t = detect_threshold(samples);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->dims.m, 16);
+  EXPECT_EQ(t->dims.n, 1);
+}
+
+}  // namespace

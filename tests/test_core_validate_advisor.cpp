@@ -1,0 +1,222 @@
+// Checksum validation (CPU vs simulated GPU) and the offload advisor.
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.hpp"
+#include "core/energy.hpp"
+#include "core/sim_backend.hpp"
+#include "core/validate.hpp"
+#include "sysprofile/profile.hpp"
+
+namespace {
+
+using namespace blob;
+using namespace blob::core;
+
+sim::SimGpu make_gpu(bool functional = true) {
+  const auto prof = profile::dawn();
+  return sim::SimGpu(sim::SimGpu::Config{prof.gpu, prof.link, functional,
+                                         4096.0});
+}
+
+Problem make_problem(KernelOp op, std::int64_t s, model::Precision p,
+                     bool beta_zero = true) {
+  Problem problem;
+  problem.op = op;
+  problem.precision = p;
+  problem.dims = op == KernelOp::Gemm ? Dims{s, s, s} : Dims{s, s, 1};
+  problem.beta_zero = beta_zero;
+  return problem;
+}
+
+class ValidateSizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ValidateSizes, GemmChecksumsAgreeAcrossDevices) {
+  blas::CpuBlasLibrary cpu(blas::generic_personality(), 2);
+  auto gpu = make_gpu();
+  for (auto precision : {model::Precision::F32, model::Precision::F64}) {
+    const auto result = validate_problem(
+        make_problem(KernelOp::Gemm, GetParam(), precision), cpu, gpu);
+    EXPECT_TRUE(result.passed) << result.detail;
+    EXPECT_LE(result.relative_error, kChecksumTolerance);
+  }
+}
+
+TEST_P(ValidateSizes, GemvChecksumsAgreeAcrossDevices) {
+  blas::CpuBlasLibrary cpu(blas::generic_personality(), 2);
+  auto gpu = make_gpu();
+  const auto result = validate_problem(
+      make_problem(KernelOp::Gemv, GetParam(), model::Precision::F64), cpu,
+      gpu);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ValidateSizes,
+                         ::testing::Values(1, 2, 7, 33, 64, 129));
+
+TEST(Validate, BetaNonZeroAlsoValidates) {
+  blas::CpuBlasLibrary cpu(blas::generic_personality(), 2);
+  auto gpu = make_gpu();
+  const auto result = validate_problem(
+      make_problem(KernelOp::Gemm, 31, model::Precision::F64, false), cpu,
+      gpu);
+  EXPECT_TRUE(result.passed) << result.detail;
+}
+
+TEST(Validate, DetectsWrongGpuResults) {
+  // A timing-only device produces zero output: the checksum must differ.
+  blas::CpuBlasLibrary cpu(blas::generic_personality(), 2);
+  auto gpu = make_gpu(/*functional=*/false);
+  const auto result = validate_problem(
+      make_problem(KernelOp::Gemm, 24, model::Precision::F32), cpu, gpu);
+  EXPECT_FALSE(result.passed);
+  EXPECT_EQ(result.gpu_checksum, 0.0);
+}
+
+TEST(Validate, UnsupportedPrecisionReportsFailure) {
+  blas::CpuBlasLibrary cpu(blas::generic_personality(), 1);
+  auto gpu = make_gpu();
+  const auto result = validate_problem(
+      make_problem(KernelOp::Gemm, 8, model::Precision::F16), cpu, gpu);
+  EXPECT_FALSE(result.passed);
+  EXPECT_NE(result.detail.find("unsupported"), std::string::npos);
+}
+
+TEST(Validate, ChecksumHelper) {
+  const double data[] = {1.0, 2.0, 3.5};
+  EXPECT_DOUBLE_EQ(checksum(data, 3), 6.5);
+  EXPECT_DOUBLE_EQ(checksum(data, 0), 0.0);
+}
+
+// --------------------------------------------------------------- advisor
+
+TEST(Advisor, RecommendsGpuForLargeSquareGemm) {
+  SimBackend backend(profile::isambard_ai(), 0.0);
+  OffloadAdvisor advisor(backend);
+  const auto advice = advisor.advise(
+      make_problem(KernelOp::Gemm, 2048, model::Precision::F32), 16,
+      TransferMode::Once);
+  EXPECT_TRUE(advice.offload);
+  EXPECT_GT(advice.speedup, 1.0);
+  EXPECT_NE(advice.rationale.find("offload to GPU"), std::string::npos);
+}
+
+TEST(Advisor, RecommendsCpuForTinyGemv) {
+  SimBackend backend(profile::dawn(), 0.0);
+  OffloadAdvisor advisor(backend);
+  const auto advice = advisor.advise(
+      make_problem(KernelOp::Gemv, 64, model::Precision::F64), 1,
+      TransferMode::Always);
+  EXPECT_FALSE(advice.offload);
+  EXPECT_LE(advice.speedup, 1.0);
+  EXPECT_NE(advice.rationale.find("stay on CPU"), std::string::npos);
+}
+
+TEST(Advisor, BestModePicksFastestTransfer) {
+  SimBackend backend(profile::dawn(), 0.0);
+  OffloadAdvisor advisor(backend);
+  const auto problem = make_problem(KernelOp::Gemm, 1024,
+                                    model::Precision::F32);
+  const auto best = advisor.advise_best_mode(problem, 32);
+  for (TransferMode mode : kTransferModes) {
+    EXPECT_LE(best.gpu_seconds,
+              advisor.advise(problem, 32, mode).gpu_seconds + 1e-15);
+  }
+  // With 32 iterations of data re-use, Transfer-Always cannot be best.
+  EXPECT_NE(best.mode, TransferMode::Always);
+}
+
+TEST(Advisor, SpeedupMatchesTimeRatio) {
+  SimBackend backend(profile::lumi(), 0.0);
+  OffloadAdvisor advisor(backend);
+  const auto problem = make_problem(KernelOp::Gemm, 512,
+                                    model::Precision::F64);
+  const auto advice = advisor.advise(problem, 8, TransferMode::Once);
+  EXPECT_NEAR(advice.speedup, advice.cpu_seconds / advice.gpu_seconds,
+              1e-12);
+  EXPECT_NEAR(advisor.predicted_speedup(problem, 8, TransferMode::Once),
+              advice.speedup, 1e-12);
+}
+
+// --------------------------------------------------------------- energy
+
+TEST(Energy, EstimatesArePositiveAndConsistent) {
+  const auto prof = profile::dawn();
+  const auto e = estimate_energy(
+      prof, make_problem(KernelOp::Gemm, 512, model::Precision::F32), 8,
+      TransferMode::Once);
+  EXPECT_GT(e.cpu_joules, 0.0);
+  EXPECT_GT(e.gpu_joules, 0.0);
+  EXPECT_GT(e.cpu_seconds, 0.0);
+  EXPECT_GT(e.gpu_seconds, 0.0);
+  // Energy is bounded by power envelope x time.
+  EXPECT_LE(e.cpu_joules, e.cpu_seconds * prof.cpu.tdp_w * 1.001);
+  EXPECT_LE(e.gpu_joules,
+            e.gpu_seconds * (prof.gpu.board_power_w + prof.cpu.idle_w) *
+                1.001);
+}
+
+TEST(Energy, LargeGemmIsMoreEfficientOnGpu) {
+  // At scale the GPU's perf/W advantage dominates on every system.
+  for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+    const auto e = estimate_energy(
+        profile::by_name(system),
+        make_problem(KernelOp::Gemm, 4096, model::Precision::F32), 32,
+        TransferMode::Once);
+    EXPECT_TRUE(e.gpu_more_efficient()) << system;
+  }
+}
+
+TEST(Advisor, TimeAndEnergyVerdicts) {
+  // Big re-used GEMM: both agree on offload.
+  const auto big = OffloadAdvisor::advise_time_and_energy(
+      profile::dawn(), make_problem(KernelOp::Gemm, 2048,
+                                    model::Precision::F32),
+      32, TransferMode::Once);
+  EXPECT_EQ(big.verdict, "offload");
+  // Tiny GEMM: both agree on staying.
+  const auto tiny = OffloadAdvisor::advise_time_and_energy(
+      profile::dawn(), make_problem(KernelOp::Gemm, 16,
+                                    model::Precision::F32),
+      1, TransferMode::Once);
+  EXPECT_EQ(tiny.verdict, "stay");
+  // Small-but-fast on the GH200: time says offload, energy disagrees
+  // (the high-board-power band found by ext_energy_threshold).
+  const auto band = OffloadAdvisor::advise_time_and_energy(
+      profile::isambard_ai(), make_problem(KernelOp::Gemm, 128,
+                                           model::Precision::F32),
+      32, TransferMode::Once);
+  EXPECT_EQ(band.verdict, "trade-off");
+  EXPECT_TRUE(band.time.offload);
+  EXPECT_FALSE(band.energy.gpu_more_efficient());
+}
+
+TEST(Energy, TinyGemmIsMoreEfficientOnCpu) {
+  const auto e = estimate_energy(
+      profile::isambard_ai(),
+      make_problem(KernelOp::Gemm, 8, model::Precision::F32), 1,
+      TransferMode::Once);
+  EXPECT_FALSE(e.gpu_more_efficient());
+}
+
+class NoGpuBackend final : public ExecutionBackend {
+ public:
+  std::string name() const override { return "cpu-only"; }
+  double cpu_time(const Problem&, std::int64_t) override { return 1.0; }
+  std::optional<double> gpu_time(const Problem&, std::int64_t,
+                                 TransferMode) override {
+    return std::nullopt;
+  }
+};
+
+TEST(Advisor, HandlesGpulessBackends) {
+  NoGpuBackend backend;
+  OffloadAdvisor advisor(backend);
+  const auto advice = advisor.advise(
+      make_problem(KernelOp::Gemm, 128, model::Precision::F32), 1,
+      TransferMode::Once);
+  EXPECT_FALSE(advice.offload);
+  EXPECT_NE(advice.rationale.find("no GPU"), std::string::npos);
+}
+
+}  // namespace

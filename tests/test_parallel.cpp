@@ -1,0 +1,179 @@
+// Unit tests for the thread pool and thread-count policies.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/policy.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace blob::parallel;
+
+TEST(ThreadPool, SizeIsAtLeastOne) {
+  ThreadPool p0(0);
+  EXPECT_EQ(p0.size(), 1u);
+  ThreadPool p4(4);
+  EXPECT_EQ(p4.size(), 4u);
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), 1,
+                    [&](std::size_t b, std::size_t e, std::size_t) {
+                      for (std::size_t i = b; i < e; ++i) hits[i]++;
+                    });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ComputesParallelSum) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 100000;
+  std::atomic<long long> total{0};
+  pool.parallel_for(0, kN, 64,
+                    [&](std::size_t b, std::size_t e, std::size_t) {
+                      long long local = 0;
+                      for (std::size_t i = b; i < e; ++i) {
+                        local += static_cast<long long>(i);
+                      }
+                      total += local;
+                    });
+  EXPECT_EQ(total.load(),
+            static_cast<long long>(kN) * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, 1,
+                    [&](std::size_t, std::size_t, std::size_t) {
+                      called = true;
+                    });
+  pool.parallel_for(7, 3, 1,
+                    [&](std::size_t, std::size_t, std::size_t) {
+                      called = true;
+                    });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, GrainLimitsChunkCount) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(0, 10, 10,
+                    [&](std::size_t b, std::size_t e, std::size_t) {
+                      EXPECT_EQ(b, 0u);
+                      EXPECT_EQ(e, 10u);
+                      chunks++;
+                    });
+  EXPECT_EQ(chunks.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, 1,
+                    [&](std::size_t b, std::size_t e, std::size_t worker) {
+                      EXPECT_EQ(worker, 0u);
+                      count += static_cast<int>(e - b);
+                    });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [&](std::size_t b, std::size_t, std::size_t) {
+                          if (b == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must remain usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(0, 10, 1,
+                    [&](std::size_t b, std::size_t e, std::size_t) {
+                      ok += static_cast<int>(e - b);
+                    });
+  EXPECT_EQ(ok.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.parallel_for(0, 64, 4,
+                      [&](std::size_t b, std::size_t e, std::size_t) {
+                        sum += static_cast<int>(e - b);
+                      });
+    ASSERT_EQ(sum.load(), 64);
+  }
+}
+
+TEST(ThreadPool, DefaultPoolSingleton) {
+  ThreadPool& a = default_pool();
+  ThreadPool& b = default_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+// ---------------------------------------------------------------- policy
+
+TEST(Policy, AllThreadsUsesEverything) {
+  const ThreadPolicy p = all_threads_policy();
+  EXPECT_EQ(p.threads_for(1.0, 48), 48u);
+  EXPECT_EQ(p.threads_for(1e12, 48), 48u);
+  EXPECT_EQ(p.threads_for(1e12, 0), 1u);  // floor of one thread
+}
+
+TEST(Policy, SingleThreadAlwaysOne) {
+  const ThreadPolicy p = single_thread_policy();
+  EXPECT_EQ(p.threads_for(1e15, 128), 1u);
+}
+
+TEST(Policy, ScaledGrowsWithWork) {
+  const ThreadPolicy p = scaled_policy(1.0e6);
+  EXPECT_EQ(p.threads_for(1.0, 48), 1u);
+  EXPECT_EQ(p.threads_for(1.0e6, 48), 1u);
+  EXPECT_EQ(p.threads_for(2.0e6, 48), 2u);
+  EXPECT_EQ(p.threads_for(47.5e6, 48), 48u);
+  EXPECT_EQ(p.threads_for(1.0e12, 48), 48u);  // saturates
+}
+
+TEST(Policy, ScaledHandlesDegenerateInput) {
+  const ThreadPolicy p = scaled_policy(1.0e6);
+  EXPECT_EQ(p.threads_for(0.0, 48), 1u);
+  EXPECT_EQ(p.threads_for(-5.0, 48), 1u);
+  ThreadPolicy zero = scaled_policy(0.0);
+  EXPECT_EQ(zero.threads_for(1e9, 48), 1u);
+}
+
+class PolicyMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolicyMonotonicity, ScaledIsMonotoneInWork) {
+  const ThreadPolicy p = scaled_policy(GetParam());
+  std::size_t prev = 0;
+  for (double flops = 1.0; flops < 1e12; flops *= 4.0) {
+    const std::size_t t = p.threads_for(flops, 72);
+    EXPECT_GE(t, prev);
+    EXPECT_GE(t, 1u);
+    EXPECT_LE(t, 72u);
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grains, PolicyMonotonicity,
+                         ::testing::Values(1e4, 1e5, 1e6, 1e7));
+
+TEST(Policy, ToStringNames) {
+  EXPECT_STREQ(to_string(ThreadPolicyKind::AllThreads), "all-threads");
+  EXPECT_STREQ(to_string(ThreadPolicyKind::SingleThread), "single-thread");
+  EXPECT_STREQ(to_string(ThreadPolicyKind::ScaleWithProblem),
+               "scale-with-problem");
+}
+
+}  // namespace

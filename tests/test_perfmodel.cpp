@@ -1,0 +1,376 @@
+// Timing-model unit and property tests: efficiency curves, quirks,
+// CPU/GPU roofline models, link/USM model, deterministic noise.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfmodel/cpu_model.hpp"
+#include "perfmodel/curve.hpp"
+#include "perfmodel/gpu_model.hpp"
+#include "perfmodel/link_model.hpp"
+#include "perfmodel/noise.hpp"
+#include "perfmodel/quirk.hpp"
+
+namespace {
+
+using namespace blob::model;
+
+// ----------------------------------------------------------------- curve
+
+TEST(Curve, RampIsMonotoneAndBounded) {
+  const EfficiencyCurve c{0.8, 0.01, 256.0, 1.8};
+  double prev = 0.0;
+  for (double x = 0.0; x <= 1e5; x = x * 1.3 + 1.0) {
+    const double e = c.at(x);
+    EXPECT_GE(e, prev);
+    EXPECT_GT(e, 0.0);
+    EXPECT_LE(e, 0.8 + 1e-12);
+    prev = e;
+  }
+}
+
+TEST(Curve, HalfSizeIsMidpoint) {
+  const EfficiencyCurve c{0.8, 0.0, 100.0, 2.0};
+  EXPECT_NEAR(c.at(100.0), 0.4, 1e-6);
+}
+
+TEST(Curve, EffectiveDims) {
+  EXPECT_DOUBLE_EQ(gemm_effective_dim(8, 8, 8), 8.0);
+  EXPECT_NEAR(gemm_effective_dim(2, 4, 8), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(gemv_effective_dim(16, 16), 16.0);
+  EXPECT_NEAR(gemv_effective_dim(4, 64), 16.0, 1e-12);
+  EXPECT_DOUBLE_EQ(gemm_effective_dim(0, 5, 5), 0.0);
+  EXPECT_DOUBLE_EQ(gemv_effective_dim(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(gemv_gpu_effective_dim(10, 10), 10.0);
+  EXPECT_GT(gemv_gpu_effective_dim(160, 10),
+            gemv_gpu_effective_dim(10, 160));
+}
+
+// ----------------------------------------------------------------- quirk
+
+TEST(Quirk, DropRecoversLinearly) {
+  const PerfQuirk q = drop_at(100.0, 0.5, 200.0);
+  EXPECT_DOUBLE_EQ(q.factor(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.factor(100.0), 0.5);
+  EXPECT_DOUBLE_EQ(q.factor(200.0), 0.75);
+  EXPECT_DOUBLE_EQ(q.factor(300.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.factor(1000.0), 1.0);
+}
+
+TEST(Quirk, StepUpPenalisesBelowPosition) {
+  const PerfQuirk q = step_up_at(128.0, 0.25);
+  EXPECT_DOUBLE_EQ(q.factor(64.0), 0.25);
+  EXPECT_DOUBLE_EQ(q.factor(128.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.factor(4096.0), 1.0);
+}
+
+TEST(Quirk, PlateauFreezesAchievedPerf) {
+  const PerfQuirk q = plateau_from(100.0);
+  EXPECT_DOUBLE_EQ(q.factor(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.factor(200.0), 0.5);
+  EXPECT_DOUBLE_EQ(q.factor(400.0), 0.25);
+}
+
+TEST(Quirk, PrecisionScopeFilters) {
+  PerfQuirk q = step_up_at(100.0, 0.5, QuirkScope::F64Only);
+  EXPECT_FALSE(q.applies_to(Precision::F32, 10, 10));
+  EXPECT_TRUE(q.applies_to(Precision::F64, 10, 10));
+  q.scope = QuirkScope::F32Only;
+  EXPECT_TRUE(q.applies_to(Precision::F32, 10, 10));
+  EXPECT_TRUE(q.applies_to(Precision::F16, 10, 10));
+  EXPECT_FALSE(q.applies_to(Precision::F64, 10, 10));
+}
+
+TEST(Quirk, ShapeFiltersRestrictApplication) {
+  PerfQuirk q = step_up_at(100.0, 0.5);
+  q.max_min_mn = 32.0;
+  EXPECT_TRUE(q.applies_to(Precision::F32, 32, 4096));
+  EXPECT_FALSE(q.applies_to(Precision::F32, 64, 4096));
+
+  PerfQuirk aspect = step_up_at(100.0, 0.5);
+  aspect.min_aspect = 4.0;
+  EXPECT_TRUE(aspect.applies_to(Precision::F32, 16, 64));
+  EXPECT_FALSE(aspect.applies_to(Precision::F32, 30, 64));
+
+  PerfQuirk wide = step_up_at(100.0, 0.5);
+  wide.orientation = PerfQuirk::Orientation::Wide;
+  EXPECT_TRUE(wide.applies_to(Precision::F32, 16, 64));
+  EXPECT_FALSE(wide.applies_to(Precision::F32, 64, 16));
+
+  PerfQuirk tall = step_up_at(100.0, 0.5);
+  tall.orientation = PerfQuirk::Orientation::Tall;
+  EXPECT_TRUE(tall.applies_to(Precision::F32, 64, 16));
+  EXPECT_FALSE(tall.applies_to(Precision::F32, 16, 64));
+}
+
+TEST(Quirk, ComposeProductAndFloor) {
+  std::vector<PerfQuirk> quirks = {step_up_at(100.0, 0.5),
+                                   step_up_at(100.0, 0.5)};
+  EXPECT_DOUBLE_EQ(apply_quirks(quirks, 50.0, Precision::F32), 0.25);
+  EXPECT_DOUBLE_EQ(apply_quirks({}, 50.0, Precision::F32), 1.0);
+  std::vector<PerfQuirk> crushing(10, step_up_at(1e9, 1e-3));
+  EXPECT_GE(apply_quirks(crushing, 1.0, Precision::F32), 1e-6);
+}
+
+// ------------------------------------------------------------- cpu model
+
+CpuModel test_cpu() {
+  CpuModel cpu;
+  cpu.cores = 16;
+  cpu.fp64_flops_per_cycle_per_core = 16;
+  cpu.freq_ghz = 2.0;
+  cpu.socket_mem_bw_gbs = 100.0;
+  cpu.core_mem_bw_gbs = 15.0;
+  return cpu;
+}
+
+TEST(CpuModel, PeakScalesWithThreadsAndPrecision) {
+  const CpuModel cpu = test_cpu();
+  EXPECT_DOUBLE_EQ(cpu.peak_gflops(Precision::F64, 1), 32.0);
+  EXPECT_DOUBLE_EQ(cpu.peak_gflops(Precision::F64, 16), 512.0);
+  EXPECT_DOUBLE_EQ(cpu.peak_gflops(Precision::F32, 16), 1024.0);
+  EXPECT_DOUBLE_EQ(cpu.peak_gflops(Precision::F16, 1), 128.0);
+  // Clamped to the core count.
+  EXPECT_DOUBLE_EQ(cpu.peak_gflops(Precision::F64, 1000), 512.0);
+}
+
+TEST(CpuModel, GemmTimeIsMonotoneInSize) {
+  const CpuModel cpu = test_cpu();
+  double prev = 0.0;
+  for (int s = 1; s <= 4096; s *= 2) {
+    const double t = cpu.gemm_time(Precision::F32, s, s, s);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CpuModel, GemmTimeRespectsRoofline) {
+  const CpuModel cpu = test_cpu();
+  const double m = 2048;
+  const double t = cpu.gemm_time(Precision::F64, m, m, m);
+  const double flops = 2 * m * m * m + m * m;
+  // Never faster than theoretical peak.
+  EXPECT_GE(t, flops / (cpu.peak_gflops(Precision::F64, 16) * 1e9));
+}
+
+TEST(CpuModel, BetaNonZeroIsSlower) {
+  const CpuModel cpu = test_cpu();
+  EXPECT_GT(cpu.gemm_time(Precision::F32, 512, 512, 4, false),
+            cpu.gemm_time(Precision::F32, 512, 512, 4, true));
+  EXPECT_GT(cpu.gemv_time(Precision::F32, 512, 512, false),
+            cpu.gemv_time(Precision::F32, 512, 512, true));
+}
+
+TEST(CpuModel, WarmIterationsAreFaster) {
+  CpuModel cpu = test_cpu();
+  cpu.warm_compute_boost = 1.5;
+  const double cold = cpu.gemm_time(Precision::F64, 256, 256, 256, true,
+                                    false);
+  const double warm = cpu.gemm_time(Precision::F64, 256, 256, 256, true,
+                                    true);
+  EXPECT_LT(warm, cold);
+  // Total over 10 iterations is between 10x warm and 10x cold.
+  const double total =
+      cpu.gemm_total_time(Precision::F64, 256, 256, 256, 10);
+  EXPECT_GT(total, 10 * warm);
+  EXPECT_LT(total, 10 * cold);
+}
+
+TEST(CpuModel, GemvTotalIsIterationLinear) {
+  const CpuModel cpu = test_cpu();
+  const double one = cpu.gemv_total_time(Precision::F64, 512, 512, 1);
+  const double many = cpu.gemv_total_time(Precision::F64, 512, 512, 64);
+  EXPECT_NEAR(many, 64 * one, 1e-9 * many);
+}
+
+TEST(CpuModel, SerialGemvIsSlowerThanParallel) {
+  CpuModel serial = test_cpu();
+  serial.gemv_parallel = false;
+  CpuModel parallel_cpu = test_cpu();
+  parallel_cpu.gemv_parallel = true;
+  EXPECT_GT(serial.gemv_time(Precision::F64, 4096, 4096),
+            parallel_cpu.gemv_time(Precision::F64, 4096, 4096));
+}
+
+TEST(CpuModel, DegenerateDimsCostOnlyOverhead) {
+  const CpuModel cpu = test_cpu();
+  EXPECT_DOUBLE_EQ(cpu.gemm_time(Precision::F32, 0, 5, 5),
+                   cpu.call_overhead_s);
+  EXPECT_DOUBLE_EQ(cpu.gemv_time(Precision::F32, 5, 0), cpu.call_overhead_s);
+}
+
+// ------------------------------------------------------------- gpu model
+
+GpuModel test_gpu() {
+  GpuModel gpu;
+  gpu.peak_gflops_f32 = 20000;
+  gpu.peak_gflops_f64 = 10000;
+  gpu.hbm_bw_gbs = 1000;
+  gpu.launch_latency_s = 5e-6;
+  gpu.min_kernel_s = 2e-6;
+  return gpu;
+}
+
+TEST(GpuModel, LaunchLatencyFloorsSmallKernels) {
+  const GpuModel gpu = test_gpu();
+  const double t = gpu.gemm_kernel_time(Precision::F32, 1, 1, 1);
+  EXPECT_GE(t, gpu.launch_latency_s + gpu.min_kernel_s);
+}
+
+TEST(GpuModel, KernelTimeMonotoneInSize) {
+  const GpuModel gpu = test_gpu();
+  double prev = 0.0;
+  for (int s = 16; s <= 8192; s *= 2) {
+    const double t = gpu.gemm_kernel_time(Precision::F64, s, s, s);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(GpuModel, F64SlowerThanF32ForComputeBound) {
+  const GpuModel gpu = test_gpu();
+  EXPECT_GT(gpu.gemm_kernel_time(Precision::F64, 2048, 2048, 2048),
+            gpu.gemm_kernel_time(Precision::F32, 2048, 2048, 2048));
+}
+
+TEST(GpuModel, GemvIsBandwidthBoundAtScale) {
+  const GpuModel gpu = test_gpu();
+  const double m = 4096;
+  const double bytes = 4.0 * (m * m + m + m);
+  const double t = gpu.gemv_kernel_time(Precision::F32, m, m);
+  // Cannot beat raw HBM bandwidth.
+  EXPECT_GE(t, bytes / (gpu.hbm_bw_gbs * 1e9));
+}
+
+TEST(GpuModel, GflopsConsistentWithTime) {
+  const GpuModel gpu = test_gpu();
+  const double t = gpu.gemm_kernel_time(Precision::F32, 512, 512, 512);
+  const double flops = 2.0 * 512 * 512 * 512 + 512.0 * 512;
+  EXPECT_NEAR(gpu.gemm_gflops(Precision::F32, 512, 512, 512),
+              flops / t / 1e9, 1e-9);
+}
+
+TEST(GpuModel, BatchedKernelAmortisesLaunch) {
+  const GpuModel gpu = test_gpu();
+  const int s = 16, batch = 64;
+  const double individually =
+      batch * gpu.gemm_kernel_time(Precision::F32, s, s, s);
+  const double batched =
+      gpu.gemm_batched_kernel_time(Precision::F32, s, s, s, batch);
+  EXPECT_LT(batched, individually / 4);
+  // batch == 1 degenerates to the plain kernel.
+  EXPECT_DOUBLE_EQ(gpu.gemm_batched_kernel_time(Precision::F32, s, s, s, 1),
+                   gpu.gemm_kernel_time(Precision::F32, s, s, s));
+}
+
+TEST(GpuModel, BatchedKernelIsMonotoneInBatch) {
+  const GpuModel gpu = test_gpu();
+  double prev = 0.0;
+  for (double batch = 1; batch <= 4096; batch *= 4) {
+    const double t =
+        gpu.gemm_batched_kernel_time(Precision::F64, 32, 32, 32, batch);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CpuModel, BatchedCallAmortisesForkJoin) {
+  CpuModel cpu = test_cpu();
+  cpu.fork_join_overhead_s = 3.0e-5;
+  const int s = 16, batch = 64;
+  // Individual calls with the all-threads policy pay fork/join each time.
+  const double individually = batch * cpu.gemm_time(Precision::F32, s, s, s);
+  const double batched =
+      cpu.gemm_batched_time(Precision::F32, s, s, s, batch);
+  EXPECT_LT(batched, individually);
+  EXPECT_DOUBLE_EQ(cpu.gemm_batched_time(Precision::F32, s, s, s, 1),
+                   cpu.gemm_time(Precision::F32, s, s, s));
+}
+
+// ------------------------------------------------------------ link model
+
+TEST(LinkModel, TransferTimeIsLatencyPlusBandwidth) {
+  LinkModel link;
+  link.latency_s = 1e-5;
+  link.h2d_bw_gbs = 10.0;
+  EXPECT_NEAR(link.h2d_time(1e9, true), 1e-5 + 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(link.h2d_time(0.0, true), 0.0);
+}
+
+TEST(LinkModel, PinnedIsFaster) {
+  LinkModel link;
+  EXPECT_LT(link.h2d_time(1e8, true), link.h2d_time(1e8, false));
+  EXPECT_LT(link.d2h_time(1e8, true), link.d2h_time(1e8, false));
+}
+
+TEST(LinkModel, UsmFirstTouchChargesPerPage) {
+  LinkModel link;
+  link.page_bytes = 4096;
+  link.page_fault_latency_s = 1e-6;
+  link.migration_bw_gbs = 10.0;
+  const double one_page = link.usm_first_touch_time(100.0);
+  const double ten_pages = link.usm_first_touch_time(10 * 4096.0);
+  EXPECT_GT(ten_pages, one_page);
+  EXPECT_NEAR(one_page, 1e-6 + 100.0 / 10e9, 1e-12);
+}
+
+TEST(LinkModel, XnackOffUsesRemotePath) {
+  LinkModel link;
+  link.xnack = false;
+  link.h2d_bw_gbs = 40.0;
+  link.remote_access_penalty = 40.0;
+  // 1 GB at 1 GB/s effective = 1 s.
+  EXPECT_NEAR(link.usm_first_touch_time(1e9), 1.0, 1e-9);
+  EXPECT_NEAR(link.usm_remote_access_time(1e9), 1.0, 1e-9);
+}
+
+TEST(LinkModel, XnackOffIsMuchSlowerThanMigration) {
+  LinkModel on;
+  LinkModel off = on;
+  off.xnack = false;
+  const double bytes = 64.0 * 1048576.0;
+  EXPECT_GT(off.usm_first_touch_time(bytes) /
+                on.usm_first_touch_time(bytes),
+            5.0);
+}
+
+// ----------------------------------------------------------------- noise
+
+TEST(Noise, ZeroSigmaIsExactlyOne) {
+  const NoiseModel noise(0.0);
+  EXPECT_DOUBLE_EQ(
+      noise.factor("dawn", "cpu", Precision::F32, 10, 10, 10, 1), 1.0);
+}
+
+TEST(Noise, DeterministicPerIdentity) {
+  const NoiseModel a(0.05, 123);
+  const NoiseModel b(0.05, 123);
+  EXPECT_DOUBLE_EQ(a.factor("dawn", "cpu", Precision::F32, 10, 20, 30, 8),
+                   b.factor("dawn", "cpu", Precision::F32, 10, 20, 30, 8));
+}
+
+TEST(Noise, DifferentIdentitiesDiffer) {
+  const NoiseModel noise(0.05, 123);
+  const double base =
+      noise.factor("dawn", "cpu", Precision::F32, 10, 20, 30, 8);
+  EXPECT_NE(base, noise.factor("lumi", "cpu", Precision::F32, 10, 20, 30, 8));
+  EXPECT_NE(base, noise.factor("dawn", "gpu", Precision::F32, 10, 20, 30, 8));
+  EXPECT_NE(base, noise.factor("dawn", "cpu", Precision::F64, 10, 20, 30, 8));
+  EXPECT_NE(base, noise.factor("dawn", "cpu", Precision::F32, 11, 20, 30, 8));
+}
+
+TEST(Noise, FactorsArePositiveAndCentered) {
+  const NoiseModel noise(0.1, 7);
+  double log_sum = 0.0;
+  const int kSamples = 2000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double f =
+        noise.factor("sys", "cpu", Precision::F32, i, i + 1, i + 2, 1);
+    ASSERT_GT(f, 0.0);
+    log_sum += std::log(f);
+  }
+  EXPECT_NEAR(log_sum / kSamples, 0.0, 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,260 @@
+// Property-based tests: randomized inputs checked against brute-force
+// reference implementations and algebraic identities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+
+#include "blas/gemm.hpp"
+#include "blas/gemv.hpp"
+#include "blas_test_util.hpp"
+#include "core/sim_backend.hpp"
+#include "core/threshold.hpp"
+#include "sysprofile/profile.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace blob;
+using blob::test::random_vector;
+
+// ------------------------------------------------ threshold vs reference
+
+/// Brute-force specification: smallest index t such that for all i >= t
+/// the GPU wins OR i is an isolated dip (losing sample with winning
+/// neighbours on both sides); the final sample must be a win.
+std::optional<std::size_t> reference_threshold(
+    const std::vector<bool>& wins) {
+  const std::size_t n = wins.size();
+  if (n == 0 || !wins[n - 1]) return std::nullopt;
+  auto tolerated = [&](std::size_t i) {
+    if (wins[i]) return true;
+    return i > 0 && i + 1 < n && wins[i - 1] && wins[i + 1];
+  };
+  std::optional<std::size_t> best;
+  for (std::size_t t = n; t-- > 0;) {
+    bool all_ok = true;
+    for (std::size_t i = t; i < n; ++i) {
+      if (!tolerated(i)) {
+        all_ok = false;
+        break;
+      }
+    }
+    if (all_ok && wins[t]) best = t;  // threshold must itself be a win
+    if (!all_ok) break;
+  }
+  return best;
+}
+
+TEST(PropertyThreshold, MatchesBruteForceOnRandomPatterns) {
+  util::Xoshiro256 rng(0xF00D);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 40));
+    std::vector<bool> wins(static_cast<std::size_t>(n));
+    std::vector<core::ThresholdSample> samples;
+    for (int i = 0; i < n; ++i) {
+      wins[static_cast<std::size_t>(i)] = rng.next_double() < 0.6;
+      samples.push_back(core::ThresholdSample{
+          i + 1, core::Dims{i + 1, i + 1, i + 1}, 2.0,
+          wins[static_cast<std::size_t>(i)] ? 1.0 : 3.0});
+    }
+    const auto expected = reference_threshold(wins);
+    const auto actual = core::detect_threshold(samples);
+    ASSERT_EQ(actual.has_value(), expected.has_value()) << "trial " << trial;
+    if (expected.has_value()) {
+      ASSERT_EQ(actual->s, samples[*expected].s) << "trial " << trial;
+    }
+  }
+}
+
+TEST(PropertyThreshold, ThresholdNeverLosesAtItsOwnIndex) {
+  util::Xoshiro256 rng(0xFEED);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 60));
+    std::vector<core::ThresholdSample> samples;
+    for (int i = 0; i < n; ++i) {
+      samples.push_back(core::ThresholdSample{
+          i + 1, core::Dims{i + 1, i + 1, i + 1}, rng.uniform(0.5, 2.0),
+          rng.uniform(0.5, 2.0)});
+    }
+    const auto t = core::detect_threshold(samples);
+    if (t.has_value()) {
+      const auto& at = samples[static_cast<std::size_t>(t->s - 1)];
+      EXPECT_LT(at.gpu_seconds, at.cpu_seconds);
+      // And the final sample is a GPU win.
+      EXPECT_LT(samples.back().gpu_seconds, samples.back().cpu_seconds);
+    }
+  }
+}
+
+// ----------------------------------------------- kernel identities
+
+TEST(PropertyKernels, GemmWithSingleColumnEqualsGemv) {
+  util::Xoshiro256 rng(0xABCD);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 200));
+    const int k = static_cast<int>(rng.uniform_int(1, 200));
+    auto a = random_vector<double>(static_cast<std::size_t>(m) * k,
+                                   1000 + trial);
+    auto x = random_vector<double>(static_cast<std::size_t>(k),
+                                   2000 + trial);
+    std::vector<double> y_gemm(static_cast<std::size_t>(m), 0.0);
+    std::vector<double> y_gemv(y_gemm);
+    // C (m x 1) = A (m x k) * B (k x 1)  ==  y = A x.
+    blas::gemm(blas::Transpose::No, blas::Transpose::No, m, 1, k, 1.0,
+               a.data(), m, x.data(), k, 0.0, y_gemm.data(), m);
+    blas::gemv(blas::Transpose::No, m, k, 1.0, a.data(), m, x.data(), 1,
+               0.0, y_gemv.data(), 1);
+    test::expect_near_rel(y_gemm, y_gemv, 1e-11);
+  }
+}
+
+TEST(PropertyKernels, GemmWithSingleRowEqualsTransGemv) {
+  util::Xoshiro256 rng(0xBCDE);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 150));
+    const int k = static_cast<int>(rng.uniform_int(1, 150));
+    auto b = random_vector<double>(static_cast<std::size_t>(k) * n,
+                                   3000 + trial);
+    auto x = random_vector<double>(static_cast<std::size_t>(k),
+                                   4000 + trial);
+    // C (1 x n) = x^T (1 x k) * B (k x n)  ==  y = B^T x.
+    std::vector<double> c(static_cast<std::size_t>(n), 0.0);
+    blas::gemm(blas::Transpose::No, blas::Transpose::No, 1, n, k, 1.0,
+               x.data(), 1, b.data(), k, 0.0, c.data(), 1);
+    std::vector<double> y(static_cast<std::size_t>(n), 0.0);
+    blas::gemv(blas::Transpose::Yes, k, n, 1.0, b.data(), k, x.data(), 1,
+               0.0, y.data(), 1);
+    test::expect_near_rel(c, y, 1e-11);
+  }
+}
+
+TEST(PropertyKernels, GemmScalesLinearlyInAlpha) {
+  const int d = 40;
+  auto a = random_vector<double>(d * d, 1);
+  auto b = random_vector<double>(d * d, 2);
+  std::vector<double> c1(d * d, 0.0);
+  std::vector<double> c3(d * d, 0.0);
+  blas::gemm(blas::Transpose::No, blas::Transpose::No, d, d, d, 1.0,
+             a.data(), d, b.data(), d, 0.0, c1.data(), d);
+  blas::gemm(blas::Transpose::No, blas::Transpose::No, d, d, d, 3.0,
+             a.data(), d, b.data(), d, 0.0, c3.data(), d);
+  for (int i = 0; i < d * d; ++i) {
+    ASSERT_NEAR(c3[i], 3.0 * c1[i], 1e-11 * (1.0 + std::fabs(c1[i])));
+  }
+}
+
+// ------------------------------------------------------- csv fuzzing
+
+TEST(PropertyCsv, EscapeParseRoundTripsRandomStrings) {
+  util::Xoshiro256 rng(0xC5F);
+  const char alphabet[] = "ab,\"\n\r x;|\\'\t0";
+  for (int trial = 0; trial < 500; ++trial) {
+    const int fields = static_cast<int>(rng.uniform_int(1, 6));
+    std::vector<std::string> row;
+    for (int f = 0; f < fields; ++f) {
+      const int len = static_cast<int>(rng.uniform_int(0, 12));
+      std::string s;
+      for (int i = 0; i < len; ++i) {
+        s.push_back(alphabet[rng.uniform_int(0, sizeof(alphabet) - 2)]);
+      }
+      row.push_back(std::move(s));
+    }
+    std::string line;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) line += ',';
+      line += util::csv_escape(row[i]);
+    }
+    // '\r' only survives inside quotes; skip rows with a bare CR field
+    // that the escape left unquoted (it is the CRLF-tolerance feature).
+    bool bare_cr = false;
+    for (const auto& f : row) {
+      if (f.find('\r') != std::string::npos &&
+          f.find_first_of(",\"\n") == std::string::npos) {
+        bare_cr = true;
+      }
+    }
+    if (bare_cr) continue;
+    EXPECT_EQ(util::csv_parse_line(line), row) << "trial " << trial;
+  }
+}
+
+// ---------------------------------------------- model sanity sweeps
+
+class SystemSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SystemSweep, CpuTimeIsNearMonotoneInProblemSize) {
+  // Library thread-count policies can make a slightly bigger problem
+  // marginally *faster* right at a thread-count step (more aggregate
+  // bandwidth), so the invariant allows a 5% local dip — but never a
+  // real regression.
+  core::SimBackend backend(profile::by_name(GetParam()), 0.0);
+  for (auto op : {core::KernelOp::Gemm, core::KernelOp::Gemv}) {
+    double prev = 0.0;
+    for (std::int64_t s = 64; s <= 4096; s *= 2) {
+      core::Problem p;
+      p.op = op;
+      p.dims = op == core::KernelOp::Gemm ? core::Dims{s, s, s}
+                                          : core::Dims{s, s, 1};
+      const double t = backend.cpu_time(p, 4);
+      EXPECT_GT(t, 0.95 * prev) << GetParam() << " s=" << s;
+      prev = t;
+    }
+  }
+}
+
+TEST_P(SystemSweep, GpuTimeIsMonotoneInIterations) {
+  core::SimBackend backend(profile::by_name(GetParam()), 0.0);
+  core::Problem p;
+  p.op = core::KernelOp::Gemm;
+  p.dims = {512, 512, 512};
+  for (auto mode : core::kTransferModes) {
+    double prev = 0.0;
+    for (std::int64_t i = 1; i <= 256; i *= 4) {
+      const double t = *backend.gpu_time(p, i, mode);
+      EXPECT_GT(t, prev) << GetParam() << " mode="
+                         << core::to_string(mode) << " i=" << i;
+      prev = t;
+    }
+  }
+}
+
+TEST_P(SystemSweep, TransferAlwaysIsNeverFasterThanOnce) {
+  core::SimBackend backend(profile::by_name(GetParam()), 0.0);
+  for (std::int64_t s : {64LL, 512LL, 2048LL}) {
+    core::Problem p;
+    p.op = core::KernelOp::Gemm;
+    p.dims = {s, s, s};
+    for (std::int64_t i : {1LL, 8LL, 64LL}) {
+      EXPECT_GE(*backend.gpu_time(p, i, core::TransferMode::Always) + 1e-15,
+                *backend.gpu_time(p, i, core::TransferMode::Once))
+          << GetParam() << " s=" << s << " i=" << i;
+    }
+  }
+}
+
+TEST_P(SystemSweep, F64IsNeverFasterThanF32OnCpu) {
+  core::SimBackend backend(profile::by_name(GetParam()), 0.0);
+  for (std::int64_t s : {128LL, 1024LL}) {
+    core::Problem f32;
+    f32.op = core::KernelOp::Gemm;
+    f32.precision = model::Precision::F32;
+    f32.dims = {s, s, s};
+    core::Problem f64 = f32;
+    f64.precision = model::Precision::F64;
+    EXPECT_GE(backend.cpu_time(f64, 4) + 1e-15, backend.cpu_time(f32, 4))
+        << GetParam() << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, SystemSweep,
+                         ::testing::Values("dawn", "lumi", "isambard-ai",
+                                           "lumi-openblas",
+                                           "isambard-ai-armpl",
+                                           "isambard-ai-nvpl-1t",
+                                           "lumi-xnack-off", "mi300a-apu",
+                                           "dawn-implicit"));
+
+}  // namespace

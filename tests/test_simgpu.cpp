@@ -1,0 +1,472 @@
+// GPU simulator tests: memory spaces and accounting, stream timelines,
+// DMA semantics, functional kernels, USM residency and migration costs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "blas/ref_blas.hpp"
+#include "blas_test_util.hpp"
+#include "simgpu/device.hpp"
+#include "simgpu/memory.hpp"
+#include "simgpu/stream.hpp"
+
+namespace {
+
+using namespace blob;
+using namespace blob::sim;
+using blob::test::random_vector;
+
+SimGpu::Config test_config() {
+  SimGpu::Config cfg;
+  cfg.gpu.peak_gflops_f32 = 10000;
+  cfg.gpu.peak_gflops_f64 = 5000;
+  cfg.gpu.hbm_bw_gbs = 1000;
+  cfg.gpu.launch_latency_s = 1e-5;
+  cfg.gpu.min_kernel_s = 1e-6;
+  cfg.link.latency_s = 1e-5;
+  cfg.link.h2d_bw_gbs = 20.0;
+  cfg.link.d2h_bw_gbs = 20.0;
+  cfg.link.page_bytes = 4096;
+  cfg.link.page_fault_latency_s = 1e-6;
+  cfg.link.migration_bw_gbs = 10.0;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- memory
+
+TEST(Memory, TrackerAccountsPerSpace) {
+  MemoryTracker tracker;
+  {
+    Buffer device(MemKind::Device, 1000, &tracker);
+    Buffer pinned(MemKind::HostPinned, 500, &tracker);
+    EXPECT_EQ(tracker.current_bytes(MemKind::Device), 1000u);
+    EXPECT_EQ(tracker.current_bytes(MemKind::HostPinned), 500u);
+    EXPECT_EQ(tracker.live_allocations(MemKind::Device), 1u);
+    {
+      Buffer more(MemKind::Device, 3000, &tracker);
+      EXPECT_EQ(tracker.current_bytes(MemKind::Device), 4000u);
+      EXPECT_EQ(tracker.peak_bytes(MemKind::Device), 4000u);
+    }
+    EXPECT_EQ(tracker.current_bytes(MemKind::Device), 1000u);
+    EXPECT_EQ(tracker.peak_bytes(MemKind::Device), 4000u);
+  }
+  EXPECT_EQ(tracker.current_bytes(MemKind::Device), 0u);
+  EXPECT_EQ(tracker.live_allocations(MemKind::Device), 0u);
+}
+
+TEST(Memory, BufferIsZeroInitialised) {
+  MemoryTracker tracker;
+  Buffer b(MemKind::Device, 256, &tracker);
+  const auto* bytes = b.as<unsigned char>();
+  for (int i = 0; i < 256; ++i) ASSERT_EQ(bytes[i], 0);
+}
+
+TEST(Memory, MoveTransfersOwnership) {
+  MemoryTracker tracker;
+  Buffer a(MemKind::Managed, 128, &tracker);
+  a.set_residency(Residency::Device);
+  Buffer b = std::move(a);
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): intended
+  EXPECT_EQ(b.residency(), Residency::Device);
+  EXPECT_EQ(tracker.live_allocations(MemKind::Managed), 1u);
+  Buffer c(MemKind::Managed, 64, &tracker);
+  c = std::move(b);
+  EXPECT_EQ(c.bytes(), 128u);
+  EXPECT_EQ(tracker.current_bytes(MemKind::Managed), 128u);
+}
+
+TEST(Memory, KindNames) {
+  EXPECT_STREQ(to_string(MemKind::Device), "device");
+  EXPECT_STREQ(to_string(MemKind::Managed), "managed");
+  EXPECT_STREQ(to_string(MemKind::HostPinned), "host-pinned");
+  EXPECT_STREQ(to_string(MemKind::HostPageable), "host-pageable");
+}
+
+// ---------------------------------------------------------------- stream
+
+TEST(Stream, TimelineAccumulates) {
+  util::SimClock clock;
+  Stream stream(&clock);
+  EXPECT_TRUE(stream.idle());
+  stream.enqueue(1.0);
+  stream.enqueue(0.5);
+  EXPECT_DOUBLE_EQ(stream.tail(), 1.5);
+  EXPECT_FALSE(stream.idle());
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);  // host has not blocked yet
+  stream.synchronize();
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  EXPECT_TRUE(stream.idle());
+  EXPECT_EQ(stream.ops_enqueued(), 2u);
+}
+
+TEST(Stream, WorkStartsNoEarlierThanSubmission) {
+  util::SimClock clock;
+  Stream stream(&clock);
+  stream.enqueue(1.0);
+  stream.synchronize();
+  clock.advance(5.0);  // host does other work
+  stream.enqueue(1.0);  // submitted at t=6.5... no: t=6.0
+  EXPECT_DOUBLE_EQ(stream.tail(), 7.0);
+}
+
+TEST(Stream, RejectsNegativeDurations) {
+  util::SimClock clock;
+  Stream stream(&clock);
+  EXPECT_THROW(stream.enqueue(-1.0), SimError);
+}
+
+TEST(Stream, EventsMeasureElapsed) {
+  util::SimClock clock;
+  Stream stream(&clock);
+  Event start;
+  Event stop;
+  start.record(stream);
+  stream.enqueue(2.5);
+  stop.record(stream);
+  EXPECT_DOUBLE_EQ(Event::elapsed_seconds(start, stop), 2.5);
+  Event unrecorded;
+  EXPECT_THROW(Event::elapsed_seconds(start, unrecorded), SimError);
+}
+
+// ---------------------------------------------------------------- device
+
+TEST(Device, ExplicitCopiesMoveDataAndTime) {
+  SimGpu gpu(test_config());
+  auto host = gpu.alloc_host(1024);
+  auto dev = gpu.alloc_device(1024);
+  auto back = gpu.alloc_host(1024);
+  std::memset(host.data(), 0xAB, 1024);
+
+  const double t0 = gpu.now();
+  gpu.memcpy_h2d(dev, host, 1024);
+  EXPECT_GT(gpu.now(), t0);  // blocking copy advanced the host clock
+  gpu.memcpy_d2h(back, dev, 1024);
+  EXPECT_EQ(std::memcmp(back.data(), host.data(), 1024), 0);
+}
+
+TEST(Device, PinnedTransfersAreFaster) {
+  SimGpu gpu_a(test_config());
+  SimGpu gpu_b(test_config());
+  auto pinned = gpu_a.alloc_host(1 << 20, true);
+  auto pageable = gpu_b.alloc_host(1 << 20, false);
+  auto da = gpu_a.alloc_device(1 << 20);
+  auto db = gpu_b.alloc_device(1 << 20);
+  gpu_a.memcpy_h2d(da, pinned, 1 << 20);
+  gpu_b.memcpy_h2d(db, pageable, 1 << 20);
+  EXPECT_LT(gpu_a.now(), gpu_b.now());
+}
+
+TEST(Device, CopyValidation) {
+  SimGpu gpu(test_config());
+  auto host = gpu.alloc_host(64);
+  auto dev = gpu.alloc_device(64);
+  auto dev2 = gpu.alloc_device(64);
+  EXPECT_THROW(gpu.memcpy_h2d(host, host, 64), SimError);   // dst not device
+  EXPECT_THROW(gpu.memcpy_h2d(dev, dev2, 64), SimError);    // src is device
+  EXPECT_THROW(gpu.memcpy_h2d(dev, host, 128), SimError);   // too large
+  EXPECT_THROW(gpu.memcpy_d2h(host, host, 64), SimError);   // src not device
+}
+
+TEST(Device, GemmExecutesFunctionally) {
+  SimGpu gpu(test_config());
+  const int m = 24, n = 18, k = 12;
+  auto a_data = random_vector<float>(static_cast<std::size_t>(m) * k, 1);
+  auto b_data = random_vector<float>(static_cast<std::size_t>(k) * n, 2);
+
+  auto ha = gpu.alloc_host(a_data.size() * 4);
+  auto hb = gpu.alloc_host(b_data.size() * 4);
+  std::memcpy(ha.data(), a_data.data(), a_data.size() * 4);
+  std::memcpy(hb.data(), b_data.data(), b_data.size() * 4);
+
+  auto da = gpu.alloc_device(a_data.size() * 4);
+  auto db = gpu.alloc_device(b_data.size() * 4);
+  auto dc = gpu.alloc_device(static_cast<std::size_t>(m) * n * 4);
+  gpu.memcpy_h2d(da, ha, a_data.size() * 4);
+  gpu.memcpy_h2d(db, hb, b_data.size() * 4);
+  gpu.gemm<float>(m, n, k, 1.0f, da, m, db, k, 0.0f, dc, m);
+  gpu.synchronize();
+
+  std::vector<float> expected(static_cast<std::size_t>(m) * n, 0.0f);
+  blas::ref::gemm(blas::Transpose::No, blas::Transpose::No, m, n, k, 1.0f,
+                  a_data.data(), m, b_data.data(), k, 0.0f, expected.data(),
+                  m);
+  auto hc = gpu.alloc_host(expected.size() * 4);
+  gpu.memcpy_d2h(hc, dc, expected.size() * 4);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(hc.as<float>()[i], expected[i], 1e-4);
+  }
+  EXPECT_EQ(gpu.kernels_launched(), 1u);
+}
+
+TEST(Device, KernelRejectsHostOperands) {
+  SimGpu gpu(test_config());
+  auto host = gpu.alloc_host(64 * 4);
+  auto dev = gpu.alloc_device(64 * 4);
+  EXPECT_THROW(gpu.gemm<float>(4, 4, 4, 1.0f, host, 4, dev, 4, 0.0f, dev, 4),
+               SimError);
+}
+
+TEST(Device, TimingOnlyModeSkipsNumerics) {
+  auto cfg = test_config();
+  cfg.functional = false;
+  SimGpu gpu(cfg);
+  auto da = gpu.alloc_device(16 * 4);
+  auto db = gpu.alloc_device(16 * 4);
+  auto dc = gpu.alloc_device(16 * 4);
+  const double t = gpu.gemm<float>(4, 4, 4, 1.0f, da, 4, db, 4, 0.0f, dc, 4);
+  EXPECT_GT(t, 0.0);
+  gpu.synchronize();
+  for (int i = 0; i < 16; ++i) ASSERT_EQ(dc.as<float>()[i], 0.0f);
+}
+
+TEST(Device, FunctionalDimLimitSkipsLargeKernels) {
+  auto cfg = test_config();
+  cfg.functional_dim_limit = 8.0;
+  SimGpu gpu(cfg);
+  auto da = gpu.alloc_device(32 * 32 * 4);
+  auto db = gpu.alloc_device(32 * 32 * 4);
+  auto dc = gpu.alloc_device(32 * 32 * 4);
+  // Fill inputs so a real execution would produce non-zero C.
+  for (int i = 0; i < 32 * 32; ++i) da.as<float>()[i] = 1.0f;
+  for (int i = 0; i < 32 * 32; ++i) db.as<float>()[i] = 1.0f;
+  gpu.gemm<float>(32, 32, 32, 1.0f, da, 32, db, 32, 0.0f, dc, 32);
+  EXPECT_EQ(dc.as<float>()[0], 0.0f);  // skipped: above the limit
+  gpu.gemm<float>(8, 8, 8, 1.0f, da, 8, db, 8, 0.0f, dc, 8);
+  EXPECT_EQ(dc.as<float>()[0], 8.0f);  // executed: at the limit
+}
+
+TEST(Device, TransferCountersAccumulate) {
+  SimGpu gpu(test_config());
+  auto host = gpu.alloc_host(4096);
+  auto dev = gpu.alloc_device(4096);
+  EXPECT_EQ(gpu.h2d_bytes_total(), 0u);
+  gpu.memcpy_h2d(dev, host, 1000);
+  gpu.memcpy_h2d(dev, host, 24);
+  gpu.memcpy_d2h(host, dev, 512);
+  gpu.memcpy_h2d_async(gpu.default_stream(), dev, host, 100);
+  gpu.memcpy_d2h_async(gpu.default_stream(), host, dev, 200);
+  gpu.synchronize();
+  EXPECT_EQ(gpu.h2d_bytes_total(), 1124u);
+  EXPECT_EQ(gpu.d2h_bytes_total(), 712u);
+}
+
+// -------------------------------------------------- async + multi-stream
+
+TEST(Async, CopiesDoNotBlockTheHost) {
+  SimGpu gpu(test_config());
+  auto host = gpu.alloc_host(1 << 20);
+  auto dev = gpu.alloc_device(1 << 20);
+  const double t0 = gpu.now();
+  const double done =
+      gpu.memcpy_h2d_async(gpu.default_stream(), dev, host, 1 << 20);
+  EXPECT_DOUBLE_EQ(gpu.now(), t0);  // host clock untouched
+  EXPECT_GT(done, t0);
+  gpu.synchronize();
+  EXPECT_DOUBLE_EQ(gpu.now(), done);
+}
+
+TEST(Async, TwoStreamsOverlap) {
+  // A copy on the transfer stream and a kernel on the default stream
+  // must overlap: total = max, not sum.
+  SimGpu gpu(test_config());
+  Stream& copy_stream = gpu.create_stream("copies");
+  auto host = gpu.alloc_host(1 << 22);
+  auto staging = gpu.alloc_device(1 << 22);
+  auto da = gpu.alloc_device(64 * 64 * 4);
+  auto db = gpu.alloc_device(64 * 64 * 4);
+  auto dc = gpu.alloc_device(64 * 64 * 4);
+
+  const double copy_done =
+      gpu.memcpy_h2d_async(copy_stream, staging, host, 1 << 22);
+  const double kernel_done =
+      gpu.gemm<float>(64, 64, 64, 1.0f, da, 64, db, 64, 0.0f, dc, 64);
+  copy_stream.synchronize();
+  gpu.synchronize();
+  EXPECT_DOUBLE_EQ(gpu.now(), std::max(copy_done, kernel_done));
+}
+
+TEST(Async, StreamWaitOrdersAcrossStreams) {
+  SimGpu gpu(test_config());
+  Stream& producer = gpu.create_stream("producer");
+  producer.enqueue(1.0, "produce");
+  Event ready;
+  ready.record(producer);
+
+  Stream& consumer = gpu.create_stream("consumer");
+  consumer.wait(ready);
+  consumer.enqueue(0.5, "consume");
+  EXPECT_DOUBLE_EQ(consumer.tail(), 1.5);  // starts only after the event
+
+  Event unrecorded;
+  EXPECT_THROW(consumer.wait(unrecorded), SimError);
+}
+
+TEST(Async, ValidationMirrorsSyncCopies) {
+  SimGpu gpu(test_config());
+  auto host = gpu.alloc_host(64);
+  auto dev = gpu.alloc_device(64);
+  EXPECT_THROW(gpu.memcpy_h2d_async(gpu.default_stream(), host, host, 64),
+               SimError);
+  EXPECT_THROW(gpu.memcpy_d2h_async(gpu.default_stream(), host, host, 64),
+               SimError);
+  EXPECT_THROW(gpu.memcpy_h2d_async(gpu.default_stream(), dev, host, 128),
+               SimError);
+}
+
+TEST(Trace, RecordsOpsWithLabels) {
+  auto cfg = test_config();
+  cfg.trace = true;
+  SimGpu gpu(cfg);
+  auto host = gpu.alloc_host(4096);
+  auto dev = gpu.alloc_device(4096);
+  auto da = gpu.alloc_device(16 * 16 * 4);
+  gpu.memcpy_h2d(dev, host, 4096);
+  gpu.gemm<float>(16, 16, 16, 1.0f, da, 16, da, 16, 0.0f, da, 16);
+  const auto& ops = gpu.trace().ops();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].label, "h2d");
+  EXPECT_EQ(ops[1].label, "gemm");
+  EXPECT_LE(ops[0].end, ops[1].start + 1e-15);
+  EXPECT_GT(ops[0].end, ops[0].start);
+}
+
+TEST(Trace, DisabledByDefault) {
+  SimGpu gpu(test_config());
+  auto host = gpu.alloc_host(64);
+  auto dev = gpu.alloc_device(64);
+  gpu.memcpy_h2d(dev, host, 64);
+  EXPECT_TRUE(gpu.trace().ops().empty());
+}
+
+TEST(Trace, ChromeExportIsWellFormed) {
+  std::vector<OpRecord> ops = {
+      {"default", "h2d", 0.0, 1e-4},
+      {"default", "gemm", 1e-4, 5e-4},
+  };
+  std::ostringstream out;
+  write_chrome_trace(out, ops);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\": \"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": \"default\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": 400.000"), std::string::npos);
+  // Exactly one comma between the two records.
+  EXPECT_EQ(std::count(json.begin(), json.end(), ','),
+            1 + 2 * 6);  // 6 fields per record + 1 record separator
+}
+
+TEST(Device, StridedBatchedGemmComputesAndAmortises) {
+  SimGpu gpu(test_config());
+  const int s = 8, batch = 16;
+  const std::int64_t stride = static_cast<std::int64_t>(s) * s;
+  const std::size_t bytes = static_cast<std::size_t>(stride) * batch * 4;
+  auto da = gpu.alloc_device(bytes);
+  auto db = gpu.alloc_device(bytes);
+  auto dc = gpu.alloc_device(bytes);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(stride) * batch; ++i) {
+    da.as<float>()[i] = 1.0f;
+    db.as<float>()[i] = 2.0f;
+  }
+  const double batched_t = gpu.gemm_strided_batched<float>(
+      s, s, s, 1.0f, da, s, stride, db, s, stride, 0.0f, dc, s, stride,
+      batch);
+  gpu.synchronize();
+  // Every problem in the batch computed: C = 1*2 summed over k=8 -> 16.
+  for (int i = 0; i < batch; ++i) {
+    ASSERT_FLOAT_EQ(dc.as<float>()[static_cast<std::size_t>(i) * stride],
+                    16.0f);
+  }
+  // One launch for the whole batch beats `batch` individual launches.
+  SimGpu gpu2(test_config());
+  auto ea = gpu2.alloc_device(bytes);
+  auto eb = gpu2.alloc_device(bytes);
+  auto ec = gpu2.alloc_device(bytes);
+  double individually = 0.0;
+  for (int i = 0; i < batch; ++i) {
+    individually += gpu2.gemm<float>(s, s, s, 1.0f, ea, s, eb, s, 0.0f, ec,
+                                     s);
+  }
+  EXPECT_LT(batched_t, individually / 2);
+  EXPECT_EQ(gpu.kernels_launched(), 1u);
+}
+
+TEST(Device, StridedBatchedValidatesArguments) {
+  SimGpu gpu(test_config());
+  auto da = gpu.alloc_device(64 * 4);
+  auto host = gpu.alloc_host(64 * 4);
+  EXPECT_THROW(gpu.gemm_strided_batched<float>(4, 4, 4, 1.0f, da, 4, 16, da,
+                                               4, 16, 0.0f, da, 4, 16, 0),
+               SimError);
+  EXPECT_THROW(gpu.gemm_strided_batched<float>(4, 4, 4, 1.0f, da, 4, 16, da,
+                                               4, 16, 0.0f, da, 4, 16, 100),
+               SimError);  // strides exceed the buffer
+  EXPECT_THROW(
+      gpu.gemm_strided_batched<float>(4, 4, 4, 1.0f, host, 4, 16, da, 4, 16,
+                                      0.0f, da, 4, 16, 1),
+      SimError);
+}
+
+// ------------------------------------------------------------------- usm
+
+TEST(Usm, FirstTouchMigratesThenResident) {
+  SimGpu gpu(test_config());
+  const std::size_t bytes = 64 * 4;
+  auto a = gpu.alloc_managed(bytes);
+  auto x = gpu.alloc_managed(bytes);
+  auto y = gpu.alloc_managed(bytes);
+  EXPECT_EQ(a.residency(), Residency::Host);
+
+  const double t1 = gpu.gemv<float>(8, 8, 1.0f, a, 8, x, 0.0f, y);
+  EXPECT_EQ(a.residency(), Residency::Device);
+  EXPECT_TRUE(y.device_dirty());
+
+  const double t2 = gpu.gemv<float>(8, 8, 1.0f, a, 8, x, 0.0f, y);
+  EXPECT_LT(t2, t1);  // second kernel pays no migration
+}
+
+TEST(Usm, HostAccessWritesBack) {
+  SimGpu gpu(test_config());
+  auto y = gpu.alloc_managed(1 << 16);
+  auto a = gpu.alloc_managed(1 << 16);
+  auto x = gpu.alloc_managed(1 << 16);
+  gpu.gemv<float>(64, 64, 1.0f, a, 64, x, 0.0f, y);
+  gpu.synchronize();
+  const double before = gpu.now();
+  gpu.host_access_managed(y);
+  EXPECT_GT(gpu.now(), before);  // write-back migration cost
+  EXPECT_EQ(y.residency(), Residency::Host);
+  EXPECT_FALSE(y.device_dirty());
+  // Second host access is free.
+  const double after = gpu.now();
+  gpu.host_access_managed(y);
+  EXPECT_DOUBLE_EQ(gpu.now(), after);
+}
+
+TEST(Usm, XnackOffChargesEveryKernel) {
+  auto cfg = test_config();
+  cfg.link.xnack = false;
+  SimGpu gpu(cfg);
+  auto a = gpu.alloc_managed(1 << 16);
+  auto x = gpu.alloc_managed(1 << 16);
+  auto y = gpu.alloc_managed(1 << 16);
+  const double t1 = gpu.gemv<float>(64, 64, 1.0f, a, 64, x, 0.0f, y);
+  const double t2 = gpu.gemv<float>(64, 64, 1.0f, a, 64, x, 0.0f, y);
+  EXPECT_NEAR(t1, t2, 1e-12);  // no residency: same remote cost each time
+  EXPECT_EQ(a.residency(), Residency::Host);
+}
+
+TEST(Usm, ResetManagedClearsState) {
+  SimGpu gpu(test_config());
+  auto a = gpu.alloc_managed(4096);
+  a.set_residency(Residency::Device);
+  a.set_device_dirty(true);
+  SimGpu::reset_managed(a);
+  EXPECT_EQ(a.residency(), Residency::Host);
+  EXPECT_FALSE(a.device_dirty());
+}
+
+}  // namespace

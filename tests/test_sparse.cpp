@@ -1,0 +1,186 @@
+// CSR construction, SpMV kernels, and the SpMV timing model.
+
+#include <gtest/gtest.h>
+
+#include "blas/ref_blas.hpp"
+#include "blas_test_util.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/model.hpp"
+#include "sparse/spmv.hpp"
+#include "sysprofile/profile.hpp"
+
+namespace {
+
+using namespace blob;
+using namespace blob::sparse;
+using blob::test::random_vector;
+
+TEST(Csr, FromTripletsSortsAndSums) {
+  std::vector<Triplet<double>> triplets = {
+      {1, 2, 3.0}, {0, 0, 1.0}, {1, 2, 4.0}, {0, 3, 2.0}};
+  const auto m = CsrMatrix<double>::from_triplets(2, 4, triplets);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.nnz(), 3);  // duplicates merged
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 0.0);
+}
+
+TEST(Csr, RejectsOutOfRangeTriplets) {
+  std::vector<Triplet<double>> bad = {{2, 0, 1.0}};
+  EXPECT_THROW(CsrMatrix<double>::from_triplets(2, 2, bad), SparseError);
+  EXPECT_THROW(CsrMatrix<double>::random(4, 4, 0.0, 1), SparseError);
+  EXPECT_THROW(CsrMatrix<double>::random(4, 4, 1.5, 1), SparseError);
+}
+
+TEST(Csr, DenseRoundTrip) {
+  const int rows = 13, cols = 9;
+  auto dense = random_vector<double>(static_cast<std::size_t>(rows) * cols, 1);
+  // Punch ~60% zeros.
+  for (std::size_t i = 0; i < dense.size(); i += 2) dense[i] = 0.0;
+  for (std::size_t i = 0; i < dense.size(); i += 5) dense[i] = 0.0;
+  const auto m = CsrMatrix<double>::from_dense(rows, cols, dense.data(), rows);
+  EXPECT_EQ(m.to_dense(), dense);
+}
+
+TEST(Csr, RandomRespectsDensityAndSeed) {
+  const auto a = CsrMatrix<double>::random(200, 200, 0.05, 42);
+  const auto b = CsrMatrix<double>::random(200, 200, 0.05, 42);
+  const auto c = CsrMatrix<double>::random(200, 200, 0.05, 43);
+  EXPECT_EQ(a.nnz(), b.nnz());
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_NE(a.values(), c.values());
+  EXPECT_NEAR(a.density(), 0.05, 0.01);
+}
+
+TEST(Csr, EnsureDiagonalForcesFullDiagonal) {
+  const auto m = CsrMatrix<double>::random(64, 64, 0.01, 7, true);
+  for (int i = 0; i < 64; ++i) EXPECT_NE(m.at(i, i), 0.0);
+}
+
+TEST(Csr, RowPtrInvariants) {
+  const auto m = CsrMatrix<double>::random(50, 80, 0.1, 3);
+  const auto& ptr = m.row_ptr();
+  ASSERT_EQ(ptr.size(), 51u);
+  EXPECT_EQ(ptr.front(), 0);
+  EXPECT_EQ(ptr.back(), m.nnz());
+  for (std::size_t i = 1; i < ptr.size(); ++i) EXPECT_GE(ptr[i], ptr[i - 1]);
+  // Columns sorted within each row.
+  for (int r = 0; r < 50; ++r) {
+    for (std::int64_t i = ptr[static_cast<std::size_t>(r)] + 1;
+         i < ptr[static_cast<std::size_t>(r) + 1]; ++i) {
+      EXPECT_LT(m.col_idx()[static_cast<std::size_t>(i - 1)],
+                m.col_idx()[static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ spmv
+
+class SpmvCase : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpmvCase, MatchesDenseGemv) {
+  const int rows = 120, cols = 90;
+  const auto m = CsrMatrix<double>::random(rows, cols, GetParam(), 11);
+  const auto dense = m.to_dense();
+  auto x = random_vector<double>(cols, 12);
+  auto y_sparse = random_vector<double>(rows, 13);
+  auto y_dense = y_sparse;
+  spmv_serial(m, 1.5, x.data(), 0.5, y_sparse.data());
+  blas::ref::gemv(blas::Transpose::No, rows, cols, 1.5, dense.data(), rows,
+                  x.data(), 1, 0.5, y_dense.data(), 1);
+  test::expect_near_rel(y_sparse, y_dense, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, SpmvCase,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0));
+
+TEST(Spmv, ThreadedMatchesSerial) {
+  const int n = 600;
+  parallel::ThreadPool pool(4);
+  const auto m = CsrMatrix<double>::random(n, n, 0.05, 21);
+  auto x = random_vector<double>(n, 22);
+  std::vector<double> y1(n, 0.0);
+  std::vector<double> y2(n, 0.0);
+  spmv_serial(m, 1.0, x.data(), 0.0, y1.data());
+  spmv(m, 1.0, x.data(), 0.0, y2.data(), &pool, 4);
+  test::expect_near_rel(y2, y1, 1e-12);
+}
+
+TEST(Spmv, BetaZeroOverwrites) {
+  const auto m = CsrMatrix<double>::from_triplets(2, 2, {{0, 0, 2.0}});
+  std::vector<double> x = {3.0, 1.0};
+  std::vector<double> y = {std::nan(""), std::nan("")};
+  spmv_serial(m, 1.0, x.data(), 0.0, y.data());
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);  // empty row -> exactly zero
+}
+
+TEST(Spmv, EmptyMatrix) {
+  const auto m = CsrMatrix<double>::from_triplets(3, 3, {});
+  std::vector<double> x = {1.0, 1.0, 1.0};
+  std::vector<double> y = {5.0, 5.0, 5.0};
+  spmv_serial(m, 1.0, x.data(), 2.0, y.data());
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 10.0);
+}
+
+// ----------------------------------------------------------------- model
+
+TEST(SpmvModel, BytesScaleWithNnz) {
+  const double sparse_bytes = spmv_bytes(model::Precision::F64, 1000, 1000,
+                                         5000);
+  const double denser = spmv_bytes(model::Precision::F64, 1000, 1000, 50000);
+  EXPECT_GT(denser, 5 * sparse_bytes);
+}
+
+TEST(SpmvModel, GatherLocalityDecaysPastCache) {
+  EXPECT_DOUBLE_EQ(gather_locality(model::Precision::F64, 1000, 64.0), 1.0);
+  const double huge = gather_locality(model::Precision::F64, 1 << 28, 64.0);
+  EXPECT_LT(huge, 1.0);
+  EXPECT_GE(huge, 0.25);
+}
+
+TEST(SpmvModel, CpuTimeMonotoneAndThreadedFaster) {
+  const auto cpu = profile::lumi().cpu;
+  const double small = spmv_cpu_time(cpu, model::Precision::F64, 1000, 1000,
+                                     10000);
+  const double large = spmv_cpu_time(cpu, model::Precision::F64, 10000,
+                                     10000, 1000000);
+  EXPECT_GT(large, small);
+  EXPECT_LT(spmv_cpu_time(cpu, model::Precision::F64, 100000, 100000,
+                          10000000, true),
+            spmv_cpu_time(cpu, model::Precision::F64, 100000, 100000,
+                          10000000, false));
+}
+
+TEST(SpmvModel, TransferOnceAmortises) {
+  const auto prof = profile::dawn();
+  const double one = spmv_gpu_transfer_once_time(
+      prof.gpu, prof.link, model::Precision::F64, 10000, 10000, 500000, 1);
+  const double hundred = spmv_gpu_transfer_once_time(
+      prof.gpu, prof.link, model::Precision::F64, 10000, 10000, 500000, 100);
+  EXPECT_LT(hundred, 100 * one);
+}
+
+TEST(SpmvModel, SocLinkMakesGpuSpmvViable) {
+  // The sparse analogue of the paper's SoC conclusion: with modest
+  // re-use (4 calls) a big SpMV offloads on the GH200 profile but not
+  // over DAWN's PCIe link.
+  const std::int64_t n = 200000, nnz = 10000000, iters = 4;
+  const auto isam = profile::isambard_ai();
+  const auto dawn_p = profile::dawn();
+  const double isam_gpu = spmv_gpu_transfer_once_time(
+      isam.gpu, isam.link, model::Precision::F64, n, n, nnz, iters);
+  const double isam_cpu =
+      iters * spmv_cpu_time(isam.cpu, model::Precision::F64, n, n, nnz);
+  EXPECT_LT(isam_gpu, isam_cpu);
+  const double dawn_gpu = spmv_gpu_transfer_once_time(
+      dawn_p.gpu, dawn_p.link, model::Precision::F64, n, n, nnz, iters);
+  const double dawn_cpu =
+      iters * spmv_cpu_time(dawn_p.cpu, model::Precision::F64, n, n, nnz);
+  EXPECT_GT(dawn_gpu, dawn_cpu);
+}
+
+}  // namespace

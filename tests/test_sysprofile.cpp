@@ -1,0 +1,130 @@
+// System profiles: registry integrity and the hardware/library invariants
+// each profile must encode (paper Table II and §IV).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sysprofile/profile.hpp"
+
+namespace {
+
+using namespace blob;
+using namespace blob::profile;
+
+TEST(Profiles, RegistryIsCompleteAndUnique) {
+  const auto names = profile_names();
+  EXPECT_GE(names.size(), 8u);
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  for (const auto& name : names) {
+    const auto p = by_name(name);
+    EXPECT_EQ(p.name, name);
+    EXPECT_FALSE(p.description.empty());
+  }
+  EXPECT_THROW(by_name("bogus-system"), std::invalid_argument);
+}
+
+TEST(Profiles, SocketPeaksMatchPaperFlopsPerCycle) {
+  // DAWN: 1,536 FP64 FLOPs/cycle; LUMI: 896; Grace: 1,152 (§IV-A).
+  EXPECT_DOUBLE_EQ(dawn().cpu.cores * dawn().cpu.fp64_flops_per_cycle_per_core,
+                   1536.0);
+  EXPECT_DOUBLE_EQ(lumi().cpu.cores * lumi().cpu.fp64_flops_per_cycle_per_core,
+                   896.0);
+  EXPECT_DOUBLE_EQ(isambard_ai().cpu.cores *
+                       isambard_ai().cpu.fp64_flops_per_cycle_per_core,
+                   1152.0);
+}
+
+TEST(Profiles, DawnCpuIsStrongestSocket) {
+  const double dawn_peak = dawn().cpu.peak_gflops(model::Precision::F64,
+                                                  dawn().cpu.cores);
+  const double lumi_peak = lumi().cpu.peak_gflops(model::Precision::F64,
+                                                  lumi().cpu.cores);
+  EXPECT_GT(dawn_peak, lumi_peak);
+}
+
+TEST(Profiles, IsambardLinkIsFarFasterThanPcie) {
+  EXPECT_GT(isambard_ai().link.h2d_bw_gbs, 5 * dawn().link.h2d_bw_gbs);
+  EXPECT_LT(isambard_ai().link.latency_s, dawn().link.latency_s);
+}
+
+TEST(Profiles, LumiGemvIsSerial) {
+  EXPECT_FALSE(lumi().cpu.gemv_parallel);           // AOCL finding
+  EXPECT_TRUE(lumi_openblas().cpu.gemv_parallel);   // Fig. 6 fix
+  EXPECT_TRUE(dawn().cpu.gemv_parallel);
+  EXPECT_TRUE(isambard_ai().cpu.gemv_parallel);
+}
+
+TEST(Profiles, XnackVariantDisablesMigration) {
+  EXPECT_TRUE(lumi().link.xnack);
+  EXPECT_FALSE(lumi_xnack_off().link.xnack);
+}
+
+TEST(Profiles, ImplicitScalingHasMoreComputeLessStability) {
+  const auto exp_scaling = dawn();
+  const auto imp = dawn_implicit_scaling();
+  EXPECT_DOUBLE_EQ(imp.gpu.peak_gflops_f32, 2 * exp_scaling.gpu.peak_gflops_f32);
+  EXPECT_GT(imp.noise_sigma, 3 * exp_scaling.noise_sigma);
+  // ...but worse achieved SGEMM at realistic sizes (Fig. 7).
+  EXPECT_LT(imp.gpu.gemm_gflops(model::Precision::F32, 2048, 2048, 2048),
+            exp_scaling.gpu.gemm_gflops(model::Precision::F32, 2048, 2048,
+                                        2048));
+}
+
+TEST(Profiles, IsambardVariantsChangeOnlyThreadPolicy) {
+  const auto nvpl = isambard_ai();
+  const auto armpl = isambard_ai_armpl();
+  const auto one_thread = isambard_ai_nvpl_1t();
+  EXPECT_EQ(nvpl.cpu.gemm_thread_policy.kind,
+            parallel::ThreadPolicyKind::AllThreads);
+  EXPECT_EQ(armpl.cpu.gemm_thread_policy.kind,
+            parallel::ThreadPolicyKind::ScaleWithProblem);
+  EXPECT_EQ(one_thread.cpu.gemm_thread_policy.kind,
+            parallel::ThreadPolicyKind::SingleThread);
+  EXPECT_DOUBLE_EQ(nvpl.gpu.peak_gflops_f64, armpl.gpu.peak_gflops_f64);
+}
+
+TEST(Profiles, Fig3SmallSizeOrdering) {
+  // At small sizes ArmPL-like and 1-thread NVPL beat 72-thread NVPL.
+  const auto nvpl = isambard_ai().cpu;
+  const auto armpl = isambard_ai_armpl().cpu;
+  const auto one = isambard_ai_nvpl_1t().cpu;
+  const double s = 48;
+  EXPECT_LT(armpl.gemm_time(model::Precision::F32, s, s, s),
+            nvpl.gemm_time(model::Precision::F32, s, s, s));
+  EXPECT_LT(one.gemm_time(model::Precision::F32, s, s, s),
+            nvpl.gemm_time(model::Precision::F32, s, s, s));
+  // At large sizes full NVPL wins.
+  const double big = 2048;
+  EXPECT_LT(nvpl.gemm_time(model::Precision::F32, big, big, big),
+            one.gemm_time(model::Precision::F32, big, big, big));
+}
+
+TEST(Profiles, DawnCpuDropAt629) {
+  // Fig. 2's CPU drop: achieved GFLOP/s at 640 is well below 620's.
+  const auto cpu = dawn().cpu;
+  const double before = cpu.gemm_gflops(model::Precision::F32, 620, 620, 620);
+  const double after = cpu.gemm_gflops(model::Precision::F32, 640, 640, 640);
+  EXPECT_LT(after, 0.7 * before);
+}
+
+TEST(Profiles, DawnDgemvDropIsF64Only) {
+  const auto cpu = dawn().cpu;
+  const double f64_before =
+      cpu.gemv_gflops(model::Precision::F64, 2800, 2800);
+  const double f64_after = cpu.gemv_gflops(model::Precision::F64, 3600, 3600);
+  EXPECT_LT(f64_after, f64_before);
+  const double f32_before =
+      cpu.gemv_gflops(model::Precision::F32, 2800, 2800);
+  const double f32_after = cpu.gemv_gflops(model::Precision::F32, 3600, 3600);
+  EXPECT_GE(f32_after, 0.99 * f32_before);
+}
+
+TEST(Profiles, GpuPeaksAreOrdered) {
+  // H100-class > MI250X GCD and PVC tile for fp64 throughput.
+  EXPECT_GT(isambard_ai().gpu.peak_gflops_f64, dawn().gpu.peak_gflops_f64);
+  EXPECT_GT(isambard_ai().gpu.hbm_bw_gbs, lumi().gpu.hbm_bw_gbs);
+}
+
+}  // namespace

@@ -1,0 +1,374 @@
+// Unit tests for the util module: formatting, RNG, statistics, CSV,
+// tables, CLI parsing, timers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strfmt.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace blob::util;
+
+// ---------------------------------------------------------------- strfmt
+
+TEST(Strfmt, FormatsBasicTypes) {
+  EXPECT_EQ(strfmt("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("%s!", "hello"), "hello!");
+}
+
+TEST(Strfmt, EmptyAndLongStrings) {
+  EXPECT_EQ(strfmt("%s", ""), "");
+  const std::string long_input(10000, 'x');
+  EXPECT_EQ(strfmt("%s", long_input.c_str()), long_input);
+}
+
+TEST(Strfmt, PrettyBytes) {
+  EXPECT_EQ(pretty_bytes(512), "512 B");
+  EXPECT_EQ(pretty_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(pretty_bytes(3.5 * 1048576.0), "3.50 MiB");
+  EXPECT_EQ(pretty_bytes(1024.0 * 1024 * 1024), "1.00 GiB");
+}
+
+TEST(Strfmt, PrettySeconds) {
+  EXPECT_EQ(pretty_seconds(2.5), "2.500 s");
+  EXPECT_EQ(pretty_seconds(1.5e-3), "1.500 ms");
+  EXPECT_EQ(pretty_seconds(12e-6), "12.000 us");
+  EXPECT_EQ(pretty_seconds(5e-9), "5.0 ns");
+}
+
+TEST(Strfmt, PrettyDoubleTrimsZeros) {
+  EXPECT_EQ(pretty_double(1.5), "1.5");
+  EXPECT_EQ(pretty_double(2.0), "2");
+}
+
+// ------------------------------------------------------------------- rng
+
+TEST(Rng, SplitMixIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Xoshiro256 rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 7);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 0;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments) {
+  Xoshiro256 rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, LognormalFactorMedianNearOne) {
+  Xoshiro256 rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 10001; ++i) xs.push_back(rng.lognormal_factor(0.2));
+  EXPECT_NEAR(median(xs), 1.0, 0.03);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(Rng, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(fnv1a("dawn"), fnv1a("lumi"));
+  EXPECT_EQ(fnv1a("dawn"), fnv1a("dawn"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+// ----------------------------------------------------------------- stats
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, RunningStatsEmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, SummaryMedianEvenOdd) {
+  const std::vector<double> odd = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 15.0);
+}
+
+TEST(Stats, PercentileEmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Stats, GeomeanBasics) {
+  const std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_THROW(geomean(std::vector<double>{1.0, -2.0}),
+               std::invalid_argument);
+}
+
+TEST(Stats, SummaryCi95ShrinksWithSamples) {
+  std::vector<double> small_sample;
+  std::vector<double> large_sample;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10; ++i) small_sample.push_back(rng.normal());
+  for (int i = 0; i < 1000; ++i) large_sample.push_back(rng.normal());
+  EXPECT_GT(summarize(small_sample).ci95_halfwidth,
+            summarize(large_sample).ci95_halfwidth);
+}
+
+// ------------------------------------------------------------------- csv
+
+TEST(Csv, EscapeOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WriterProducesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"a", "b"});
+  writer.row({"1", "2"});
+  writer.row({"x,y", "3"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n\"x,y\",3\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(Csv, WriterRejectsBadWidths) {
+  std::ostringstream out;
+  CsvWriter writer(out, {"a", "b"});
+  EXPECT_THROW(writer.row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(CsvWriter(out, {}), std::invalid_argument);
+}
+
+TEST(Csv, ParseLineRoundTrip) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with \"quotes\"", ""};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) line += ',';
+    line += csv_escape(fields[i]);
+  }
+  EXPECT_EQ(csv_parse_line(line), fields);
+}
+
+TEST(Csv, ParseToleratesCrlf) {
+  const auto fields = csv_parse_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"name", "value"}, {Align::Left, Align::Right});
+  t.row({"x", "1"});
+  t.row({"longer", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| x      |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| longer |    22 |"), std::string::npos);
+}
+
+TEST(Table, PadsShortRowsRejectsWide) {
+  TextTable t({"a", "b", "c"});
+  t.row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_THROW(t.row({"1", "2", "3", "4"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Table, RuleInsertsSeparator) {
+  TextTable t({"a"});
+  t.row({"1"});
+  t.rule();
+  t.row({"2"});
+  const std::string out = t.str();
+  // header rule + top + bottom + inserted = 4 horizontal lines
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = out.find("+---", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+// ------------------------------------------------------------------- cli
+
+TEST(Cli, ParsesTypedOptions) {
+  ArgParser p("prog");
+  p.add_int("-i", "iters", 1);
+  p.add_double("--noise", "sigma", 0.5);
+  p.add_string("--system", "sys", "dawn");
+  p.add_flag("--validate", "check");
+  const char* argv[] = {"prog", "-i",       "32",        "--noise",
+                        "0.25", "--system", "lumi",      "--validate",
+                        "pos1"};
+  const auto positional = p.parse(9, argv);
+  EXPECT_EQ(p.get_int("-i"), 32);
+  EXPECT_DOUBLE_EQ(p.get_double("--noise"), 0.25);
+  EXPECT_EQ(p.get_string("--system"), "lumi");
+  EXPECT_TRUE(p.get_flag("--validate"));
+  ASSERT_EQ(positional.size(), 1u);
+  EXPECT_EQ(positional[0], "pos1");
+  EXPECT_TRUE(p.was_set("-i"));
+  EXPECT_FALSE(p.was_set("--missing-not-declared"));
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+  ArgParser p("prog");
+  p.add_int("-i", "iters", 7);
+  p.add_string("--s", "str", "dft");
+  const char* argv[] = {"prog"};
+  p.parse(1, argv);
+  EXPECT_EQ(p.get_int("-i"), 7);
+  EXPECT_EQ(p.get_string("--s"), "dft");
+  EXPECT_FALSE(p.was_set("-i"));
+}
+
+TEST(Cli, RejectsMalformedInput) {
+  ArgParser p("prog");
+  p.add_int("-i", "iters", 1);
+  {
+    const char* argv[] = {"prog", "-i", "abc"};
+    EXPECT_THROW(p.parse(3, argv), ArgParser::ArgError);
+  }
+  {
+    const char* argv[] = {"prog", "-i"};
+    EXPECT_THROW(p.parse(2, argv), ArgParser::ArgError);
+  }
+  {
+    const char* argv[] = {"prog", "--unknown-option"};
+    EXPECT_THROW(p.parse(2, argv), ArgParser::ArgError);
+  }
+}
+
+TEST(Cli, HelpAndUsage) {
+  ArgParser p("prog");
+  p.add_int("-i", "iteration count", 1);
+  const char* argv[] = {"prog", "--help"};
+  p.parse(2, argv);
+  EXPECT_TRUE(p.help_requested());
+  const std::string usage = p.usage();
+  EXPECT_NE(usage.find("-i <int>"), std::string::npos);
+  EXPECT_NE(usage.find("iteration count"), std::string::npos);
+}
+
+TEST(Cli, NegativeNumbersArePositional) {
+  ArgParser p("prog");
+  p.add_int("-i", "iters", 1);
+  const char* argv[] = {"prog", "-3.5"};
+  const auto positional = p.parse(2, argv);
+  ASSERT_EQ(positional.size(), 1u);
+  EXPECT_EQ(positional[0], "-3.5");
+}
+
+// ----------------------------------------------------------------- timer
+
+TEST(Timer, SimClockAdvances) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  clock.advance(-1.0);  // negative is ignored
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance_to(1.0);  // backwards is ignored
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance_to(4.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 4.0);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(Timer, WallTimerIsMonotone) {
+  WallTimer t;
+  const double a = t.elapsed_seconds();
+  const double b = t.elapsed_seconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+// ------------------------------------------------------------------- log
+
+TEST(Log, LevelFiltering) {
+  const LogLevel old = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  log_debug("should be dropped (not crash)");
+  log_error("visible at error level");
+  set_log_level(old);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// JSON writer and run-manifest tests.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "core/manifest.hpp"
+#include "sysprofile/profile.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace blob;
+using util::JsonWriter;
+
+TEST(Json, EscapesSpecialCharacters) {
+  EXPECT_EQ(util::json_escape("plain"), "plain");
+  EXPECT_EQ(util::json_escape("quote\"back\\slash"),
+            "quote\\\"back\\\\slash");
+  EXPECT_EQ(util::json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(util::json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, WritesNestedStructures) {
+  std::ostringstream out;
+  JsonWriter json(out, /*pretty=*/false);
+  json.begin_object();
+  json.kv("name", "blob");
+  json.kv("count", 42);
+  json.kv("ratio", 0.5);
+  json.kv("flag", true);
+  json.key("list").begin_array();
+  json.value(1).value(2).value(3);
+  json.end_array();
+  json.key("nested").begin_object();
+  json.key("inner").null();
+  json.end_object();
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"blob\",\"count\":42,\"ratio\":0.5,"
+            "\"flag\":true,\"list\":[1,2,3],\"nested\":"
+            "{\"inner\":null}}");
+}
+
+TEST(Json, PrettyOutputIndents) {
+  std::ostringstream out;
+  JsonWriter json(out, /*pretty=*/true);
+  json.begin_object();
+  json.kv("a", 1);
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(Json, EmptyContainers) {
+  std::ostringstream out;
+  JsonWriter json(out, false);
+  json.begin_object();
+  json.key("empty_array").begin_array().end_array();
+  json.key("empty_object").begin_object().end_object();
+  json.end_object();
+  EXPECT_EQ(out.str(), "{\"empty_array\":[],\"empty_object\":{}}");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  std::ostringstream out;
+  JsonWriter json(out, false);
+  json.begin_array();
+  json.value(std::numeric_limits<double>::infinity());
+  json.value(std::nan(""));
+  json.end_array();
+  EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(Json, MisuseThrows) {
+  {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.begin_object();
+    EXPECT_THROW(json.value(1), std::logic_error);  // value without key
+  }
+  {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.begin_array();
+    EXPECT_THROW(json.key("k"), std::logic_error);  // key inside array
+    EXPECT_THROW(json.end_object(), std::logic_error);
+  }
+  {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.value(1);
+    EXPECT_THROW(json.value(2), std::logic_error);  // two top-level values
+  }
+}
+
+TEST(Manifest, DumpsFullSystemParameterisation) {
+  std::ostringstream out;
+  core::SweepConfig cfg;
+  cfg.iterations = 8;
+  cfg.batch = 4;
+  core::write_run_manifest(out, profile::lumi(), cfg,
+                           {"gemm_square", "gemv_square"});
+  const std::string json = out.str();
+  // Spot-check the load-bearing facts.
+  EXPECT_NE(json.find("\"name\": \"lumi\""), std::string::npos);
+  EXPECT_NE(json.find("\"gemv_parallel\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"batch\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"gemm_square\""), std::string::npos);
+  EXPECT_NE(json.find("\"usm_kernel_overhead_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"step-up-at\""), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace

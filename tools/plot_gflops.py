@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Plot GFLOP/s curves from gpu-blob CSV output.
+
+The C++ analogue of the artifact's createGflopsGraphs.py. Reads one or
+more CSVs produced by `gpu-blob --csv-dir` (a combined file, or split
+CPU-only + GPU-only files which are merged by problem size, as the
+paper's LUMI workflow requires) and renders one performance curve per
+device/transfer series.
+
+With matplotlib available a PNG is written next to the first input;
+without it, an ASCII plot is printed so the tool works on bare clusters.
+
+Usage:
+  tools/plot_gflops.py out/gemm_square_f32_i8.csv [more.csv ...] [-o plot.png]
+"""
+
+import argparse
+import csv
+import os
+import sys
+from collections import defaultdict
+
+
+def read_series(paths):
+    """-> {(device, transfer): [(s, gflops)]}, sorted by s."""
+    series = defaultdict(dict)
+    meta = None
+    for path in paths:
+        with open(path, newline="") as handle:
+            for row in csv.DictReader(handle):
+                key = (row["device"], row["transfer"])
+                s = int(row["s"])
+                series[key][s] = float(row["gflops"])
+                meta = (row["problem_type"], row["precision"],
+                        row["iterations"])
+    out = {}
+    for key, points in series.items():
+        out[key] = sorted(points.items())
+    return out, meta
+
+
+def label(key):
+    device, transfer = key
+    return device if device == "cpu" else f"gpu-{transfer}"
+
+
+def ascii_plot(series, meta, width=72, height=20):
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        print("no data", file=sys.stderr)
+        return
+    max_s = max(s for s, _ in points)
+    max_g = max(g for _, g in points) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "cOAU*"
+    keys = sorted(series)
+    for idx, key in enumerate(keys):
+        mark = marks[idx % len(marks)]
+        for s, g in series[key]:
+            x = min(width - 1, int(s / max_s * (width - 1)))
+            y = min(height - 1, int(g / max_g * (height - 1)))
+            grid[height - 1 - y][x] = mark
+    title = "problem=%s precision=%s iterations=%s" % meta
+    print(title)
+    print(f"GFLOP/s (max {max_g:.1f})")
+    for line in grid:
+        print("|" + "".join(line))
+    print("+" + "-" * width)
+    print(f"size 0 .. {max_s}")
+    for idx, key in enumerate(keys):
+        print(f"  {marks[idx % len(marks)]} = {label(key)}")
+
+
+def matplotlib_plot(series, meta, output):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, ax = plt.subplots(figsize=(8, 5))
+    for key in sorted(series):
+        xs = [s for s, _ in series[key]]
+        ys = [g for _, g in series[key]]
+        ax.plot(xs, ys, label=label(key), linewidth=1.5)
+    ax.set_xlabel("problem size (swept dimension)")
+    ax.set_ylabel("GFLOP/s")
+    ax.set_title("problem=%s precision=%s iterations=%s" % meta)
+    ax.legend()
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(output, dpi=130)
+    print(f"wrote {output}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv", nargs="+", help="gpu-blob CSV file(s)")
+    parser.add_argument("-o", "--output", help="output PNG path")
+    args = parser.parse_args()
+
+    series, meta = read_series(args.csv)
+    if not series:
+        print("no rows found", file=sys.stderr)
+        return 1
+
+    output = args.output or os.path.splitext(args.csv[0])[0] + ".png"
+    try:
+        matplotlib_plot(series, meta, output)
+    except ImportError:
+        ascii_plot(series, meta)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
