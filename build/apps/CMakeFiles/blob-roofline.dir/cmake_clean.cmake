@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob-roofline.dir/blob_roofline_main.cpp.o"
+  "CMakeFiles/blob-roofline.dir/blob_roofline_main.cpp.o.d"
+  "blob-roofline"
+  "blob-roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob-roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

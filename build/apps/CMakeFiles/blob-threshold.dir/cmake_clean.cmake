@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob-threshold.dir/blob_threshold_main.cpp.o"
+  "CMakeFiles/blob-threshold.dir/blob_threshold_main.cpp.o.d"
+  "blob-threshold"
+  "blob-threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob-threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

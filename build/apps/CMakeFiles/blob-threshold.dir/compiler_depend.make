@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for blob-threshold.
+# This may be replaced when dependencies are built.

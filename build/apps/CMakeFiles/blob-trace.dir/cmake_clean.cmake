@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob-trace.dir/blob_trace_main.cpp.o"
+  "CMakeFiles/blob-trace.dir/blob_trace_main.cpp.o.d"
+  "blob-trace"
+  "blob-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

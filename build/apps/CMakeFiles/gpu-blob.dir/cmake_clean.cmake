@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu-blob.dir/gpu_blob_main.cpp.o"
+  "CMakeFiles/gpu-blob.dir/gpu_blob_main.cpp.o.d"
+  "gpu-blob"
+  "gpu-blob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu-blob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_launch_latency.dir/ablation_launch_latency.cpp.o"
+  "CMakeFiles/ablation_launch_latency.dir/ablation_launch_latency.cpp.o.d"
+  "ablation_launch_latency"
+  "ablation_launch_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_launch_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

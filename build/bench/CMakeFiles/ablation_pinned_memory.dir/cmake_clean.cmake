@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pinned_memory.dir/ablation_pinned_memory.cpp.o"
+  "CMakeFiles/ablation_pinned_memory.dir/ablation_pinned_memory.cpp.o.d"
+  "ablation_pinned_memory"
+  "ablation_pinned_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pinned_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_threshold_noise.dir/ablation_threshold_noise.cpp.o"
+  "CMakeFiles/ablation_threshold_noise.dir/ablation_threshold_noise.cpp.o.d"
+  "ablation_threshold_noise"
+  "ablation_threshold_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threshold_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

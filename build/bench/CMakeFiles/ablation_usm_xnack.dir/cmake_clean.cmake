@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_usm_xnack.dir/ablation_usm_xnack.cpp.o"
+  "CMakeFiles/ablation_usm_xnack.dir/ablation_usm_xnack.cpp.o.d"
+  "ablation_usm_xnack"
+  "ablation_usm_xnack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_usm_xnack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

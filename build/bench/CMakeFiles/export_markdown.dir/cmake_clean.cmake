@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_markdown.dir/export_markdown.cpp.o"
+  "CMakeFiles/export_markdown.dir/export_markdown.cpp.o.d"
+  "export_markdown"
+  "export_markdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_markdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

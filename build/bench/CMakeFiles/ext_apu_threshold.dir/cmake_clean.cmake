@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_apu_threshold.dir/ext_apu_threshold.cpp.o"
+  "CMakeFiles/ext_apu_threshold.dir/ext_apu_threshold.cpp.o.d"
+  "ext_apu_threshold"
+  "ext_apu_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_apu_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_batched_threshold.dir/ext_batched_threshold.cpp.o"
+  "CMakeFiles/ext_batched_threshold.dir/ext_batched_threshold.cpp.o.d"
+  "ext_batched_threshold"
+  "ext_batched_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_batched_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_energy_threshold.dir/ext_energy_threshold.cpp.o"
+  "CMakeFiles/ext_energy_threshold.dir/ext_energy_threshold.cpp.o.d"
+  "ext_energy_threshold"
+  "ext_energy_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_energy_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

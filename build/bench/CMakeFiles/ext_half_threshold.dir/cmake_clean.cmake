@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_half_threshold.dir/ext_half_threshold.cpp.o"
+  "CMakeFiles/ext_half_threshold.dir/ext_half_threshold.cpp.o.d"
+  "ext_half_threshold"
+  "ext_half_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_half_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

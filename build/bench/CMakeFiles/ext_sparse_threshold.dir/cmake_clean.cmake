@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sparse_threshold.dir/ext_sparse_threshold.cpp.o"
+  "CMakeFiles/ext_sparse_threshold.dir/ext_sparse_threshold.cpp.o.d"
+  "ext_sparse_threshold"
+  "ext_sparse_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sparse_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

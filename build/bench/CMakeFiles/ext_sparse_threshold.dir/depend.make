@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_sparse_threshold.
+# This may be replaced when dependencies are built.

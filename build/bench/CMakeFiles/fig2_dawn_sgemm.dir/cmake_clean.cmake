@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dawn_sgemm.dir/fig2_dawn_sgemm.cpp.o"
+  "CMakeFiles/fig2_dawn_sgemm.dir/fig2_dawn_sgemm.cpp.o.d"
+  "fig2_dawn_sgemm"
+  "fig2_dawn_sgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dawn_sgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

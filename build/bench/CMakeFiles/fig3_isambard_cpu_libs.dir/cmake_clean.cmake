@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_isambard_cpu_libs.dir/fig3_isambard_cpu_libs.cpp.o"
+  "CMakeFiles/fig3_isambard_cpu_libs.dir/fig3_isambard_cpu_libs.cpp.o.d"
+  "fig3_isambard_cpu_libs"
+  "fig3_isambard_cpu_libs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_isambard_cpu_libs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dgemv_1iter.dir/fig4_dgemv_1iter.cpp.o"
+  "CMakeFiles/fig4_dgemv_1iter.dir/fig4_dgemv_1iter.cpp.o.d"
+  "fig4_dgemv_1iter"
+  "fig4_dgemv_1iter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dgemv_1iter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

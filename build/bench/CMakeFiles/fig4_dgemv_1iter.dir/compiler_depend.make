@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_dgemv_1iter.
+# This may be replaced when dependencies are built.

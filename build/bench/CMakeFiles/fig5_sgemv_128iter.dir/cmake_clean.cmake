@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sgemv_128iter.dir/fig5_sgemv_128iter.cpp.o"
+  "CMakeFiles/fig5_sgemv_128iter.dir/fig5_sgemv_128iter.cpp.o.d"
+  "fig5_sgemv_128iter"
+  "fig5_sgemv_128iter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sgemv_128iter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

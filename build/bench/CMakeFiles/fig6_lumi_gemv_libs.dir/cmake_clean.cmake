@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_lumi_gemv_libs.dir/fig6_lumi_gemv_libs.cpp.o"
+  "CMakeFiles/fig6_lumi_gemv_libs.dir/fig6_lumi_gemv_libs.cpp.o.d"
+  "fig6_lumi_gemv_libs"
+  "fig6_lumi_gemv_libs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_lumi_gemv_libs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

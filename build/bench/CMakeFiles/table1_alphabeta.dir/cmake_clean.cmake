@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_alphabeta.dir/table1_alphabeta.cpp.o"
+  "CMakeFiles/table1_alphabeta.dir/table1_alphabeta.cpp.o.d"
+  "table1_alphabeta"
+  "table1_alphabeta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_alphabeta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_square_gemm.dir/table3_square_gemm.cpp.o"
+  "CMakeFiles/table3_square_gemm.dir/table3_square_gemm.cpp.o.d"
+  "table3_square_gemm"
+  "table3_square_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_square_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_square_gemv.dir/table4_square_gemv.cpp.o"
+  "CMakeFiles/table4_square_gemv.dir/table4_square_gemv.cpp.o.d"
+  "table4_square_gemv"
+  "table4_square_gemv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_square_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

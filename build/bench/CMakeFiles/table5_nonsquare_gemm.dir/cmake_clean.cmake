@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_nonsquare_gemm.dir/table5_nonsquare_gemm.cpp.o"
+  "CMakeFiles/table5_nonsquare_gemm.dir/table5_nonsquare_gemm.cpp.o.d"
+  "table5_nonsquare_gemm"
+  "table5_nonsquare_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_nonsquare_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

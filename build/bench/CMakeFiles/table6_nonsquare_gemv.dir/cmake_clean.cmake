@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_nonsquare_gemv.dir/table6_nonsquare_gemv.cpp.o"
+  "CMakeFiles/table6_nonsquare_gemv.dir/table6_nonsquare_gemv.cpp.o.d"
+  "table6_nonsquare_gemv"
+  "table6_nonsquare_gemv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_nonsquare_gemv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_nonsquare_gemv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/conjugate_gradient.cpp" "examples/CMakeFiles/conjugate_gradient.dir/conjugate_gradient.cpp.o" "gcc" "examples/CMakeFiles/conjugate_gradient.dir/conjugate_gradient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gpublob.dir/DependInfo.cmake"
+  "/root/repo/build/src/lapack/CMakeFiles/blob_lapack.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/blob_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/blob_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysprofile/CMakeFiles/blob_sysprofile.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/blob_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/blob_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/blob_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blob_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_comparison.dir/library_comparison.cpp.o"
+  "CMakeFiles/library_comparison.dir/library_comparison.cpp.o.d"
+  "library_comparison"
+  "library_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_forward.dir/nn_forward.cpp.o"
+  "CMakeFiles/nn_forward.dir/nn_forward.cpp.o.d"
+  "nn_forward"
+  "nn_forward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_forward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/autotune.cpp" "src/blas/CMakeFiles/blob_blas.dir/autotune.cpp.o" "gcc" "src/blas/CMakeFiles/blob_blas.dir/autotune.cpp.o.d"
+  "/root/repo/src/blas/batched.cpp" "src/blas/CMakeFiles/blob_blas.dir/batched.cpp.o" "gcc" "src/blas/CMakeFiles/blob_blas.dir/batched.cpp.o.d"
+  "/root/repo/src/blas/cblas.cpp" "src/blas/CMakeFiles/blob_blas.dir/cblas.cpp.o" "gcc" "src/blas/CMakeFiles/blob_blas.dir/cblas.cpp.o.d"
+  "/root/repo/src/blas/gemm.cpp" "src/blas/CMakeFiles/blob_blas.dir/gemm.cpp.o" "gcc" "src/blas/CMakeFiles/blob_blas.dir/gemm.cpp.o.d"
+  "/root/repo/src/blas/gemv.cpp" "src/blas/CMakeFiles/blob_blas.dir/gemv.cpp.o" "gcc" "src/blas/CMakeFiles/blob_blas.dir/gemv.cpp.o.d"
+  "/root/repo/src/blas/half_gemm.cpp" "src/blas/CMakeFiles/blob_blas.dir/half_gemm.cpp.o" "gcc" "src/blas/CMakeFiles/blob_blas.dir/half_gemm.cpp.o.d"
+  "/root/repo/src/blas/level1.cpp" "src/blas/CMakeFiles/blob_blas.dir/level1.cpp.o" "gcc" "src/blas/CMakeFiles/blob_blas.dir/level1.cpp.o.d"
+  "/root/repo/src/blas/level2.cpp" "src/blas/CMakeFiles/blob_blas.dir/level2.cpp.o" "gcc" "src/blas/CMakeFiles/blob_blas.dir/level2.cpp.o.d"
+  "/root/repo/src/blas/level3.cpp" "src/blas/CMakeFiles/blob_blas.dir/level3.cpp.o" "gcc" "src/blas/CMakeFiles/blob_blas.dir/level3.cpp.o.d"
+  "/root/repo/src/blas/library.cpp" "src/blas/CMakeFiles/blob_blas.dir/library.cpp.o" "gcc" "src/blas/CMakeFiles/blob_blas.dir/library.cpp.o.d"
+  "/root/repo/src/blas/types.cpp" "src/blas/CMakeFiles/blob_blas.dir/types.cpp.o" "gcc" "src/blas/CMakeFiles/blob_blas.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/blob_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blob_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

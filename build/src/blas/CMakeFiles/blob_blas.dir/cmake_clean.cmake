@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_blas.dir/autotune.cpp.o"
+  "CMakeFiles/blob_blas.dir/autotune.cpp.o.d"
+  "CMakeFiles/blob_blas.dir/batched.cpp.o"
+  "CMakeFiles/blob_blas.dir/batched.cpp.o.d"
+  "CMakeFiles/blob_blas.dir/cblas.cpp.o"
+  "CMakeFiles/blob_blas.dir/cblas.cpp.o.d"
+  "CMakeFiles/blob_blas.dir/gemm.cpp.o"
+  "CMakeFiles/blob_blas.dir/gemm.cpp.o.d"
+  "CMakeFiles/blob_blas.dir/gemv.cpp.o"
+  "CMakeFiles/blob_blas.dir/gemv.cpp.o.d"
+  "CMakeFiles/blob_blas.dir/half_gemm.cpp.o"
+  "CMakeFiles/blob_blas.dir/half_gemm.cpp.o.d"
+  "CMakeFiles/blob_blas.dir/level1.cpp.o"
+  "CMakeFiles/blob_blas.dir/level1.cpp.o.d"
+  "CMakeFiles/blob_blas.dir/level2.cpp.o"
+  "CMakeFiles/blob_blas.dir/level2.cpp.o.d"
+  "CMakeFiles/blob_blas.dir/level3.cpp.o"
+  "CMakeFiles/blob_blas.dir/level3.cpp.o.d"
+  "CMakeFiles/blob_blas.dir/library.cpp.o"
+  "CMakeFiles/blob_blas.dir/library.cpp.o.d"
+  "CMakeFiles/blob_blas.dir/types.cpp.o"
+  "CMakeFiles/blob_blas.dir/types.cpp.o.d"
+  "libblob_blas.a"
+  "libblob_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

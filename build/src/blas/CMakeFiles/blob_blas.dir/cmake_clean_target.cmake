@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libblob_blas.a"
+)

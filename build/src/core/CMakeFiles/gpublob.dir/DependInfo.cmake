@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/gpublob.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/backend.cpp" "src/core/CMakeFiles/gpublob.dir/backend.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/backend.cpp.o.d"
+  "/root/repo/src/core/energy.cpp" "src/core/CMakeFiles/gpublob.dir/energy.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/energy.cpp.o.d"
+  "/root/repo/src/core/flops.cpp" "src/core/CMakeFiles/gpublob.dir/flops.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/flops.cpp.o.d"
+  "/root/repo/src/core/host_backend.cpp" "src/core/CMakeFiles/gpublob.dir/host_backend.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/host_backend.cpp.o.d"
+  "/root/repo/src/core/hybrid_backend.cpp" "src/core/CMakeFiles/gpublob.dir/hybrid_backend.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/hybrid_backend.cpp.o.d"
+  "/root/repo/src/core/manifest.cpp" "src/core/CMakeFiles/gpublob.dir/manifest.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/manifest.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/gpublob.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/problem.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/gpublob.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/report.cpp.o.d"
+  "/root/repo/src/core/sim_backend.cpp" "src/core/CMakeFiles/gpublob.dir/sim_backend.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/sim_backend.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/gpublob.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/threshold.cpp" "src/core/CMakeFiles/gpublob.dir/threshold.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/threshold.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/gpublob.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/gpublob.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blas/CMakeFiles/blob_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgpu/CMakeFiles/blob_simgpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/blob_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysprofile/CMakeFiles/blob_sysprofile.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blob_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/blob_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpublob.dir/advisor.cpp.o"
+  "CMakeFiles/gpublob.dir/advisor.cpp.o.d"
+  "CMakeFiles/gpublob.dir/backend.cpp.o"
+  "CMakeFiles/gpublob.dir/backend.cpp.o.d"
+  "CMakeFiles/gpublob.dir/energy.cpp.o"
+  "CMakeFiles/gpublob.dir/energy.cpp.o.d"
+  "CMakeFiles/gpublob.dir/flops.cpp.o"
+  "CMakeFiles/gpublob.dir/flops.cpp.o.d"
+  "CMakeFiles/gpublob.dir/host_backend.cpp.o"
+  "CMakeFiles/gpublob.dir/host_backend.cpp.o.d"
+  "CMakeFiles/gpublob.dir/hybrid_backend.cpp.o"
+  "CMakeFiles/gpublob.dir/hybrid_backend.cpp.o.d"
+  "CMakeFiles/gpublob.dir/manifest.cpp.o"
+  "CMakeFiles/gpublob.dir/manifest.cpp.o.d"
+  "CMakeFiles/gpublob.dir/problem.cpp.o"
+  "CMakeFiles/gpublob.dir/problem.cpp.o.d"
+  "CMakeFiles/gpublob.dir/report.cpp.o"
+  "CMakeFiles/gpublob.dir/report.cpp.o.d"
+  "CMakeFiles/gpublob.dir/sim_backend.cpp.o"
+  "CMakeFiles/gpublob.dir/sim_backend.cpp.o.d"
+  "CMakeFiles/gpublob.dir/sweep.cpp.o"
+  "CMakeFiles/gpublob.dir/sweep.cpp.o.d"
+  "CMakeFiles/gpublob.dir/threshold.cpp.o"
+  "CMakeFiles/gpublob.dir/threshold.cpp.o.d"
+  "CMakeFiles/gpublob.dir/validate.cpp.o"
+  "CMakeFiles/gpublob.dir/validate.cpp.o.d"
+  "libgpublob.a"
+  "libgpublob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpublob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lapack/geqrf.cpp" "src/lapack/CMakeFiles/blob_lapack.dir/geqrf.cpp.o" "gcc" "src/lapack/CMakeFiles/blob_lapack.dir/geqrf.cpp.o.d"
+  "/root/repo/src/lapack/getrf.cpp" "src/lapack/CMakeFiles/blob_lapack.dir/getrf.cpp.o" "gcc" "src/lapack/CMakeFiles/blob_lapack.dir/getrf.cpp.o.d"
+  "/root/repo/src/lapack/potrf.cpp" "src/lapack/CMakeFiles/blob_lapack.dir/potrf.cpp.o" "gcc" "src/lapack/CMakeFiles/blob_lapack.dir/potrf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blas/CMakeFiles/blob_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/blob_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blob_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_lapack.dir/geqrf.cpp.o"
+  "CMakeFiles/blob_lapack.dir/geqrf.cpp.o.d"
+  "CMakeFiles/blob_lapack.dir/getrf.cpp.o"
+  "CMakeFiles/blob_lapack.dir/getrf.cpp.o.d"
+  "CMakeFiles/blob_lapack.dir/potrf.cpp.o"
+  "CMakeFiles/blob_lapack.dir/potrf.cpp.o.d"
+  "libblob_lapack.a"
+  "libblob_lapack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_lapack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

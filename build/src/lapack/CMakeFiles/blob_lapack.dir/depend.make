@@ -1,0 +1,2 @@
+# Empty dependencies file for blob_lapack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_parallel.dir/policy.cpp.o"
+  "CMakeFiles/blob_parallel.dir/policy.cpp.o.d"
+  "CMakeFiles/blob_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/blob_parallel.dir/thread_pool.cpp.o.d"
+  "libblob_parallel.a"
+  "libblob_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/cpu_model.cpp" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/cpu_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/perfmodel/curve.cpp" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/curve.cpp.o" "gcc" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/curve.cpp.o.d"
+  "/root/repo/src/perfmodel/gpu_model.cpp" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/gpu_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/gpu_model.cpp.o.d"
+  "/root/repo/src/perfmodel/link_model.cpp" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/link_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/link_model.cpp.o.d"
+  "/root/repo/src/perfmodel/noise.cpp" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/noise.cpp.o" "gcc" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/noise.cpp.o.d"
+  "/root/repo/src/perfmodel/quirk.cpp" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/quirk.cpp.o" "gcc" "src/perfmodel/CMakeFiles/blob_perfmodel.dir/quirk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/blob_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blob_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

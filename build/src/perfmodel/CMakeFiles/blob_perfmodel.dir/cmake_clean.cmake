@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_perfmodel.dir/cpu_model.cpp.o"
+  "CMakeFiles/blob_perfmodel.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/blob_perfmodel.dir/curve.cpp.o"
+  "CMakeFiles/blob_perfmodel.dir/curve.cpp.o.d"
+  "CMakeFiles/blob_perfmodel.dir/gpu_model.cpp.o"
+  "CMakeFiles/blob_perfmodel.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/blob_perfmodel.dir/link_model.cpp.o"
+  "CMakeFiles/blob_perfmodel.dir/link_model.cpp.o.d"
+  "CMakeFiles/blob_perfmodel.dir/noise.cpp.o"
+  "CMakeFiles/blob_perfmodel.dir/noise.cpp.o.d"
+  "CMakeFiles/blob_perfmodel.dir/quirk.cpp.o"
+  "CMakeFiles/blob_perfmodel.dir/quirk.cpp.o.d"
+  "libblob_perfmodel.a"
+  "libblob_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

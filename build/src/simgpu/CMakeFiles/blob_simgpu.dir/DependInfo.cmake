@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgpu/device.cpp" "src/simgpu/CMakeFiles/blob_simgpu.dir/device.cpp.o" "gcc" "src/simgpu/CMakeFiles/blob_simgpu.dir/device.cpp.o.d"
+  "/root/repo/src/simgpu/memory.cpp" "src/simgpu/CMakeFiles/blob_simgpu.dir/memory.cpp.o" "gcc" "src/simgpu/CMakeFiles/blob_simgpu.dir/memory.cpp.o.d"
+  "/root/repo/src/simgpu/stream.cpp" "src/simgpu/CMakeFiles/blob_simgpu.dir/stream.cpp.o" "gcc" "src/simgpu/CMakeFiles/blob_simgpu.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfmodel/CMakeFiles/blob_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/blob_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/blob_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/blob_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

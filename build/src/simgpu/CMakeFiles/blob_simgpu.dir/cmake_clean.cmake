@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_simgpu.dir/device.cpp.o"
+  "CMakeFiles/blob_simgpu.dir/device.cpp.o.d"
+  "CMakeFiles/blob_simgpu.dir/memory.cpp.o"
+  "CMakeFiles/blob_simgpu.dir/memory.cpp.o.d"
+  "CMakeFiles/blob_simgpu.dir/stream.cpp.o"
+  "CMakeFiles/blob_simgpu.dir/stream.cpp.o.d"
+  "libblob_simgpu.a"
+  "libblob_simgpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_simgpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

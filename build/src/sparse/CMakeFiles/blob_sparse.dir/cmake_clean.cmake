@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_sparse.dir/csr.cpp.o"
+  "CMakeFiles/blob_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/blob_sparse.dir/model.cpp.o"
+  "CMakeFiles/blob_sparse.dir/model.cpp.o.d"
+  "CMakeFiles/blob_sparse.dir/spmv.cpp.o"
+  "CMakeFiles/blob_sparse.dir/spmv.cpp.o.d"
+  "libblob_sparse.a"
+  "libblob_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

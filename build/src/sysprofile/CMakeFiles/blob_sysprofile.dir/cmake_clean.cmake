@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_sysprofile.dir/systems.cpp.o"
+  "CMakeFiles/blob_sysprofile.dir/systems.cpp.o.d"
+  "libblob_sysprofile.a"
+  "libblob_sysprofile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_sysprofile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

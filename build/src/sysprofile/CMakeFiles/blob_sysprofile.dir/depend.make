@@ -1,0 +1,2 @@
+# Empty dependencies file for blob_sysprofile.
+# This may be replaced when dependencies are built.

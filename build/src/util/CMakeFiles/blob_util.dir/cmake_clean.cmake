@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blob_util.dir/cli.cpp.o"
+  "CMakeFiles/blob_util.dir/cli.cpp.o.d"
+  "CMakeFiles/blob_util.dir/csv.cpp.o"
+  "CMakeFiles/blob_util.dir/csv.cpp.o.d"
+  "CMakeFiles/blob_util.dir/json.cpp.o"
+  "CMakeFiles/blob_util.dir/json.cpp.o.d"
+  "CMakeFiles/blob_util.dir/log.cpp.o"
+  "CMakeFiles/blob_util.dir/log.cpp.o.d"
+  "CMakeFiles/blob_util.dir/stats.cpp.o"
+  "CMakeFiles/blob_util.dir/stats.cpp.o.d"
+  "CMakeFiles/blob_util.dir/strfmt.cpp.o"
+  "CMakeFiles/blob_util.dir/strfmt.cpp.o.d"
+  "CMakeFiles/blob_util.dir/table.cpp.o"
+  "CMakeFiles/blob_util.dir/table.cpp.o.d"
+  "libblob_util.a"
+  "libblob_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blob_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_cblas.dir/test_blas_cblas.cpp.o"
+  "CMakeFiles/test_blas_cblas.dir/test_blas_cblas.cpp.o.d"
+  "test_blas_cblas"
+  "test_blas_cblas.pdb"
+  "test_blas_cblas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_cblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_pack.dir/test_blas_pack.cpp.o"
+  "CMakeFiles/test_blas_pack.dir/test_blas_pack.cpp.o.d"
+  "test_blas_pack"
+  "test_blas_pack.pdb"
+  "test_blas_pack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

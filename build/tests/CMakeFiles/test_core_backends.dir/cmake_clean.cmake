@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_backends.dir/test_core_backends.cpp.o"
+  "CMakeFiles/test_core_backends.dir/test_core_backends.cpp.o.d"
+  "test_core_backends"
+  "test_core_backends.pdb"
+  "test_core_backends[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

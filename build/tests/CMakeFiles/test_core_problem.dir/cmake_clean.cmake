@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_problem.dir/test_core_problem.cpp.o"
+  "CMakeFiles/test_core_problem.dir/test_core_problem.cpp.o.d"
+  "test_core_problem"
+  "test_core_problem.pdb"
+  "test_core_problem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

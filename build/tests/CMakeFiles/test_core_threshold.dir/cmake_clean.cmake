@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_threshold.dir/test_core_threshold.cpp.o"
+  "CMakeFiles/test_core_threshold.dir/test_core_threshold.cpp.o.d"
+  "test_core_threshold"
+  "test_core_threshold.pdb"
+  "test_core_threshold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_validate_advisor.dir/test_core_validate_advisor.cpp.o"
+  "CMakeFiles/test_core_validate_advisor.dir/test_core_validate_advisor.cpp.o.d"
+  "test_core_validate_advisor"
+  "test_core_validate_advisor.pdb"
+  "test_core_validate_advisor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_validate_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

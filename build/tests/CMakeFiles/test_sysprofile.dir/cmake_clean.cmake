@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysprofile.dir/test_sysprofile.cpp.o"
+  "CMakeFiles/test_sysprofile.dir/test_sysprofile.cpp.o.d"
+  "test_sysprofile"
+  "test_sysprofile.pdb"
+  "test_sysprofile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysprofile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
