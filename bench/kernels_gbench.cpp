@@ -2,9 +2,13 @@
 // (google-benchmark). These measure the library itself, not the
 // simulated systems; sizes are kept modest so the suite completes
 // quickly on small machines.
+//
+// scripts/bench_gemm.sh runs the GEMM subset and writes
+// artifacts/BENCH_gemm.json for cross-commit comparison.
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "blas/gemm.hpp"
@@ -14,6 +18,7 @@
 #include "sparse/spmv.hpp"
 #include "blas/gemv.hpp"
 #include "blas/level1.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -40,6 +45,31 @@ void BM_gemm(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+
+/// Collaborative-parallel GEMM over arbitrary (m, n, k, threads). The
+/// pool is built once and the first call outside the timing loop grows
+/// the packing arena, so iterations measure steady-state (zero-alloc)
+/// behaviour — the regime the offload-threshold sweeps run in.
+template <typename T>
+void BM_gemm_parallel(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const int k = static_cast<int>(state.range(2));
+  const auto threads = static_cast<std::size_t>(state.range(3));
+  parallel::ThreadPool pool(threads);
+  auto a = random_vec<T>(static_cast<std::size_t>(m) * k, 1);
+  auto b = random_vec<T>(static_cast<std::size_t>(k) * n, 2);
+  std::vector<T> c(static_cast<std::size_t>(m) * n, T(0));
+  blas::gemm(blas::Transpose::No, blas::Transpose::No, m, n, k, T(1),
+             a.data(), m, b.data(), k, T(0), c.data(), m, &pool,
+             threads);  // warm-up: size the arena outside the timed loop
+  for (auto _ : state) {
+    blas::gemm(blas::Transpose::No, blas::Transpose::No, m, n, k, T(1),
+               a.data(), m, b.data(), k, T(0), c.data(), m, &pool, threads);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * n * k);
 }
 
 template <typename T>
@@ -121,6 +151,20 @@ static void BM_getrf(benchmark::State& state) {
 
 BENCHMARK_TEMPLATE(BM_gemm, float)->Arg(64)->Arg(128)->Arg(256);
 BENCHMARK_TEMPLATE(BM_gemm, double)->Arg(64)->Arg(128)->Arg(256);
+// Args: {m, n, k, threads}. Square at 1/2/4 threads, then the shapes the
+// old N-split engine handled poorly: tall-skinny (huge m, tiny n — the
+// paper's GEMV-adjacent regime) and small-N panels.
+BENCHMARK_TEMPLATE(BM_gemm_parallel, double)
+    ->Args({512, 512, 512, 1})
+    ->Args({512, 512, 512, 2})
+    ->Args({512, 512, 512, 4})
+    ->Args({4096, 8, 512, 1})
+    ->Args({4096, 8, 512, 4})
+    ->Args({2048, 16, 256, 4})
+    ->Args({8192, 4, 128, 4});
+BENCHMARK_TEMPLATE(BM_gemm_parallel, float)
+    ->Args({512, 512, 512, 4})
+    ->Args({4096, 8, 512, 4});
 BENCHMARK_TEMPLATE(BM_gemv, float)->Arg(256)->Arg(1024);
 BENCHMARK_TEMPLATE(BM_gemv, double)->Arg(256)->Arg(1024);
 BENCHMARK_TEMPLATE(BM_dot, float)->Arg(1 << 16);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the GEMM micro-benchmarks (serial vs collaborative-parallel,
+# square / tall-skinny / small-N shapes) and emit a JSON report to
+# artifacts/BENCH_gemm.json for comparison across commits.
+#
+# Usage: scripts/bench_gemm.sh [build-dir]   (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+bench="$build_dir/bench/kernels_gbench"
+
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j --target kernels_gbench" >&2
+  exit 1
+fi
+
+out_dir="$repo_root/artifacts"
+mkdir -p "$out_dir"
+
+"$bench" \
+  --benchmark_filter='gemm' \
+  --benchmark_out="$out_dir/BENCH_gemm.json" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo "wrote $out_dir/BENCH_gemm.json"

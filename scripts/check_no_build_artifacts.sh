@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Guard against CMake byproducts being committed. PR 0 accidentally
+# tracked ~25k lines of build/ output; this test keeps it from
+# recurring. Run from ctest as repo.no_build_artifacts.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "not a git checkout; skipping build-artifact check"
+  exit 0
+fi
+
+tracked="$(git ls-files -- 'build/*' 'artifacts/BENCH_*' \
+  'CMakeCache.txt' '*/CMakeCache.txt' 'CMakeFiles/*' '*/CMakeFiles/*' \
+  '*.o' '*.a' 2>/dev/null)"
+
+if [ -n "$tracked" ]; then
+  echo "error: build artifacts are tracked in git:" >&2
+  echo "$tracked" | head -20 >&2
+  echo "(run: git rm -r --cached <paths> and commit)" >&2
+  exit 1
+fi
+
+echo "ok: no build artifacts tracked"

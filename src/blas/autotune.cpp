@@ -32,7 +32,16 @@ AutotuneResult autotune_blocking(int size, int repeats) {
   for (int mc : {64, 128, 256}) {
     for (int kc : {128, 256, 512}) {
       for (int nc : {512, 2048}) {
-        GemmBlocking candidate{mc, kc, nc};
+        GemmBlocking candidate;
+        candidate.mc = mc;
+        candidate.kc = kc;
+        candidate.nc = nc;
+        // Untimed warm-up: the first call under a bigger blocking grows
+        // the packing arena; we time only steady-state behaviour, the
+        // regime the library actually runs in.
+        gemm_serial(Transpose::No, Transpose::No, size, size, size, T(1),
+                    a.data(), size, b.data(), size, T(0), c.data(), size,
+                    candidate);
         double best_seconds = 0.0;
         for (int r = 0; r < repeats; ++r) {
           util::WallTimer timer;

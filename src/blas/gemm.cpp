@@ -1,12 +1,15 @@
 #include "blas/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <type_traits>
-#include <vector>
 
+#include "blas/gemm_stats.hpp"
 #include "blas/microkernel.hpp"
 #include "blas/microkernel_avx2.hpp"
 #include "blas/pack.hpp"
+#include "blas/pack_arena.hpp"
 
 namespace blob::blas {
 
@@ -44,66 +47,247 @@ void scale_c(int m, int n, T beta, T* c, int ldc) {
   }
 }
 
+/// Effective (MR/NR-rounded) cache blocking plus the arena footprint it
+/// implies.
+template <typename T>
+struct BlockGeometry {
+  int mc;
+  int kc;
+  int nc;
+
+  static BlockGeometry from(const GemmBlocking& blocking) {
+    constexpr int MR = RegisterBlocking<T>::MR;
+    constexpr int NR = RegisterBlocking<T>::NR;
+    return {std::max(MR, blocking.mc / MR * MR), std::max(1, blocking.kc),
+            std::max(NR, blocking.nc / NR * NR)};
+  }
+
+  [[nodiscard]] std::size_t a_panel_bytes() const {
+    constexpr int MR = RegisterBlocking<T>::MR;
+    return (static_cast<std::size_t>(mc) * kc + MR * 2) * sizeof(T);
+  }
+  [[nodiscard]] std::size_t b_panel_bytes() const {
+    constexpr int NR = RegisterBlocking<T>::NR;
+    return (static_cast<std::size_t>(kc) * nc + NR * 2) * sizeof(T);
+  }
+};
+
+/// Micro-kernel sweep: one packed MC x KC block of A against the packed B
+/// panels covering columns [jr_begin, jr_end) of the current macro-panel.
+/// `c` points at C(ic, jc). Kept out-of-line so the serial and threaded
+/// paths execute the same machine code and agree bitwise.
+template <typename T>
+[[gnu::noinline]] void micro_tile(int kc, T alpha, const T* packed_a,
+                                  const T* packed_b, T* c, int ldc, int mcur,
+                                  int nc, int jr_begin, int jr_end) {
+  constexpr int MR = RegisterBlocking<T>::MR;
+  constexpr int NR = RegisterBlocking<T>::NR;
+  for (int jr = jr_begin; jr < jr_end; jr += NR) {
+    const int nr = std::min(NR, nc - jr);
+    const T* b_panel = packed_b + static_cast<std::size_t>(jr / NR) *
+                                      (static_cast<std::size_t>(kc) * NR);
+    for (int ir = 0; ir < mcur; ir += MR) {
+      const int mr = std::min(MR, mcur - ir);
+      const T* a_panel = packed_a + static_cast<std::size_t>(ir / MR) *
+                                        (static_cast<std::size_t>(kc) * MR);
+      T* c_tile = c + ir + static_cast<std::size_t>(jr) * ldc;
+#if BLOB_HAVE_AVX2_MICROKERNEL
+      // Full tiles take the hand-vectorised path; edges fall back to the
+      // generic kernel.
+      if (mr == MR && nr == NR) {
+        if constexpr (std::is_same_v<T, float>) {
+          detail::micro_kernel_f32_8x8_avx2(kc, alpha, a_panel, b_panel,
+                                            c_tile, ldc,
+                                            /*accumulate=*/true);
+          continue;
+        } else if constexpr (std::is_same_v<T, double>) {
+          detail::micro_kernel_f64_8x4_avx2(kc, alpha, a_panel, b_panel,
+                                            c_tile, ldc,
+                                            /*accumulate=*/true);
+          continue;
+        }
+      }
+#endif
+      detail::micro_kernel<T, MR, NR>(kc, alpha, a_panel, b_panel, c_tile,
+                                      ldc, mr, nr,
+                                      /*accumulate=*/true);
+    }
+  }
+}
+
 /// Serial blocked GEMM over a C sub-view. C must already be beta-scaled;
-/// this routine only accumulates alpha * op(A) * op(B).
+/// this routine only accumulates alpha * op(A) * op(B). Packing buffers
+/// come from the thread-local arena, so repeated calls allocate nothing.
 template <typename T>
 void gemm_accumulate(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
                      const T* a, int lda, const T* b, int ldb, T* c, int ldc,
                      const GemmBlocking& blocking) {
   constexpr int MR = RegisterBlocking<T>::MR;
   constexpr int NR = RegisterBlocking<T>::NR;
-  const int mc = std::max(MR, blocking.mc / MR * MR);
-  const int kcb = std::max(1, blocking.kc);
-  const int ncb = std::max(NR, blocking.nc / NR * NR);
+  const auto geo = BlockGeometry<T>::from(blocking);
 
-  std::vector<T> packed_a(static_cast<std::size_t>(mc) * kcb + MR * 2);
-  std::vector<T> packed_b(static_cast<std::size_t>(kcb) * ncb + NR * 2);
+  PackArena& arena = PackArena::serial_arena();
+  arena.reserve(1, geo.a_panel_bytes(), geo.b_panel_bytes());
+  T* packed_a = arena.a_panel<T>(0);
+  T* packed_b = arena.b_panel<T>();
 
-  for (int jc = 0; jc < n; jc += ncb) {
-    const int nc = std::min(ncb, n - jc);
-    for (int pc = 0; pc < k; pc += kcb) {
-      const int kc = std::min(kcb, k - pc);
-      detail::pack_b<T, NR>(tb, b, ldb, pc, jc, kc, nc, packed_b.data());
-      for (int ic = 0; ic < m; ic += mc) {
-        const int mcur = std::min(mc, m - ic);
-        detail::pack_a<T, MR>(ta, a, lda, ic, pc, mcur, kc, packed_a.data());
-        for (int jr = 0; jr < nc; jr += NR) {
-          const int nr = std::min(NR, nc - jr);
-          const T* b_panel =
-              packed_b.data() +
-              static_cast<std::size_t>(jr / NR) * (kc * NR);
-          for (int ir = 0; ir < mcur; ir += MR) {
-            const int mr = std::min(MR, mcur - ir);
-            const T* a_panel =
-                packed_a.data() +
-                static_cast<std::size_t>(ir / MR) * (kc * MR);
-            T* c_tile = c + (ic + ir) +
-                        static_cast<std::size_t>(jc + jr) * ldc;
-#if BLOB_HAVE_AVX2_MICROKERNEL
-            // Full tiles take the hand-vectorised path; edges fall back
-            // to the generic kernel.
-            if (mr == MR && nr == NR) {
-              if constexpr (std::is_same_v<T, float>) {
-                detail::micro_kernel_f32_8x8_avx2(kc, alpha, a_panel,
-                                                  b_panel, c_tile, ldc,
-                                                  /*accumulate=*/true);
-                continue;
-              } else if constexpr (std::is_same_v<T, double>) {
-                detail::micro_kernel_f64_8x4_avx2(kc, alpha, a_panel,
-                                                  b_panel, c_tile, ldc,
-                                                  /*accumulate=*/true);
-                continue;
-              }
-            }
-#endif
-            detail::micro_kernel<T, MR, NR>(kc, alpha, a_panel, b_panel,
-                                            c_tile, ldc, mr, nr,
-                                            /*accumulate=*/true);
-          }
-        }
+  std::uint64_t b_macro = 0, a_blocks = 0, bytes_a = 0, bytes_b = 0;
+  for (int jc = 0; jc < n; jc += geo.nc) {
+    const int nc = std::min(geo.nc, n - jc);
+    for (int pc = 0; pc < k; pc += geo.kc) {
+      const int kc = std::min(geo.kc, k - pc);
+      detail::pack_b<T, NR>(tb, b, ldb, pc, jc, kc, nc, packed_b);
+      ++b_macro;
+      bytes_b += static_cast<std::uint64_t>((nc + NR - 1) / NR) * NR * kc *
+                 sizeof(T);
+      for (int ic = 0; ic < m; ic += geo.mc) {
+        const int mcur = std::min(geo.mc, m - ic);
+        detail::pack_a<T, MR>(ta, a, lda, ic, pc, mcur, kc, packed_a);
+        ++a_blocks;
+        bytes_a += static_cast<std::uint64_t>((mcur + MR - 1) / MR) * MR *
+                   kc * sizeof(T);
+        micro_tile(kc, alpha, packed_a, packed_b,
+                   c + ic + static_cast<std::size_t>(jc) * ldc, ldc, mcur,
+                   nc, 0, nc);
       }
     }
   }
+
+  auto& stats = detail::gemm_counters();
+  stats.b_macro_panels_packed.fetch_add(b_macro, std::memory_order_relaxed);
+  stats.a_blocks_packed.fetch_add(a_blocks, std::memory_order_relaxed);
+  stats.bytes_packed_a.fetch_add(bytes_a, std::memory_order_relaxed);
+  stats.bytes_packed_b.fetch_add(bytes_b, std::memory_order_relaxed);
+}
+
+/// BLIS-style collaborative threaded GEMM. One pinned region runs the
+/// whole call: per (jc, pc) macro-panel the workers pack disjoint slices
+/// of op(B) into the shared arena buffer, synchronise, then drain an
+/// atomic queue of (ic, jr) tiles, each packing op(A) blocks into its
+/// private arena buffer on demand. Requires alpha != 0 and k > 0.
+template <typename T>
+void gemm_parallel(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
+                   const T* a, int lda, const T* b, int ldb, T beta, T* c,
+                   int ldc, parallel::ThreadPool& pool, std::size_t threads,
+                   const BlockGeometry<T>& geo, int jr_tile_cols) {
+  constexpr int MR = RegisterBlocking<T>::MR;
+  constexpr int NR = RegisterBlocking<T>::NR;
+
+  // All allocation happens before the region starts: the region bodies
+  // synchronise on a barrier and therefore must not throw.
+  PackArena& arena = PackArena::for_pool(pool);
+  arena.reserve(threads, geo.a_panel_bytes(),
+                geo.b_panel_bytes());
+
+  const int num_ic = (m + geo.mc - 1) / geo.mc;
+  parallel::Barrier barrier(threads);
+  std::atomic<long long> next_tile{0};
+
+  auto& stats = detail::gemm_counters();
+  stats.parallel_calls.fetch_add(1, std::memory_order_relaxed);
+
+  pool.run_on_workers(threads, [&](std::size_t w) {
+    std::uint64_t a_blocks = 0, bytes_a = 0, bytes_b = 0;
+    std::uint64_t tiles_run = 0, stolen = 0, waits = 0;
+
+    // Beta-scale this worker's contiguous column stripe, then sync so no
+    // tile accumulates into unscaled C.
+    const int j0 = static_cast<int>(static_cast<long long>(n) * w / threads);
+    const int j1 =
+        static_cast<int>(static_cast<long long>(n) * (w + 1) / threads);
+    if (j1 > j0) {
+      scale_c(m, j1 - j0, beta, c + static_cast<std::size_t>(j0) * ldc, ldc);
+    }
+    barrier.arrive_and_wait();
+    ++waits;
+
+    T* packed_a = arena.a_panel<T>(w);
+    T* packed_b = arena.b_panel<T>();
+
+    // `claimed` may run ahead of the current macro-panel: the atomic
+    // counter is monotone over the whole call, so a worker that grabs a
+    // tile belonging to a later panel simply holds it across the barrier.
+    long long claimed = -1;
+    long long base = 0;
+    for (int jc = 0; jc < n; jc += geo.nc) {
+      const int nc = std::min(geo.nc, n - jc);
+      const int nr_panels = (nc + NR - 1) / NR;
+      const int num_jr = (nc + jr_tile_cols - 1) / jr_tile_cols;
+      const long long panel_tiles =
+          static_cast<long long>(num_ic) * num_jr;
+      for (int pc = 0; pc < k; pc += geo.kc) {
+        const int kc = std::min(geo.kc, k - pc);
+
+        // Collaborative pack: worker w fills NR-panels [pb0, pb1) of the
+        // shared B buffer; together the workers cover the macro-panel
+        // exactly once.
+        const int pb0 = static_cast<int>(
+            static_cast<long long>(nr_panels) * w / threads);
+        const int pb1 = static_cast<int>(
+            static_cast<long long>(nr_panels) * (w + 1) / threads);
+        if (pb1 > pb0) {
+          const int cols = std::min(nc - pb0 * NR, (pb1 - pb0) * NR);
+          detail::pack_b<T, NR>(
+              tb, b, ldb, pc, jc + pb0 * NR, kc, cols,
+              packed_b + static_cast<std::size_t>(pb0) *
+                             (static_cast<std::size_t>(kc) * NR));
+          bytes_b += static_cast<std::uint64_t>(pb1 - pb0) * kc * NR *
+                     sizeof(T);
+        }
+        barrier.arrive_and_wait();
+        ++waits;
+
+        // 2D (ic, jr) tile queue. Tiles are ordered ic-major so a
+        // worker's consecutive claims usually share an A block and skip
+        // the repack.
+        int packed_ic = -1;
+        for (;;) {
+          if (claimed < 0) {
+            claimed = next_tile.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (claimed >= base + panel_tiles) break;  // later panel: hold it
+          const long long t = claimed - base;
+          claimed = -1;
+          if (static_cast<std::size_t>(t % static_cast<long long>(threads)) !=
+              w) {
+            ++stolen;
+          }
+          const int ic_idx = static_cast<int>(t / num_jr);
+          const int ic = ic_idx * geo.mc;
+          const int mcur = std::min(geo.mc, m - ic);
+          if (ic_idx != packed_ic) {
+            detail::pack_a<T, MR>(ta, a, lda, ic, pc, mcur, kc, packed_a);
+            packed_ic = ic_idx;
+            ++a_blocks;
+            bytes_a += static_cast<std::uint64_t>((mcur + MR - 1) / MR) *
+                       MR * kc * sizeof(T);
+          }
+          const int jr_begin = static_cast<int>(t % num_jr) * jr_tile_cols;
+          const int jr_end = std::min(nc, jr_begin + jr_tile_cols);
+          micro_tile(kc, alpha, packed_a, packed_b,
+                     c + ic + static_cast<std::size_t>(jc) * ldc, ldc, mcur,
+                     nc, jr_begin, jr_end);
+          ++tiles_run;
+        }
+        // Every tile of this macro-panel is done before anyone repacks B.
+        barrier.arrive_and_wait();
+        ++waits;
+        base += panel_tiles;
+      }
+    }
+
+    stats.a_blocks_packed.fetch_add(a_blocks, std::memory_order_relaxed);
+    stats.bytes_packed_a.fetch_add(bytes_a, std::memory_order_relaxed);
+    stats.bytes_packed_b.fetch_add(bytes_b, std::memory_order_relaxed);
+    stats.tiles_executed.fetch_add(tiles_run, std::memory_order_relaxed);
+    stats.tiles_stolen.fetch_add(stolen, std::memory_order_relaxed);
+    stats.barrier_waits.fetch_add(waits, std::memory_order_relaxed);
+  });
+
+  const std::uint64_t num_jc = (n + geo.nc - 1) / geo.nc;
+  const std::uint64_t num_pc = (k + geo.kc - 1) / geo.kc;
+  stats.b_macro_panels_packed.fetch_add(num_jc * num_pc,
+                                        std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -114,6 +298,8 @@ void gemm_serial(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
                  int ldc, const GemmBlocking& blocking) {
   check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
   if (m == 0 || n == 0) return;
+  detail::gemm_counters().serial_calls.fetch_add(1,
+                                                 std::memory_order_relaxed);
   scale_c(m, n, beta, c, ldc);
   if (alpha == T(0) || k == 0) return;
   gemm_accumulate(ta, tb, m, n, k, alpha, a, lda, b, ldb, c, ldc, blocking);
@@ -127,30 +313,35 @@ void gemm(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
   check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
   if (m == 0 || n == 0) return;
 
-  const std::size_t threads =
+  const std::size_t max_threads =
       pool == nullptr ? 1 : std::min(num_threads, pool->size());
-  // Each worker needs a worthwhile N slice; tiny problems run serial.
-  constexpr int kMinColsPerThread = 8;
-  if (threads <= 1 || n < kMinColsPerThread * 2) {
+
+  constexpr int NR = RegisterBlocking<T>::NR;
+  const auto geo = BlockGeometry<T>::from(blocking);
+  const int jr_tile_cols =
+      std::max(1, blocking.partition.jr_panels_per_tile) * NR;
+
+  // Tile census of the first macro-panel: the parallel path needs enough
+  // (ic, jr) tiles to keep more than one worker busy. This routes
+  // tall-skinny problems (large M, tiny N) through the M-partitioned
+  // queue instead of falling back to one core like the old N-only split.
+  const long long num_ic = (m + geo.mc - 1) / geo.mc;
+  const long long num_jr =
+      (std::min(n, geo.nc) + jr_tile_cols - 1) / jr_tile_cols;
+  const long long first_panel_tiles = num_ic * num_jr;
+  const long long min_tiles =
+      std::max(2, blocking.partition.min_parallel_tiles);
+  const std::size_t threads = std::min(
+      max_threads, static_cast<std::size_t>(first_panel_tiles));
+
+  if (threads <= 1 || first_panel_tiles < min_tiles || alpha == T(0) ||
+      k == 0) {
     gemm_serial(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
                 blocking);
     return;
   }
-
-  pool->parallel_for(
-      0, static_cast<std::size_t>(n), kMinColsPerThread,
-      [&](std::size_t j_begin, std::size_t j_end, std::size_t /*worker*/) {
-        const int jb = static_cast<int>(j_begin);
-        const int nloc = static_cast<int>(j_end - j_begin);
-        // op(B) column slice: for NoTrans skip columns; for Trans the
-        // logical columns of op(B) are rows of B.
-        const T* b_slice =
-            tb == Transpose::No ? b + static_cast<std::size_t>(jb) * ldb
-                                : b + jb;
-        T* c_slice = c + static_cast<std::size_t>(jb) * ldc;
-        gemm_serial(ta, tb, m, nloc, k, alpha, a, lda, b_slice, ldb, beta,
-                    c_slice, ldc, blocking);
-      });
+  gemm_parallel(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, *pool,
+                threads, geo, jr_tile_cols);
 }
 
 template void gemm_serial<float>(Transpose, Transpose, int, int, int, float,

@@ -3,23 +3,49 @@
 //
 // C = alpha * op(A) * op(B) + beta * C, column major.
 //
-// Threading model: the N dimension is split into contiguous slices, one
-// per thread, and each thread runs the serial blocked kernel on its slice
-// (individual BLAS calls are not split across sockets in the paper's
-// methodology either, §IV). The thread count is supplied by the caller —
-// the library personality decides it (all-threads, single-thread, or
-// scaled with problem size, see parallel/policy.hpp).
+// Threading model (BLIS-style collaborative engine): all workers run one
+// pinned parallel region for the whole call. For each (jc, pc) macro-
+// panel they first pack disjoint slices of op(B) into a single shared,
+// cache-aligned buffer (so B is packed exactly once per macro-panel at
+// any thread count), synchronise on a barrier, then drain an atomic work
+// queue of (ic, jr) tiles — each worker packing op(A) blocks into its own
+// arena buffer on demand. The 2D tile queue parallelises tall-skinny
+// (large M, small N) and square problems alike; the old engine split only
+// N and collapsed to one core when N was small. Packing buffers live in a
+// per-pool PackArena and are reused across calls, so steady-state GEMM
+// performs zero heap allocations (see pack_arena.hpp, gemm_stats.hpp).
+//
+// The thread count is supplied by the caller — the library personality
+// decides it (all-threads, single-thread, or scaled with problem size,
+// see parallel/policy.hpp); the GemmPartition knobs below let the
+// personality also shape the M-vs-N split the way AOCL/oneMKL/NVPL do.
 
 #include "blas/types.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace blob::blas {
 
+/// Scheduler shape for the threaded engine. Vendor libraries differ in
+/// how they split the M and N loops across cores; personalities tune
+/// these (see library.cpp).
+struct GemmPartition {
+  /// Width of a scheduler tile in units of NR micro-panels. Small values
+  /// favour N-parallelism (NVPL-like fine column splits); large values
+  /// favour M-parallelism (BLIS/AOCL-like, where the JR loop is mostly
+  /// sequential and cores split the IC loop).
+  int jr_panels_per_tile = 4;
+  /// Minimum number of (ic, jr) tiles in the first macro-panel before the
+  /// parallel path engages; below this, fork/join costs more than it
+  /// saves. Clamped to >= 2.
+  int min_parallel_tiles = 2;
+};
+
 /// Cache blocking parameters. Defaults target ~32 KiB L1 / ~1 MiB L2.
 struct GemmBlocking {
   int mc = 128;  ///< rows of the packed A block
   int kc = 256;  ///< depth of the packed panels
   int nc = 2048; ///< columns of the packed B panel
+  GemmPartition partition{};  ///< threaded-scheduler shape
 };
 
 /// Serial blocked GEMM on the calling thread.
@@ -29,7 +55,10 @@ void gemm_serial(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
                  int ldc, const GemmBlocking& blocking = {});
 
 /// Threaded GEMM; runs on `pool` with at most `num_threads` workers
-/// (clamped to pool.size()). num_threads <= 1 or a null pool runs serial.
+/// (clamped to pool.size() and to the available tile count). num_threads
+/// <= 1, a null pool, or a problem too small to tile runs serial. The
+/// serial and threaded paths execute identical per-tile operation
+/// sequences, so their results agree bitwise.
 template <typename T>
 void gemm(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
           const T* a, int lda, const T* b, int ldb, T beta, T* c, int ldc,

@@ -1,0 +1,47 @@
+#include "blas/gemm_stats.hpp"
+
+namespace blob::blas {
+
+namespace detail {
+
+GemmStatCounters& gemm_counters() {
+  static GemmStatCounters counters;
+  return counters;
+}
+
+}  // namespace detail
+
+GemmStats gemm_stats() {
+  const auto& c = detail::gemm_counters();
+  GemmStats s;
+  s.serial_calls = c.serial_calls.load(std::memory_order_relaxed);
+  s.parallel_calls = c.parallel_calls.load(std::memory_order_relaxed);
+  s.b_macro_panels_packed =
+      c.b_macro_panels_packed.load(std::memory_order_relaxed);
+  s.a_blocks_packed = c.a_blocks_packed.load(std::memory_order_relaxed);
+  s.bytes_packed_a = c.bytes_packed_a.load(std::memory_order_relaxed);
+  s.bytes_packed_b = c.bytes_packed_b.load(std::memory_order_relaxed);
+  s.tiles_executed = c.tiles_executed.load(std::memory_order_relaxed);
+  s.tiles_stolen = c.tiles_stolen.load(std::memory_order_relaxed);
+  s.barrier_waits = c.barrier_waits.load(std::memory_order_relaxed);
+  s.arena_allocations = c.arena_allocations.load(std::memory_order_relaxed);
+  s.arena_reuse_hits = c.arena_reuse_hits.load(std::memory_order_relaxed);
+  return s;
+}
+
+void gemm_stats_reset() {
+  auto& c = detail::gemm_counters();
+  c.serial_calls.store(0, std::memory_order_relaxed);
+  c.parallel_calls.store(0, std::memory_order_relaxed);
+  c.b_macro_panels_packed.store(0, std::memory_order_relaxed);
+  c.a_blocks_packed.store(0, std::memory_order_relaxed);
+  c.bytes_packed_a.store(0, std::memory_order_relaxed);
+  c.bytes_packed_b.store(0, std::memory_order_relaxed);
+  c.tiles_executed.store(0, std::memory_order_relaxed);
+  c.tiles_stolen.store(0, std::memory_order_relaxed);
+  c.barrier_waits.store(0, std::memory_order_relaxed);
+  c.arena_allocations.store(0, std::memory_order_relaxed);
+  c.arena_reuse_hits.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace blob::blas

@@ -1,0 +1,66 @@
+#pragma once
+// Instrumentation counters for the GEMM engine.
+//
+// The BLIS-style threaded GEMM makes sharp promises — each B macro-panel
+// is packed into the shared buffer exactly once per (jc, pc) no matter
+// how many workers collaborate, and the packing arena serves steady-state
+// calls with zero heap allocations. These counters make the promises
+// testable (tests/test_blas_gemm_parallel.cpp) and benchmarkable instead
+// of folklore. Counters are process-wide and cumulative; snapshot with
+// gemm_stats() and reset with gemm_stats_reset() around the region of
+// interest (they are for instrumentation, not for concurrent bookkeeping
+// across overlapping measurements).
+
+#include <atomic>
+#include <cstdint>
+
+namespace blob::blas {
+
+/// Snapshot of the cumulative GEMM instrumentation counters.
+struct GemmStats {
+  std::uint64_t serial_calls = 0;    ///< gemm calls run on one thread
+  std::uint64_t parallel_calls = 0;  ///< gemm calls run on the 2D scheduler
+  /// (jc, pc) B macro-panels packed. Collaborative packs into the shared
+  /// buffer count once regardless of how many workers took part, so this
+  /// is thread-count-invariant for a given problem and blocking.
+  std::uint64_t b_macro_panels_packed = 0;
+  /// MC x KC blocks of A packed (per-worker repacks each count, so this
+  /// may grow with thread count; the serial value is the floor).
+  std::uint64_t a_blocks_packed = 0;
+  std::uint64_t bytes_packed_a = 0;
+  std::uint64_t bytes_packed_b = 0;  ///< thread-count-invariant, like b_macro
+  std::uint64_t tiles_executed = 0;  ///< (ic, jr) scheduler tiles run
+  /// Tiles executed by a different worker than a round-robin static
+  /// schedule would have assigned — how much dynamic balancing happened.
+  std::uint64_t tiles_stolen = 0;
+  std::uint64_t barrier_waits = 0;  ///< per-worker arrive_and_wait calls
+  std::uint64_t arena_allocations = 0;  ///< packing-buffer (re)allocations
+  std::uint64_t arena_reuse_hits = 0;   ///< arena reserves with no alloc
+};
+
+[[nodiscard]] GemmStats gemm_stats();
+void gemm_stats_reset();
+
+namespace detail {
+
+/// The live atomic counters behind the snapshot. Relaxed ordering: these
+/// are statistics, not synchronisation.
+struct GemmStatCounters {
+  std::atomic<std::uint64_t> serial_calls{0};
+  std::atomic<std::uint64_t> parallel_calls{0};
+  std::atomic<std::uint64_t> b_macro_panels_packed{0};
+  std::atomic<std::uint64_t> a_blocks_packed{0};
+  std::atomic<std::uint64_t> bytes_packed_a{0};
+  std::atomic<std::uint64_t> bytes_packed_b{0};
+  std::atomic<std::uint64_t> tiles_executed{0};
+  std::atomic<std::uint64_t> tiles_stolen{0};
+  std::atomic<std::uint64_t> barrier_waits{0};
+  std::atomic<std::uint64_t> arena_allocations{0};
+  std::atomic<std::uint64_t> arena_reuse_hits{0};
+};
+
+GemmStatCounters& gemm_counters();
+
+}  // namespace detail
+
+}  // namespace blob::blas

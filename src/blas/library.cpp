@@ -13,6 +13,9 @@ CpuLibraryPersonality nvpl_like_personality() {
   p.name = "nvpl-like";
   p.gemm_threads = parallel::all_threads_policy();
   p.gemv_threads = parallel::all_threads_policy();
+  // NVPL throws every thread at every size; narrow scheduler tiles keep
+  // all of them fed even when N barely covers the cores.
+  p.blocking.partition.jr_panels_per_tile = 2;
   return p;
 }
 
@@ -21,6 +24,8 @@ CpuLibraryPersonality armpl_like_personality() {
   p.name = "armpl-like";
   p.gemm_threads = parallel::scaled_policy(2.0e6);
   p.gemv_threads = parallel::scaled_policy(1.0e6);
+  // Balanced M x N split to match the scaled thread count.
+  p.blocking.partition.jr_panels_per_tile = 4;
   return p;
 }
 
@@ -29,6 +34,9 @@ CpuLibraryPersonality aocl_like_personality() {
   p.name = "aocl-like";
   p.gemm_threads = parallel::all_threads_policy();
   p.gemv_parallel = false;  // the paper's perf-stat finding: 0.89 CPUs
+  // AOCL is BLIS: the JR loop stays essentially sequential and cores
+  // split the IC loop, so tiles span wide column ranges.
+  p.blocking.partition.jr_panels_per_tile = 8;
   return p;
 }
 
@@ -37,6 +45,7 @@ CpuLibraryPersonality openblas_like_personality() {
   p.name = "openblas-like";
   p.gemm_threads = parallel::all_threads_policy();
   p.gemv_threads = parallel::all_threads_policy();
+  p.blocking.partition.jr_panels_per_tile = 4;
   return p;
 }
 

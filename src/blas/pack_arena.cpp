@@ -1,0 +1,41 @@
+#include "blas/pack_arena.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "blas/gemm_stats.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace blob::blas {
+
+void PackArena::reserve(std::size_t workers, std::size_t a_bytes,
+                        std::size_t b_bytes) {
+  std::uint64_t grown = 0;
+  if (a_bufs_.size() < workers) a_bufs_.resize(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (a_bufs_[w].ensure(a_bytes)) ++grown;
+  }
+  if (b_buf_.ensure(b_bytes)) ++grown;
+  auto& counters = detail::gemm_counters();
+  if (grown > 0) {
+    counters.arena_allocations.fetch_add(grown, std::memory_order_relaxed);
+  } else {
+    counters.arena_reuse_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+PackArena& PackArena::for_pool(parallel::ThreadPool& pool) {
+  // The mutex only guards lazy attachment; once attached, access follows
+  // the pool's one-GEMM-at-a-time contract.
+  static std::mutex registry_mutex;
+  const std::scoped_lock lock(registry_mutex);
+  if (!pool.scratch()) pool.set_scratch(std::make_shared<PackArena>());
+  return *static_cast<PackArena*>(pool.scratch().get());
+}
+
+PackArena& PackArena::serial_arena() {
+  thread_local PackArena arena;
+  return arena;
+}
+
+}  // namespace blob::blas

@@ -1,0 +1,62 @@
+#pragma once
+// Reusable packing buffers for the blocked GEMM.
+//
+// Vendor BLAS libraries allocate their packing workspace once per thread
+// pool and reuse it for every call (BLIS calls this the packed-block
+// allocator); per-call heap traffic distorts small-size timings, which
+// is exactly the regime the paper's offload thresholds live in. A
+// PackArena owns one cache-aligned A buffer per worker slot plus a
+// single B buffer shared by all workers, and reserve() only ever grows
+// them — so steady-state GEMM performs zero heap allocations.
+//
+// Ownership: the arena for a threaded GEMM hangs off the ThreadPool's
+// scratch slot (created on first use, destroyed with the pool); the
+// serial path uses a thread-local arena so serial GEMMs issued from
+// inside pool workers (e.g. batched GEMM) never share buffers.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/aligned.hpp"
+
+namespace blob::parallel {
+class ThreadPool;
+}
+
+namespace blob::blas {
+
+class PackArena {
+ public:
+  /// Ensure capacity for `workers` A buffers of `a_bytes` each and one
+  /// shared B buffer of `b_bytes`. Grows lazily and never shrinks;
+  /// buffer contents are scratch and may be discarded on growth.
+  /// Updates the GemmStats arena counters (allocations vs. pure reuse).
+  void reserve(std::size_t workers, std::size_t a_bytes, std::size_t b_bytes);
+
+  /// 64-byte-aligned A panel private to `worker` (< worker_slots()).
+  template <typename T>
+  [[nodiscard]] T* a_panel(std::size_t worker) {
+    return static_cast<T*>(a_bufs_[worker].data());
+  }
+
+  /// 64-byte-aligned B panel shared by all workers.
+  template <typename T>
+  [[nodiscard]] T* b_panel() {
+    return static_cast<T*>(b_buf_.data());
+  }
+
+  [[nodiscard]] std::size_t worker_slots() const { return a_bufs_.size(); }
+
+  /// The arena attached to `pool`, created on first use. Callers must
+  /// serialise GEMMs on a pool, as CpuBlasLibrary already requires.
+  static PackArena& for_pool(parallel::ThreadPool& pool);
+
+  /// Thread-local arena backing the serial path.
+  static PackArena& serial_arena();
+
+ private:
+  std::vector<util::AlignedBuffer> a_bufs_;
+  util::AlignedBuffer b_buf_;
+};
+
+}  // namespace blob::blas

@@ -4,6 +4,20 @@
 
 namespace blob::parallel {
 
+void Barrier::arrive_and_wait() {
+  if (parties_ <= 1) return;
+  std::unique_lock lock(mutex_);
+  const std::uint64_t generation = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    lock.unlock();
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != generation; });
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads)
     : num_threads_(std::max<std::size_t>(1, num_threads)) {
   // The calling thread acts as worker 0 during parallel_for, so we spawn
@@ -36,11 +50,33 @@ void ThreadPool::run_task(const Task& task) {
   }
 }
 
-void ThreadPool::worker_loop(std::size_t /*worker_index*/) {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
   std::unique_lock lock(mutex_);
   for (;;) {
-    work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    work_ready_.wait(lock, [&] {
+      return stopping_ || !queue_.empty() ||
+             (region_fn_ != nullptr && worker_index < region_parties_ &&
+              region_epoch_ != seen_epoch);
+    });
     if (stopping_ && queue_.empty()) return;
+    if (region_fn_ != nullptr && worker_index < region_parties_ &&
+        region_epoch_ != seen_epoch) {
+      seen_epoch = region_epoch_;
+      const WorkerFn* fn = region_fn_;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*fn)(worker_index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !first_exception_) first_exception_ = error;
+      if (--region_remaining_ == 0) work_done_.notify_all();
+      continue;
+    }
+    if (queue_.empty()) continue;  // spurious wake between checks
     const Task task = queue_.back();
     queue_.pop_back();
     lock.unlock();
@@ -102,6 +138,42 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     first_exception_ = nullptr;
     lock.unlock();
     std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::run_on_workers(std::size_t parties, const WorkerFn& fn) {
+  parties = std::max<std::size_t>(1, std::min(parties, num_threads_));
+  if (parties == 1) {
+    fn(0);
+    return;
+  }
+
+  {
+    const std::scoped_lock lock(mutex_);
+    region_fn_ = &fn;
+    ++region_epoch_;
+    region_parties_ = parties;
+    region_remaining_ = parties - 1;
+    first_exception_ = nullptr;
+  }
+  work_ready_.notify_all();
+
+  // The caller is worker 0; its body may synchronise with the others.
+  std::exception_ptr own_error;
+  try {
+    fn(0);
+  } catch (...) {
+    own_error = std::current_exception();
+  }
+
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [this] { return region_remaining_ == 0; });
+  region_fn_ = nullptr;
+  std::exception_ptr error = own_error ? own_error : first_exception_;
+  first_exception_ = nullptr;
+  if (error) {
+    lock.unlock();
+    std::rethrow_exception(error);
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
-// Fixed-size worker thread pool with a blocking parallel_for.
+// Fixed-size worker thread pool with a blocking parallel_for and a
+// pinned-worker region primitive for fork/join BLAS kernels.
 //
 // Our CPU BLAS threads Level 2/3 kernels across this pool, the analogue of
 // the OpenMP runtime that vendor libraries use (the paper pins it with
@@ -8,16 +9,49 @@
 // runs them on the workers (the calling thread participates), and blocks
 // until all chunks finish. Exceptions thrown by chunk bodies are captured
 // and rethrown on the calling thread.
+//
+// run_on_workers is the second entry point: it runs one body per worker
+// slot, each pinned to a distinct OS thread, so bodies may synchronise
+// with each other (the BLIS-style GEMM uses a Barrier between its
+// collaborative-packing and tile-consumption phases). parallel_for chunks
+// carry no such guarantee — a single OS thread may execute several chunks
+// back to back — which is why barriers inside parallel_for would deadlock.
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace blob::parallel {
+
+/// Reusable cyclic barrier for `parties` threads. Lightweight by design:
+/// one mutex + condvar, generation-counted so it can be reused across
+/// phases without re-construction. parties <= 1 makes every wait a no-op.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties)
+      : parties_(parties == 0 ? 1 : parties) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  [[nodiscard]] std::size_t parties() const { return parties_; }
+
+  /// Block until all parties have arrived, then release everyone.
+  void arrive_and_wait();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
 
 class ThreadPool {
  public:
@@ -41,8 +75,33 @@ class ThreadPool {
   /// least `grain` elements each and run them concurrently; blocks until
   /// all chunks complete. Safe to call with begin >= end (no-op).
   /// Not reentrant: chunk bodies must not call parallel_for on this pool.
+  /// Chunks may share OS threads — bodies must not synchronise with each
+  /// other (use run_on_workers for that).
   void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                     const RangeFn& fn);
+
+  /// Region body: receives the worker slot in [0, parties).
+  using WorkerFn = std::function<void(std::size_t worker)>;
+
+  /// Run `fn(worker)` exactly once for each worker in [0, parties), each
+  /// invocation pinned to a distinct OS thread (the caller is worker 0).
+  /// Because invocations never share a thread, bodies may synchronise
+  /// with one another — e.g. via a Barrier(parties). `parties` is clamped
+  /// to [1, size()]; parties == 1 runs inline. Blocks until every body
+  /// returns. Not reentrant. Exceptions are rethrown on the caller, but a
+  /// body that throws while its peers wait on a shared barrier deadlocks
+  /// the region — bodies that synchronise must not throw.
+  void run_on_workers(std::size_t parties, const WorkerFn& fn);
+
+  /// Opaque per-pool scratch attachment, destroyed with the pool. The
+  /// BLAS packing arena lives here so buffer lifetime matches the pool's.
+  /// Access follows the pool's external-synchronisation contract.
+  [[nodiscard]] const std::shared_ptr<void>& scratch() const {
+    return scratch_;
+  }
+  void set_scratch(std::shared_ptr<void> scratch) {
+    scratch_ = std::move(scratch);
+  }
 
   /// Hardware concurrency with a floor of 1.
   static std::size_t hardware_threads();
@@ -66,8 +125,16 @@ class ThreadPool {
   const RangeFn* current_fn_ = nullptr;
   std::vector<Task> queue_;
   std::size_t outstanding_ = 0;
+  // Pinned-region dispatch state (run_on_workers): each OS worker runs
+  // the region body at most once per epoch, keyed by its own index.
+  const WorkerFn* region_fn_ = nullptr;
+  std::uint64_t region_epoch_ = 0;
+  std::size_t region_parties_ = 0;
+  std::size_t region_remaining_ = 0;
   std::exception_ptr first_exception_;
   bool stopping_ = false;
+
+  std::shared_ptr<void> scratch_;
 };
 
 /// Process-wide default pool sized to hardware_threads(); lazily created.

@@ -1,0 +1,29 @@
+#include "util/aligned.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace blob::util {
+
+void* aligned_alloc_bytes(std::size_t bytes, std::size_t alignment) {
+  if (bytes == 0) return nullptr;
+  // std::aligned_alloc requires the size to be a multiple of the
+  // alignment; round up (the slack is never read).
+  const std::size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+  void* p = std::aligned_alloc(alignment, rounded);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void aligned_free(void* ptr) noexcept { std::free(ptr); }
+
+bool AlignedBuffer::ensure(std::size_t bytes) {
+  if (bytes <= capacity_) return false;
+  void* fresh = aligned_alloc_bytes(bytes);
+  aligned_free(data_);
+  data_ = fresh;
+  capacity_ = bytes;
+  return true;
+}
+
+}  // namespace blob::util

@@ -1,0 +1,63 @@
+#pragma once
+// Cache-line-aligned allocation.
+//
+// The AVX2 GEMM micro-kernels stream packed panels with 256-bit loads;
+// std::vector's default allocator only guarantees alignof(max_align_t)
+// (16 bytes on this ABI), so panel rows can straddle cache lines. These
+// helpers hand out 64-byte-aligned storage for hot scratch buffers.
+
+#include <cstddef>
+
+namespace blob::util {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Allocate `bytes` aligned to `alignment` (a power of two). Returns
+/// nullptr for bytes == 0; throws std::bad_alloc on failure.
+[[nodiscard]] void* aligned_alloc_bytes(
+    std::size_t bytes, std::size_t alignment = kCacheLineBytes);
+
+/// Free a pointer obtained from aligned_alloc_bytes (nullptr is a no-op).
+void aligned_free(void* ptr) noexcept;
+
+/// Move-only, grow-only byte buffer with cache-line alignment — the
+/// building block of the GEMM packing arena. Contents are scratch:
+/// growing discards them.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t bytes) { ensure(bytes); }
+  ~AlignedBuffer() { aligned_free(data_); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      aligned_free(data_);
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Grow to at least `bytes` capacity. Returns true if a new allocation
+  /// occurred (existing contents are not preserved).
+  bool ensure(std::size_t bytes);
+
+  [[nodiscard]] void* data() { return data_; }
+  [[nodiscard]] const void* data() const { return data_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  void* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace blob::util

@@ -1,0 +1,257 @@
+// The BLIS-style collaborative parallel GEMM engine: bitwise agreement
+// with the serial path across thread counts / transposes / shapes,
+// thread-count-invariant B pack counts, arena zero-alloc steady state,
+// tall-skinny routing, and packing-buffer alignment.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "blas/gemm_stats.hpp"
+#include "blas/pack_arena.hpp"
+#include "blas_test_util.hpp"
+#include "util/aligned.hpp"
+
+namespace {
+
+using namespace blob;
+using blas::Transpose;
+using blob::test::random_vector;
+
+/// Run the same problem through gemm_serial and the threaded gemm and
+/// require exact (bitwise) equality: the two paths execute identical
+/// per-tile operation sequences, so any difference is a scheduling bug,
+/// not rounding.
+template <typename T>
+void expect_bitwise_equal(Transpose ta, Transpose tb, int m, int n, int k,
+                          T alpha, T beta, std::size_t threads,
+                          int ldc_pad = 0) {
+  const int a_rows = ta == Transpose::No ? m : k;
+  const int a_cols = ta == Transpose::No ? k : m;
+  const int b_rows = tb == Transpose::No ? k : n;
+  const int b_cols = tb == Transpose::No ? n : k;
+  const int lda = std::max(1, a_rows);
+  const int ldb = std::max(1, b_rows);
+  const int ldc = std::max(1, m + ldc_pad);
+
+  auto a = random_vector<T>(
+      static_cast<std::size_t>(lda) * std::max(1, a_cols), 21);
+  auto b = random_vector<T>(
+      static_cast<std::size_t>(ldb) * std::max(1, b_cols), 22);
+  auto c_serial = random_vector<T>(
+      static_cast<std::size_t>(ldc) * std::max(1, n), 23);
+  auto c_parallel = c_serial;
+
+  blas::gemm_serial(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb,
+                    beta, c_serial.data(), ldc);
+  parallel::ThreadPool pool(threads);
+  blas::gemm(ta, tb, m, n, k, alpha, a.data(), lda, b.data(), ldb, beta,
+             c_parallel.data(), ldc, &pool, threads);
+
+  for (std::size_t i = 0; i < c_serial.size(); ++i) {
+    ASSERT_EQ(c_parallel[i], c_serial[i])
+        << "mismatch at flat index " << i << " with " << threads
+        << " threads";
+  }
+}
+
+class GemmParallelThreads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GemmParallelThreads, BitwiseMatchesSerialF32) {
+  expect_bitwise_equal<float>(Transpose::No, Transpose::No, 150, 170, 60,
+                              1.0f, 0.0f, GetParam());
+}
+
+TEST_P(GemmParallelThreads, BitwiseMatchesSerialF64) {
+  expect_bitwise_equal<double>(Transpose::No, Transpose::No, 200, 96, 300,
+                               -1.5, 0.5, GetParam());
+}
+
+TEST_P(GemmParallelThreads, BitwiseNonSquareAndPaddedLdc) {
+  // ldc > m: the scheduler must respect C's leading-dimension padding.
+  expect_bitwise_equal<double>(Transpose::No, Transpose::No, 130, 70, 40,
+                               2.0, 1.0, GetParam(), /*ldc_pad=*/7);
+  // Wide-flat: single IC block, parallelism comes from the JR dimension.
+  expect_bitwise_equal<float>(Transpose::No, Transpose::No, 24, 500, 64,
+                              1.0f, -0.25f, GetParam());
+}
+
+TEST_P(GemmParallelThreads, BitwiseTallSkinny) {
+  // Tall-skinny: the old N-split engine ran this serial; the 2D queue
+  // must parallelise over M and still agree exactly.
+  expect_bitwise_equal<double>(Transpose::No, Transpose::No, 1024, 8, 96,
+                               1.0, 0.0, GetParam());
+  expect_bitwise_equal<float>(Transpose::No, Transpose::No, 2048, 4, 64,
+                              0.5f, 2.0f, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GemmParallelThreads,
+                         ::testing::Values(1, 2, 4, 7));
+
+class GemmParallelTranspose
+    : public ::testing::TestWithParam<std::tuple<Transpose, Transpose>> {};
+
+TEST_P(GemmParallelTranspose, BitwiseAllCombos) {
+  auto [ta, tb] = GetParam();
+  expect_bitwise_equal<double>(ta, tb, 160, 90, 72, 1.0, 0.0, 4);
+  expect_bitwise_equal<float>(ta, tb, 96, 200, 50, -2.0f, 1.0f, 7);
+  expect_bitwise_equal<double>(ta, tb, 300, 12, 64, 1.0, 0.5, 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, GemmParallelTranspose,
+    ::testing::Combine(::testing::Values(Transpose::No, Transpose::Yes),
+                       ::testing::Values(Transpose::No, Transpose::Yes)));
+
+// ------------------------------------------------------------- GemmStats
+
+TEST(GemmStats, BPackCountsAreThreadCountInvariant) {
+  // Default blocking: kc=256 so k=300 gives 2 (jc, pc) macro-panels, and
+  // m=300/n=500 gives plenty of (ic, jr) tiles at every thread count.
+  const int m = 300, n = 500, k = 300;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * k, 31);
+  auto b = random_vector<double>(static_cast<std::size_t>(k) * n, 32);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+
+  std::uint64_t expected_b_macro = 0;
+  std::uint64_t expected_b_bytes = 0;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{7}}) {
+    parallel::ThreadPool pool(threads);
+    blas::gemm_stats_reset();
+    blas::gemm(Transpose::No, Transpose::No, m, n, k, 1.0, a.data(), m,
+               b.data(), k, 0.0, c.data(), m, &pool, threads);
+    const auto stats = blas::gemm_stats();
+    if (threads == 1) {
+      expected_b_macro = stats.b_macro_panels_packed;
+      expected_b_bytes = stats.bytes_packed_b;
+      EXPECT_EQ(stats.serial_calls, 1u);
+    } else {
+      EXPECT_EQ(stats.parallel_calls, 1u) << threads << " threads";
+    }
+    // B is packed exactly once per (jc, pc) no matter how many workers
+    // collaborated on each shared panel.
+    EXPECT_EQ(stats.b_macro_panels_packed, expected_b_macro)
+        << threads << " threads";
+    EXPECT_EQ(stats.bytes_packed_b, expected_b_bytes) << threads
+                                                      << " threads";
+  }
+  // Default blocking: one jc panel (n=500 <= nc), two pc panels (k=300).
+  EXPECT_EQ(expected_b_macro, 2u);
+}
+
+TEST(GemmStats, ParallelRunRecordsSchedulerActivity) {
+  parallel::ThreadPool pool(4);
+  const int m = 256, n = 256, k = 64;
+  auto a = random_vector<float>(static_cast<std::size_t>(m) * k, 33);
+  auto b = random_vector<float>(static_cast<std::size_t>(k) * n, 34);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+
+  blas::gemm_stats_reset();
+  blas::gemm(Transpose::No, Transpose::No, m, n, k, 1.0f, a.data(), m,
+             b.data(), k, 0.0f, c.data(), m, &pool, 4);
+  const auto stats = blas::gemm_stats();
+  EXPECT_EQ(stats.parallel_calls, 1u);
+  EXPECT_GT(stats.tiles_executed, 1u);
+  EXPECT_GT(stats.barrier_waits, 0u);
+  EXPECT_GT(stats.a_blocks_packed, 0u);
+  EXPECT_GT(stats.bytes_packed_a, 0u);
+}
+
+TEST(GemmStats, TallSkinnyTakesParallelPath) {
+  // m=2048, n=8: 16 IC tiles — the 2D scheduler must engage even though
+  // the old engine's `n < 16` rule would have forced serial.
+  parallel::ThreadPool pool(4);
+  const int m = 2048, n = 8, k = 128;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * k, 35);
+  auto b = random_vector<double>(static_cast<std::size_t>(k) * n, 36);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+
+  blas::gemm_stats_reset();
+  blas::gemm(Transpose::No, Transpose::No, m, n, k, 1.0, a.data(), m,
+             b.data(), k, 0.0, c.data(), m, &pool, 4);
+  const auto stats = blas::gemm_stats();
+  EXPECT_EQ(stats.parallel_calls, 1u);
+  EXPECT_EQ(stats.serial_calls, 0u);
+}
+
+TEST(GemmStats, TinyProblemStaysSerial) {
+  parallel::ThreadPool pool(4);
+  const int d = 8;
+  auto a = random_vector<double>(d * d, 37);
+  auto b = random_vector<double>(d * d, 38);
+  std::vector<double> c(d * d);
+
+  blas::gemm_stats_reset();
+  blas::gemm(Transpose::No, Transpose::No, d, d, d, 1.0, a.data(), d,
+             b.data(), d, 0.0, c.data(), d, &pool, 4);
+  const auto stats = blas::gemm_stats();
+  EXPECT_EQ(stats.serial_calls, 1u);
+  EXPECT_EQ(stats.parallel_calls, 0u);
+}
+
+// ---------------------------------------------------------------- arena
+
+TEST(PackArena, SteadyStateGemmAllocatesNothing) {
+  parallel::ThreadPool pool(4);
+  const int m = 300, n = 200, k = 300;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * k, 41);
+  auto b = random_vector<double>(static_cast<std::size_t>(k) * n, 42);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+
+  // Warm-up sizes the per-pool arena (and this thread's serial arena).
+  blas::gemm(Transpose::No, Transpose::No, m, n, k, 1.0, a.data(), m,
+             b.data(), k, 0.0, c.data(), m, &pool, 4);
+  blas::gemm_serial(Transpose::No, Transpose::No, m, n, k, 1.0, a.data(), m,
+                    b.data(), k, 0.0, c.data(), m);
+
+  blas::gemm_stats_reset();
+  for (int round = 0; round < 3; ++round) {
+    blas::gemm(Transpose::No, Transpose::No, m, n, k, 1.0, a.data(), m,
+               b.data(), k, 0.0, c.data(), m, &pool, 4);
+    // Smaller problems must reuse the grown buffers too.
+    blas::gemm(Transpose::No, Transpose::No, m / 2, n / 2, k / 2, 1.0,
+               a.data(), m, b.data(), k, 0.0, c.data(), m, &pool, 4);
+    blas::gemm_serial(Transpose::No, Transpose::No, m, n, k, 1.0, a.data(),
+                      m, b.data(), k, 0.0, c.data(), m);
+  }
+  const auto stats = blas::gemm_stats();
+  EXPECT_EQ(stats.arena_allocations, 0u)
+      << "steady-state GEMM must not touch the heap";
+  EXPECT_GE(stats.arena_reuse_hits, 9u);
+}
+
+TEST(PackArena, PanelsAreCacheLineAligned) {
+  blas::PackArena arena;
+  arena.reserve(3, 1000, 5000);
+  EXPECT_EQ(arena.worker_slots(), 3u);
+  for (std::size_t w = 0; w < 3; ++w) {
+    const auto addr =
+        reinterpret_cast<std::uintptr_t>(arena.a_panel<double>(w));
+    EXPECT_EQ(addr % util::kCacheLineBytes, 0u) << "A panel " << w;
+  }
+  const auto b_addr =
+      reinterpret_cast<std::uintptr_t>(arena.b_panel<double>());
+  EXPECT_EQ(b_addr % util::kCacheLineBytes, 0u);
+}
+
+TEST(PackArena, GrowsMonotonicallyAndCountsReuse) {
+  blas::PackArena arena;
+  blas::gemm_stats_reset();
+  arena.reserve(2, 1 << 10, 1 << 12);
+  const auto after_grow = blas::gemm_stats();
+  EXPECT_EQ(after_grow.arena_allocations, 3u);  // 2 A buffers + 1 B buffer
+
+  arena.reserve(2, 1 << 9, 1 << 11);  // smaller: pure reuse
+  const auto after_reuse = blas::gemm_stats();
+  EXPECT_EQ(after_reuse.arena_allocations, 3u);
+  EXPECT_EQ(after_reuse.arena_reuse_hits, after_grow.arena_reuse_hits + 1);
+
+  arena.reserve(4, 1 << 10, 1 << 12);  // two new worker slots
+  const auto after_widen = blas::gemm_stats();
+  EXPECT_EQ(after_widen.arena_allocations, 5u);
+}
+
+}  // namespace

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "parallel/policy.hpp"
@@ -119,6 +122,145 @@ TEST(ThreadPool, DefaultPoolSingleton) {
   ThreadPool& b = default_pool();
   EXPECT_EQ(&a, &b);
   EXPECT_GE(a.size(), 1u);
+}
+
+// --------------------------------------------------------------- barrier
+
+TEST(Barrier, SynchronisesPhases) {
+  constexpr std::size_t kParties = 4;
+  Barrier barrier(kParties);
+  std::atomic<int> phase1_done{0};
+  std::atomic<bool> saw_incomplete_phase1{false};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      phase1_done.fetch_add(1);
+      barrier.arrive_and_wait();
+      // After the barrier every party must observe all phase-1 work.
+      if (phase1_done.load() != static_cast<int>(kParties)) {
+        saw_incomplete_phase1.store(true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(saw_incomplete_phase1.load());
+}
+
+TEST(Barrier, ReusableAcrossGenerations) {
+  constexpr std::size_t kParties = 3;
+  constexpr int kRounds = 20;
+  Barrier barrier(kParties);
+  std::atomic<int> counter{0};
+  std::atomic<bool> mismatch{false};
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // Every party sees the full round's increments before any party
+        // starts the next round.
+        if (counter.load() < (round + 1) * static_cast<int>(kParties)) {
+          mismatch.store(true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(counter.load(), kRounds * static_cast<int>(kParties));
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Barrier barrier(1);
+  for (int i = 0; i < 5; ++i) barrier.arrive_and_wait();
+  SUCCEED();
+}
+
+// --------------------------------------------------------- run_on_workers
+
+TEST(RunOnWorkers, EachSlotRunsExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_on_workers(4, [&](std::size_t w) {
+    ASSERT_LT(w, 4u);
+    hits[w]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunOnWorkers, SlotsRunOnDistinctThreads) {
+  // The whole point of run_on_workers over parallel_for: each body owns a
+  // distinct OS thread, so barriers inside the body cannot deadlock.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  Barrier barrier(4);
+  pool.run_on_workers(4, [&](std::size_t) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    }
+    barrier.arrive_and_wait();  // deadlocks unless all 4 ids are distinct
+  });
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(RunOnWorkers, PartiesClampedToPoolSize) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  std::atomic<std::size_t> max_worker{0};
+  pool.run_on_workers(16, [&](std::size_t w) {
+    calls++;
+    std::size_t prev = max_worker.load();
+    while (w > prev && !max_worker.compare_exchange_weak(prev, w)) {
+    }
+  });
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_LE(max_worker.load(), 1u);
+}
+
+TEST(RunOnWorkers, SinglePartyRunsInlineOnCaller) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id body_thread;
+  pool.run_on_workers(1, [&](std::size_t w) {
+    EXPECT_EQ(w, 0u);
+    body_thread = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_thread, caller);
+}
+
+TEST(RunOnWorkers, ReusableAcrossRegionsAndWithParallelFor) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<int> sum{0};
+    pool.run_on_workers(3, [&](std::size_t) { sum++; });
+    ASSERT_EQ(sum.load(), 3);
+    // Interleave with the queue-based API: both must keep working.
+    std::atomic<int> covered{0};
+    pool.parallel_for(0, 10, 1,
+                      [&](std::size_t b, std::size_t e, std::size_t) {
+                        covered += static_cast<int>(e - b);
+                      });
+    ASSERT_EQ(covered.load(), 10);
+  }
+}
+
+TEST(RunOnWorkers, PropagatesExceptionFromCallerSlot) {
+  // Only worker 0 (the caller's slot) may throw; bodies that synchronise
+  // with other workers must not. Verify the exception surfaces and the
+  // pool stays usable.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_on_workers(
+                   1, [&](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.run_on_workers(2, [&](std::size_t) { ok++; });
+  EXPECT_EQ(ok.load(), 2);
 }
 
 // ---------------------------------------------------------------- policy

@@ -4,8 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <sstream>
+#include <utility>
 
+#include "util/aligned.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
@@ -50,6 +54,54 @@ TEST(Strfmt, PrettySeconds) {
 TEST(Strfmt, PrettyDoubleTrimsZeros) {
   EXPECT_EQ(pretty_double(1.5), "1.5");
   EXPECT_EQ(pretty_double(2.0), "2");
+}
+
+// --------------------------------------------------------------- aligned
+
+TEST(Aligned, AllocRespectsAlignment) {
+  for (std::size_t alignment : {std::size_t{64}, std::size_t{128},
+                                std::size_t{4096}}) {
+    void* p = aligned_alloc_bytes(1000, alignment);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignment, 0u);
+    std::memset(p, 0xAB, 1000);  // whole request must be writable
+    aligned_free(p);
+  }
+}
+
+TEST(Aligned, ZeroBytesYieldsNull) {
+  EXPECT_EQ(aligned_alloc_bytes(0), nullptr);
+  aligned_free(nullptr);  // must be a no-op
+}
+
+TEST(AlignedBuffer, EnsureGrowsOnlyWhenNeeded) {
+  AlignedBuffer buf;
+  EXPECT_EQ(buf.capacity(), 0u);
+  EXPECT_TRUE(buf.ensure(100));
+  EXPECT_GE(buf.capacity(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLineBytes,
+            0u);
+
+  void* before = buf.data();
+  EXPECT_FALSE(buf.ensure(50));   // smaller: keep the allocation
+  EXPECT_FALSE(buf.ensure(100));  // equal: keep the allocation
+  EXPECT_EQ(buf.data(), before);
+
+  EXPECT_TRUE(buf.ensure(10 * buf.capacity()));
+  EXPECT_GE(buf.capacity(), 1000u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a;
+  a.ensure(256);
+  void* p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+
+  AlignedBuffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
 }
 
 // ------------------------------------------------------------------- rng
