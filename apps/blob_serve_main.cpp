@@ -1,0 +1,449 @@
+// blob-serve: replay a mixed BLAS traffic trace through the online
+// offload dispatcher and report routed-vs-oracle regret.
+//
+// The driver generates a deterministic stream of GEMM/GEMV calls drawn
+// from a weighted mix of shape classes (small CPU-favoured GEMMs, shapes
+// near the offload crossover, large GPU-favoured GEMMs, memory-bound
+// GEMVs), installs the dispatcher behind the cblas entry points (or, with
+// --queue, drives the admission queue from several client threads), and
+// compares the dispatcher's cumulative modelled latency against three
+// baselines computed from the same noise-free cost models:
+//   * oracle      — per-call cheaper backend (the offline threshold
+//                   applied with perfect knowledge, paper §III-D),
+//   * always-cpu  — never offload,
+//   * always-gpu  — always offload.
+// A converged dispatcher should land within a few percent of the oracle
+// and strictly beat both constant policies on a mixed workload.
+//
+// --save-calib / --load-calib round-trip the decision table so a second
+// run starts warm (cold_starts == 0, explores == 0 in the stats).
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blas/cblas.hpp"
+#include "dispatch/admission_queue.hpp"
+#include "dispatch/dispatcher.hpp"
+#include "sysprofile/profile.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/strfmt.hpp"
+
+namespace {
+
+using blob::dispatch::CallShape;
+using blob::dispatch::Dispatcher;
+
+struct ShapeClass {
+  const char* label;
+  blob::core::KernelOp op;
+  blob::model::Precision precision;
+  int m, n, k;
+  double weight;
+};
+
+// The default mix spans both sides of every profile's offload threshold:
+// tiny GEMMs no link crossing can amortise, mid sizes near the crossover,
+// large squares the GPU wins outright, and bandwidth-bound GEMVs.
+const ShapeClass kClasses[] = {
+    {"gemm-small-f32", blob::core::KernelOp::Gemm,
+     blob::model::Precision::F32, 48, 48, 48, 0.30},
+    {"gemm-mid-f32", blob::core::KernelOp::Gemm, blob::model::Precision::F32,
+     256, 256, 256, 0.15},
+    {"gemm-large-f32", blob::core::KernelOp::Gemm,
+     blob::model::Precision::F32, 768, 768, 768, 0.15},
+    {"gemm-mid-f64", blob::core::KernelOp::Gemm, blob::model::Precision::F64,
+     320, 320, 320, 0.10},
+    {"gemm-large-f64", blob::core::KernelOp::Gemm,
+     blob::model::Precision::F64, 640, 640, 640, 0.10},
+    {"gemv-mid-f32", blob::core::KernelOp::Gemv, blob::model::Precision::F32,
+     768, 768, 1, 0.10},
+    {"gemv-large-f64", blob::core::KernelOp::Gemv,
+     blob::model::Precision::F64, 1536, 1536, 1, 0.10},
+};
+
+/// Pre-generated operand buffers for one shape class (reused across
+/// calls, like a server reusing request arenas).
+struct ClassBuffers {
+  std::vector<float> af, bf, cf;
+  std::vector<double> ad, bd, cd;
+};
+
+void fill_deterministic(std::vector<float>& v, std::uint64_t salt) {
+  blob::util::Xoshiro256 rng(0xf111 + salt);
+  for (auto& x : v) x = static_cast<float>(rng.next_double() - 0.5);
+}
+
+void fill_deterministic(std::vector<double>& v, std::uint64_t salt) {
+  blob::util::Xoshiro256 rng(0xf111 + salt);
+  for (auto& x : v) x = rng.next_double() - 0.5;
+}
+
+blob::blas::CpuLibraryPersonality personality_by_name(
+    const std::string& name) {
+  if (name == "generic") return blob::blas::generic_personality();
+  if (name == "nvpl") return blob::blas::nvpl_like_personality();
+  if (name == "armpl") return blob::blas::armpl_like_personality();
+  if (name == "aocl") return blob::blas::aocl_like_personality();
+  if (name == "openblas") return blob::blas::openblas_like_personality();
+  if (name == "single") return blob::blas::single_thread_personality();
+  throw std::invalid_argument("unknown personality: " + name);
+}
+
+blob::core::TransferMode mode_by_name(const std::string& name) {
+  if (name == "once") return blob::core::TransferMode::Once;
+  if (name == "always") return blob::core::TransferMode::Always;
+  if (name == "usm") return blob::core::TransferMode::Usm;
+  throw std::invalid_argument("unknown transfer mode: " + name);
+}
+
+struct Baselines {
+  double oracle_s = 0.0;
+  double always_cpu_s = 0.0;
+  double always_gpu_s = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  blob::util::ArgParser args("blob-serve");
+  args.add_string("--system", "system profile (dawn, lumi, isambard-ai, ...)",
+                  "dawn");
+  args.add_string("--personality",
+                  "CPU library personality "
+                  "(generic|nvpl|armpl|aocl|openblas|single)",
+                  "generic");
+  args.add_string("--mode", "transfer mode (once|always|usm)", "once");
+  args.add_int("-n", "number of calls to replay", 400);
+  args.add_int("--warmup", "calls regarded as warm-up (default n/4)", -1);
+  args.add_int("--threads", "CPU worker-pool cap (0 = hardware)", 0);
+  args.add_int("--seed", "workload RNG seed", 42);
+  args.add_double("--noise", "observation noise sigma (<0 = profile's)",
+                  -1.0);
+  args.add_flag("--queue", "drive the admission queue from client threads");
+  args.add_int("--clients", "client threads in --queue mode", 4);
+  args.add_flag("--autotune", "autotune GEMM blocking at startup");
+  args.add_string("--load-calib", "calibration store to load", "");
+  args.add_string("--save-calib", "write calibration store on exit", "");
+  args.add_string("--json-out", "write the summary JSON here", "");
+  args.add_string("--trace-out", "dump the decision trace JSON here", "");
+
+  std::vector<std::string> positional;
+  try {
+    positional = args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n" << args.usage();
+    return 2;
+  }
+  if (args.help_requested()) {
+    std::cout << args.usage();
+    return 0;
+  }
+
+  const auto calls = static_cast<std::size_t>(args.get_int("-n"));
+  std::size_t warmup = args.get_int("--warmup") >= 0
+                           ? static_cast<std::size_t>(args.get_int("--warmup"))
+                           : calls / 4;
+  if (warmup > calls) warmup = calls;
+
+  blob::dispatch::DispatcherConfig config;
+  try {
+    config.profile = blob::profile::by_name(args.get_string("--system"));
+    config.personality = personality_by_name(args.get_string("--personality"));
+    config.mode = mode_by_name(args.get_string("--mode"));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  config.cpu_threads = static_cast<std::size_t>(args.get_int("--threads"));
+  config.noise_sigma = args.get_double("--noise");
+  config.autotune = args.get_flag("--autotune");
+  config.calibration_path = args.get_string("--load-calib");
+  config.trace_capacity = calls == 0 ? 1 : calls;
+
+  Dispatcher dispatcher(config);
+  if (!config.calibration_path.empty()) {
+    std::cout << "calibration load: "
+              << blob::dispatch::to_string(dispatcher.startup_load_status())
+              << "\n";
+  }
+
+  // Operand arenas per shape class.
+  constexpr std::size_t kNumClasses = std::size(kClasses);
+  std::vector<ClassBuffers> buffers(kNumClasses);
+  for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
+    const ShapeClass& sc = kClasses[ci];
+    const std::size_t am = static_cast<std::size_t>(sc.m) *
+                           (sc.op == blob::core::KernelOp::Gemm
+                                ? static_cast<std::size_t>(sc.k)
+                                : static_cast<std::size_t>(sc.n));
+    const std::size_t bm = sc.op == blob::core::KernelOp::Gemm
+                               ? static_cast<std::size_t>(sc.k) *
+                                     static_cast<std::size_t>(sc.n)
+                               : static_cast<std::size_t>(sc.n);
+    const std::size_t cm = sc.op == blob::core::KernelOp::Gemm
+                               ? static_cast<std::size_t>(sc.m) *
+                                     static_cast<std::size_t>(sc.n)
+                               : static_cast<std::size_t>(sc.m);
+    if (sc.precision == blob::model::Precision::F32) {
+      buffers[ci].af.resize(am);
+      buffers[ci].bf.resize(bm);
+      buffers[ci].cf.resize(cm);
+      fill_deterministic(buffers[ci].af, ci * 3 + 0);
+      fill_deterministic(buffers[ci].bf, ci * 3 + 1);
+      fill_deterministic(buffers[ci].cf, ci * 3 + 2);
+    } else {
+      buffers[ci].ad.resize(am);
+      buffers[ci].bd.resize(bm);
+      buffers[ci].cd.resize(cm);
+      fill_deterministic(buffers[ci].ad, ci * 3 + 0);
+      fill_deterministic(buffers[ci].bd, ci * 3 + 1);
+      fill_deterministic(buffers[ci].cd, ci * 3 + 2);
+    }
+  }
+
+  // Per-class modelled costs drive the oracle / constant baselines.
+  Baselines total, steady;
+  std::vector<Dispatcher::Costs> class_costs(kNumClasses);
+  for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
+    const ShapeClass& sc = kClasses[ci];
+    CallShape shape;
+    shape.op = sc.op;
+    shape.precision = sc.precision;
+    shape.m = sc.m;
+    shape.n = sc.n;
+    shape.k = sc.k;
+    shape.beta_zero = true;
+    shape.mode = config.mode;
+    class_costs[ci] = dispatcher.modelled_costs(shape);
+    std::cout << blob::util::strfmt(
+        "  class %-16s cpu %.3es  gpu %.3es  oracle=%s\n", sc.label,
+        class_costs[ci].cpu_s, class_costs[ci].gpu_s,
+        class_costs[ci].gpu_s < class_costs[ci].cpu_s ? "gpu" : "cpu");
+  }
+
+  // Sample the workload sequence (deterministic in --seed).
+  blob::util::Xoshiro256 rng(
+      static_cast<std::uint64_t>(args.get_int("--seed")));
+  double weight_sum = 0.0;
+  for (const ShapeClass& sc : kClasses) weight_sum += sc.weight;
+  std::vector<std::size_t> sequence(calls);
+  for (std::size_t i = 0; i < calls; ++i) {
+    double draw = rng.next_double() * weight_sum;
+    std::size_t pick = 0;
+    for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
+      draw -= kClasses[ci].weight;
+      if (draw <= 0.0) {
+        pick = ci;
+        break;
+      }
+    }
+    sequence[i] = pick;
+  }
+
+  // Replay. Baselines accumulate alongside; a stats snapshot at the
+  // warm-up boundary splits routed cost into warm-up and steady phases.
+  dispatcher.install();
+  blob::dispatch::DispatchStats warm_stats;
+  const bool use_queue = args.get_flag("--queue");
+
+  auto issue_direct = [&](std::size_t ci) {
+    const ShapeClass& sc = kClasses[ci];
+    ClassBuffers& buf = buffers[ci];
+    if (sc.op == blob::core::KernelOp::Gemm) {
+      if (sc.precision == blob::model::Precision::F32) {
+        cblas_sgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, sc.m, sc.n,
+                    sc.k, 1.0F, buf.af.data(), sc.m, buf.bf.data(), sc.k,
+                    0.0F, buf.cf.data(), sc.m);
+      } else {
+        cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, sc.m, sc.n,
+                    sc.k, 1.0, buf.ad.data(), sc.m, buf.bd.data(), sc.k, 0.0,
+                    buf.cd.data(), sc.m);
+      }
+    } else {
+      if (sc.precision == blob::model::Precision::F32) {
+        cblas_sgemv(CblasColMajor, CblasNoTrans, sc.m, sc.n, 1.0F,
+                    buf.af.data(), sc.m, buf.bf.data(), 1, 0.0F,
+                    buf.cf.data(), 1);
+      } else {
+        cblas_dgemv(CblasColMajor, CblasNoTrans, sc.m, sc.n, 1.0,
+                    buf.ad.data(), sc.m, buf.bd.data(), 1, 0.0,
+                    buf.cd.data(), 1);
+      }
+    }
+  };
+
+  if (!use_queue) {
+    for (std::size_t i = 0; i < calls; ++i) {
+      if (i == warmup) warm_stats = dispatcher.stats();
+      issue_direct(sequence[i]);
+    }
+  } else {
+    // Queue mode: several client threads submit slices of the sequence.
+    // Classes write into disjoint per-client output arenas so concurrent
+    // same-class requests do not alias.
+    blob::dispatch::AdmissionQueue queue(dispatcher);
+    const auto clients =
+        static_cast<std::size_t>(std::max<std::int64_t>(
+            args.get_int("--clients"), 1));
+    std::vector<std::vector<ClassBuffers>> client_buffers(clients, buffers);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t t = 0; t < clients; ++t) {
+      threads.emplace_back([&, t] {
+        std::vector<std::future<void>> pending;
+        for (std::size_t i = t; i < calls; i += clients) {
+          const std::size_t ci = sequence[i];
+          const ShapeClass& sc = kClasses[ci];
+          ClassBuffers& buf = client_buffers[t][ci];
+          if (sc.op == blob::core::KernelOp::Gemm) {
+            if (sc.precision == blob::model::Precision::F32) {
+              pending.push_back(queue.submit_gemm<float>(
+                  blob::blas::Transpose::No, blob::blas::Transpose::No, sc.m,
+                  sc.n, sc.k, 1.0F, buf.af.data(), sc.m, buf.bf.data(), sc.k,
+                  0.0F, buf.cf.data(), sc.m));
+            } else {
+              pending.push_back(queue.submit_gemm<double>(
+                  blob::blas::Transpose::No, blob::blas::Transpose::No, sc.m,
+                  sc.n, sc.k, 1.0, buf.ad.data(), sc.m, buf.bd.data(), sc.k,
+                  0.0, buf.cd.data(), sc.m));
+            }
+          } else {
+            if (sc.precision == blob::model::Precision::F32) {
+              pending.push_back(queue.submit_gemv<float>(
+                  blob::blas::Transpose::No, sc.m, sc.n, 1.0F,
+                  buf.af.data(), sc.m, buf.bf.data(), 1, 0.0F,
+                  buf.cf.data(), 1));
+            } else {
+              pending.push_back(queue.submit_gemv<double>(
+                  blob::blas::Transpose::No, sc.m, sc.n, 1.0, buf.ad.data(),
+                  sc.m, buf.bd.data(), 1, 0.0, buf.cd.data(), 1));
+            }
+          }
+        }
+        for (auto& f : pending) f.get();
+      });
+    }
+    for (auto& t : threads) t.join();
+    queue.flush();
+    warm_stats = blob::dispatch::DispatchStats{};  // no phase split here
+    warmup = 0;
+  }
+  dispatcher.uninstall();
+
+  for (std::size_t i = 0; i < calls; ++i) {
+    const Dispatcher::Costs& costs = class_costs[sequence[i]];
+    const double best = std::min(costs.cpu_s, costs.gpu_s);
+    total.oracle_s += best;
+    total.always_cpu_s += costs.cpu_s;
+    total.always_gpu_s += costs.gpu_s;
+    if (i >= warmup) {
+      steady.oracle_s += best;
+      steady.always_cpu_s += costs.cpu_s;
+      steady.always_gpu_s += costs.gpu_s;
+    }
+  }
+
+  const blob::dispatch::DispatchStats stats = dispatcher.stats();
+  const double routed_total = stats.cpu_seconds + stats.gpu_seconds;
+  const double routed_steady =
+      routed_total - (warm_stats.cpu_seconds + warm_stats.gpu_seconds);
+
+  std::cout << blob::util::strfmt(
+      "\nreplayed %zu calls on %s/%s (mode %s%s)\n", calls,
+      config.profile.name.c_str(), config.personality.name.c_str(),
+      args.get_string("--mode").c_str(), use_queue ? ", queued" : "");
+  std::cout << blob::util::strfmt(
+      "  routed      %.4es   (cpu %llu, gpu %llu, batched %llu)\n",
+      routed_total, static_cast<unsigned long long>(stats.cpu_routed),
+      static_cast<unsigned long long>(stats.gpu_routed),
+      static_cast<unsigned long long>(stats.batched_routed));
+  std::cout << blob::util::strfmt("  oracle      %.4es\n", total.oracle_s);
+  std::cout << blob::util::strfmt("  always-cpu  %.4es\n",
+                                  total.always_cpu_s);
+  std::cout << blob::util::strfmt("  always-gpu  %.4es\n",
+                                  total.always_gpu_s);
+  if (total.oracle_s > 0.0) {
+    std::cout << blob::util::strfmt(
+        "  regret vs oracle: %+.2f%%  (steady-state: %+.2f%%)\n",
+        100.0 * (routed_total / total.oracle_s - 1.0),
+        steady.oracle_s > 0.0
+            ? 100.0 * (routed_steady / steady.oracle_s - 1.0)
+            : 0.0);
+  }
+  std::cout << blob::util::strfmt(
+      "  decisions: %llu cold, %llu explore, %llu exploit, %llu hold, "
+      "%llu forced, %llu switches\n",
+      static_cast<unsigned long long>(stats.cold_starts),
+      static_cast<unsigned long long>(stats.explores),
+      static_cast<unsigned long long>(stats.exploits),
+      static_cast<unsigned long long>(stats.hysteresis_holds),
+      static_cast<unsigned long long>(stats.forced_cpu),
+      static_cast<unsigned long long>(stats.route_switches));
+
+  const std::string save_path = args.get_string("--save-calib");
+  if (!save_path.empty()) {
+    if (dispatcher.save_calibration(save_path)) {
+      std::cout << "calibration saved to " << save_path << "\n";
+    } else {
+      std::cerr << "error: cannot write " << save_path << "\n";
+      return 1;
+    }
+  }
+
+  const std::string trace_path = args.get_string("--trace-out");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    dispatcher.trace().dump_json(out);
+  }
+
+  const std::string json_path = args.get_string("--json-out");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
+    blob::util::JsonWriter json(out, /*pretty=*/true);
+    json.begin_object();
+    json.kv("system", config.profile.name);
+    json.kv("personality", config.personality.name);
+    json.kv("mode", args.get_string("--mode"));
+    json.kv("queued", use_queue);
+    json.kv("calls", calls);
+    json.kv("warmup_calls", warmup);
+    json.kv("routed_s", routed_total);
+    json.kv("routed_steady_s", routed_steady);
+    json.kv("oracle_s", total.oracle_s);
+    json.kv("oracle_steady_s", steady.oracle_s);
+    json.kv("always_cpu_s", total.always_cpu_s);
+    json.kv("always_gpu_s", total.always_gpu_s);
+    if (total.oracle_s > 0.0) {
+      json.kv("regret_vs_oracle", routed_total / total.oracle_s - 1.0);
+    }
+    if (steady.oracle_s > 0.0) {
+      json.kv("steady_regret_vs_oracle",
+              routed_steady / steady.oracle_s - 1.0);
+    }
+    json.key("stats").begin_object();
+    blob::dispatch::write_stats_fields(json, stats);
+    json.end_object();
+    json.end_object();
+    out << "\n";
+    std::cout << "summary written to " << json_path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,205 @@
+// Extension (paper §III-D turned online): regret of the self-calibrating
+// offload dispatcher against the per-call oracle.
+//
+// The paper computes the offload threshold offline and leaves the routing
+// decision to the programmer. src/dispatch makes the decision at runtime:
+// an epsilon-greedy decision table seeded from OffloadAdvisor predictions
+// learns per shape bucket whether the CPU library or the simulated GPU is
+// cheaper. This bench replays a fixed mixed GEMM/GEMV workload on each
+// system profile and compares the total modelled cost of the dispatcher's
+// routing against three baselines: the per-call oracle (lower bound),
+// always-CPU and always-GPU (what a static port would pay).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "dispatch/dispatcher.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace blob;
+
+struct ShapeClass {
+  const char* name;
+  core::KernelOp op;
+  model::Precision precision;
+  std::int64_t m, n, k;
+  double weight;
+};
+
+// A serving-style mix: many small GEMMs (CPU territory), some large ones
+// (GPU territory), and mid sizes that sit near the offload threshold.
+const ShapeClass kClasses[] = {
+    {"gemm-small-f32", core::KernelOp::Gemm, model::Precision::F32, 48, 48,
+     48, 0.35},
+    {"gemm-mid-f32", core::KernelOp::Gemm, model::Precision::F32, 256, 256,
+     256, 0.20},
+    {"gemm-large-f32", core::KernelOp::Gemm, model::Precision::F32, 640, 640,
+     640, 0.15},
+    {"gemm-large-f64", core::KernelOp::Gemm, model::Precision::F64, 512, 512,
+     512, 0.10},
+    {"gemv-mid-f32", core::KernelOp::Gemv, model::Precision::F32, 640, 640,
+     1, 0.10},
+    {"gemv-large-f64", core::KernelOp::Gemv, model::Precision::F64, 1280,
+     1280, 1, 0.10},
+};
+
+struct ClassBuffers {
+  std::vector<float> a32, b32, c32;
+  std::vector<double> a64, b64, c64;
+};
+
+ClassBuffers make_buffers(const ShapeClass& cls, util::Xoshiro256& rng) {
+  ClassBuffers buf;
+  const std::size_t an = static_cast<std::size_t>(cls.m * cls.k);
+  const std::size_t bn = static_cast<std::size_t>(cls.k * cls.n);
+  const std::size_t cn = static_cast<std::size_t>(
+      cls.op == core::KernelOp::Gemv ? cls.m : cls.m * cls.n);
+  const std::size_t xn = static_cast<std::size_t>(
+      cls.op == core::KernelOp::Gemv ? cls.n : 0);
+  if (cls.precision == model::Precision::F32) {
+    buf.a32.resize(cls.op == core::KernelOp::Gemv
+                       ? static_cast<std::size_t>(cls.m * cls.n)
+                       : an);
+    buf.b32.resize(cls.op == core::KernelOp::Gemv ? xn : bn);
+    buf.c32.resize(cn);
+    for (auto& v : buf.a32) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : buf.b32) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  } else {
+    buf.a64.resize(cls.op == core::KernelOp::Gemv
+                       ? static_cast<std::size_t>(cls.m * cls.n)
+                       : an);
+    buf.b64.resize(cls.op == core::KernelOp::Gemv ? xn : bn);
+    buf.c64.resize(cn);
+    for (auto& v : buf.a64) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : buf.b64) v = rng.uniform(-1.0, 1.0);
+  }
+  return buf;
+}
+
+struct Totals {
+  double routed = 0.0;
+  double oracle = 0.0;
+  double always_cpu = 0.0;
+  double always_gpu = 0.0;
+};
+
+struct ReplayResult {
+  Totals full;    ///< whole replay, exploration tax included
+  Totals steady;  ///< post-warmup window only
+};
+
+ReplayResult replay(const std::string& system, int calls, int warmup) {
+  dispatch::DispatcherConfig cfg;
+  cfg.profile = profile::by_name(system);
+  cfg.cpu_threads = 2;
+  cfg.trace_capacity = 64;
+  dispatch::Dispatcher disp(cfg);
+
+  util::Xoshiro256 rng(0xbe9c4 ^ std::hash<std::string>{}(system));
+  std::vector<ClassBuffers> buffers;
+  buffers.reserve(std::size(kClasses));
+  for (const auto& cls : kClasses) buffers.push_back(make_buffers(cls, rng));
+
+  ReplayResult result;
+  Totals at_warmup;
+  for (int i = 0; i < calls; ++i) {
+    if (i == warmup) {
+      const auto stats = disp.stats();
+      at_warmup = result.full;
+      at_warmup.routed = stats.cpu_seconds + stats.gpu_seconds;
+    }
+    double pick = rng.next_double();
+    std::size_t ci = 0;
+    for (; ci + 1 < std::size(kClasses); ++ci) {
+      if (pick < kClasses[ci].weight) break;
+      pick -= kClasses[ci].weight;
+    }
+    const ShapeClass& cls = kClasses[ci];
+    ClassBuffers& buf = buffers[ci];
+    const int m = static_cast<int>(cls.m);
+    const int n = static_cast<int>(cls.n);
+    const int k = static_cast<int>(cls.k);
+
+    dispatch::CallShape shape{cls.op, cls.precision, cls.m, cls.n,
+                              cls.op == core::KernelOp::Gemv ? 1 : cls.k,
+                              /*beta_zero=*/true, cfg.mode};
+    const auto costs = disp.modelled_costs(shape);
+    result.full.oracle += std::min(costs.cpu_s, costs.gpu_s);
+    result.full.always_cpu += costs.cpu_s;
+    result.full.always_gpu += costs.gpu_s;
+
+    if (cls.op == core::KernelOp::Gemm) {
+      if (cls.precision == model::Precision::F32) {
+        disp.run_gemm<float>(blas::Transpose::No, blas::Transpose::No, m, n,
+                             k, 1.0F, buf.a32.data(), m, buf.b32.data(), k,
+                             0.0F, buf.c32.data(), m);
+      } else {
+        disp.run_gemm<double>(blas::Transpose::No, blas::Transpose::No, m, n,
+                              k, 1.0, buf.a64.data(), m, buf.b64.data(), k,
+                              0.0, buf.c64.data(), m);
+      }
+    } else {
+      if (cls.precision == model::Precision::F32) {
+        disp.run_gemv<float>(blas::Transpose::No, m, n, 1.0F, buf.a32.data(),
+                             m, buf.b32.data(), 1, 0.0F, buf.c32.data(), 1);
+      } else {
+        disp.run_gemv<double>(blas::Transpose::No, m, n, 1.0, buf.a64.data(),
+                              m, buf.b64.data(), 1, 0.0, buf.c64.data(), 1);
+      }
+    }
+  }
+  const auto stats = disp.stats();
+  result.full.routed = stats.cpu_seconds + stats.gpu_seconds;
+  result.steady.routed = result.full.routed - at_warmup.routed;
+  result.steady.oracle = result.full.oracle - at_warmup.oracle;
+  result.steady.always_cpu = result.full.always_cpu - at_warmup.always_cpu;
+  result.steady.always_gpu = result.full.always_gpu - at_warmup.always_gpu;
+  return result;
+}
+
+std::string pct(double value, double baseline) {
+  if (baseline <= 0.0) return "--";
+  return util::strfmt("%+.1f%%", 100.0 * (value - baseline) / baseline);
+}
+
+}  // namespace
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Extension -- online dispatch regret vs the per-call oracle");
+  bench::paper_reference({
+      "The paper's offload threshold (SIII-D) is an offline porting",
+      "heuristic. Routing every call online with a self-calibrating",
+      "decision table should land near the oracle and strictly beat",
+      "either static choice on a mixed workload.",
+  });
+
+  util::TextTable table({"system", "steady oracle (s)", "routed (steady)",
+                         "always-cpu", "always-gpu", "routed (full)"},
+                        {util::Align::Left, util::Align::Right,
+                         util::Align::Right, util::Align::Right,
+                         util::Align::Right, util::Align::Right});
+  for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+    const ReplayResult r = replay(system, 600, 150);
+    table.row({system, util::strfmt("%.4e", r.steady.oracle),
+               pct(r.steady.routed, r.steady.oracle),
+               pct(r.steady.always_cpu, r.steady.oracle),
+               pct(r.steady.always_gpu, r.steady.oracle),
+               pct(r.full.routed, r.full.oracle)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nReading: modelled cost of a 600-call mixed GEMM/GEMV replay as\n"
+      "regret over the per-call oracle. 'steady' drops the 150-call warmup\n"
+      "where the dispatcher pays its exploration tax (cold starts + epsilon\n"
+      "probes); after it, routing sits within a few percent of the oracle\n"
+      "and beats both static choices. 'full' keeps the tax, which a warm\n"
+      "restart from the calibration store avoids entirely.\n");
+  return 0;
+}

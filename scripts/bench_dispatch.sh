@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Replay the serving workload through the online offload dispatcher and
+# emit artifacts/BENCH_dispatch.json: routed cost vs the per-call oracle
+# and the always-CPU / always-GPU static baselines, for three scenarios —
+# a cold start (learning online), a warm restart from the calibration
+# store written by the cold run, and the queued/coalescing path.
+#
+# Usage: scripts/bench_dispatch.sh [build-dir] [extra blob-serve args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+serve="$build_dir/apps/blob-serve"
+
+if [ ! -x "$serve" ]; then
+  echo "error: $serve not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j --target blob-serve" >&2
+  exit 1
+fi
+
+out_dir="$repo_root/artifacts"
+mkdir -p "$out_dir"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+common=(--system dawn -n 400 --seed 42 "$@")
+
+echo "== cold start (online learning) =="
+"$serve" "${common[@]}" --save-calib "$tmp/calib.json" \
+  --json-out "$tmp/cold.json"
+
+echo
+echo "== warm restart (persisted calibration) =="
+"$serve" "${common[@]}" --load-calib "$tmp/calib.json" \
+  --json-out "$tmp/warm.json"
+
+echo
+echo "== admission queue (coalescing + overlap) =="
+"$serve" "${common[@]}" --queue --clients 4 --json-out "$tmp/queued.json"
+
+python3 - "$tmp" "$out_dir/BENCH_dispatch.json" <<'PY'
+import json, sys
+tmp, out = sys.argv[1], sys.argv[2]
+doc = {name: json.load(open(f"{tmp}/{name}.json"))
+       for name in ("cold", "warm", "queued")}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PY
+
+echo
+echo "wrote $out_dir/BENCH_dispatch.json"

@@ -1,5 +1,6 @@
 #include "blas/cblas.hpp"
 
+#include <atomic>
 #include <memory>
 
 #include "blas/level1.hpp"
@@ -16,90 +17,9 @@ std::unique_ptr<CpuBlasLibrary>& library_slot() {
   return lib;
 }
 
-// Row-major identities for the symmetric/triangular kernels:
-//  * symv: a row-major symmetric matrix equals its column-major self with
-//    the stored triangle flipped.
-//  * trsv/trsm: row-major == column-major of the transpose, so flip the
-//    uplo AND the transpose flag (trsm additionally flips the side and
-//    swaps m/n).
-blob::blas::UpLo to_uplo(CBLAS_UPLO u) {
-  return u == CblasUpper ? blob::blas::UpLo::Upper : blob::blas::UpLo::Lower;
-}
-blob::blas::UpLo flip_uplo(CBLAS_UPLO u) {
-  return u == CblasUpper ? blob::blas::UpLo::Lower : blob::blas::UpLo::Upper;
-}
-blob::blas::Transpose to_trans(CBLAS_TRANSPOSE t) {
-  return t == CblasNoTrans ? blob::blas::Transpose::No
-                           : blob::blas::Transpose::Yes;
-}
-blob::blas::Transpose flip_trans(CBLAS_TRANSPOSE t) {
-  return t == CblasNoTrans ? blob::blas::Transpose::Yes
-                           : blob::blas::Transpose::No;
-}
-blob::blas::Diag to_diag(CBLAS_DIAG d) {
-  return d == CblasUnit ? blob::blas::Diag::Unit
-                        : blob::blas::Diag::NonUnit;
-}
-
-template <typename T>
-void symv_dispatch(CBLAS_ORDER order, CBLAS_UPLO uplo, int n, T alpha,
-                   const T* a, int lda, const T* x, int incx, T beta, T* y,
-                   int incy) {
-  const auto u = order == CblasColMajor ? to_uplo(uplo) : flip_uplo(uplo);
-  blob::blas::symv(u, n, alpha, a, lda, x, incx, beta, y, incy,
-                   cblas_library().pool(), cblas_library().max_threads());
-}
-
-template <typename T>
-void trsv_dispatch(CBLAS_ORDER order, CBLAS_UPLO uplo,
-                   CBLAS_TRANSPOSE trans, CBLAS_DIAG diag, int n, const T* a,
-                   int lda, T* x, int incx) {
-  if (order == CblasColMajor) {
-    blob::blas::trsv(to_uplo(uplo), to_trans(trans), to_diag(diag), n, a,
-                     lda, x, incx);
-  } else {
-    blob::blas::trsv(flip_uplo(uplo), flip_trans(trans), to_diag(diag), n, a,
-                     lda, x, incx);
-  }
-}
-
-template <typename T>
-void syrk_dispatch(CBLAS_ORDER order, CBLAS_UPLO uplo,
-                   CBLAS_TRANSPOSE trans, int n, int k, T alpha, const T* a,
-                   int lda, T beta, T* c, int ldc) {
-  if (order == CblasColMajor) {
-    blob::blas::syrk(to_uplo(uplo), to_trans(trans), n, k, alpha, a, lda,
-                     beta, c, ldc, cblas_library().pool(),
-                     cblas_library().max_threads());
-  } else {
-    blob::blas::syrk(flip_uplo(uplo), flip_trans(trans), n, k, alpha, a,
-                     lda, beta, c, ldc, cblas_library().pool(),
-                     cblas_library().max_threads());
-  }
-}
-
-template <typename T>
-void trsm_dispatch(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo,
-                   CBLAS_TRANSPOSE ta, CBLAS_DIAG diag, int m, int n,
-                   T alpha, const T* a, int lda, T* b, int ldb) {
-  if (order == CblasColMajor) {
-    blob::blas::trsm(side == CblasLeft ? blob::blas::Side::Left
-                                       : blob::blas::Side::Right,
-                     to_uplo(uplo), to_trans(ta), to_diag(diag), m, n, alpha,
-                     a, lda, b, ldb, cblas_library().pool(),
-                     cblas_library().max_threads());
-  } else {
-    // Row-major solve == column-major solve of the transposed system:
-    // op(A_rm) X = B  <=>  X^T op'(A_cm) = B^T where A_cm = A_rm^T.
-    // Flipping the side transposes the equation, which together with the
-    // buffer reinterpretation cancels the transpose flip: flip side and
-    // uplo, KEEP the transpose flag, swap m and n.
-    blob::blas::trsm(side == CblasLeft ? blob::blas::Side::Right
-                                       : blob::blas::Side::Left,
-                     flip_uplo(uplo), to_trans(ta), to_diag(diag), n, m,
-                     alpha, a, lda, b, ldb, cblas_library().pool(),
-                     cblas_library().max_threads());
-  }
+std::atomic<CblasDispatchHook*>& hook_slot() {
+  static std::atomic<CblasDispatchHook*> hook{nullptr};
+  return hook;
 }
 
 }  // namespace
@@ -112,11 +32,52 @@ void cblas_set_library(CpuLibraryPersonality personality,
 
 const CpuBlasLibrary& cblas_library() { return *library_slot(); }
 
+void cblas_set_dispatch_hook(CblasDispatchHook* hook) {
+  hook_slot().store(hook, std::memory_order_release);
+}
+
+CblasDispatchHook* cblas_dispatch_hook() {
+  return hook_slot().load(std::memory_order_acquire);
+}
+
 }  // namespace blob::blas
 
+using blob::blas::cblas_dispatch_hook;
 using blob::blas::cblas_library;
 
 namespace {
+
+// ------------------------------------------------ the dispatch seam
+//
+// One internal function per op. The row-major wrappers normalise to
+// column major BEFORE the seam, so validation happens exactly once and
+// every interception hook sees one canonical (column-major) signature.
+
+template <typename T>
+void gemm_entry(blob::blas::Transpose ta, blob::blas::Transpose tb, int m,
+                int n, int k, T alpha, const T* a, int lda, const T* b,
+                int ldb, T beta, T* c, int ldc) {
+  blob::blas::check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
+  if (auto* hook = cblas_dispatch_hook()) {
+    if (hook->gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)) {
+      return;
+    }
+  }
+  cblas_library().do_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                          ldc);
+}
+
+template <typename T>
+void gemv_entry(blob::blas::Transpose ta, int m, int n, T alpha, const T* a,
+                int lda, const T* x, int incx, T beta, T* y, int incy) {
+  blob::blas::check_gemv(ta, m, n, lda, incx, incy);
+  if (auto* hook = cblas_dispatch_hook()) {
+    if (hook->gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy)) return;
+  }
+  cblas_library().do_gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+
+// ------------------------------- storage-order normalisation wrappers
 
 // A row-major GEMV is the column-major GEMV of the transposed op with
 // m/n swapped.
@@ -124,16 +85,15 @@ template <typename T>
 void gemv_dispatch(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
                    T alpha, const T* a, int lda, const T* x, int incx,
                    T beta, T* y, int incy) {
+  using blob::blas::Transpose;
+  const Transpose op =
+      trans == CblasNoTrans ? Transpose::No : Transpose::Yes;
   if (order == CblasColMajor) {
-    cblas_library().do_gemv(
-        trans == CblasNoTrans ? blob::blas::Transpose::No
-                              : blob::blas::Transpose::Yes,
-        m, n, alpha, a, lda, x, incx, beta, y, incy);
+    gemv_entry(op, m, n, alpha, a, lda, x, incx, beta, y, incy);
   } else {
-    cblas_library().do_gemv(
-        trans == CblasNoTrans ? blob::blas::Transpose::Yes
-                              : blob::blas::Transpose::No,
-        n, m, alpha, a, lda, x, incx, beta, y, incy);
+    const Transpose flipped =
+        trans == CblasNoTrans ? Transpose::Yes : Transpose::No;
+    gemv_entry(flipped, n, m, alpha, a, lda, x, incx, beta, y, incy);
   }
 }
 
@@ -147,11 +107,9 @@ void gemm_dispatch(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
   const Transpose top_a = ta == CblasNoTrans ? Transpose::No : Transpose::Yes;
   const Transpose top_b = tb == CblasNoTrans ? Transpose::No : Transpose::Yes;
   if (order == CblasColMajor) {
-    cblas_library().do_gemm(top_a, top_b, m, n, k, alpha, a, lda, b, ldb,
-                            beta, c, ldc);
+    gemm_entry(top_a, top_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
   } else {
-    cblas_library().do_gemm(top_b, top_a, n, m, k, alpha, b, ldb, a, lda,
-                            beta, c, ldc);
+    gemm_entry(top_b, top_a, n, m, k, alpha, b, ldb, a, lda, beta, c, ldc);
   }
 }
 

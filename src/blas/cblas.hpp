@@ -113,4 +113,40 @@ void cblas_set_library(CpuLibraryPersonality personality,
 /// The library currently backing the cblas_* entry points.
 const CpuBlasLibrary& cblas_library();
 
+/// Interception seam for the GEMM/GEMV entry points.
+///
+/// Every cblas gemm/gemv call — either precision, either storage order —
+/// funnels through one internal function per op which normalises the
+/// arguments to column major, validates them once, then offers the call
+/// to the installed hook. A hook that returns true has executed the call
+/// (e.g. the online offload dispatcher routing it to a GPU); false falls
+/// through to the CPU library. Hooks therefore see exactly one canonical
+/// signature per op and never re-validate arguments.
+class CblasDispatchHook {
+ public:
+  virtual ~CblasDispatchHook() = default;
+
+  virtual bool gemm(Transpose ta, Transpose tb, int m, int n, int k,
+                    float alpha, const float* a, int lda, const float* b,
+                    int ldb, float beta, float* c, int ldc) = 0;
+  virtual bool gemm(Transpose ta, Transpose tb, int m, int n, int k,
+                    double alpha, const double* a, int lda, const double* b,
+                    int ldb, double beta, double* c, int ldc) = 0;
+  virtual bool gemv(Transpose ta, int m, int n, float alpha, const float* a,
+                    int lda, const float* x, int incx, float beta, float* y,
+                    int incy) = 0;
+  virtual bool gemv(Transpose ta, int m, int n, double alpha,
+                    const double* a, int lda, const double* x, int incx,
+                    double beta, double* y, int incy) = 0;
+};
+
+/// Install (or, with nullptr, remove) the hook behind the cblas GEMM/GEMV
+/// entry points. The caller keeps ownership and must clear the hook
+/// before destroying it. Installation is atomic with respect to
+/// concurrent cblas calls.
+void cblas_set_dispatch_hook(CblasDispatchHook* hook);
+
+/// The currently installed hook (nullptr when none).
+[[nodiscard]] CblasDispatchHook* cblas_dispatch_hook();
+
 }  // namespace blob::blas

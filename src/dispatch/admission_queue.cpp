@@ -1,0 +1,358 @@
+#include "dispatch/admission_queue.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+namespace blob::dispatch {
+
+AdmissionQueue::AdmissionQueue(Dispatcher& dispatcher,
+                               AdmissionQueueConfig config)
+    : dispatcher_(dispatcher), config_(config) {
+  config_.max_drain = std::max<std::size_t>(config_.max_drain, 1);
+  config_.coalesce_min = std::max(config_.coalesce_min, 2);
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+AdmissionQueue::~AdmissionQueue() { stop(); }
+
+std::future<void> AdmissionQueue::push(Request request) {
+  std::future<void> future = request.done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      throw std::runtime_error("AdmissionQueue: submit after stop()");
+    }
+    queue_.push_back(std::move(request));
+    ++submitted_;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+template <typename T>
+std::future<void> AdmissionQueue::submit_gemm(blas::Transpose ta,
+                                              blas::Transpose tb, int m,
+                                              int n, int k, T alpha,
+                                              const T* a, int lda,
+                                              const T* b, int ldb, T beta,
+                                              T* c, int ldc) {
+  Request r;
+  r.kind = sizeof(T) == 4 ? Kind::GemmF32 : Kind::GemmF64;
+  r.ta = ta;
+  r.tb = tb;
+  r.m = m;
+  r.n = n;
+  r.k = k;
+  r.lda = lda;
+  r.ldb = ldb;
+  r.ldc = ldc;
+  r.alpha = static_cast<double>(alpha);
+  r.beta = static_cast<double>(beta);
+  r.a = a;
+  r.b = b;
+  r.c = c;
+  return push(std::move(r));
+}
+
+template <typename T>
+std::future<void> AdmissionQueue::submit_gemv(blas::Transpose ta, int m,
+                                              int n, T alpha, const T* a,
+                                              int lda, const T* x, int incx,
+                                              T beta, T* y, int incy) {
+  Request r;
+  r.kind = sizeof(T) == 4 ? Kind::GemvF32 : Kind::GemvF64;
+  r.ta = ta;
+  r.m = m;
+  r.n = n;
+  r.k = 1;
+  r.lda = lda;
+  r.incx = incx;
+  r.incy = incy;
+  r.alpha = static_cast<double>(alpha);
+  r.beta = static_cast<double>(beta);
+  r.a = a;
+  r.b = x;
+  r.c = y;
+  return push(std::move(r));
+}
+
+template std::future<void> AdmissionQueue::submit_gemm<float>(
+    blas::Transpose, blas::Transpose, int, int, int, float, const float*,
+    int, const float*, int, float, float*, int);
+template std::future<void> AdmissionQueue::submit_gemm<double>(
+    blas::Transpose, blas::Transpose, int, int, int, double, const double*,
+    int, const double*, int, double, double*, int);
+template std::future<void> AdmissionQueue::submit_gemv<float>(
+    blas::Transpose, int, int, float, const float*, int, const float*, int,
+    float, float*, int);
+template std::future<void> AdmissionQueue::submit_gemv<double>(
+    blas::Transpose, int, int, double, const double*, int, const double*,
+    int, double, double*, int);
+
+void AdmissionQueue::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && !worker_busy_; });
+}
+
+void AdmissionQueue::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_ && !worker_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::uint64_t AdmissionQueue::submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return submitted_;
+}
+
+std::uint64_t AdmissionQueue::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void AdmissionQueue::worker_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      worker_busy_ = true;
+      const std::size_t take = std::min(queue_.size(), config_.max_drain);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    drain_cycle(batch);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      completed_ += batch.size();
+      worker_busy_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+bool AdmissionQueue::coalescible(const Request& r) const {
+  if (r.kind != Kind::GemmF32 && r.kind != Kind::GemmF64) return false;
+  if (r.ta != blas::Transpose::No || r.tb != blas::Transpose::No) {
+    return false;
+  }
+  if (r.m <= 0 || r.n <= 0 || r.k <= 0) return false;
+  const int dim = config_.coalesce_max_dim;
+  return r.m <= dim && r.n <= dim && r.k <= dim;
+}
+
+void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
+  // -- identify coalesce groups (same shape, scalars, leading dims) --------
+  using GroupKey =
+      std::tuple<int, int, int, int, int, int, int, double, double>;
+  std::map<GroupKey, std::vector<std::size_t>> groups;
+  std::vector<bool> coalesced(batch.size(), false);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Request& r = batch[i];
+    if (!coalescible(r)) continue;
+    groups[GroupKey{static_cast<int>(r.kind), r.m, r.n, r.k, r.lda, r.ldb,
+                    r.ldc, r.alpha, r.beta}]
+        .push_back(i);
+  }
+  std::vector<const std::vector<std::size_t>*> to_batch;
+  for (const auto& [key, members] : groups) {
+    if (members.size() >= static_cast<std::size_t>(config_.coalesce_min)) {
+      for (const std::size_t i : members) coalesced[i] = true;
+      to_batch.push_back(&members);
+    }
+  }
+
+  // -- plan the rest and submit GPU-routed work first (overlap setup) ------
+  struct CpuWork {
+    std::size_t idx;
+    Decision decision;
+  };
+  struct GpuWork {
+    std::size_t idx;
+    Dispatcher::GpuJob job;
+  };
+  std::vector<CpuWork> cpu_work;
+  std::vector<GpuWork> gpu_work;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (coalesced[i]) continue;
+    Request& r = batch[i];
+    CallShape shape;
+    shape.precision =
+        (r.kind == Kind::GemmF32 || r.kind == Kind::GemvF32)
+            ? model::Precision::F32
+            : model::Precision::F64;
+    shape.beta_zero = r.beta == 0.0;
+    shape.mode = dispatcher_.config().mode;
+    bool gpu_ok = false;
+    const bool is_gemm =
+        r.kind == Kind::GemmF32 || r.kind == Kind::GemmF64;
+    if (is_gemm) {
+      shape.op = core::KernelOp::Gemm;
+      shape.m = r.m;
+      shape.n = r.n;
+      shape.k = std::max(r.k, 1);
+      gpu_ok = r.ta == blas::Transpose::No && r.tb == blas::Transpose::No &&
+               r.m > 0 && r.n > 0 && r.k > 0;
+    } else {
+      shape.op = core::KernelOp::Gemv;
+      shape.m = r.m;
+      shape.n = r.n;
+      shape.k = 1;
+      gpu_ok = r.ta == blas::Transpose::No && r.incx == 1 && r.incy == 1 &&
+               r.m > 0 && r.n > 0;
+    }
+    const Decision decision = dispatcher_.plan(shape, gpu_ok);
+    if (decision.route == Route::Gpu) {
+      GpuWork w;
+      w.idx = i;
+      try {
+        switch (r.kind) {
+          case Kind::GemmF32:
+            w.job = dispatcher_.enqueue_gemm_gpu<float>(
+                decision, r.m, r.n, r.k, static_cast<float>(r.alpha),
+                static_cast<const float*>(r.a), r.lda,
+                static_cast<const float*>(r.b), r.ldb,
+                static_cast<float>(r.beta), static_cast<float*>(r.c),
+                r.ldc);
+            break;
+          case Kind::GemmF64:
+            w.job = dispatcher_.enqueue_gemm_gpu<double>(
+                decision, r.m, r.n, r.k, r.alpha,
+                static_cast<const double*>(r.a), r.lda,
+                static_cast<const double*>(r.b), r.ldb, r.beta,
+                static_cast<double*>(r.c), r.ldc);
+            break;
+          case Kind::GemvF32:
+            w.job = dispatcher_.enqueue_gemv_gpu<float>(
+                decision, r.m, r.n, static_cast<float>(r.alpha),
+                static_cast<const float*>(r.a), r.lda,
+                static_cast<const float*>(r.b), static_cast<float>(r.beta),
+                static_cast<float*>(r.c));
+            break;
+          case Kind::GemvF64:
+            w.job = dispatcher_.enqueue_gemv_gpu<double>(
+                decision, r.m, r.n, r.alpha,
+                static_cast<const double*>(r.a), r.lda,
+                static_cast<const double*>(r.b), r.beta,
+                static_cast<double*>(r.c));
+            break;
+        }
+        gpu_work.push_back(std::move(w));
+      } catch (...) {
+        r.done.set_exception(std::current_exception());
+      }
+    } else {
+      cpu_work.push_back(CpuWork{i, decision});
+    }
+  }
+
+  // -- CPU work runs while the GPU jobs are in flight ----------------------
+  for (const auto* members : to_batch) {
+    const Request& head = batch[members->front()];
+    const int count = static_cast<int>(members->size());
+    try {
+      if (head.kind == Kind::GemmF32) {
+        std::vector<const float*> as, bs;
+        std::vector<float*> cs;
+        as.reserve(members->size());
+        bs.reserve(members->size());
+        cs.reserve(members->size());
+        for (const std::size_t i : *members) {
+          as.push_back(static_cast<const float*>(batch[i].a));
+          bs.push_back(static_cast<const float*>(batch[i].b));
+          cs.push_back(static_cast<float*>(batch[i].c));
+        }
+        dispatcher_.run_gemm_coalesced<float>(
+            head.m, head.n, head.k, static_cast<float>(head.alpha),
+            as.data(), head.lda, bs.data(), head.ldb,
+            static_cast<float>(head.beta), cs.data(), head.ldc, count);
+      } else {
+        std::vector<const double*> as, bs;
+        std::vector<double*> cs;
+        as.reserve(members->size());
+        bs.reserve(members->size());
+        cs.reserve(members->size());
+        for (const std::size_t i : *members) {
+          as.push_back(static_cast<const double*>(batch[i].a));
+          bs.push_back(static_cast<const double*>(batch[i].b));
+          cs.push_back(static_cast<double*>(batch[i].c));
+        }
+        dispatcher_.run_gemm_coalesced<double>(head.m, head.n, head.k,
+                                               head.alpha, as.data(),
+                                               head.lda, bs.data(), head.ldb,
+                                               head.beta, cs.data(),
+                                               head.ldc, count);
+      }
+      for (const std::size_t i : *members) batch[i].done.set_value();
+    } catch (...) {
+      for (const std::size_t i : *members) {
+        batch[i].done.set_exception(std::current_exception());
+      }
+    }
+  }
+
+  for (const CpuWork& w : cpu_work) {
+    Request& r = batch[w.idx];
+    try {
+      switch (r.kind) {
+        case Kind::GemmF32:
+          dispatcher_.run_gemm_cpu<float>(
+              w.decision, r.ta, r.tb, r.m, r.n, r.k,
+              static_cast<float>(r.alpha), static_cast<const float*>(r.a),
+              r.lda, static_cast<const float*>(r.b), r.ldb,
+              static_cast<float>(r.beta), static_cast<float*>(r.c), r.ldc);
+          break;
+        case Kind::GemmF64:
+          dispatcher_.run_gemm_cpu<double>(
+              w.decision, r.ta, r.tb, r.m, r.n, r.k, r.alpha,
+              static_cast<const double*>(r.a), r.lda,
+              static_cast<const double*>(r.b), r.ldb, r.beta,
+              static_cast<double*>(r.c), r.ldc);
+          break;
+        case Kind::GemvF32:
+          dispatcher_.run_gemv_cpu<float>(
+              w.decision, r.ta, r.m, r.n, static_cast<float>(r.alpha),
+              static_cast<const float*>(r.a), r.lda,
+              static_cast<const float*>(r.b), r.incx,
+              static_cast<float>(r.beta), static_cast<float*>(r.c),
+              r.incy);
+          break;
+        case Kind::GemvF64:
+          dispatcher_.run_gemv_cpu<double>(
+              w.decision, r.ta, r.m, r.n, r.alpha,
+              static_cast<const double*>(r.a), r.lda,
+              static_cast<const double*>(r.b), r.incx, r.beta,
+              static_cast<double*>(r.c), r.incy);
+          break;
+      }
+      r.done.set_value();
+    } catch (...) {
+      r.done.set_exception(std::current_exception());
+    }
+  }
+
+  // -- join the GPU jobs; outputs publish only after the unpack ------------
+  const bool overlapped = !cpu_work.empty() || !to_batch.empty();
+  for (GpuWork& w : gpu_work) {
+    Request& r = batch[w.idx];
+    try {
+      dispatcher_.finish_gpu_job(w.job, overlapped);
+      r.done.set_value();
+    } catch (...) {
+      r.done.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace blob::dispatch

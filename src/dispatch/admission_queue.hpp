@@ -1,0 +1,113 @@
+#pragma once
+// Admission queue: the dispatcher's concurrent front door.
+//
+// Many client threads submit BLAS requests and receive futures; one
+// worker thread drains the queue in cycles. Each cycle the worker
+//  1. coalesces same-shape small GEMMs into a single blas::gemm_batched
+//     submission (the paper's §V future-work observation that batching
+//     "can greatly improve GEMM performance for small problem sizes"),
+//  2. plans the remaining requests through the decision table,
+//  3. enqueues every GPU-routed request on the simulated device WITHOUT
+//     synchronising, then runs all CPU-routed work while those virtual
+//     transfers/kernels are in flight, and only then joins the GPU jobs —
+//     transfer/compute overlap in the cudaMemcpyAsync style.
+//
+// Results are published through the futures strictly after the output
+// buffer has been written (for GPU routes, after the staged download is
+// unpacked), so a client that waits on its future always reads a
+// complete result.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "dispatch/dispatcher.hpp"
+
+namespace blob::dispatch {
+
+struct AdmissionQueueConfig {
+  /// Requests drained per worker cycle (the coalescing window).
+  std::size_t max_drain = 32;
+  /// Same-shape CPU-eligible GEMM groups of at least this size are
+  /// merged into one batched submission.
+  int coalesce_min = 4;
+  /// Only GEMMs with every dimension at or below this coalesce — large
+  /// problems are better served by the per-call routing decision.
+  int coalesce_max_dim = 128;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(Dispatcher& dispatcher,
+                          AdmissionQueueConfig config = {});
+  ~AdmissionQueue();
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  // -- asynchronous submission (thread-safe) -------------------------------
+  // The caller keeps all operand buffers alive and un-aliased until the
+  // returned future resolves.
+  template <typename T>
+  std::future<void> submit_gemm(blas::Transpose ta, blas::Transpose tb,
+                                int m, int n, int k, T alpha, const T* a,
+                                int lda, const T* b, int ldb, T beta, T* c,
+                                int ldc);
+  template <typename T>
+  std::future<void> submit_gemv(blas::Transpose ta, int m, int n, T alpha,
+                                const T* a, int lda, const T* x, int incx,
+                                T beta, T* y, int incy);
+
+  /// Block until every request submitted so far has completed.
+  void flush();
+
+  /// Drain outstanding work and join the worker (idempotent; the
+  /// destructor calls it).
+  void stop();
+
+  [[nodiscard]] std::uint64_t submitted() const;
+  [[nodiscard]] std::uint64_t completed() const;
+
+ private:
+  enum class Kind { GemmF32, GemmF64, GemvF32, GemvF64 };
+
+  struct Request {
+    Kind kind = Kind::GemmF32;
+    blas::Transpose ta = blas::Transpose::No;
+    blas::Transpose tb = blas::Transpose::No;
+    int m = 0, n = 0, k = 0;
+    int lda = 0, ldb = 0, ldc = 0;
+    int incx = 1, incy = 1;
+    // Scalars held as double; float round-trips losslessly.
+    double alpha = 1.0, beta = 0.0;
+    const void* a = nullptr;
+    const void* b = nullptr;  ///< B for GEMM, x for GEMV
+    void* c = nullptr;        ///< C for GEMM, y for GEMV
+    std::promise<void> done;
+  };
+
+  std::future<void> push(Request request);
+  void worker_loop();
+  void drain_cycle(std::vector<Request>& batch);
+
+  /// True when the request qualifies for CPU-batched coalescing.
+  [[nodiscard]] bool coalescible(const Request& r) const;
+
+  Dispatcher& dispatcher_;
+  AdmissionQueueConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;        ///< worker wake-up
+  std::condition_variable idle_cv_;   ///< flush() wake-up
+  std::deque<Request> queue_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  bool stop_ = false;
+  bool worker_busy_ = false;
+  std::thread worker_;
+};
+
+}  // namespace blob::dispatch

@@ -1,0 +1,198 @@
+#include "dispatch/calibration_store.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace blob::dispatch {
+
+namespace {
+
+core::KernelOp parse_op(const std::string& s) {
+  if (s == "gemm") return core::KernelOp::Gemm;
+  if (s == "gemv") return core::KernelOp::Gemv;
+  throw util::JsonError("calibration: unknown op '" + s + "'");
+}
+
+model::Precision parse_precision(const std::string& s) {
+  if (s == "f32") return model::Precision::F32;
+  if (s == "f64") return model::Precision::F64;
+  if (s == "f16") return model::Precision::F16;
+  if (s == "bf16") return model::Precision::BF16;
+  throw util::JsonError("calibration: unknown precision '" + s + "'");
+}
+
+core::TransferMode parse_mode(const std::string& s) {
+  if (s == "once") return core::TransferMode::Once;
+  if (s == "always") return core::TransferMode::Always;
+  if (s == "usm") return core::TransferMode::Usm;
+  throw util::JsonError("calibration: unknown transfer mode '" + s + "'");
+}
+
+Route parse_route(const std::string& s) {
+  if (s == "cpu") return Route::Cpu;
+  if (s == "gpu") return Route::Gpu;
+  if (s == "cpu-batched") return Route::CpuBatched;
+  throw util::JsonError("calibration: unknown route '" + s + "'");
+}
+
+void write_estimate(util::JsonWriter& json, std::string_view name,
+                    const RouteEstimate& est) {
+  json.key(name).begin_object();
+  json.kv("ewma_s", est.ewma_s);
+  json.kv("samples", static_cast<std::int64_t>(est.samples));
+  json.end_object();
+}
+
+RouteEstimate read_estimate(const util::JsonValue& v) {
+  RouteEstimate est;
+  est.ewma_s = v.at("ewma_s").as_double();
+  est.samples = static_cast<std::uint64_t>(v.at("samples").as_int());
+  return est;
+}
+
+void write_blocking(util::JsonWriter& json, std::string_view name,
+                    const blas::GemmBlocking& b) {
+  json.key(name).begin_object();
+  json.kv("mc", b.mc).kv("kc", b.kc).kv("nc", b.nc);
+  json.kv("jr_panels_per_tile", b.partition.jr_panels_per_tile);
+  json.kv("min_parallel_tiles", b.partition.min_parallel_tiles);
+  json.end_object();
+}
+
+blas::GemmBlocking read_blocking(const util::JsonValue& v) {
+  blas::GemmBlocking b;
+  b.mc = static_cast<int>(v.at("mc").as_int());
+  b.kc = static_cast<int>(v.at("kc").as_int());
+  b.nc = static_cast<int>(v.at("nc").as_int());
+  b.partition.jr_panels_per_tile =
+      static_cast<int>(v.at("jr_panels_per_tile").as_int());
+  b.partition.min_parallel_tiles =
+      static_cast<int>(v.at("min_parallel_tiles").as_int());
+  return b;
+}
+
+}  // namespace
+
+const char* to_string(LoadStatus status) {
+  switch (status) {
+    case LoadStatus::Ok:
+      return "ok";
+    case LoadStatus::IoError:
+      return "io-error";
+    case LoadStatus::BadJson:
+      return "bad-json";
+    case LoadStatus::VersionMismatch:
+      return "version-mismatch";
+    case LoadStatus::PersonalityMismatch:
+      return "personality-mismatch";
+    case LoadStatus::ProfileMismatch:
+      return "profile-mismatch";
+  }
+  return "?";
+}
+
+void save_calibration(std::ostream& out, const CalibrationData& data) {
+  util::JsonWriter json(out, /*pretty=*/true);
+  json.begin_object();
+  json.kv("version", kCalibrationVersion);
+  json.kv("personality", data.personality);
+  json.kv("profile", data.profile);
+  if (data.blocking_f32) write_blocking(json, "blocking_f32", *data.blocking_f32);
+  if (data.blocking_f64) write_blocking(json, "blocking_f64", *data.blocking_f64);
+  json.key("entries").begin_array();
+  for (const auto& [key, state] : data.entries) {
+    json.begin_object();
+    json.kv("op", core::to_string(key.op));
+    json.kv("precision", model::to_string(key.precision));
+    json.kv("mode", core::to_string(key.mode));
+    json.kv("bucket", key.bucket);
+    write_estimate(json, "cpu", state.cpu);
+    write_estimate(json, "gpu", state.gpu);
+    json.kv("incumbent", to_string(state.incumbent));
+    json.kv("visits", static_cast<std::int64_t>(state.visits));
+    json.kv("switches", static_cast<std::int64_t>(state.switches));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  out << "\n";
+}
+
+bool save_calibration_file(const std::string& path,
+                           const CalibrationData& data) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_calibration(out, data);
+  return static_cast<bool>(out);
+}
+
+LoadResult load_calibration(std::istream& in,
+                            const std::string& expect_personality,
+                            const std::string& expect_profile) {
+  LoadResult result;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const util::JsonValue doc = util::json_parse(buffer.str());
+    if (doc.at("version").as_int() != kCalibrationVersion) {
+      result.status = LoadStatus::VersionMismatch;
+      return result;
+    }
+    CalibrationData data;
+    data.personality = doc.at("personality").as_string();
+    data.profile = doc.at("profile").as_string();
+    if (!expect_personality.empty() &&
+        data.personality != expect_personality) {
+      result.status = LoadStatus::PersonalityMismatch;
+      return result;
+    }
+    if (!expect_profile.empty() && data.profile != expect_profile) {
+      result.status = LoadStatus::ProfileMismatch;
+      return result;
+    }
+    if (const util::JsonValue* b = doc.find("blocking_f32")) {
+      data.blocking_f32 = read_blocking(*b);
+    }
+    if (const util::JsonValue* b = doc.find("blocking_f64")) {
+      data.blocking_f64 = read_blocking(*b);
+    }
+    for (const util::JsonValue& entry : doc.at("entries").as_array()) {
+      BucketKey key;
+      key.op = parse_op(entry.at("op").as_string());
+      key.precision = parse_precision(entry.at("precision").as_string());
+      key.mode = parse_mode(entry.at("mode").as_string());
+      key.bucket = static_cast<int>(entry.at("bucket").as_int());
+      BucketState state;
+      state.cpu = read_estimate(entry.at("cpu"));
+      state.gpu = read_estimate(entry.at("gpu"));
+      state.incumbent = parse_route(entry.at("incumbent").as_string());
+      state.visits = static_cast<std::uint64_t>(entry.at("visits").as_int());
+      state.switches =
+          static_cast<std::uint64_t>(entry.at("switches").as_int());
+      data.entries.insert_or_assign(key, state);
+    }
+    result.data = std::move(data);
+    result.status = LoadStatus::Ok;
+  } catch (const util::JsonError&) {
+    result.status = LoadStatus::BadJson;
+  }
+  return result;
+}
+
+LoadResult load_calibration_file(const std::string& path,
+                                 const std::string& expect_personality,
+                                 const std::string& expect_profile) {
+  std::ifstream in(path);
+  if (!in) {
+    LoadResult result;
+    result.status = LoadStatus::IoError;
+    return result;
+  }
+  return load_calibration(in, expect_personality, expect_profile);
+}
+
+}  // namespace blob::dispatch

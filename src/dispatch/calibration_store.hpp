@@ -1,0 +1,73 @@
+#pragma once
+// Persistent calibration store for the online dispatcher.
+//
+// A warm dispatcher is the whole point of calibrating online: the decision
+// table learned during one serving run round-trips through a small JSON
+// file and is restored on the next start, so the losing backend is not
+// re-probed on every restart. The file is versioned and keyed by the
+// active CPU library personality and simulated-GPU system profile —
+// timings learned against AOCL-on-Dawn say nothing about NVPL-on-Isambard,
+// so a mismatch rejects the file (the caller then falls back to
+// advisor-seeded cold start).
+//
+// The store also carries the autotuned GEMM blocking (satellite of
+// blas::autotune_blocking): tuned (MC, KC, NC) persist next to the routing
+// table so a restart skips both re-exploration and re-tuning.
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "blas/gemm.hpp"
+#include "dispatch/decision_table.hpp"
+
+namespace blob::dispatch {
+
+/// Bump when the on-disk schema changes; older files are rejected.
+inline constexpr int kCalibrationVersion = 1;
+
+/// Everything a warm restart needs.
+struct CalibrationData {
+  std::string personality;  ///< blas::CpuLibraryPersonality::name
+  std::string profile;      ///< sysprofile::SystemProfile::name
+  std::map<BucketKey, BucketState> entries;
+  std::optional<blas::GemmBlocking> blocking_f32;
+  std::optional<blas::GemmBlocking> blocking_f64;
+};
+
+enum class LoadStatus {
+  Ok,
+  IoError,              ///< file missing or unreadable
+  BadJson,              ///< parse failure or schema violation
+  VersionMismatch,      ///< written by a different schema version
+  PersonalityMismatch,  ///< calibrated against another CPU library
+  ProfileMismatch,      ///< calibrated against another system profile
+};
+
+const char* to_string(LoadStatus status);
+
+struct LoadResult {
+  LoadStatus status = LoadStatus::IoError;
+  CalibrationData data;  ///< valid only when status == Ok
+};
+
+/// Serialise `data` as one JSON document.
+void save_calibration(std::ostream& out, const CalibrationData& data);
+
+/// Write to `path`; returns false when the file cannot be opened.
+bool save_calibration_file(const std::string& path,
+                           const CalibrationData& data);
+
+/// Parse and validate a store. `expect_personality` / `expect_profile`
+/// must match what the file was written with; empty expectations skip
+/// that check (used by tooling that just wants to inspect a file).
+LoadResult load_calibration(std::istream& in,
+                            const std::string& expect_personality,
+                            const std::string& expect_profile);
+
+LoadResult load_calibration_file(const std::string& path,
+                                 const std::string& expect_personality,
+                                 const std::string& expect_profile);
+
+}  // namespace blob::dispatch

@@ -1,0 +1,183 @@
+#include "dispatch/decision_table.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/flops.hpp"
+
+namespace blob::dispatch {
+
+const char* to_string(Route route) {
+  switch (route) {
+    case Route::Cpu:
+      return "cpu";
+    case Route::Gpu:
+      return "gpu";
+    case Route::CpuBatched:
+      return "cpu-batched";
+  }
+  return "?";
+}
+
+const char* to_string(Reason reason) {
+  switch (reason) {
+    case Reason::ColdStart:
+      return "cold-start";
+    case Reason::Exploit:
+      return "exploit";
+    case Reason::Explore:
+      return "explore";
+    case Reason::HysteresisHold:
+      return "hysteresis-hold";
+    case Reason::Coalesced:
+      return "coalesced";
+    case Reason::Forced:
+      return "forced";
+  }
+  return "?";
+}
+
+core::Problem to_problem(const CallShape& shape) {
+  core::Problem p;
+  p.op = shape.op;
+  p.precision = shape.precision;
+  p.dims = {shape.m, shape.n, shape.op == core::KernelOp::Gemm ? shape.k : 1};
+  p.beta_zero = shape.beta_zero;
+  return p;
+}
+
+int size_bucket(const CallShape& shape) {
+  const double flops = core::problem_flops(to_problem(shape));
+  return static_cast<int>(std::floor(std::log2(std::max(flops, 1.0))));
+}
+
+BucketKey bucket_key(const CallShape& shape) {
+  return BucketKey{shape.op, shape.precision, shape.mode,
+                   size_bucket(shape)};
+}
+
+DecisionTable::DecisionTable(DecisionTableConfig config)
+    : config_(config), rng_(config.rng_seed) {}
+
+bool DecisionTable::contains(const BucketKey& key) const {
+  return entries_.contains(key);
+}
+
+const BucketState* DecisionTable::find(const BucketKey& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void DecisionTable::seed(const BucketKey& key, double cpu_pred_s,
+                         double gpu_pred_s) {
+  if (entries_.contains(key)) return;
+  BucketState state;
+  state.cpu = {cpu_pred_s, 1};
+  state.gpu = {gpu_pred_s, 1};
+  state.incumbent = gpu_pred_s < cpu_pred_s ? Route::Gpu : Route::Cpu;
+  entries_.emplace(key, state);
+}
+
+void DecisionTable::restore(const BucketKey& key, const BucketState& state) {
+  BucketState restored = state;
+  restored.converged = state.visits >= config_.converged_visits;
+  entries_.insert_or_assign(key, restored);
+}
+
+Decision DecisionTable::choose(const BucketKey& key, bool gpu_available) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    throw std::logic_error("DecisionTable::choose: bucket not seeded");
+  }
+  BucketState& s = it->second;
+  Decision d;
+  d.cpu_est_s = s.cpu.ewma_s;
+  d.gpu_est_s = s.gpu.ewma_s;
+
+  if (!gpu_available) {
+    ++s.visits;
+    d.route = Route::Cpu;
+    d.reason = Reason::Forced;
+    return d;
+  }
+
+  const bool first_visit = s.visits == 0 && !s.converged;
+  ++s.visits;
+  if (first_visit) {
+    d.route = s.incumbent;
+    d.reason = Reason::ColdStart;
+    return d;
+  }
+
+  // A bucket self-converges once it has absorbed enough traffic and the
+  // challenger has been probed often enough to trust both estimates;
+  // from then on it routes purely on the EWMAs (buckets restored from a
+  // calibration store arrive converged).
+  if (!s.converged && s.visits >= config_.converged_visits &&
+      s.cpu.samples > config_.min_samples_to_switch &&
+      s.gpu.samples > config_.min_samples_to_switch) {
+    s.converged = true;
+  }
+
+  // Epsilon-greedy: probe the non-incumbent with a probability that
+  // decays as the bucket accumulates visits. Converged buckets never
+  // explore.
+  if (!s.converged) {
+    const double eps =
+        config_.epsilon * config_.epsilon_decay_visits /
+        (config_.epsilon_decay_visits + static_cast<double>(s.visits));
+    if (rng_.next_double() < eps) {
+      d.route = s.incumbent == Route::Cpu ? Route::Gpu : Route::Cpu;
+      d.reason = Reason::Explore;
+      return d;
+    }
+  }
+
+  // Exploit with hysteresis: the challenger must beat the incumbent by
+  // the margin, on enough samples, before the route flips.
+  const Route challenger =
+      s.incumbent == Route::Cpu ? Route::Gpu : Route::Cpu;
+  const RouteEstimate& inc_est =
+      s.incumbent == Route::Cpu ? s.cpu : s.gpu;
+  const RouteEstimate& cha_est =
+      s.incumbent == Route::Cpu ? s.gpu : s.cpu;
+  const bool challenger_cheaper = cha_est.ewma_s < inc_est.ewma_s;
+  if (challenger_cheaper) {
+    const bool clears_margin =
+        cha_est.ewma_s < inc_est.ewma_s * (1.0 - config_.hysteresis_margin);
+    const bool enough_samples =
+        cha_est.samples >= config_.min_samples_to_switch;
+    if (clears_margin && enough_samples) {
+      s.incumbent = challenger;
+      ++s.switches;
+      d.route = challenger;
+      d.reason = Reason::Exploit;
+      return d;
+    }
+    d.route = s.incumbent;
+    d.reason = Reason::HysteresisHold;
+    return d;
+  }
+  d.route = s.incumbent;
+  d.reason = Reason::Exploit;
+  return d;
+}
+
+void DecisionTable::observe(const BucketKey& key, Route route,
+                            double measured_s) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    throw std::logic_error("DecisionTable::observe: bucket not seeded");
+  }
+  RouteEstimate& est =
+      route == Route::Gpu ? it->second.gpu : it->second.cpu;
+  if (est.samples == 0) {
+    est.ewma_s = measured_s;
+  } else {
+    est.ewma_s = (1.0 - config_.ewma_alpha) * est.ewma_s +
+                 config_.ewma_alpha * measured_s;
+  }
+  ++est.samples;
+}
+
+}  // namespace blob::dispatch

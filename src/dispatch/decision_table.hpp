@@ -1,0 +1,135 @@
+#pragma once
+// Shape-bucketed CPU-vs-GPU decision table.
+//
+// The runtime analogue of the paper's offload threshold: instead of one
+// crossover dimension per (kernel, precision, transfer type) computed
+// offline, the table keeps per-bucket EWMA cost estimates for both
+// backends, cold-started from OffloadAdvisor predictions and refined by
+// measured executions. Buckets are log-scale in FLOPs, so one bucket
+// spans roughly a 1.26x dimension range for square GEMM — fine enough to
+// localise the crossover, coarse enough that every bucket keeps seeing
+// traffic.
+//
+// Two policies keep live routing stable where the offline threshold
+// detector needed its "momentary drops ... due to noise" tolerance
+// (§III-D):
+//  * epsilon-greedy exploration, decaying with bucket visits, keeps the
+//    losing backend's estimate fresh so a real regime change is noticed;
+//  * hysteresis: the incumbent route is only dethroned when the
+//    challenger's estimate beats it by a margin, so decisions cannot flap
+//    call-to-call near the crossover under timing noise.
+
+#include <cstdint>
+#include <map>
+
+#include "dispatch/types.hpp"
+#include "util/rng.hpp"
+
+namespace blob::dispatch {
+
+/// Decision-table key: (op, precision, transfer mode, log-scale size
+/// bucket). Ordered so the calibration store serialises deterministically.
+struct BucketKey {
+  core::KernelOp op = core::KernelOp::Gemm;
+  model::Precision precision = model::Precision::F32;
+  core::TransferMode mode = core::TransferMode::Once;
+  int bucket = 0;
+
+  auto operator<=>(const BucketKey&) const = default;
+};
+
+/// log2-of-FLOPs bucket of a call shape.
+int size_bucket(const CallShape& shape);
+
+/// Key for a call shape.
+BucketKey bucket_key(const CallShape& shape);
+
+/// EWMA cost estimate for one backend within one bucket.
+struct RouteEstimate {
+  double ewma_s = 0.0;          ///< estimated seconds per call
+  std::uint64_t samples = 0;    ///< observations folded in (incl. seed)
+};
+
+/// Learned state of one bucket.
+struct BucketState {
+  RouteEstimate cpu;
+  RouteEstimate gpu;
+  Route incumbent = Route::Cpu;
+  std::uint64_t visits = 0;    ///< choose() calls against this bucket
+  std::uint64_t switches = 0;  ///< incumbent changes since creation
+  /// Exploration is disabled once set. Buckets converge live after
+  /// enough visits with both arms sampled, and arrive converged when
+  /// restored from a calibration store with enough visits — a warm
+  /// restart serves immediately without re-probing the losing backend.
+  bool converged = false;
+};
+
+struct DecisionTableConfig {
+  double ewma_alpha = 0.25;     ///< weight of the newest observation
+  double epsilon = 0.10;        ///< base exploration probability
+  /// Effective epsilon = epsilon * decay / (decay + visits): early
+  /// visits explore, converged buckets almost never do.
+  double epsilon_decay_visits = 40.0;
+  /// The challenger must be at least this fraction cheaper than the
+  /// incumbent's estimate before the route switches.
+  double hysteresis_margin = 0.15;
+  /// The challenger additionally needs this many samples — a single
+  /// lucky probe cannot steal the route.
+  std::uint64_t min_samples_to_switch = 2;
+  /// Buckets restored from a store with at least this many visits are
+  /// marked converged (no exploration after a warm restart).
+  std::uint64_t converged_visits = 16;
+  std::uint64_t rng_seed = 0x0ff10ad;  ///< exploration draw stream
+};
+
+/// The routing decision for one call, with the estimates that drove it.
+struct Decision {
+  Route route = Route::Cpu;
+  Reason reason = Reason::Exploit;
+  double cpu_est_s = 0.0;
+  double gpu_est_s = 0.0;
+};
+
+class DecisionTable {
+ public:
+  explicit DecisionTable(DecisionTableConfig config = {});
+
+  [[nodiscard]] const DecisionTableConfig& config() const { return config_; }
+
+  /// True when the bucket has been seeded or restored.
+  [[nodiscard]] bool contains(const BucketKey& key) const;
+
+  /// Cold-start a bucket from model predictions (no-op if it exists).
+  /// The seed counts as one sample per backend; the incumbent starts on
+  /// the predicted-cheaper route.
+  void seed(const BucketKey& key, double cpu_pred_s, double gpu_pred_s);
+
+  /// Pick the route for a call in `key`'s bucket. The bucket must exist
+  /// (seed() first); `visits` is incremented. `gpu_available` = false
+  /// forces the CPU route without touching the incumbent (transposed or
+  /// strided shapes the simulated GPU does not accept).
+  Decision choose(const BucketKey& key, bool gpu_available = true);
+
+  /// Fold a measured per-call cost into the bucket's estimate for the
+  /// executed backend. Route::CpuBatched feeds the CPU estimate — the
+  /// amortised batched cost IS what the CPU route costs under coalescing.
+  void observe(const BucketKey& key, Route route, double measured_s);
+
+  /// Restore a bucket from the calibration store. Marks it converged
+  /// when it carries at least config().converged_visits visits.
+  void restore(const BucketKey& key, const BucketState& state);
+
+  [[nodiscard]] const std::map<BucketKey, BucketState>& entries() const {
+    return entries_;
+  }
+
+  /// Read-only view of one bucket (nullptr when absent).
+  [[nodiscard]] const BucketState* find(const BucketKey& key) const;
+
+ private:
+  DecisionTableConfig config_;
+  std::map<BucketKey, BucketState> entries_;
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace blob::dispatch

@@ -1,0 +1,158 @@
+#include "dispatch/decision_trace.hpp"
+
+#include "util/json.hpp"
+
+namespace blob::dispatch {
+
+void DispatchCounters::add_seconds(std::atomic<double>& target, double s) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + s,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void DispatchCounters::count_reason(Reason reason) {
+  switch (reason) {
+    case Reason::ColdStart:
+      cold_starts.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Reason::Explore:
+      explores.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Reason::Exploit:
+      exploits.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Reason::HysteresisHold:
+      hysteresis_holds.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Reason::Forced:
+      forced_cpu.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case Reason::Coalesced:
+      // counted via batched_routed
+      break;
+  }
+}
+
+DispatchStats DispatchCounters::snapshot() const {
+  DispatchStats s;
+  s.calls = calls.load(std::memory_order_relaxed);
+  s.gemm_calls = gemm_calls.load(std::memory_order_relaxed);
+  s.gemv_calls = gemv_calls.load(std::memory_order_relaxed);
+  s.cpu_routed = cpu_routed.load(std::memory_order_relaxed);
+  s.gpu_routed = gpu_routed.load(std::memory_order_relaxed);
+  s.batched_routed = batched_routed.load(std::memory_order_relaxed);
+  s.coalesced_batches = coalesced_batches.load(std::memory_order_relaxed);
+  s.cold_starts = cold_starts.load(std::memory_order_relaxed);
+  s.explores = explores.load(std::memory_order_relaxed);
+  s.exploits = exploits.load(std::memory_order_relaxed);
+  s.hysteresis_holds = hysteresis_holds.load(std::memory_order_relaxed);
+  s.forced_cpu = forced_cpu.load(std::memory_order_relaxed);
+  s.route_switches = route_switches.load(std::memory_order_relaxed);
+  s.gpu_ops_enqueued = gpu_ops_enqueued.load(std::memory_order_relaxed);
+  s.overlapped_gpu_calls =
+      overlapped_gpu_calls.load(std::memory_order_relaxed);
+  s.autotune_runs = autotune_runs.load(std::memory_order_relaxed);
+  s.calibration_loads = calibration_loads.load(std::memory_order_relaxed);
+  s.cpu_seconds = cpu_seconds.load(std::memory_order_relaxed);
+  s.gpu_seconds = gpu_seconds.load(std::memory_order_relaxed);
+  return s;
+}
+
+DecisionTrace::DecisionTrace(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void DecisionTrace::record(const TraceRecord& r) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(r);
+  } else {
+    ring_[total_ % capacity_] = r;
+  }
+  ++total_;
+}
+
+std::uint64_t DecisionTrace::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::vector<TraceRecord> DecisionTrace::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (total_ <= capacity_) return ring_;
+  // The ring wrapped: records [total_ % capacity_, end) are the oldest.
+  std::vector<TraceRecord> out;
+  out.reserve(capacity_);
+  const std::size_t head = total_ % capacity_;
+  out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head),
+             ring_.end());
+  out.insert(out.end(), ring_.begin(),
+             ring_.begin() + static_cast<std::ptrdiff_t>(head));
+  return out;
+}
+
+void DecisionTrace::dump_json(std::ostream& out) const {
+  const std::vector<TraceRecord> records = snapshot();
+  util::JsonWriter json(out, /*pretty=*/false);
+  json.begin_array();
+  for (const TraceRecord& r : records) {
+    json.begin_object();
+    json.kv("seq", static_cast<std::int64_t>(r.seq));
+    json.kv("op", core::to_string(r.op));
+    json.kv("precision", model::to_string(r.precision));
+    json.kv("mode", core::to_string(r.mode));
+    json.kv("bucket", r.bucket);
+    json.kv("m", r.m).kv("n", r.n).kv("k", r.k);
+    json.kv("route", to_string(r.route));
+    json.kv("reason", to_string(r.reason));
+    json.kv("cpu_est_s", r.cpu_est_s);
+    json.kv("gpu_est_s", r.gpu_est_s);
+    json.kv("cost_s", r.cost_s);
+    json.kv("observed_s", r.observed_s);
+    json.kv("batch", r.batch);
+    json.end_object();
+  }
+  json.end_array();
+  out << "\n";
+}
+
+void write_stats_fields(util::JsonWriter& json, const DispatchStats& stats) {
+  json.kv("calls", static_cast<std::int64_t>(stats.calls));
+  json.kv("gemm_calls", static_cast<std::int64_t>(stats.gemm_calls));
+  json.kv("gemv_calls", static_cast<std::int64_t>(stats.gemv_calls));
+  json.kv("cpu_routed", static_cast<std::int64_t>(stats.cpu_routed));
+  json.kv("gpu_routed", static_cast<std::int64_t>(stats.gpu_routed));
+  json.kv("batched_routed",
+          static_cast<std::int64_t>(stats.batched_routed));
+  json.kv("coalesced_batches",
+          static_cast<std::int64_t>(stats.coalesced_batches));
+  json.kv("cold_starts", static_cast<std::int64_t>(stats.cold_starts));
+  json.kv("explores", static_cast<std::int64_t>(stats.explores));
+  json.kv("exploits", static_cast<std::int64_t>(stats.exploits));
+  json.kv("hysteresis_holds",
+          static_cast<std::int64_t>(stats.hysteresis_holds));
+  json.kv("forced_cpu", static_cast<std::int64_t>(stats.forced_cpu));
+  json.kv("route_switches",
+          static_cast<std::int64_t>(stats.route_switches));
+  json.kv("gpu_ops_enqueued",
+          static_cast<std::int64_t>(stats.gpu_ops_enqueued));
+  json.kv("overlapped_gpu_calls",
+          static_cast<std::int64_t>(stats.overlapped_gpu_calls));
+  json.kv("autotune_runs", static_cast<std::int64_t>(stats.autotune_runs));
+  json.kv("calibration_loads",
+          static_cast<std::int64_t>(stats.calibration_loads));
+  json.kv("cpu_seconds", stats.cpu_seconds);
+  json.kv("gpu_seconds", stats.gpu_seconds);
+}
+
+void write_stats_json(std::ostream& out, const DispatchStats& stats) {
+  util::JsonWriter json(out, /*pretty=*/true);
+  json.begin_object();
+  write_stats_fields(json, stats);
+  json.end_object();
+  out << "\n";
+}
+
+}  // namespace blob::dispatch

@@ -1,0 +1,130 @@
+#pragma once
+// Decision-trace observability for the online dispatcher.
+//
+// Two layers, in the style of blas::GemmStats:
+//  * DispatchCounters — cheap process-lifetime atomic counters, snapshot
+//    with snapshot(); tests assert routing behaviour (cold starts,
+//    explores, switches) on these instead of on log scraping.
+//  * DecisionTrace — a bounded ring buffer of per-call records (route,
+//    reason, estimates, measured cost) dumpable as JSON for offline
+//    inspection of exactly why the router did what it did.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "dispatch/types.hpp"
+
+namespace blob::util {
+class JsonWriter;
+}
+
+namespace blob::dispatch {
+
+/// One routed call, as recorded after execution.
+struct TraceRecord {
+  std::uint64_t seq = 0;  ///< call sequence number (process order)
+  core::KernelOp op = core::KernelOp::Gemm;
+  model::Precision precision = model::Precision::F32;
+  core::TransferMode mode = core::TransferMode::Once;
+  int bucket = 0;
+  std::int64_t m = 0, n = 0, k = 0;
+  Route route = Route::Cpu;
+  Reason reason = Reason::Exploit;
+  double cpu_est_s = 0.0;   ///< table estimate at decision time
+  double gpu_est_s = 0.0;
+  double cost_s = 0.0;      ///< accounted (noise-free) cost of the route
+  double observed_s = 0.0;  ///< noisy measurement folded into the table
+  int batch = 1;            ///< >1 when executed inside a coalesced batch
+};
+
+/// Snapshot of the dispatcher's aggregate counters.
+struct DispatchStats {
+  std::uint64_t calls = 0;
+  std::uint64_t gemm_calls = 0;
+  std::uint64_t gemv_calls = 0;
+  std::uint64_t cpu_routed = 0;
+  std::uint64_t gpu_routed = 0;
+  std::uint64_t batched_routed = 0;  ///< calls absorbed into batches
+  std::uint64_t coalesced_batches = 0;  ///< batched submissions issued
+  std::uint64_t cold_starts = 0;
+  std::uint64_t explores = 0;
+  std::uint64_t exploits = 0;
+  std::uint64_t hysteresis_holds = 0;
+  std::uint64_t forced_cpu = 0;
+  std::uint64_t route_switches = 0;  ///< incumbent changes across buckets
+  std::uint64_t gpu_ops_enqueued = 0;   ///< sim-stream ops (copies+kernels)
+  std::uint64_t overlapped_gpu_calls = 0;  ///< GPU calls in flight while
+                                           ///< the queue ran CPU work
+  std::uint64_t autotune_runs = 0;      ///< blocking autotunes executed
+  std::uint64_t calibration_loads = 0;  ///< stores applied at startup
+  double cpu_seconds = 0.0;  ///< accounted cost summed per route
+  double gpu_seconds = 0.0;
+};
+
+/// Live atomic counters behind DispatchStats. Relaxed ordering — these
+/// are statistics, not synchronisation.
+class DispatchCounters {
+ public:
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> gemm_calls{0};
+  std::atomic<std::uint64_t> gemv_calls{0};
+  std::atomic<std::uint64_t> cpu_routed{0};
+  std::atomic<std::uint64_t> gpu_routed{0};
+  std::atomic<std::uint64_t> batched_routed{0};
+  std::atomic<std::uint64_t> coalesced_batches{0};
+  std::atomic<std::uint64_t> cold_starts{0};
+  std::atomic<std::uint64_t> explores{0};
+  std::atomic<std::uint64_t> exploits{0};
+  std::atomic<std::uint64_t> hysteresis_holds{0};
+  std::atomic<std::uint64_t> forced_cpu{0};
+  std::atomic<std::uint64_t> route_switches{0};
+  std::atomic<std::uint64_t> gpu_ops_enqueued{0};
+  std::atomic<std::uint64_t> overlapped_gpu_calls{0};
+  std::atomic<std::uint64_t> autotune_runs{0};
+  std::atomic<std::uint64_t> calibration_loads{0};
+  std::atomic<double> cpu_seconds{0.0};
+  std::atomic<double> gpu_seconds{0.0};
+
+  void add_seconds(std::atomic<double>& target, double s);
+  void count_reason(Reason reason);
+
+  [[nodiscard]] DispatchStats snapshot() const;
+};
+
+/// Bounded ring of TraceRecords; thread-safe. Oldest records are
+/// overwritten once `capacity` is exceeded (total_recorded() keeps the
+/// true count).
+class DecisionTrace {
+ public:
+  explicit DecisionTrace(std::size_t capacity = 2048);
+
+  void record(const TraceRecord& r);
+
+  /// Records currently retained, oldest first.
+  [[nodiscard]] std::vector<TraceRecord> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t total_recorded() const;
+
+  /// Dump the retained records as a JSON array of objects.
+  void dump_json(std::ostream& out) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TraceRecord> ring_;
+  std::uint64_t total_ = 0;
+};
+
+/// Serialise a stats snapshot as one JSON object (used by blob-serve and
+/// scripts/bench_dispatch.sh artifacts).
+void write_stats_json(std::ostream& out, const DispatchStats& stats);
+
+/// Emit the stats as key/value members into an already-open JSON object
+/// (for callers embedding the stats in a larger document).
+void write_stats_fields(util::JsonWriter& json, const DispatchStats& stats);
+
+}  // namespace blob::dispatch

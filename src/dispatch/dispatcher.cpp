@@ -1,0 +1,683 @@
+#include "dispatch/dispatcher.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "blas/autotune.hpp"
+#include "blas/batched.hpp"
+#include "core/flops.hpp"
+
+namespace blob::dispatch {
+
+namespace {
+
+template <typename T>
+constexpr model::Precision precision_of() {
+  return sizeof(T) == 4 ? model::Precision::F32 : model::Precision::F64;
+}
+
+/// Copy an ld-strided column-major matrix into a tight (ld == rows) one.
+template <typename T>
+void pack_dense(T* dst, const T* src, int ld, int rows, int cols) {
+  if (ld == rows) {
+    std::memcpy(dst, src, sizeof(T) * static_cast<std::size_t>(rows) *
+                              static_cast<std::size_t>(cols));
+    return;
+  }
+  for (int j = 0; j < cols; ++j) {
+    std::memcpy(dst + static_cast<std::size_t>(j) * rows,
+                src + static_cast<std::size_t>(j) * ld,
+                sizeof(T) * static_cast<std::size_t>(rows));
+  }
+}
+
+template <typename T>
+void unpack_dense(T* dst, int ld, const T* src, int rows, int cols) {
+  if (ld == rows) {
+    std::memcpy(dst, src, sizeof(T) * static_cast<std::size_t>(rows) *
+                              static_cast<std::size_t>(cols));
+    return;
+  }
+  for (int j = 0; j < cols; ++j) {
+    std::memcpy(dst + static_cast<std::size_t>(j) * ld,
+                src + static_cast<std::size_t>(j) * rows,
+                sizeof(T) * static_cast<std::size_t>(rows));
+  }
+}
+
+sim::SimGpu::Config device_config(const DispatcherConfig& config) {
+  sim::SimGpu::Config dev;
+  dev.gpu = config.profile.gpu;
+  dev.link = config.profile.link;
+  dev.functional = config.functional;
+  // Live serving must never skip numeric execution: clients read C.
+  dev.functional_dim_limit = std::numeric_limits<double>::max();
+  dev.trace = false;
+  return dev;
+}
+
+const char* route_noise_tag(Route route) {
+  switch (route) {
+    case Route::Cpu:
+      return "dispatch-cpu";
+    case Route::Gpu:
+      return "dispatch-gpu";
+    case Route::CpuBatched:
+      return "dispatch-batched";
+  }
+  return "dispatch";
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(DispatcherConfig config)
+    : config_(std::move(config)),
+      model_(config_.profile, /*noise_override=*/0.0),
+      advisor_(model_),
+      device_(device_config(config_)),
+      gpu_stream_(device_.create_stream("dispatch")),
+      table_(config_.table),
+      trace_(config_.trace_capacity),
+      noise_(config_.noise_sigma >= 0.0 ? config_.noise_sigma
+                                        : config_.profile.noise_sigma,
+             config_.noise_seed) {
+  gpu_stream_.set_on_op([this](const sim::OpRecord&) {
+    counters_.gpu_ops_enqueued.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  if (!config_.calibration_path.empty()) {
+    startup_load_ = load_calibration(config_.calibration_path);
+  }
+
+  if (config_.autotune) {
+    if (!tuned_f32_) {
+      tuned_f32_ = blas::autotune_blocking<float>(config_.autotune_size,
+                                                  config_.autotune_repeats)
+                       .blocking;
+      counters_.autotune_runs.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!tuned_f64_) {
+      tuned_f64_ = blas::autotune_blocking<double>(config_.autotune_size,
+                                                   config_.autotune_repeats)
+                       .blocking;
+      counters_.autotune_runs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // The CPU library takes one blocking for both precisions; prefer the
+  // f64 tune (the conservative one — smaller working set per block).
+  blas::CpuLibraryPersonality personality = config_.personality;
+  if (tuned_f64_) {
+    personality.blocking = *tuned_f64_;
+  } else if (tuned_f32_) {
+    personality.blocking = *tuned_f32_;
+  }
+  cpu_ = std::make_unique<blas::CpuBlasLibrary>(personality,
+                                                config_.cpu_threads);
+}
+
+Dispatcher::~Dispatcher() {
+  if (blas::cblas_dispatch_hook() == this) {
+    blas::cblas_set_dispatch_hook(nullptr);
+  }
+}
+
+void Dispatcher::install() {
+  blas::cblas_set_dispatch_hook(this);
+  installed_ = true;
+}
+
+void Dispatcher::uninstall() {
+  if (blas::cblas_dispatch_hook() == this) {
+    blas::cblas_set_dispatch_hook(nullptr);
+  }
+  installed_ = false;
+}
+
+// -- hook entry points -------------------------------------------------------
+
+bool Dispatcher::gemm(blas::Transpose ta, blas::Transpose tb, int m, int n,
+                      int k, float alpha, const float* a, int lda,
+                      const float* b, int ldb, float beta, float* c,
+                      int ldc) {
+  dispatch_gemm<float>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  return true;
+}
+
+bool Dispatcher::gemm(blas::Transpose ta, blas::Transpose tb, int m, int n,
+                      int k, double alpha, const double* a, int lda,
+                      const double* b, int ldb, double beta, double* c,
+                      int ldc) {
+  dispatch_gemm<double>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                        ldc);
+  return true;
+}
+
+bool Dispatcher::gemv(blas::Transpose ta, int m, int n, float alpha,
+                      const float* a, int lda, const float* x, int incx,
+                      float beta, float* y, int incy) {
+  dispatch_gemv<float>(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+  return true;
+}
+
+bool Dispatcher::gemv(blas::Transpose ta, int m, int n, double alpha,
+                      const double* a, int lda, const double* x, int incx,
+                      double beta, double* y, int incy) {
+  dispatch_gemv<double>(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+  return true;
+}
+
+template <typename T>
+void Dispatcher::run_gemm(blas::Transpose ta, blas::Transpose tb, int m,
+                          int n, int k, T alpha, const T* a, int lda,
+                          const T* b, int ldb, T beta, T* c, int ldc) {
+  dispatch_gemm<T>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+template <typename T>
+void Dispatcher::run_gemv(blas::Transpose ta, int m, int n, T alpha,
+                          const T* a, int lda, const T* x, int incx, T beta,
+                          T* y, int incy) {
+  dispatch_gemv<T>(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+
+// -- decision plumbing -------------------------------------------------------
+
+void Dispatcher::ensure_seeded(const BucketKey& key, const CallShape& shape) {
+  if (table_.contains(key)) return;
+  const core::Advice advice =
+      advisor_.advise(to_problem(shape), /*iterations=*/1, shape.mode);
+  table_.seed(key, advice.cpu_seconds, advice.gpu_seconds);
+}
+
+Decision Dispatcher::plan_locked(const CallShape& shape, bool gpu_ok) {
+  const BucketKey key = bucket_key(shape);
+  ensure_seeded(key, shape);
+  const Route before = table_.find(key)->incumbent;
+  const Decision decision = table_.choose(key, gpu_ok);
+  if (table_.find(key)->incumbent != before) {
+    counters_.route_switches.fetch_add(1, std::memory_order_relaxed);
+  }
+  counters_.count_reason(decision.reason);
+  return decision;
+}
+
+Decision Dispatcher::plan(const CallShape& shape, bool gpu_ok) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_locked(shape, gpu_ok);
+}
+
+double Dispatcher::cpu_cost(const CallShape& shape) const {
+  return model_.cpu_time(to_problem(shape), /*iterations=*/1);
+}
+
+double Dispatcher::noise_factor(const CallShape& shape, Route route,
+                                std::uint64_t seq) const {
+  // The model's noise is deterministic per sample identity; salting with
+  // the call sequence number makes successive calls of the same shape see
+  // different (but reproducible) factors — what the EWMA + hysteresis
+  // machinery is there to absorb.
+  return noise_.factor(config_.profile.name, route_noise_tag(route),
+                       shape.precision, shape.m, shape.n, shape.k,
+                       static_cast<std::int64_t>(seq));
+}
+
+void Dispatcher::account_and_observe(const CallShape& shape,
+                                     const BucketKey& key,
+                                     const Decision& decision, double cost_s,
+                                     int batch) {
+  const std::uint64_t seq = seq_++;
+  const auto b = static_cast<std::uint64_t>(batch);
+  counters_.calls.fetch_add(b, std::memory_order_relaxed);
+  (shape.op == core::KernelOp::Gemm ? counters_.gemm_calls
+                                    : counters_.gemv_calls)
+      .fetch_add(b, std::memory_order_relaxed);
+
+  switch (decision.route) {
+    case Route::Cpu:
+      counters_.cpu_routed.fetch_add(b, std::memory_order_relaxed);
+      counters_.add_seconds(counters_.cpu_seconds, cost_s);
+      break;
+    case Route::CpuBatched:
+      counters_.batched_routed.fetch_add(b, std::memory_order_relaxed);
+      counters_.coalesced_batches.fetch_add(1, std::memory_order_relaxed);
+      counters_.add_seconds(counters_.cpu_seconds, cost_s);
+      break;
+    case Route::Gpu:
+      counters_.gpu_routed.fetch_add(b, std::memory_order_relaxed);
+      counters_.add_seconds(counters_.gpu_seconds, cost_s);
+      break;
+  }
+
+  // Per-call amortised observation: for a coalesced batch the CPU arm
+  // learns the amortised cost — that IS the cost of the CPU route while
+  // coalescing is on.
+  const double per_call = cost_s / static_cast<double>(batch);
+  const double observed = per_call * noise_factor(shape, decision.route, seq);
+  table_.observe(key, decision.route, observed);
+
+  TraceRecord rec;
+  rec.seq = seq;
+  rec.op = shape.op;
+  rec.precision = shape.precision;
+  rec.mode = shape.mode;
+  rec.bucket = key.bucket;
+  rec.m = shape.m;
+  rec.n = shape.n;
+  rec.k = shape.k;
+  rec.route = decision.route;
+  rec.reason = decision.reason;
+  rec.cpu_est_s = decision.cpu_est_s;
+  rec.gpu_est_s = decision.gpu_est_s;
+  rec.cost_s = per_call;
+  rec.observed_s = observed;
+  rec.batch = batch;
+  trace_.record(rec);
+}
+
+// -- synchronous dispatch ----------------------------------------------------
+
+template <typename T>
+void Dispatcher::dispatch_gemm(blas::Transpose ta, blas::Transpose tb, int m,
+                               int n, int k, T alpha, const T* a, int lda,
+                               const T* b, int ldb, T beta, T* c, int ldc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (m <= 0 || n <= 0) return;  // nothing to update
+  CallShape shape;
+  shape.op = core::KernelOp::Gemm;
+  shape.precision = precision_of<T>();
+  shape.m = m;
+  shape.n = n;
+  shape.k = std::max(k, 1);
+  shape.beta_zero = beta == T(0);
+  shape.mode = config_.mode;
+  // The simulated GPU kernels are no-transpose only (GPU-BLOB's
+  // configuration), so transposed shapes stay on the CPU.
+  const bool gpu_ok =
+      ta == blas::Transpose::No && tb == blas::Transpose::No && k > 0;
+  const BucketKey key = bucket_key(shape);
+  const Decision decision = plan_locked(shape, gpu_ok);
+  if (decision.route == Route::Gpu) {
+    GpuJob job = enqueue_gemm_gpu_locked<T>(decision, m, n, k, alpha, a, lda,
+                                            b, ldb, beta, c, ldc);
+    finish_gpu_job_locked(job, /*overlapped=*/false);
+  } else {
+    cpu_->do_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    account_and_observe(shape, key, decision, cpu_cost(shape), 1);
+  }
+}
+
+template <typename T>
+void Dispatcher::dispatch_gemv(blas::Transpose ta, int m, int n, T alpha,
+                               const T* a, int lda, const T* x, int incx,
+                               T beta, T* y, int incy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (m <= 0 || n <= 0) return;
+  CallShape shape;
+  shape.op = core::KernelOp::Gemv;
+  shape.precision = precision_of<T>();
+  shape.m = m;
+  shape.n = n;
+  shape.k = 1;
+  shape.beta_zero = beta == T(0);
+  shape.mode = config_.mode;
+  // No-transpose, unit-stride only on the simulated device.
+  const bool gpu_ok = ta == blas::Transpose::No && incx == 1 && incy == 1;
+  const BucketKey key = bucket_key(shape);
+  const Decision decision = plan_locked(shape, gpu_ok);
+  if (decision.route == Route::Gpu) {
+    GpuJob job =
+        enqueue_gemv_gpu_locked<T>(decision, m, n, alpha, a, lda, x, beta, y);
+    finish_gpu_job_locked(job, /*overlapped=*/false);
+  } else {
+    cpu_->do_gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+    account_and_observe(shape, key, decision, cpu_cost(shape), 1);
+  }
+}
+
+template <typename T>
+void Dispatcher::run_gemm_cpu(const Decision& decision, blas::Transpose ta,
+                              blas::Transpose tb, int m, int n, int k,
+                              T alpha, const T* a, int lda, const T* b,
+                              int ldb, T beta, T* c, int ldc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (m <= 0 || n <= 0) return;
+  CallShape shape;
+  shape.op = core::KernelOp::Gemm;
+  shape.precision = precision_of<T>();
+  shape.m = m;
+  shape.n = n;
+  shape.k = std::max(k, 1);
+  shape.beta_zero = beta == T(0);
+  shape.mode = config_.mode;
+  const BucketKey key = bucket_key(shape);
+  ensure_seeded(key, shape);
+  cpu_->do_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  account_and_observe(shape, key, decision, cpu_cost(shape), 1);
+}
+
+template <typename T>
+void Dispatcher::run_gemv_cpu(const Decision& decision, blas::Transpose ta,
+                              int m, int n, T alpha, const T* a, int lda,
+                              const T* x, int incx, T beta, T* y, int incy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (m <= 0 || n <= 0) return;
+  CallShape shape;
+  shape.op = core::KernelOp::Gemv;
+  shape.precision = precision_of<T>();
+  shape.m = m;
+  shape.n = n;
+  shape.k = 1;
+  shape.beta_zero = beta == T(0);
+  shape.mode = config_.mode;
+  const BucketKey key = bucket_key(shape);
+  ensure_seeded(key, shape);
+  cpu_->do_gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+  account_and_observe(shape, key, decision, cpu_cost(shape), 1);
+}
+
+template <typename T>
+void Dispatcher::run_gemm_coalesced(int m, int n, int k, T alpha,
+                                    const T* const* a, int lda,
+                                    const T* const* b, int ldb, T beta,
+                                    T* const* c, int ldc, int batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (m <= 0 || n <= 0 || batch <= 0) return;
+  CallShape shape;
+  shape.op = core::KernelOp::Gemm;
+  shape.precision = precision_of<T>();
+  shape.m = m;
+  shape.n = n;
+  shape.k = std::max(k, 1);
+  shape.beta_zero = beta == T(0);
+  shape.mode = config_.mode;
+  const BucketKey key = bucket_key(shape);
+  ensure_seeded(key, shape);
+
+  blas::gemm_batched<T>(blas::Transpose::No, blas::Transpose::No, m, n, k,
+                        alpha, a, lda, b, ldb, beta, c, ldc, batch,
+                        cpu_->pool(), cpu_->max_threads());
+
+  core::Problem problem = to_problem(shape);
+  problem.batch = batch;
+  const double cost = model_.cpu_time(problem, /*iterations=*/1);
+
+  Decision decision;
+  decision.route = Route::CpuBatched;
+  decision.reason = Reason::Coalesced;
+  if (const BucketState* state = table_.find(key)) {
+    decision.cpu_est_s = state->cpu.ewma_s;
+    decision.gpu_est_s = state->gpu.ewma_s;
+  }
+  account_and_observe(shape, key, decision, cost, batch);
+}
+
+// -- GPU path ----------------------------------------------------------------
+
+template <typename T>
+Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu_locked(
+    const Decision& decision, int m, int n, int k, T alpha, const T* a,
+    int lda, const T* b, int ldb, T beta, T* c, int ldc) {
+  GpuJob job;
+  job.active = true;
+  job.decision = decision;
+  job.shape.op = core::KernelOp::Gemm;
+  job.shape.precision = precision_of<T>();
+  job.shape.m = m;
+  job.shape.n = n;
+  job.shape.k = k;
+  job.shape.beta_zero = beta == T(0);
+  job.shape.mode = config_.mode;
+  job.key = bucket_key(job.shape);
+
+  sim::Stream& s = gpu_stream_;
+  job.submit_floor = std::max(s.tail(), device_.now());
+
+  const std::size_t es = sizeof(T);
+  const auto ab = es * static_cast<std::size_t>(m) * static_cast<std::size_t>(k);
+  const auto bb = es * static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
+  const auto cb = es * static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+
+  sim::Buffer ha = device_.alloc_host(ab);
+  sim::Buffer hb = device_.alloc_host(bb);
+  sim::Buffer hc = device_.alloc_host(cb);
+  pack_dense(ha.as<T>(), a, lda, m, k);
+  pack_dense(hb.as<T>(), b, ldb, k, n);
+  // GPU-BLOB uploads all three structures (paper §III-B2), so C crosses
+  // the link even when beta == 0 — matching the analytic cost exactly.
+  pack_dense(hc.as<T>(), c, ldc, m, n);
+
+  sim::Buffer da = device_.alloc_device(ab);
+  sim::Buffer db = device_.alloc_device(bb);
+  sim::Buffer dc = device_.alloc_device(cb);
+  device_.memcpy_h2d_async(s, da, ha, ab);
+  device_.memcpy_h2d_async(s, db, hb, bb);
+  device_.memcpy_h2d_async(s, dc, hc, cb);
+  device_.gemm<T>(m, n, k, alpha, da, m, db, k, beta, dc, m, &s);
+  device_.memcpy_d2h_async(s, hc, dc, cb);
+  job.done = s.tail();
+
+  // Buffer storage addresses are stable across Buffer moves, so the raw
+  // pointer captured here stays valid inside job.buffers.
+  T* staged = hc.as<T>();
+  job.unpack = [staged, c, ldc, m, n]() {
+    unpack_dense(c, ldc, staged, m, n);
+  };
+  job.buffers.reserve(6);
+  job.buffers.push_back(std::move(ha));
+  job.buffers.push_back(std::move(hb));
+  job.buffers.push_back(std::move(hc));
+  job.buffers.push_back(std::move(da));
+  job.buffers.push_back(std::move(db));
+  job.buffers.push_back(std::move(dc));
+  return job;
+}
+
+template <typename T>
+Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu_locked(
+    const Decision& decision, int m, int n, T alpha, const T* a, int lda,
+    const T* x, T beta, T* y) {
+  GpuJob job;
+  job.active = true;
+  job.decision = decision;
+  job.shape.op = core::KernelOp::Gemv;
+  job.shape.precision = precision_of<T>();
+  job.shape.m = m;
+  job.shape.n = n;
+  job.shape.k = 1;
+  job.shape.beta_zero = beta == T(0);
+  job.shape.mode = config_.mode;
+  job.key = bucket_key(job.shape);
+
+  sim::Stream& s = gpu_stream_;
+  job.submit_floor = std::max(s.tail(), device_.now());
+
+  const std::size_t es = sizeof(T);
+  const auto ab = es * static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+  const auto xb = es * static_cast<std::size_t>(n);
+  const auto yb = es * static_cast<std::size_t>(m);
+
+  sim::Buffer ha = device_.alloc_host(ab);
+  sim::Buffer hx = device_.alloc_host(xb);
+  sim::Buffer hy = device_.alloc_host(yb);
+  pack_dense(ha.as<T>(), a, lda, m, n);
+  std::memcpy(hx.data(), x, xb);
+  std::memcpy(hy.data(), y, yb);
+
+  sim::Buffer da = device_.alloc_device(ab);
+  sim::Buffer dx = device_.alloc_device(xb);
+  sim::Buffer dy = device_.alloc_device(yb);
+  device_.memcpy_h2d_async(s, da, ha, ab);
+  device_.memcpy_h2d_async(s, dx, hx, xb);
+  device_.memcpy_h2d_async(s, dy, hy, yb);
+  device_.gemv<T>(m, n, alpha, da, m, dx, beta, dy, &s);
+  device_.memcpy_d2h_async(s, hy, dy, yb);
+  job.done = s.tail();
+
+  T* staged = hy.as<T>();
+  job.unpack = [staged, y, yb]() { std::memcpy(y, staged, yb); };
+  job.buffers.reserve(6);
+  job.buffers.push_back(std::move(ha));
+  job.buffers.push_back(std::move(hx));
+  job.buffers.push_back(std::move(hy));
+  job.buffers.push_back(std::move(da));
+  job.buffers.push_back(std::move(dx));
+  job.buffers.push_back(std::move(dy));
+  return job;
+}
+
+template <typename T>
+Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu(const Decision& decision,
+                                                int m, int n, int k, T alpha,
+                                                const T* a, int lda,
+                                                const T* b, int ldb, T beta,
+                                                T* c, int ldc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enqueue_gemm_gpu_locked<T>(decision, m, n, k, alpha, a, lda, b, ldb,
+                                    beta, c, ldc);
+}
+
+template <typename T>
+Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu(const Decision& decision,
+                                                int m, int n, T alpha,
+                                                const T* a, int lda,
+                                                const T* x, T beta, T* y) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enqueue_gemv_gpu_locked<T>(decision, m, n, alpha, a, lda, x, beta,
+                                    y);
+}
+
+void Dispatcher::finish_gpu_job_locked(GpuJob& job, bool overlapped) {
+  if (!job.active) return;
+  // Join only this job's completion time — later enqueues on the stream
+  // must not be charged to this call (cudaEvent-style sync, not a full
+  // stream synchronize).
+  device_.clock().advance_to(job.done);
+  if (job.unpack) job.unpack();
+  if (overlapped) {
+    counters_.overlapped_gpu_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  const double cost = job.done - job.submit_floor;
+  account_and_observe(job.shape, job.key, job.decision, cost, 1);
+  job.buffers.clear();
+  job.unpack = nullptr;
+  job.active = false;
+}
+
+void Dispatcher::finish_gpu_job(GpuJob& job, bool overlapped) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  finish_gpu_job_locked(job, overlapped);
+}
+
+// -- cost oracle -------------------------------------------------------------
+
+Dispatcher::Costs Dispatcher::modelled_costs(const CallShape& shape) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Costs costs;
+  costs.cpu_s = cpu_cost(shape);
+  const auto gpu =
+      model_.gpu_time(to_problem(shape), /*iterations=*/1, shape.mode);
+  costs.gpu_s =
+      gpu.value_or(std::numeric_limits<double>::infinity());
+  return costs;
+}
+
+Route Dispatcher::oracle_route(const CallShape& shape) const {
+  const Costs costs = modelled_costs(shape);
+  return costs.gpu_s < costs.cpu_s ? Route::Gpu : Route::Cpu;
+}
+
+// -- calibration -------------------------------------------------------------
+
+CalibrationData Dispatcher::make_calibration() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CalibrationData data;
+  data.personality = config_.personality.name;
+  data.profile = config_.profile.name;
+  data.entries = table_.entries();
+  data.blocking_f32 = tuned_f32_;
+  data.blocking_f64 = tuned_f64_;
+  return data;
+}
+
+void Dispatcher::apply_calibration(const CalibrationData& data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, state] : data.entries) {
+    table_.restore(key, state);
+  }
+  if (data.blocking_f32) tuned_f32_ = data.blocking_f32;
+  if (data.blocking_f64) tuned_f64_ = data.blocking_f64;
+  counters_.calibration_loads.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Dispatcher::save_calibration(const std::string& path) const {
+  return save_calibration_file(path, make_calibration());
+}
+
+LoadStatus Dispatcher::load_calibration(const std::string& path) {
+  const LoadResult result = load_calibration_file(
+      path, config_.personality.name, config_.profile.name);
+  if (result.status == LoadStatus::Ok) {
+    apply_calibration(result.data);
+  }
+  return result.status;
+}
+
+// -- explicit instantiations -------------------------------------------------
+
+template void Dispatcher::run_gemm<float>(blas::Transpose, blas::Transpose,
+                                          int, int, int, float, const float*,
+                                          int, const float*, int, float,
+                                          float*, int);
+template void Dispatcher::run_gemm<double>(blas::Transpose, blas::Transpose,
+                                           int, int, int, double,
+                                           const double*, int, const double*,
+                                           int, double, double*, int);
+template void Dispatcher::run_gemv<float>(blas::Transpose, int, int, float,
+                                          const float*, int, const float*,
+                                          int, float, float*, int);
+template void Dispatcher::run_gemv<double>(blas::Transpose, int, int, double,
+                                           const double*, int, const double*,
+                                           int, double, double*, int);
+template void Dispatcher::run_gemm_cpu<float>(const Decision&,
+                                              blas::Transpose,
+                                              blas::Transpose, int, int, int,
+                                              float, const float*, int,
+                                              const float*, int, float,
+                                              float*, int);
+template void Dispatcher::run_gemm_cpu<double>(
+    const Decision&, blas::Transpose, blas::Transpose, int, int, int, double,
+    const double*, int, const double*, int, double, double*, int);
+template void Dispatcher::run_gemv_cpu<float>(const Decision&,
+                                              blas::Transpose, int, int,
+                                              float, const float*, int,
+                                              const float*, int, float,
+                                              float*, int);
+template void Dispatcher::run_gemv_cpu<double>(const Decision&,
+                                               blas::Transpose, int, int,
+                                               double, const double*, int,
+                                               const double*, int, double,
+                                               double*, int);
+template void Dispatcher::run_gemm_coalesced<float>(int, int, int, float,
+                                                    const float* const*, int,
+                                                    const float* const*, int,
+                                                    float, float* const*, int,
+                                                    int);
+template void Dispatcher::run_gemm_coalesced<double>(
+    int, int, int, double, const double* const*, int, const double* const*,
+    int, double, double* const*, int, int);
+template Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu<float>(
+    const Decision&, int, int, int, float, const float*, int, const float*,
+    int, float, float*, int);
+template Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu<double>(
+    const Decision&, int, int, int, double, const double*, int,
+    const double*, int, double, double*, int);
+template Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu<float>(
+    const Decision&, int, int, float, const float*, int, const float*, float,
+    float*);
+template Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu<double>(
+    const Decision&, int, int, double, const double*, int, const double*,
+    double, double*);
+
+}  // namespace blob::dispatch

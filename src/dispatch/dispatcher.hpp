@@ -1,0 +1,261 @@
+#pragma once
+// The online offload dispatcher.
+//
+// Installed as the cblas dispatch hook, the Dispatcher routes every live
+// GEMM/GEMV to the CPU library or the simulated GPU using the
+// shape-bucketed decision table. Costs are accounted in MODELLED seconds
+// on both sides — the CPU route is charged the profile's CpuModel
+// prediction, the GPU route the virtual-time span its ops occupy on a
+// dedicated SimGpu stream — so routing decisions compare like with like
+// and are reproducible regardless of host load. Execution is still real:
+// CPU calls run the optimized blas kernels, GPU calls run numerically
+// through the SimGpu device, so results are bit-correct either way.
+//
+// Learning loop per call: seed the bucket from OffloadAdvisor predictions
+// on first sight, choose a route (epsilon-greedy + hysteresis), execute,
+// fold a deterministically-noised observation back into the EWMA, and
+// record the whole decision in the trace ring.
+//
+// The dispatcher serialises calls with an internal mutex; concurrency is
+// the AdmissionQueue's job (many producers, one draining consumer).
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blas/cblas.hpp"
+#include "blas/library.hpp"
+#include "core/advisor.hpp"
+#include "core/sim_backend.hpp"
+#include "dispatch/calibration_store.hpp"
+#include "dispatch/decision_table.hpp"
+#include "dispatch/decision_trace.hpp"
+#include "perfmodel/noise.hpp"
+#include "simgpu/device.hpp"
+#include "sysprofile/profile.hpp"
+
+namespace blob::dispatch {
+
+struct DispatcherConfig {
+  /// Timing models for both sides (CPU library personality aside).
+  profile::SystemProfile profile = profile::dawn();
+  /// CPU library the CPU route executes on (and the store is keyed by).
+  blas::CpuLibraryPersonality personality = blas::generic_personality();
+  std::size_t cpu_threads = 0;  ///< worker-pool cap (0 = hw concurrency)
+  /// Declared data-movement pattern of the client (part of the table key).
+  core::TransferMode mode = core::TransferMode::Once;
+  DecisionTableConfig table{};
+  std::size_t trace_capacity = 2048;
+  /// Log-normal sigma of the observation noise folded into the EWMAs
+  /// (exercises the hysteresis); < 0 adopts profile.noise_sigma.
+  double noise_sigma = -1.0;
+  std::uint64_t noise_seed = 0xd15b0b;
+  /// Execute GPU-routed kernels numerically (disable only for
+  /// timing-only studies; live serving needs real results).
+  bool functional = true;
+  /// Run blas::autotune_blocking at startup when the calibration store
+  /// did not supply a tuned blocking.
+  bool autotune = false;
+  int autotune_size = 192;
+  int autotune_repeats = 1;
+  /// When non-empty, load_calibration_file() is attempted at
+  /// construction (mismatches fall back to advisor-seeded cold start).
+  std::string calibration_path;
+};
+
+class Dispatcher final : public blas::CblasDispatchHook {
+ public:
+  explicit Dispatcher(DispatcherConfig config = {});
+  ~Dispatcher() override;
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Register as the process-wide cblas hook / detach again. The
+  /// destructor uninstalls automatically if still installed.
+  void install();
+  void uninstall();
+
+  // -- CblasDispatchHook (return true = call handled) ----------------------
+  bool gemm(blas::Transpose ta, blas::Transpose tb, int m, int n, int k,
+            float alpha, const float* a, int lda, const float* b, int ldb,
+            float beta, float* c, int ldc) override;
+  bool gemm(blas::Transpose ta, blas::Transpose tb, int m, int n, int k,
+            double alpha, const double* a, int lda, const double* b, int ldb,
+            double beta, double* c, int ldc) override;
+  bool gemv(blas::Transpose ta, int m, int n, float alpha, const float* a,
+            int lda, const float* x, int incx, float beta, float* y,
+            int incy) override;
+  bool gemv(blas::Transpose ta, int m, int n, double alpha, const double* a,
+            int lda, const double* x, int incx, double beta, double* y,
+            int incy) override;
+
+  // -- direct typed entry points (used by the admission queue) -------------
+  template <typename T>
+  void run_gemm(blas::Transpose ta, blas::Transpose tb, int m, int n, int k,
+                T alpha, const T* a, int lda, const T* b, int ldb, T beta,
+                T* c, int ldc);
+  template <typename T>
+  void run_gemv(blas::Transpose ta, int m, int n, T alpha, const T* a,
+                int lda, const T* x, int incx, T beta, T* y, int incy);
+
+  /// Execute a call on the CPU under a decision already made by plan()
+  /// (the admission queue plans first to learn which calls can overlap
+  /// with GPU work, then executes). Accounts + observes like dispatch.
+  template <typename T>
+  void run_gemm_cpu(const Decision& decision, blas::Transpose ta,
+                    blas::Transpose tb, int m, int n, int k, T alpha,
+                    const T* a, int lda, const T* b, int ldb, T beta, T* c,
+                    int ldc);
+  template <typename T>
+  void run_gemv_cpu(const Decision& decision, blas::Transpose ta, int m,
+                    int n, T alpha, const T* a, int lda, const T* x,
+                    int incx, T beta, T* y, int incy);
+
+  /// A batch of same-shape small GEMMs coalesced by the admission queue:
+  /// executed as one blas::gemm_batched submission, charged the modelled
+  /// amortised batched cost, observed into the CPU arm of the bucket.
+  template <typename T>
+  void run_gemm_coalesced(int m, int n, int k, T alpha, const T* const* a,
+                          int lda, const T* const* b, int ldb, T beta,
+                          T* const* c, int ldc, int batch);
+
+  // -- asynchronous GPU submission (admission-queue overlap path) ----------
+
+  /// A GPU call in flight on the dispatch stream. Buffers stay alive and
+  /// the client's output is written only at finish_gpu_job().
+  struct GpuJob {
+    bool active = false;
+    double submit_floor = 0.0;  ///< virtual time the job could start
+    double done = 0.0;          ///< virtual completion time
+    std::vector<sim::Buffer> buffers;
+    std::function<void()> unpack;
+    CallShape shape;
+    BucketKey key;
+    Decision decision;
+    std::uint64_t seq = 0;
+  };
+
+  /// Decide the route for `shape` without executing (seeds the bucket if
+  /// needed). Used by the queue to learn whether a call goes to the GPU
+  /// (overlap-eligible) before committing work.
+  Decision plan(const CallShape& shape, bool gpu_ok);
+
+  /// Enqueue a GPU-routed GEMM/GEMV on the dispatch stream and return
+  /// without synchronising; the caller overlaps CPU work and later calls
+  /// finish_gpu_job(). `decision` must come from plan() for this shape.
+  template <typename T>
+  GpuJob enqueue_gemm_gpu(const Decision& decision, int m, int n, int k,
+                          T alpha, const T* a, int lda, const T* b, int ldb,
+                          T beta, T* c, int ldc);
+  template <typename T>
+  GpuJob enqueue_gemv_gpu(const Decision& decision, int m, int n, T alpha,
+                          const T* a, int lda, const T* x, T beta, T* y);
+
+  /// Join a pending GPU job: advance the virtual clock to its completion,
+  /// write the output back to the client buffer, account + observe.
+  /// `overlapped` marks that CPU work ran while the job was in flight.
+  void finish_gpu_job(GpuJob& job, bool overlapped = false);
+
+  // -- cost oracle ---------------------------------------------------------
+
+  struct Costs {
+    double cpu_s = 0.0;
+    double gpu_s = 0.0;
+  };
+
+  /// Noise-free modelled per-call costs — the same numbers used to seed
+  /// buckets. blob-serve uses these for the oracle / always-CPU /
+  /// always-GPU regret baselines.
+  [[nodiscard]] Costs modelled_costs(const CallShape& shape) const;
+  [[nodiscard]] Route oracle_route(const CallShape& shape) const;
+
+  // -- calibration ---------------------------------------------------------
+
+  [[nodiscard]] CalibrationData make_calibration() const;
+  /// Restore a table + tuned blockings (counts calibration_loads).
+  void apply_calibration(const CalibrationData& data);
+  bool save_calibration(const std::string& path) const;
+  LoadStatus load_calibration(const std::string& path);
+  /// Outcome of the constructor-time load (IoError when no path given).
+  [[nodiscard]] LoadStatus startup_load_status() const {
+    return startup_load_;
+  }
+
+  /// Tuned blockings (from the store or a startup autotune), if any.
+  [[nodiscard]] const std::optional<blas::GemmBlocking>& blocking_f32()
+      const {
+    return tuned_f32_;
+  }
+  [[nodiscard]] const std::optional<blas::GemmBlocking>& blocking_f64()
+      const {
+    return tuned_f64_;
+  }
+
+  // -- observability -------------------------------------------------------
+
+  [[nodiscard]] DispatchStats stats() const { return counters_.snapshot(); }
+  [[nodiscard]] const DecisionTrace& trace() const { return trace_; }
+  [[nodiscard]] const DecisionTable& table() const { return table_; }
+  [[nodiscard]] const DispatcherConfig& config() const { return config_; }
+  [[nodiscard]] const blas::CpuBlasLibrary& cpu_library() const {
+    return *cpu_;
+  }
+  /// Virtual seconds elapsed on the simulated device.
+  [[nodiscard]] double virtual_now() const { return device_.now(); }
+
+ private:
+  template <typename T>
+  void dispatch_gemm(blas::Transpose ta, blas::Transpose tb, int m, int n,
+                     int k, T alpha, const T* a, int lda, const T* b, int ldb,
+                     T beta, T* c, int ldc);
+  template <typename T>
+  void dispatch_gemv(blas::Transpose ta, int m, int n, T alpha, const T* a,
+                     int lda, const T* x, int incx, T beta, T* y, int incy);
+
+  /// Seed + choose under mutex_ (callers hold the lock).
+  Decision plan_locked(const CallShape& shape, bool gpu_ok);
+  void ensure_seeded(const BucketKey& key, const CallShape& shape);
+
+  template <typename T>
+  GpuJob enqueue_gemm_gpu_locked(const Decision& decision, int m, int n,
+                                 int k, T alpha, const T* a, int lda,
+                                 const T* b, int ldb, T beta, T* c, int ldc);
+  template <typename T>
+  GpuJob enqueue_gemv_gpu_locked(const Decision& decision, int m, int n,
+                                 T alpha, const T* a, int lda, const T* x,
+                                 T beta, T* y);
+  void finish_gpu_job_locked(GpuJob& job, bool overlapped);
+
+  /// CPU-side modelled cost of one call (noise-free).
+  [[nodiscard]] double cpu_cost(const CallShape& shape) const;
+  /// Deterministic per-call observation noise (salted by `seq`).
+  [[nodiscard]] double noise_factor(const CallShape& shape, Route route,
+                                    std::uint64_t seq) const;
+  void account_and_observe(const CallShape& shape, const BucketKey& key,
+                           const Decision& decision, double cost_s,
+                           int batch);
+
+  DispatcherConfig config_;
+  mutable std::mutex mutex_;
+  /// Noise-free analytic twin used for seeding and the cost oracle.
+  mutable core::SimBackend model_;
+  core::OffloadAdvisor advisor_;
+  sim::SimGpu device_;
+  sim::Stream& gpu_stream_;
+  std::unique_ptr<blas::CpuBlasLibrary> cpu_;
+  DecisionTable table_;
+  DecisionTrace trace_;
+  DispatchCounters counters_;
+  model::NoiseModel noise_;
+  std::optional<blas::GemmBlocking> tuned_f32_;
+  std::optional<blas::GemmBlocking> tuned_f64_;
+  LoadStatus startup_load_ = LoadStatus::IoError;
+  std::uint64_t seq_ = 0;
+  bool installed_ = false;
+};
+
+}  // namespace blob::dispatch

@@ -1,0 +1,56 @@
+#pragma once
+// Shared vocabulary of the online offload dispatcher.
+//
+// The paper frames the offload threshold as an offline porting-decision
+// tool (§III-D); src/dispatch turns it into a runtime: every BLAS call is
+// routed, per shape bucket, to the CPU library, the simulated GPU, or a
+// coalesced batched submission. These enums name the routes and the
+// reasons a route was chosen — the reasons are recorded per call in the
+// decision trace so routing behaviour is observable, not folklore.
+
+#include <cstdint>
+
+#include "core/backend.hpp"
+#include "core/problem.hpp"
+#include "perfmodel/precision.hpp"
+
+namespace blob::dispatch {
+
+/// Where a call was executed.
+enum class Route {
+  Cpu,         ///< CPU library (blas::CpuBlasLibrary)
+  Gpu,         ///< simulated GPU (sim::SimGpu), transfers included
+  CpuBatched,  ///< coalesced into one blas::gemm_batched submission
+};
+
+/// Why the router picked the route it picked.
+enum class Reason {
+  ColdStart,       ///< first visit: seeded from OffloadAdvisor predictions
+  Exploit,         ///< followed the better EWMA estimate
+  Explore,         ///< epsilon-greedy probe of the other backend
+  HysteresisHold,  ///< challenger looked better but not by enough to switch
+  Coalesced,       ///< admission queue merged same-shape small GEMMs
+  Forced,          ///< shape unsupported on the GPU path (transpose/stride)
+};
+
+const char* to_string(Route route);
+const char* to_string(Reason reason);
+
+/// One BLAS call as the dispatcher sees it: already normalised to column
+/// major by the cblas seam. k is 1 for GEMV.
+struct CallShape {
+  core::KernelOp op = core::KernelOp::Gemm;
+  model::Precision precision = model::Precision::F32;
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 1;
+  bool beta_zero = true;
+  /// The client's declared data-movement pattern (paper §III-B2); part of
+  /// the decision-table key because it changes the GPU-side cost.
+  core::TransferMode mode = core::TransferMode::Once;
+};
+
+/// Convert a CallShape to the core Problem type used by the cost models.
+core::Problem to_problem(const CallShape& shape);
+
+}  // namespace blob::dispatch

@@ -38,6 +38,9 @@ double Stream::enqueue(double duration_s, const char* label) {
   if (trace_ != nullptr) {
     trace_->record(OpRecord{name_, label, start, tail_});
   }
+  if (on_op_) {
+    on_op_(OpRecord{name_, label, start, tail_});
+  }
   return tail_;
 }
 

@@ -8,6 +8,7 @@
 // can assert ordering; synchronize() advances the host clock to the tail,
 // exactly how cudaStreamSynchronize blocks the host.
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -72,10 +73,19 @@ class Stream {
   /// Number of operations enqueued since construction.
   [[nodiscard]] std::size_t ops_enqueued() const { return ops_; }
 
+  /// Observer invoked for every enqueued operation, independent of the
+  /// TraceSink (which only exists when the device was built with tracing
+  /// on). The online dispatcher hooks this to feed its decision trace —
+  /// per-op route/latency records — without paying for full tracing.
+  /// Pass an empty function to detach.
+  using OpObserver = std::function<void(const OpRecord&)>;
+  void set_on_op(OpObserver observer) { on_op_ = std::move(observer); }
+
  private:
   util::SimClock* host_clock_;
   std::string name_;
   TraceSink* trace_ = nullptr;
+  OpObserver on_op_;
   double tail_ = 0.0;
   std::size_t ops_ = 0;
 };

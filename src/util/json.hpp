@@ -1,11 +1,19 @@
 #pragma once
-// Minimal streaming JSON writer.
+// Minimal JSON: a streaming writer plus a small recursive-descent
+// parser/DOM.
 //
-// Used for run manifests and the chrome-trace exporter's structured
-// cousin: emits syntactically valid JSON with proper string escaping and
-// automatic comma management. Not a parser and not a DOM — a writer.
+// The writer emits syntactically valid JSON with proper string escaping
+// and automatic comma management (run manifests, chrome traces, bench
+// reports). The parser exists for the files we write ourselves — the
+// dispatch calibration store round-trips its decision table through it —
+// so it is strict (no comments, no trailing commas) and keeps the DOM
+// deliberately tiny.
 
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -67,5 +75,64 @@ class JsonWriter {
   };
   std::vector<Level> stack_;
 };
+
+/// Raised by json_parse on malformed input and by JsonValue accessors on
+/// type mismatches or missing members.
+struct JsonError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed JSON document node. Numbers are stored as double (the store
+/// formats integers losslessly up to 2^53, far beyond anything we write).
+/// Object member order is not preserved.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue, std::less<>>;
+
+  JsonValue() = default;  // null
+  explicit JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+  explicit JsonValue(double d) : kind_(Kind::Number), number_(d) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::String), string_(std::move(s)) {}
+  explicit JsonValue(Array a)
+      : kind_(Kind::Array), array_(std::make_shared<Array>(std::move(a))) {}
+  explicit JsonValue(Object o)
+      : kind_(Kind::Object), object_(std::make_shared<Object>(std::move(o))) {}
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+
+  /// Typed accessors; throw JsonError on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;  ///< rejects non-integral
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object member lookup; throws JsonError when absent (`at`) or
+  /// returns nullptr (`find`).
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // shared_ptr keeps JsonValue copyable despite the recursive containers
+  // being incomplete types at this point in the declaration.
+  std::shared_ptr<Array> array_;
+  std::shared_ptr<Object> object_;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, trailing content
+/// not). Throws JsonError with a byte offset on malformed input.
+JsonValue json_parse(std::string_view text);
 
 }  // namespace blob::util

@@ -289,6 +289,94 @@ TEST(Cblas, TrsmSolvesBothOrders) {
   EXPECT_FLOAT_EQ(fb[0], 2.0f);
 }
 
+// Counts interceptions and handles only f64 GEMM, to prove both that a
+// hook sees the calls and that returning false falls through to the
+// default library path.
+class CountingHook final : public blas::CblasDispatchHook {
+ public:
+  int gemm_f32 = 0, gemm_f64 = 0, gemv_f64 = 0;
+
+  bool gemm(blas::Transpose, blas::Transpose, int, int, int, float,
+            const float*, int, const float*, int, float, float*,
+            int) override {
+    ++gemm_f32;
+    return false;  // not handled: cblas must still execute the call
+  }
+  bool gemm(blas::Transpose, blas::Transpose, int m, int n, int, double,
+            const double*, int, const double*, int, double, double* c,
+            int ldc) override {
+    ++gemm_f64;
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < m; ++i) {
+        c[i + static_cast<std::size_t>(j) * ldc] = 42.0;
+      }
+    }
+    return true;  // handled: cblas must NOT touch c again
+  }
+  bool gemv(blas::Transpose, int, int, float, const float*, int,
+            const float*, int, float, float*, int) override {
+    return false;
+  }
+  bool gemv(blas::Transpose, int, int, double, const double*, int,
+            const double*, int, double, double*, int) override {
+    ++gemv_f64;
+    return false;
+  }
+};
+
+TEST(Cblas, DispatchHookInterceptsGemmAndGemv) {
+  CountingHook hook;
+  blas::cblas_set_dispatch_hook(&hook);
+  ASSERT_EQ(blas::cblas_dispatch_hook(), &hook);
+
+  const int m = 8, n = 6, k = 5;
+  auto a = random_vector<double>(static_cast<std::size_t>(m) * k, 30);
+  auto b = random_vector<double>(static_cast<std::size_t>(k) * n, 31);
+  std::vector<double> c(static_cast<std::size_t>(m) * n, 0.0);
+
+  // Handled by the hook: the output is the hook's, not the product.
+  cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, m, n, k, 1.0,
+              a.data(), m, b.data(), k, 0.0, c.data(), m);
+  EXPECT_EQ(hook.gemm_f64, 1);
+  for (double v : c) ASSERT_DOUBLE_EQ(v, 42.0);
+
+  // Row-major calls reach the hook too (already normalised to col-major).
+  cblas_dgemm(CblasRowMajor, CblasNoTrans, CblasNoTrans, n, m, k, 1.0,
+              b.data(), k, a.data(), m, 0.0, c.data(), m);
+  EXPECT_EQ(hook.gemm_f64, 2);
+
+  // Declined by the hook: the default path still computes the result.
+  auto fa = random_vector<float>(static_cast<std::size_t>(m) * k, 32);
+  auto fb = random_vector<float>(static_cast<std::size_t>(k) * n, 33);
+  std::vector<float> fc(static_cast<std::size_t>(m) * n, 0.0f);
+  cblas_sgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, m, n, k, 1.0f,
+              fa.data(), m, fb.data(), k, 0.0f, fc.data(), m);
+  EXPECT_EQ(hook.gemm_f32, 1);
+  float want = 0.0f;
+  for (int p = 0; p < k; ++p) {
+    want += fa[static_cast<std::size_t>(p) * m] *
+            fb[static_cast<std::size_t>(p)];
+  }
+  EXPECT_NEAR(fc[0], want, 1e-5f);
+
+  auto x = random_vector<double>(n, 34);
+  std::vector<double> y(m, 0.0);
+  cblas_dgemv(CblasColMajor, CblasNoTrans, m, n, 1.0, a.data(), m, x.data(),
+              1, 0.0, y.data(), 1);
+  EXPECT_EQ(hook.gemv_f64, 1);
+  std::vector<double> y_ref(m, 0.0);
+  blas::ref::gemv(blas::Transpose::No, m, n, 1.0, a.data(), m, x.data(), 1,
+                  0.0, y_ref.data(), 1);
+  test::expect_near_rel(y, y_ref, 1e-12);
+
+  // Detached: calls stop reaching the hook.
+  blas::cblas_set_dispatch_hook(nullptr);
+  EXPECT_EQ(blas::cblas_dispatch_hook(), nullptr);
+  cblas_dgemv(CblasColMajor, CblasNoTrans, m, n, 1.0, a.data(), m, x.data(),
+              1, 0.0, y.data(), 1);
+  EXPECT_EQ(hook.gemv_f64, 1);
+}
+
 TEST(Cblas, LibrarySwapTakesEffect) {
   blas::cblas_set_library(blas::single_thread_personality(), 1);
   EXPECT_EQ(blas::cblas_library().personality().name, "single-thread");

@@ -1,0 +1,225 @@
+// End-to-end dispatcher acceptance: after a warm-up the routed cost sits
+// within 10% of the per-call oracle and strictly beats the always-CPU /
+// always-GPU static ports; a restart from the persisted calibration
+// serves immediately without re-exploring (asserted on the counters).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dispatch/dispatcher.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace blob;
+
+struct ShapeClass {
+  core::KernelOp op;
+  model::Precision precision;
+  std::int64_t m, n, k;
+  double weight;
+};
+
+struct ClassBuffers {
+  std::vector<float> a32, b32, c32;
+  std::vector<double> a64, b64, c64;
+};
+
+struct Baselines {
+  double oracle = 0.0;
+  double always_cpu = 0.0;
+  double always_gpu = 0.0;
+};
+
+dispatch::CallShape to_shape(const ShapeClass& cls, core::TransferMode mode) {
+  return dispatch::CallShape{cls.op,
+                             cls.precision,
+                             cls.m,
+                             cls.n,
+                             cls.op == core::KernelOp::Gemv ? 1 : cls.k,
+                             /*beta_zero=*/true,
+                             mode};
+}
+
+/// Smallest square f32 GEMM dimension the advisor offloads on `disp`'s
+/// profile — keeps the workload's GPU-favoured class as cheap as possible
+/// for test runtime while guaranteeing the mix spans both routes.
+std::int64_t smallest_offloaded_gemm(const dispatch::Dispatcher& disp) {
+  for (std::int64_t s : {256, 320, 384, 448, 512, 640, 768}) {
+    const dispatch::CallShape shape{core::KernelOp::Gemm,
+                                    model::Precision::F32,
+                                    s,
+                                    s,
+                                    s,
+                                    true,
+                                    disp.config().mode};
+    if (disp.oracle_route(shape) == dispatch::Route::Gpu) return s;
+  }
+  return 0;
+}
+
+ClassBuffers make_buffers(const ShapeClass& cls, util::Xoshiro256& rng) {
+  ClassBuffers buf;
+  const std::size_t an = static_cast<std::size_t>(
+      cls.op == core::KernelOp::Gemv ? cls.m * cls.n : cls.m * cls.k);
+  const std::size_t bn = static_cast<std::size_t>(
+      cls.op == core::KernelOp::Gemv ? cls.n : cls.k * cls.n);
+  const std::size_t cn = static_cast<std::size_t>(
+      cls.op == core::KernelOp::Gemv ? cls.m : cls.m * cls.n);
+  if (cls.precision == model::Precision::F32) {
+    buf.a32.resize(an);
+    buf.b32.resize(bn);
+    buf.c32.resize(cn);
+    for (auto& v : buf.a32) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto& v : buf.b32) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  } else {
+    buf.a64.resize(an);
+    buf.b64.resize(bn);
+    buf.c64.resize(cn);
+    for (auto& v : buf.a64) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : buf.b64) v = rng.uniform(-1.0, 1.0);
+  }
+  return buf;
+}
+
+/// Replay `calls` weighted draws through the dispatcher; returns the
+/// modelled baselines accumulated over the same call sequence.
+Baselines replay(dispatch::Dispatcher& disp,
+                 const std::vector<ShapeClass>& classes, int calls,
+                 std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<ClassBuffers> buffers;
+  buffers.reserve(classes.size());
+  for (const auto& cls : classes) buffers.push_back(make_buffers(cls, rng));
+
+  Baselines base;
+  for (int i = 0; i < calls; ++i) {
+    double pick = rng.next_double();
+    std::size_t ci = 0;
+    for (; ci + 1 < classes.size(); ++ci) {
+      if (pick < classes[ci].weight) break;
+      pick -= classes[ci].weight;
+    }
+    const ShapeClass& cls = classes[ci];
+    ClassBuffers& buf = buffers[ci];
+    const int m = static_cast<int>(cls.m);
+    const int n = static_cast<int>(cls.n);
+    const int k = static_cast<int>(cls.k);
+
+    const auto costs = disp.modelled_costs(to_shape(cls, disp.config().mode));
+    base.oracle += std::min(costs.cpu_s, costs.gpu_s);
+    base.always_cpu += costs.cpu_s;
+    base.always_gpu += costs.gpu_s;
+
+    if (cls.op == core::KernelOp::Gemm) {
+      if (cls.precision == model::Precision::F32) {
+        disp.run_gemm<float>(blas::Transpose::No, blas::Transpose::No, m, n,
+                             k, 1.0F, buf.a32.data(), m, buf.b32.data(), k,
+                             0.0F, buf.c32.data(), m);
+      } else {
+        disp.run_gemm<double>(blas::Transpose::No, blas::Transpose::No, m, n,
+                              k, 1.0, buf.a64.data(), m, buf.b64.data(), k,
+                              0.0, buf.c64.data(), m);
+      }
+    } else if (cls.precision == model::Precision::F32) {
+      disp.run_gemv<float>(blas::Transpose::No, m, n, 1.0F, buf.a32.data(),
+                           m, buf.b32.data(), 1, 0.0F, buf.c32.data(), 1);
+    } else {
+      disp.run_gemv<double>(blas::Transpose::No, m, n, 1.0, buf.a64.data(),
+                            m, buf.b64.data(), 1, 0.0, buf.c64.data(), 1);
+    }
+  }
+  return base;
+}
+
+double routed_seconds(const dispatch::Dispatcher& disp) {
+  const auto stats = disp.stats();
+  return stats.cpu_seconds + stats.gpu_seconds;
+}
+
+TEST(DispatchConvergence, TracksOracleAndBeatsStaticRouting) {
+  dispatch::DispatcherConfig cfg;
+  cfg.profile = profile::dawn();
+  cfg.cpu_threads = 2;
+  dispatch::Dispatcher disp(cfg);
+
+  const std::int64_t big = smallest_offloaded_gemm(disp);
+  ASSERT_GT(big, 0) << "no offloaded f32 GEMM size on dawn?";
+  const std::vector<ShapeClass> classes = {
+      {core::KernelOp::Gemm, model::Precision::F32, 48, 48, 48, 0.40},
+      {core::KernelOp::Gemm, model::Precision::F32, 160, 160, 160, 0.20},
+      {core::KernelOp::Gemm, model::Precision::F32, big, big, big, 0.25},
+      {core::KernelOp::Gemv, model::Precision::F64, 768, 768, 1, 0.15},
+  };
+
+  // Warm-up phase: cold starts + exploration, learning the table.
+  const Baselines warm = replay(disp, classes, 120, 0xc0ffee);
+  const double warm_routed = routed_seconds(disp);
+  const auto warm_stats = disp.stats();
+  EXPECT_GT(warm_stats.cold_starts, 0u);
+
+  // Steady state: within 10% of the per-call oracle.
+  const Baselines steady = replay(disp, classes, 240, 0xc0ffee + 1);
+  const double steady_routed = routed_seconds(disp) - warm_routed;
+  ASSERT_GT(steady.oracle, 0.0);
+  EXPECT_LE(steady_routed, steady.oracle * 1.10)
+      << "steady-state regret above 10%";
+
+  // Whole replay (exploration tax included): strictly better than either
+  // static port.
+  const Baselines total{warm.oracle + steady.oracle,
+                        warm.always_cpu + steady.always_cpu,
+                        warm.always_gpu + steady.always_gpu};
+  const double routed = routed_seconds(disp);
+  EXPECT_LT(routed, total.always_cpu);
+  EXPECT_LT(routed, total.always_gpu);
+
+  // The mix genuinely spans both sides, or the comparison is vacuous.
+  const auto stats = disp.stats();
+  EXPECT_GT(stats.cpu_routed, 0u);
+  EXPECT_GT(stats.gpu_routed, 0u);
+}
+
+TEST(DispatchConvergence, WarmRestartSkipsReExploration) {
+  const std::string path = testing::TempDir() + "/dispatch_warm.json";
+  dispatch::DispatcherConfig cfg;
+  cfg.profile = profile::dawn();
+  cfg.cpu_threads = 2;
+
+  std::vector<ShapeClass> classes;
+  {
+    dispatch::Dispatcher cold(cfg);
+    const std::int64_t big = smallest_offloaded_gemm(cold);
+    ASSERT_GT(big, 0);
+    classes = {
+        {core::KernelOp::Gemm, model::Precision::F32, 48, 48, 48, 0.45},
+        {core::KernelOp::Gemm, model::Precision::F32, big, big, big, 0.30},
+        {core::KernelOp::Gemv, model::Precision::F64, 768, 768, 1, 0.25},
+    };
+    replay(cold, classes, 200, 0xabcde);
+    EXPECT_GT(cold.stats().cold_starts, 0u);
+    EXPECT_GT(cold.stats().explores, 0u);
+    ASSERT_TRUE(cold.save_calibration(path));
+  }
+
+  dispatch::DispatcherConfig warm_cfg = cfg;
+  warm_cfg.calibration_path = path;
+  dispatch::Dispatcher warm(warm_cfg);
+  ASSERT_EQ(warm.startup_load_status(), dispatch::LoadStatus::Ok);
+  EXPECT_EQ(warm.stats().calibration_loads, 1u);
+
+  const Baselines base = replay(warm, classes, 160, 0xabcde + 7);
+  const auto stats = warm.stats();
+  // Every bucket arrived converged: no cold starts, no exploration.
+  EXPECT_EQ(stats.cold_starts, 0u);
+  EXPECT_EQ(stats.explores, 0u);
+  // And the routing is immediately near-oracle — no warm-up phase.
+  EXPECT_LE(routed_seconds(warm), base.oracle * 1.10);
+  std::remove(path.c_str());
+}
+
+}  // namespace

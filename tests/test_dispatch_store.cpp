@@ -1,0 +1,169 @@
+// Calibration store: JSON round-trip, version/personality/profile
+// mismatch rejection, tuned-blocking persistence, and the dispatcher-level
+// warm path that consumes it.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dispatch/calibration_store.hpp"
+#include "dispatch/dispatcher.hpp"
+
+namespace {
+
+using namespace blob;
+using dispatch::BucketKey;
+using dispatch::BucketState;
+using dispatch::CalibrationData;
+using dispatch::LoadResult;
+using dispatch::LoadStatus;
+using dispatch::Route;
+
+CalibrationData sample_data() {
+  CalibrationData data;
+  data.personality = "generic";
+  data.profile = "dawn";
+  BucketState small;
+  small.cpu = {1.5e-5, 12};
+  small.gpu = {9.0e-5, 3};
+  small.incumbent = Route::Cpu;
+  small.visits = 40;
+  small.switches = 0;
+  data.entries[{core::KernelOp::Gemm, model::Precision::F32,
+                core::TransferMode::Once, 18}] = small;
+  BucketState large;
+  large.cpu = {7.2e-4, 9};
+  large.gpu = {4.1e-4, 22};
+  large.incumbent = Route::Gpu;
+  large.visits = 31;
+  large.switches = 1;
+  data.entries[{core::KernelOp::Gemv, model::Precision::F64,
+                core::TransferMode::Always, 23}] = large;
+  blas::GemmBlocking blocking;
+  blocking.mc = 96;
+  blocking.kc = 192;
+  blocking.nc = 2048;
+  data.blocking_f64 = blocking;
+  return data;
+}
+
+TEST(DispatchStore, RoundTripPreservesEverything) {
+  const CalibrationData data = sample_data();
+  std::stringstream buffer;
+  dispatch::save_calibration(buffer, data);
+
+  const LoadResult result =
+      dispatch::load_calibration(buffer, "generic", "dawn");
+  ASSERT_EQ(result.status, LoadStatus::Ok) << to_string(result.status);
+  EXPECT_EQ(result.data.personality, "generic");
+  EXPECT_EQ(result.data.profile, "dawn");
+  ASSERT_EQ(result.data.entries.size(), 2u);
+
+  const BucketKey key{core::KernelOp::Gemv, model::Precision::F64,
+                      core::TransferMode::Always, 23};
+  ASSERT_TRUE(result.data.entries.contains(key));
+  const BucketState& state = result.data.entries.at(key);
+  EXPECT_DOUBLE_EQ(state.cpu.ewma_s, 7.2e-4);
+  EXPECT_EQ(state.cpu.samples, 9u);
+  EXPECT_DOUBLE_EQ(state.gpu.ewma_s, 4.1e-4);
+  EXPECT_EQ(state.gpu.samples, 22u);
+  EXPECT_EQ(state.incumbent, Route::Gpu);
+  EXPECT_EQ(state.visits, 31u);
+  EXPECT_EQ(state.switches, 1u);
+
+  EXPECT_FALSE(result.data.blocking_f32.has_value());
+  ASSERT_TRUE(result.data.blocking_f64.has_value());
+  EXPECT_EQ(result.data.blocking_f64->mc, 96);
+  EXPECT_EQ(result.data.blocking_f64->kc, 192);
+  EXPECT_EQ(result.data.blocking_f64->nc, 2048);
+}
+
+TEST(DispatchStore, EmptyExpectationsSkipTheKeyChecks) {
+  std::stringstream buffer;
+  dispatch::save_calibration(buffer, sample_data());
+  const LoadResult result = dispatch::load_calibration(buffer, "", "");
+  EXPECT_EQ(result.status, LoadStatus::Ok);
+}
+
+TEST(DispatchStore, RejectsMismatches) {
+  {
+    std::stringstream buffer;
+    dispatch::save_calibration(buffer, sample_data());
+    EXPECT_EQ(dispatch::load_calibration(buffer, "nvpl", "dawn").status,
+              LoadStatus::PersonalityMismatch);
+  }
+  {
+    std::stringstream buffer;
+    dispatch::save_calibration(buffer, sample_data());
+    EXPECT_EQ(dispatch::load_calibration(buffer, "generic", "lumi").status,
+              LoadStatus::ProfileMismatch);
+  }
+  {
+    // A file written by a future schema version is rejected before any
+    // personality/profile check.
+    std::stringstream buffer;
+    buffer << R"({"version": 99, "personality": "generic",)"
+           << R"( "profile": "dawn", "entries": []})";
+    EXPECT_EQ(dispatch::load_calibration(buffer, "generic", "dawn").status,
+              LoadStatus::VersionMismatch);
+  }
+  {
+    std::stringstream buffer("this is not json");
+    EXPECT_EQ(dispatch::load_calibration(buffer, "generic", "dawn").status,
+              LoadStatus::BadJson);
+  }
+  EXPECT_EQ(dispatch::load_calibration_file("/nonexistent/calib.json",
+                                            "generic", "dawn")
+                .status,
+            LoadStatus::IoError);
+}
+
+TEST(DispatchStore, DispatcherRejectsForeignStoreAndColdStarts) {
+  const std::string path =
+      testing::TempDir() + "/dispatch_store_foreign.json";
+  // Written against lumi...
+  CalibrationData data = sample_data();
+  data.profile = "lumi";
+  ASSERT_TRUE(dispatch::save_calibration_file(path, data));
+
+  // ...loaded by a dawn dispatcher: rejected, table stays advisor-seeded.
+  dispatch::DispatcherConfig cfg;
+  cfg.profile = profile::dawn();
+  cfg.cpu_threads = 1;
+  cfg.calibration_path = path;
+  dispatch::Dispatcher disp(cfg);
+  EXPECT_EQ(disp.startup_load_status(), LoadStatus::ProfileMismatch);
+  EXPECT_EQ(disp.stats().calibration_loads, 0u);
+  EXPECT_TRUE(disp.table().entries().empty());
+  std::remove(path.c_str());
+}
+
+TEST(DispatchStore, AutotunedBlockingPersistsAcrossRestart) {
+  // Satellite: blas::autotune_blocking results ride in the calibration
+  // store, so a restart skips the re-tune as well as re-exploration.
+  const std::string path = testing::TempDir() + "/dispatch_store_tuned.json";
+  dispatch::DispatcherConfig cfg;
+  cfg.profile = profile::dawn();
+  cfg.cpu_threads = 2;
+  cfg.autotune = true;
+  cfg.autotune_size = 96;
+  {
+    dispatch::Dispatcher tuned(cfg);
+    EXPECT_GE(tuned.stats().autotune_runs, 1u);
+    ASSERT_TRUE(tuned.blocking_f64().has_value());
+    ASSERT_TRUE(tuned.save_calibration(path));
+  }
+  dispatch::DispatcherConfig warm = cfg;
+  warm.autotune = true;  // would re-tune, except the store supplies it
+  warm.calibration_path = path;
+  dispatch::Dispatcher restarted(warm);
+  EXPECT_EQ(restarted.startup_load_status(), LoadStatus::Ok);
+  EXPECT_EQ(restarted.stats().autotune_runs, 0u);
+  EXPECT_TRUE(restarted.blocking_f64().has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace

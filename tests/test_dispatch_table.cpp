@@ -1,0 +1,195 @@
+// Decision table: bucketing, cold start, epsilon decay, hysteresis
+// stability under deterministic perfmodel noise, and live convergence.
+
+#include <gtest/gtest.h>
+
+#include "dispatch/decision_table.hpp"
+#include "perfmodel/noise.hpp"
+
+namespace {
+
+using namespace blob;
+using dispatch::BucketKey;
+using dispatch::CallShape;
+using dispatch::Decision;
+using dispatch::DecisionTable;
+using dispatch::DecisionTableConfig;
+using dispatch::Reason;
+using dispatch::Route;
+
+CallShape square_gemm(std::int64_t s,
+                      model::Precision p = model::Precision::F32) {
+  CallShape shape;
+  shape.op = core::KernelOp::Gemm;
+  shape.precision = p;
+  shape.m = shape.n = shape.k = s;
+  return shape;
+}
+
+TEST(DispatchTable, BucketsAreLogScaleInFlops) {
+  // Square GEMM: flops = 2*s^3 (+ beta term), so doubling the dimension
+  // moves the shape three log2 buckets up.
+  const int b64 = dispatch::size_bucket(square_gemm(64));
+  const int b128 = dispatch::size_bucket(square_gemm(128));
+  EXPECT_EQ(b128 - b64, 3);
+  // Nearby sizes share a bucket; precision does not enter the bucket id
+  // (it is a separate key field).
+  EXPECT_EQ(dispatch::size_bucket(square_gemm(100)),
+            dispatch::size_bucket(square_gemm(101)));
+  EXPECT_EQ(dispatch::size_bucket(square_gemm(64)),
+            dispatch::size_bucket(square_gemm(64, model::Precision::F64)));
+  const BucketKey kf32 = dispatch::bucket_key(square_gemm(64));
+  const BucketKey kf64 =
+      dispatch::bucket_key(square_gemm(64, model::Precision::F64));
+  EXPECT_NE(kf32, kf64);
+}
+
+TEST(DispatchTable, ColdStartFollowsSeededIncumbent) {
+  DecisionTable table;
+  const BucketKey key = dispatch::bucket_key(square_gemm(128));
+  EXPECT_FALSE(table.contains(key));
+  table.seed(key, /*cpu=*/2.0e-3, /*gpu=*/1.0e-3);
+  ASSERT_TRUE(table.contains(key));
+
+  const Decision d = table.choose(key);
+  EXPECT_EQ(d.route, Route::Gpu);
+  EXPECT_EQ(d.reason, Reason::ColdStart);
+  EXPECT_DOUBLE_EQ(d.cpu_est_s, 2.0e-3);
+  EXPECT_DOUBLE_EQ(d.gpu_est_s, 1.0e-3);
+
+  // Re-seeding an existing bucket is a no-op.
+  table.seed(key, 9.0, 9.0);
+  EXPECT_DOUBLE_EQ(table.find(key)->cpu.ewma_s, 2.0e-3);
+}
+
+TEST(DispatchTable, ForcedCpuLeavesIncumbentAlone) {
+  DecisionTable table;
+  const BucketKey key = dispatch::bucket_key(square_gemm(128));
+  table.seed(key, 2.0e-3, 1.0e-3);
+  const Decision d = table.choose(key, /*gpu_available=*/false);
+  EXPECT_EQ(d.route, Route::Cpu);
+  EXPECT_EQ(d.reason, Reason::Forced);
+  EXPECT_EQ(table.find(key)->incumbent, Route::Gpu);
+}
+
+TEST(DispatchTable, ChooseOnUnseededBucketThrows) {
+  DecisionTable table;
+  EXPECT_THROW(table.choose(dispatch::bucket_key(square_gemm(32))),
+               std::logic_error);
+  EXPECT_THROW(
+      table.observe(dispatch::bucket_key(square_gemm(32)), Route::Cpu, 1.0),
+      std::logic_error);
+}
+
+TEST(DispatchTable, NoFlappingNearCrossoverUnderNoise) {
+  // The paper's detector must tolerate "momentary drops ... due to
+  // abnormal system behaviour or noise" (SIII-D). Put the two backends
+  // 5% apart — inside the 15% hysteresis margin — and feed noisy
+  // measurements: the route must not flap.
+  DecisionTableConfig cfg;
+  cfg.converged_visits = 1u << 30;  // keep exploring for this test
+  DecisionTable table(cfg);
+  const CallShape shape = square_gemm(256);
+  const BucketKey key = dispatch::bucket_key(shape);
+  const double cpu_true = 1.00e-3;
+  const double gpu_true = 0.95e-3;
+  table.seed(key, cpu_true, gpu_true);
+
+  const model::NoiseModel noise(0.10, 0xf1a9);
+  std::uint64_t flips = 0;
+  Route prev = table.find(key)->incumbent;
+  for (int i = 0; i < 600; ++i) {
+    const Decision d = table.choose(key);
+    const double base = d.route == Route::Gpu ? gpu_true : cpu_true;
+    const double measured =
+        base * noise.factor("test", d.route == Route::Gpu ? "gpu" : "cpu",
+                            shape.precision, shape.m, shape.n, shape.k, i);
+    table.observe(key, d.route, measured);
+    const Route inc = table.find(key)->incumbent;
+    flips += inc != prev;
+    prev = inc;
+  }
+  // 600 noisy near-crossover calls: the offline detector's noise
+  // tolerance translates to (almost) no incumbent changes here.
+  EXPECT_LE(table.find(key)->switches, 1u);
+  EXPECT_LE(flips, 1u);
+}
+
+TEST(DispatchTable, GenuineRegimeChangeDethronesIncumbent) {
+  DecisionTableConfig cfg;
+  cfg.epsilon = 0.0;  // drive the GPU arm with direct observations
+  DecisionTable table(cfg);
+  const BucketKey key = dispatch::bucket_key(square_gemm(256));
+  table.seed(key, /*cpu=*/1.0e-3, /*gpu=*/2.0e-3);
+  EXPECT_EQ(table.find(key)->incumbent, Route::Cpu);
+  EXPECT_EQ(table.choose(key).reason, Reason::ColdStart);
+
+  // The GPU gets decisively faster (e.g. the transfer pattern changed).
+  // The EWMA needs a few probe results to work off the stale seed; once
+  // the estimate clears margin + min-samples the route switches.
+  for (int i = 0; i < 6; ++i) table.observe(key, Route::Gpu, 0.1e-3);
+  const Decision d = table.choose(key);
+  EXPECT_EQ(d.route, Route::Gpu);
+  EXPECT_EQ(d.reason, Reason::Exploit);
+  EXPECT_EQ(table.find(key)->incumbent, Route::Gpu);
+  EXPECT_EQ(table.find(key)->switches, 1u);
+}
+
+TEST(DispatchTable, OneLuckyProbeCannotStealTheRoute) {
+  DecisionTableConfig cfg;
+  cfg.epsilon = 0.0;
+  cfg.min_samples_to_switch = 8;
+  DecisionTable table(cfg);
+  const BucketKey key = dispatch::bucket_key(square_gemm(256));
+  table.seed(key, 1.0e-3, 2.0e-3);
+  table.choose(key);  // burn the cold-start visit
+  // A few GPU observations far below the incumbent pull the estimate
+  // under the margin, but the sample floor is not met -> the incumbent
+  // holds instead of flipping on scant evidence.
+  for (int i = 0; i < 4; ++i) table.observe(key, Route::Gpu, 0.01e-3);
+  ASSERT_LT(table.find(key)->gpu.ewma_s, 1.0e-3 * 0.85);
+  const Decision d = table.choose(key);
+  EXPECT_EQ(d.route, Route::Cpu);
+  EXPECT_EQ(d.reason, Reason::HysteresisHold);
+}
+
+TEST(DispatchTable, BucketsConvergeAndStopExploring) {
+  DecisionTableConfig cfg;
+  cfg.converged_visits = 16;
+  DecisionTable table(cfg);
+  const BucketKey key = dispatch::bucket_key(square_gemm(256));
+  table.seed(key, 1.0e-3, 3.0e-3);
+
+  for (int i = 0; i < 200; ++i) {
+    const Decision d = table.choose(key);
+    table.observe(key, d.route, d.route == Route::Cpu ? 1.0e-3 : 3.0e-3);
+  }
+  ASSERT_TRUE(table.find(key)->converged);
+  // After convergence every decision is a pure exploit.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.choose(key).reason, Reason::Exploit);
+  }
+}
+
+TEST(DispatchTable, RestoreMarksHeavilyVisitedBucketsConverged) {
+  DecisionTable table;
+  const BucketKey key = dispatch::bucket_key(square_gemm(256));
+  dispatch::BucketState state;
+  state.cpu = {1.0e-3, 40};
+  state.gpu = {3.0e-3, 8};
+  state.incumbent = Route::Cpu;
+  state.visits = 48;
+  table.restore(key, state);
+  EXPECT_TRUE(table.find(key)->converged);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.choose(key).reason, Reason::Exploit);
+  }
+
+  dispatch::BucketState young = state;
+  young.visits = 3;
+  const BucketKey key2 = dispatch::bucket_key(square_gemm(512));
+  table.restore(key2, young);
+  EXPECT_FALSE(table.find(key2)->converged);
+}
+
+}  // namespace

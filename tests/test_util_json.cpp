@@ -97,6 +97,68 @@ TEST(Json, MisuseThrows) {
   }
 }
 
+TEST(JsonParse, ScalarsAndContainers) {
+  const util::JsonValue doc = util::json_parse(
+      R"({"s": "hi", "i": 42, "d": 0.5, "t": true, "f": false,
+          "nul": null, "arr": [1, 2, 3], "obj": {"k": -7}})");
+  EXPECT_EQ(doc.at("s").as_string(), "hi");
+  EXPECT_EQ(doc.at("i").as_int(), 42);
+  EXPECT_DOUBLE_EQ(doc.at("d").as_double(), 0.5);
+  EXPECT_TRUE(doc.at("t").as_bool());
+  EXPECT_FALSE(doc.at("f").as_bool());
+  EXPECT_TRUE(doc.at("nul").is_null());
+  ASSERT_EQ(doc.at("arr").as_array().size(), 3u);
+  EXPECT_EQ(doc.at("arr").as_array()[2].as_int(), 3);
+  EXPECT_EQ(doc.at("obj").at("k").as_int(), -7);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW((void)doc.at("missing"), util::JsonError);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const util::JsonValue doc =
+      util::json_parse(R"(["a\"b\\c", "line\nbreak", "Aé"])");
+  const auto& arr = doc.as_array();
+  EXPECT_EQ(arr[0].as_string(), "a\"b\\c");
+  EXPECT_EQ(arr[1].as_string(), "line\nbreak");
+  EXPECT_EQ(arr[2].as_string(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  std::ostringstream out;
+  JsonWriter json(out, /*pretty=*/true);
+  json.begin_object();
+  json.kv("name", "store \"v1\"");
+  json.kv("count", std::int64_t{1} << 40);
+  json.kv("ewma", 3.0625e-5);
+  json.key("entries").begin_array();
+  json.begin_object().kv("bucket", 12).kv("cpu", 1.5).end_object();
+  json.end_array();
+  json.end_object();
+  const util::JsonValue doc = util::json_parse(out.str());
+  EXPECT_EQ(doc.at("name").as_string(), "store \"v1\"");
+  EXPECT_EQ(doc.at("count").as_int(), std::int64_t{1} << 40);
+  EXPECT_DOUBLE_EQ(doc.at("ewma").as_double(), 3.0625e-5);
+  EXPECT_EQ(doc.at("entries").as_array()[0].at("bucket").as_int(), 12);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(util::json_parse(""), util::JsonError);
+  EXPECT_THROW(util::json_parse("{"), util::JsonError);
+  EXPECT_THROW(util::json_parse("[1,]"), util::JsonError);
+  EXPECT_THROW(util::json_parse("{\"a\" 1}"), util::JsonError);
+  EXPECT_THROW(util::json_parse("{\"a\": 1} extra"), util::JsonError);
+  EXPECT_THROW(util::json_parse("tru"), util::JsonError);
+  EXPECT_THROW(util::json_parse("1.2.3"), util::JsonError);
+  EXPECT_THROW(util::json_parse("\"unterminated"), util::JsonError);
+}
+
+TEST(JsonParse, TypeMismatchThrows) {
+  const util::JsonValue doc = util::json_parse(R"({"a": 1.5})");
+  EXPECT_THROW((void)doc.at("a").as_string(), util::JsonError);
+  EXPECT_THROW((void)doc.at("a").as_int(), util::JsonError);  // non-integral
+  EXPECT_THROW((void)doc.as_array(), util::JsonError);
+}
+
 TEST(Manifest, DumpsFullSystemParameterisation) {
   std::ostringstream out;
   core::SweepConfig cfg;
