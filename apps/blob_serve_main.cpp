@@ -32,6 +32,7 @@
 #include "blas/cblas.hpp"
 #include "dispatch/admission_queue.hpp"
 #include "dispatch/dispatcher.hpp"
+#include "obs/obs.hpp"
 #include "sysprofile/profile.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -115,6 +116,11 @@ struct Baselines {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // BLOB_TRACE=<path> turns on span tracing and flushes a chrome trace at
+  // exit; BLOB_METRICS=<path> flushes the metrics dump (see docs/
+  // observability.md). --metrics-out below does the same programmatically.
+  blob::obs::init_from_env();
+
   blob::util::ArgParser args("blob-serve");
   args.add_string("--system", "system profile (dawn, lumi, isambard-ai, ...)",
                   "dawn");
@@ -136,6 +142,8 @@ int main(int argc, char** argv) {
   args.add_string("--save-calib", "write calibration store on exit", "");
   args.add_string("--json-out", "write the summary JSON here", "");
   args.add_string("--trace-out", "dump the decision trace JSON here", "");
+  args.add_string("--metrics-out", "write the obs metrics dump JSON here",
+                  "");
 
   std::vector<std::string> positional;
   try {
@@ -408,6 +416,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     dispatcher.trace().dump_json(out);
+  }
+
+  const std::string metrics_path = args.get_string("--metrics-out");
+  if (!metrics_path.empty()) {
+    if (!blob::obs::write_metrics_file(metrics_path)) {
+      std::cerr << "error: cannot write " << metrics_path << "\n";
+      return 1;
+    }
   }
 
   const std::string json_path = args.get_string("--json-out");

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/obs.hpp"
+
 namespace blob::bench {
 
 core::ThresholdEntry sweep_entry(const profile::SystemProfile& system,
@@ -58,6 +60,9 @@ FigureSeries figure_series(const profile::SystemProfile& system,
 }
 
 void banner(const std::string& title) {
+  // Every bench main prints a banner first, so this is the one shared
+  // entry point where BLOB_TRACE / BLOB_METRICS can take effect.
+  obs::init_from_env();
   std::printf("\n==============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("==============================================================\n");

@@ -5,12 +5,23 @@
 # a cold start (learning online), a warm restart from the calibration
 # store written by the cold run, and the queued/coalescing path.
 #
-# Usage: scripts/bench_dispatch.sh [build-dir] [extra blob-serve args...]
+# Usage: scripts/bench_dispatch.sh [build-dir] [--quick] [extra blob-serve args...]
+#   --quick  CI smoke mode: 80 calls and 2 queue clients instead of 400/4.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
-shift || true
+build_dir="$repo_root/build"
+if [ $# -ge 1 ] && [ "${1#--}" = "$1" ]; then
+  build_dir="$1"
+  shift
+fi
+calls=400
+clients=4
+if [ "${1:-}" = "--quick" ]; then
+  calls=80
+  clients=2
+  shift
+fi
 serve="$build_dir/apps/blob-serve"
 
 if [ ! -x "$serve" ]; then
@@ -24,7 +35,7 @@ mkdir -p "$out_dir"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-common=(--system dawn -n 400 --seed 42 "$@")
+common=(--system dawn -n "$calls" --seed 42 "$@")
 
 echo "== cold start (online learning) =="
 "$serve" "${common[@]}" --save-calib "$tmp/calib.json" \
@@ -37,7 +48,7 @@ echo "== warm restart (persisted calibration) =="
 
 echo
 echo "== admission queue (coalescing + overlap) =="
-"$serve" "${common[@]}" --queue --clients 4 --json-out "$tmp/queued.json"
+"$serve" "${common[@]}" --queue --clients "$clients" --json-out "$tmp/queued.json"
 
 python3 - "$tmp" "$out_dir/BENCH_dispatch.json" <<'PY'
 import json, sys

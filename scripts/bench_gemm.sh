@@ -3,11 +3,21 @@
 # square / tall-skinny / small-N shapes) and emit a JSON report to
 # artifacts/BENCH_gemm.json for comparison across commits.
 #
-# Usage: scripts/bench_gemm.sh [build-dir]   (default: build)
+# Usage: scripts/bench_gemm.sh [build-dir] [--quick] [extra gbench args...]
+#   --quick  CI smoke mode: minimal measurement time per benchmark.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
+build_dir="$repo_root/build"
+if [ $# -ge 1 ] && [ "${1#--}" = "$1" ]; then
+  build_dir="$1"
+  shift
+fi
+quick=()
+if [ "${1:-}" = "--quick" ]; then
+  quick=(--benchmark_min_time=0.01)
+  shift
+fi
 bench="$build_dir/bench/kernels_gbench"
 
 if [ ! -x "$bench" ]; then
@@ -23,6 +33,7 @@ mkdir -p "$out_dir"
   --benchmark_filter='gemm' \
   --benchmark_out="$out_dir/BENCH_gemm.json" \
   --benchmark_out_format=json \
+  ${quick[@]+"${quick[@]}"} \
   "$@"
 
 echo "wrote $out_dir/BENCH_gemm.json"

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate a BLOB_TRACE chrome-trace file end-to-end.
+
+Checks that the emitted JSON is well-formed chrome trace_event format and
+that at least one GPU-routed GEMM shows the full linked span chain:
+
+    dispatch.queue_cycle (or dispatch.gemm)
+      -> dispatch.gpu_enqueue
+           -> gpu.h2d  (x3)
+           -> gpu.gemm
+           -> gpu.d2h
+
+Optionally cross-checks a metrics dump for non-zero counters from the
+blas, gpu, and dispatch registries.
+
+Usage: check_trace.py TRACE_JSON [METRICS_JSON]
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        fail("usage: check_trace.py TRACE_JSON [METRICS_JSON]")
+
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    # Wall-lane spans only (pid 1); pid 2 mirrors modelled virtual time.
+    spans = {}
+    for e in events:
+        if e.get("ph") not in ("X", "i"):
+            continue
+        if e.get("pid") != 1:
+            continue
+        args = e.get("args", {})
+        sid = args.get("id")
+        if not sid:
+            continue
+        spans[sid] = {
+            "name": e["name"],
+            "parent": args.get("parent", 0),
+            "vt": "vt_dur_s" in args,
+        }
+
+    if not spans:
+        fail("no id-carrying spans on the wall lane")
+
+    def chain_of(sid):
+        names = []
+        seen = set()
+        while sid and sid in spans and sid not in seen:
+            seen.add(sid)
+            names.append(spans[sid]["name"])
+            sid = spans[sid]["parent"]
+        return names
+
+    # Find one GPU kernel whose ancestry runs through the dispatcher.
+    kernels = [s for s, v in spans.items() if v["name"] in ("gpu.gemm", "gpu.gemv")]
+    if not kernels:
+        fail("no gpu kernel spans recorded")
+
+    linked = None
+    for sid in kernels:
+        chain = chain_of(sid)
+        if "dispatch.gpu_enqueue" in chain and (
+            "dispatch.queue_cycle" in chain or "dispatch.gemm" in chain
+            or "dispatch.gemv" in chain
+        ):
+            linked = chain
+            break
+    if linked is None:
+        fail("no kernel span links back to a dispatch decision context")
+
+    # The enqueue span must also contain the DMA legs.
+    enqueues = {s for s, v in spans.items() if v["name"] == "dispatch.gpu_enqueue"}
+    h2d = sum(1 for v in spans.values() if v["name"] == "gpu.h2d" and v["parent"] in enqueues)
+    d2h = sum(1 for v in spans.values() if v["name"] == "gpu.d2h" and v["parent"] in enqueues)
+    if h2d == 0 or d2h == 0:
+        fail(f"DMA legs not nested under gpu_enqueue (h2d={h2d}, d2h={d2h})")
+
+    # Simulated ops must carry modelled virtual time.
+    if not any(v["vt"] for v in spans.values() if v["name"].startswith("gpu.")):
+        fail("no gpu span carries a modelled virtual interval")
+
+    print(f"check_trace: ok: {len(spans)} spans, kernel chain {' <- '.join(linked)}")
+
+    if len(sys.argv) > 2:
+        with open(sys.argv[2]) as f:
+            metrics = json.load(f)
+        counters = metrics.get("counters", {})
+        for prefix in ("blas.", "gpu.", "dispatch."):
+            if not any(k.startswith(prefix) and v > 0 for k, v in counters.items()):
+                fail(f"no non-zero counter with prefix {prefix}")
+        print(f"check_trace: ok: metrics cover blas/gpu/dispatch "
+              f"({sum(1 for v in counters.values() if v)} non-zero counters)")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,8 @@
 
 #include "blas/gemm_stats.hpp"
 #include "blas/microkernel.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "blas/microkernel_avx2.hpp"
 #include "blas/pack.hpp"
 #include "blas/pack_arena.hpp"
@@ -154,10 +156,10 @@ void gemm_accumulate(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
   }
 
   auto& stats = detail::gemm_counters();
-  stats.b_macro_panels_packed.fetch_add(b_macro, std::memory_order_relaxed);
-  stats.a_blocks_packed.fetch_add(a_blocks, std::memory_order_relaxed);
-  stats.bytes_packed_a.fetch_add(bytes_a, std::memory_order_relaxed);
-  stats.bytes_packed_b.fetch_add(bytes_b, std::memory_order_relaxed);
+  stats.b_macro_panels_packed.add(b_macro);
+  stats.a_blocks_packed.add(a_blocks);
+  stats.bytes_packed_a.add(bytes_a);
+  stats.bytes_packed_b.add(bytes_b);
 }
 
 /// BLIS-style collaborative threaded GEMM. One pinned region runs the
@@ -184,9 +186,18 @@ void gemm_parallel(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
   std::atomic<long long> next_tile{0};
 
   auto& stats = detail::gemm_counters();
-  stats.parallel_calls.fetch_add(1, std::memory_order_relaxed);
+  stats.parallel_calls.add(1);
+
+  obs::Span call_span("blas.gemm.parallel", obs::Category::Blas);
+  const std::uint64_t call_id = call_span.id();
+  const bool traced = obs::enabled();
 
   pool.run_on_workers(threads, [&](std::size_t w) {
+    // Workers parent their span to the calling thread's gemm span.
+    obs::Span worker_span =
+        traced ? obs::Span("blas.gemm.worker", obs::Category::Blas, call_id)
+               : obs::Span();
+    std::int64_t pack_ns = 0, tile_ns = 0;
     std::uint64_t a_blocks = 0, bytes_a = 0, bytes_b = 0;
     std::uint64_t tiles_run = 0, stolen = 0, waits = 0;
 
@@ -226,6 +237,7 @@ void gemm_parallel(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
         const int pb1 = static_cast<int>(
             static_cast<long long>(nr_panels) * (w + 1) / threads);
         if (pb1 > pb0) {
+          const std::int64_t t0 = traced ? obs::now_ns() : 0;
           const int cols = std::min(nc - pb0 * NR, (pb1 - pb0) * NR);
           detail::pack_b<T, NR>(
               tb, b, ldb, pc, jc + pb0 * NR, kc, cols,
@@ -233,6 +245,7 @@ void gemm_parallel(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
                              (static_cast<std::size_t>(kc) * NR));
           bytes_b += static_cast<std::uint64_t>(pb1 - pb0) * kc * NR *
                      sizeof(T);
+          if (traced) pack_ns += obs::now_ns() - t0;
         }
         barrier.arrive_and_wait();
         ++waits;
@@ -240,6 +253,7 @@ void gemm_parallel(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
         // 2D (ic, jr) tile queue. Tiles are ordered ic-major so a
         // worker's consecutive claims usually share an A block and skip
         // the repack.
+        const std::int64_t tiles_t0 = traced ? obs::now_ns() : 0;
         int packed_ic = -1;
         for (;;) {
           if (claimed < 0) {
@@ -269,6 +283,7 @@ void gemm_parallel(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
                      nc, jr_begin, jr_end);
           ++tiles_run;
         }
+        if (traced) tile_ns += obs::now_ns() - tiles_t0;
         // Every tile of this macro-panel is done before anyone repacks B.
         barrier.arrive_and_wait();
         ++waits;
@@ -276,18 +291,25 @@ void gemm_parallel(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
       }
     }
 
-    stats.a_blocks_packed.fetch_add(a_blocks, std::memory_order_relaxed);
-    stats.bytes_packed_a.fetch_add(bytes_a, std::memory_order_relaxed);
-    stats.bytes_packed_b.fetch_add(bytes_b, std::memory_order_relaxed);
-    stats.tiles_executed.fetch_add(tiles_run, std::memory_order_relaxed);
-    stats.tiles_stolen.fetch_add(stolen, std::memory_order_relaxed);
-    stats.barrier_waits.fetch_add(waits, std::memory_order_relaxed);
+    stats.a_blocks_packed.add(a_blocks);
+    stats.bytes_packed_a.add(bytes_a);
+    stats.bytes_packed_b.add(bytes_b);
+    stats.tiles_executed.add(tiles_run);
+    stats.tiles_stolen.add(stolen);
+    stats.barrier_waits.add(waits);
+    if (traced) {
+      static obs::Histogram& pack_hist =
+          obs::histogram("blas.gemm.pack_b_ns");
+      static obs::Histogram& tile_hist =
+          obs::histogram("blas.gemm.tile_loop_ns");
+      pack_hist.record(static_cast<std::uint64_t>(pack_ns));
+      tile_hist.record(static_cast<std::uint64_t>(tile_ns));
+    }
   });
 
   const std::uint64_t num_jc = (n + geo.nc - 1) / geo.nc;
   const std::uint64_t num_pc = (k + geo.kc - 1) / geo.kc;
-  stats.b_macro_panels_packed.fetch_add(num_jc * num_pc,
-                                        std::memory_order_relaxed);
+  stats.b_macro_panels_packed.add(num_jc * num_pc);
 }
 
 }  // namespace
@@ -298,8 +320,8 @@ void gemm_serial(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
                  int ldc, const GemmBlocking& blocking) {
   check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
   if (m == 0 || n == 0) return;
-  detail::gemm_counters().serial_calls.fetch_add(1,
-                                                 std::memory_order_relaxed);
+  detail::gemm_counters().serial_calls.add(1);
+  obs::Span span("blas.gemm.serial", obs::Category::Blas);
   scale_c(m, n, beta, c, ldc);
   if (alpha == T(0) || k == 0) return;
   gemm_accumulate(ta, tb, m, n, k, alpha, a, lda, b, ldb, c, ldc, blocking);

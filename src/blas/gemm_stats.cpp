@@ -5,7 +5,19 @@ namespace blob::blas {
 namespace detail {
 
 GemmStatCounters& gemm_counters() {
-  static GemmStatCounters counters;
+  static GemmStatCounters counters{
+      obs::counter("blas.gemm.serial_calls"),
+      obs::counter("blas.gemm.parallel_calls"),
+      obs::counter("blas.gemm.b_macro_panels_packed"),
+      obs::counter("blas.gemm.a_blocks_packed"),
+      obs::counter("blas.gemm.bytes_packed_a"),
+      obs::counter("blas.gemm.bytes_packed_b"),
+      obs::counter("blas.gemm.tiles_executed"),
+      obs::counter("blas.gemm.tiles_stolen"),
+      obs::counter("blas.gemm.barrier_waits"),
+      obs::counter("blas.gemm.arena_allocations"),
+      obs::counter("blas.gemm.arena_reuse_hits"),
+  };
   return counters;
 }
 
@@ -14,34 +26,33 @@ GemmStatCounters& gemm_counters() {
 GemmStats gemm_stats() {
   const auto& c = detail::gemm_counters();
   GemmStats s;
-  s.serial_calls = c.serial_calls.load(std::memory_order_relaxed);
-  s.parallel_calls = c.parallel_calls.load(std::memory_order_relaxed);
-  s.b_macro_panels_packed =
-      c.b_macro_panels_packed.load(std::memory_order_relaxed);
-  s.a_blocks_packed = c.a_blocks_packed.load(std::memory_order_relaxed);
-  s.bytes_packed_a = c.bytes_packed_a.load(std::memory_order_relaxed);
-  s.bytes_packed_b = c.bytes_packed_b.load(std::memory_order_relaxed);
-  s.tiles_executed = c.tiles_executed.load(std::memory_order_relaxed);
-  s.tiles_stolen = c.tiles_stolen.load(std::memory_order_relaxed);
-  s.barrier_waits = c.barrier_waits.load(std::memory_order_relaxed);
-  s.arena_allocations = c.arena_allocations.load(std::memory_order_relaxed);
-  s.arena_reuse_hits = c.arena_reuse_hits.load(std::memory_order_relaxed);
+  s.serial_calls = c.serial_calls.value();
+  s.parallel_calls = c.parallel_calls.value();
+  s.b_macro_panels_packed = c.b_macro_panels_packed.value();
+  s.a_blocks_packed = c.a_blocks_packed.value();
+  s.bytes_packed_a = c.bytes_packed_a.value();
+  s.bytes_packed_b = c.bytes_packed_b.value();
+  s.tiles_executed = c.tiles_executed.value();
+  s.tiles_stolen = c.tiles_stolen.value();
+  s.barrier_waits = c.barrier_waits.value();
+  s.arena_allocations = c.arena_allocations.value();
+  s.arena_reuse_hits = c.arena_reuse_hits.value();
   return s;
 }
 
 void gemm_stats_reset() {
   auto& c = detail::gemm_counters();
-  c.serial_calls.store(0, std::memory_order_relaxed);
-  c.parallel_calls.store(0, std::memory_order_relaxed);
-  c.b_macro_panels_packed.store(0, std::memory_order_relaxed);
-  c.a_blocks_packed.store(0, std::memory_order_relaxed);
-  c.bytes_packed_a.store(0, std::memory_order_relaxed);
-  c.bytes_packed_b.store(0, std::memory_order_relaxed);
-  c.tiles_executed.store(0, std::memory_order_relaxed);
-  c.tiles_stolen.store(0, std::memory_order_relaxed);
-  c.barrier_waits.store(0, std::memory_order_relaxed);
-  c.arena_allocations.store(0, std::memory_order_relaxed);
-  c.arena_reuse_hits.store(0, std::memory_order_relaxed);
+  c.serial_calls.reset();
+  c.parallel_calls.reset();
+  c.b_macro_panels_packed.reset();
+  c.a_blocks_packed.reset();
+  c.bytes_packed_a.reset();
+  c.bytes_packed_b.reset();
+  c.tiles_executed.reset();
+  c.tiles_stolen.reset();
+  c.barrier_waits.reset();
+  c.arena_allocations.reset();
+  c.arena_reuse_hits.reset();
 }
 
 }  // namespace blob::blas

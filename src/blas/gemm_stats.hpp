@@ -6,13 +6,19 @@
 // how many workers collaborate, and the packing arena serves steady-state
 // calls with zero heap allocations. These counters make the promises
 // testable (tests/test_blas_gemm_parallel.cpp) and benchmarkable instead
-// of folklore. Counters are process-wide and cumulative; snapshot with
-// gemm_stats() and reset with gemm_stats_reset() around the region of
-// interest (they are for instrumentation, not for concurrent bookkeeping
-// across overlapping measurements).
+// of folklore.
+//
+// The counters live in the obs registry under "blas.gemm.*" (so they show
+// up in the unified metrics dump alongside pool/gpu/dispatch metrics);
+// this header keeps the original typed snapshot API on top of them.
+// Counters are process-wide and cumulative; snapshot with gemm_stats()
+// and reset with gemm_stats_reset() around the region of interest (they
+// are for instrumentation, not for concurrent bookkeeping across
+// overlapping measurements).
 
-#include <atomic>
 #include <cstdint>
+
+#include "obs/registry.hpp"
 
 namespace blob::blas {
 
@@ -43,20 +49,20 @@ void gemm_stats_reset();
 
 namespace detail {
 
-/// The live atomic counters behind the snapshot. Relaxed ordering: these
-/// are statistics, not synchronisation.
+/// References into the obs registry ("blas.gemm.<field>"), resolved once.
+/// Relaxed adds: these are statistics, not synchronisation.
 struct GemmStatCounters {
-  std::atomic<std::uint64_t> serial_calls{0};
-  std::atomic<std::uint64_t> parallel_calls{0};
-  std::atomic<std::uint64_t> b_macro_panels_packed{0};
-  std::atomic<std::uint64_t> a_blocks_packed{0};
-  std::atomic<std::uint64_t> bytes_packed_a{0};
-  std::atomic<std::uint64_t> bytes_packed_b{0};
-  std::atomic<std::uint64_t> tiles_executed{0};
-  std::atomic<std::uint64_t> tiles_stolen{0};
-  std::atomic<std::uint64_t> barrier_waits{0};
-  std::atomic<std::uint64_t> arena_allocations{0};
-  std::atomic<std::uint64_t> arena_reuse_hits{0};
+  obs::Counter& serial_calls;
+  obs::Counter& parallel_calls;
+  obs::Counter& b_macro_panels_packed;
+  obs::Counter& a_blocks_packed;
+  obs::Counter& bytes_packed_a;
+  obs::Counter& bytes_packed_b;
+  obs::Counter& tiles_executed;
+  obs::Counter& tiles_stolen;
+  obs::Counter& barrier_waits;
+  obs::Counter& arena_allocations;
+  obs::Counter& arena_reuse_hits;
 };
 
 GemmStatCounters& gemm_counters();

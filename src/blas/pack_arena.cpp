@@ -18,9 +18,9 @@ void PackArena::reserve(std::size_t workers, std::size_t a_bytes,
   if (b_buf_.ensure(b_bytes)) ++grown;
   auto& counters = detail::gemm_counters();
   if (grown > 0) {
-    counters.arena_allocations.fetch_add(grown, std::memory_order_relaxed);
+    counters.arena_allocations.add(grown);
   } else {
-    counters.arena_reuse_hits.fetch_add(1, std::memory_order_relaxed);
+    counters.arena_reuse_hits.add(1);
   }
 }
 

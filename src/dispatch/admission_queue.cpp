@@ -6,6 +6,9 @@
 #include <tuple>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace blob::dispatch {
 
 AdmissionQueue::AdmissionQueue(Dispatcher& dispatcher,
@@ -19,6 +22,7 @@ AdmissionQueue::AdmissionQueue(Dispatcher& dispatcher,
 AdmissionQueue::~AdmissionQueue() { stop(); }
 
 std::future<void> AdmissionQueue::push(Request request) {
+  if (obs::enabled()) request.submit_ns = obs::now_ns();
   std::future<void> future = request.done.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -132,7 +136,22 @@ void AdmissionQueue::worker_loop() {
         queue_.pop_front();
       }
     }
-    drain_cycle(batch);
+    {
+      obs::Span cycle("dispatch.queue_cycle", obs::Category::Dispatch);
+      if (cycle.active()) {
+        static obs::Counter& cycles = obs::counter("dispatch.queue_cycles");
+        cycles.add(1);
+        static obs::Histogram& wait_hist =
+            obs::histogram("dispatch.admission_wait_ns");
+        const std::int64_t now = obs::now_ns();
+        for (const Request& r : batch) {
+          if (r.submit_ns > 0 && now > r.submit_ns) {
+            wait_hist.record(static_cast<std::uint64_t>(now - r.submit_ns));
+          }
+        }
+      }
+      drain_cycle(batch);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       completed_ += batch.size();
@@ -344,6 +363,10 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
 
   // -- join the GPU jobs; outputs publish only after the unpack ------------
   const bool overlapped = !cpu_work.empty() || !to_batch.empty();
+  obs::Span join_span = !gpu_work.empty() && obs::enabled()
+                            ? obs::Span("dispatch.overlap_join",
+                                        obs::Category::Dispatch)
+                            : obs::Span();
   for (GpuWork& w : gpu_work) {
     Request& r = batch[w.idx];
     try {

@@ -87,6 +87,9 @@ class AdmissionQueue {
     const void* b = nullptr;  ///< B for GEMM, x for GEMV
     void* c = nullptr;        ///< C for GEMM, y for GEMV
     std::promise<void> done;
+    /// obs::now_ns() at push() when tracing is on (0 otherwise); the
+    /// drain cycle turns it into the admission-wait histogram.
+    std::int64_t submit_ns = 0;
   };
 
   std::future<void> push(Request request);

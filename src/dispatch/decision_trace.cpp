@@ -112,6 +112,7 @@ void DecisionTrace::dump_json(std::ostream& out) const {
     json.kv("cost_s", r.cost_s);
     json.kv("observed_s", r.observed_s);
     json.kv("batch", r.batch);
+    json.kv("span_id", static_cast<std::int64_t>(r.span_id));
     json.end_object();
   }
   json.end_array();

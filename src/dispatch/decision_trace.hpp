@@ -38,6 +38,9 @@ struct TraceRecord {
   double cost_s = 0.0;      ///< accounted (noise-free) cost of the route
   double observed_s = 0.0;  ///< noisy measurement folded into the table
   int batch = 1;            ///< >1 when executed inside a coalesced batch
+  /// Innermost obs span active when the call was accounted (0 when
+  /// tracing is off) — joins this record to the chrome trace.
+  std::uint64_t span_id = 0;
 };
 
 /// Snapshot of the dispatcher's aggregate counters.

@@ -7,6 +7,8 @@
 #include "blas/autotune.hpp"
 #include "blas/batched.hpp"
 #include "core/flops.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace blob::dispatch {
 
@@ -192,6 +194,7 @@ void Dispatcher::ensure_seeded(const BucketKey& key, const CallShape& shape) {
 }
 
 Decision Dispatcher::plan_locked(const CallShape& shape, bool gpu_ok) {
+  obs::Span span("dispatch.decide", obs::Category::Dispatch);
   const BucketKey key = bucket_key(shape);
   ensure_seeded(key, shape);
   const Route before = table_.find(key)->incumbent;
@@ -273,7 +276,28 @@ void Dispatcher::account_and_observe(const CallShape& shape,
   rec.cost_s = per_call;
   rec.observed_s = observed;
   rec.batch = batch;
+  rec.span_id = obs::Span::current();
   trace_.record(rec);
+
+  if (obs::enabled()) {
+    static obs::Counter& calls = obs::counter("dispatch.calls");
+    static obs::Counter& cpu_routed = obs::counter("dispatch.cpu_routed");
+    static obs::Counter& gpu_routed = obs::counter("dispatch.gpu_routed");
+    static obs::Counter& batched_routed =
+        obs::counter("dispatch.batched_routed");
+    calls.add(b);
+    switch (decision.route) {
+      case Route::Cpu:
+        cpu_routed.add(b);
+        break;
+      case Route::CpuBatched:
+        batched_routed.add(b);
+        break;
+      case Route::Gpu:
+        gpu_routed.add(b);
+        break;
+    }
+  }
 }
 
 // -- synchronous dispatch ----------------------------------------------------
@@ -282,6 +306,7 @@ template <typename T>
 void Dispatcher::dispatch_gemm(blas::Transpose ta, blas::Transpose tb, int m,
                                int n, int k, T alpha, const T* a, int lda,
                                const T* b, int ldb, T beta, T* c, int ldc) {
+  obs::Span span("dispatch.gemm", obs::Category::Dispatch);
   std::lock_guard<std::mutex> lock(mutex_);
   if (m <= 0 || n <= 0) return;  // nothing to update
   CallShape shape;
@@ -312,6 +337,7 @@ template <typename T>
 void Dispatcher::dispatch_gemv(blas::Transpose ta, int m, int n, T alpha,
                                const T* a, int lda, const T* x, int incx,
                                T beta, T* y, int incy) {
+  obs::Span span("dispatch.gemv", obs::Category::Dispatch);
   std::lock_guard<std::mutex> lock(mutex_);
   if (m <= 0 || n <= 0) return;
   CallShape shape;
@@ -382,6 +408,7 @@ void Dispatcher::run_gemm_coalesced(int m, int n, int k, T alpha,
                                     const T* const* a, int lda,
                                     const T* const* b, int ldb, T beta,
                                     T* const* c, int ldc, int batch) {
+  obs::Span span("dispatch.coalesced_batch", obs::Category::Dispatch);
   std::lock_guard<std::mutex> lock(mutex_);
   if (m <= 0 || n <= 0 || batch <= 0) return;
   CallShape shape;
@@ -419,6 +446,7 @@ template <typename T>
 Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu_locked(
     const Decision& decision, int m, int n, int k, T alpha, const T* a,
     int lda, const T* b, int ldb, T beta, T* c, int ldc) {
+  obs::Span span("dispatch.gpu_enqueue", obs::Category::Dispatch);
   GpuJob job;
   job.active = true;
   job.decision = decision;
@@ -478,6 +506,7 @@ template <typename T>
 Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu_locked(
     const Decision& decision, int m, int n, T alpha, const T* a, int lda,
     const T* x, T beta, T* y) {
+  obs::Span span("dispatch.gpu_enqueue", obs::Category::Dispatch);
   GpuJob job;
   job.active = true;
   job.decision = decision;
@@ -550,6 +579,8 @@ Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu(const Decision& decision,
 
 void Dispatcher::finish_gpu_job_locked(GpuJob& job, bool overlapped) {
   if (!job.active) return;
+  obs::Span span("dispatch.gpu_join", obs::Category::Dispatch);
+  span.set_virtual(job.submit_floor, job.done - job.submit_floor);
   // Join only this job's completion time — later enqueues on the stream
   // must not be charged to this call (cudaEvent-style sync, not a full
   // stream synchronize).

@@ -1,0 +1,175 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace blob::obs {
+
+namespace {
+
+// Chrome traces use microsecond timestamps; keep sub-µs precision by
+// emitting fractional values.
+double us(std::int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+void write_event_common(util::JsonWriter& w, const TraceEvent& e) {
+  w.kv("name", e.name);
+  w.kv("cat", to_string(e.cat));
+  w.key("args");
+  w.begin_object();
+  w.kv("id", static_cast<std::int64_t>(e.id));
+  w.kv("parent", static_cast<std::int64_t>(e.parent));
+  if (e.vt_dur_s >= 0.0) {
+    w.kv("vt_start_s", e.vt_start_s);
+    w.kv("vt_dur_s", e.vt_dur_s);
+  }
+  w.end_object();
+}
+
+void write_process_name(util::JsonWriter& w, int pid, const char* label) {
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  w.kv("tid", 0);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", label);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events) {
+  util::JsonWriter w(out, /*pretty=*/false);
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+
+  write_process_name(w, 1, "wall time");
+  bool any_virtual =
+      std::any_of(events.begin(), events.end(),
+                  [](const TraceEvent& e) { return e.vt_dur_s >= 0.0; });
+  if (any_virtual) write_process_name(w, 2, "modelled virtual time");
+
+  std::unordered_map<std::uint64_t, std::uint32_t> tid_of;
+  tid_of.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    if (e.id != 0) tid_of.emplace(e.id, e.tid);
+  }
+
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.kv("ph", e.instant ? "i" : "X");
+    w.kv("pid", 1);
+    w.kv("tid", static_cast<std::int64_t>(e.tid));
+    w.kv("ts", us(e.ts_ns));
+    if (!e.instant) w.kv("dur", us(e.dur_ns));
+    if (e.instant) w.kv("s", "t");
+    write_event_common(w, e);
+    w.end_object();
+
+    // Mirror modelled intervals on the virtual-time lane. The sim clock
+    // is seconds from stream start; scale to µs so zooming behaves.
+    if (e.vt_dur_s >= 0.0) {
+      w.begin_object();
+      w.kv("ph", "X");
+      w.kv("pid", 2);
+      w.kv("tid", static_cast<std::int64_t>(e.tid));
+      w.kv("ts", e.vt_start_s * 1e6);
+      w.kv("dur", e.vt_dur_s * 1e6);
+      write_event_common(w, e);
+      w.end_object();
+    }
+
+    // Flow arrows for cross-thread parent links; same-thread nesting is
+    // already visible as lane containment.
+    if (e.parent != 0) {
+      auto it = tid_of.find(e.parent);
+      if (it != tid_of.end() && it->second != e.tid) {
+        const std::int64_t flow_id = static_cast<std::int64_t>(e.id);
+        w.begin_object();
+        w.kv("ph", "s");
+        w.kv("pid", 1);
+        w.kv("tid", static_cast<std::int64_t>(it->second));
+        w.kv("ts", us(e.ts_ns));
+        w.kv("id", flow_id);
+        w.kv("name", "link");
+        w.kv("cat", to_string(e.cat));
+        w.end_object();
+        w.begin_object();
+        w.kv("ph", "f");
+        w.kv("bp", "e");
+        w.kv("pid", 1);
+        w.kv("tid", static_cast<std::int64_t>(e.tid));
+        w.kv("ts", us(e.ts_ns));
+        w.kv("id", flow_id);
+        w.kv("name", "link");
+        w.kv("cat", to_string(e.cat));
+        w.end_object();
+      }
+    }
+  }
+
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+void write_metrics_text(std::ostream& out, const MetricsSnapshot& snap) {
+  out << "# counters\n";
+  for (const auto& [name, value] : snap.counters) {
+    out << name << " " << value << "\n";
+  }
+  out << "# histograms (log2 buckets: floor=count)\n";
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const double mean =
+        h.count == 0 ? 0.0
+                     : static_cast<double>(h.sum) /
+                           static_cast<double>(h.count);
+    out << h.name << " count=" << h.count << " sum=" << h.sum
+        << " mean=" << mean << "\n";
+    for (const auto& [floor, n] : h.buckets) {
+      out << "  " << floor << "=" << n << "\n";
+    }
+  }
+}
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap) {
+  util::JsonWriter w(out, /*pretty=*/true);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : snap.counters) {
+    w.kv(name, static_cast<std::int64_t>(value));
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const HistogramSnapshot& h : snap.histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.kv("count", static_cast<std::int64_t>(h.count));
+    w.kv("sum", static_cast<std::int64_t>(h.sum));
+    w.key("buckets");
+    w.begin_array();
+    for (const auto& [floor, n] : h.buckets) {
+      w.begin_array();
+      w.value(static_cast<std::int64_t>(floor));
+      w.value(static_cast<std::int64_t>(n));
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace blob::obs

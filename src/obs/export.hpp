@@ -1,0 +1,30 @@
+#pragma once
+// Exporters for the obs layer: Chrome trace_event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev) and a flat metrics dump
+// (text for eyeballs, JSON for machines).
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace blob::obs {
+
+/// Write events as a Chrome trace_event JSON object. Wall-time spans and
+/// instants land on pid 1 ("wall"); events carrying a modelled interval
+/// are mirrored on pid 2 ("virtual") at their simulated coordinates.
+/// Cross-thread parent/child pairs additionally get "s"/"f" flow arrows.
+/// Every event's span id / parent id ride in its "args", which is what
+/// scripts/check_trace.py walks to validate end-to-end chains.
+void write_chrome_trace(std::ostream& out,
+                        const std::vector<TraceEvent>& events);
+
+/// Flat human-readable dump: one "name value" line per counter, then one
+/// block per histogram (count, sum, mean, non-empty log2 buckets).
+void write_metrics_text(std::ostream& out, const MetricsSnapshot& snap);
+
+/// Same content as JSON: {"counters": {...}, "histograms": {...}}.
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snap);
+
+}  // namespace blob::obs

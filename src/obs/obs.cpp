@@ -1,0 +1,63 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+namespace blob::obs {
+
+namespace {
+
+std::string& trace_path() {
+  static std::string path;
+  return path;
+}
+
+std::string& metrics_path() {
+  static std::string path;
+  return path;
+}
+
+void flush_at_exit() {
+  if (!trace_path().empty()) write_trace_file(trace_path());
+  if (!metrics_path().empty()) write_metrics_file(metrics_path());
+}
+
+}  // namespace
+
+bool init_from_env() {
+  static std::once_flag once;
+  static bool traced = false;
+  std::call_once(once, [] {
+    const char* trace = std::getenv("BLOB_TRACE");
+    const char* metrics = std::getenv("BLOB_METRICS");
+    if (trace != nullptr && trace[0] != '\0') {
+      trace_path() = trace;
+      set_enabled(true);
+      traced = true;
+    }
+    if (metrics != nullptr && metrics[0] != '\0') {
+      metrics_path() = metrics;
+    }
+    if (!trace_path().empty() || !metrics_path().empty()) {
+      std::atexit(flush_at_exit);
+    }
+  });
+  return traced;
+}
+
+bool write_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, drain_events());
+  return static_cast<bool>(out);
+}
+
+bool write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_metrics_json(out, Registry::global().snapshot());
+  return static_cast<bool>(out);
+}
+
+}  // namespace blob::obs

@@ -1,0 +1,30 @@
+#pragma once
+// Umbrella header + process lifecycle for the obs layer.
+//
+//   BLOB_TRACE=/path/trace.json    enable tracing, flush chrome trace at exit
+//   BLOB_METRICS=/path/metrics.json  flush a metrics dump at exit
+//
+// Apps and benches call init_from_env() once near main(); everything else
+// just includes obs/trace.hpp / obs/registry.hpp and emits.
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace blob::obs {
+
+/// Read BLOB_TRACE / BLOB_METRICS, enable tracing when BLOB_TRACE is set,
+/// and register an atexit flush for whichever paths were given.
+/// Idempotent; returns true when tracing was switched on.
+bool init_from_env();
+
+/// Drain every ring and write a Chrome trace to `path` (overwrites).
+/// Returns false (and leaves no partial file promise) on I/O failure.
+bool write_trace_file(const std::string& path);
+
+/// Snapshot the global registry and write the JSON metrics dump.
+bool write_metrics_file(const std::string& path);
+
+}  // namespace blob::obs

@@ -1,0 +1,81 @@
+#include "obs/registry.hpp"
+
+#include <bit>
+
+namespace blob::obs {
+
+std::size_t Histogram::bucket_of(std::uint64_t value) {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bucket_floor(std::size_t b) {
+  if (b == 0) return 0;
+  return std::uint64_t{1} << (b - 1);
+}
+
+std::uint64_t Histogram::bucket_ceil(std::size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<detail::CountedMutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<detail::CountedMutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<detail::CountedMutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h->bucket_count(b);
+      if (n != 0) hs.buckets.emplace_back(Histogram::bucket_floor(b), n);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<detail::CountedMutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& Registry::global() {
+  static Registry* reg = new Registry();  // leaked: outlive static dtors
+  return *reg;
+}
+
+}  // namespace blob::obs

@@ -1,0 +1,106 @@
+#pragma once
+// Named counters and log2-bucketed latency histograms in a process-wide
+// registry. Lookup (registry lock + map find) is the cold path — call
+// sites cache the returned reference in a function-local static and then
+// touch only that object's atomics, so steady-state updates never lock.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace blob::obs {
+
+/// Monotonic counter. add() is a relaxed fetch_add; reset() is for tests
+/// and stats snapshots, not concurrent bookkeeping.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative samples (latencies in ns,
+/// bytes, ...). Bucket 0 holds the value 0; bucket b >= 1 holds
+/// [2^(b-1), 2^b - 1]. 65 buckets cover the full uint64 range.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  /// Bucket index for a sample: 0 -> 0, v >= 1 -> bit_width(v).
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value);
+  /// Smallest / largest value landing in bucket `b`.
+  [[nodiscard]] static std::uint64_t bucket_floor(std::size_t b);
+  [[nodiscard]] static std::uint64_t bucket_ceil(std::size_t b);
+
+  void record(std::uint64_t value);
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  /// (bucket_floor, count) for each non-empty bucket, ascending.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Process-wide metric directory. Entries are never removed, so the
+/// references handed out stay valid for the life of the process.
+class Registry {
+ public:
+  /// Find-or-create by name. Dotted names by convention:
+  /// "<subsystem>.<metric>", e.g. "blas.gemm.tiles_executed".
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Zero every registered metric (keeps the entries).
+  void reset();
+
+  [[nodiscard]] static Registry& global();
+
+ private:
+  mutable detail::CountedMutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthands against the global registry.
+[[nodiscard]] inline Counter& counter(const std::string& name) {
+  return Registry::global().counter(name);
+}
+[[nodiscard]] inline Histogram& histogram(const std::string& name) {
+  return Registry::global().histogram(name);
+}
+
+}  // namespace blob::obs

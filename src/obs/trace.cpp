@@ -1,0 +1,250 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+
+namespace blob::obs {
+
+const char* to_string(Category cat) {
+  switch (cat) {
+    case Category::App:
+      return "app";
+    case Category::Pool:
+      return "pool";
+    case Category::Blas:
+      return "blas";
+    case Category::Gpu:
+      return "gpu";
+    case Category::Dispatch:
+      return "dispatch";
+  }
+  return "app";
+}
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+std::atomic<std::uint64_t> g_lock_count{0};
+std::atomic<std::uint64_t> g_next_span_id{1};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<std::size_t> g_ring_capacity{std::size_t{1} << 16};
+
+/// Single-producer (owning thread) / single-consumer (drainer, under the
+/// global mutex) ring. Full ring drops the event — tracing must never
+/// block or reallocate on the hot path.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity)
+      : slots_(capacity == 0 ? 1 : capacity) {}
+
+  void push(const TraceEvent& event) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots_[head % slots_.size()] = event;
+    head_.store(head + 1, std::memory_order_release);
+  }
+
+  void drain(std::vector<TraceEvent>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (; tail != head; ++tail) {
+      out.push_back(slots_[tail % slots_.size()]);
+    }
+    tail_.store(tail, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::vector<TraceEvent> slots_;
+};
+
+/// Global ring directory. Grows by one entry per traced thread and never
+/// shrinks (the shared_ptr keeps a ring alive after its thread exits, so
+/// a drain can still collect the tail of a finished worker).
+struct Directory {
+  CountedMutex mutex;
+  std::vector<std::shared_ptr<EventRing>> rings;
+  std::uint32_t next_tid = 1;
+};
+
+Directory& directory() {
+  // Leaked: the atexit trace flush may run after static destructors
+  // (apps call init_from_env before the first event registers a ring,
+  // so the flush is registered first and therefore runs last).
+  static Directory* dir = new Directory();
+  return *dir;
+}
+
+struct ThreadState {
+  std::shared_ptr<EventRing> ring;
+  std::uint32_t tid = 0;
+  std::uint64_t current_span = 0;
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState state;
+  return state;
+}
+
+/// Cold path: first event on this thread registers a ring.
+void ensure_ring(ThreadState& state) {
+  if (state.ring) return;
+  auto ring = std::make_shared<EventRing>(
+      g_ring_capacity.load(std::memory_order_relaxed));
+  Directory& dir = directory();
+  std::lock_guard<CountedMutex> lock(dir.mutex);
+  state.tid = dir.next_tid++;
+  dir.rings.push_back(ring);
+  state.ring = std::move(ring);
+}
+
+void push_event(TraceEvent event) {
+  ThreadState& state = thread_state();
+  ensure_ring(state);
+  event.tid = state.tid;
+  state.ring->push(event);
+}
+
+}  // namespace
+
+void CountedMutex::lock() {
+  g_lock_count.fetch_add(1, std::memory_order_relaxed);
+  mutex_.lock();
+}
+
+void CountedMutex::unlock() { mutex_.unlock(); }
+
+std::uint64_t lock_acquisitions() {
+  return g_lock_count.load(std::memory_order_relaxed);
+}
+
+std::size_t ring_count() {
+  Directory& dir = directory();
+  std::lock_guard<CountedMutex> lock(dir.mutex);
+  return dir.rings.size();
+}
+
+void set_ring_capacity(std::size_t capacity) {
+  g_ring_capacity.store(capacity == 0 ? 1 : capacity,
+                        std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+Span::Span(const char* name, Category cat, std::uint64_t parent)
+    : name_(name), cat_(cat) {
+  if (!enabled()) return;
+  detail::ThreadState& state = detail::thread_state();
+  id_ = detail::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = parent != 0 ? parent : state.current_span;
+  prev_current_ = state.current_span;
+  state.current_span = id_;
+  start_ns_ = now_ns();
+}
+
+Span::Span(Span&& other) noexcept
+    : name_(other.name_),
+      id_(other.id_),
+      parent_(other.parent_),
+      prev_current_(other.prev_current_),
+      start_ns_(other.start_ns_),
+      vt_start_s_(other.vt_start_s_),
+      vt_dur_s_(other.vt_dur_s_),
+      cat_(other.cat_) {
+  other.id_ = 0;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    name_ = other.name_;
+    id_ = other.id_;
+    parent_ = other.parent_;
+    prev_current_ = other.prev_current_;
+    start_ns_ = other.start_ns_;
+    vt_start_s_ = other.vt_start_s_;
+    vt_dur_s_ = other.vt_dur_s_;
+    cat_ = other.cat_;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void Span::set_virtual(double vt_start_s, double vt_dur_s) {
+  vt_start_s_ = vt_start_s;
+  vt_dur_s_ = vt_dur_s;
+}
+
+void Span::end() {
+  if (id_ == 0) return;
+  detail::ThreadState& state = detail::thread_state();
+  state.current_span = prev_current_;
+
+  TraceEvent event;
+  std::strncpy(event.name, name_ != nullptr ? name_ : "span",
+               TraceEvent::kNameCap - 1);
+  event.cat = cat_;
+  event.id = id_;
+  event.parent = parent_;
+  event.ts_ns = start_ns_;
+  event.dur_ns = now_ns() - start_ns_;
+  event.vt_start_s = vt_start_s_;
+  event.vt_dur_s = vt_dur_s_;
+  detail::push_event(event);
+  id_ = 0;
+}
+
+std::uint64_t Span::current() {
+  if (!enabled()) return 0;
+  return detail::thread_state().current_span;
+}
+
+void instant(const char* name, Category cat) {
+  if (!enabled()) return;
+  TraceEvent event;
+  std::strncpy(event.name, name != nullptr ? name : "instant",
+               TraceEvent::kNameCap - 1);
+  event.cat = cat;
+  event.instant = true;
+  event.id =
+      detail::g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  event.parent = detail::thread_state().current_span;
+  event.ts_ns = now_ns();
+  detail::push_event(event);
+}
+
+std::vector<TraceEvent> drain_events() {
+  std::vector<TraceEvent> out;
+  detail::Directory& dir = detail::directory();
+  std::lock_guard<detail::CountedMutex> lock(dir.mutex);
+  for (const auto& ring : dir.rings) {
+    ring->drain(out);
+  }
+  return out;
+}
+
+std::uint64_t dropped_events() {
+  return detail::g_dropped.load(std::memory_order_relaxed);
+}
+
+}  // namespace blob::obs

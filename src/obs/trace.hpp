@@ -1,0 +1,149 @@
+#pragma once
+// Unified low-overhead tracing: RAII spans with nesting and explicit
+// cross-thread parent links, recorded into lock-free per-thread event
+// rings and drained on demand.
+//
+// The paper's argument rests on *where time goes* — kernel compute, DMA,
+// launch latency, queueing — so every layer (thread pool, BLAS engine,
+// simulated GPU, dispatcher) reports through this one spine instead of
+// its own ad-hoc logs. Design contract:
+//
+//  * Compiled in, off by default. The disabled hot path is ONE relaxed
+//    atomic load and a branch — no lock, no TLS touch, no clock read
+//    (tests/test_obs.cpp asserts the no-lock property via the
+//    detail::lock_acquisitions() probe).
+//  * When enabled, each thread appends to its own single-producer/
+//    single-consumer ring; the only synchronisation is acquire/release
+//    on the ring indices. Full rings drop (counted), never block.
+//  * Spans nest per thread automatically (an implicit stack) and may
+//    name an explicit parent id to link work handed to another thread
+//    (pool workers, the admission-queue drain cycle).
+//  * Simulated-GPU spans carry the modelled *virtual* interval alongside
+//    the wall interval, so one chrome trace shows both timelines.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace blob::obs {
+
+/// Coarse subsystem tag; becomes the chrome-trace "cat" field.
+enum class Category : std::uint8_t { App = 0, Pool, Blas, Gpu, Dispatch };
+
+[[nodiscard]] const char* to_string(Category cat);
+
+/// One recorded event. POD-ish on purpose: events are copied in and out
+/// of the rings, so the name is an inline buffer, not a string.
+struct TraceEvent {
+  static constexpr std::size_t kNameCap = 48;
+  char name[kNameCap] = {};
+  Category cat = Category::App;
+  bool instant = false;       ///< zero-duration marker vs complete span
+  std::uint32_t tid = 0;      ///< obs thread index (assigned per thread)
+  std::uint64_t id = 0;       ///< span id; unique per process
+  std::uint64_t parent = 0;   ///< enclosing span id, 0 = root
+  std::int64_t ts_ns = 0;     ///< wall start, ns since the trace epoch
+  std::int64_t dur_ns = 0;    ///< wall duration (0 for instants)
+  double vt_start_s = -1.0;   ///< modelled virtual start, < 0 = none
+  double vt_dur_s = -1.0;     ///< modelled virtual duration
+};
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Global tracing switch. Relaxed load: the only thing the disabled hot
+/// path ever does.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// Wall clock in nanoseconds since the process trace epoch (steady).
+[[nodiscard]] std::int64_t now_ns();
+
+/// RAII span. Construction (when tracing is on) assigns an id, links the
+/// parent, and pushes itself as the thread's innermost span; destruction
+/// (or end()) emits the event. Spans on one thread must end in LIFO
+/// order; a span must end on the thread that created it.
+class Span {
+ public:
+  /// Inactive span (also what construction yields when tracing is off).
+  Span() = default;
+
+  /// `parent` == 0 links to the thread's current innermost span; pass an
+  /// explicit id to parent work handed across threads. `name` must
+  /// outlive the span (string literals in practice).
+  explicit Span(const char* name, Category cat = Category::App,
+                std::uint64_t parent = 0);
+  ~Span() { end(); }
+
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach the modelled virtual-time interval (simulated GPU ops).
+  void set_virtual(double vt_start_s, double vt_dur_s);
+
+  /// Emit the event now (idempotent; the destructor calls it).
+  void end();
+
+  [[nodiscard]] bool active() const { return id_ != 0; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// Innermost active span id on the calling thread (0 when none, or
+  /// when tracing is off). Use to link records — e.g. the dispatcher's
+  /// decision trace stores it per routed call.
+  [[nodiscard]] static std::uint64_t current();
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::uint64_t prev_current_ = 0;
+  std::int64_t start_ns_ = 0;
+  double vt_start_s_ = -1.0;
+  double vt_dur_s_ = -1.0;
+  Category cat_ = Category::App;
+};
+
+/// Zero-duration marker under the current span.
+void instant(const char* name, Category cat = Category::App);
+
+/// Move every recorded event out of every thread's ring (oldest-first
+/// per thread). Safe to call while other threads keep tracing — events
+/// pushed concurrently are simply picked up by the next drain.
+[[nodiscard]] std::vector<TraceEvent> drain_events();
+
+/// Events discarded because a thread's ring was full.
+[[nodiscard]] std::uint64_t dropped_events();
+
+namespace detail {
+
+/// std::mutex that counts acquisitions, so tests can prove the disabled
+/// tracing path never locks. Every obs-internal mutex is one of these.
+class CountedMutex {
+ public:
+  void lock();
+  void unlock();
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Total obs-internal mutex acquisitions since process start.
+[[nodiscard]] std::uint64_t lock_acquisitions();
+
+/// Number of per-thread rings registered so far.
+[[nodiscard]] std::size_t ring_count();
+
+/// Capacity (events) of rings created after this call. Existing rings
+/// keep their size. Intended for tests; default is 64Ki events/thread.
+void set_ring_capacity(std::size_t capacity);
+
+}  // namespace detail
+
+}  // namespace blob::obs

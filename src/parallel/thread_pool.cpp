@@ -2,10 +2,12 @@
 
 #include <algorithm>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace blob::parallel {
 
-void Barrier::arrive_and_wait() {
-  if (parties_ <= 1) return;
+void Barrier::wait_impl() {
   std::unique_lock lock(mutex_);
   const std::uint64_t generation = generation_;
   if (++waiting_ == parties_) {
@@ -16,6 +18,18 @@ void Barrier::arrive_and_wait() {
     return;
   }
   cv_.wait(lock, [&] { return generation_ != generation; });
+}
+
+void Barrier::arrive_and_wait() {
+  if (parties_ <= 1) return;
+  if (!obs::enabled()) {
+    wait_impl();
+    return;
+  }
+  const std::int64_t t0 = obs::now_ns();
+  wait_impl();
+  static obs::Histogram& wait_hist = obs::histogram("pool.barrier_wait_ns");
+  wait_hist.record(static_cast<std::uint64_t>(obs::now_ns() - t0));
 }
 
 ThreadPool::ThreadPool(std::size_t num_threads)
@@ -42,6 +56,10 @@ std::size_t ThreadPool::hardware_threads() {
 }
 
 void ThreadPool::run_task(const Task& task) {
+  obs::Span span = obs::enabled()
+                       ? obs::Span("pool.task", obs::Category::Pool,
+                                   task.parent_span)
+                       : obs::Span();
   try {
     (*current_fn_)(task.begin, task.end, task.worker);
   } catch (...) {
@@ -64,12 +82,19 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
         region_epoch_ != seen_epoch) {
       seen_epoch = region_epoch_;
       const WorkerFn* fn = region_fn_;
+      const std::uint64_t region_parent = region_parent_span_;
       lock.unlock();
       std::exception_ptr error;
-      try {
-        (*fn)(worker_index);
-      } catch (...) {
-        error = std::current_exception();
+      {
+        obs::Span span = obs::enabled()
+                             ? obs::Span("pool.region_worker",
+                                         obs::Category::Pool, region_parent)
+                             : obs::Span();
+        try {
+          (*fn)(worker_index);
+        } catch (...) {
+          error = std::current_exception();
+        }
       }
       lock.lock();
       if (error && !first_exception_) first_exception_ = error;
@@ -98,6 +123,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
 
+  obs::Span for_span("pool.parallel_for", obs::Category::Pool);
+
   // Contiguous, near-equal partition (OpenMP static schedule analogue):
   // chunk c covers [begin + c*base + min(c, rem), ...) so sizes differ by
   // at most one element.
@@ -110,7 +137,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   Task own{};
   for (std::size_t c = 0; c < max_chunks; ++c) {
     const std::size_t len = base + (c < rem ? 1 : 0);
-    const Task task{cursor, cursor + len, c};
+    const Task task{cursor, cursor + len, c, for_span.id()};
     cursor += len;
     if (c == 0) {
       own = task;  // run on the calling thread
@@ -148,9 +175,12 @@ void ThreadPool::run_on_workers(std::size_t parties, const WorkerFn& fn) {
     return;
   }
 
+  obs::Span region_span("pool.region", obs::Category::Pool);
+
   {
     const std::scoped_lock lock(mutex_);
     region_fn_ = &fn;
+    region_parent_span_ = region_span.id();
     ++region_epoch_;
     region_parties_ = parties;
     region_remaining_ = parties - 1;

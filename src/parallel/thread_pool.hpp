@@ -43,9 +43,13 @@ class Barrier {
   [[nodiscard]] std::size_t parties() const { return parties_; }
 
   /// Block until all parties have arrived, then release everyone.
+  /// When tracing is enabled the wall time spent blocked is recorded to
+  /// the "pool.barrier_wait_ns" histogram.
   void arrive_and_wait();
 
  private:
+  void wait_impl();
+
   std::mutex mutex_;
   std::condition_variable cv_;
   std::size_t parties_;
@@ -111,6 +115,9 @@ class ThreadPool {
     std::size_t begin = 0;
     std::size_t end = 0;
     std::size_t worker = 0;
+    /// obs span id of the submitting parallel_for, so task spans on
+    /// worker threads link back to the caller (0 = tracing off).
+    std::uint64_t parent_span = 0;
   };
 
   void worker_loop(std::size_t worker_index);
@@ -128,6 +135,7 @@ class ThreadPool {
   // Pinned-region dispatch state (run_on_workers): each OS worker runs
   // the region body at most once per epoch, keyed by its own index.
   const WorkerFn* region_fn_ = nullptr;
+  std::uint64_t region_parent_span_ = 0;
   std::uint64_t region_epoch_ = 0;
   std::size_t region_parties_ = 0;
   std::size_t region_remaining_ = 0;

@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "blas/ref_blas.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "perfmodel/curve.hpp"
 
 namespace blob::sim {
@@ -42,11 +44,20 @@ void SimGpu::memcpy_h2d(Buffer& dst, const Buffer& src, std::size_t bytes) {
   if (bytes > dst.bytes() || bytes > src.bytes()) {
     throw SimError("memcpy_h2d: copy exceeds buffer size");
   }
+  obs::Span span = obs::enabled()
+                       ? obs::Span("gpu.h2d", obs::Category::Gpu)
+                       : obs::Span();
   std::memcpy(dst.data(), src.data(), bytes);
   h2d_bytes_ += bytes;
   const bool pinned = src.kind() == MemKind::HostPinned;
-  stream_.enqueue(config_.link.h2d_time(static_cast<double>(bytes), pinned),
-                  "h2d");
+  const double dur =
+      config_.link.h2d_time(static_cast<double>(bytes), pinned);
+  const double end = stream_.enqueue(dur, "h2d");
+  if (span.active()) {
+    span.set_virtual(end - dur, dur);
+    static obs::Counter& h2d_bytes = obs::counter("gpu.h2d_bytes");
+    h2d_bytes.add(bytes);
+  }
   stream_.synchronize();  // explicit copies in GPU-BLOB are blocking
 }
 
@@ -61,12 +72,21 @@ double SimGpu::memcpy_h2d_async(Stream& stream, Buffer& dst,
   if (bytes > dst.bytes() || bytes > src.bytes()) {
     throw SimError("memcpy_h2d_async: copy exceeds buffer size");
   }
+  obs::Span span = obs::enabled()
+                       ? obs::Span("gpu.h2d", obs::Category::Gpu)
+                       : obs::Span();
   std::memcpy(dst.data(), src.data(), bytes);
   h2d_bytes_ += bytes;
   const bool pinned = src.kind() == MemKind::HostPinned;
-  return stream.enqueue(
-      config_.link.h2d_time(static_cast<double>(bytes), pinned),
-      "h2d-async");
+  const double dur =
+      config_.link.h2d_time(static_cast<double>(bytes), pinned);
+  const double end = stream.enqueue(dur, "h2d-async");
+  if (span.active()) {
+    span.set_virtual(end - dur, dur);
+    static obs::Counter& h2d_bytes = obs::counter("gpu.h2d_bytes");
+    h2d_bytes.add(bytes);
+  }
+  return end;
 }
 
 double SimGpu::memcpy_d2h_async(Stream& stream, Buffer& dst,
@@ -80,12 +100,21 @@ double SimGpu::memcpy_d2h_async(Stream& stream, Buffer& dst,
   if (bytes > dst.bytes() || bytes > src.bytes()) {
     throw SimError("memcpy_d2h_async: copy exceeds buffer size");
   }
+  obs::Span span = obs::enabled()
+                       ? obs::Span("gpu.d2h", obs::Category::Gpu)
+                       : obs::Span();
   std::memcpy(dst.data(), src.data(), bytes);
   d2h_bytes_ += bytes;
   const bool pinned = dst.kind() == MemKind::HostPinned;
-  return stream.enqueue(
-      config_.link.d2h_time(static_cast<double>(bytes), pinned),
-      "d2h-async");
+  const double dur =
+      config_.link.d2h_time(static_cast<double>(bytes), pinned);
+  const double end = stream.enqueue(dur, "d2h-async");
+  if (span.active()) {
+    span.set_virtual(end - dur, dur);
+    static obs::Counter& d2h_bytes = obs::counter("gpu.d2h_bytes");
+    d2h_bytes.add(bytes);
+  }
+  return end;
 }
 
 void SimGpu::memcpy_d2h(Buffer& dst, const Buffer& src, std::size_t bytes) {
@@ -98,11 +127,20 @@ void SimGpu::memcpy_d2h(Buffer& dst, const Buffer& src, std::size_t bytes) {
   if (bytes > dst.bytes() || bytes > src.bytes()) {
     throw SimError("memcpy_d2h: copy exceeds buffer size");
   }
+  obs::Span span = obs::enabled()
+                       ? obs::Span("gpu.d2h", obs::Category::Gpu)
+                       : obs::Span();
   std::memcpy(dst.data(), src.data(), bytes);
   d2h_bytes_ += bytes;
   const bool pinned = dst.kind() == MemKind::HostPinned;
-  stream_.enqueue(config_.link.d2h_time(static_cast<double>(bytes), pinned),
-                  "d2h");
+  const double dur =
+      config_.link.d2h_time(static_cast<double>(bytes), pinned);
+  const double end = stream_.enqueue(dur, "d2h");
+  if (span.active()) {
+    span.set_virtual(end - dur, dur);
+    static obs::Counter& d2h_bytes = obs::counter("gpu.d2h_bytes");
+    d2h_bytes.add(bytes);
+  }
   stream_.synchronize();
 }
 
@@ -179,9 +217,17 @@ double SimGpu::gemm(int m, int n, int k, T alpha, Buffer& a, int lda,
 
   const double kernel_s =
       config_.gpu.gemm_kernel_time(precision_of<T>(), m, n, k);
-  (stream != nullptr ? *stream : stream_)
-      .enqueue(usm_cost + kernel_s, "gemm");
+  obs::Span span = obs::enabled()
+                       ? obs::Span("gpu.gemm", obs::Category::Gpu)
+                       : obs::Span();
+  const double end = (stream != nullptr ? *stream : stream_)
+                         .enqueue(usm_cost + kernel_s, "gemm");
   ++kernels_;
+  if (span.active()) {
+    span.set_virtual(end - (usm_cost + kernel_s), usm_cost + kernel_s);
+    static obs::Counter& launched = obs::counter("gpu.kernels_launched");
+    launched.add(1);
+  }
 
   if (config_.functional &&
       model::gemm_effective_dim(m, n, k) <= config_.functional_dim_limit) {
@@ -213,9 +259,17 @@ double SimGpu::gemv(int m, int n, T alpha, Buffer& a, int lda, Buffer& x,
   }
 
   const double kernel_s = config_.gpu.gemv_kernel_time(precision_of<T>(), m, n);
-  (stream != nullptr ? *stream : stream_)
-      .enqueue(usm_cost + kernel_s, "gemv");
+  obs::Span span = obs::enabled()
+                       ? obs::Span("gpu.gemv", obs::Category::Gpu)
+                       : obs::Span();
+  const double end = (stream != nullptr ? *stream : stream_)
+                         .enqueue(usm_cost + kernel_s, "gemv");
   ++kernels_;
+  if (span.active()) {
+    span.set_virtual(end - (usm_cost + kernel_s), usm_cost + kernel_s);
+    static obs::Counter& launched = obs::counter("gpu.kernels_launched");
+    launched.add(1);
+  }
 
   if (config_.functional &&
       model::gemv_effective_dim(m, n) <= config_.functional_dim_limit) {
@@ -256,9 +310,17 @@ double SimGpu::gemm_strided_batched(int m, int n, int k, T alpha, Buffer& a,
 
   const double kernel_s = config_.gpu.gemm_batched_kernel_time(
       precision_of<T>(), m, n, k, static_cast<double>(batch));
-  (stream != nullptr ? *stream : stream_)
-      .enqueue(usm_cost + kernel_s, "gemm-batched");
+  obs::Span span = obs::enabled()
+                       ? obs::Span("gpu.gemm_batched", obs::Category::Gpu)
+                       : obs::Span();
+  const double end = (stream != nullptr ? *stream : stream_)
+                         .enqueue(usm_cost + kernel_s, "gemm-batched");
   ++kernels_;
+  if (span.active()) {
+    span.set_virtual(end - (usm_cost + kernel_s), usm_cost + kernel_s);
+    static obs::Counter& launched = obs::counter("gpu.kernels_launched");
+    launched.add(1);
+  }
 
   if (config_.functional &&
       model::gemm_effective_dim(m, n, k) * std::cbrt(batch) <=

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <ostream>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "simgpu/memory.hpp"
 #include "util/strfmt.hpp"
 
@@ -41,15 +43,35 @@ double Stream::enqueue(double duration_s, const char* label) {
   if (on_op_) {
     on_op_(OpRecord{name_, label, start, tail_});
   }
+  if (obs::enabled()) {
+    static obs::Counter& ops = obs::counter("gpu.stream_ops");
+    ops.add(1);
+  }
   return tail_;
 }
 
 void Stream::wait(const Event& event) {
   if (!event.recorded()) throw SimError("Stream: wait on unrecorded event");
   tail_ = std::max(tail_, event.time());
+  if (obs::enabled()) {
+    static obs::Counter& waits = obs::counter("gpu.stream_waits");
+    waits.add(1);
+    obs::instant("gpu.stream_wait", obs::Category::Gpu);
+  }
 }
 
-void Stream::synchronize() { host_clock_->advance_to(tail_); }
+void Stream::synchronize() {
+  if (obs::enabled()) {
+    static obs::Counter& syncs = obs::counter("gpu.syncs");
+    syncs.add(1);
+    obs::Span span("gpu.synchronize", obs::Category::Gpu);
+    const double from = host_clock_->now();
+    host_clock_->advance_to(tail_);
+    span.set_virtual(from, host_clock_->now() - from);
+    return;
+  }
+  host_clock_->advance_to(tail_);
+}
 
 bool Stream::idle() const { return tail_ <= host_clock_->now(); }
 

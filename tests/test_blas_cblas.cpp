@@ -359,20 +359,21 @@ TEST(Cblas, DispatchHookInterceptsGemmAndGemv) {
   }
   EXPECT_NEAR(fc[0], want, 1e-5f);
 
-  auto x = random_vector<double>(n, 34);
+  // a is m x k, so the GEMV over it is m x k as well.
+  auto x = random_vector<double>(k, 34);
   std::vector<double> y(m, 0.0);
-  cblas_dgemv(CblasColMajor, CblasNoTrans, m, n, 1.0, a.data(), m, x.data(),
+  cblas_dgemv(CblasColMajor, CblasNoTrans, m, k, 1.0, a.data(), m, x.data(),
               1, 0.0, y.data(), 1);
   EXPECT_EQ(hook.gemv_f64, 1);
   std::vector<double> y_ref(m, 0.0);
-  blas::ref::gemv(blas::Transpose::No, m, n, 1.0, a.data(), m, x.data(), 1,
+  blas::ref::gemv(blas::Transpose::No, m, k, 1.0, a.data(), m, x.data(), 1,
                   0.0, y_ref.data(), 1);
   test::expect_near_rel(y, y_ref, 1e-12);
 
   // Detached: calls stop reaching the hook.
   blas::cblas_set_dispatch_hook(nullptr);
   EXPECT_EQ(blas::cblas_dispatch_hook(), nullptr);
-  cblas_dgemv(CblasColMajor, CblasNoTrans, m, n, 1.0, a.data(), m, x.data(),
+  cblas_dgemv(CblasColMajor, CblasNoTrans, m, k, 1.0, a.data(), m, x.data(),
               1, 0.0, y.data(), 1);
   EXPECT_EQ(hook.gemv_f64, 1);
 }

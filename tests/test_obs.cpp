@@ -1,0 +1,377 @@
+// Tests for the unified observability layer (src/obs): span nesting and
+// cross-thread parent links, the registry's counters and log2 histograms
+// under concurrency, the Chrome trace_event exporter (validated by
+// round-tripping through util/json), and the central design contract —
+// the disabled hot path takes no lock.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace obs = blob::obs;
+namespace util = blob::util;
+
+namespace {
+
+/// Enables tracing for the test body and leaves the rings drained and
+/// tracing off afterwards, so tests stay independent of suite order.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    (void)obs::drain_events();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    (void)obs::drain_events();
+  }
+};
+
+const obs::TraceEvent* find_event(const std::vector<obs::TraceEvent>& events,
+                                  const std::string& name) {
+  for (const auto& e : events) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+// --- spans ---------------------------------------------------------------
+
+TEST_F(ObsTest, SpanNestingRecordsParents) {
+  {
+    obs::Span outer("outer.span");
+    EXPECT_EQ(obs::Span::current(), outer.id());
+    {
+      obs::Span inner("inner.span");
+      EXPECT_EQ(obs::Span::current(), inner.id());
+    }
+    EXPECT_EQ(obs::Span::current(), outer.id());
+  }
+  EXPECT_EQ(obs::Span::current(), 0u);
+
+  const auto events = obs::drain_events();
+  const auto* outer = find_event(events, "outer.span");
+  const auto* inner = find_event(events, "inner.span");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_GE(inner->ts_ns, outer->ts_ns);
+}
+
+TEST_F(ObsTest, ExplicitParentLinksAcrossThreads) {
+  std::uint64_t root_id = 0;
+  {
+    obs::Span root("xthread.root");
+    root_id = root.id();
+    std::thread worker([root_id] {
+      obs::Span child("xthread.child", obs::Category::Pool, root_id);
+      EXPECT_EQ(child.id() != 0, true);
+    });
+    worker.join();
+  }
+
+  const auto events = obs::drain_events();
+  const auto* root = find_event(events, "xthread.root");
+  const auto* child = find_event(events, "xthread.child");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(root->id, root_id);
+  EXPECT_EQ(child->parent, root_id);
+  // The worker got its own ring, hence its own obs thread index.
+  EXPECT_NE(child->tid, root->tid);
+}
+
+TEST_F(ObsTest, InstantNestsUnderCurrentSpan) {
+  {
+    obs::Span span("instant.host");
+    obs::instant("instant.mark", obs::Category::App);
+  }
+  const auto events = obs::drain_events();
+  const auto* host = find_event(events, "instant.host");
+  const auto* mark = find_event(events, "instant.mark");
+  ASSERT_NE(host, nullptr);
+  ASSERT_NE(mark, nullptr);
+  EXPECT_TRUE(mark->instant);
+  EXPECT_FALSE(host->instant);
+  EXPECT_EQ(mark->parent, host->id);
+}
+
+TEST_F(ObsTest, MovedFromSpanDoesNotDoubleEmit) {
+  {
+    obs::Span a("moved.span");
+    obs::Span b = std::move(a);
+    EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(b.active());
+  }
+  const auto events = obs::drain_events();
+  int hits = 0;
+  for (const auto& e : events) {
+    if (std::string("moved.span") == e.name) ++hits;
+  }
+  EXPECT_EQ(hits, 1);
+}
+
+TEST_F(ObsTest, VirtualIntervalRidesOnTheEvent) {
+  {
+    obs::Span span("virtual.span", obs::Category::Gpu);
+    span.set_virtual(1.5, 0.25);
+  }
+  const auto events = obs::drain_events();
+  const auto* e = find_event(events, "virtual.span");
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->vt_start_s, 1.5);
+  EXPECT_DOUBLE_EQ(e->vt_dur_s, 0.25);
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(ObsRegistry, HistogramBucketBoundaries) {
+  using H = obs::Histogram;
+  // 0 is its own bucket; bucket b >= 1 covers [2^(b-1), 2^b - 1].
+  EXPECT_EQ(H::bucket_of(0), 0u);
+  EXPECT_EQ(H::bucket_of(1), 1u);
+  EXPECT_EQ(H::bucket_of(2), 2u);
+  EXPECT_EQ(H::bucket_of(3), 2u);
+  EXPECT_EQ(H::bucket_of(4), 3u);
+  EXPECT_EQ(H::bucket_of(7), 3u);
+  EXPECT_EQ(H::bucket_of(8), 4u);
+  EXPECT_EQ(H::bucket_of(1023), 10u);
+  EXPECT_EQ(H::bucket_of(1024), 11u);
+  EXPECT_EQ(H::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            H::kBuckets - 1);
+
+  for (std::size_t b = 1; b < H::kBuckets; ++b) {
+    EXPECT_EQ(H::bucket_of(H::bucket_floor(b)), b) << "bucket " << b;
+    EXPECT_EQ(H::bucket_of(H::bucket_ceil(b)), b) << "bucket " << b;
+  }
+}
+
+TEST(ObsRegistry, HistogramRecordsCountSumBuckets) {
+  obs::Histogram h;
+  h.record(0);
+  h.record(1);
+  h.record(3);
+  h.record(3);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1007u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 2u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+}
+
+TEST(ObsRegistry, ConcurrentCountersAreExact) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  obs::Counter& counter = obs::counter("test.obs.concurrent_counter");
+  counter.reset();
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      // Mirror production call sites: resolve once, then hammer atomics.
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(ObsRegistry, ConcurrentHistogramCountIsExact) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  obs::Histogram& h = obs::histogram("test.obs.concurrent_histogram");
+  h.reset();
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t) * 1000 + i % 7);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+TEST(ObsRegistry, SameNameYieldsSameMetric) {
+  obs::Counter& a = obs::counter("test.obs.same_name");
+  obs::Counter& b = obs::counter("test.obs.same_name");
+  EXPECT_EQ(&a, &b);
+  obs::Histogram& ha = obs::histogram("test.obs.same_hist");
+  obs::Histogram& hb = obs::histogram("test.obs.same_hist");
+  EXPECT_EQ(&ha, &hb);
+}
+
+// --- exporters -----------------------------------------------------------
+
+TEST_F(ObsTest, ChromeTraceRoundTripsThroughJsonParser) {
+  std::uint64_t root_id = 0;
+  {
+    obs::Span root("rt.root", obs::Category::Dispatch);
+    root_id = root.id();
+    {
+      obs::Span gpu("rt.gpu", obs::Category::Gpu);
+      gpu.set_virtual(0.5, 0.125);
+    }
+    std::thread worker([root_id] {
+      obs::Span child("rt.worker", obs::Category::Pool, root_id);
+    });
+    worker.join();
+  }
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, obs::drain_events());
+  const util::JsonValue doc = util::json_parse(os.str());
+
+  ASSERT_TRUE(doc.is_object());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+
+  bool saw_root = false, saw_virtual_mirror = false;
+  bool saw_flow_start = false, saw_flow_finish = false;
+  std::int64_t worker_parent = -1;
+  for (const auto& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "s") saw_flow_start = true;
+    if (ph == "f") saw_flow_finish = true;
+    if (ph != "X") continue;
+    const std::string& name = e.at("name").as_string();
+    const std::int64_t pid = e.at("pid").as_int();
+    if (name == "rt.root" && pid == 1) {
+      saw_root = true;
+      EXPECT_EQ(e.at("args").at("id").as_int(),
+                static_cast<std::int64_t>(root_id));
+      EXPECT_EQ(e.at("cat").as_string(), "dispatch");
+      EXPECT_GE(e.at("dur").as_double(), 0.0);
+    }
+    if (name == "rt.gpu" && pid == 2) {
+      saw_virtual_mirror = true;
+      // Virtual lane coordinates are the modelled seconds in us.
+      EXPECT_DOUBLE_EQ(e.at("ts").as_double(), 0.5 * 1e6);
+      EXPECT_DOUBLE_EQ(e.at("dur").as_double(), 0.125 * 1e6);
+    }
+    if (name == "rt.worker" && pid == 1) {
+      worker_parent = e.at("args").at("parent").as_int();
+    }
+  }
+  EXPECT_TRUE(saw_root);
+  EXPECT_TRUE(saw_virtual_mirror);
+  EXPECT_EQ(worker_parent, static_cast<std::int64_t>(root_id));
+  // Cross-thread parent/child gets a flow arrow pair.
+  EXPECT_TRUE(saw_flow_start);
+  EXPECT_TRUE(saw_flow_finish);
+}
+
+TEST(ObsExport, MetricsJsonRoundTrips) {
+  obs::Registry registry;
+  registry.counter("demo.calls").add(3);
+  registry.histogram("demo.wait_ns").record(5);
+  registry.histogram("demo.wait_ns").record(100);
+
+  std::ostringstream os;
+  obs::write_metrics_json(os, registry.snapshot());
+  const util::JsonValue doc = util::json_parse(os.str());
+
+  EXPECT_EQ(doc.at("counters").at("demo.calls").as_int(), 3);
+  const auto& hist = doc.at("histograms").at("demo.wait_ns");
+  EXPECT_EQ(hist.at("count").as_int(), 2);
+  EXPECT_EQ(hist.at("sum").as_int(), 105);
+  const auto& buckets = hist.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].as_array()[0].as_int(), 4);    // floor of [4,7]
+  EXPECT_EQ(buckets[0].as_array()[1].as_int(), 1);
+  EXPECT_EQ(buckets[1].as_array()[0].as_int(), 64);   // floor of [64,127]
+  EXPECT_EQ(buckets[1].as_array()[1].as_int(), 1);
+}
+
+TEST(ObsExport, MetricsTextMentionsEveryMetric) {
+  obs::Registry registry;
+  registry.counter("demo.text_counter").add(7);
+  registry.histogram("demo.text_hist").record(42);
+
+  std::ostringstream os;
+  obs::write_metrics_text(os, registry.snapshot());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("demo.text_counter"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("demo.text_hist"), std::string::npos);
+}
+
+// --- overhead contracts --------------------------------------------------
+
+TEST(ObsOverhead, DisabledPathTakesNoLock) {
+  obs::set_enabled(false);
+  // Warm up: make sure the global registry and this thread's ring exist,
+  // so the measured section cannot hit a cold-path registration.
+  obs::counter("test.obs.warmup").add(1);
+  obs::set_enabled(true);
+  { obs::Span warm("warmup.span"); }
+  obs::set_enabled(false);
+
+  const std::uint64_t locks_before = obs::detail::lock_acquisitions();
+  for (int i = 0; i < 100000; ++i) {
+    obs::Span span("disabled.span", obs::Category::Blas);
+    obs::instant("disabled.instant");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(obs::Span::current(), 0u);
+  const std::uint64_t locks_after = obs::detail::lock_acquisitions();
+  EXPECT_EQ(locks_after, locks_before)
+      << "disabled tracing must be a branch, not a lock";
+
+  // And nothing was recorded.
+  obs::set_enabled(true);
+  bool found = false;
+  for (const auto& e : obs::drain_events()) {
+    if (std::string(e.name).rfind("disabled.", 0) == 0) found = true;
+  }
+  obs::set_enabled(false);
+  EXPECT_FALSE(found);
+}
+
+TEST(ObsOverhead, FullRingDropsInsteadOfBlocking) {
+  const std::uint64_t dropped_before = obs::dropped_events();
+  obs::detail::set_ring_capacity(16);
+  obs::set_enabled(true);
+  // A fresh thread gets a fresh (tiny) ring; overflow it.
+  std::thread t([] {
+    for (int i = 0; i < 200; ++i) {
+      obs::Span span("droppy.span");
+    }
+  });
+  t.join();
+  obs::set_enabled(false);
+  obs::detail::set_ring_capacity(std::size_t{1} << 16);
+
+  EXPECT_GT(obs::dropped_events(), dropped_before);
+  // The ring still holds (at most) its capacity of the earliest events.
+  int droppy = 0;
+  for (const auto& e : obs::drain_events()) {
+    if (std::string("droppy.span") == e.name) ++droppy;
+  }
+  EXPECT_GT(droppy, 0);
+  EXPECT_LE(droppy, 16);
+}
+
+}  // namespace
