@@ -41,35 +41,49 @@
 
 namespace {
 
-using blob::dispatch::CallShape;
+using blob::blas::Transpose;
 using blob::dispatch::Dispatcher;
 
 struct ShapeClass {
   const char* label;
   blob::core::KernelOp op;
   blob::model::Precision precision;
+  Transpose ta, tb;
   int m, n, k;
   double weight;
 };
 
+constexpr Transpose kN = Transpose::No;
+constexpr Transpose kT = Transpose::Yes;
+
 // The default mix spans both sides of every profile's offload threshold:
 // tiny GEMMs no link crossing can amortise, mid sizes near the crossover,
-// large squares the GPU wins outright, and bandwidth-bound GEMVs.
+// large squares the GPU wins outright, bandwidth-bound GEMVs — plus
+// transposed and half-precision rows, which ride the same OpDesc path
+// end-to-end (no Forced fallbacks for a transpose).
 const ShapeClass kClasses[] = {
     {"gemm-small-f32", blob::core::KernelOp::Gemm,
-     blob::model::Precision::F32, 48, 48, 48, 0.30},
+     blob::model::Precision::F32, kN, kN, 48, 48, 48, 0.24},
     {"gemm-mid-f32", blob::core::KernelOp::Gemm, blob::model::Precision::F32,
-     256, 256, 256, 0.15},
+     kN, kN, 256, 256, 256, 0.12},
+    {"gemm-mid-f32-tn", blob::core::KernelOp::Gemm,
+     blob::model::Precision::F32, kT, kN, 256, 256, 256, 0.08},
     {"gemm-large-f32", blob::core::KernelOp::Gemm,
-     blob::model::Precision::F32, 768, 768, 768, 0.15},
+     blob::model::Precision::F32, kN, kN, 768, 768, 768, 0.12},
+    {"gemm-large-f32-nt", blob::core::KernelOp::Gemm,
+     blob::model::Precision::F32, kN, kT, 640, 640, 640, 0.06},
     {"gemm-mid-f64", blob::core::KernelOp::Gemm, blob::model::Precision::F64,
-     320, 320, 320, 0.10},
+     kN, kN, 320, 320, 320, 0.08},
     {"gemm-large-f64", blob::core::KernelOp::Gemm,
-     blob::model::Precision::F64, 640, 640, 640, 0.10},
+     blob::model::Precision::F64, kN, kN, 640, 640, 640, 0.08},
+    {"gemm-mid-f16", blob::core::KernelOp::Gemm, blob::model::Precision::F16,
+     kN, kN, 384, 384, 384, 0.07},
     {"gemv-mid-f32", blob::core::KernelOp::Gemv, blob::model::Precision::F32,
-     768, 768, 1, 0.10},
+     kN, kN, 768, 768, 1, 0.07},
+    {"gemv-mid-f32-t", blob::core::KernelOp::Gemv,
+     blob::model::Precision::F32, kT, kN, 768, 768, 1, 0.04},
     {"gemv-large-f64", blob::core::KernelOp::Gemv,
-     blob::model::Precision::F64, 1536, 1536, 1, 0.10},
+     blob::model::Precision::F64, kN, kN, 1536, 1536, 1, 0.04},
 };
 
 /// Pre-generated operand buffers for one shape class (reused across
@@ -77,6 +91,7 @@ const ShapeClass kClasses[] = {
 struct ClassBuffers {
   std::vector<float> af, bf, cf;
   std::vector<double> ad, bd, cd;
+  std::vector<blob::blas::f16> ah, bh, ch;
 };
 
 void fill_deterministic(std::vector<float>& v, std::uint64_t salt) {
@@ -87,6 +102,18 @@ void fill_deterministic(std::vector<float>& v, std::uint64_t salt) {
 void fill_deterministic(std::vector<double>& v, std::uint64_t salt) {
   blob::util::Xoshiro256 rng(0xf111 + salt);
   for (auto& x : v) x = rng.next_double() - 0.5;
+}
+
+void fill_deterministic(std::vector<blob::blas::f16>& v,
+                        std::uint64_t salt) {
+  blob::util::Xoshiro256 rng(0xf111 + salt);
+  for (auto& x : v) {
+    x = blob::blas::f16(static_cast<float>(rng.next_double() - 0.5));
+  }
+}
+
+CBLAS_TRANSPOSE to_cblas(Transpose t) {
+  return t == Transpose::Yes ? CblasTrans : CblasNoTrans;
 }
 
 blob::blas::CpuLibraryPersonality personality_by_name(
@@ -190,19 +217,28 @@ int main(int argc, char** argv) {
   std::vector<ClassBuffers> buffers(kNumClasses);
   for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
     const ShapeClass& sc = kClasses[ci];
+    // Element counts are invariant under transposition (a k x m stored A
+    // holds as many values as an m x k one); GEMV vector lengths swap.
     const std::size_t am = static_cast<std::size_t>(sc.m) *
                            (sc.op == blob::core::KernelOp::Gemm
                                 ? static_cast<std::size_t>(sc.k)
                                 : static_cast<std::size_t>(sc.n));
-    const std::size_t bm = sc.op == blob::core::KernelOp::Gemm
-                               ? static_cast<std::size_t>(sc.k) *
-                                     static_cast<std::size_t>(sc.n)
-                               : static_cast<std::size_t>(sc.n);
-    const std::size_t cm = sc.op == blob::core::KernelOp::Gemm
-                               ? static_cast<std::size_t>(sc.m) *
-                                     static_cast<std::size_t>(sc.n)
-                               : static_cast<std::size_t>(sc.m);
-    if (sc.precision == blob::model::Precision::F32) {
+    const std::size_t bm =
+        sc.op == blob::core::KernelOp::Gemm
+            ? static_cast<std::size_t>(sc.k) * static_cast<std::size_t>(sc.n)
+            : static_cast<std::size_t>(sc.ta == kN ? sc.n : sc.m);
+    const std::size_t cm =
+        sc.op == blob::core::KernelOp::Gemm
+            ? static_cast<std::size_t>(sc.m) * static_cast<std::size_t>(sc.n)
+            : static_cast<std::size_t>(sc.ta == kN ? sc.m : sc.n);
+    if (sc.precision == blob::model::Precision::F16) {
+      buffers[ci].ah.resize(am);
+      buffers[ci].bh.resize(bm);
+      buffers[ci].ch.resize(cm);
+      fill_deterministic(buffers[ci].ah, ci * 3 + 0);
+      fill_deterministic(buffers[ci].bh, ci * 3 + 1);
+      fill_deterministic(buffers[ci].ch, ci * 3 + 2);
+    } else if (sc.precision == blob::model::Precision::F32) {
       buffers[ci].af.resize(am);
       buffers[ci].bf.resize(bm);
       buffers[ci].cf.resize(cm);
@@ -224,17 +260,18 @@ int main(int argc, char** argv) {
   std::vector<Dispatcher::Costs> class_costs(kNumClasses);
   for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
     const ShapeClass& sc = kClasses[ci];
-    CallShape shape;
-    shape.op = sc.op;
-    shape.precision = sc.precision;
-    shape.m = sc.m;
-    shape.n = sc.n;
-    shape.k = sc.k;
-    shape.beta_zero = true;
-    shape.mode = config.mode;
-    class_costs[ci] = dispatcher.modelled_costs(shape);
+    const blob::core::OpDesc desc =
+        sc.op == blob::core::KernelOp::Gemm
+            ? blob::core::OpDesc::gemm(sc.precision, sc.ta, sc.tb, sc.m,
+                                       sc.n, sc.k, 0, 0, 0,
+                                       /*alpha_one=*/true, /*beta_zero=*/true,
+                                       config.mode)
+            : blob::core::OpDesc::gemv(sc.precision, sc.ta, sc.m, sc.n, 0, 1,
+                                       1, /*alpha_one=*/true,
+                                       /*beta_zero=*/true, config.mode);
+    class_costs[ci] = dispatcher.modelled_costs(desc);
     std::cout << blob::util::strfmt(
-        "  class %-16s cpu %.3es  gpu %.3es  oracle=%s\n", sc.label,
+        "  class %-18s cpu %.3es  gpu %.3es  oracle=%s\n", sc.label,
         class_costs[ci].cpu_s, class_costs[ci].gpu_s,
         class_costs[ci].gpu_s < class_costs[ci].cpu_s ? "gpu" : "cpu");
   }
@@ -268,22 +305,28 @@ int main(int argc, char** argv) {
     const ShapeClass& sc = kClasses[ci];
     ClassBuffers& buf = buffers[ci];
     if (sc.op == blob::core::KernelOp::Gemm) {
-      if (sc.precision == blob::model::Precision::F32) {
-        cblas_sgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, sc.m, sc.n,
-                    sc.k, 1.0F, buf.af.data(), sc.m, buf.bf.data(), sc.k,
+      const int lda = sc.ta == kN ? sc.m : sc.k;
+      const int ldb = sc.tb == kN ? sc.k : sc.n;
+      if (sc.precision == blob::model::Precision::F16) {
+        cblas_hgemm(CblasColMajor, to_cblas(sc.ta), to_cblas(sc.tb), sc.m,
+                    sc.n, sc.k, 1.0F, buf.ah.data(), lda, buf.bh.data(), ldb,
+                    0.0F, buf.ch.data(), sc.m);
+      } else if (sc.precision == blob::model::Precision::F32) {
+        cblas_sgemm(CblasColMajor, to_cblas(sc.ta), to_cblas(sc.tb), sc.m,
+                    sc.n, sc.k, 1.0F, buf.af.data(), lda, buf.bf.data(), ldb,
                     0.0F, buf.cf.data(), sc.m);
       } else {
-        cblas_dgemm(CblasColMajor, CblasNoTrans, CblasNoTrans, sc.m, sc.n,
-                    sc.k, 1.0, buf.ad.data(), sc.m, buf.bd.data(), sc.k, 0.0,
-                    buf.cd.data(), sc.m);
+        cblas_dgemm(CblasColMajor, to_cblas(sc.ta), to_cblas(sc.tb), sc.m,
+                    sc.n, sc.k, 1.0, buf.ad.data(), lda, buf.bd.data(), ldb,
+                    0.0, buf.cd.data(), sc.m);
       }
     } else {
       if (sc.precision == blob::model::Precision::F32) {
-        cblas_sgemv(CblasColMajor, CblasNoTrans, sc.m, sc.n, 1.0F,
+        cblas_sgemv(CblasColMajor, to_cblas(sc.ta), sc.m, sc.n, 1.0F,
                     buf.af.data(), sc.m, buf.bf.data(), 1, 0.0F,
                     buf.cf.data(), 1);
       } else {
-        cblas_dgemv(CblasColMajor, CblasNoTrans, sc.m, sc.n, 1.0,
+        cblas_dgemv(CblasColMajor, to_cblas(sc.ta), sc.m, sc.n, 1.0,
                     buf.ad.data(), sc.m, buf.bd.data(), 1, 0.0,
                     buf.cd.data(), 1);
       }
@@ -314,27 +357,32 @@ int main(int argc, char** argv) {
           const ShapeClass& sc = kClasses[ci];
           ClassBuffers& buf = client_buffers[t][ci];
           if (sc.op == blob::core::KernelOp::Gemm) {
-            if (sc.precision == blob::model::Precision::F32) {
+            const int lda = sc.ta == kN ? sc.m : sc.k;
+            const int ldb = sc.tb == kN ? sc.k : sc.n;
+            if (sc.precision == blob::model::Precision::F16) {
+              // The queue carries f32/f64; half traffic reaches the
+              // dispatcher through the cblas seam (thread-safe hook).
+              cblas_hgemm(CblasColMajor, to_cblas(sc.ta), to_cblas(sc.tb),
+                          sc.m, sc.n, sc.k, 1.0F, buf.ah.data(), lda,
+                          buf.bh.data(), ldb, 0.0F, buf.ch.data(), sc.m);
+            } else if (sc.precision == blob::model::Precision::F32) {
               pending.push_back(queue.submit_gemm<float>(
-                  blob::blas::Transpose::No, blob::blas::Transpose::No, sc.m,
-                  sc.n, sc.k, 1.0F, buf.af.data(), sc.m, buf.bf.data(), sc.k,
-                  0.0F, buf.cf.data(), sc.m));
+                  sc.ta, sc.tb, sc.m, sc.n, sc.k, 1.0F, buf.af.data(), lda,
+                  buf.bf.data(), ldb, 0.0F, buf.cf.data(), sc.m));
             } else {
               pending.push_back(queue.submit_gemm<double>(
-                  blob::blas::Transpose::No, blob::blas::Transpose::No, sc.m,
-                  sc.n, sc.k, 1.0, buf.ad.data(), sc.m, buf.bd.data(), sc.k,
-                  0.0, buf.cd.data(), sc.m));
+                  sc.ta, sc.tb, sc.m, sc.n, sc.k, 1.0, buf.ad.data(), lda,
+                  buf.bd.data(), ldb, 0.0, buf.cd.data(), sc.m));
             }
           } else {
             if (sc.precision == blob::model::Precision::F32) {
               pending.push_back(queue.submit_gemv<float>(
-                  blob::blas::Transpose::No, sc.m, sc.n, 1.0F,
-                  buf.af.data(), sc.m, buf.bf.data(), 1, 0.0F,
-                  buf.cf.data(), 1));
+                  sc.ta, sc.m, sc.n, 1.0F, buf.af.data(), sc.m,
+                  buf.bf.data(), 1, 0.0F, buf.cf.data(), 1));
             } else {
               pending.push_back(queue.submit_gemv<double>(
-                  blob::blas::Transpose::No, sc.m, sc.n, 1.0, buf.ad.data(),
-                  sc.m, buf.bd.data(), 1, 0.0, buf.cd.data(), 1));
+                  sc.ta, sc.m, sc.n, 1.0, buf.ad.data(), sc.m,
+                  buf.bd.data(), 1, 0.0, buf.cd.data(), 1));
             }
           }
         }
@@ -398,6 +446,22 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.forced_cpu),
       static_cast<unsigned long long>(stats.route_switches));
 
+  // Transposed shapes are first-class on the GPU path: none of them may
+  // fall back with Reason::Forced (that reason survives only for strided
+  // GEMV vectors, which this mix never issues).
+  std::uint64_t transposed_calls = 0;
+  std::uint64_t transposed_forced = 0;
+  for (const blob::dispatch::TraceRecord& r : dispatcher.trace().snapshot()) {
+    if (r.trans_a == Transpose::Yes || r.trans_b == Transpose::Yes) {
+      ++transposed_calls;
+      if (r.reason == blob::dispatch::Reason::Forced) ++transposed_forced;
+    }
+  }
+  std::cout << blob::util::strfmt(
+      "  transposed: %llu calls, %llu forced (expect 0)\n",
+      static_cast<unsigned long long>(transposed_calls),
+      static_cast<unsigned long long>(transposed_forced));
+
   const std::string save_path = args.get_string("--save-calib");
   if (!save_path.empty()) {
     if (dispatcher.save_calibration(save_path)) {
@@ -447,6 +511,9 @@ int main(int argc, char** argv) {
     json.kv("oracle_steady_s", steady.oracle_s);
     json.kv("always_cpu_s", total.always_cpu_s);
     json.kv("always_gpu_s", total.always_gpu_s);
+    json.kv("transposed_calls", static_cast<std::int64_t>(transposed_calls));
+    json.kv("transposed_forced",
+            static_cast<std::int64_t>(transposed_forced));
     if (total.oracle_s > 0.0) {
       json.kv("regret_vs_oracle", routed_total / total.oracle_s - 1.0);
     }

@@ -29,17 +29,24 @@ struct ShapeClass {
   model::Precision precision;
   std::int64_t m, n, k;
   double weight;
+  blas::Transpose ta = blas::Transpose::No;
+  blas::Transpose tb = blas::Transpose::No;
 };
 
 // A serving-style mix: many small GEMMs (CPU territory), some large ones
-// (GPU territory), and mid sizes that sit near the offload threshold.
+// (GPU territory), mid sizes that sit near the offload threshold, and
+// transposed layouts that route first-class through the same buckets.
 const ShapeClass kClasses[] = {
     {"gemm-small-f32", core::KernelOp::Gemm, model::Precision::F32, 48, 48,
-     48, 0.35},
+     48, 0.30},
     {"gemm-mid-f32", core::KernelOp::Gemm, model::Precision::F32, 256, 256,
-     256, 0.20},
+     256, 0.15},
+    {"gemm-mid-f32-tn", core::KernelOp::Gemm, model::Precision::F32, 256,
+     256, 256, 0.10, blas::Transpose::Yes, blas::Transpose::No},
     {"gemm-large-f32", core::KernelOp::Gemm, model::Precision::F32, 640, 640,
-     640, 0.15},
+     640, 0.10},
+    {"gemm-large-f32-nt", core::KernelOp::Gemm, model::Precision::F32, 640,
+     640, 640, 0.05, blas::Transpose::No, blas::Transpose::Yes},
     {"gemm-large-f64", core::KernelOp::Gemm, model::Precision::F64, 512, 512,
      512, 0.10},
     {"gemv-mid-f32", core::KernelOp::Gemv, model::Precision::F32, 640, 640,
@@ -121,35 +128,35 @@ ReplayResult replay(const std::string& system, int calls, int warmup) {
     }
     const ShapeClass& cls = kClasses[ci];
     ClassBuffers& buf = buffers[ci];
-    const int m = static_cast<int>(cls.m);
-    const int n = static_cast<int>(cls.n);
-    const int k = static_cast<int>(cls.k);
 
-    dispatch::CallShape shape{cls.op, cls.precision, cls.m, cls.n,
-                              cls.op == core::KernelOp::Gemv ? 1 : cls.k,
-                              /*beta_zero=*/true, cfg.mode};
-    const auto costs = disp.modelled_costs(shape);
+    const core::OpDesc desc =
+        cls.op == core::KernelOp::Gemv
+            ? core::OpDesc::gemv(cls.precision, cls.ta, cls.m, cls.n, 0, 1,
+                                 1, /*alpha_one=*/true, /*beta_zero=*/true,
+                                 cfg.mode)
+            : core::OpDesc::gemm(cls.precision, cls.ta, cls.tb, cls.m, cls.n,
+                                 cls.k, 0, 0, 0, /*alpha_one=*/true,
+                                 /*beta_zero=*/true, cfg.mode);
+    const auto costs = disp.modelled_costs(desc);
     result.full.oracle += std::min(costs.cpu_s, costs.gpu_s);
     result.full.always_cpu += costs.cpu_s;
     result.full.always_gpu += costs.gpu_s;
 
     if (cls.op == core::KernelOp::Gemm) {
       if (cls.precision == model::Precision::F32) {
-        disp.run_gemm<float>(blas::Transpose::No, blas::Transpose::No, m, n,
-                             k, 1.0F, buf.a32.data(), m, buf.b32.data(), k,
-                             0.0F, buf.c32.data(), m);
+        disp.run_gemm<float>(desc, 1.0F, buf.a32.data(), buf.b32.data(),
+                             0.0F, buf.c32.data());
       } else {
-        disp.run_gemm<double>(blas::Transpose::No, blas::Transpose::No, m, n,
-                              k, 1.0, buf.a64.data(), m, buf.b64.data(), k,
-                              0.0, buf.c64.data(), m);
+        disp.run_gemm<double>(desc, 1.0, buf.a64.data(), buf.b64.data(), 0.0,
+                              buf.c64.data());
       }
     } else {
       if (cls.precision == model::Precision::F32) {
-        disp.run_gemv<float>(blas::Transpose::No, m, n, 1.0F, buf.a32.data(),
-                             m, buf.b32.data(), 1, 0.0F, buf.c32.data(), 1);
+        disp.run_gemv<float>(desc, 1.0F, buf.a32.data(), buf.b32.data(),
+                             0.0F, buf.c32.data());
       } else {
-        disp.run_gemv<double>(blas::Transpose::No, m, n, 1.0, buf.a64.data(),
-                              m, buf.b64.data(), 1, 0.0, buf.c64.data(), 1);
+        disp.run_gemv<double>(desc, 1.0, buf.a64.data(), buf.b64.data(), 0.0,
+                              buf.c64.data());
       }
     }
   }

@@ -72,6 +72,26 @@ void BM_gemm_parallel(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2LL * m * n * k);
 }
 
+/// Transposed layouts through the packed engine: Args are {n, ta, tb}
+/// with 0 = No, 1 = Yes. The packing kernels absorb the transpose, so
+/// TN/NT/TT should track the NN rate — this is the regression watch for
+/// the first-class transposed dispatch path.
+template <typename T>
+void BM_gemm_trans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto ta = state.range(1) ? blas::Transpose::Yes : blas::Transpose::No;
+  const auto tb = state.range(2) ? blas::Transpose::Yes : blas::Transpose::No;
+  auto a = random_vec<T>(static_cast<std::size_t>(n) * n, 1);
+  auto b = random_vec<T>(static_cast<std::size_t>(n) * n, 2);
+  std::vector<T> c(static_cast<std::size_t>(n) * n, T(0));
+  for (auto _ : state) {
+    blas::gemm_serial(ta, tb, n, n, n, T(1), a.data(), n, b.data(), n, T(0),
+                      c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+
 template <typename T>
 void BM_gemv(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -81,6 +101,20 @@ void BM_gemv(benchmark::State& state) {
   for (auto _ : state) {
     blas::gemv_serial(blas::Transpose::No, n, n, T(1), a.data(), n, x.data(),
                       1, T(0), y.data(), 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n);
+}
+
+template <typename T>
+void BM_gemv_trans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a = random_vec<T>(static_cast<std::size_t>(n) * n, 3);
+  auto x = random_vec<T>(static_cast<std::size_t>(n), 4);
+  std::vector<T> y(static_cast<std::size_t>(n), T(0));
+  for (auto _ : state) {
+    blas::gemv_serial(blas::Transpose::Yes, n, n, T(1), a.data(), n,
+                      x.data(), 1, T(0), y.data(), 1);
     benchmark::DoNotOptimize(y.data());
   }
   state.SetItemsProcessed(state.iterations() * 2LL * n * n);
@@ -165,8 +199,24 @@ BENCHMARK_TEMPLATE(BM_gemm_parallel, double)
 BENCHMARK_TEMPLATE(BM_gemm_parallel, float)
     ->Args({512, 512, 512, 4})
     ->Args({4096, 8, 512, 4});
+// {n, trans_a, trans_b}: every transposed layout at one mid size, plus
+// TN (the BLAS-idiomatic "A stored row-major" case) at a larger one.
+BENCHMARK_TEMPLATE(BM_gemm_trans, float)
+    ->Args({128, 1, 0})
+    ->Args({128, 0, 1})
+    ->Args({128, 1, 1})
+    ->Args({256, 1, 0});
+BENCHMARK_TEMPLATE(BM_gemm_trans, double)
+    ->Args({128, 1, 0})
+    ->Args({128, 0, 1})
+    ->Args({128, 1, 1})
+    ->Args({256, 1, 0});
 BENCHMARK_TEMPLATE(BM_gemv, float)->Arg(256)->Arg(1024);
 BENCHMARK_TEMPLATE(BM_gemv, double)->Arg(256)->Arg(1024);
+// Transposed GEMV (y = A^T x): the strided-read kernel the GPU path now
+// also exercises first-class.
+BENCHMARK_TEMPLATE(BM_gemv_trans, float)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_gemv_trans, double)->Arg(1024);
 BENCHMARK_TEMPLATE(BM_dot, float)->Arg(1 << 16);
 BENCHMARK_TEMPLATE(BM_dot, double)->Arg(1 << 16);
 BENCHMARK_TEMPLATE(BM_axpy, float)->Arg(1 << 16);

@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <memory>
+#include <type_traits>
 
+#include "blas/half_gemm.hpp"
 #include "blas/level1.hpp"
 #include "blas/level2.hpp"
 #include "blas/level3.hpp"
@@ -50,41 +52,74 @@ namespace {
 // ------------------------------------------------ the dispatch seam
 //
 // One internal function per op. The row-major wrappers normalise to
-// column major BEFORE the seam, so validation happens exactly once and
-// every interception hook sees one canonical (column-major) signature.
+// column major BEFORE the seam, so validation happens exactly once, and
+// the seam lowers the raw arguments to a single core::OpDesc — the one
+// descriptor type every interception hook (and everything behind it)
+// speaks.
 
 template <typename T>
-void gemm_entry(blob::blas::Transpose ta, blob::blas::Transpose tb, int m,
-                int n, int k, T alpha, const T* a, int lda, const T* b,
-                int ldb, T beta, T* c, int ldc) {
-  blob::blas::check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
-  if (auto* hook = cblas_dispatch_hook()) {
-    if (hook->gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)) {
-      return;
-    }
-  }
-  cblas_library().do_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
-                          ldc);
+constexpr blob::model::Precision precision_of() {
+  if constexpr (std::is_same_v<T, float>) return blob::model::Precision::F32;
+  if constexpr (std::is_same_v<T, double>) return blob::model::Precision::F64;
+  if constexpr (std::is_same_v<T, blob::blas::f16>)
+    return blob::model::Precision::F16;
+  if constexpr (std::is_same_v<T, blob::blas::bf16>)
+    return blob::model::Precision::BF16;
+  return blob::model::Precision::F32;
 }
 
 template <typename T>
-void gemv_entry(blob::blas::Transpose ta, int m, int n, T alpha, const T* a,
-                int lda, const T* x, int incx, T beta, T* y, int incy) {
+inline constexpr bool kIsHalf = std::is_same_v<T, blob::blas::f16> ||
+                                std::is_same_v<T, blob::blas::bf16>;
+
+// S is the scalar type: T itself for f32/f64, float for f16/bf16 (the
+// HMMA-style f32-accumulate contract of blas::hgemm).
+template <typename T, typename S>
+void gemm_entry(blob::blas::Transpose ta, blob::blas::Transpose tb, int m,
+                int n, int k, S alpha, const T* a, int lda, const T* b,
+                int ldb, S beta, T* c, int ldc) {
+  blob::blas::check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
+  if (auto* hook = cblas_dispatch_hook()) {
+    const auto desc = blob::core::OpDesc::gemm(
+        precision_of<T>(), ta, tb, m, n, k, lda, ldb, ldc,
+        /*alpha_one=*/alpha == S(1), /*beta_zero=*/beta == S(0));
+    if (hook->gemm(desc, alpha, a, b, beta, c)) return;
+  }
+  if constexpr (kIsHalf<T>) {
+    blob::blas::hgemm<T>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                         ldc, cblas_library().pool(),
+                         cblas_library().max_threads());
+  } else {
+    cblas_library().do_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                            ldc);
+  }
+}
+
+template <typename T, typename S>
+void gemv_entry(blob::blas::Transpose ta, int m, int n, S alpha, const T* a,
+                int lda, const T* x, int incx, S beta, T* y, int incy) {
   blob::blas::check_gemv(ta, m, n, lda, incx, incy);
   if (auto* hook = cblas_dispatch_hook()) {
-    if (hook->gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy)) return;
+    const auto desc = blob::core::OpDesc::gemv(
+        precision_of<T>(), ta, m, n, lda, incx, incy,
+        /*alpha_one=*/alpha == S(1), /*beta_zero=*/beta == S(0));
+    if (hook->gemv(desc, alpha, a, x, beta, y)) return;
   }
-  cblas_library().do_gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+  if constexpr (kIsHalf<T>) {
+    blob::blas::hgemv<T>(ta, m, n, alpha, a, lda, x, beta, y);
+  } else {
+    cblas_library().do_gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+  }
 }
 
 // ------------------------------- storage-order normalisation wrappers
 
 // A row-major GEMV is the column-major GEMV of the transposed op with
 // m/n swapped.
-template <typename T>
+template <typename T, typename S>
 void gemv_dispatch(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
-                   T alpha, const T* a, int lda, const T* x, int incx,
-                   T beta, T* y, int incy) {
+                   S alpha, const T* a, int lda, const T* x, int incx,
+                   S beta, T* y, int incy) {
   using blob::blas::Transpose;
   const Transpose op =
       trans == CblasNoTrans ? Transpose::No : Transpose::Yes;
@@ -99,10 +134,10 @@ void gemv_dispatch(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
 
 // Row-major GEMM via the identity C^T = op(B)^T * op(A)^T: swap the
 // operand order and m/n, keep each operand's transpose flag.
-template <typename T>
+template <typename T, typename S>
 void gemm_dispatch(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
-                   int m, int n, int k, T alpha, const T* a, int lda,
-                   const T* b, int ldb, T beta, T* c, int ldc) {
+                   int m, int n, int k, S alpha, const T* a, int lda,
+                   const T* b, int ldb, S beta, T* c, int ldc) {
   using blob::blas::Transpose;
   const Transpose top_a = ta == CblasNoTrans ? Transpose::No : Transpose::Yes;
   const Transpose top_b = tb == CblasNoTrans ? Transpose::No : Transpose::Yes;
@@ -363,6 +398,31 @@ void cblas_dgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
                  int m, int n, int k, double alpha, const double* a, int lda,
                  const double* b, int ldb, double beta, double* c, int ldc) {
   gemm_dispatch(order, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+
+// --------------------------------------- half precision (f32 scalars)
+
+void cblas_hgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
+                 int m, int n, int k, float alpha, const blob::blas::f16* a,
+                 int lda, const blob::blas::f16* b, int ldb, float beta,
+                 blob::blas::f16* c, int ldc) {
+  gemm_dispatch(order, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+void cblas_bfgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
+                  int m, int n, int k, float alpha, const blob::blas::bf16* a,
+                  int lda, const blob::blas::bf16* b, int ldb, float beta,
+                  blob::blas::bf16* c, int ldc) {
+  gemm_dispatch(order, ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+void cblas_hgemv(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
+                 float alpha, const blob::blas::f16* a, int lda,
+                 const blob::blas::f16* x, float beta, blob::blas::f16* y) {
+  gemv_dispatch(order, trans, m, n, alpha, a, lda, x, 1, beta, y, 1);
+}
+void cblas_bfgemv(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
+                  float alpha, const blob::blas::bf16* a, int lda,
+                  const blob::blas::bf16* x, float beta, blob::blas::bf16* y) {
+  gemv_dispatch(order, trans, m, n, alpha, a, lda, x, 1, beta, y, 1);
 }
 
 }  // extern "C"

@@ -13,7 +13,9 @@
 
 #include <cstddef>
 
+#include "blas/half.hpp"
 #include "blas/library.hpp"
+#include "core/op_desc.hpp"
 
 extern "C" {
 
@@ -100,6 +102,27 @@ void cblas_dgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
                  int m, int n, int k, double alpha, const double* a, int lda,
                  const double* b, int ldb, double beta, double* c, int ldc);
 
+// Half-precision GEMM/GEMV (f16 and bf16 storage, f32 scalars/accumulate).
+// These route through the same dispatch seam as the s/d entry points, so
+// an installed hook sees half traffic as first-class OpDesc calls; without
+// a hook (or when the hook declines) they fall back to blas::hgemm /
+// blas::hgemv. The GEMV entries require unit vector strides — the half
+// kernels have no strided path.
+void cblas_hgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
+                 int m, int n, int k, float alpha, const blob::blas::f16* a,
+                 int lda, const blob::blas::f16* b, int ldb, float beta,
+                 blob::blas::f16* c, int ldc);
+void cblas_bfgemm(CBLAS_ORDER order, CBLAS_TRANSPOSE ta, CBLAS_TRANSPOSE tb,
+                  int m, int n, int k, float alpha, const blob::blas::bf16* a,
+                  int lda, const blob::blas::bf16* b, int ldb, float beta,
+                  blob::blas::bf16* c, int ldc);
+void cblas_hgemv(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
+                 float alpha, const blob::blas::f16* a, int lda,
+                 const blob::blas::f16* x, float beta, blob::blas::f16* y);
+void cblas_bfgemv(CBLAS_ORDER order, CBLAS_TRANSPOSE trans, int m, int n,
+                  float alpha, const blob::blas::bf16* a, int lda,
+                  const blob::blas::bf16* x, float beta, blob::blas::bf16* y);
+
 }  // extern "C"
 
 namespace blob::blas {
@@ -115,29 +138,59 @@ const CpuBlasLibrary& cblas_library();
 
 /// Interception seam for the GEMM/GEMV entry points.
 ///
-/// Every cblas gemm/gemv call — either precision, either storage order —
+/// Every cblas gemm/gemv call — any precision, either storage order —
 /// funnels through one internal function per op which normalises the
-/// arguments to column major, validates them once, then offers the call
-/// to the installed hook. A hook that returns true has executed the call
-/// (e.g. the online offload dispatcher routing it to a GPU); false falls
-/// through to the CPU library. Hooks therefore see exactly one canonical
-/// signature per op and never re-validate arguments.
+/// arguments to column major, validates them once, then builds the
+/// canonical `core::OpDesc` for the call and offers descriptor plus
+/// operand pointers to the installed hook. A hook that returns true has
+/// executed the call (e.g. the online offload dispatcher routing it to a
+/// GPU); false falls through to the CPU library. Hooks therefore see
+/// exactly one canonical descriptor per op and never re-validate
+/// arguments.
+///
+/// The descriptor carries op, precision, transposes, m/n/k, leading
+/// dimensions, vector increments, and the alpha/beta scaling classes; its
+/// transfer mode defaults to Once (hooks that care overwrite it). The
+/// seam does NOT pass alpha/beta through the descriptor — the numeric
+/// values ride alongside so non-class values (alpha != 1, beta != 0/1)
+/// still execute exactly.
+///
+/// Half-precision methods default to "not claimed" so existing f32/f64
+/// hooks keep working unchanged; override them to intercept f16/bf16
+/// traffic (scalars are float, matching the hgemm/hgemv contract).
 class CblasDispatchHook {
  public:
   virtual ~CblasDispatchHook() = default;
 
-  virtual bool gemm(Transpose ta, Transpose tb, int m, int n, int k,
-                    float alpha, const float* a, int lda, const float* b,
-                    int ldb, float beta, float* c, int ldc) = 0;
-  virtual bool gemm(Transpose ta, Transpose tb, int m, int n, int k,
-                    double alpha, const double* a, int lda, const double* b,
-                    int ldb, double beta, double* c, int ldc) = 0;
-  virtual bool gemv(Transpose ta, int m, int n, float alpha, const float* a,
-                    int lda, const float* x, int incx, float beta, float* y,
-                    int incy) = 0;
-  virtual bool gemv(Transpose ta, int m, int n, double alpha,
-                    const double* a, int lda, const double* x, int incx,
-                    double beta, double* y, int incy) = 0;
+  virtual bool gemm(const core::OpDesc& desc, float alpha, const float* a,
+                    const float* b, float beta, float* c) = 0;
+  virtual bool gemm(const core::OpDesc& desc, double alpha, const double* a,
+                    const double* b, double beta, double* c) = 0;
+  virtual bool gemv(const core::OpDesc& desc, float alpha, const float* a,
+                    const float* x, float beta, float* y) = 0;
+  virtual bool gemv(const core::OpDesc& desc, double alpha, const double* a,
+                    const double* x, double beta, double* y) = 0;
+
+  virtual bool gemm(const core::OpDesc& /*desc*/, float /*alpha*/,
+                    const f16* /*a*/, const f16* /*b*/, float /*beta*/,
+                    f16* /*c*/) {
+    return false;
+  }
+  virtual bool gemm(const core::OpDesc& /*desc*/, float /*alpha*/,
+                    const bf16* /*a*/, const bf16* /*b*/, float /*beta*/,
+                    bf16* /*c*/) {
+    return false;
+  }
+  virtual bool gemv(const core::OpDesc& /*desc*/, float /*alpha*/,
+                    const f16* /*a*/, const f16* /*x*/, float /*beta*/,
+                    f16* /*y*/) {
+    return false;
+  }
+  virtual bool gemv(const core::OpDesc& /*desc*/, float /*alpha*/,
+                    const bf16* /*a*/, const bf16* /*x*/, float /*beta*/,
+                    bf16* /*y*/) {
+    return false;
+  }
 };
 
 /// Install (or, with nullptr, remove) the hook behind the cblas GEMM/GEMV

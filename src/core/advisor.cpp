@@ -8,12 +8,11 @@
 
 namespace blob::core {
 
-Advice OffloadAdvisor::advise(const Problem& problem, std::int64_t iterations,
-                              TransferMode mode) {
+Advice OffloadAdvisor::advise(const OpDesc& desc, std::int64_t iterations) {
   Advice advice;
-  advice.mode = mode;
-  advice.cpu_seconds = backend_.cpu_time(problem, iterations);
-  const auto gpu = backend_.gpu_time(problem, iterations, mode);
+  advice.mode = desc.mode;
+  advice.cpu_seconds = backend_.cpu_time(desc, iterations);
+  const auto gpu = backend_.gpu_time(desc, iterations);
   if (!gpu.has_value()) {
     advice.offload = false;
     advice.gpu_seconds = 0.0;
@@ -25,16 +24,16 @@ Advice OffloadAdvisor::advise(const Problem& problem, std::int64_t iterations,
       advice.gpu_seconds > 0.0 ? advice.cpu_seconds / advice.gpu_seconds : 0.0;
   advice.offload = advice.speedup > 1.0;
   advice.rationale = util::strfmt(
-      "%s %lldx%lldx%lld (%s, %lld iters, %s): CPU %.3g s vs GPU %.3g s -> "
-      "%s (%.2fx); arithmetic intensity %.2f FLOP/byte",
-      to_string(problem.op), static_cast<long long>(problem.dims.m),
-      static_cast<long long>(problem.dims.n),
-      static_cast<long long>(problem.dims.k),
-      model::to_string(problem.precision),
-      static_cast<long long>(iterations), to_string(mode),
+      "%s%s%s %lldx%lldx%lld (%s, %lld iters, %s): CPU %.3g s vs GPU %.3g s "
+      "-> %s (%.2fx); arithmetic intensity %.2f FLOP/byte",
+      to_string(desc.op), blas::to_string(desc.trans_a),
+      desc.op == KernelOp::Gemm ? blas::to_string(desc.trans_b) : "",
+      static_cast<long long>(desc.m), static_cast<long long>(desc.n),
+      static_cast<long long>(desc.k), model::to_string(desc.precision),
+      static_cast<long long>(iterations), to_string(desc.mode),
       advice.cpu_seconds, advice.gpu_seconds,
       advice.offload ? "offload to GPU" : "stay on CPU", advice.speedup,
-      arithmetic_intensity(problem));
+      arithmetic_intensity(desc));
   return advice;
 }
 

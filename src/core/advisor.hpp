@@ -13,6 +13,7 @@
 
 #include "core/backend.hpp"
 #include "core/energy.hpp"
+#include "core/op_desc.hpp"
 #include "core/problem.hpp"
 
 namespace blob::core {
@@ -30,9 +31,16 @@ class OffloadAdvisor {
  public:
   explicit OffloadAdvisor(ExecutionBackend& backend) : backend_(backend) {}
 
-  /// Advise for a specific problem, iteration count, and transfer mode.
+  /// Advise for a specific operation descriptor (transfer mode included)
+  /// and iteration count — the primary entry point; everything else is
+  /// sugar over it.
+  [[nodiscard]] Advice advise(const OpDesc& desc, std::int64_t iterations);
+
+  /// Sweep-layer sugar: lowers the Problem to an OpDesc.
   [[nodiscard]] Advice advise(const Problem& problem, std::int64_t iterations,
-                              TransferMode mode);
+                              TransferMode mode) {
+    return advise(lower(problem, mode), iterations);
+  }
 
   /// Advise choosing the best transfer mode automatically.
   [[nodiscard]] Advice advise_best_mode(const Problem& problem,

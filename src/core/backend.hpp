@@ -1,29 +1,27 @@
 #pragma once
 // Execution backends.
 //
-// A backend answers one question for the sweep runner: how long do
-// `iterations` calls of a problem take on the CPU, and on the GPU under a
-// given data-transfer type? SimBackend answers from the calibrated system
-// models in virtual time; HostBackend answers by really executing our CPU
-// BLAS under a wall clock (and has no GPU). GPU times always include
-// host-link traffic, as GPU-BLOB's do (§III-A: "GPU time measurements
-// also include the time taken to move data to and from the GPU").
+// A backend answers one question for the sweep runner and the dispatcher:
+// how long do `iterations` calls of an operation take on the CPU, and on
+// the GPU under the descriptor's data-transfer mode? SimBackend answers
+// from the calibrated system models in virtual time; HostBackend answers
+// by really executing our CPU BLAS under a wall clock (and has no GPU).
+// GPU times always include host-link traffic, as GPU-BLOB's do (§III-A:
+// "GPU time measurements also include the time taken to move data to and
+// from the GPU").
+//
+// The virtual interface speaks core::OpDesc — the one operation IR — so
+// transposed and batched traffic is costed first-class. The Problem
+// overloads are sweep-layer sugar that lower to an OpDesc; derived
+// classes pull them in with `using ExecutionBackend::cpu_time;`.
 
 #include <optional>
 #include <string>
 
+#include "core/op_desc.hpp"
 #include "core/problem.hpp"
 
 namespace blob::core {
-
-/// How data moves between host and device (paper §III-B2).
-enum class TransferMode { Once, Always, Usm };
-
-const char* to_string(TransferMode mode);
-
-/// All three modes in paper column order.
-inline constexpr TransferMode kTransferModes[] = {
-    TransferMode::Once, TransferMode::Always, TransferMode::Usm};
 
 class ExecutionBackend {
  public:
@@ -31,16 +29,23 @@ class ExecutionBackend {
 
   [[nodiscard]] virtual std::string name() const = 0;
 
-  /// Total seconds for `iterations` CPU executions of `problem`.
-  virtual double cpu_time(const Problem& problem,
-                          std::int64_t iterations) = 0;
+  /// Total seconds for `iterations` CPU executions of `desc`.
+  virtual double cpu_time(const OpDesc& desc, std::int64_t iterations) = 0;
 
-  /// Total seconds for `iterations` GPU executions of `problem` under
-  /// `mode`, including all host-device traffic; nullopt if the backend
-  /// has no GPU (CPU-only builds of GPU-BLOB, §III).
-  virtual std::optional<double> gpu_time(const Problem& problem,
-                                         std::int64_t iterations,
-                                         TransferMode mode) = 0;
+  /// Total seconds for `iterations` GPU executions of `desc` under
+  /// `desc.mode`, including all host-device traffic; nullopt if the
+  /// backend has no GPU (CPU-only builds of GPU-BLOB, §III).
+  virtual std::optional<double> gpu_time(const OpDesc& desc,
+                                         std::int64_t iterations) = 0;
+
+  /// Sweep-layer sugar: lowers the Problem to an OpDesc.
+  double cpu_time(const Problem& problem, std::int64_t iterations) {
+    return cpu_time(lower(problem), iterations);
+  }
+  std::optional<double> gpu_time(const Problem& problem,
+                                 std::int64_t iterations, TransferMode mode) {
+    return gpu_time(lower(problem, mode), iterations);
+  }
 };
 
 }  // namespace blob::core

@@ -1,8 +1,21 @@
 #include "core/flops.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace blob::core {
+
+namespace {
+
+// The single place the GEMV k convention is asserted for sweep-layer
+// callers; OpDesc::validate() normalizes it for everything below.
+void check_gemv_k(const Problem& problem) {
+  if (problem.op == KernelOp::Gemv && problem.dims.k != 1)
+    throw std::invalid_argument(
+        "GEMV problems must carry k == 1 (core::Dims convention)");
+}
+
+}  // namespace
 
 double gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k,
                   bool beta_zero) {
@@ -20,47 +33,62 @@ double gemv_flops(std::int64_t m, std::int64_t n, bool beta_zero) {
   return 2.0 * md * nd + md + q * md;
 }
 
+double problem_flops(const OpDesc& desc) {
+  if (desc.op == KernelOp::Gemv)
+    return gemv_flops(desc.m, desc.n, desc.beta_zero);
+  const double batch =
+      static_cast<double>(std::max<std::int64_t>(1, desc.batch));
+  return batch * gemm_flops(desc.m, desc.n, desc.k, desc.beta_zero);
+}
+
+double h2d_bytes(const OpDesc& desc) {
+  const double es = static_cast<double>(model::bytes_of(desc.precision));
+  const double m = static_cast<double>(desc.m);
+  const double n = static_cast<double>(desc.n);
+  const double k = static_cast<double>(desc.k);
+  if (desc.op == KernelOp::Gemm) {
+    const double batch =
+        static_cast<double>(std::max<std::int64_t>(1, desc.batch));
+    return batch * es * (m * k + k * n + m * n);  // A, B, C all uploaded
+  }
+  // A plus both vectors; x_len + y_len == m + n under either transpose.
+  return es * (m * n + n + m);
+}
+
+double d2h_bytes(const OpDesc& desc) {
+  const double es = static_cast<double>(model::bytes_of(desc.precision));
+  if (desc.op == KernelOp::Gemm) {
+    const double batch =
+        static_cast<double>(std::max<std::int64_t>(1, desc.batch));
+    return batch * es * static_cast<double>(desc.m) *
+           static_cast<double>(desc.n);
+  }
+  return es * static_cast<double>(desc.y_len());
+}
+
+double arithmetic_intensity(const OpDesc& desc) {
+  const double bytes = h2d_bytes(desc) + d2h_bytes(desc);
+  return bytes > 0 ? problem_flops(desc) / bytes : 0.0;
+}
+
 double problem_flops(const Problem& problem) {
-  const double base =
-      problem.op == KernelOp::Gemm
-          ? gemm_flops(problem.dims.m, problem.dims.n, problem.dims.k,
-                       problem.beta_zero)
-          : gemv_flops(problem.dims.m, problem.dims.n, problem.beta_zero);
-  const double batch = problem.op == KernelOp::Gemm
-                           ? static_cast<double>(std::max<std::int64_t>(
-                                 1, problem.batch))
-                           : 1.0;
-  return base * batch;
+  check_gemv_k(problem);
+  return problem_flops(lower(problem));
 }
 
 double h2d_bytes(const Problem& problem) {
-  const double es = static_cast<double>(model::bytes_of(problem.precision));
-  const double m = static_cast<double>(problem.dims.m);
-  const double n = static_cast<double>(problem.dims.n);
-  const double k = static_cast<double>(problem.dims.k);
-  if (problem.op == KernelOp::Gemm) {
-    const double batch =
-        static_cast<double>(std::max<std::int64_t>(1, problem.batch));
-    return batch * es * (m * k + k * n + m * n);  // A, B, C all uploaded
-  }
-  return es * (m * n + n + m);  // A, x, y
+  check_gemv_k(problem);
+  return h2d_bytes(lower(problem));
 }
 
 double d2h_bytes(const Problem& problem) {
-  const double es = static_cast<double>(model::bytes_of(problem.precision));
-  const double m = static_cast<double>(problem.dims.m);
-  const double n = static_cast<double>(problem.dims.n);
-  if (problem.op == KernelOp::Gemm) {
-    const double batch =
-        static_cast<double>(std::max<std::int64_t>(1, problem.batch));
-    return batch * es * m * n;
-  }
-  return es * m;
+  check_gemv_k(problem);
+  return d2h_bytes(lower(problem));
 }
 
 double arithmetic_intensity(const Problem& problem) {
-  const double bytes = h2d_bytes(problem) + d2h_bytes(problem);
-  return bytes > 0 ? problem_flops(problem) / bytes : 0.0;
+  check_gemv_k(problem);
+  return arithmetic_intensity(lower(problem));
 }
 
 double gflops(const Problem& problem, std::int64_t iterations,

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "core/op_desc.hpp"
 #include "core/problem.hpp"
 
 namespace blob::core {
@@ -19,20 +20,28 @@ double gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k,
 /// FLOPs of one GEMV call under the paper's model.
 double gemv_flops(std::int64_t m, std::int64_t n, bool beta_zero);
 
-/// FLOPs of one call of `problem`.
-double problem_flops(const Problem& problem);
+/// FLOPs of one call of `desc` (batch multiplies GEMM). Transposes never
+/// change the count — only where the elements live.
+double problem_flops(const OpDesc& desc);
 
-/// Bytes copied host->device per upload of the problem's input data
+/// Bytes copied host->device per upload of the operation's input data
 /// structures (A, B, C for GEMM; A, x, y for GEMV — §III-B2).
-double h2d_bytes(const Problem& problem);
+double h2d_bytes(const OpDesc& desc);
 
 /// Bytes copied device->host per download of the output structure
-/// (C for GEMM; y for GEMV).
-double d2h_bytes(const Problem& problem);
+/// (C for GEMM; y — of trans-dependent length — for GEMV).
+double d2h_bytes(const OpDesc& desc);
 
 /// Arithmetic intensity (FLOPs per byte of h2d+d2h traffic for a single
 /// round trip) — the quantity the paper uses to explain which non-square
 /// problems never offload profitably (§IV-C).
+double arithmetic_intensity(const OpDesc& desc);
+
+/// Sweep-layer sugar. Each throws std::invalid_argument if a GEMV
+/// problem violates the k == 1 convention (see core::Dims).
+double problem_flops(const Problem& problem);
+double h2d_bytes(const Problem& problem);
+double d2h_bytes(const Problem& problem);
 double arithmetic_intensity(const Problem& problem);
 
 /// GFLOP/s given total seconds for `iterations` calls.

@@ -38,54 +38,66 @@ std::string HostBackend::name() const {
 }
 
 template <typename T>
-double HostBackend::run_timed(const Problem& problem,
-                              std::int64_t iterations) {
-  const auto m = static_cast<int>(problem.dims.m);
-  const auto n = static_cast<int>(problem.dims.n);
-  const auto k = static_cast<int>(problem.dims.k);
+double HostBackend::run_timed(const OpDesc& desc, std::int64_t iterations) {
+  const auto m = static_cast<int>(desc.m);
+  const auto n = static_cast<int>(desc.n);
+  const auto k = static_cast<int>(desc.k);
   // Constant seed so CPU and (simulated) GPU runs see identical data and
   // checksums are comparable (§III-B).
   util::Xoshiro256 rng(0xB10Bu);
 
   double best = 0.0;
-  if (problem.op == KernelOp::Gemm) {
-    std::vector<T> a(static_cast<std::size_t>(m) * k);
-    std::vector<T> b(static_cast<std::size_t>(k) * n);
-    std::vector<T> c(static_cast<std::size_t>(m) * n, T(0));
+  if (desc.op == KernelOp::Gemm) {
+    // Stored shapes follow the descriptor's transposes; batch items are
+    // laid out back to back (tight strides).
+    const auto item_a = static_cast<std::size_t>(desc.rows_a()) *
+                        static_cast<std::size_t>(desc.cols_a());
+    const auto item_b = static_cast<std::size_t>(desc.rows_b()) *
+                        static_cast<std::size_t>(desc.cols_b());
+    const auto item_c =
+        static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+    const auto batch = static_cast<std::size_t>(desc.batch);
+    std::vector<T> a(item_a * batch);
+    std::vector<T> b(item_b * batch);
+    std::vector<T> c(item_c * batch, T(0));
     fill_random(a, rng);
     fill_random(b, rng);
-    const T beta = problem.beta_zero ? T(0) : T(2);
+    const T beta = desc.beta_zero ? T(0) : T(2);
+    const int lda = std::max<int>(1, static_cast<int>(desc.rows_a()));
+    const int ldb = std::max<int>(1, static_cast<int>(desc.rows_b()));
+    const int ldc = std::max(1, m);
+    auto run_once = [&] {
+      for (std::size_t i = 0; i < batch; ++i) {
+        lib_.do_gemm(desc.trans_a, desc.trans_b, m, n, k, T(1),
+                     a.data() + i * item_a, lda, b.data() + i * item_b, ldb,
+                     beta, c.data() + i * item_c, ldc);
+      }
+    };
     // One untimed warm-up grows the packing arena and faults the buffers
     // in, so the timed repeats measure steady-state library speed — the
     // same regime a vendor BLAS is benchmarked in.
-    lib_.do_gemm(blas::Transpose::No, blas::Transpose::No, m, n, k, T(1),
-                 a.data(), std::max(1, m), b.data(), std::max(1, k), beta,
-                 c.data(), std::max(1, m));
+    run_once();
     for (int r = 0; r < repeats_; ++r) {
       util::WallTimer timer;
-      for (std::int64_t i = 0; i < iterations; ++i) {
-        lib_.do_gemm(blas::Transpose::No, blas::Transpose::No, m, n, k, T(1),
-                     a.data(), std::max(1, m), b.data(), std::max(1, k),
-                     beta, c.data(), std::max(1, m));
-      }
+      for (std::int64_t i = 0; i < iterations; ++i) run_once();
       const double t = timer.elapsed_seconds();
       best = r == 0 ? t : std::min(best, t);
       consume(c.data(), c.size());
     }
   } else {
     std::vector<T> a(static_cast<std::size_t>(m) * n);
-    std::vector<T> x(static_cast<std::size_t>(n));
-    std::vector<T> y(static_cast<std::size_t>(m), T(0));
+    std::vector<T> x(static_cast<std::size_t>(desc.x_len()));
+    std::vector<T> y(static_cast<std::size_t>(desc.y_len()), T(0));
     fill_random(a, rng);
     fill_random(x, rng);
-    const T beta = problem.beta_zero ? T(0) : T(2);
-    lib_.do_gemv(blas::Transpose::No, m, n, T(1), a.data(), std::max(1, m),
+    const T beta = desc.beta_zero ? T(0) : T(2);
+    lib_.do_gemv(desc.trans_a, m, n, T(1), a.data(), std::max(1, m),
                  x.data(), 1, beta, y.data(), 1);  // untimed warm-up
     for (int r = 0; r < repeats_; ++r) {
       util::WallTimer timer;
       for (std::int64_t i = 0; i < iterations; ++i) {
-        lib_.do_gemv(blas::Transpose::No, m, n, T(1), a.data(),
-                     std::max(1, m), x.data(), 1, beta, y.data(), 1);
+        lib_.do_gemv(desc.trans_a, m, n, T(1), a.data(), std::max(1, m),
+                     x.data(), 1, beta, y.data(), 1);
       }
       const double t = timer.elapsed_seconds();
       best = r == 0 ? t : std::min(best, t);
@@ -95,13 +107,12 @@ double HostBackend::run_timed(const Problem& problem,
   return best;
 }
 
-double HostBackend::cpu_time(const Problem& problem,
-                             std::int64_t iterations) {
-  switch (problem.precision) {
+double HostBackend::cpu_time(const OpDesc& desc, std::int64_t iterations) {
+  switch (desc.precision) {
     case model::Precision::F32:
-      return run_timed<float>(problem, iterations);
+      return run_timed<float>(desc, iterations);
     case model::Precision::F64:
-      return run_timed<double>(problem, iterations);
+      return run_timed<double>(desc, iterations);
     default:
       throw std::invalid_argument(
           "HostBackend: only f32/f64 are timed on the host");

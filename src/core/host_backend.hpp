@@ -5,7 +5,8 @@
 // machine the benchmark runs on. There is no GPU, so gpu_time returns
 // nullopt and the harness emits CPU-only CSV data — exactly the workflow
 // the paper used on LUMI, where the CPU and GPU halves were built and run
-// separately.
+// separately. Consumes the core::OpDesc IR, so transposed and batched
+// descriptors execute with their real layouts.
 
 #include <memory>
 #include <vector>
@@ -24,9 +25,10 @@ class HostBackend final : public ExecutionBackend {
 
   [[nodiscard]] std::string name() const override;
 
-  double cpu_time(const Problem& problem, std::int64_t iterations) override;
-  std::optional<double> gpu_time(const Problem&, std::int64_t,
-                                 TransferMode) override {
+  using ExecutionBackend::cpu_time;
+  using ExecutionBackend::gpu_time;
+  double cpu_time(const OpDesc& desc, std::int64_t iterations) override;
+  std::optional<double> gpu_time(const OpDesc&, std::int64_t) override {
     return std::nullopt;
   }
 
@@ -34,7 +36,7 @@ class HostBackend final : public ExecutionBackend {
 
  private:
   template <typename T>
-  double run_timed(const Problem& problem, std::int64_t iterations);
+  double run_timed(const OpDesc& desc, std::int64_t iterations);
 
   blas::CpuBlasLibrary lib_;
   int repeats_;

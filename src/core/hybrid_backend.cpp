@@ -12,15 +12,13 @@ std::string HybridBackend::name() const {
   return host_.name() + "+sim:" + sim_.name();
 }
 
-double HybridBackend::cpu_time(const Problem& problem,
-                               std::int64_t iterations) {
-  return host_.cpu_time(problem, iterations);
+double HybridBackend::cpu_time(const OpDesc& desc, std::int64_t iterations) {
+  return host_.cpu_time(desc, iterations);
 }
 
-std::optional<double> HybridBackend::gpu_time(const Problem& problem,
-                                              std::int64_t iterations,
-                                              TransferMode mode) {
-  return sim_.gpu_time(problem, iterations, mode);
+std::optional<double> HybridBackend::gpu_time(const OpDesc& desc,
+                                              std::int64_t iterations) {
+  return sim_.gpu_time(desc, iterations);
 }
 
 }  // namespace blob::core

@@ -22,13 +22,15 @@ class HybridBackend final : public ExecutionBackend {
 
   [[nodiscard]] std::string name() const override;
 
+  using ExecutionBackend::cpu_time;
+  using ExecutionBackend::gpu_time;
+
   /// Measured on this machine.
-  double cpu_time(const Problem& problem, std::int64_t iterations) override;
+  double cpu_time(const OpDesc& desc, std::int64_t iterations) override;
 
   /// Modelled from the profile's GPU and link (noise-free).
-  std::optional<double> gpu_time(const Problem& problem,
-                                 std::int64_t iterations,
-                                 TransferMode mode) override;
+  std::optional<double> gpu_time(const OpDesc& desc,
+                                 std::int64_t iterations) override;
 
  private:
   HostBackend host_;

@@ -1,0 +1,226 @@
+#pragma once
+// core::OpDesc — the single canonical descriptor of one BLAS operation.
+//
+// One call, one description. The cblas seam builds an OpDesc from raw
+// arguments; the dispatcher's decision table, admission queue, calibration
+// store and decision trace key and record on it; the core backends, the
+// advisor and the flops/bytes accounting consume it; and the simulated GPU
+// executes it. `core::Problem` is sweep-layer sugar that lowers to an
+// OpDesc via `lower()`. There is deliberately no other descriptor type in
+// the stack (the old `dispatch::CallShape` and its `to_problem` glue are
+// gone).
+//
+// Header-only on purpose: blob_blas (the cblas seam) sits below the core
+// library in the link graph and must be able to speak the IR without
+// linking it.
+//
+// Conventions (single validation point: `validate()`):
+//  - Column-major storage with explicit leading dimensions, as in GPU-BLOB
+//    (paper §III-A). For GEMM, m/n/k are the dimensions of op(A)·op(B);
+//    the stored A is m×k when trans_a == No and k×m otherwise.
+//  - GEMV: k is always exactly 1 (normalized here; `problem_flops` and
+//    `h2d_bytes` reject anything else). A is always the stored m×n matrix;
+//    trans_a selects A·x (x length n, y length m) or Aᵀ·x (x length m,
+//    y length n). trans_b, ldb and the batch strides are meaningless.
+//  - batch > 1 describes a strided-batched GEMM (cublas convention:
+//    operand i lives at base + i * stride). batch == 1 leaves the strides
+//    unused. GEMV never batches.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "blas/types.hpp"
+#include "core/problem.hpp"
+#include "perfmodel/precision.hpp"
+
+namespace blob::core {
+
+/// How data moves between host and device (paper §III-B2).
+enum class TransferMode { Once, Always, Usm };
+
+inline const char* to_string(TransferMode mode) {
+  switch (mode) {
+    case TransferMode::Once:
+      return "once";
+    case TransferMode::Always:
+      return "always";
+    case TransferMode::Usm:
+      return "usm";
+  }
+  return "?";
+}
+
+/// All three modes in paper column order.
+inline constexpr TransferMode kTransferModes[] = {
+    TransferMode::Once, TransferMode::Always, TransferMode::Usm};
+
+struct OpDesc {
+  KernelOp op = KernelOp::Gemm;
+  model::Precision precision = model::Precision::F32;
+  blas::Transpose trans_a = blas::Transpose::No;
+  blas::Transpose trans_b = blas::Transpose::No;  ///< GEMM only.
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 1;  ///< GEMV: always 1.
+  std::int64_t lda = 0;  ///< 0 = tight (see tight_lda()).
+  std::int64_t ldb = 0;
+  std::int64_t ldc = 0;
+  std::int64_t incx = 1;  ///< GEMV vector strides.
+  std::int64_t incy = 1;
+  std::int64_t batch = 1;  ///< Strided-batched GEMM count.
+  std::int64_t stride_a = 0;  ///< Elements between batch items.
+  std::int64_t stride_b = 0;
+  std::int64_t stride_c = 0;
+  bool alpha_one = true;  ///< Scaling class only; never enters FLOPs.
+  bool beta_zero = true;
+  TransferMode mode = TransferMode::Once;
+
+  /// Stored shape of A: GEMM m×k or k×m depending on trans_a; GEMV m×n.
+  [[nodiscard]] std::int64_t rows_a() const {
+    if (op == KernelOp::Gemv) return m;
+    return trans_a == blas::Transpose::No ? m : k;
+  }
+  [[nodiscard]] std::int64_t cols_a() const {
+    if (op == KernelOp::Gemv) return n;
+    return trans_a == blas::Transpose::No ? k : m;
+  }
+  /// Stored shape of B (GEMM only): k×n or n×k depending on trans_b.
+  [[nodiscard]] std::int64_t rows_b() const {
+    return trans_b == blas::Transpose::No ? k : n;
+  }
+  [[nodiscard]] std::int64_t cols_b() const {
+    return trans_b == blas::Transpose::No ? n : k;
+  }
+  /// GEMV operand lengths under trans_a.
+  [[nodiscard]] std::int64_t x_len() const {
+    return trans_a == blas::Transpose::No ? n : m;
+  }
+  [[nodiscard]] std::int64_t y_len() const {
+    return trans_a == blas::Transpose::No ? m : n;
+  }
+  /// Leading dimensions of a tightly packed copy of each operand.
+  [[nodiscard]] std::int64_t tight_lda() const { return rows_a(); }
+  [[nodiscard]] std::int64_t tight_ldb() const { return rows_b(); }
+  [[nodiscard]] std::int64_t tight_ldc() const { return m; }
+
+  [[nodiscard]] bool transposed() const {
+    return trans_a != blas::Transpose::No ||
+           (op == KernelOp::Gemm && trans_b != blas::Transpose::No);
+  }
+
+  /// The single validation point of the IR. Normalizes the GEMV k
+  /// convention (k := 1), fills tight leading dimensions where the caller
+  /// left 0, and throws std::invalid_argument on negative dimensions or a
+  /// non-positive batch. Factories call this; hand-built descriptors
+  /// should too.
+  void validate() {
+    if (m < 0 || n < 0 || k < 0)
+      throw std::invalid_argument("OpDesc: negative dimension");
+    if (batch < 1) throw std::invalid_argument("OpDesc: batch < 1");
+    if (op == KernelOp::Gemv) {
+      k = 1;
+      trans_b = blas::Transpose::No;
+      batch = 1;
+      stride_a = stride_b = stride_c = 0;
+    }
+    if (lda == 0) lda = tight_lda();
+    if (ldb == 0) ldb = tight_ldb();
+    if (ldc == 0) ldc = tight_ldc();
+  }
+
+  static OpDesc gemm(model::Precision precision, blas::Transpose ta,
+                     blas::Transpose tb, std::int64_t m, std::int64_t n,
+                     std::int64_t k, std::int64_t lda, std::int64_t ldb,
+                     std::int64_t ldc, bool alpha_one, bool beta_zero,
+                     TransferMode mode = TransferMode::Once) {
+    OpDesc d;
+    d.op = KernelOp::Gemm;
+    d.precision = precision;
+    d.trans_a = ta;
+    d.trans_b = tb;
+    d.m = m;
+    d.n = n;
+    d.k = k;
+    d.lda = lda;
+    d.ldb = ldb;
+    d.ldc = ldc;
+    d.alpha_one = alpha_one;
+    d.beta_zero = beta_zero;
+    d.mode = mode;
+    d.validate();
+    return d;
+  }
+
+  static OpDesc gemm_batched(model::Precision precision, blas::Transpose ta,
+                             blas::Transpose tb, std::int64_t m,
+                             std::int64_t n, std::int64_t k, std::int64_t lda,
+                             std::int64_t ldb, std::int64_t ldc,
+                             std::int64_t batch, std::int64_t stride_a,
+                             std::int64_t stride_b, std::int64_t stride_c,
+                             bool alpha_one, bool beta_zero,
+                             TransferMode mode = TransferMode::Once) {
+    OpDesc d = gemm(precision, ta, tb, m, n, k, lda, ldb, ldc, alpha_one,
+                    beta_zero, mode);
+    d.batch = batch;
+    d.stride_a = stride_a;
+    d.stride_b = stride_b;
+    d.stride_c = stride_c;
+    d.validate();
+    return d;
+  }
+
+  static OpDesc gemv(model::Precision precision, blas::Transpose ta,
+                     std::int64_t m, std::int64_t n, std::int64_t lda,
+                     std::int64_t incx, std::int64_t incy, bool alpha_one,
+                     bool beta_zero, TransferMode mode = TransferMode::Once) {
+    OpDesc d;
+    d.op = KernelOp::Gemv;
+    d.precision = precision;
+    d.trans_a = ta;
+    d.m = m;
+    d.n = n;
+    d.lda = lda;
+    d.incx = incx;
+    d.incy = incy;
+    d.alpha_one = alpha_one;
+    d.beta_zero = beta_zero;
+    d.mode = mode;
+    d.validate();
+    return d;
+  }
+};
+
+/// Lower sweep-layer sugar to the IR: tight leading dimensions, no
+/// transposes, unit vector strides. GEMM batch carries over.
+inline OpDesc lower(const Problem& problem,
+                    TransferMode mode = TransferMode::Once) {
+  if (problem.op == KernelOp::Gemv)
+    return OpDesc::gemv(problem.precision, blas::Transpose::No,
+                        problem.dims.m, problem.dims.n, 0, 1, 1, true,
+                        problem.beta_zero, mode);
+  OpDesc d = OpDesc::gemm(problem.precision, blas::Transpose::No,
+                          blas::Transpose::No, problem.dims.m, problem.dims.n,
+                          problem.dims.k, 0, 0, 0, true, problem.beta_zero,
+                          mode);
+  if (problem.batch > 1) {
+    d.batch = problem.batch;
+    d.stride_a = d.lda * d.cols_a();
+    d.stride_b = d.ldb * d.cols_b();
+    d.stride_c = d.ldc * d.n;
+  }
+  return d;
+}
+
+/// Raise an OpDesc back to sweep-layer sugar (drops layout detail; used by
+/// the advisor's rationale strings and sweep-facing reporting).
+inline Problem raise(const OpDesc& desc) {
+  Problem p;
+  p.op = desc.op;
+  p.precision = desc.precision;
+  p.dims = Dims{desc.m, desc.n, desc.op == KernelOp::Gemm ? desc.k : 1};
+  p.beta_zero = desc.beta_zero;
+  p.batch = desc.batch;
+  return p;
+}
+
+}  // namespace blob::core

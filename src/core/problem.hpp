@@ -21,12 +21,13 @@ enum class KernelOp { Gemm, Gemv };
 
 const char* to_string(KernelOp op);
 
-/// Concrete dimensions of one problem instance. For GEMV, k is unused
-/// and fixed to 1.
+/// Concrete dimensions of one problem instance. Convention (enforced at
+/// the OpDesc validation point and asserted by problem_flops/h2d_bytes):
+/// for GEMV, k is always exactly 1.
 struct Dims {
   std::int64_t m = 0;
   std::int64_t n = 0;
-  std::int64_t k = 0;
+  std::int64_t k = 1;
 };
 
 /// A named dimension relationship, e.g. "M=N, K=16M".
@@ -65,7 +66,9 @@ const std::vector<ProblemType>& all_problem_types();
 /// Look up by id; throws std::invalid_argument if unknown.
 const ProblemType& problem_type_by_id(const std::string& id);
 
-/// One fully specified benchmark problem.
+/// One fully specified benchmark problem. Sweep-layer sugar only: every
+/// consumer below the sweep speaks core::OpDesc (op_desc.hpp), to which a
+/// Problem lowers via core::lower().
 struct Problem {
   KernelOp op = KernelOp::Gemm;
   model::Precision precision = model::Precision::F32;

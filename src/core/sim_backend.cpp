@@ -4,85 +4,96 @@
 
 namespace blob::core {
 
+namespace {
+
+bool trans_a_of(const OpDesc& desc) {
+  return desc.trans_a != blas::Transpose::No;
+}
+bool trans_b_of(const OpDesc& desc) {
+  return desc.trans_b != blas::Transpose::No;
+}
+
+}  // namespace
+
 SimBackend::SimBackend(profile::SystemProfile profile, double noise_override,
                        std::uint64_t noise_seed)
     : profile_(std::move(profile)),
       noise_(noise_override >= 0.0 ? noise_override : profile_.noise_sigma,
              noise_seed) {}
 
-double SimBackend::cpu_time(const Problem& problem, std::int64_t iterations) {
-  const auto& d = problem.dims;
+double SimBackend::cpu_time(const OpDesc& desc, std::int64_t iterations) {
   const double iters = static_cast<double>(iterations);
   double total = 0.0;
-  if (problem.op == KernelOp::Gemm && problem.batch > 1) {
+  if (desc.op == KernelOp::Gemm && desc.batch > 1) {
     total = iters * profile_.cpu.gemm_batched_time(
-                        problem.precision, static_cast<double>(d.m),
-                        static_cast<double>(d.n), static_cast<double>(d.k),
-                        static_cast<double>(problem.batch),
-                        problem.beta_zero);
-  } else if (problem.op == KernelOp::Gemm) {
+                        desc.precision, static_cast<double>(desc.m),
+                        static_cast<double>(desc.n),
+                        static_cast<double>(desc.k),
+                        static_cast<double>(desc.batch), desc.beta_zero,
+                        trans_a_of(desc), trans_b_of(desc));
+  } else if (desc.op == KernelOp::Gemm) {
     total = profile_.cpu.gemm_total_time(
-        problem.precision, static_cast<double>(d.m),
-        static_cast<double>(d.n), static_cast<double>(d.k), iters,
-        problem.beta_zero);
+        desc.precision, static_cast<double>(desc.m),
+        static_cast<double>(desc.n), static_cast<double>(desc.k), iters,
+        desc.beta_zero, trans_a_of(desc), trans_b_of(desc));
   } else {
     total = profile_.cpu.gemv_total_time(
-        problem.precision, static_cast<double>(d.m),
-        static_cast<double>(d.n), iters, problem.beta_zero);
+        desc.precision, static_cast<double>(desc.m),
+        static_cast<double>(desc.n), iters, desc.beta_zero,
+        trans_a_of(desc));
   }
-  const double factor =
-      noise_.factor(profile_.name, "cpu", problem.precision, d.m, d.n, d.k,
-                    iterations);
+  const double factor = noise_.factor(profile_.name, "cpu", desc.precision,
+                                      desc.m, desc.n, desc.k, iterations);
   return total * factor;
 }
 
-double SimBackend::kernel_time(const Problem& problem) const {
-  const auto& d = problem.dims;
-  if (problem.op == KernelOp::Gemm && problem.batch > 1) {
+double SimBackend::kernel_time(const OpDesc& desc) const {
+  if (desc.op == KernelOp::Gemm && desc.batch > 1) {
     return profile_.gpu.gemm_batched_kernel_time(
-        problem.precision, static_cast<double>(d.m),
-        static_cast<double>(d.n), static_cast<double>(d.k),
-        static_cast<double>(problem.batch), problem.beta_zero);
+        desc.precision, static_cast<double>(desc.m),
+        static_cast<double>(desc.n), static_cast<double>(desc.k),
+        static_cast<double>(desc.batch), desc.beta_zero, trans_a_of(desc),
+        trans_b_of(desc));
   }
-  return problem.op == KernelOp::Gemm
-             ? profile_.gpu.gemm_kernel_time(problem.precision,
-                                             static_cast<double>(d.m),
-                                             static_cast<double>(d.n),
-                                             static_cast<double>(d.k),
-                                             problem.beta_zero)
-             : profile_.gpu.gemv_kernel_time(problem.precision,
-                                             static_cast<double>(d.m),
-                                             static_cast<double>(d.n),
-                                             problem.beta_zero);
+  return desc.op == KernelOp::Gemm
+             ? profile_.gpu.gemm_kernel_time(
+                   desc.precision, static_cast<double>(desc.m),
+                   static_cast<double>(desc.n), static_cast<double>(desc.k),
+                   desc.beta_zero, trans_a_of(desc), trans_b_of(desc))
+             : profile_.gpu.gemv_kernel_time(
+                   desc.precision, static_cast<double>(desc.m),
+                   static_cast<double>(desc.n), desc.beta_zero,
+                   trans_a_of(desc));
 }
 
-std::optional<double> SimBackend::gpu_time(const Problem& problem,
-                                           std::int64_t iterations,
-                                           TransferMode mode) {
-  const double in_bytes = h2d_bytes(problem);
-  const double out_bytes = d2h_bytes(problem);
+std::optional<double> SimBackend::gpu_time(const OpDesc& desc,
+                                           std::int64_t iterations) {
+  const double in_bytes = h2d_bytes(desc);
+  const double out_bytes = d2h_bytes(desc);
   // Per-structure byte counts: USM faults are charged per allocation,
-  // matching the SimGpu device's accounting exactly.
-  const double es = static_cast<double>(model::bytes_of(problem.precision));
-  const double md = static_cast<double>(problem.dims.m);
-  const double nd = static_cast<double>(problem.dims.n);
-  const double kd = static_cast<double>(problem.dims.k);
+  // matching the SimGpu device's accounting exactly. Transposes move
+  // elements around but never change a structure's footprint; a GEMV's
+  // vector lengths do swap with trans_a.
+  const double es = static_cast<double>(model::bytes_of(desc.precision));
+  const double md = static_cast<double>(desc.m);
+  const double nd = static_cast<double>(desc.n);
+  const double kd = static_cast<double>(desc.k);
   double s0 = 0.0, s1 = 0.0, s2 = 0.0;  // A, B/x, C/y
-  if (problem.op == KernelOp::Gemm) {
+  if (desc.op == KernelOp::Gemm) {
     s0 = es * md * kd;
     s1 = es * kd * nd;
     s2 = es * md * nd;
   } else {
     s0 = es * md * nd;
-    s1 = es * nd;
-    s2 = es * md;
+    s1 = es * static_cast<double>(desc.x_len());
+    s2 = es * static_cast<double>(desc.y_len());
   }
-  const double kernel = kernel_time(problem);
+  const double kernel = kernel_time(desc);
   const double iters = static_cast<double>(iterations);
   const auto& link = profile_.link;
 
   double total = 0.0;
-  switch (mode) {
+  switch (desc.mode) {
     case TransferMode::Once:
       // GPU-BLOB issues one explicit copy per data structure (3 for GEMM,
       // 3 for GEMV), so the link latency is paid per structure.
@@ -112,13 +123,12 @@ std::optional<double> SimBackend::gpu_time(const Problem& problem,
       break;
   }
 
-  const auto& d = problem.dims;
-  const char* tag = mode == TransferMode::Once
+  const char* tag = desc.mode == TransferMode::Once
                         ? "gpu-once"
-                        : (mode == TransferMode::Always ? "gpu-always"
-                                                        : "gpu-usm");
-  const double factor = noise_.factor(profile_.name, tag, problem.precision,
-                                      d.m, d.n, d.k, iterations);
+                        : (desc.mode == TransferMode::Always ? "gpu-always"
+                                                             : "gpu-usm");
+  const double factor = noise_.factor(profile_.name, tag, desc.precision,
+                                      desc.m, desc.n, desc.k, iterations);
   return total * factor;
 }
 

@@ -5,6 +5,8 @@
 // accumulate on its stream — one h2d per input structure, kernels, one
 // d2h per output — so full s=1..4096 sweeps run in milliseconds. Tests
 // cross-check SimBackend's arithmetic against an actual SimGpu run.
+// Consumes the core::OpDesc IR, so transposed and batched descriptors
+// are costed with the perfmodel's transpose/batch terms.
 
 #include "core/backend.hpp"
 #include "perfmodel/noise.hpp"
@@ -24,13 +26,17 @@ class SimBackend final : public ExecutionBackend {
     return profile_;
   }
 
-  double cpu_time(const Problem& problem, std::int64_t iterations) override;
-  std::optional<double> gpu_time(const Problem& problem,
-                                 std::int64_t iterations,
-                                 TransferMode mode) override;
+  using ExecutionBackend::cpu_time;
+  using ExecutionBackend::gpu_time;
+  double cpu_time(const OpDesc& desc, std::int64_t iterations) override;
+  std::optional<double> gpu_time(const OpDesc& desc,
+                                 std::int64_t iterations) override;
 
   /// One kernel execution on the device, excluding any link traffic.
-  [[nodiscard]] double kernel_time(const Problem& problem) const;
+  [[nodiscard]] double kernel_time(const OpDesc& desc) const;
+  [[nodiscard]] double kernel_time(const Problem& problem) const {
+    return kernel_time(lower(problem));
+  }
 
  private:
   profile::SystemProfile profile_;

@@ -161,26 +161,39 @@ void AdmissionQueue::worker_loop() {
   }
 }
 
+core::OpDesc AdmissionQueue::make_desc(const Request& r) const {
+  const auto precision =
+      (r.kind == Kind::GemmF32 || r.kind == Kind::GemvF32)
+          ? model::Precision::F32
+          : model::Precision::F64;
+  const auto mode = dispatcher_.config().mode;
+  if (r.kind == Kind::GemmF32 || r.kind == Kind::GemmF64) {
+    return core::OpDesc::gemm(precision, r.ta, r.tb, r.m, r.n, r.k, r.lda,
+                              r.ldb, r.ldc, r.alpha == 1.0, r.beta == 0.0,
+                              mode);
+  }
+  return core::OpDesc::gemv(precision, r.ta, r.m, r.n, r.lda, r.incx,
+                            r.incy, r.alpha == 1.0, r.beta == 0.0, mode);
+}
+
 bool AdmissionQueue::coalescible(const Request& r) const {
   if (r.kind != Kind::GemmF32 && r.kind != Kind::GemmF64) return false;
-  if (r.ta != blas::Transpose::No || r.tb != blas::Transpose::No) {
-    return false;
-  }
   if (r.m <= 0 || r.n <= 0 || r.k <= 0) return false;
   const int dim = config_.coalesce_max_dim;
   return r.m <= dim && r.n <= dim && r.k <= dim;
 }
 
 void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
-  // -- identify coalesce groups (same shape, scalars, leading dims) --------
-  using GroupKey =
-      std::tuple<int, int, int, int, int, int, int, double, double>;
+  // -- identify coalesce groups (same shape + layout, scalars, lds) --------
+  using GroupKey = std::tuple<int, int, int, int, int, int, int, int, int,
+                              double, double>;
   std::map<GroupKey, std::vector<std::size_t>> groups;
   std::vector<bool> coalesced(batch.size(), false);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Request& r = batch[i];
     if (!coalescible(r)) continue;
-    groups[GroupKey{static_cast<int>(r.kind), r.m, r.n, r.k, r.lda, r.ldb,
+    groups[GroupKey{static_cast<int>(r.kind), static_cast<int>(r.ta),
+                    static_cast<int>(r.tb), r.m, r.n, r.k, r.lda, r.ldb,
                     r.ldc, r.alpha, r.beta}]
         .push_back(i);
   }
@@ -196,6 +209,7 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
   struct CpuWork {
     std::size_t idx;
     Decision decision;
+    core::OpDesc desc;
   };
   struct GpuWork {
     std::size_t idx;
@@ -206,32 +220,15 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (coalesced[i]) continue;
     Request& r = batch[i];
-    CallShape shape;
-    shape.precision =
-        (r.kind == Kind::GemmF32 || r.kind == Kind::GemvF32)
-            ? model::Precision::F32
-            : model::Precision::F64;
-    shape.beta_zero = r.beta == 0.0;
-    shape.mode = dispatcher_.config().mode;
-    bool gpu_ok = false;
-    const bool is_gemm =
-        r.kind == Kind::GemmF32 || r.kind == Kind::GemmF64;
-    if (is_gemm) {
-      shape.op = core::KernelOp::Gemm;
-      shape.m = r.m;
-      shape.n = r.n;
-      shape.k = std::max(r.k, 1);
-      gpu_ok = r.ta == blas::Transpose::No && r.tb == blas::Transpose::No &&
-               r.m > 0 && r.n > 0 && r.k > 0;
-    } else {
-      shape.op = core::KernelOp::Gemv;
-      shape.m = r.m;
-      shape.n = r.n;
-      shape.k = 1;
-      gpu_ok = r.ta == blas::Transpose::No && r.incx == 1 && r.incy == 1 &&
-               r.m > 0 && r.n > 0;
+    core::OpDesc desc;
+    try {
+      desc = make_desc(r);
+    } catch (...) {
+      r.done.set_exception(std::current_exception());
+      continue;
     }
-    const Decision decision = dispatcher_.plan(shape, gpu_ok);
+    const bool gpu_ok = Dispatcher::gpu_supported(desc);
+    const Decision decision = dispatcher_.plan(desc, gpu_ok);
     if (decision.route == Route::Gpu) {
       GpuWork w;
       w.idx = i;
@@ -239,30 +236,27 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
         switch (r.kind) {
           case Kind::GemmF32:
             w.job = dispatcher_.enqueue_gemm_gpu<float>(
-                decision, r.m, r.n, r.k, static_cast<float>(r.alpha),
-                static_cast<const float*>(r.a), r.lda,
-                static_cast<const float*>(r.b), r.ldb,
-                static_cast<float>(r.beta), static_cast<float*>(r.c),
-                r.ldc);
+                decision, desc, static_cast<float>(r.alpha),
+                static_cast<const float*>(r.a),
+                static_cast<const float*>(r.b), static_cast<float>(r.beta),
+                static_cast<float*>(r.c));
             break;
           case Kind::GemmF64:
             w.job = dispatcher_.enqueue_gemm_gpu<double>(
-                decision, r.m, r.n, r.k, r.alpha,
-                static_cast<const double*>(r.a), r.lda,
-                static_cast<const double*>(r.b), r.ldb, r.beta,
-                static_cast<double*>(r.c), r.ldc);
+                decision, desc, r.alpha, static_cast<const double*>(r.a),
+                static_cast<const double*>(r.b), r.beta,
+                static_cast<double*>(r.c));
             break;
           case Kind::GemvF32:
             w.job = dispatcher_.enqueue_gemv_gpu<float>(
-                decision, r.m, r.n, static_cast<float>(r.alpha),
-                static_cast<const float*>(r.a), r.lda,
+                decision, desc, static_cast<float>(r.alpha),
+                static_cast<const float*>(r.a),
                 static_cast<const float*>(r.b), static_cast<float>(r.beta),
                 static_cast<float*>(r.c));
             break;
           case Kind::GemvF64:
             w.job = dispatcher_.enqueue_gemv_gpu<double>(
-                decision, r.m, r.n, r.alpha,
-                static_cast<const double*>(r.a), r.lda,
+                decision, desc, r.alpha, static_cast<const double*>(r.a),
                 static_cast<const double*>(r.b), r.beta,
                 static_cast<double*>(r.c));
             break;
@@ -272,7 +266,7 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
         r.done.set_exception(std::current_exception());
       }
     } else {
-      cpu_work.push_back(CpuWork{i, decision});
+      cpu_work.push_back(CpuWork{i, decision, desc});
     }
   }
 
@@ -281,6 +275,7 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
     const Request& head = batch[members->front()];
     const int count = static_cast<int>(members->size());
     try {
+      const core::OpDesc desc = make_desc(head);
       if (head.kind == Kind::GemmF32) {
         std::vector<const float*> as, bs;
         std::vector<float*> cs;
@@ -293,9 +288,8 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
           cs.push_back(static_cast<float*>(batch[i].c));
         }
         dispatcher_.run_gemm_coalesced<float>(
-            head.m, head.n, head.k, static_cast<float>(head.alpha),
-            as.data(), head.lda, bs.data(), head.ldb,
-            static_cast<float>(head.beta), cs.data(), head.ldc, count);
+            desc, static_cast<float>(head.alpha), as.data(), bs.data(),
+            static_cast<float>(head.beta), cs.data(), count);
       } else {
         std::vector<const double*> as, bs;
         std::vector<double*> cs;
@@ -307,11 +301,9 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
           bs.push_back(static_cast<const double*>(batch[i].b));
           cs.push_back(static_cast<double*>(batch[i].c));
         }
-        dispatcher_.run_gemm_coalesced<double>(head.m, head.n, head.k,
-                                               head.alpha, as.data(),
-                                               head.lda, bs.data(), head.ldb,
-                                               head.beta, cs.data(),
-                                               head.ldc, count);
+        dispatcher_.run_gemm_coalesced<double>(desc, head.alpha, as.data(),
+                                               bs.data(), head.beta,
+                                               cs.data(), count);
       }
       for (const std::size_t i : *members) batch[i].done.set_value();
     } catch (...) {
@@ -327,32 +319,29 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
       switch (r.kind) {
         case Kind::GemmF32:
           dispatcher_.run_gemm_cpu<float>(
-              w.decision, r.ta, r.tb, r.m, r.n, r.k,
-              static_cast<float>(r.alpha), static_cast<const float*>(r.a),
-              r.lda, static_cast<const float*>(r.b), r.ldb,
-              static_cast<float>(r.beta), static_cast<float*>(r.c), r.ldc);
+              w.decision, w.desc, static_cast<float>(r.alpha),
+              static_cast<const float*>(r.a),
+              static_cast<const float*>(r.b), static_cast<float>(r.beta),
+              static_cast<float*>(r.c));
           break;
         case Kind::GemmF64:
           dispatcher_.run_gemm_cpu<double>(
-              w.decision, r.ta, r.tb, r.m, r.n, r.k, r.alpha,
-              static_cast<const double*>(r.a), r.lda,
-              static_cast<const double*>(r.b), r.ldb, r.beta,
-              static_cast<double*>(r.c), r.ldc);
+              w.decision, w.desc, r.alpha, static_cast<const double*>(r.a),
+              static_cast<const double*>(r.b), r.beta,
+              static_cast<double*>(r.c));
           break;
         case Kind::GemvF32:
           dispatcher_.run_gemv_cpu<float>(
-              w.decision, r.ta, r.m, r.n, static_cast<float>(r.alpha),
-              static_cast<const float*>(r.a), r.lda,
-              static_cast<const float*>(r.b), r.incx,
-              static_cast<float>(r.beta), static_cast<float*>(r.c),
-              r.incy);
+              w.decision, w.desc, static_cast<float>(r.alpha),
+              static_cast<const float*>(r.a),
+              static_cast<const float*>(r.b), static_cast<float>(r.beta),
+              static_cast<float*>(r.c));
           break;
         case Kind::GemvF64:
           dispatcher_.run_gemv_cpu<double>(
-              w.decision, r.ta, r.m, r.n, r.alpha,
-              static_cast<const double*>(r.a), r.lda,
-              static_cast<const double*>(r.b), r.incx, r.beta,
-              static_cast<double*>(r.c), r.incy);
+              w.decision, w.desc, r.alpha, static_cast<const double*>(r.a),
+              static_cast<const double*>(r.b), r.beta,
+              static_cast<double*>(r.c));
           break;
       }
       r.done.set_value();

@@ -96,7 +96,13 @@ class AdmissionQueue {
   void worker_loop();
   void drain_cycle(std::vector<Request>& batch);
 
+  /// Lower a queued request to the canonical operation descriptor the
+  /// dispatcher speaks (validates dims; stamps the transfer mode).
+  [[nodiscard]] core::OpDesc make_desc(const Request& r) const;
+
   /// True when the request qualifies for CPU-batched coalescing.
+  /// Transposed GEMMs coalesce like NN ones — blas::gemm_batched takes
+  /// the flags — so layout never disqualifies a group, only size does.
   [[nodiscard]] bool coalescible(const Request& r) const;
 
   Dispatcher& dispatcher_;

@@ -32,6 +32,12 @@ core::TransferMode parse_mode(const std::string& s) {
   throw util::JsonError("calibration: unknown transfer mode '" + s + "'");
 }
 
+blas::Transpose parse_transpose(const std::string& s) {
+  if (s == "N") return blas::Transpose::No;
+  if (s == "T") return blas::Transpose::Yes;
+  throw util::JsonError("calibration: unknown transpose '" + s + "'");
+}
+
 Route parse_route(const std::string& s) {
   if (s == "cpu") return Route::Cpu;
   if (s == "gpu") return Route::Gpu;
@@ -110,6 +116,8 @@ void save_calibration(std::ostream& out, const CalibrationData& data) {
     json.kv("precision", model::to_string(key.precision));
     json.kv("mode", core::to_string(key.mode));
     json.kv("bucket", key.bucket);
+    json.kv("ta", blas::to_string(key.trans_a));
+    json.kv("tb", blas::to_string(key.trans_b));
     write_estimate(json, "cpu", state.cpu);
     write_estimate(json, "gpu", state.gpu);
     json.kv("incumbent", to_string(state.incumbent));
@@ -166,6 +174,8 @@ LoadResult load_calibration(std::istream& in,
       key.precision = parse_precision(entry.at("precision").as_string());
       key.mode = parse_mode(entry.at("mode").as_string());
       key.bucket = static_cast<int>(entry.at("bucket").as_int());
+      key.trans_a = parse_transpose(entry.at("ta").as_string());
+      key.trans_b = parse_transpose(entry.at("tb").as_string());
       BucketState state;
       state.cpu = read_estimate(entry.at("cpu"));
       state.gpu = read_estimate(entry.at("gpu"));

@@ -25,7 +25,8 @@
 namespace blob::dispatch {
 
 /// Bump when the on-disk schema changes; older files are rejected.
-inline constexpr int kCalibrationVersion = 1;
+/// v2: bucket keys carry the transpose flags (ta/tb).
+inline constexpr int kCalibrationVersion = 2;
 
 /// Everything a warm restart needs.
 struct CalibrationData {

@@ -37,23 +37,16 @@ const char* to_string(Reason reason) {
   return "?";
 }
 
-core::Problem to_problem(const CallShape& shape) {
-  core::Problem p;
-  p.op = shape.op;
-  p.precision = shape.precision;
-  p.dims = {shape.m, shape.n, shape.op == core::KernelOp::Gemm ? shape.k : 1};
-  p.beta_zero = shape.beta_zero;
-  return p;
-}
-
-int size_bucket(const CallShape& shape) {
-  const double flops = core::problem_flops(to_problem(shape));
+int size_bucket(const core::OpDesc& desc) {
+  core::OpDesc item = desc;
+  item.batch = 1;  // bucket the per-call shape, not the coalescing
+  const double flops = core::problem_flops(item);
   return static_cast<int>(std::floor(std::log2(std::max(flops, 1.0))));
 }
 
-BucketKey bucket_key(const CallShape& shape) {
-  return BucketKey{shape.op, shape.precision, shape.mode,
-                   size_bucket(shape)};
+BucketKey bucket_key(const core::OpDesc& desc) {
+  return BucketKey{desc.op,          desc.precision, desc.mode,
+                   size_bucket(desc), desc.trans_a,  desc.trans_b};
 }
 
 DecisionTable::DecisionTable(DecisionTableConfig config)

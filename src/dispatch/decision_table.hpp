@@ -28,21 +28,27 @@
 namespace blob::dispatch {
 
 /// Decision-table key: (op, precision, transfer mode, log-scale size
-/// bucket). Ordered so the calibration store serialises deterministically.
+/// bucket, transposes). Transposed traffic learns its own estimates — a
+/// TN GEMM does not cost what an NN GEMM of the same FLOPs costs on
+/// either backend. Ordered so the calibration store serialises
+/// deterministically.
 struct BucketKey {
   core::KernelOp op = core::KernelOp::Gemm;
   model::Precision precision = model::Precision::F32;
   core::TransferMode mode = core::TransferMode::Once;
   int bucket = 0;
+  blas::Transpose trans_a = blas::Transpose::No;
+  blas::Transpose trans_b = blas::Transpose::No;
 
   auto operator<=>(const BucketKey&) const = default;
 };
 
-/// log2-of-FLOPs bucket of a call shape.
-int size_bucket(const CallShape& shape);
+/// log2-of-FLOPs bucket of one call (batch excluded — the bucket
+/// describes the per-call shape, not the coalescing around it).
+int size_bucket(const core::OpDesc& desc);
 
-/// Key for a call shape.
-BucketKey bucket_key(const CallShape& shape);
+/// Key for one call descriptor.
+BucketKey bucket_key(const core::OpDesc& desc);
 
 /// EWMA cost estimate for one backend within one bucket.
 struct RouteEstimate {
@@ -106,8 +112,8 @@ class DecisionTable {
 
   /// Pick the route for a call in `key`'s bucket. The bucket must exist
   /// (seed() first); `visits` is incremented. `gpu_available` = false
-  /// forces the CPU route without touching the incumbent (transposed or
-  /// strided shapes the simulated GPU does not accept).
+  /// forces the CPU route without touching the incumbent (layouts the
+  /// simulated GPU genuinely cannot take, e.g. strided GEMV vectors).
   Decision choose(const BucketKey& key, bool gpu_available = true);
 
   /// Fold a measured per-call cost into the bucket's estimate for the

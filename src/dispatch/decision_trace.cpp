@@ -104,6 +104,8 @@ void DecisionTrace::dump_json(std::ostream& out) const {
     json.kv("precision", model::to_string(r.precision));
     json.kv("mode", core::to_string(r.mode));
     json.kv("bucket", r.bucket);
+    json.kv("ta", blas::to_string(r.trans_a));
+    json.kv("tb", blas::to_string(r.trans_b));
     json.kv("m", r.m).kv("n", r.n).kv("k", r.k);
     json.kv("route", to_string(r.route));
     json.kv("reason", to_string(r.reason));

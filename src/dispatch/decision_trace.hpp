@@ -30,6 +30,8 @@ struct TraceRecord {
   model::Precision precision = model::Precision::F32;
   core::TransferMode mode = core::TransferMode::Once;
   int bucket = 0;
+  blas::Transpose trans_a = blas::Transpose::No;
+  blas::Transpose trans_b = blas::Transpose::No;
   std::int64_t m = 0, n = 0, k = 0;
   Route route = Route::Cpu;
   Reason reason = Reason::Exploit;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <type_traits>
 
 #include "blas/autotune.hpp"
 #include "blas/batched.hpp"
+#include "blas/half_gemm.hpp"
 #include "core/flops.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -15,19 +17,19 @@ namespace blob::dispatch {
 namespace {
 
 template <typename T>
-constexpr model::Precision precision_of() {
-  return sizeof(T) == 4 ? model::Precision::F32 : model::Precision::F64;
-}
+inline constexpr bool kIsHalf =
+    std::is_same_v<T, blas::f16> || std::is_same_v<T, blas::bf16>;
 
 /// Copy an ld-strided column-major matrix into a tight (ld == rows) one.
 template <typename T>
-void pack_dense(T* dst, const T* src, int ld, int rows, int cols) {
+void pack_dense(T* dst, const T* src, std::int64_t ld, std::int64_t rows,
+                std::int64_t cols) {
   if (ld == rows) {
     std::memcpy(dst, src, sizeof(T) * static_cast<std::size_t>(rows) *
                               static_cast<std::size_t>(cols));
     return;
   }
-  for (int j = 0; j < cols; ++j) {
+  for (std::int64_t j = 0; j < cols; ++j) {
     std::memcpy(dst + static_cast<std::size_t>(j) * rows,
                 src + static_cast<std::size_t>(j) * ld,
                 sizeof(T) * static_cast<std::size_t>(rows));
@@ -35,13 +37,14 @@ void pack_dense(T* dst, const T* src, int ld, int rows, int cols) {
 }
 
 template <typename T>
-void unpack_dense(T* dst, int ld, const T* src, int rows, int cols) {
+void unpack_dense(T* dst, std::int64_t ld, const T* src, std::int64_t rows,
+                  std::int64_t cols) {
   if (ld == rows) {
     std::memcpy(dst, src, sizeof(T) * static_cast<std::size_t>(rows) *
                               static_cast<std::size_t>(cols));
     return;
   }
-  for (int j = 0; j < cols; ++j) {
+  for (std::int64_t j = 0; j < cols; ++j) {
     std::memcpy(dst + static_cast<std::size_t>(j) * ld,
                 src + static_cast<std::size_t>(j) * rows,
                 sizeof(T) * static_cast<std::size_t>(rows));
@@ -137,66 +140,93 @@ void Dispatcher::uninstall() {
   installed_ = false;
 }
 
+bool Dispatcher::gpu_supported(const core::OpDesc& desc) {
+  if (desc.m <= 0 || desc.n <= 0) return false;
+  if (desc.op == core::KernelOp::Gemm) return desc.k > 0;
+  // GEMV: the device kernels take dense unit-stride vectors only; a
+  // strided x/y is the one layout that still forces the CPU route.
+  return desc.incx == 1 && desc.incy == 1;
+}
+
 // -- hook entry points -------------------------------------------------------
 
-bool Dispatcher::gemm(blas::Transpose ta, blas::Transpose tb, int m, int n,
-                      int k, float alpha, const float* a, int lda,
-                      const float* b, int ldb, float beta, float* c,
-                      int ldc) {
-  dispatch_gemm<float>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+bool Dispatcher::gemm(const core::OpDesc& desc, float alpha, const float* a,
+                      const float* b, float beta, float* c) {
+  dispatch_gemm<float, float>(desc, alpha, a, b, beta, c);
   return true;
 }
 
-bool Dispatcher::gemm(blas::Transpose ta, blas::Transpose tb, int m, int n,
-                      int k, double alpha, const double* a, int lda,
-                      const double* b, int ldb, double beta, double* c,
-                      int ldc) {
-  dispatch_gemm<double>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
-                        ldc);
+bool Dispatcher::gemm(const core::OpDesc& desc, double alpha, const double* a,
+                      const double* b, double beta, double* c) {
+  dispatch_gemm<double, double>(desc, alpha, a, b, beta, c);
   return true;
 }
 
-bool Dispatcher::gemv(blas::Transpose ta, int m, int n, float alpha,
-                      const float* a, int lda, const float* x, int incx,
-                      float beta, float* y, int incy) {
-  dispatch_gemv<float>(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+bool Dispatcher::gemv(const core::OpDesc& desc, float alpha, const float* a,
+                      const float* x, float beta, float* y) {
+  dispatch_gemv<float, float>(desc, alpha, a, x, beta, y);
   return true;
 }
 
-bool Dispatcher::gemv(blas::Transpose ta, int m, int n, double alpha,
-                      const double* a, int lda, const double* x, int incx,
-                      double beta, double* y, int incy) {
-  dispatch_gemv<double>(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+bool Dispatcher::gemv(const core::OpDesc& desc, double alpha, const double* a,
+                      const double* x, double beta, double* y) {
+  dispatch_gemv<double, double>(desc, alpha, a, x, beta, y);
   return true;
 }
 
-template <typename T>
-void Dispatcher::run_gemm(blas::Transpose ta, blas::Transpose tb, int m,
-                          int n, int k, T alpha, const T* a, int lda,
-                          const T* b, int ldb, T beta, T* c, int ldc) {
-  dispatch_gemm<T>(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+bool Dispatcher::gemm(const core::OpDesc& desc, float alpha,
+                      const blas::f16* a, const blas::f16* b, float beta,
+                      blas::f16* c) {
+  dispatch_gemm<blas::f16, float>(desc, alpha, a, b, beta, c);
+  return true;
 }
 
-template <typename T>
-void Dispatcher::run_gemv(blas::Transpose ta, int m, int n, T alpha,
-                          const T* a, int lda, const T* x, int incx, T beta,
-                          T* y, int incy) {
-  dispatch_gemv<T>(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+bool Dispatcher::gemm(const core::OpDesc& desc, float alpha,
+                      const blas::bf16* a, const blas::bf16* b, float beta,
+                      blas::bf16* c) {
+  dispatch_gemm<blas::bf16, float>(desc, alpha, a, b, beta, c);
+  return true;
+}
+
+bool Dispatcher::gemv(const core::OpDesc& desc, float alpha,
+                      const blas::f16* a, const blas::f16* x, float beta,
+                      blas::f16* y) {
+  dispatch_gemv<blas::f16, float>(desc, alpha, a, x, beta, y);
+  return true;
+}
+
+bool Dispatcher::gemv(const core::OpDesc& desc, float alpha,
+                      const blas::bf16* a, const blas::bf16* x, float beta,
+                      blas::bf16* y) {
+  dispatch_gemv<blas::bf16, float>(desc, alpha, a, x, beta, y);
+  return true;
+}
+
+template <typename T, typename S>
+void Dispatcher::run_gemm(const core::OpDesc& desc, S alpha, const T* a,
+                          const T* b, S beta, T* c) {
+  dispatch_gemm<T, S>(desc, alpha, a, b, beta, c);
+}
+
+template <typename T, typename S>
+void Dispatcher::run_gemv(const core::OpDesc& desc, S alpha, const T* a,
+                          const T* x, S beta, T* y) {
+  dispatch_gemv<T, S>(desc, alpha, a, x, beta, y);
 }
 
 // -- decision plumbing -------------------------------------------------------
 
-void Dispatcher::ensure_seeded(const BucketKey& key, const CallShape& shape) {
+void Dispatcher::ensure_seeded(const BucketKey& key,
+                               const core::OpDesc& desc) {
   if (table_.contains(key)) return;
-  const core::Advice advice =
-      advisor_.advise(to_problem(shape), /*iterations=*/1, shape.mode);
+  const core::Advice advice = advisor_.advise(desc, /*iterations=*/1);
   table_.seed(key, advice.cpu_seconds, advice.gpu_seconds);
 }
 
-Decision Dispatcher::plan_locked(const CallShape& shape, bool gpu_ok) {
+Decision Dispatcher::plan_locked(const core::OpDesc& desc, bool gpu_ok) {
   obs::Span span("dispatch.decide", obs::Category::Dispatch);
-  const BucketKey key = bucket_key(shape);
-  ensure_seeded(key, shape);
+  const BucketKey key = bucket_key(desc);
+  ensure_seeded(key, desc);
   const Route before = table_.find(key)->incumbent;
   const Decision decision = table_.choose(key, gpu_ok);
   if (table_.find(key)->incumbent != before) {
@@ -206,35 +236,37 @@ Decision Dispatcher::plan_locked(const CallShape& shape, bool gpu_ok) {
   return decision;
 }
 
-Decision Dispatcher::plan(const CallShape& shape, bool gpu_ok) {
+Decision Dispatcher::plan(const core::OpDesc& desc, bool gpu_ok) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return plan_locked(shape, gpu_ok);
+  return plan_locked(desc, gpu_ok);
 }
 
-double Dispatcher::cpu_cost(const CallShape& shape) const {
-  return model_.cpu_time(to_problem(shape), /*iterations=*/1);
+double Dispatcher::cpu_cost(const core::OpDesc& desc) const {
+  core::OpDesc item = desc;
+  item.batch = 1;  // per-call cost; coalescing is charged separately
+  return model_.cpu_time(item, /*iterations=*/1);
 }
 
-double Dispatcher::noise_factor(const CallShape& shape, Route route,
+double Dispatcher::noise_factor(const core::OpDesc& desc, Route route,
                                 std::uint64_t seq) const {
   // The model's noise is deterministic per sample identity; salting with
   // the call sequence number makes successive calls of the same shape see
   // different (but reproducible) factors — what the EWMA + hysteresis
   // machinery is there to absorb.
   return noise_.factor(config_.profile.name, route_noise_tag(route),
-                       shape.precision, shape.m, shape.n, shape.k,
+                       desc.precision, desc.m, desc.n, desc.k,
                        static_cast<std::int64_t>(seq));
 }
 
-void Dispatcher::account_and_observe(const CallShape& shape,
+void Dispatcher::account_and_observe(const core::OpDesc& desc,
                                      const BucketKey& key,
                                      const Decision& decision, double cost_s,
                                      int batch) {
   const std::uint64_t seq = seq_++;
   const auto b = static_cast<std::uint64_t>(batch);
   counters_.calls.fetch_add(b, std::memory_order_relaxed);
-  (shape.op == core::KernelOp::Gemm ? counters_.gemm_calls
-                                    : counters_.gemv_calls)
+  (desc.op == core::KernelOp::Gemm ? counters_.gemm_calls
+                                   : counters_.gemv_calls)
       .fetch_add(b, std::memory_order_relaxed);
 
   switch (decision.route) {
@@ -257,18 +289,20 @@ void Dispatcher::account_and_observe(const CallShape& shape,
   // learns the amortised cost — that IS the cost of the CPU route while
   // coalescing is on.
   const double per_call = cost_s / static_cast<double>(batch);
-  const double observed = per_call * noise_factor(shape, decision.route, seq);
+  const double observed = per_call * noise_factor(desc, decision.route, seq);
   table_.observe(key, decision.route, observed);
 
   TraceRecord rec;
   rec.seq = seq;
-  rec.op = shape.op;
-  rec.precision = shape.precision;
-  rec.mode = shape.mode;
+  rec.op = desc.op;
+  rec.precision = desc.precision;
+  rec.mode = desc.mode;
   rec.bucket = key.bucket;
-  rec.m = shape.m;
-  rec.n = shape.n;
-  rec.k = shape.k;
+  rec.trans_a = desc.trans_a;
+  rec.trans_b = desc.trans_b;
+  rec.m = desc.m;
+  rec.n = desc.n;
+  rec.k = desc.k;
   rec.route = decision.route;
   rec.reason = decision.reason;
   rec.cpu_est_s = decision.cpu_est_s;
@@ -300,135 +334,128 @@ void Dispatcher::account_and_observe(const CallShape& shape,
   }
 }
 
+// -- CPU-side execution ------------------------------------------------------
+
+template <typename T, typename S>
+void Dispatcher::cpu_exec_gemm(const core::OpDesc& desc, S alpha, const T* a,
+                               const T* b, S beta, T* c) {
+  const auto m = static_cast<int>(desc.m);
+  const auto n = static_cast<int>(desc.n);
+  const auto k = static_cast<int>(desc.k);
+  if constexpr (kIsHalf<T>) {
+    blas::hgemm<T>(desc.trans_a, desc.trans_b, m, n, k, alpha, a,
+                   static_cast<int>(desc.lda), b, static_cast<int>(desc.ldb),
+                   beta, c, static_cast<int>(desc.ldc), cpu_->pool(),
+                   cpu_->max_threads());
+  } else {
+    cpu_->do_gemm(desc.trans_a, desc.trans_b, m, n, k, alpha, a,
+                  static_cast<int>(desc.lda), b, static_cast<int>(desc.ldb),
+                  beta, c, static_cast<int>(desc.ldc));
+  }
+}
+
+template <typename T, typename S>
+void Dispatcher::cpu_exec_gemv(const core::OpDesc& desc, S alpha, const T* a,
+                               const T* x, S beta, T* y) {
+  const auto m = static_cast<int>(desc.m);
+  const auto n = static_cast<int>(desc.n);
+  if constexpr (kIsHalf<T>) {
+    blas::hgemv<T>(desc.trans_a, m, n, alpha, a,
+                   static_cast<int>(desc.lda), x, beta, y);
+  } else {
+    cpu_->do_gemv(desc.trans_a, m, n, alpha, a, static_cast<int>(desc.lda),
+                  x, static_cast<int>(desc.incx), beta, y,
+                  static_cast<int>(desc.incy));
+  }
+}
+
 // -- synchronous dispatch ----------------------------------------------------
 
-template <typename T>
-void Dispatcher::dispatch_gemm(blas::Transpose ta, blas::Transpose tb, int m,
-                               int n, int k, T alpha, const T* a, int lda,
-                               const T* b, int ldb, T beta, T* c, int ldc) {
+template <typename T, typename S>
+void Dispatcher::dispatch_gemm(core::OpDesc desc, S alpha, const T* a,
+                               const T* b, S beta, T* c) {
   obs::Span span("dispatch.gemm", obs::Category::Dispatch);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (m <= 0 || n <= 0) return;  // nothing to update
-  CallShape shape;
-  shape.op = core::KernelOp::Gemm;
-  shape.precision = precision_of<T>();
-  shape.m = m;
-  shape.n = n;
-  shape.k = std::max(k, 1);
-  shape.beta_zero = beta == T(0);
-  shape.mode = config_.mode;
-  // The simulated GPU kernels are no-transpose only (GPU-BLOB's
-  // configuration), so transposed shapes stay on the CPU.
-  const bool gpu_ok =
-      ta == blas::Transpose::No && tb == blas::Transpose::No && k > 0;
-  const BucketKey key = bucket_key(shape);
-  const Decision decision = plan_locked(shape, gpu_ok);
-  if (decision.route == Route::Gpu) {
-    GpuJob job = enqueue_gemm_gpu_locked<T>(decision, m, n, k, alpha, a, lda,
-                                            b, ldb, beta, c, ldc);
-    finish_gpu_job_locked(job, /*overlapped=*/false);
-  } else {
-    cpu_->do_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-    account_and_observe(shape, key, decision, cpu_cost(shape), 1);
-  }
-}
-
-template <typename T>
-void Dispatcher::dispatch_gemv(blas::Transpose ta, int m, int n, T alpha,
-                               const T* a, int lda, const T* x, int incx,
-                               T beta, T* y, int incy) {
-  obs::Span span("dispatch.gemv", obs::Category::Dispatch);
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (m <= 0 || n <= 0) return;
-  CallShape shape;
-  shape.op = core::KernelOp::Gemv;
-  shape.precision = precision_of<T>();
-  shape.m = m;
-  shape.n = n;
-  shape.k = 1;
-  shape.beta_zero = beta == T(0);
-  shape.mode = config_.mode;
-  // No-transpose, unit-stride only on the simulated device.
-  const bool gpu_ok = ta == blas::Transpose::No && incx == 1 && incy == 1;
-  const BucketKey key = bucket_key(shape);
-  const Decision decision = plan_locked(shape, gpu_ok);
+  if (desc.m <= 0 || desc.n <= 0) return;  // nothing to update
+  desc.mode = config_.mode;
+  const bool gpu_ok = gpu_supported(desc);
+  const BucketKey key = bucket_key(desc);
+  const Decision decision = plan_locked(desc, gpu_ok);
   if (decision.route == Route::Gpu) {
     GpuJob job =
-        enqueue_gemv_gpu_locked<T>(decision, m, n, alpha, a, lda, x, beta, y);
+        enqueue_gemm_gpu_locked<T, S>(decision, desc, alpha, a, b, beta, c);
     finish_gpu_job_locked(job, /*overlapped=*/false);
   } else {
-    cpu_->do_gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
-    account_and_observe(shape, key, decision, cpu_cost(shape), 1);
+    cpu_exec_gemm<T, S>(desc, alpha, a, b, beta, c);
+    account_and_observe(desc, key, decision, cpu_cost(desc), 1);
   }
 }
 
-template <typename T>
-void Dispatcher::run_gemm_cpu(const Decision& decision, blas::Transpose ta,
-                              blas::Transpose tb, int m, int n, int k,
-                              T alpha, const T* a, int lda, const T* b,
-                              int ldb, T beta, T* c, int ldc) {
+template <typename T, typename S>
+void Dispatcher::dispatch_gemv(core::OpDesc desc, S alpha, const T* a,
+                               const T* x, S beta, T* y) {
+  obs::Span span("dispatch.gemv", obs::Category::Dispatch);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (m <= 0 || n <= 0) return;
-  CallShape shape;
-  shape.op = core::KernelOp::Gemm;
-  shape.precision = precision_of<T>();
-  shape.m = m;
-  shape.n = n;
-  shape.k = std::max(k, 1);
-  shape.beta_zero = beta == T(0);
-  shape.mode = config_.mode;
-  const BucketKey key = bucket_key(shape);
-  ensure_seeded(key, shape);
-  cpu_->do_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
-  account_and_observe(shape, key, decision, cpu_cost(shape), 1);
+  if (desc.m <= 0 || desc.n <= 0) return;
+  desc.mode = config_.mode;
+  const bool gpu_ok = gpu_supported(desc);
+  const BucketKey key = bucket_key(desc);
+  const Decision decision = plan_locked(desc, gpu_ok);
+  if (decision.route == Route::Gpu) {
+    GpuJob job =
+        enqueue_gemv_gpu_locked<T, S>(decision, desc, alpha, a, x, beta, y);
+    finish_gpu_job_locked(job, /*overlapped=*/false);
+  } else {
+    cpu_exec_gemv<T, S>(desc, alpha, a, x, beta, y);
+    account_and_observe(desc, key, decision, cpu_cost(desc), 1);
+  }
+}
+
+template <typename T, typename S>
+void Dispatcher::run_gemm_cpu(const Decision& decision,
+                              const core::OpDesc& desc, S alpha, const T* a,
+                              const T* b, S beta, T* c) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (desc.m <= 0 || desc.n <= 0) return;
+  const BucketKey key = bucket_key(desc);
+  ensure_seeded(key, desc);
+  cpu_exec_gemm<T, S>(desc, alpha, a, b, beta, c);
+  account_and_observe(desc, key, decision, cpu_cost(desc), 1);
+}
+
+template <typename T, typename S>
+void Dispatcher::run_gemv_cpu(const Decision& decision,
+                              const core::OpDesc& desc, S alpha, const T* a,
+                              const T* x, S beta, T* y) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (desc.m <= 0 || desc.n <= 0) return;
+  const BucketKey key = bucket_key(desc);
+  ensure_seeded(key, desc);
+  cpu_exec_gemv<T, S>(desc, alpha, a, x, beta, y);
+  account_and_observe(desc, key, decision, cpu_cost(desc), 1);
 }
 
 template <typename T>
-void Dispatcher::run_gemv_cpu(const Decision& decision, blas::Transpose ta,
-                              int m, int n, T alpha, const T* a, int lda,
-                              const T* x, int incx, T beta, T* y, int incy) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (m <= 0 || n <= 0) return;
-  CallShape shape;
-  shape.op = core::KernelOp::Gemv;
-  shape.precision = precision_of<T>();
-  shape.m = m;
-  shape.n = n;
-  shape.k = 1;
-  shape.beta_zero = beta == T(0);
-  shape.mode = config_.mode;
-  const BucketKey key = bucket_key(shape);
-  ensure_seeded(key, shape);
-  cpu_->do_gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
-  account_and_observe(shape, key, decision, cpu_cost(shape), 1);
-}
-
-template <typename T>
-void Dispatcher::run_gemm_coalesced(int m, int n, int k, T alpha,
-                                    const T* const* a, int lda,
-                                    const T* const* b, int ldb, T beta,
-                                    T* const* c, int ldc, int batch) {
+void Dispatcher::run_gemm_coalesced(const core::OpDesc& desc, T alpha,
+                                    const T* const* a, const T* const* b,
+                                    T beta, T* const* c, int batch) {
   obs::Span span("dispatch.coalesced_batch", obs::Category::Dispatch);
   std::lock_guard<std::mutex> lock(mutex_);
-  if (m <= 0 || n <= 0 || batch <= 0) return;
-  CallShape shape;
-  shape.op = core::KernelOp::Gemm;
-  shape.precision = precision_of<T>();
-  shape.m = m;
-  shape.n = n;
-  shape.k = std::max(k, 1);
-  shape.beta_zero = beta == T(0);
-  shape.mode = config_.mode;
-  const BucketKey key = bucket_key(shape);
-  ensure_seeded(key, shape);
+  if (desc.m <= 0 || desc.n <= 0 || batch <= 0) return;
+  const BucketKey key = bucket_key(desc);
+  ensure_seeded(key, desc);
 
-  blas::gemm_batched<T>(blas::Transpose::No, blas::Transpose::No, m, n, k,
-                        alpha, a, lda, b, ldb, beta, c, ldc, batch,
-                        cpu_->pool(), cpu_->max_threads());
+  blas::gemm_batched<T>(desc.trans_a, desc.trans_b,
+                        static_cast<int>(desc.m), static_cast<int>(desc.n),
+                        static_cast<int>(desc.k), alpha, a,
+                        static_cast<int>(desc.lda), b,
+                        static_cast<int>(desc.ldb), beta, c,
+                        static_cast<int>(desc.ldc), batch, cpu_->pool(),
+                        cpu_->max_threads());
 
-  core::Problem problem = to_problem(shape);
-  problem.batch = batch;
-  const double cost = model_.cpu_time(problem, /*iterations=*/1);
+  core::OpDesc batched = desc;
+  batched.batch = batch;
+  const double cost = model_.cpu_time(batched, /*iterations=*/1);
 
   Decision decision;
   decision.route = Route::CpuBatched;
@@ -437,44 +464,49 @@ void Dispatcher::run_gemm_coalesced(int m, int n, int k, T alpha,
     decision.cpu_est_s = state->cpu.ewma_s;
     decision.gpu_est_s = state->gpu.ewma_s;
   }
-  account_and_observe(shape, key, decision, cost, batch);
+  account_and_observe(desc, key, decision, cost, batch);
 }
 
 // -- GPU path ----------------------------------------------------------------
 
-template <typename T>
+template <typename T, typename S>
 Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu_locked(
-    const Decision& decision, int m, int n, int k, T alpha, const T* a,
-    int lda, const T* b, int ldb, T beta, T* c, int ldc) {
+    const Decision& decision, const core::OpDesc& desc, S alpha, const T* a,
+    const T* b, S beta, T* c) {
   obs::Span span("dispatch.gpu_enqueue", obs::Category::Dispatch);
   GpuJob job;
   job.active = true;
   job.decision = decision;
-  job.shape.op = core::KernelOp::Gemm;
-  job.shape.precision = precision_of<T>();
-  job.shape.m = m;
-  job.shape.n = n;
-  job.shape.k = k;
-  job.shape.beta_zero = beta == T(0);
-  job.shape.mode = config_.mode;
-  job.key = bucket_key(job.shape);
+  job.desc = desc;
+  job.key = bucket_key(desc);
 
   sim::Stream& s = gpu_stream_;
   job.submit_floor = std::max(s.tail(), device_.now());
 
+  // Operands are staged tightly in their STORED shapes — the device
+  // kernels consume the same layouts the transposes describe.
   const std::size_t es = sizeof(T);
-  const auto ab = es * static_cast<std::size_t>(m) * static_cast<std::size_t>(k);
-  const auto bb = es * static_cast<std::size_t>(k) * static_cast<std::size_t>(n);
-  const auto cb = es * static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+  const auto rows_a = desc.rows_a();
+  const auto cols_a = desc.cols_a();
+  const auto rows_b = desc.rows_b();
+  const auto cols_b = desc.cols_b();
+  const auto m = desc.m;
+  const auto n = desc.n;
+  const auto ab = es * static_cast<std::size_t>(rows_a) *
+                  static_cast<std::size_t>(cols_a);
+  const auto bb = es * static_cast<std::size_t>(rows_b) *
+                  static_cast<std::size_t>(cols_b);
+  const auto cb =
+      es * static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
 
   sim::Buffer ha = device_.alloc_host(ab);
   sim::Buffer hb = device_.alloc_host(bb);
   sim::Buffer hc = device_.alloc_host(cb);
-  pack_dense(ha.as<T>(), a, lda, m, k);
-  pack_dense(hb.as<T>(), b, ldb, k, n);
+  pack_dense(ha.as<T>(), a, desc.lda, rows_a, cols_a);
+  pack_dense(hb.as<T>(), b, desc.ldb, rows_b, cols_b);
   // GPU-BLOB uploads all three structures (paper §III-B2), so C crosses
   // the link even when beta == 0 — matching the analytic cost exactly.
-  pack_dense(hc.as<T>(), c, ldc, m, n);
+  pack_dense(hc.as<T>(), c, desc.ldc, m, n);
 
   sim::Buffer da = device_.alloc_device(ab);
   sim::Buffer db = device_.alloc_device(bb);
@@ -482,13 +514,17 @@ Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu_locked(
   device_.memcpy_h2d_async(s, da, ha, ab);
   device_.memcpy_h2d_async(s, db, hb, bb);
   device_.memcpy_h2d_async(s, dc, hc, cb);
-  device_.gemm<T>(m, n, k, alpha, da, m, db, k, beta, dc, m, &s);
+  device_.gemm<T>(desc.trans_a, desc.trans_b, static_cast<int>(m),
+                  static_cast<int>(n), static_cast<int>(desc.k), alpha, da,
+                  static_cast<int>(rows_a), db, static_cast<int>(rows_b),
+                  beta, dc, static_cast<int>(m), &s);
   device_.memcpy_d2h_async(s, hc, dc, cb);
   job.done = s.tail();
 
   // Buffer storage addresses are stable across Buffer moves, so the raw
   // pointer captured here stays valid inside job.buffers.
   T* staged = hc.as<T>();
+  const std::int64_t ldc = desc.ldc;
   job.unpack = [staged, c, ldc, m, n]() {
     unpack_dense(c, ldc, staged, m, n);
   };
@@ -502,35 +538,32 @@ Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu_locked(
   return job;
 }
 
-template <typename T>
+template <typename T, typename S>
 Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu_locked(
-    const Decision& decision, int m, int n, T alpha, const T* a, int lda,
-    const T* x, T beta, T* y) {
+    const Decision& decision, const core::OpDesc& desc, S alpha, const T* a,
+    const T* x, S beta, T* y) {
   obs::Span span("dispatch.gpu_enqueue", obs::Category::Dispatch);
   GpuJob job;
   job.active = true;
   job.decision = decision;
-  job.shape.op = core::KernelOp::Gemv;
-  job.shape.precision = precision_of<T>();
-  job.shape.m = m;
-  job.shape.n = n;
-  job.shape.k = 1;
-  job.shape.beta_zero = beta == T(0);
-  job.shape.mode = config_.mode;
-  job.key = bucket_key(job.shape);
+  job.desc = desc;
+  job.key = bucket_key(desc);
 
   sim::Stream& s = gpu_stream_;
   job.submit_floor = std::max(s.tail(), device_.now());
 
   const std::size_t es = sizeof(T);
-  const auto ab = es * static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
-  const auto xb = es * static_cast<std::size_t>(n);
-  const auto yb = es * static_cast<std::size_t>(m);
+  const auto m = desc.m;
+  const auto n = desc.n;
+  const auto ab =
+      es * static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+  const auto xb = es * static_cast<std::size_t>(desc.x_len());
+  const auto yb = es * static_cast<std::size_t>(desc.y_len());
 
   sim::Buffer ha = device_.alloc_host(ab);
   sim::Buffer hx = device_.alloc_host(xb);
   sim::Buffer hy = device_.alloc_host(yb);
-  pack_dense(ha.as<T>(), a, lda, m, n);
+  pack_dense(ha.as<T>(), a, desc.lda, m, n);
   std::memcpy(hx.data(), x, xb);
   std::memcpy(hy.data(), y, yb);
 
@@ -540,7 +573,8 @@ Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu_locked(
   device_.memcpy_h2d_async(s, da, ha, ab);
   device_.memcpy_h2d_async(s, dx, hx, xb);
   device_.memcpy_h2d_async(s, dy, hy, yb);
-  device_.gemv<T>(m, n, alpha, da, m, dx, beta, dy, &s);
+  device_.gemv<T>(desc.trans_a, static_cast<int>(m), static_cast<int>(n),
+                  alpha, da, static_cast<int>(m), dx, beta, dy, &s);
   device_.memcpy_d2h_async(s, hy, dy, yb);
   job.done = s.tail();
 
@@ -556,25 +590,22 @@ Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu_locked(
   return job;
 }
 
-template <typename T>
+template <typename T, typename S>
 Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu(const Decision& decision,
-                                                int m, int n, int k, T alpha,
-                                                const T* a, int lda,
-                                                const T* b, int ldb, T beta,
-                                                T* c, int ldc) {
+                                                const core::OpDesc& desc,
+                                                S alpha, const T* a,
+                                                const T* b, S beta, T* c) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return enqueue_gemm_gpu_locked<T>(decision, m, n, k, alpha, a, lda, b, ldb,
-                                    beta, c, ldc);
+  return enqueue_gemm_gpu_locked<T, S>(decision, desc, alpha, a, b, beta, c);
 }
 
-template <typename T>
+template <typename T, typename S>
 Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu(const Decision& decision,
-                                                int m, int n, T alpha,
-                                                const T* a, int lda,
-                                                const T* x, T beta, T* y) {
+                                                const core::OpDesc& desc,
+                                                S alpha, const T* a,
+                                                const T* x, S beta, T* y) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return enqueue_gemv_gpu_locked<T>(decision, m, n, alpha, a, lda, x, beta,
-                                    y);
+  return enqueue_gemv_gpu_locked<T, S>(decision, desc, alpha, a, x, beta, y);
 }
 
 void Dispatcher::finish_gpu_job_locked(GpuJob& job, bool overlapped) {
@@ -590,7 +621,7 @@ void Dispatcher::finish_gpu_job_locked(GpuJob& job, bool overlapped) {
     counters_.overlapped_gpu_calls.fetch_add(1, std::memory_order_relaxed);
   }
   const double cost = job.done - job.submit_floor;
-  account_and_observe(job.shape, job.key, job.decision, cost, 1);
+  account_and_observe(job.desc, job.key, job.decision, cost, 1);
   job.buffers.clear();
   job.unpack = nullptr;
   job.active = false;
@@ -603,19 +634,21 @@ void Dispatcher::finish_gpu_job(GpuJob& job, bool overlapped) {
 
 // -- cost oracle -------------------------------------------------------------
 
-Dispatcher::Costs Dispatcher::modelled_costs(const CallShape& shape) const {
+Dispatcher::Costs Dispatcher::modelled_costs(const core::OpDesc& desc) const {
   std::lock_guard<std::mutex> lock(mutex_);
   Costs costs;
-  costs.cpu_s = cpu_cost(shape);
-  const auto gpu =
-      model_.gpu_time(to_problem(shape), /*iterations=*/1, shape.mode);
-  costs.gpu_s =
-      gpu.value_or(std::numeric_limits<double>::infinity());
+  costs.cpu_s = cpu_cost(desc);
+  if (gpu_supported(desc)) {
+    const auto gpu = model_.gpu_time(desc, /*iterations=*/1);
+    costs.gpu_s = gpu.value_or(std::numeric_limits<double>::infinity());
+  } else {
+    costs.gpu_s = std::numeric_limits<double>::infinity();
+  }
   return costs;
 }
 
-Route Dispatcher::oracle_route(const CallShape& shape) const {
-  const Costs costs = modelled_costs(shape);
+Route Dispatcher::oracle_route(const core::OpDesc& desc) const {
+  const Costs costs = modelled_costs(desc);
   return costs.gpu_s < costs.cpu_s ? Route::Gpu : Route::Cpu;
 }
 
@@ -657,58 +690,77 @@ LoadStatus Dispatcher::load_calibration(const std::string& path) {
 
 // -- explicit instantiations -------------------------------------------------
 
-template void Dispatcher::run_gemm<float>(blas::Transpose, blas::Transpose,
-                                          int, int, int, float, const float*,
-                                          int, const float*, int, float,
-                                          float*, int);
-template void Dispatcher::run_gemm<double>(blas::Transpose, blas::Transpose,
-                                           int, int, int, double,
-                                           const double*, int, const double*,
-                                           int, double, double*, int);
-template void Dispatcher::run_gemv<float>(blas::Transpose, int, int, float,
-                                          const float*, int, const float*,
-                                          int, float, float*, int);
-template void Dispatcher::run_gemv<double>(blas::Transpose, int, int, double,
-                                           const double*, int, const double*,
-                                           int, double, double*, int);
-template void Dispatcher::run_gemm_cpu<float>(const Decision&,
-                                              blas::Transpose,
-                                              blas::Transpose, int, int, int,
-                                              float, const float*, int,
-                                              const float*, int, float,
-                                              float*, int);
-template void Dispatcher::run_gemm_cpu<double>(
-    const Decision&, blas::Transpose, blas::Transpose, int, int, int, double,
-    const double*, int, const double*, int, double, double*, int);
-template void Dispatcher::run_gemv_cpu<float>(const Decision&,
-                                              blas::Transpose, int, int,
-                                              float, const float*, int,
-                                              const float*, int, float,
-                                              float*, int);
-template void Dispatcher::run_gemv_cpu<double>(const Decision&,
-                                               blas::Transpose, int, int,
-                                               double, const double*, int,
-                                               const double*, int, double,
-                                               double*, int);
-template void Dispatcher::run_gemm_coalesced<float>(int, int, int, float,
-                                                    const float* const*, int,
-                                                    const float* const*, int,
-                                                    float, float* const*, int,
+template void Dispatcher::run_gemm<float, float>(const core::OpDesc&, float,
+                                                 const float*, const float*,
+                                                 float, float*);
+template void Dispatcher::run_gemm<double, double>(const core::OpDesc&,
+                                                   double, const double*,
+                                                   const double*, double,
+                                                   double*);
+template void Dispatcher::run_gemm<blas::f16, float>(const core::OpDesc&,
+                                                     float, const blas::f16*,
+                                                     const blas::f16*, float,
+                                                     blas::f16*);
+template void Dispatcher::run_gemm<blas::bf16, float>(
+    const core::OpDesc&, float, const blas::bf16*, const blas::bf16*, float,
+    blas::bf16*);
+template void Dispatcher::run_gemv<float, float>(const core::OpDesc&, float,
+                                                 const float*, const float*,
+                                                 float, float*);
+template void Dispatcher::run_gemv<double, double>(const core::OpDesc&,
+                                                   double, const double*,
+                                                   const double*, double,
+                                                   double*);
+template void Dispatcher::run_gemv<blas::f16, float>(const core::OpDesc&,
+                                                     float, const blas::f16*,
+                                                     const blas::f16*, float,
+                                                     blas::f16*);
+template void Dispatcher::run_gemv<blas::bf16, float>(
+    const core::OpDesc&, float, const blas::bf16*, const blas::bf16*, float,
+    blas::bf16*);
+template void Dispatcher::run_gemm_cpu<float, float>(const Decision&,
+                                                     const core::OpDesc&,
+                                                     float, const float*,
+                                                     const float*, float,
+                                                     float*);
+template void Dispatcher::run_gemm_cpu<double, double>(const Decision&,
+                                                       const core::OpDesc&,
+                                                       double, const double*,
+                                                       const double*, double,
+                                                       double*);
+template void Dispatcher::run_gemv_cpu<float, float>(const Decision&,
+                                                     const core::OpDesc&,
+                                                     float, const float*,
+                                                     const float*, float,
+                                                     float*);
+template void Dispatcher::run_gemv_cpu<double, double>(const Decision&,
+                                                       const core::OpDesc&,
+                                                       double, const double*,
+                                                       const double*, double,
+                                                       double*);
+template void Dispatcher::run_gemm_coalesced<float>(const core::OpDesc&,
+                                                    float,
+                                                    const float* const*,
+                                                    const float* const*,
+                                                    float, float* const*,
                                                     int);
-template void Dispatcher::run_gemm_coalesced<double>(
-    int, int, int, double, const double* const*, int, const double* const*,
-    int, double, double* const*, int, int);
-template Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu<float>(
-    const Decision&, int, int, int, float, const float*, int, const float*,
-    int, float, float*, int);
-template Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu<double>(
-    const Decision&, int, int, int, double, const double*, int,
-    const double*, int, double, double*, int);
-template Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu<float>(
-    const Decision&, int, int, float, const float*, int, const float*, float,
-    float*);
-template Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu<double>(
-    const Decision&, int, int, double, const double*, int, const double*,
-    double, double*);
+template void Dispatcher::run_gemm_coalesced<double>(const core::OpDesc&,
+                                                     double,
+                                                     const double* const*,
+                                                     const double* const*,
+                                                     double, double* const*,
+                                                     int);
+template Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu<float, float>(
+    const Decision&, const core::OpDesc&, float, const float*, const float*,
+    float, float*);
+template Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu<double, double>(
+    const Decision&, const core::OpDesc&, double, const double*,
+    const double*, double, double*);
+template Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu<float, float>(
+    const Decision&, const core::OpDesc&, float, const float*, const float*,
+    float, float*);
+template Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu<double, double>(
+    const Decision&, const core::OpDesc&, double, const double*,
+    const double*, double, double*);
 
 }  // namespace blob::dispatch

@@ -2,14 +2,20 @@
 // The online offload dispatcher.
 //
 // Installed as the cblas dispatch hook, the Dispatcher routes every live
-// GEMM/GEMV to the CPU library or the simulated GPU using the
-// shape-bucketed decision table. Costs are accounted in MODELLED seconds
-// on both sides — the CPU route is charged the profile's CpuModel
-// prediction, the GPU route the virtual-time span its ops occupy on a
-// dedicated SimGpu stream — so routing decisions compare like with like
-// and are reproducible regardless of host load. Execution is still real:
-// CPU calls run the optimized blas kernels, GPU calls run numerically
-// through the SimGpu device, so results are bit-correct either way.
+// GEMM/GEMV — any precision, transposed or not — to the CPU library or
+// the simulated GPU using the shape-bucketed decision table. Costs are
+// accounted in MODELLED seconds on both sides — the CPU route is charged
+// the profile's CpuModel prediction, the GPU route the virtual-time span
+// its ops occupy on a dedicated SimGpu stream — so routing decisions
+// compare like with like and are reproducible regardless of host load.
+// Execution is still real: CPU calls run the optimized blas kernels, GPU
+// calls run numerically through the SimGpu device, so results are
+// bit-correct either way.
+//
+// Every call arrives as (and is keyed by) a core::OpDesc — the same
+// descriptor the cblas seam built from the raw arguments. Transposed
+// shapes are first-class on the GPU path; Reason::Forced survives only
+// for layouts the device genuinely cannot take (strided GEMV vectors).
 //
 // Learning loop per call: seed the bucket from OffloadAdvisor predictions
 // on first sight, choose a route (epsilon-greedy + hysteresis), execute,
@@ -79,49 +85,56 @@ class Dispatcher final : public blas::CblasDispatchHook {
   void install();
   void uninstall();
 
+  /// Can the simulated GPU take this layout at all? True for every GEMM
+  /// (transposes included) with positive dims; GEMV additionally needs
+  /// unit vector strides. False routes are recorded Reason::Forced.
+  [[nodiscard]] static bool gpu_supported(const core::OpDesc& desc);
+
   // -- CblasDispatchHook (return true = call handled) ----------------------
-  bool gemm(blas::Transpose ta, blas::Transpose tb, int m, int n, int k,
-            float alpha, const float* a, int lda, const float* b, int ldb,
-            float beta, float* c, int ldc) override;
-  bool gemm(blas::Transpose ta, blas::Transpose tb, int m, int n, int k,
-            double alpha, const double* a, int lda, const double* b, int ldb,
-            double beta, double* c, int ldc) override;
-  bool gemv(blas::Transpose ta, int m, int n, float alpha, const float* a,
-            int lda, const float* x, int incx, float beta, float* y,
-            int incy) override;
-  bool gemv(blas::Transpose ta, int m, int n, double alpha, const double* a,
-            int lda, const double* x, int incx, double beta, double* y,
-            int incy) override;
+  bool gemm(const core::OpDesc& desc, float alpha, const float* a,
+            const float* b, float beta, float* c) override;
+  bool gemm(const core::OpDesc& desc, double alpha, const double* a,
+            const double* b, double beta, double* c) override;
+  bool gemv(const core::OpDesc& desc, float alpha, const float* a,
+            const float* x, float beta, float* y) override;
+  bool gemv(const core::OpDesc& desc, double alpha, const double* a,
+            const double* x, double beta, double* y) override;
+  bool gemm(const core::OpDesc& desc, float alpha, const blas::f16* a,
+            const blas::f16* b, float beta, blas::f16* c) override;
+  bool gemm(const core::OpDesc& desc, float alpha, const blas::bf16* a,
+            const blas::bf16* b, float beta, blas::bf16* c) override;
+  bool gemv(const core::OpDesc& desc, float alpha, const blas::f16* a,
+            const blas::f16* x, float beta, blas::f16* y) override;
+  bool gemv(const core::OpDesc& desc, float alpha, const blas::bf16* a,
+            const blas::bf16* x, float beta, blas::bf16* y) override;
 
   // -- direct typed entry points (used by the admission queue) -------------
-  template <typename T>
-  void run_gemm(blas::Transpose ta, blas::Transpose tb, int m, int n, int k,
-                T alpha, const T* a, int lda, const T* b, int ldb, T beta,
-                T* c, int ldc);
-  template <typename T>
-  void run_gemv(blas::Transpose ta, int m, int n, T alpha, const T* a,
-                int lda, const T* x, int incx, T beta, T* y, int incy);
+  // S is the scalar type: T for f32/f64, float for f16/bf16.
+  template <typename T, typename S>
+  void run_gemm(const core::OpDesc& desc, S alpha, const T* a, const T* b,
+                S beta, T* c);
+  template <typename T, typename S>
+  void run_gemv(const core::OpDesc& desc, S alpha, const T* a, const T* x,
+                S beta, T* y);
 
   /// Execute a call on the CPU under a decision already made by plan()
   /// (the admission queue plans first to learn which calls can overlap
   /// with GPU work, then executes). Accounts + observes like dispatch.
-  template <typename T>
-  void run_gemm_cpu(const Decision& decision, blas::Transpose ta,
-                    blas::Transpose tb, int m, int n, int k, T alpha,
-                    const T* a, int lda, const T* b, int ldb, T beta, T* c,
-                    int ldc);
-  template <typename T>
-  void run_gemv_cpu(const Decision& decision, blas::Transpose ta, int m,
-                    int n, T alpha, const T* a, int lda, const T* x,
-                    int incx, T beta, T* y, int incy);
+  template <typename T, typename S>
+  void run_gemm_cpu(const Decision& decision, const core::OpDesc& desc,
+                    S alpha, const T* a, const T* b, S beta, T* c);
+  template <typename T, typename S>
+  void run_gemv_cpu(const Decision& decision, const core::OpDesc& desc,
+                    S alpha, const T* a, const T* x, S beta, T* y);
 
   /// A batch of same-shape small GEMMs coalesced by the admission queue:
   /// executed as one blas::gemm_batched submission, charged the modelled
   /// amortised batched cost, observed into the CPU arm of the bucket.
+  /// `desc` describes ONE member call (batch handling is internal).
   template <typename T>
-  void run_gemm_coalesced(int m, int n, int k, T alpha, const T* const* a,
-                          int lda, const T* const* b, int ldb, T beta,
-                          T* const* c, int ldc, int batch);
+  void run_gemm_coalesced(const core::OpDesc& desc, T alpha,
+                          const T* const* a, const T* const* b, T beta,
+                          T* const* c, int batch);
 
   // -- asynchronous GPU submission (admission-queue overlap path) ----------
 
@@ -133,27 +146,26 @@ class Dispatcher final : public blas::CblasDispatchHook {
     double done = 0.0;          ///< virtual completion time
     std::vector<sim::Buffer> buffers;
     std::function<void()> unpack;
-    CallShape shape;
+    core::OpDesc desc;
     BucketKey key;
     Decision decision;
     std::uint64_t seq = 0;
   };
 
-  /// Decide the route for `shape` without executing (seeds the bucket if
+  /// Decide the route for `desc` without executing (seeds the bucket if
   /// needed). Used by the queue to learn whether a call goes to the GPU
   /// (overlap-eligible) before committing work.
-  Decision plan(const CallShape& shape, bool gpu_ok);
+  Decision plan(const core::OpDesc& desc, bool gpu_ok);
 
   /// Enqueue a GPU-routed GEMM/GEMV on the dispatch stream and return
   /// without synchronising; the caller overlaps CPU work and later calls
-  /// finish_gpu_job(). `decision` must come from plan() for this shape.
-  template <typename T>
-  GpuJob enqueue_gemm_gpu(const Decision& decision, int m, int n, int k,
-                          T alpha, const T* a, int lda, const T* b, int ldb,
-                          T beta, T* c, int ldc);
-  template <typename T>
-  GpuJob enqueue_gemv_gpu(const Decision& decision, int m, int n, T alpha,
-                          const T* a, int lda, const T* x, T beta, T* y);
+  /// finish_gpu_job(). `decision` must come from plan() for this desc.
+  template <typename T, typename S>
+  GpuJob enqueue_gemm_gpu(const Decision& decision, const core::OpDesc& desc,
+                          S alpha, const T* a, const T* b, S beta, T* c);
+  template <typename T, typename S>
+  GpuJob enqueue_gemv_gpu(const Decision& decision, const core::OpDesc& desc,
+                          S alpha, const T* a, const T* x, S beta, T* y);
 
   /// Join a pending GPU job: advance the virtual clock to its completion,
   /// write the output back to the client buffer, account + observe.
@@ -170,8 +182,8 @@ class Dispatcher final : public blas::CblasDispatchHook {
   /// Noise-free modelled per-call costs — the same numbers used to seed
   /// buckets. blob-serve uses these for the oracle / always-CPU /
   /// always-GPU regret baselines.
-  [[nodiscard]] Costs modelled_costs(const CallShape& shape) const;
-  [[nodiscard]] Route oracle_route(const CallShape& shape) const;
+  [[nodiscard]] Costs modelled_costs(const core::OpDesc& desc) const;
+  [[nodiscard]] Route oracle_route(const core::OpDesc& desc) const;
 
   // -- calibration ---------------------------------------------------------
 
@@ -208,34 +220,42 @@ class Dispatcher final : public blas::CblasDispatchHook {
   [[nodiscard]] double virtual_now() const { return device_.now(); }
 
  private:
-  template <typename T>
-  void dispatch_gemm(blas::Transpose ta, blas::Transpose tb, int m, int n,
-                     int k, T alpha, const T* a, int lda, const T* b, int ldb,
-                     T beta, T* c, int ldc);
-  template <typename T>
-  void dispatch_gemv(blas::Transpose ta, int m, int n, T alpha, const T* a,
-                     int lda, const T* x, int incx, T beta, T* y, int incy);
+  template <typename T, typename S>
+  void dispatch_gemm(core::OpDesc desc, S alpha, const T* a, const T* b,
+                     S beta, T* c);
+  template <typename T, typename S>
+  void dispatch_gemv(core::OpDesc desc, S alpha, const T* a, const T* x,
+                     S beta, T* y);
+
+  /// CPU-side execution of one call: the CPU library for f32/f64,
+  /// blas::hgemm/hgemv (f32 accumulate) for the half precisions.
+  template <typename T, typename S>
+  void cpu_exec_gemm(const core::OpDesc& desc, S alpha, const T* a,
+                     const T* b, S beta, T* c);
+  template <typename T, typename S>
+  void cpu_exec_gemv(const core::OpDesc& desc, S alpha, const T* a,
+                     const T* x, S beta, T* y);
 
   /// Seed + choose under mutex_ (callers hold the lock).
-  Decision plan_locked(const CallShape& shape, bool gpu_ok);
-  void ensure_seeded(const BucketKey& key, const CallShape& shape);
+  Decision plan_locked(const core::OpDesc& desc, bool gpu_ok);
+  void ensure_seeded(const BucketKey& key, const core::OpDesc& desc);
 
-  template <typename T>
-  GpuJob enqueue_gemm_gpu_locked(const Decision& decision, int m, int n,
-                                 int k, T alpha, const T* a, int lda,
-                                 const T* b, int ldb, T beta, T* c, int ldc);
-  template <typename T>
-  GpuJob enqueue_gemv_gpu_locked(const Decision& decision, int m, int n,
-                                 T alpha, const T* a, int lda, const T* x,
-                                 T beta, T* y);
+  template <typename T, typename S>
+  GpuJob enqueue_gemm_gpu_locked(const Decision& decision,
+                                 const core::OpDesc& desc, S alpha,
+                                 const T* a, const T* b, S beta, T* c);
+  template <typename T, typename S>
+  GpuJob enqueue_gemv_gpu_locked(const Decision& decision,
+                                 const core::OpDesc& desc, S alpha,
+                                 const T* a, const T* x, S beta, T* y);
   void finish_gpu_job_locked(GpuJob& job, bool overlapped);
 
   /// CPU-side modelled cost of one call (noise-free).
-  [[nodiscard]] double cpu_cost(const CallShape& shape) const;
+  [[nodiscard]] double cpu_cost(const core::OpDesc& desc) const;
   /// Deterministic per-call observation noise (salted by `seq`).
-  [[nodiscard]] double noise_factor(const CallShape& shape, Route route,
+  [[nodiscard]] double noise_factor(const core::OpDesc& desc, Route route,
                                     std::uint64_t seq) const;
-  void account_and_observe(const CallShape& shape, const BucketKey& key,
+  void account_and_observe(const core::OpDesc& desc, const BucketKey& key,
                            const Decision& decision, double cost_s,
                            int batch);
 

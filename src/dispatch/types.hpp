@@ -7,12 +7,15 @@
 // coalesced batched submission. These enums name the routes and the
 // reasons a route was chosen — the reasons are recorded per call in the
 // decision trace so routing behaviour is observable, not folklore.
+//
+// Calls are described by core::OpDesc — the one descriptor type the cblas
+// seam, this layer, the cost models, and the simulated GPU all speak.
+// There is deliberately no dispatch-local shape type.
 
 #include <cstdint>
 
 #include "core/backend.hpp"
-#include "core/problem.hpp"
-#include "perfmodel/precision.hpp"
+#include "core/op_desc.hpp"
 
 namespace blob::dispatch {
 
@@ -30,27 +33,11 @@ enum class Reason {
   Explore,         ///< epsilon-greedy probe of the other backend
   HysteresisHold,  ///< challenger looked better but not by enough to switch
   Coalesced,       ///< admission queue merged same-shape small GEMMs
-  Forced,          ///< shape unsupported on the GPU path (transpose/stride)
+  Forced,          ///< layout genuinely unsupported on the GPU path
+                   ///< (non-unit vector strides; transposes are first-class)
 };
 
 const char* to_string(Route route);
 const char* to_string(Reason reason);
-
-/// One BLAS call as the dispatcher sees it: already normalised to column
-/// major by the cblas seam. k is 1 for GEMV.
-struct CallShape {
-  core::KernelOp op = core::KernelOp::Gemm;
-  model::Precision precision = model::Precision::F32;
-  std::int64_t m = 0;
-  std::int64_t n = 0;
-  std::int64_t k = 1;
-  bool beta_zero = true;
-  /// The client's declared data-movement pattern (paper §III-B2); part of
-  /// the decision-table key because it changes the GPU-side cost.
-  core::TransferMode mode = core::TransferMode::Once;
-};
-
-/// Convert a CallShape to the core Problem type used by the cost models.
-core::Problem to_problem(const CallShape& shape);
 
 }  // namespace blob::dispatch

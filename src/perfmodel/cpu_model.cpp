@@ -49,7 +49,8 @@ double CpuModel::gemv_threads(double m, double n) const {
 }
 
 double CpuModel::gemm_time(Precision p, double m, double n, double k,
-                           bool beta_zero, bool warm) const {
+                           bool beta_zero, bool warm, bool trans_a,
+                           bool trans_b) const {
   if (m <= 0 || n <= 0 || k <= 0) return call_overhead_s;
   const double x = gemm_effective_dim(m, n, k);
   const double threads = gemm_threads(m, n, k);
@@ -70,6 +71,9 @@ double CpuModel::gemm_time(Precision p, double m, double n, double k,
       static_cast<double>(bytes_of(p)) * (m * k + k * n + c_traffic);
   double bw = (threads > 1 ? socket_mem_bw_gbs : core_mem_bw_gbs) * 1e9;
   if (warm && bytes <= llc_mib * 1048576.0) bw = cache_bw_gbs * 1e9;
+  // Transposed inputs only make the pack's reads strided.
+  if (trans_a) bw /= gemm_trans_penalty;
+  if (trans_b) bw /= gemm_trans_penalty;
   const double memory_s = bytes / bw;
 
   double t = std::max(compute_s, memory_s) + call_overhead_s;
@@ -78,7 +82,7 @@ double CpuModel::gemm_time(Precision p, double m, double n, double k,
 }
 
 double CpuModel::gemv_time(Precision p, double m, double n, bool beta_zero,
-                           bool warm) const {
+                           bool warm, bool trans_a) const {
   if (m <= 0 || n <= 0) return call_overhead_s;
   const double x = gemv_effective_dim(m, n);
   const double threads = gemv_threads(m, n);
@@ -98,6 +102,7 @@ double CpuModel::gemv_time(Precision p, double m, double n, bool beta_zero,
   if (warm && bytes <= llc_mib * 1048576.0) bw = cache_bw_gbs * 1e9;
   bw *= gemv_eff.at(x) / gemv_eff.eff_max;  // ramp normalised to 1 at peak
   bw *= apply_quirks(gemv_quirks, x, p, m, n);
+  if (trans_a) bw /= gemv_trans_penalty;
   const double memory_s = bytes / bw;
 
   double t = std::max(compute_s, memory_s) + call_overhead_s;
@@ -106,26 +111,31 @@ double CpuModel::gemv_time(Precision p, double m, double n, bool beta_zero,
 }
 
 double CpuModel::gemm_total_time(Precision p, double m, double n, double k,
-                                 double iterations, bool beta_zero) const {
+                                 double iterations, bool beta_zero,
+                                 bool trans_a, bool trans_b) const {
   if (iterations <= 0) return 0.0;
-  const double cold = gemm_time(p, m, n, k, beta_zero, false);
+  const double cold = gemm_time(p, m, n, k, beta_zero, false, trans_a,
+                                trans_b);
   const double cold_iters = std::min(iterations, warm_up_iterations);
   if (iterations <= cold_iters) return cold * iterations;
-  const double warm = gemm_time(p, m, n, k, beta_zero, true);
+  const double warm = gemm_time(p, m, n, k, beta_zero, true, trans_a,
+                                trans_b);
   return cold * cold_iters + (iterations - cold_iters) * warm;
 }
 
 double CpuModel::gemv_total_time(Precision p, double m, double n,
-                                 double iterations, bool beta_zero) const {
+                                 double iterations, bool beta_zero,
+                                 bool trans_a) const {
   if (iterations <= 0) return 0.0;
   // No warm path: measured GEMV curves are iteration-independent (§IV-B).
-  return gemv_time(p, m, n, beta_zero, false) * iterations;
+  return gemv_time(p, m, n, beta_zero, false, trans_a) * iterations;
 }
 
 double CpuModel::gemm_batched_time(Precision p, double m, double n,
-                                   double k, double batch,
-                                   bool beta_zero) const {
-  if (batch <= 1.0) return gemm_time(p, m, n, k, beta_zero);
+                                   double k, double batch, bool beta_zero,
+                                   bool trans_a, bool trans_b) const {
+  if (batch <= 1.0)
+    return gemm_time(p, m, n, k, beta_zero, false, trans_a, trans_b);
   if (m <= 0 || n <= 0 || k <= 0) return call_overhead_s;
   const double x = gemm_effective_dim(m, n, k);
   // Across-batch parallelism: all cores active, each running whole items
@@ -138,7 +148,10 @@ double CpuModel::gemm_batched_time(Precision p, double m, double n,
   const double c_traffic = (beta_zero ? 1.0 : 2.0) * m * n;
   const double bytes = batch * static_cast<double>(bytes_of(p)) *
                        (m * k + k * n + c_traffic);
-  const double memory_s = bytes / (socket_mem_bw_gbs * 1e9);
+  double bw = socket_mem_bw_gbs * 1e9;
+  if (trans_a) bw /= gemm_trans_penalty;
+  if (trans_b) bw /= gemm_trans_penalty;
+  const double memory_s = bytes / bw;
   double t = std::max(compute_s, memory_s) + call_overhead_s;
   if (threads > 1) t += fork_join_overhead_s;
   return t;

@@ -62,6 +62,13 @@ struct CpuModel {
   std::vector<PerfQuirk> gemm_quirks;
   std::vector<PerfQuirk> gemv_quirks;
 
+  // Transpose terms (first-order): GEMM packs operands into tiles anyway,
+  // so a transposed input only makes the pack's reads strided — a small
+  // memory-term penalty. GEMV has no pack; a layout that walks A against
+  // storage order pays on achieved bandwidth.
+  double gemm_trans_penalty = 1.03;
+  double gemv_trans_penalty = 1.10;
+
   /// Theoretical peak GFLOP/s for `threads` cores at `p` (f32 counts 2x
   /// f64 per cycle; f16/bf16 count 4x, an AMX/SME-less SIMD assumption).
   [[nodiscard]] double peak_gflops(Precision p, double threads) const;
@@ -75,31 +82,37 @@ struct CpuModel {
   /// the paper verifies vendor libraries implement (Table I).
   /// `warm` models repeat iterations whose working set is cache-resident.
   [[nodiscard]] double gemm_time(Precision p, double m, double n, double k,
-                                 bool beta_zero = true,
-                                 bool warm = false) const;
+                                 bool beta_zero = true, bool warm = false,
+                                 bool trans_a = false,
+                                 bool trans_b = false) const;
 
-  /// Predicted seconds for ONE call of y = alpha*A*x + beta*y. GEMV is
-  /// memory-bound, so the efficiency ramp and quirks scale the achieved
-  /// bandwidth rather than the compute rate.
+  /// Predicted seconds for ONE call of y = alpha*op(A)*x + beta*y. GEMV
+  /// is memory-bound, so the efficiency ramp and quirks scale the
+  /// achieved bandwidth rather than the compute rate.
   [[nodiscard]] double gemv_time(Precision p, double m, double n,
-                                 bool beta_zero = true,
-                                 bool warm = false) const;
+                                 bool beta_zero = true, bool warm = false,
+                                 bool trans_a = false) const;
 
   /// Total seconds for `iterations` back-to-back calls: one cold call
   /// plus warm repeats when the working set fits in the LLC.
   [[nodiscard]] double gemm_total_time(Precision p, double m, double n,
                                        double k, double iterations,
-                                       bool beta_zero = true) const;
+                                       bool beta_zero = true,
+                                       bool trans_a = false,
+                                       bool trans_b = false) const;
   [[nodiscard]] double gemv_total_time(Precision p, double m, double n,
                                        double iterations,
-                                       bool beta_zero = true) const;
+                                       bool beta_zero = true,
+                                       bool trans_a = false) const;
 
   /// Total seconds for one batched-GEMM call of `batch` independent
   /// m x n x k products: every core works on whole items (serial-ramp
   /// efficiency) with a single fork/join for the batch.
   [[nodiscard]] double gemm_batched_time(Precision p, double m, double n,
                                          double k, double batch,
-                                         bool beta_zero = true) const;
+                                         bool beta_zero = true,
+                                         bool trans_a = false,
+                                         bool trans_b = false) const;
 
   /// Average socket power when `threads` cores are busy.
   [[nodiscard]] double power_w(double threads) const;

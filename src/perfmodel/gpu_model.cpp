@@ -30,21 +30,24 @@ double GpuModel::peak_gflops(Precision p) const {
 }
 
 double GpuModel::gemm_kernel_time(Precision p, double m, double n, double k,
-                                  bool beta_zero) const {
+                                  bool beta_zero, bool trans_a,
+                                  bool trans_b) const {
   if (m <= 0 || n <= 0 || k <= 0) return launch_latency_s;
   const double x = gemm_effective_dim(m, n, k);
+  const double trans = (trans_a ? gemm_trans_a_penalty : 1.0) *
+                       (trans_b ? gemm_trans_b_penalty : 1.0);
   const double achieved = peak_gflops(p) * 1e9 * gemm_eff.at(x) *
-                          apply_quirks(gemm_quirks, x, p, m, n);
+                          apply_quirks(gemm_quirks, x, p, m, n) / trans;
   const double compute_s = gemm_flops(m, n, k, beta_zero) / achieved;
   const double c_traffic = (beta_zero ? 1.0 : 2.0) * m * n;
   const double bytes =
       static_cast<double>(bytes_of(p)) * (m * k + k * n + c_traffic);
-  const double memory_s = bytes / (hbm_bw_gbs * 1e9);
+  const double memory_s = bytes * trans / (hbm_bw_gbs * 1e9);
   return std::max({compute_s, memory_s, min_kernel_s}) + launch_latency_s;
 }
 
 double GpuModel::gemv_kernel_time(Precision p, double m, double n,
-                                  bool beta_zero) const {
+                                  bool beta_zero, bool trans_a) const {
   if (m <= 0 || n <= 0) return launch_latency_s;
   const double x = gemv_effective_dim(m, n);
   const double compute_s = gemv_flops(m, n, beta_zero) / (peak_gflops(p) * 1e9);
@@ -54,27 +57,32 @@ double GpuModel::gemv_kernel_time(Precision p, double m, double n,
   const double y_traffic = (beta_zero ? 1.0 : 2.0) * m;
   const double bytes =
       static_cast<double>(bytes_of(p)) * (m * n + n + y_traffic);
-  const double bw = hbm_bw_gbs * 1e9 * gemv_eff.at(x) *
-                    apply_quirks(gemv_quirks, x, p, m, n);
+  double bw = hbm_bw_gbs * 1e9 * gemv_eff.at(x) *
+              apply_quirks(gemv_quirks, x, p, m, n);
+  if (trans_a) bw /= gemv_trans_penalty;
   const double memory_s = bytes / bw;
   return std::max({compute_s, memory_s, min_kernel_s}) + launch_latency_s;
 }
 
 double GpuModel::gemm_batched_kernel_time(Precision p, double m, double n,
                                            double k, double batch,
-                                           bool beta_zero) const {
-  if (batch <= 1.0) return gemm_kernel_time(p, m, n, k, beta_zero);
+                                           bool beta_zero, bool trans_a,
+                                           bool trans_b) const {
+  if (batch <= 1.0)
+    return gemm_kernel_time(p, m, n, k, beta_zero, trans_a, trans_b);
   if (m <= 0 || n <= 0 || k <= 0) return launch_latency_s;
   const double x_item = gemm_effective_dim(m, n, k);
   const double x_agg = x_item * std::cbrt(batch);
+  const double trans = (trans_a ? gemm_trans_a_penalty : 1.0) *
+                       (trans_b ? gemm_trans_b_penalty : 1.0);
   const double achieved = peak_gflops(p) * 1e9 * gemm_eff.at(x_agg) *
-                          apply_quirks(gemm_quirks, x_item, p, m, n);
+                          apply_quirks(gemm_quirks, x_item, p, m, n) / trans;
   const double compute_s =
       batch * gemm_flops(m, n, k, beta_zero) / achieved;
   const double c_traffic = (beta_zero ? 1.0 : 2.0) * m * n;
   const double bytes = batch * static_cast<double>(bytes_of(p)) *
                        (m * k + k * n + c_traffic);
-  const double memory_s = bytes / (hbm_bw_gbs * 1e9);
+  const double memory_s = bytes * trans / (hbm_bw_gbs * 1e9);
   return std::max({compute_s, memory_s, min_kernel_s}) + launch_latency_s;
 }
 

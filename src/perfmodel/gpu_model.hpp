@@ -38,17 +38,28 @@ struct GpuModel {
   std::vector<PerfQuirk> gemm_quirks;
   std::vector<PerfQuirk> gemv_quirks;
 
+  // Transpose terms (first-order): a transposed operand breaks global-load
+  // coalescing until the kernel re-tiles through shared memory, so op(A)/
+  // op(B) layouts shave a few percent off the achieved rate. GEMV feels it
+  // hardest — it has no packing stage to hide the strided walk behind.
+  double gemm_trans_a_penalty = 1.05;
+  double gemm_trans_b_penalty = 1.02;
+  double gemv_trans_penalty = 1.12;
+
   [[nodiscard]] double peak_gflops(Precision p) const;
 
   /// Predicted seconds for one GEMM kernel (excluding host-link traffic).
-  /// beta == 0 skips the C read (the Table I optimization).
+  /// beta == 0 skips the C read (the Table I optimization). trans_a/
+  /// trans_b apply the coalescing penalties above.
   [[nodiscard]] double gemm_kernel_time(Precision p, double m, double n,
-                                        double k,
-                                        bool beta_zero = true) const;
+                                        double k, bool beta_zero = true,
+                                        bool trans_a = false,
+                                        bool trans_b = false) const;
 
   /// Predicted seconds for one GEMV kernel (excluding host-link traffic).
   [[nodiscard]] double gemv_kernel_time(Precision p, double m, double n,
-                                        bool beta_zero = true) const;
+                                        bool beta_zero = true,
+                                        bool trans_a = false) const;
 
   /// Predicted seconds for ONE batched-GEMM kernel computing `batch`
   /// independent m x n x k products: a single launch whose device fill
@@ -58,7 +69,9 @@ struct GpuModel {
   [[nodiscard]] double gemm_batched_kernel_time(Precision p, double m,
                                                 double n, double k,
                                                 double batch,
-                                                bool beta_zero = true) const;
+                                                bool beta_zero = true,
+                                                bool trans_a = false,
+                                                bool trans_b = false) const;
 
   [[nodiscard]] double gemm_gflops(Precision p, double m, double n, double k,
                                    bool beta_zero = true) const;

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <type_traits>
 
-#include "blas/ref_blas.hpp"
+#include "blas/gemm.hpp"
+#include "blas/gemv.hpp"
+#include "blas/half_gemm.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "perfmodel/curve.hpp"
@@ -191,11 +194,28 @@ template <>
 model::Precision SimGpu::precision_of<double>() {
   return model::Precision::F64;
 }
+template <>
+model::Precision SimGpu::precision_of<blas::f16>() {
+  return model::Precision::F16;
+}
+template <>
+model::Precision SimGpu::precision_of<blas::bf16>() {
+  return model::Precision::BF16;
+}
+
+namespace {
 
 template <typename T>
-double SimGpu::gemm(int m, int n, int k, T alpha, Buffer& a, int lda,
-                    Buffer& b, int ldb, T beta, Buffer& c, int ldc,
-                    Stream* stream) {
+inline constexpr bool kIsHalf =
+    std::is_same_v<T, blas::f16> || std::is_same_v<T, blas::bf16>;
+
+}  // namespace
+
+template <typename T>
+double SimGpu::gemm(blas::Transpose ta, blas::Transpose tb, int m, int n,
+                    int k, kernel_scalar_t<T> alpha, Buffer& a, int lda,
+                    Buffer& b, int ldb, kernel_scalar_t<T> beta, Buffer& c,
+                    int ldc, Stream* stream) {
   require_device_visible(a, "A");
   require_device_visible(b, "B");
   require_device_visible(c, "C");
@@ -215,8 +235,9 @@ double SimGpu::gemm(int m, int n, int k, T alpha, Buffer& a, int lda,
     usm_cost += config_.link.usm_kernel_overhead_s;
   }
 
-  const double kernel_s =
-      config_.gpu.gemm_kernel_time(precision_of<T>(), m, n, k);
+  const double kernel_s = config_.gpu.gemm_kernel_time(
+      precision_of<T>(), m, n, k, /*beta_zero=*/true,
+      ta != blas::Transpose::No, tb != blas::Transpose::No);
   obs::Span span = obs::enabled()
                        ? obs::Span("gpu.gemm", obs::Category::Gpu)
                        : obs::Span();
@@ -231,15 +252,25 @@ double SimGpu::gemm(int m, int n, int k, T alpha, Buffer& a, int lda,
 
   if (config_.functional &&
       model::gemm_effective_dim(m, n, k) <= config_.functional_dim_limit) {
-    blas::ref::gemm(blas::Transpose::No, blas::Transpose::No, m, n, k, alpha,
-                    a.as<T>(), lda, b.as<T>(), ldb, beta, c.as<T>(), ldc);
+    // gemm_serial with default blocking: the same per-tile operation
+    // sequence as the host library's serial path, so CPU-routed and
+    // GPU-routed results agree bitwise (the dispatcher's property tests
+    // rely on this).
+    if constexpr (kIsHalf<T>) {
+      blas::hgemm<T>(ta, tb, m, n, k, alpha, a.as<T>(), lda, b.as<T>(), ldb,
+                     beta, c.as<T>(), ldc);
+    } else {
+      blas::gemm_serial(ta, tb, m, n, k, alpha, a.as<T>(), lda, b.as<T>(),
+                        ldb, beta, c.as<T>(), ldc);
+    }
   }
   return usm_cost + kernel_s;
 }
 
 template <typename T>
-double SimGpu::gemv(int m, int n, T alpha, Buffer& a, int lda, Buffer& x,
-                    T beta, Buffer& y, Stream* stream) {
+double SimGpu::gemv(blas::Transpose ta, int m, int n,
+                    kernel_scalar_t<T> alpha, Buffer& a, int lda, Buffer& x,
+                    kernel_scalar_t<T> beta, Buffer& y, Stream* stream) {
   require_device_visible(a, "A");
   require_device_visible(x, "x");
   require_device_visible(y, "y");
@@ -258,7 +289,9 @@ double SimGpu::gemv(int m, int n, T alpha, Buffer& a, int lda, Buffer& x,
     usm_cost += config_.link.usm_kernel_overhead_s;
   }
 
-  const double kernel_s = config_.gpu.gemv_kernel_time(precision_of<T>(), m, n);
+  const double kernel_s = config_.gpu.gemv_kernel_time(
+      precision_of<T>(), m, n, /*beta_zero=*/true,
+      ta != blas::Transpose::No);
   obs::Span span = obs::enabled()
                        ? obs::Span("gpu.gemv", obs::Category::Gpu)
                        : obs::Span();
@@ -273,30 +306,43 @@ double SimGpu::gemv(int m, int n, T alpha, Buffer& a, int lda, Buffer& x,
 
   if (config_.functional &&
       model::gemv_effective_dim(m, n) <= config_.functional_dim_limit) {
-    blas::ref::gemv(blas::Transpose::No, m, n, alpha, a.as<T>(), lda,
-                    x.as<T>(), 1, beta, y.as<T>(), 1);
+    if constexpr (kIsHalf<T>) {
+      blas::hgemv<T>(ta, m, n, alpha, a.as<T>(), lda, x.as<T>(), beta,
+                     y.as<T>());
+    } else {
+      blas::gemv_serial(ta, m, n, alpha, a.as<T>(), lda, x.as<T>(), 1, beta,
+                        y.as<T>(), 1);
+    }
   }
   return usm_cost + kernel_s;
 }
 
 template <typename T>
-double SimGpu::gemm_strided_batched(int m, int n, int k, T alpha, Buffer& a,
+double SimGpu::gemm_strided_batched(blas::Transpose ta, blas::Transpose tb,
+                                    int m, int n, int k,
+                                    kernel_scalar_t<T> alpha, Buffer& a,
                                     int lda, std::int64_t stride_a,
                                     Buffer& b, int ldb,
-                                    std::int64_t stride_b, T beta, Buffer& c,
+                                    std::int64_t stride_b,
+                                    kernel_scalar_t<T> beta, Buffer& c,
                                     int ldc, std::int64_t stride_c,
                                     int batch, Stream* stream) {
   require_device_visible(a, "A");
   require_device_visible(b, "B");
   require_device_visible(c, "C");
   if (batch < 1) throw SimError("gemm_strided_batched: batch must be >= 1");
+  // Stored operand footprints honour the transposes: A is lda x op_cols(A),
+  // B is ldb x op_cols(B).
   const std::size_t need_a =
       (static_cast<std::size_t>(batch - 1) * stride_a +
-       static_cast<std::size_t>(lda) * k) * sizeof(T);
+       static_cast<std::size_t>(lda) * blas::op_cols(ta, m, k)) * sizeof(T);
+  const std::size_t need_b =
+      (static_cast<std::size_t>(batch - 1) * stride_b +
+       static_cast<std::size_t>(ldb) * blas::op_cols(tb, k, n)) * sizeof(T);
   const std::size_t need_c =
       (static_cast<std::size_t>(batch - 1) * stride_c +
        static_cast<std::size_t>(ldc) * n) * sizeof(T);
-  if (need_a > a.bytes() || need_c > c.bytes()) {
+  if (need_a > a.bytes() || need_b > b.bytes() || need_c > c.bytes()) {
     throw SimError("gemm_strided_batched: strides exceed buffer");
   }
 
@@ -309,7 +355,9 @@ double SimGpu::gemm_strided_batched(int m, int n, int k, T alpha, Buffer& a,
   }
 
   const double kernel_s = config_.gpu.gemm_batched_kernel_time(
-      precision_of<T>(), m, n, k, static_cast<double>(batch));
+      precision_of<T>(), m, n, k, static_cast<double>(batch),
+      /*beta_zero=*/true, ta != blas::Transpose::No,
+      tb != blas::Transpose::No);
   obs::Span span = obs::enabled()
                        ? obs::Span("gpu.gemm_batched", obs::Category::Gpu)
                        : obs::Span();
@@ -326,30 +374,62 @@ double SimGpu::gemm_strided_batched(int m, int n, int k, T alpha, Buffer& a,
       model::gemm_effective_dim(m, n, k) * std::cbrt(batch) <=
           config_.functional_dim_limit) {
     for (int i = 0; i < batch; ++i) {
-      blas::ref::gemm(blas::Transpose::No, blas::Transpose::No, m, n, k,
-                      alpha, a.as<T>() + i * stride_a, lda,
-                      b.as<T>() + i * stride_b, ldb, beta,
-                      c.as<T>() + i * stride_c, ldc);
+      if constexpr (kIsHalf<T>) {
+        blas::hgemm<T>(ta, tb, m, n, k, alpha, a.as<T>() + i * stride_a,
+                       lda, b.as<T>() + i * stride_b, ldb, beta,
+                       c.as<T>() + i * stride_c, ldc);
+      } else {
+        blas::gemm_serial(ta, tb, m, n, k, alpha,
+                          a.as<T>() + i * stride_a, lda,
+                          b.as<T>() + i * stride_b, ldb, beta,
+                          c.as<T>() + i * stride_c, ldc);
+      }
     }
   }
   return usm_cost + kernel_s;
 }
 
-template double SimGpu::gemm<float>(int, int, int, float, Buffer&, int,
-                                    Buffer&, int, float, Buffer&, int,
+template double SimGpu::gemm<float>(blas::Transpose, blas::Transpose, int,
+                                    int, int, float, Buffer&, int, Buffer&,
+                                    int, float, Buffer&, int, Stream*);
+template double SimGpu::gemm<double>(blas::Transpose, blas::Transpose, int,
+                                     int, int, double, Buffer&, int, Buffer&,
+                                     int, double, Buffer&, int, Stream*);
+template double SimGpu::gemm<blas::f16>(blas::Transpose, blas::Transpose,
+                                        int, int, int, float, Buffer&, int,
+                                        Buffer&, int, float, Buffer&, int,
+                                        Stream*);
+template double SimGpu::gemm<blas::bf16>(blas::Transpose, blas::Transpose,
+                                         int, int, int, float, Buffer&, int,
+                                         Buffer&, int, float, Buffer&, int,
+                                         Stream*);
+template double SimGpu::gemv<float>(blas::Transpose, int, int, float,
+                                    Buffer&, int, Buffer&, float, Buffer&,
                                     Stream*);
-template double SimGpu::gemm<double>(int, int, int, double, Buffer&, int,
-                                     Buffer&, int, double, Buffer&, int,
+template double SimGpu::gemv<double>(blas::Transpose, int, int, double,
+                                     Buffer&, int, Buffer&, double, Buffer&,
                                      Stream*);
-template double SimGpu::gemv<float>(int, int, float, Buffer&, int, Buffer&,
-                                    float, Buffer&, Stream*);
-template double SimGpu::gemv<double>(int, int, double, Buffer&, int, Buffer&,
-                                     double, Buffer&, Stream*);
+template double SimGpu::gemv<blas::f16>(blas::Transpose, int, int, float,
+                                        Buffer&, int, Buffer&, float,
+                                        Buffer&, Stream*);
+template double SimGpu::gemv<blas::bf16>(blas::Transpose, int, int, float,
+                                         Buffer&, int, Buffer&, float,
+                                         Buffer&, Stream*);
 template double SimGpu::gemm_strided_batched<float>(
-    int, int, int, float, Buffer&, int, std::int64_t, Buffer&, int,
-    std::int64_t, float, Buffer&, int, std::int64_t, int, Stream*);
+    blas::Transpose, blas::Transpose, int, int, int, float, Buffer&, int,
+    std::int64_t, Buffer&, int, std::int64_t, float, Buffer&, int,
+    std::int64_t, int, Stream*);
 template double SimGpu::gemm_strided_batched<double>(
-    int, int, int, double, Buffer&, int, std::int64_t, Buffer&, int,
-    std::int64_t, double, Buffer&, int, std::int64_t, int, Stream*);
+    blas::Transpose, blas::Transpose, int, int, int, double, Buffer&, int,
+    std::int64_t, Buffer&, int, std::int64_t, double, Buffer&, int,
+    std::int64_t, int, Stream*);
+template double SimGpu::gemm_strided_batched<blas::f16>(
+    blas::Transpose, blas::Transpose, int, int, int, float, Buffer&, int,
+    std::int64_t, Buffer&, int, std::int64_t, float, Buffer&, int,
+    std::int64_t, int, Stream*);
+template double SimGpu::gemm_strided_batched<blas::bf16>(
+    blas::Transpose, blas::Transpose, int, int, int, float, Buffer&, int,
+    std::int64_t, Buffer&, int, std::int64_t, float, Buffer&, int,
+    std::int64_t, int, Stream*);
 
 }  // namespace blob::sim

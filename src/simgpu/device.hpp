@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "blas/half.hpp"
+#include "blas/types.hpp"
 #include "perfmodel/gpu_model.hpp"
 #include "perfmodel/link_model.hpp"
 #include "perfmodel/precision.hpp"
@@ -24,6 +26,24 @@
 #include "util/timer.hpp"
 
 namespace blob::sim {
+
+/// Scalar type of a kernel's alpha/beta: half kernels accumulate in f32
+/// (HMMA-with-FP32-accumulate semantics, see blas/half_gemm.hpp), so
+/// their scalars are float; f32/f64 kernels take their own type.
+template <typename T>
+struct KernelScalar {
+  using type = T;
+};
+template <>
+struct KernelScalar<blas::f16> {
+  using type = float;
+};
+template <>
+struct KernelScalar<blas::bf16> {
+  using type = float;
+};
+template <typename T>
+using kernel_scalar_t = typename KernelScalar<T>::type;
 
 class SimGpu {
  public:
@@ -92,32 +112,70 @@ class SimGpu {
   static void reset_managed(Buffer& buffer);
 
   // -- kernels ---------------------------------------------------------------
+  // Transposed operands are first-class: op(A)/op(B) follow the usual
+  // column-major BLAS convention, and GpuModel charges the coalescing
+  // penalty for transposed layouts. T may be float, double, blas::f16 or
+  // blas::bf16; half kernels take float scalars (see KernelScalar).
 
-  /// Enqueue C = alpha * A * B + beta * C (column major, no transposes —
-  /// GPU-BLOB's configuration). Operands must be Device or Managed
-  /// buffers; managed operands fault-migrate on first device touch.
-  /// Returns the kernel's model-predicted duration in seconds.
-  /// `stream` = nullptr enqueues on the default stream.
+  /// Enqueue C = alpha * op(A) * op(B) + beta * C (column major).
+  /// Operands must be Device or Managed buffers; managed operands
+  /// fault-migrate on first device touch. Returns the kernel's
+  /// model-predicted duration in seconds. `stream` = nullptr enqueues on
+  /// the default stream.
   template <typename T>
-  double gemm(int m, int n, int k, T alpha, Buffer& a, int lda, Buffer& b,
-              int ldb, T beta, Buffer& c, int ldc,
+  double gemm(blas::Transpose ta, blas::Transpose tb, int m, int n, int k,
+              kernel_scalar_t<T> alpha, Buffer& a, int lda, Buffer& b,
+              int ldb, kernel_scalar_t<T> beta, Buffer& c, int ldc,
               Stream* stream = nullptr);
 
-  /// Enqueue y = alpha * A * x + beta * y. Same operand rules as gemm.
+  /// NN convenience overload (legacy call sites).
+  template <typename T>
+  double gemm(int m, int n, int k, T alpha, Buffer& a, int lda, Buffer& b,
+              int ldb, T beta, Buffer& c, int ldc, Stream* stream = nullptr) {
+    return gemm<T>(blas::Transpose::No, blas::Transpose::No, m, n, k, alpha,
+                   a, lda, b, ldb, beta, c, ldc, stream);
+  }
+
+  /// Enqueue y = alpha * op(A) * x + beta * y. A is the stored m x n
+  /// matrix; ta selects A*x or A^T*x. Same operand rules as gemm.
+  template <typename T>
+  double gemv(blas::Transpose ta, int m, int n, kernel_scalar_t<T> alpha,
+              Buffer& a, int lda, Buffer& x, kernel_scalar_t<T> beta,
+              Buffer& y, Stream* stream = nullptr);
+
+  /// No-transpose convenience overload (legacy call sites).
   template <typename T>
   double gemv(int m, int n, T alpha, Buffer& a, int lda, Buffer& x, T beta,
-              Buffer& y, Stream* stream = nullptr);
+              Buffer& y, Stream* stream = nullptr) {
+    return gemv<T>(blas::Transpose::No, m, n, alpha, a, lda, x, beta, y,
+                   stream);
+  }
 
   /// Enqueue ONE batched-GEMM kernel over strided operands (the
   /// cublasGemmStridedBatched analogue): problem b reads/writes at
   /// base + b * stride elements. A single launch; device fill follows
   /// the aggregate size (see GpuModel::gemm_batched_kernel_time).
   template <typename T>
+  double gemm_strided_batched(blas::Transpose ta, blas::Transpose tb, int m,
+                              int n, int k, kernel_scalar_t<T> alpha,
+                              Buffer& a, int lda, std::int64_t stride_a,
+                              Buffer& b, int ldb, std::int64_t stride_b,
+                              kernel_scalar_t<T> beta, Buffer& c, int ldc,
+                              std::int64_t stride_c, int batch,
+                              Stream* stream = nullptr);
+
+  /// NN convenience overload (legacy call sites).
+  template <typename T>
   double gemm_strided_batched(int m, int n, int k, T alpha, Buffer& a,
                               int lda, std::int64_t stride_a, Buffer& b,
                               int ldb, std::int64_t stride_b, T beta,
                               Buffer& c, int ldc, std::int64_t stride_c,
-                              int batch, Stream* stream = nullptr);
+                              int batch, Stream* stream = nullptr) {
+    return gemm_strided_batched<T>(blas::Transpose::No, blas::Transpose::No,
+                                   m, n, k, alpha, a, lda, stride_a, b, ldb,
+                                   stride_b, beta, c, ldc, stride_c, batch,
+                                   stream);
+  }
 
   /// Block the host until all device work completes.
   void synchronize() { stream_.synchronize(); }

@@ -296,29 +296,28 @@ class CountingHook final : public blas::CblasDispatchHook {
  public:
   int gemm_f32 = 0, gemm_f64 = 0, gemv_f64 = 0;
 
-  bool gemm(blas::Transpose, blas::Transpose, int, int, int, float,
-            const float*, int, const float*, int, float, float*,
-            int) override {
+  bool gemm(const core::OpDesc&, float, const float*, const float*, float,
+            float*) override {
     ++gemm_f32;
     return false;  // not handled: cblas must still execute the call
   }
-  bool gemm(blas::Transpose, blas::Transpose, int m, int n, int, double,
-            const double*, int, const double*, int, double, double* c,
-            int ldc) override {
+  bool gemm(const core::OpDesc& desc, double, const double*, const double*,
+            double, double* c) override {
     ++gemm_f64;
-    for (int j = 0; j < n; ++j) {
-      for (int i = 0; i < m; ++i) {
-        c[i + static_cast<std::size_t>(j) * ldc] = 42.0;
+    for (std::int64_t j = 0; j < desc.n; ++j) {
+      for (std::int64_t i = 0; i < desc.m; ++i) {
+        c[i + static_cast<std::size_t>(j) *
+                  static_cast<std::size_t>(desc.ldc)] = 42.0;
       }
     }
     return true;  // handled: cblas must NOT touch c again
   }
-  bool gemv(blas::Transpose, int, int, float, const float*, int,
-            const float*, int, float, float*, int) override {
+  bool gemv(const core::OpDesc&, float, const float*, const float*, float,
+            float*) override {
     return false;
   }
-  bool gemv(blas::Transpose, int, int, double, const double*, int,
-            const double*, int, double, double*, int) override {
+  bool gemv(const core::OpDesc&, double, const double*, const double*,
+            double, double*) override {
     ++gemv_f64;
     return false;
   }

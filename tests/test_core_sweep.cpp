@@ -26,19 +26,20 @@ class FakeBackend final : public ExecutionBackend {
 
   std::string name() const override { return "fake"; }
 
-  double cpu_time(const Problem& problem, std::int64_t iterations) override {
-    return cpu_slope_ * static_cast<double>(problem.dims.m) *
+  using ExecutionBackend::cpu_time;
+  using ExecutionBackend::gpu_time;
+
+  double cpu_time(const OpDesc& desc, std::int64_t iterations) override {
+    return cpu_slope_ * static_cast<double>(desc.m) *
            static_cast<double>(iterations);
   }
 
-  std::optional<double> gpu_time(const Problem& problem,
-                                 std::int64_t iterations,
-                                 TransferMode mode) override {
+  std::optional<double> gpu_time(const OpDesc& desc,
+                                 std::int64_t iterations) override {
     if (!has_gpu_) return std::nullopt;
-    const double scale = mode == TransferMode::Always ? 2.0 : 1.0;
-    return gpu_fixed_ * scale +
-           gpu_slope_ * static_cast<double>(problem.dims.m) *
-               static_cast<double>(iterations);
+    const double scale = desc.mode == TransferMode::Always ? 2.0 : 1.0;
+    return gpu_fixed_ * scale + gpu_slope_ * static_cast<double>(desc.m) *
+                                    static_cast<double>(iterations);
   }
 
  private:

@@ -202,9 +202,10 @@ TEST(Energy, TinyGemmIsMoreEfficientOnCpu) {
 class NoGpuBackend final : public ExecutionBackend {
  public:
   std::string name() const override { return "cpu-only"; }
-  double cpu_time(const Problem&, std::int64_t) override { return 1.0; }
-  std::optional<double> gpu_time(const Problem&, std::int64_t,
-                                 TransferMode) override {
+  using ExecutionBackend::cpu_time;
+  using ExecutionBackend::gpu_time;
+  double cpu_time(const OpDesc&, std::int64_t) override { return 1.0; }
+  std::optional<double> gpu_time(const OpDesc&, std::int64_t) override {
     return std::nullopt;
   }
 };

@@ -22,6 +22,8 @@ struct ShapeClass {
   model::Precision precision;
   std::int64_t m, n, k;
   double weight;
+  blas::Transpose ta = blas::Transpose::No;
+  blas::Transpose tb = blas::Transpose::No;
 };
 
 struct ClassBuffers {
@@ -35,14 +37,14 @@ struct Baselines {
   double always_gpu = 0.0;
 };
 
-dispatch::CallShape to_shape(const ShapeClass& cls, core::TransferMode mode) {
-  return dispatch::CallShape{cls.op,
-                             cls.precision,
-                             cls.m,
-                             cls.n,
-                             cls.op == core::KernelOp::Gemv ? 1 : cls.k,
-                             /*beta_zero=*/true,
-                             mode};
+core::OpDesc to_desc(const ShapeClass& cls, core::TransferMode mode) {
+  return cls.op == core::KernelOp::Gemv
+             ? core::OpDesc::gemv(cls.precision, cls.ta, cls.m, cls.n, 0, 1,
+                                  1, /*alpha_one=*/true, /*beta_zero=*/true,
+                                  mode)
+             : core::OpDesc::gemm(cls.precision, cls.ta, cls.tb, cls.m,
+                                  cls.n, cls.k, 0, 0, 0, /*alpha_one=*/true,
+                                  /*beta_zero=*/true, mode);
 }
 
 /// Smallest square f32 GEMM dimension the advisor offloads on `disp`'s
@@ -50,14 +52,11 @@ dispatch::CallShape to_shape(const ShapeClass& cls, core::TransferMode mode) {
 /// for test runtime while guaranteeing the mix spans both routes.
 std::int64_t smallest_offloaded_gemm(const dispatch::Dispatcher& disp) {
   for (std::int64_t s : {256, 320, 384, 448, 512, 640, 768}) {
-    const dispatch::CallShape shape{core::KernelOp::Gemm,
-                                    model::Precision::F32,
-                                    s,
-                                    s,
-                                    s,
-                                    true,
-                                    disp.config().mode};
-    if (disp.oracle_route(shape) == dispatch::Route::Gpu) return s;
+    const core::OpDesc desc = core::OpDesc::gemm(
+        model::Precision::F32, blas::Transpose::No, blas::Transpose::No, s,
+        s, s, 0, 0, 0, /*alpha_one=*/true, /*beta_zero=*/true,
+        disp.config().mode);
+    if (disp.oracle_route(desc) == dispatch::Route::Gpu) return s;
   }
   return 0;
 }
@@ -106,31 +105,27 @@ Baselines replay(dispatch::Dispatcher& disp,
     }
     const ShapeClass& cls = classes[ci];
     ClassBuffers& buf = buffers[ci];
-    const int m = static_cast<int>(cls.m);
-    const int n = static_cast<int>(cls.n);
-    const int k = static_cast<int>(cls.k);
 
-    const auto costs = disp.modelled_costs(to_shape(cls, disp.config().mode));
+    const core::OpDesc desc = to_desc(cls, disp.config().mode);
+    const auto costs = disp.modelled_costs(desc);
     base.oracle += std::min(costs.cpu_s, costs.gpu_s);
     base.always_cpu += costs.cpu_s;
     base.always_gpu += costs.gpu_s;
 
     if (cls.op == core::KernelOp::Gemm) {
       if (cls.precision == model::Precision::F32) {
-        disp.run_gemm<float>(blas::Transpose::No, blas::Transpose::No, m, n,
-                             k, 1.0F, buf.a32.data(), m, buf.b32.data(), k,
-                             0.0F, buf.c32.data(), m);
+        disp.run_gemm<float>(desc, 1.0F, buf.a32.data(), buf.b32.data(),
+                             0.0F, buf.c32.data());
       } else {
-        disp.run_gemm<double>(blas::Transpose::No, blas::Transpose::No, m, n,
-                              k, 1.0, buf.a64.data(), m, buf.b64.data(), k,
-                              0.0, buf.c64.data(), m);
+        disp.run_gemm<double>(desc, 1.0, buf.a64.data(), buf.b64.data(), 0.0,
+                              buf.c64.data());
       }
     } else if (cls.precision == model::Precision::F32) {
-      disp.run_gemv<float>(blas::Transpose::No, m, n, 1.0F, buf.a32.data(),
-                           m, buf.b32.data(), 1, 0.0F, buf.c32.data(), 1);
+      disp.run_gemv<float>(desc, 1.0F, buf.a32.data(), buf.b32.data(), 0.0F,
+                           buf.c32.data());
     } else {
-      disp.run_gemv<double>(blas::Transpose::No, m, n, 1.0, buf.a64.data(),
-                            m, buf.b64.data(), 1, 0.0, buf.c64.data(), 1);
+      disp.run_gemv<double>(desc, 1.0, buf.a64.data(), buf.b64.data(), 0.0,
+                            buf.c64.data());
     }
   }
   return base;
@@ -150,8 +145,12 @@ TEST(DispatchConvergence, TracksOracleAndBeatsStaticRouting) {
   const std::int64_t big = smallest_offloaded_gemm(disp);
   ASSERT_GT(big, 0) << "no offloaded f32 GEMM size on dawn?";
   const std::vector<ShapeClass> classes = {
-      {core::KernelOp::Gemm, model::Precision::F32, 48, 48, 48, 0.40},
-      {core::KernelOp::Gemm, model::Precision::F32, 160, 160, 160, 0.20},
+      {core::KernelOp::Gemm, model::Precision::F32, 48, 48, 48, 0.35},
+      {core::KernelOp::Gemm, model::Precision::F32, 160, 160, 160, 0.15},
+      // Transposed traffic rides the same buckets (keyed by ta/tb), CPU
+      // and GPU routes alike — no Forced fallback.
+      {core::KernelOp::Gemm, model::Precision::F32, 160, 160, 160, 0.10,
+       blas::Transpose::Yes, blas::Transpose::No},
       {core::KernelOp::Gemm, model::Precision::F32, big, big, big, 0.25},
       {core::KernelOp::Gemv, model::Precision::F64, 768, 768, 1, 0.15},
   };

@@ -1,0 +1,297 @@
+// The OpDesc IR end-to-end: one descriptor from the cblas seam to the
+// simulated device. Unit checks on validate()/factory normalization and
+// gpu_supported(), plus the randomized route-equivalence property the
+// refactor is accountable to: CPU-routed, GPU-routed and coalesced
+// batched execution produce BIT-IDENTICAL results on transposed and
+// ld-padded operands (SimGpu's functional path runs the same serial
+// kernel as the single-thread CPU library, so equality is exact, not
+// approximate).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/op_desc.hpp"
+#include "dispatch/dispatcher.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace blob;
+using blas::Transpose;
+using core::KernelOp;
+using core::OpDesc;
+
+// ------------------------------------------------- IR unit checks
+
+TEST(OpDesc, ValidateNormalizesGemvAndFillsTightLds) {
+  OpDesc d;
+  d.op = KernelOp::Gemv;
+  d.m = 40;
+  d.n = 24;
+  d.k = 7;                        // wrong by construction
+  d.trans_b = Transpose::Yes;     // meaningless for GEMV
+  d.batch = 1;
+  d.validate();
+  EXPECT_EQ(d.k, 1);              // GEMV k-convention normalized
+  EXPECT_EQ(d.trans_b, Transpose::No);
+  EXPECT_EQ(d.lda, 40);           // stored A is m x n
+  EXPECT_EQ(d.x_len(), 24);
+  EXPECT_EQ(d.y_len(), 40);
+}
+
+TEST(OpDesc, TransposeSwapsStoredShapes) {
+  const OpDesc nn = OpDesc::gemm(model::Precision::F32, Transpose::No,
+                                 Transpose::No, 8, 6, 4, 0, 0, 0, true, true);
+  EXPECT_EQ(nn.rows_a(), 8);
+  EXPECT_EQ(nn.cols_a(), 4);
+  EXPECT_EQ(nn.rows_b(), 4);
+  EXPECT_EQ(nn.cols_b(), 6);
+  const OpDesc tt = OpDesc::gemm(model::Precision::F32, Transpose::Yes,
+                                 Transpose::Yes, 8, 6, 4, 0, 0, 0, true,
+                                 true);
+  EXPECT_EQ(tt.rows_a(), 4);   // stored A is k x m
+  EXPECT_EQ(tt.cols_a(), 8);
+  EXPECT_EQ(tt.rows_b(), 6);   // stored B is n x k
+  EXPECT_EQ(tt.cols_b(), 4);
+  EXPECT_EQ(tt.lda, 4);
+  EXPECT_EQ(tt.ldb, 6);
+  EXPECT_EQ(tt.ldc, 8);
+  EXPECT_TRUE(tt.transposed());
+  EXPECT_FALSE(nn.transposed());
+}
+
+TEST(OpDesc, ValidateRejectsBadShapes) {
+  OpDesc d;
+  d.m = -1;
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  OpDesc b = OpDesc::gemm(model::Precision::F64, Transpose::No,
+                          Transpose::No, 4, 4, 4, 0, 0, 0, true, true);
+  b.batch = 0;
+  EXPECT_THROW(b.validate(), std::invalid_argument);
+}
+
+TEST(OpDesc, LowerRaiseRoundTripsProblemShape) {
+  core::Problem p;
+  p.op = KernelOp::Gemm;
+  p.precision = model::Precision::F64;
+  p.dims = {33, 17, 9};
+  p.beta_zero = false;
+  p.batch = 5;
+  const OpDesc d = core::lower(p, core::TransferMode::Always);
+  EXPECT_EQ(d.batch, 5);
+  EXPECT_EQ(d.stride_a, 33 * 9);
+  EXPECT_EQ(d.mode, core::TransferMode::Always);
+  const core::Problem back = core::raise(d);
+  EXPECT_EQ(back.op, p.op);
+  EXPECT_EQ(back.precision, p.precision);
+  EXPECT_EQ(back.dims.m, p.dims.m);
+  EXPECT_EQ(back.dims.n, p.dims.n);
+  EXPECT_EQ(back.dims.k, p.dims.k);
+  EXPECT_EQ(back.beta_zero, p.beta_zero);
+  EXPECT_EQ(back.batch, p.batch);
+}
+
+TEST(OpDesc, GpuSupportAdmitsTransposesRejectsStridedGemvVectors) {
+  // Transposed GEMMs are first-class on the device; Reason::Forced
+  // survives only for GEMV vector strides the kernels cannot take.
+  const OpDesc tt = OpDesc::gemm(model::Precision::F32, Transpose::Yes,
+                                 Transpose::Yes, 64, 64, 64, 0, 0, 0, true,
+                                 true);
+  EXPECT_TRUE(dispatch::Dispatcher::gpu_supported(tt));
+  const OpDesc tv = OpDesc::gemv(model::Precision::F64, Transpose::Yes, 64,
+                                 64, 0, 1, 1, true, true);
+  EXPECT_TRUE(dispatch::Dispatcher::gpu_supported(tv));
+  const OpDesc sv = OpDesc::gemv(model::Precision::F64, Transpose::No, 64,
+                                 64, 0, 2, 1, true, true);
+  EXPECT_FALSE(dispatch::Dispatcher::gpu_supported(sv));
+}
+
+// -------------------------------------- route bit-identity property
+
+dispatch::DispatcherConfig identity_config() {
+  dispatch::DispatcherConfig cfg;
+  cfg.profile = profile::dawn();
+  // Single-thread personality with the default blocking: the CPU route
+  // then runs the exact serial kernel SimGpu's functional path runs.
+  cfg.personality = blas::single_thread_personality();
+  cfg.cpu_threads = 1;
+  cfg.autotune = false;  // a tuned blocking would change the CPU tiling
+  return cfg;
+}
+
+template <typename T>
+std::vector<T> random_matrix(std::int64_t ld, std::int64_t cols,
+                             util::Xoshiro256& rng) {
+  std::vector<T> v(static_cast<std::size_t>(ld * cols));
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+template <typename T>
+void expect_bitwise_eq(const std::vector<T>& got, const std::vector<T>& want,
+                       int trial) {
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_EQ(std::memcmp(got.data(), want.data(), got.size() * sizeof(T)), 0)
+      << "routes disagree bitwise, trial " << trial;
+}
+
+template <typename T>
+void gemm_route_identity_trial(dispatch::Dispatcher& disp,
+                               util::Xoshiro256& rng, int trial) {
+  const auto m = rng.uniform_int(1, 48);
+  const auto n = rng.uniform_int(1, 48);
+  const auto k = rng.uniform_int(1, 48);
+  const Transpose ta =
+      rng.next_double() < 0.5 ? Transpose::No : Transpose::Yes;
+  const Transpose tb =
+      rng.next_double() < 0.5 ? Transpose::No : Transpose::Yes;
+  const T alpha = rng.next_double() < 0.5 ? T(1) : T(-0.5);
+  const T beta = rng.next_double() < 0.5 ? T(0) : T(0.75);
+
+  constexpr auto p = sizeof(T) == 4 ? model::Precision::F32
+                                    : model::Precision::F64;
+  OpDesc desc = OpDesc::gemm(p, ta, tb, m, n, k, 0, 0, 0, alpha == T(1),
+                             beta == T(0));
+  // Pad the leading dimensions: the property covers strided storage, and
+  // the GPU route's pack/unpack must leave the padding rows untouched.
+  desc.lda += rng.uniform_int(0, 5);
+  desc.ldb += rng.uniform_int(0, 5);
+  desc.ldc += rng.uniform_int(0, 5);
+
+  const auto a = random_matrix<T>(desc.lda, desc.cols_a(), rng);
+  const auto b = random_matrix<T>(desc.ldb, desc.cols_b(), rng);
+  const auto c0 = random_matrix<T>(desc.ldc, n, rng);
+
+  const dispatch::Decision d = disp.plan(desc, true);
+
+  std::vector<T> c_cpu = c0;
+  disp.run_gemm_cpu<T>(d, desc, alpha, a.data(), b.data(), beta,
+                       c_cpu.data());
+
+  std::vector<T> c_gpu = c0;
+  auto job = disp.enqueue_gemm_gpu<T>(d, desc, alpha, a.data(), b.data(),
+                                      beta, c_gpu.data());
+  disp.finish_gpu_job(job);
+
+  expect_bitwise_eq(c_gpu, c_cpu, trial);
+  // Padding rows of C (beyond m) must be exactly the initial contents.
+  for (std::int64_t col = 0; col < n; ++col) {
+    for (std::int64_t row = m; row < desc.ldc; ++row) {
+      const auto i = static_cast<std::size_t>(col * desc.ldc + row);
+      ASSERT_EQ(c_gpu[i], c0[i]) << "GPU route clobbered padding, trial "
+                                 << trial;
+    }
+  }
+
+  // Coalesced batched route: a small batch of this same shape, every
+  // member bit-identical to the per-call CPU result.
+  constexpr int kBatch = 3;
+  std::vector<std::vector<T>> cs(kBatch, c0);
+  std::vector<const T*> as(kBatch, a.data());
+  std::vector<const T*> bs(kBatch, b.data());
+  std::vector<T*> cps;
+  for (auto& c : cs) cps.push_back(c.data());
+  disp.run_gemm_coalesced<T>(desc, alpha, as.data(), bs.data(), beta,
+                             cps.data(), kBatch);
+  for (const auto& c : cs) expect_bitwise_eq(c, c_cpu, trial);
+}
+
+TEST(OpDescRouteIdentity, GemmCpuGpuAndCoalescedAgreeBitwise) {
+  dispatch::Dispatcher disp(identity_config());
+  util::Xoshiro256 rng(0x0bde5c);
+  for (int trial = 0; trial < 40; ++trial) {
+    gemm_route_identity_trial<float>(disp, rng, trial);
+    gemm_route_identity_trial<double>(disp, rng, trial);
+  }
+}
+
+template <typename T>
+void gemv_route_identity_trial(dispatch::Dispatcher& disp,
+                               util::Xoshiro256& rng, int trial) {
+  const auto m = rng.uniform_int(1, 96);
+  const auto n = rng.uniform_int(1, 96);
+  const Transpose ta =
+      rng.next_double() < 0.5 ? Transpose::No : Transpose::Yes;
+  const T alpha = rng.next_double() < 0.5 ? T(1) : T(2);
+  const T beta = rng.next_double() < 0.5 ? T(0) : T(-1);
+
+  constexpr auto p = sizeof(T) == 4 ? model::Precision::F32
+                                    : model::Precision::F64;
+  OpDesc desc = OpDesc::gemv(p, ta, m, n, 0, 1, 1, alpha == T(1),
+                             beta == T(0));
+  desc.lda += rng.uniform_int(0, 7);
+
+  const auto a = random_matrix<T>(desc.lda, n, rng);
+  const auto x = random_matrix<T>(desc.x_len(), 1, rng);
+  const auto y0 = random_matrix<T>(desc.y_len(), 1, rng);
+
+  const dispatch::Decision d = disp.plan(desc, true);
+
+  std::vector<T> y_cpu = y0;
+  disp.run_gemv_cpu<T>(d, desc, alpha, a.data(), x.data(), beta,
+                       y_cpu.data());
+
+  std::vector<T> y_gpu = y0;
+  auto job = disp.enqueue_gemv_gpu<T>(d, desc, alpha, a.data(), x.data(),
+                                      beta, y_gpu.data());
+  disp.finish_gpu_job(job);
+
+  expect_bitwise_eq(y_gpu, y_cpu, trial);
+}
+
+TEST(OpDescRouteIdentity, GemvCpuAndGpuAgreeBitwise) {
+  dispatch::Dispatcher disp(identity_config());
+  util::Xoshiro256 rng(0x9e37);
+  for (int trial = 0; trial < 40; ++trial) {
+    gemv_route_identity_trial<float>(disp, rng, trial);
+    gemv_route_identity_trial<double>(disp, rng, trial);
+  }
+}
+
+// ------------------------------------------- Forced stays narrow
+
+TEST(OpDescRouteIdentity, ForcedOnlyForStridedGemvVectors) {
+  dispatch::Dispatcher disp(identity_config());
+  util::Xoshiro256 rng(0xfced);
+
+  // A burst of transposed GEMM/GEMV traffic through the full dispatch
+  // path: nothing may fall back to Reason::Forced.
+  for (int i = 0; i < 24; ++i) {
+    const auto s = rng.uniform_int(8, 64);
+    const OpDesc g =
+        OpDesc::gemm(model::Precision::F32, Transpose::Yes, Transpose::No, s,
+                     s, s, 0, 0, 0, true, true, disp.config().mode);
+    std::vector<float> a(static_cast<std::size_t>(s * s), 0.5F);
+    std::vector<float> b(a), c(a);
+    disp.run_gemm<float>(g, 1.0F, a.data(), b.data(), 0.0F, c.data());
+
+    const OpDesc v =
+        OpDesc::gemv(model::Precision::F64, Transpose::Yes, s, s, 0, 1, 1,
+                     true, true, disp.config().mode);
+    std::vector<double> av(static_cast<std::size_t>(s * s), 0.25);
+    std::vector<double> xv(static_cast<std::size_t>(s), 1.0), yv(xv);
+    disp.run_gemv<double>(v, 1.0, av.data(), xv.data(), 0.0, yv.data());
+  }
+  for (const auto& rec : disp.trace().snapshot()) {
+    EXPECT_NE(rec.reason, dispatch::Reason::Forced);
+  }
+
+  // A non-unit x stride is the one layout the device kernels cannot
+  // take: it must route CPU with Reason::Forced, and the trace must
+  // carry the transpose flag that got it there.
+  OpDesc sv = OpDesc::gemv(model::Precision::F64, Transpose::Yes, 32, 32, 0,
+                           2, 1, true, true, disp.config().mode);
+  std::vector<double> a(32 * 32, 0.5);
+  std::vector<double> x(2 * 32, 1.0), y(32, 0.0);
+  disp.run_gemv<double>(sv, 1.0, a.data(), x.data(), 0.0, y.data());
+  const auto recs = disp.trace().snapshot();
+  ASSERT_FALSE(recs.empty());
+  const auto& last = recs.back();
+  EXPECT_EQ(last.reason, dispatch::Reason::Forced);
+  EXPECT_EQ(last.route, dispatch::Route::Cpu);
+  EXPECT_EQ(last.trans_a, Transpose::Yes);
+}
+
+}  // namespace

@@ -121,8 +121,9 @@ TEST(DispatchQueue, GpuJobsOverlapWithCpuWorkInTheSameCycle) {
   cfg.cpu_threads = 2;
   dispatch::Dispatcher disp(cfg);
 
-  const dispatch::CallShape mid{core::KernelOp::Gemm, model::Precision::F32,
-                                224, 224, 224, true, cfg.mode};
+  const core::OpDesc mid = core::OpDesc::gemm(
+      model::Precision::F32, blas::Transpose::No, blas::Transpose::No, 224,
+      224, 224, 0, 0, 0, /*alpha_one=*/true, /*beta_zero=*/true, cfg.mode);
   ASSERT_EQ(disp.oracle_route(mid), dispatch::Route::Gpu)
       << "test premise: 224^3 f32 offloads on isambard-ai";
 

@@ -10,20 +10,18 @@ namespace {
 
 using namespace blob;
 using dispatch::BucketKey;
-using dispatch::CallShape;
 using dispatch::Decision;
 using dispatch::DecisionTable;
 using dispatch::DecisionTableConfig;
 using dispatch::Reason;
 using dispatch::Route;
 
-CallShape square_gemm(std::int64_t s,
-                      model::Precision p = model::Precision::F32) {
-  CallShape shape;
-  shape.op = core::KernelOp::Gemm;
-  shape.precision = p;
-  shape.m = shape.n = shape.k = s;
-  return shape;
+core::OpDesc square_gemm(std::int64_t s,
+                         model::Precision p = model::Precision::F32,
+                         blas::Transpose ta = blas::Transpose::No,
+                         blas::Transpose tb = blas::Transpose::No) {
+  return core::OpDesc::gemm(p, ta, tb, s, s, s, 0, 0, 0,
+                            /*alpha_one=*/true, /*beta_zero=*/true);
 }
 
 TEST(DispatchTable, BucketsAreLogScaleInFlops) {
@@ -42,6 +40,21 @@ TEST(DispatchTable, BucketsAreLogScaleInFlops) {
   const BucketKey kf64 =
       dispatch::bucket_key(square_gemm(64, model::Precision::F64));
   EXPECT_NE(kf32, kf64);
+}
+
+TEST(DispatchTable, TransposeFlagsEnterTheKey) {
+  // A transposed call has the same flops (same size bucket) but learns
+  // in its own bucket: packing/stride costs differ per layout.
+  const BucketKey nn = dispatch::bucket_key(square_gemm(128));
+  const BucketKey tn = dispatch::bucket_key(square_gemm(
+      128, model::Precision::F32, blas::Transpose::Yes));
+  const BucketKey nt = dispatch::bucket_key(square_gemm(
+      128, model::Precision::F32, blas::Transpose::No,
+      blas::Transpose::Yes));
+  EXPECT_EQ(nn.bucket, tn.bucket);
+  EXPECT_NE(nn, tn);
+  EXPECT_NE(nn, nt);
+  EXPECT_NE(tn, nt);
 }
 
 TEST(DispatchTable, ColdStartFollowsSeededIncumbent) {
@@ -89,7 +102,7 @@ TEST(DispatchTable, NoFlappingNearCrossoverUnderNoise) {
   DecisionTableConfig cfg;
   cfg.converged_visits = 1u << 30;  // keep exploring for this test
   DecisionTable table(cfg);
-  const CallShape shape = square_gemm(256);
+  const core::OpDesc shape = square_gemm(256);
   const BucketKey key = dispatch::bucket_key(shape);
   const double cpu_true = 1.00e-3;
   const double gpu_true = 0.95e-3;

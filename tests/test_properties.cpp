@@ -9,6 +9,8 @@
 #include "blas/gemm.hpp"
 #include "blas/gemv.hpp"
 #include "blas_test_util.hpp"
+#include "core/flops.hpp"
+#include "core/op_desc.hpp"
 #include "core/sim_backend.hpp"
 #include "core/threshold.hpp"
 #include "sysprofile/profile.hpp"
@@ -143,6 +145,75 @@ TEST(PropertyKernels, GemmScalesLinearlyInAlpha) {
              a.data(), d, b.data(), d, 0.0, c3.data(), d);
   for (int i = 0; i < d * d; ++i) {
     ASSERT_NEAR(c3[i], 3.0 * c1[i], 1e-11 * (1.0 + std::fabs(c1[i])));
+  }
+}
+
+// ------------------------------------------- OpDesc IR invariants
+
+TEST(PropertyOpDesc, FlopsInvariantUnderTransposeAndLdPadding) {
+  // The work of op(A)·op(B) depends on m/n/k only: transposing operands
+  // or padding leading dimensions relabels storage, never FLOPs.
+  util::Xoshiro256 rng(0x0de5c);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto m = rng.uniform_int(1, 500);
+    const auto n = rng.uniform_int(1, 500);
+    const auto k = rng.uniform_int(1, 500);
+    const bool beta_zero = rng.next_double() < 0.5;
+    const auto nn = core::OpDesc::gemm(
+        model::Precision::F32, blas::Transpose::No, blas::Transpose::No, m,
+        n, k, 0, 0, 0, true, beta_zero);
+    const double base = core::problem_flops(nn);
+    for (auto ta : {blas::Transpose::No, blas::Transpose::Yes}) {
+      for (auto tb : {blas::Transpose::No, blas::Transpose::Yes}) {
+        auto d = core::OpDesc::gemm(model::Precision::F32, ta, tb, m, n, k,
+                                    0, 0, 0, true, beta_zero);
+        d.lda += rng.uniform_int(0, 32);
+        d.ldb += rng.uniform_int(0, 32);
+        EXPECT_DOUBLE_EQ(core::problem_flops(d), base) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(PropertyOpDesc, BatchedFlopsAreBatchTimesSingle) {
+  util::Xoshiro256 rng(0xba7c4);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto m = rng.uniform_int(1, 200);
+    const auto n = rng.uniform_int(1, 200);
+    const auto k = rng.uniform_int(1, 200);
+    const auto batch = rng.uniform_int(2, 32);
+    const auto one = core::OpDesc::gemm(
+        model::Precision::F64, blas::Transpose::No, blas::Transpose::No, m,
+        n, k, 0, 0, 0, true, true);
+    const auto many = core::OpDesc::gemm_batched(
+        model::Precision::F64, blas::Transpose::No, blas::Transpose::No, m,
+        n, k, 0, 0, 0, batch, m * k, k * n, m * n, true, true);
+    EXPECT_DOUBLE_EQ(core::problem_flops(many),
+                     static_cast<double>(batch) * core::problem_flops(one))
+        << "trial " << trial;
+  }
+}
+
+TEST(PropertyOpDesc, LowerRaiseRoundTripsRandomProblems) {
+  util::Xoshiro256 rng(0x10e4);
+  for (int trial = 0; trial < 200; ++trial) {
+    core::Problem p;
+    const bool gemv = rng.next_double() < 0.5;
+    p.op = gemv ? core::KernelOp::Gemv : core::KernelOp::Gemm;
+    p.precision = rng.next_double() < 0.5 ? model::Precision::F32
+                                          : model::Precision::F64;
+    p.dims = {rng.uniform_int(1, 4096), rng.uniform_int(1, 4096),
+              gemv ? 1 : rng.uniform_int(1, 4096)};
+    p.beta_zero = rng.next_double() < 0.5;
+    p.batch = gemv ? 1 : static_cast<int>(rng.uniform_int(1, 8));
+    const core::Problem back = core::raise(core::lower(p));
+    EXPECT_EQ(back.op, p.op) << "trial " << trial;
+    EXPECT_EQ(back.precision, p.precision);
+    EXPECT_EQ(back.dims.m, p.dims.m);
+    EXPECT_EQ(back.dims.n, p.dims.n);
+    EXPECT_EQ(back.dims.k, p.dims.k);
+    EXPECT_EQ(back.beta_zero, p.beta_zero);
+    EXPECT_EQ(back.batch, p.batch);
   }
 }
 
