@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "blas/batched.hpp"
 #include "blas/gemm.hpp"
 #include "blas/ref_blas.hpp"
 #include "lapack/getrf.hpp"
@@ -120,6 +121,112 @@ void BM_gemv_trans(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2LL * n * n);
 }
 
+/// True scalar GEMV baseline: the same column-axpy loop nest as
+/// blas::ref::gemv but with auto-vectorization disabled, so the
+/// BM_gemv / BM_gemv_scalar ratio isolates what the SIMD engine buys
+/// over one-lane code (ref::gemv as compiled is auto-vectorized and
+/// only measures the cache-blocking gap).
+template <typename T>
+#if !defined(__clang__) && defined(__GNUC__)
+__attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#endif
+void scalar_gemv(int m, int n, T alpha, const T* a, int lda, const T* x,
+                 T beta, T* y) {
+  for (int i = 0; i < m; ++i) y[i] = beta == T(0) ? T(0) : beta * y[i];
+  for (int j = 0; j < n; ++j) {
+    const T t = alpha * x[j];
+    const T* col = a + static_cast<std::size_t>(j) * lda;
+#if defined(__clang__)
+#pragma clang loop vectorize(disable) interleave(disable)
+#endif
+    for (int i = 0; i < m; ++i) y[i] += t * col[i];
+  }
+}
+
+template <typename T>
+void BM_gemv_scalar(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a = random_vec<T>(static_cast<std::size_t>(n) * n, 3);
+  auto x = random_vec<T>(static_cast<std::size_t>(n), 4);
+  std::vector<T> y(static_cast<std::size_t>(n), T(0));
+  for (auto _ : state) {
+    scalar_gemv(n, n, T(1), a.data(), n, x.data(), T(0), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n);
+}
+
+/// Library reference GEMV as compiled (auto-vectorized): the
+/// cache-behaviour comparison point.
+template <typename T>
+void BM_gemv_reference(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto a = random_vec<T>(static_cast<std::size_t>(n) * n, 3);
+  auto x = random_vec<T>(static_cast<std::size_t>(n), 4);
+  std::vector<T> y(static_cast<std::size_t>(n), T(0));
+  for (auto _ : state) {
+    blas::ref::gemv(blas::Transpose::No, n, n, T(1), a.data(), n, x.data(),
+                    1, T(0), y.data(), 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n);
+}
+
+/// Threaded GEMV over {m, n, trans, threads}. Tall-skinny transposed
+/// shapes drive the split-m partial-y tree reduction; square NoTrans
+/// shapes drive the row-split path. The warm-up call sizes the arena
+/// so iterations measure steady-state behaviour.
+template <typename T>
+void BM_gemv_parallel(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const auto ta = state.range(2) ? blas::Transpose::Yes : blas::Transpose::No;
+  const auto threads = static_cast<std::size_t>(state.range(3));
+  parallel::ThreadPool pool(threads);
+  auto a = random_vec<T>(static_cast<std::size_t>(m) * n, 3);
+  const int xlen = ta == blas::Transpose::No ? n : m;
+  const int ylen = ta == blas::Transpose::No ? m : n;
+  auto x = random_vec<T>(static_cast<std::size_t>(xlen), 4);
+  std::vector<T> y(static_cast<std::size_t>(ylen), T(0));
+  blas::gemv(ta, m, n, T(1), a.data(), m, x.data(), 1, T(0), y.data(), 1,
+             &pool, threads);  // warm-up: size the arena outside the loop
+  for (auto _ : state) {
+    blas::gemv(ta, m, n, T(1), a.data(), m, x.data(), 1, T(0), y.data(), 1,
+               &pool, threads);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * m * n);
+}
+
+/// Batched small GEMV through the pointer-array primitive — one
+/// fork/join amortised over the whole batch (the admission queue's
+/// coalescing payload). Args: {dim, batch, threads}.
+template <typename T>
+void BM_gemv_batched(benchmark::State& state) {
+  const int dim = static_cast<int>(state.range(0));
+  const int batch = static_cast<int>(state.range(1));
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  parallel::ThreadPool pool(threads);
+  const std::size_t mat = static_cast<std::size_t>(dim) * dim;
+  auto a = random_vec<T>(mat * batch, 3);
+  auto x = random_vec<T>(static_cast<std::size_t>(dim) * batch, 4);
+  std::vector<T> y(static_cast<std::size_t>(dim) * batch, T(0));
+  std::vector<const T*> as(batch), xs(batch);
+  std::vector<T*> ys(batch);
+  for (int i = 0; i < batch; ++i) {
+    as[i] = a.data() + mat * i;
+    xs[i] = x.data() + static_cast<std::size_t>(dim) * i;
+    ys[i] = y.data() + static_cast<std::size_t>(dim) * i;
+  }
+  for (auto _ : state) {
+    blas::gemv_batched(blas::Transpose::No, dim, dim, T(1), as.data(), dim,
+                       xs.data(), 1, T(0), ys.data(), 1, batch, &pool,
+                       threads);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * dim * dim * batch);
+}
+
 template <typename T>
 void BM_dot(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -211,12 +318,47 @@ BENCHMARK_TEMPLATE(BM_gemm_trans, double)
     ->Args({128, 0, 1})
     ->Args({128, 1, 1})
     ->Args({256, 1, 0});
-BENCHMARK_TEMPLATE(BM_gemv, float)->Arg(256)->Arg(1024);
-BENCHMARK_TEMPLATE(BM_gemv, double)->Arg(256)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_gemv, float)->Arg(256)->Arg(1024)->Arg(2048)->Arg(4096);
+BENCHMARK_TEMPLATE(BM_gemv, double)->Arg(256)->Arg(1024)->Arg(2048);
 // Transposed GEMV (y = A^T x): the strided-read kernel the GPU path now
 // also exercises first-class.
-BENCHMARK_TEMPLATE(BM_gemv_trans, float)->Arg(1024);
-BENCHMARK_TEMPLATE(BM_gemv_trans, double)->Arg(1024);
+BENCHMARK_TEMPLATE(BM_gemv_trans, float)->Arg(1024)->Arg(2048);
+BENCHMARK_TEMPLATE(BM_gemv_trans, double)->Arg(1024)->Arg(2048);
+// Scalar baseline at the same sizes: the serial SIMD engine is held to
+// >= 2x over BM_gemv_scalar at the large sizes (1024/2048/4096).
+BENCHMARK_TEMPLATE(BM_gemv_scalar, float)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096);
+BENCHMARK_TEMPLATE(BM_gemv_scalar, double)->Arg(1024)->Arg(2048);
+BENCHMARK_TEMPLATE(BM_gemv_reference, float)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Arg(4096);
+BENCHMARK_TEMPLATE(BM_gemv_reference, double)->Arg(256)->Arg(1024)->Arg(2048);
+// {m, n, trans, threads}: square row-split scaling, then the tall-skinny
+// transposed shapes that take the split-m partial-y reduction path.
+BENCHMARK_TEMPLATE(BM_gemv_parallel, float)
+    ->Args({4096, 4096, 0, 1})
+    ->Args({4096, 4096, 0, 2})
+    ->Args({4096, 4096, 0, 4})
+    ->Args({32768, 8, 1, 1})
+    ->Args({32768, 8, 1, 4});
+BENCHMARK_TEMPLATE(BM_gemv_parallel, double)
+    ->Args({2048, 2048, 0, 4})
+    ->Args({32768, 8, 1, 1})
+    ->Args({32768, 8, 1, 4})
+    ->Args({65536, 4, 1, 4});
+// {dim, batch, threads}: the coalesced small-GEMV payload.
+BENCHMARK_TEMPLATE(BM_gemv_batched, float)
+    ->Args({48, 256, 1})
+    ->Args({48, 256, 4})
+    ->Args({96, 128, 4});
+BENCHMARK_TEMPLATE(BM_gemv_batched, double)
+    ->Args({48, 256, 4})
+    ->Args({96, 128, 4});
 BENCHMARK_TEMPLATE(BM_dot, float)->Arg(1 << 16);
 BENCHMARK_TEMPLATE(BM_dot, double)->Arg(1 << 16);
 BENCHMARK_TEMPLATE(BM_axpy, float)->Arg(1 << 16);

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Run the GEMV micro-benchmarks (scalar reference vs SIMD serial engine,
+# threaded square / tall-skinny split-m shapes, batched small-GEMV) and
+# emit a JSON report to artifacts/BENCH_gemv.json for comparison across
+# commits. The BM_gemv vs BM_gemv_reference pairs at the same size are
+# the serial-speedup watch; BM_gemv_parallel at {32768, 8, trans} is the
+# split-m reduction watch.
+#
+# Usage: scripts/bench_gemv.sh [build-dir] [--quick] [extra gbench args...]
+#   --quick  CI smoke mode: minimal measurement time per benchmark.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [ $# -ge 1 ] && [ "${1#--}" = "$1" ]; then
+  build_dir="$1"
+  shift
+fi
+quick=()
+if [ "${1:-}" = "--quick" ]; then
+  quick=(--benchmark_min_time=0.01)
+  shift
+fi
+bench="$build_dir/bench/kernels_gbench"
+
+if [ ! -x "$bench" ]; then
+  echo "error: $bench not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j --target kernels_gbench" >&2
+  exit 1
+fi
+
+out_dir="$repo_root/artifacts"
+mkdir -p "$out_dir"
+
+"$bench" \
+  --benchmark_filter='gemv' \
+  --benchmark_out="$out_dir/BENCH_gemv.json" \
+  --benchmark_out_format=json \
+  ${quick[@]+"${quick[@]}"} \
+  "$@"
+
+echo "wrote $out_dir/BENCH_gemv.json"

@@ -73,6 +73,41 @@ void gemm_strided_batched(Transpose ta, Transpose tb, int m, int n, int k,
                                          serial, threaded);
 }
 
+template <typename T>
+void gemv_batched(Transpose ta, int m, int n, T alpha, const T* const* a,
+                  int lda, const T* const* x, int incx, T beta, T* const* y,
+                  int incy, int batch, parallel::ThreadPool* pool,
+                  std::size_t num_threads) {
+  const std::function<void(int)> serial = [&](int i) {
+    gemv_serial(ta, m, n, alpha, a[i], lda, x[i], incx, beta, y[i], incy);
+  };
+  const std::function<void(int)> threaded = [&](int i) {
+    gemv(ta, m, n, alpha, a[i], lda, x[i], incx, beta, y[i], incy, pool,
+         num_threads);
+  };
+  run_batch<T, std::function<void(int)>>(batch, m, n, /*k=*/1, pool,
+                                         num_threads, serial, threaded);
+}
+
+template <typename T>
+void gemv_strided_batched(Transpose ta, int m, int n, T alpha, const T* a,
+                          int lda, std::ptrdiff_t stride_a, const T* x,
+                          int incx, std::ptrdiff_t stride_x, T beta, T* y,
+                          int incy, std::ptrdiff_t stride_y, int batch,
+                          parallel::ThreadPool* pool,
+                          std::size_t num_threads) {
+  const std::function<void(int)> serial = [&](int i) {
+    gemv_serial(ta, m, n, alpha, a + i * stride_a, lda, x + i * stride_x,
+                incx, beta, y + i * stride_y, incy);
+  };
+  const std::function<void(int)> threaded = [&](int i) {
+    gemv(ta, m, n, alpha, a + i * stride_a, lda, x + i * stride_x, incx,
+         beta, y + i * stride_y, incy, pool, num_threads);
+  };
+  run_batch<T, std::function<void(int)>>(batch, m, n, /*k=*/1, pool,
+                                         num_threads, serial, threaded);
+}
+
 #define BLOB_BLAS_BATCHED_INST(T)                                            \
   template void gemm_batched<T>(Transpose, Transpose, int, int, int, T,      \
                                 const T* const*, int, const T* const*, int,  \
@@ -81,7 +116,15 @@ void gemm_strided_batched(Transpose ta, Transpose tb, int m, int n, int k,
   template void gemm_strided_batched<T>(                                     \
       Transpose, Transpose, int, int, int, T, const T*, int,                 \
       std::ptrdiff_t, const T*, int, std::ptrdiff_t, T, T*, int,             \
-      std::ptrdiff_t, int, parallel::ThreadPool*, std::size_t)
+      std::ptrdiff_t, int, parallel::ThreadPool*, std::size_t);              \
+  template void gemv_batched<T>(Transpose, int, int, T, const T* const*,     \
+                                int, const T* const*, int, T, T* const*,     \
+                                int, int, parallel::ThreadPool*,             \
+                                std::size_t);                                \
+  template void gemv_strided_batched<T>(                                     \
+      Transpose, int, int, T, const T*, int, std::ptrdiff_t, const T*, int,  \
+      std::ptrdiff_t, T, T*, int, std::ptrdiff_t, int,                       \
+      parallel::ThreadPool*, std::size_t)
 BLOB_BLAS_BATCHED_INST(float);
 BLOB_BLAS_BATCHED_INST(double);
 #undef BLOB_BLAS_BATCHED_INST

@@ -1,15 +1,18 @@
 #pragma once
-// Batched GEMM (pointer-array and strided variants).
+// Batched GEMM and GEMV (pointer-array and strided variants).
 //
 // The paper's future work targets batched kernels, noting they "can
 // greatly improve GEMM performance for small problem sizes if many can be
 // computed concurrently" (§V). Our implementation parallelises across the
-// batch when matrices are small (each worker runs serial GEMMs) and
-// within the GEMM when matrices are large.
+// batch when problems are small (each worker runs serial kernels) and
+// within the kernel when problems are large. GEMV batches use the same
+// driver with k = 1 — small-GEMV traffic coalesced by the dispatcher's
+// admission queue lands here.
 
 #include <cstddef>
 
 #include "blas/gemm.hpp"
+#include "blas/gemv.hpp"
 #include "blas/types.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -36,6 +39,25 @@ void gemm_strided_batched(Transpose ta, Transpose tb, int m, int n, int k,
                           parallel::ThreadPool* pool = nullptr,
                           std::size_t num_threads = 1);
 
+/// Pointer-array batched GEMV: for b in [0, batch):
+///   y[b] = alpha * op(A[b]) * x[b] + beta * y[b].
+/// All problems share (ta, m, n, lda, incx, incy).
+template <typename T>
+void gemv_batched(Transpose ta, int m, int n, T alpha, const T* const* a,
+                  int lda, const T* const* x, int incx, T beta, T* const* y,
+                  int incy, int batch, parallel::ThreadPool* pool = nullptr,
+                  std::size_t num_threads = 1);
+
+/// Strided batched GEMV: operand `i` of problem `b` lives at
+/// base + b * stride. Matches cublasSgemvStridedBatched semantics.
+template <typename T>
+void gemv_strided_batched(Transpose ta, int m, int n, T alpha, const T* a,
+                          int lda, std::ptrdiff_t stride_a, const T* x,
+                          int incx, std::ptrdiff_t stride_x, T beta, T* y,
+                          int incy, std::ptrdiff_t stride_y, int batch,
+                          parallel::ThreadPool* pool = nullptr,
+                          std::size_t num_threads = 1);
+
 #define BLOB_BLAS_BATCHED_EXTERN(T)                                          \
   extern template void gemm_batched<T>(                                     \
       Transpose, Transpose, int, int, int, T, const T* const*, int,         \
@@ -44,7 +66,14 @@ void gemm_strided_batched(Transpose ta, Transpose tb, int m, int n, int k,
   extern template void gemm_strided_batched<T>(                             \
       Transpose, Transpose, int, int, int, T, const T*, int,                \
       std::ptrdiff_t, const T*, int, std::ptrdiff_t, T, T*, int,            \
-      std::ptrdiff_t, int, parallel::ThreadPool*, std::size_t)
+      std::ptrdiff_t, int, parallel::ThreadPool*, std::size_t);             \
+  extern template void gemv_batched<T>(                                     \
+      Transpose, int, int, T, const T* const*, int, const T* const*, int,  \
+      T, T* const*, int, int, parallel::ThreadPool*, std::size_t);          \
+  extern template void gemv_strided_batched<T>(                             \
+      Transpose, int, int, T, const T*, int, std::ptrdiff_t, const T*,     \
+      int, std::ptrdiff_t, T, T*, int, std::ptrdiff_t, int,                \
+      parallel::ThreadPool*, std::size_t)
 BLOB_BLAS_BATCHED_EXTERN(float);
 BLOB_BLAS_BATCHED_EXTERN(double);
 #undef BLOB_BLAS_BATCHED_EXTERN

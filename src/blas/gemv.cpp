@@ -1,55 +1,214 @@
 #include "blas/gemv.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <type_traits>
 
-#include "blas/ref_blas.hpp"
+#include "blas/gemv_kernels_avx2.hpp"
+#include "blas/pack_arena.hpp"
+#include "parallel/policy.hpp"
 
 namespace blob::blas {
 
 namespace {
 
-/// NoTrans row-slab kernel: y[r0:r1] = beta*y[r0:r1] + alpha*A[r0:r1,:]*x.
-/// Unit increments only. Processes columns in groups of four so each pass
-/// over the y slab does four fused updates (better load/store balance).
-template <typename T>
-void gemv_rows_unit(int r0, int r1, int n, T alpha, const T* a, int lda,
-                    const T* x, T beta, T* y) {
-  for (int i = r0; i < r1; ++i) y[i] = beta == T(0) ? T(0) : beta * y[i];
-  if (alpha == T(0)) return;
+/// NoTrans streams columns past a resident y slab: 1024 rows of y (4/8 KB)
+/// stay in L1 while each pass reads four fresh columns.
+constexpr int kRowBlock = 1024;
 
-  int j = 0;
-  for (; j + 4 <= n; j += 4) {
-    const T x0 = alpha * x[j];
-    const T x1 = alpha * x[j + 1];
-    const T x2 = alpha * x[j + 2];
-    const T x3 = alpha * x[j + 3];
-    const T* c0 = a + static_cast<std::size_t>(j) * lda;
-    const T* c1 = c0 + lda;
-    const T* c2 = c1 + lda;
-    const T* c3 = c2 + lda;
-    for (int i = r0; i < r1; ++i) {
-      y[i] += x0 * c0[i] + x1 * c1[i] + x2 * c2[i] + x3 * c3[i];
-    }
-  }
-  for (; j < n; ++j) {
-    const T xj = alpha * x[j];
-    const T* col = a + static_cast<std::size_t>(j) * lda;
-    for (int i = r0; i < r1; ++i) y[i] += xj * col[i];
+/// Trans streams columns past a resident x chunk: 4096 elements (16/32 KB)
+/// of x are reused by every column of the block before moving on.
+constexpr int kStreamBlock = 4096;
+
+/// Minimum FLOPs a parallel chunk must carry to amortise its share of the
+/// fork/join (~2e-5 s against ~1e10 single-core GEMV FLOP/s).
+constexpr double kGemvMinFlopsPerChunk = 2.0e5;
+
+// -- scalar fallback kernels -------------------------------------------------
+// Plain multiply-add (not std::fma): each element's result depends only on
+// the column order, never on slab boundaries, so the scalar build is
+// self-consistent across serial/parallel splits without paying a libm
+// fma call per element on non-FMA targets.
+
+template <typename T>
+void axpy4_scalar(int len, const T* c0, const T* c1, const T* c2, const T* c3,
+                  T x0, T x1, T x2, T x3, T* y) {
+  for (int i = 0; i < len; ++i) {
+    y[i] += x0 * c0[i] + x1 * c1[i] + x2 * c2[i] + x3 * c3[i];
   }
 }
 
-/// Trans column-dot kernel: y[j] = beta*y[j] + alpha*dot(A[:,j], x) for
-/// j in [c0, c1). Unit increments only.
 template <typename T>
-void gemv_cols_unit(int c0, int c1, int m, T alpha, const T* a, int lda,
-                    const T* x, T beta, T* y) {
-  for (int j = c0; j < c1; ++j) {
-    const T* col = a + static_cast<std::size_t>(j) * lda;
-    T sum = T(0);
-    for (int i = 0; i < m; ++i) sum += col[i] * x[i];
-    const T prior = beta == T(0) ? T(0) : beta * y[j];
-    y[j] = prior + alpha * sum;
+void axpy1_scalar(int len, const T* col, T xj, T* y) {
+  for (int i = 0; i < len; ++i) y[i] += xj * col[i];
+}
+
+template <typename T>
+T dot_scalar(int len, const T* col, const T* x) {
+  T s0 = T(0), s1 = T(0), s2 = T(0), s3 = T(0);
+  int i = 0;
+  for (; i + 4 <= len; i += 4) {
+    s0 += col[i] * x[i];
+    s1 += col[i + 1] * x[i + 1];
+    s2 += col[i + 2] * x[i + 2];
+    s3 += col[i + 3] * x[i + 3];
   }
+  T sum = (s0 + s1) + (s2 + s3);
+  for (; i < len; ++i) sum += col[i] * x[i];
+  return sum;
+}
+
+// -- runtime-dispatched primitives -------------------------------------------
+
+template <typename T>
+void axpy4(int len, const T* c0, const T* c1, const T* c2, const T* c3, T x0,
+           T x1, T x2, T x3, T* y) {
+#if BLOB_HAVE_AVX2_GEMV
+  if (detail::gemv_use_avx2()) {
+    if constexpr (std::is_same_v<T, float>) {
+      detail::gemv_axpy4_f32_avx2(len, c0, c1, c2, c3, x0, x1, x2, x3, y);
+      return;
+    } else if constexpr (std::is_same_v<T, double>) {
+      detail::gemv_axpy4_f64_avx2(len, c0, c1, c2, c3, x0, x1, x2, x3, y);
+      return;
+    }
+  }
+#endif
+  axpy4_scalar(len, c0, c1, c2, c3, x0, x1, x2, x3, y);
+}
+
+template <typename T>
+void axpy1(int len, const T* col, T xj, T* y) {
+#if BLOB_HAVE_AVX2_GEMV
+  if (detail::gemv_use_avx2()) {
+    if constexpr (std::is_same_v<T, float>) {
+      detail::gemv_axpy1_f32_avx2(len, col, xj, y);
+      return;
+    } else if constexpr (std::is_same_v<T, double>) {
+      detail::gemv_axpy1_f64_avx2(len, col, xj, y);
+      return;
+    }
+  }
+#endif
+  axpy1_scalar(len, col, xj, y);
+}
+
+template <typename T>
+T dot(int len, const T* col, const T* x) {
+#if BLOB_HAVE_AVX2_GEMV
+  if (detail::gemv_use_avx2()) {
+    if constexpr (std::is_same_v<T, float>) {
+      return detail::gemv_dot_f32_avx2(len, col, x);
+    } else if constexpr (std::is_same_v<T, double>) {
+      return detail::gemv_dot_f64_avx2(len, col, x);
+    }
+  }
+#endif
+  return dot_scalar(len, col, x);
+}
+
+// -- blocked slab kernels ----------------------------------------------------
+
+/// NoTrans slab: y[r0:r1] = beta*y[r0:r1] + alpha * A[r0:r1, :] * x.
+/// Row blocks keep the y slab L1-resident; columns stream in groups of
+/// four. Per-element math depends only on the column order, so any row
+/// split of [0, m) reproduces the serial result bitwise.
+template <typename T>
+void gemv_rows_blocked(int r0, int r1, int n, T alpha, const T* a, int lda,
+                       const T* x, T beta, T* y) {
+  for (int i = r0; i < r1; ++i) y[i] = beta == T(0) ? T(0) : beta * y[i];
+  if (alpha == T(0) || n == 0) return;
+  for (int ib = r0; ib < r1; ib += kRowBlock) {
+    const int len = std::min(kRowBlock, r1 - ib);
+    const T* ab = a + ib;
+    T* yb = y + ib;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const T* c0 = ab + static_cast<std::size_t>(j) * lda;
+      const T* c1 = c0 + lda;
+      const T* c2 = c1 + lda;
+      const T* c3 = c2 + lda;
+      axpy4(len, c0, c1, c2, c3, alpha * x[j], alpha * x[j + 1],
+            alpha * x[j + 2], alpha * x[j + 3], yb);
+    }
+    for (; j < n; ++j) {
+      axpy1(len, ab + static_cast<std::size_t>(j) * lda, alpha * x[j], yb);
+    }
+  }
+}
+
+/// Trans columns: y[c0:c1] = beta*y[c0:c1] + alpha * A[:, c0:c1]^T * x,
+/// blocked over the streamed dimension m so the x chunk stays cache
+/// resident while every column of the block is dotted against it. Each
+/// column's accumulation is independent of [c0, c1), so any column split
+/// reproduces the serial result bitwise.
+template <typename T>
+void gemv_cols_blocked(int c0, int c1, int m, T alpha, const T* a, int lda,
+                       const T* x, T beta, T* y) {
+  for (int j = c0; j < c1; ++j) y[j] = beta == T(0) ? T(0) : beta * y[j];
+  if (alpha == T(0) || m == 0) return;
+  for (int ib = 0; ib < m; ib += kStreamBlock) {
+    const int len = std::min(kStreamBlock, m - ib);
+    for (int j = c0; j < c1; ++j) {
+      const T* col = a + static_cast<std::size_t>(j) * lda + ib;
+      y[j] += alpha * dot(len, col, x + ib);
+    }
+  }
+}
+
+// -- strided-vector staging --------------------------------------------------
+
+template <typename T>
+void gather(int len, const T* v, int inc, T* dst) {
+  std::ptrdiff_t ix = inc >= 0 ? 0 : static_cast<std::ptrdiff_t>(len - 1) * -inc;
+  for (int i = 0; i < len; ++i, ix += inc) dst[i] = v[ix];
+}
+
+template <typename T>
+void scatter(int len, const T* src, T* v, int inc) {
+  std::ptrdiff_t iy = inc >= 0 ? 0 : static_cast<std::ptrdiff_t>(len - 1) * -inc;
+  for (int i = 0; i < len; ++i, iy += inc) v[iy] = src[i];
+}
+
+/// Contiguous views of (x, y): strided vectors are gathered into the
+/// thread-local serial arena so every layout reaches the blocked
+/// kernels. y is only gathered when beta != 0 (the kernels fully
+/// overwrite it otherwise); the caller scatters y back when staged.
+template <typename T>
+struct StagedVectors {
+  const T* x = nullptr;
+  T* y = nullptr;
+  T* staged_y = nullptr;  // non-null when y must be scattered back
+
+  StagedVectors(int in_len, const T* xv, int incx, int out_len, T* yv,
+                int incy, T beta) {
+    x = xv;
+    y = yv;
+    if (incx == 1 && incy == 1) return;
+    PackArena& arena = PackArena::serial_arena();
+    arena.reserve(1, sizeof(T) * static_cast<std::size_t>(std::max(1, in_len)),
+                  sizeof(T) * static_cast<std::size_t>(std::max(1, out_len)));
+    if (incx != 1) {
+      T* xs = arena.a_panel<T>(0);
+      gather(in_len, xv, incx, xs);
+      x = xs;
+    }
+    if (incy != 1) {
+      T* ys = arena.b_panel<T>();
+      if (beta != T(0)) gather(out_len, yv, incy, ys);
+      y = ys;
+      staged_y = ys;
+    }
+  }
+
+  void finish(int out_len, T* yv, int incy) const {
+    if (staged_y != nullptr) scatter(out_len, staged_y, yv, incy);
+  }
+};
+
+inline std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
 }
 
 }  // namespace
@@ -58,17 +217,16 @@ template <typename T>
 void gemv_serial(Transpose ta, int m, int n, T alpha, const T* a, int lda,
                  const T* x, int incx, T beta, T* y, int incy) {
   check_gemv(ta, m, n, lda, incx, incy);
-  if (incx != 1 || incy != 1) {
-    ref::gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
-    return;
-  }
+  const int out_len = ta == Transpose::No ? m : n;
+  const int in_len = ta == Transpose::No ? n : m;
+  if (out_len == 0) return;
+  StagedVectors<T> sv(in_len, x, incx, out_len, y, incy, beta);
   if (ta == Transpose::No) {
-    if (m == 0) return;
-    gemv_rows_unit(0, m, n, alpha, a, lda, x, beta, y);
+    gemv_rows_blocked(0, m, n, alpha, a, lda, sv.x, beta, sv.y);
   } else {
-    if (n == 0) return;
-    gemv_cols_unit(0, n, m, alpha, a, lda, x, beta, y);
+    gemv_cols_blocked(0, n, m, alpha, a, lda, sv.x, beta, sv.y);
   }
+  sv.finish(out_len, y, incy);
 }
 
 template <typename T>
@@ -78,31 +236,84 @@ void gemv(Transpose ta, int m, int n, T alpha, const T* a, int lda,
   check_gemv(ta, m, n, lda, incx, incy);
   const std::size_t threads =
       pool == nullptr ? 1 : std::min(num_threads, pool->size());
-  constexpr std::size_t kMinRowsPerThread = 256;
-  const std::size_t out_len =
-      static_cast<std::size_t>(ta == Transpose::No ? m : n);
+  const int out_len = ta == Transpose::No ? m : n;
+  const int in_len = ta == Transpose::No ? n : m;
+  if (out_len == 0) return;
 
-  if (threads <= 1 || incx != 1 || incy != 1 ||
-      out_len < kMinRowsPerThread * 2) {
+  // Grain from estimated FLOPs (2 * in_len per output element), capped so
+  // at most `threads` chunks exist — the personality's thread count, not
+  // the pool width, bounds the fan-out.
+  const double flops_per_out = 2.0 * std::max(1, in_len);
+  const std::size_t grain = parallel::flops_grain(
+      static_cast<std::size_t>(out_len), flops_per_out, kGemvMinFlopsPerChunk,
+      threads);
+  const std::size_t out_chunks =
+      ceil_div(static_cast<std::size_t>(out_len), grain);
+
+  // Tall-skinny transposed GEMV: few columns but many rows. Splitting m
+  // instead gives every thread a row slab and a private partial y.
+  std::size_t row_chunks = 0;
+  std::size_t row_grain = 0;
+  if (ta == Transpose::Yes && threads > 1 && m > 0) {
+    row_grain = parallel::flops_grain(static_cast<std::size_t>(m),
+                                      2.0 * std::max(1, n),
+                                      kGemvMinFlopsPerChunk, threads);
+    row_chunks = ceil_div(static_cast<std::size_t>(m), row_grain);
+  }
+
+  if (threads <= 1 || (out_chunks <= 1 && row_chunks <= 1)) {
     gemv_serial(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
     return;
   }
 
+  StagedVectors<T> sv(in_len, x, incx, out_len, y, incy, beta);
+  const T* xu = sv.x;
+  T* yu = sv.y;
+
   if (ta == Transpose::No) {
-    pool->parallel_for(0, static_cast<std::size_t>(m), kMinRowsPerThread,
+    pool->parallel_for(0, static_cast<std::size_t>(m), grain,
                        [&](std::size_t r0, std::size_t r1, std::size_t) {
-                         gemv_rows_unit(static_cast<int>(r0),
-                                        static_cast<int>(r1), n, alpha, a,
-                                        lda, x, beta, y);
+                         gemv_rows_blocked(static_cast<int>(r0),
+                                           static_cast<int>(r1), n, alpha, a,
+                                           lda, xu, beta, yu);
                        });
+  } else if (row_chunks > out_chunks) {
+    // Split-m parallel reduction: each chunk computes a full partial y
+    // over its row slab (alpha = 1, beta = 0), then a pairwise tree sums
+    // the partials deterministically before alpha/beta are applied once.
+    PackArena& arena = PackArena::for_pool(*pool);
+    arena.reserve(row_chunks,
+                  sizeof(T) * static_cast<std::size_t>(std::max(1, n)), 0);
+    pool->parallel_for(0, static_cast<std::size_t>(m), row_grain,
+                       [&](std::size_t r0, std::size_t r1,
+                           std::size_t chunk) {
+                         T* partial = arena.a_panel<T>(chunk);
+                         gemv_cols_blocked(0, n, static_cast<int>(r1 - r0),
+                                           T(1), a + r0, lda, xu + r0, T(0),
+                                           partial);
+                       });
+    for (std::size_t stride = 1; stride < row_chunks; stride *= 2) {
+      for (std::size_t c = 0; c + stride < row_chunks; c += 2 * stride) {
+        T* dst = arena.a_panel<T>(c);
+        const T* src = arena.a_panel<T>(c + stride);
+        for (int j = 0; j < n; ++j) dst[j] += src[j];
+      }
+    }
+    const T* total = arena.a_panel<T>(0);
+    for (int j = 0; j < n; ++j) {
+      const T prior = beta == T(0) ? T(0) : beta * yu[j];
+      yu[j] = prior + alpha * total[j];
+    }
   } else {
-    pool->parallel_for(0, static_cast<std::size_t>(n), kMinRowsPerThread,
+    pool->parallel_for(0, static_cast<std::size_t>(n), grain,
                        [&](std::size_t c0, std::size_t c1, std::size_t) {
-                         gemv_cols_unit(static_cast<int>(c0),
-                                        static_cast<int>(c1), m, alpha, a,
-                                        lda, x, beta, y);
+                         gemv_cols_blocked(static_cast<int>(c0),
+                                           static_cast<int>(c1), m, alpha, a,
+                                           lda, xu, beta, yu);
                        });
   }
+
+  sv.finish(out_len, y, incy);
 }
 
 template void gemv_serial<float>(Transpose, int, int, float, const float*,

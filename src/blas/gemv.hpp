@@ -1,12 +1,21 @@
 #pragma once
 // Optimized GEMV: y = alpha * op(A) * x + beta * y, column major.
 //
-// NoTrans splits the row range across threads (each worker reads a
-// contiguous row slab of every column); Trans splits the output (columns
-// of A) across threads, each computing independent column dots. Whether
-// GEMV is threaded at all is a library-personality decision — the paper
-// traces LUMI's surprisingly low GEMV offload thresholds to AOCL *not*
-// parallelising GEMV (§IV-B, Fig. 6).
+// The serial engine is cache blocked with AVX2/FMA primitives
+// (gemv_kernels_avx2.hpp, runtime-dispatched with a scalar fallback):
+// NoTrans fuses four columns per axpy pass over an L1-resident y slab;
+// Trans runs multi-accumulator column dots against an L1-resident x
+// chunk. The threaded entry splits rows (NoTrans, bitwise identical to
+// serial), columns (Trans wide shapes, bitwise identical), or — for
+// tall-skinny transposed shapes — rows with per-chunk partial-y
+// accumulators merged by a deterministic pairwise tree reduction.
+// Strided incx/incy are staged into contiguous PackArena scratch so
+// every layout reaches the fast kernels. Whether GEMV is threaded at
+// all is a library-personality decision — the paper traces LUMI's
+// surprisingly low GEMV offload thresholds to AOCL *not* parallelising
+// GEMV (§IV-B, Fig. 6); the chunk grain is FLOPs-aware
+// (parallel::flops_grain) so the personality's thread count, not the
+// pool width, bounds the fan-out.
 
 #include "blas/types.hpp"
 #include "parallel/thread_pool.hpp"
@@ -18,8 +27,8 @@ template <typename T>
 void gemv_serial(Transpose ta, int m, int n, T alpha, const T* a, int lda,
                  const T* x, int incx, T beta, T* y, int incy);
 
-/// Threaded GEMV. Strided increments fall back to the serial kernel
-/// (GPU-BLOB only exercises incx = incy = 1, paper §III-A).
+/// Threaded GEMV. Strided increments are staged into contiguous scratch
+/// and still hit the parallel kernels.
 template <typename T>
 void gemv(Transpose ta, int m, int n, T alpha, const T* a, int lda,
           const T* x, int incx, T beta, T* y, int incy,

@@ -1,0 +1,240 @@
+#pragma once
+// Hand-vectorised AVX2+FMA GEMV level-2 kernels.
+//
+// Two primitive shapes cover both transposes of the blocked GEMV:
+//   * fused multi-column axpy (NoTrans): y += x0*c0 + x1*c1 + x2*c2 + x3*c3
+//     over a contiguous row slab, four columns per pass so each load of
+//     the y slab amortises four FMA streams; software prefetch runs
+//     ~256 B ahead of every column stream.
+//   * multi-accumulator column dot (Trans): one column against x with
+//     four independent vector accumulators to hide FMA latency.
+//
+// The scalar tails use std::fma in the same chain order as the vector
+// lanes, so an element lands on the same bits whether the slab length
+// put it in the vector body or the tail — that is what keeps the
+// parallel row-split bitwise identical to the serial kernel at any
+// chunk boundary. Compiled only when the target supports AVX2/FMA;
+// gemv.cpp additionally verifies CPU support at runtime and falls back
+// to the generic scalar kernels.
+
+#include <cmath>
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define BLOB_HAVE_AVX2_GEMV 1
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace blob::blas::detail {
+
+/// y[0:len] += x0*c0 + x1*c1 + x2*c2 + x3*c3 (f32, unit stride).
+inline void gemv_axpy4_f32_avx2(int len, const float* c0, const float* c1,
+                                const float* c2, const float* c3, float x0,
+                                float x1, float x2, float x3, float* y) {
+  const __m256 vx0 = _mm256_set1_ps(x0);
+  const __m256 vx1 = _mm256_set1_ps(x1);
+  const __m256 vx2 = _mm256_set1_ps(x2);
+  const __m256 vx3 = _mm256_set1_ps(x3);
+  int i = 0;
+  for (; i + 16 <= len; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(c0 + i + 64), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(c1 + i + 64), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(c2 + i + 64), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(c3 + i + 64), _MM_HINT_T0);
+    __m256 ya = _mm256_loadu_ps(y + i);
+    __m256 yb = _mm256_loadu_ps(y + i + 8);
+    ya = _mm256_fmadd_ps(vx0, _mm256_loadu_ps(c0 + i), ya);
+    yb = _mm256_fmadd_ps(vx0, _mm256_loadu_ps(c0 + i + 8), yb);
+    ya = _mm256_fmadd_ps(vx1, _mm256_loadu_ps(c1 + i), ya);
+    yb = _mm256_fmadd_ps(vx1, _mm256_loadu_ps(c1 + i + 8), yb);
+    ya = _mm256_fmadd_ps(vx2, _mm256_loadu_ps(c2 + i), ya);
+    yb = _mm256_fmadd_ps(vx2, _mm256_loadu_ps(c2 + i + 8), yb);
+    ya = _mm256_fmadd_ps(vx3, _mm256_loadu_ps(c3 + i), ya);
+    yb = _mm256_fmadd_ps(vx3, _mm256_loadu_ps(c3 + i + 8), yb);
+    _mm256_storeu_ps(y + i, ya);
+    _mm256_storeu_ps(y + i + 8, yb);
+  }
+  for (; i + 8 <= len; i += 8) {
+    __m256 ya = _mm256_loadu_ps(y + i);
+    ya = _mm256_fmadd_ps(vx0, _mm256_loadu_ps(c0 + i), ya);
+    ya = _mm256_fmadd_ps(vx1, _mm256_loadu_ps(c1 + i), ya);
+    ya = _mm256_fmadd_ps(vx2, _mm256_loadu_ps(c2 + i), ya);
+    ya = _mm256_fmadd_ps(vx3, _mm256_loadu_ps(c3 + i), ya);
+    _mm256_storeu_ps(y + i, ya);
+  }
+  for (; i < len; ++i) {
+    y[i] = std::fma(
+        x3, c3[i],
+        std::fma(x2, c2[i], std::fma(x1, c1[i], std::fma(x0, c0[i], y[i]))));
+  }
+}
+
+/// y[0:len] += xj * col (f32 single-column remainder).
+inline void gemv_axpy1_f32_avx2(int len, const float* col, float xj,
+                                float* y) {
+  const __m256 vx = _mm256_set1_ps(xj);
+  int i = 0;
+  for (; i + 16 <= len; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(col + i + 64), _MM_HINT_T0);
+    const __m256 ya =
+        _mm256_fmadd_ps(vx, _mm256_loadu_ps(col + i), _mm256_loadu_ps(y + i));
+    const __m256 yb = _mm256_fmadd_ps(vx, _mm256_loadu_ps(col + i + 8),
+                                      _mm256_loadu_ps(y + i + 8));
+    _mm256_storeu_ps(y + i, ya);
+    _mm256_storeu_ps(y + i + 8, yb);
+  }
+  for (; i + 8 <= len; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_fmadd_ps(vx, _mm256_loadu_ps(col + i),
+                                            _mm256_loadu_ps(y + i)));
+  }
+  for (; i < len; ++i) y[i] = std::fma(xj, col[i], y[i]);
+}
+
+/// dot(col, x) over len elements with four vector accumulators (f32).
+inline float gemv_dot_f32_avx2(int len, const float* col, const float* x) {
+  __m256 a0 = _mm256_setzero_ps();
+  __m256 a1 = _mm256_setzero_ps();
+  __m256 a2 = _mm256_setzero_ps();
+  __m256 a3 = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 32 <= len; i += 32) {
+    _mm_prefetch(reinterpret_cast<const char*>(col + i + 64), _MM_HINT_T0);
+    a0 = _mm256_fmadd_ps(_mm256_loadu_ps(col + i), _mm256_loadu_ps(x + i),
+                         a0);
+    a1 = _mm256_fmadd_ps(_mm256_loadu_ps(col + i + 8),
+                         _mm256_loadu_ps(x + i + 8), a1);
+    a2 = _mm256_fmadd_ps(_mm256_loadu_ps(col + i + 16),
+                         _mm256_loadu_ps(x + i + 16), a2);
+    a3 = _mm256_fmadd_ps(_mm256_loadu_ps(col + i + 24),
+                         _mm256_loadu_ps(x + i + 24), a3);
+  }
+  for (; i + 8 <= len; i += 8) {
+    a0 = _mm256_fmadd_ps(_mm256_loadu_ps(col + i), _mm256_loadu_ps(x + i),
+                         a0);
+  }
+  const __m256 s = _mm256_add_ps(_mm256_add_ps(a0, a1), _mm256_add_ps(a2, a3));
+  __m128 q = _mm_add_ps(_mm256_castps256_ps128(s), _mm256_extractf128_ps(s, 1));
+  q = _mm_add_ps(q, _mm_movehl_ps(q, q));
+  q = _mm_add_ss(q, _mm_shuffle_ps(q, q, 1));
+  float sum = _mm_cvtss_f32(q);
+  for (; i < len; ++i) sum = std::fma(col[i], x[i], sum);
+  return sum;
+}
+
+/// y[0:len] += x0*c0 + x1*c1 + x2*c2 + x3*c3 (f64, unit stride).
+inline void gemv_axpy4_f64_avx2(int len, const double* c0, const double* c1,
+                                const double* c2, const double* c3, double x0,
+                                double x1, double x2, double x3, double* y) {
+  const __m256d vx0 = _mm256_set1_pd(x0);
+  const __m256d vx1 = _mm256_set1_pd(x1);
+  const __m256d vx2 = _mm256_set1_pd(x2);
+  const __m256d vx3 = _mm256_set1_pd(x3);
+  int i = 0;
+  for (; i + 8 <= len; i += 8) {
+    _mm_prefetch(reinterpret_cast<const char*>(c0 + i + 32), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(c1 + i + 32), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(c2 + i + 32), _MM_HINT_T0);
+    _mm_prefetch(reinterpret_cast<const char*>(c3 + i + 32), _MM_HINT_T0);
+    __m256d ya = _mm256_loadu_pd(y + i);
+    __m256d yb = _mm256_loadu_pd(y + i + 4);
+    ya = _mm256_fmadd_pd(vx0, _mm256_loadu_pd(c0 + i), ya);
+    yb = _mm256_fmadd_pd(vx0, _mm256_loadu_pd(c0 + i + 4), yb);
+    ya = _mm256_fmadd_pd(vx1, _mm256_loadu_pd(c1 + i), ya);
+    yb = _mm256_fmadd_pd(vx1, _mm256_loadu_pd(c1 + i + 4), yb);
+    ya = _mm256_fmadd_pd(vx2, _mm256_loadu_pd(c2 + i), ya);
+    yb = _mm256_fmadd_pd(vx2, _mm256_loadu_pd(c2 + i + 4), yb);
+    ya = _mm256_fmadd_pd(vx3, _mm256_loadu_pd(c3 + i), ya);
+    yb = _mm256_fmadd_pd(vx3, _mm256_loadu_pd(c3 + i + 4), yb);
+    _mm256_storeu_pd(y + i, ya);
+    _mm256_storeu_pd(y + i + 4, yb);
+  }
+  for (; i + 4 <= len; i += 4) {
+    __m256d ya = _mm256_loadu_pd(y + i);
+    ya = _mm256_fmadd_pd(vx0, _mm256_loadu_pd(c0 + i), ya);
+    ya = _mm256_fmadd_pd(vx1, _mm256_loadu_pd(c1 + i), ya);
+    ya = _mm256_fmadd_pd(vx2, _mm256_loadu_pd(c2 + i), ya);
+    ya = _mm256_fmadd_pd(vx3, _mm256_loadu_pd(c3 + i), ya);
+    _mm256_storeu_pd(y + i, ya);
+  }
+  for (; i < len; ++i) {
+    y[i] = std::fma(
+        x3, c3[i],
+        std::fma(x2, c2[i], std::fma(x1, c1[i], std::fma(x0, c0[i], y[i]))));
+  }
+}
+
+/// y[0:len] += xj * col (f64 single-column remainder).
+inline void gemv_axpy1_f64_avx2(int len, const double* col, double xj,
+                                double* y) {
+  const __m256d vx = _mm256_set1_pd(xj);
+  int i = 0;
+  for (; i + 8 <= len; i += 8) {
+    _mm_prefetch(reinterpret_cast<const char*>(col + i + 32), _MM_HINT_T0);
+    const __m256d ya =
+        _mm256_fmadd_pd(vx, _mm256_loadu_pd(col + i), _mm256_loadu_pd(y + i));
+    const __m256d yb = _mm256_fmadd_pd(vx, _mm256_loadu_pd(col + i + 4),
+                                       _mm256_loadu_pd(y + i + 4));
+    _mm256_storeu_pd(y + i, ya);
+    _mm256_storeu_pd(y + i + 4, yb);
+  }
+  for (; i + 4 <= len; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_fmadd_pd(vx, _mm256_loadu_pd(col + i),
+                                            _mm256_loadu_pd(y + i)));
+  }
+  for (; i < len; ++i) y[i] = std::fma(xj, col[i], y[i]);
+}
+
+/// dot(col, x) over len elements with four vector accumulators (f64).
+inline double gemv_dot_f64_avx2(int len, const double* col, const double* x) {
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd();
+  __m256d a3 = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 16 <= len; i += 16) {
+    _mm_prefetch(reinterpret_cast<const char*>(col + i + 32), _MM_HINT_T0);
+    a0 = _mm256_fmadd_pd(_mm256_loadu_pd(col + i), _mm256_loadu_pd(x + i),
+                         a0);
+    a1 = _mm256_fmadd_pd(_mm256_loadu_pd(col + i + 4),
+                         _mm256_loadu_pd(x + i + 4), a1);
+    a2 = _mm256_fmadd_pd(_mm256_loadu_pd(col + i + 8),
+                         _mm256_loadu_pd(x + i + 8), a2);
+    a3 = _mm256_fmadd_pd(_mm256_loadu_pd(col + i + 12),
+                         _mm256_loadu_pd(x + i + 12), a3);
+  }
+  for (; i + 4 <= len; i += 4) {
+    a0 = _mm256_fmadd_pd(_mm256_loadu_pd(col + i), _mm256_loadu_pd(x + i),
+                         a0);
+  }
+  const __m256d s =
+      _mm256_add_pd(_mm256_add_pd(a0, a1), _mm256_add_pd(a2, a3));
+  __m128d q =
+      _mm_add_pd(_mm256_castpd256_pd128(s), _mm256_extractf128_pd(s, 1));
+  double sum = _mm_cvtsd_f64(_mm_add_sd(q, _mm_unpackhi_pd(q, q)));
+  for (; i < len; ++i) sum = std::fma(col[i], x[i], sum);
+  return sum;
+}
+
+}  // namespace blob::blas::detail
+
+#else
+#define BLOB_HAVE_AVX2_GEMV 0
+#endif
+
+namespace blob::blas::detail {
+
+/// Runtime gate for the AVX2 kernels: the binary may have been built
+/// -march=native on one host and run on another, so compile-time support
+/// alone is not enough. Cached after the first query.
+inline bool gemv_use_avx2() {
+#if BLOB_HAVE_AVX2_GEMV
+  static const bool ok =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+}  // namespace blob::blas::detail

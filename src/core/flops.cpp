@@ -34,10 +34,10 @@ double gemv_flops(std::int64_t m, std::int64_t n, bool beta_zero) {
 }
 
 double problem_flops(const OpDesc& desc) {
-  if (desc.op == KernelOp::Gemv)
-    return gemv_flops(desc.m, desc.n, desc.beta_zero);
   const double batch =
       static_cast<double>(std::max<std::int64_t>(1, desc.batch));
+  if (desc.op == KernelOp::Gemv)
+    return batch * gemv_flops(desc.m, desc.n, desc.beta_zero);
   return batch * gemm_flops(desc.m, desc.n, desc.k, desc.beta_zero);
 }
 
@@ -46,24 +46,24 @@ double h2d_bytes(const OpDesc& desc) {
   const double m = static_cast<double>(desc.m);
   const double n = static_cast<double>(desc.n);
   const double k = static_cast<double>(desc.k);
+  const double batch =
+      static_cast<double>(std::max<std::int64_t>(1, desc.batch));
   if (desc.op == KernelOp::Gemm) {
-    const double batch =
-        static_cast<double>(std::max<std::int64_t>(1, desc.batch));
     return batch * es * (m * k + k * n + m * n);  // A, B, C all uploaded
   }
   // A plus both vectors; x_len + y_len == m + n under either transpose.
-  return es * (m * n + n + m);
+  return batch * es * (m * n + n + m);
 }
 
 double d2h_bytes(const OpDesc& desc) {
   const double es = static_cast<double>(model::bytes_of(desc.precision));
+  const double batch =
+      static_cast<double>(std::max<std::int64_t>(1, desc.batch));
   if (desc.op == KernelOp::Gemm) {
-    const double batch =
-        static_cast<double>(std::max<std::int64_t>(1, desc.batch));
     return batch * es * static_cast<double>(desc.m) *
            static_cast<double>(desc.n);
   }
-  return es * static_cast<double>(desc.y_len());
+  return batch * es * static_cast<double>(desc.y_len());
 }
 
 double arithmetic_intensity(const OpDesc& desc) {

@@ -22,9 +22,9 @@
 //    `h2d_bytes` reject anything else). A is always the stored m×n matrix;
 //    trans_a selects A·x (x length n, y length m) or Aᵀ·x (x length m,
 //    y length n). trans_b, ldb and the batch strides are meaningless.
-//  - batch > 1 describes a strided-batched GEMM (cublas convention:
-//    operand i lives at base + i * stride). batch == 1 leaves the strides
-//    unused. GEMV never batches.
+//  - batch > 1 describes a strided-batched GEMM or GEMV (cublas
+//    convention: operand i lives at base + i * stride; for GEMV the
+//    strides cover A, x and y). batch == 1 leaves the strides unused.
 
 #include <cstdint>
 #include <stdexcept>
@@ -120,8 +120,6 @@ struct OpDesc {
     if (op == KernelOp::Gemv) {
       k = 1;
       trans_b = blas::Transpose::No;
-      batch = 1;
-      stride_a = stride_b = stride_c = 0;
     }
     if (lda == 0) lda = tight_lda();
     if (ldb == 0) ldb = tight_ldb();
@@ -185,6 +183,26 @@ struct OpDesc {
     d.alpha_one = alpha_one;
     d.beta_zero = beta_zero;
     d.mode = mode;
+    d.validate();
+    return d;
+  }
+
+  /// Strided-batched GEMV (stride_a covers A, stride_b covers x,
+  /// stride_c covers y — the same b = x, c = y operand mapping the
+  /// dispatch seam uses).
+  static OpDesc gemv_batched(model::Precision precision, blas::Transpose ta,
+                             std::int64_t m, std::int64_t n, std::int64_t lda,
+                             std::int64_t incx, std::int64_t incy,
+                             std::int64_t batch, std::int64_t stride_a,
+                             std::int64_t stride_x, std::int64_t stride_y,
+                             bool alpha_one, bool beta_zero,
+                             TransferMode mode = TransferMode::Once) {
+    OpDesc d = gemv(precision, ta, m, n, lda, incx, incy, alpha_one,
+                    beta_zero, mode);
+    d.batch = batch;
+    d.stride_a = stride_a;
+    d.stride_b = stride_x;
+    d.stride_c = stride_y;
     d.validate();
     return d;
   }

@@ -1,5 +1,7 @@
 #include "core/sim_backend.hpp"
 
+#include <algorithm>
+
 #include "core/flops.hpp"
 
 namespace blob::core {
@@ -36,6 +38,12 @@ double SimBackend::cpu_time(const OpDesc& desc, std::int64_t iterations) {
         desc.precision, static_cast<double>(desc.m),
         static_cast<double>(desc.n), static_cast<double>(desc.k), iters,
         desc.beta_zero, trans_a_of(desc), trans_b_of(desc));
+  } else if (desc.batch > 1) {
+    total = iters * profile_.cpu.gemv_batched_time(
+                        desc.precision, static_cast<double>(desc.m),
+                        static_cast<double>(desc.n),
+                        static_cast<double>(desc.batch), desc.beta_zero,
+                        trans_a_of(desc));
   } else {
     total = profile_.cpu.gemv_total_time(
         desc.precision, static_cast<double>(desc.m),
@@ -54,6 +62,12 @@ double SimBackend::kernel_time(const OpDesc& desc) const {
         static_cast<double>(desc.n), static_cast<double>(desc.k),
         static_cast<double>(desc.batch), desc.beta_zero, trans_a_of(desc),
         trans_b_of(desc));
+  }
+  if (desc.op == KernelOp::Gemv && desc.batch > 1) {
+    return profile_.gpu.gemv_batched_kernel_time(
+        desc.precision, static_cast<double>(desc.m),
+        static_cast<double>(desc.n), static_cast<double>(desc.batch),
+        desc.beta_zero, trans_a_of(desc));
   }
   return desc.op == KernelOp::Gemm
              ? profile_.gpu.gemm_kernel_time(
@@ -78,15 +92,16 @@ std::optional<double> SimBackend::gpu_time(const OpDesc& desc,
   const double md = static_cast<double>(desc.m);
   const double nd = static_cast<double>(desc.n);
   const double kd = static_cast<double>(desc.k);
+  const double bd = static_cast<double>(std::max<std::int64_t>(1, desc.batch));
   double s0 = 0.0, s1 = 0.0, s2 = 0.0;  // A, B/x, C/y
   if (desc.op == KernelOp::Gemm) {
-    s0 = es * md * kd;
-    s1 = es * kd * nd;
-    s2 = es * md * nd;
+    s0 = bd * es * md * kd;
+    s1 = bd * es * kd * nd;
+    s2 = bd * es * md * nd;
   } else {
-    s0 = es * md * nd;
-    s1 = es * static_cast<double>(desc.x_len());
-    s2 = es * static_cast<double>(desc.y_len());
+    s0 = bd * es * md * nd;
+    s1 = bd * es * static_cast<double>(desc.x_len());
+    s2 = bd * es * static_cast<double>(desc.y_len());
   }
   const double kernel = kernel_time(desc);
   const double iters = static_cast<double>(iterations);

@@ -136,6 +136,19 @@ void AdmissionQueue::worker_loop() {
         queue_.pop_front();
       }
     }
+    if (batch.size() < config_.max_drain) {
+      // Give a producer caught mid-burst one scheduling slot to finish
+      // before this cycle is fixed. Without it, on a saturated machine
+      // the first push of a burst wakes this thread, which preempts the
+      // producer and drains a one-request cycle — repeated per push, so
+      // bursts that should coalesce degenerate into per-call routing.
+      std::this_thread::yield();
+      std::lock_guard<std::mutex> lock(mutex_);
+      while (batch.size() < config_.max_drain && !queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
     {
       obs::Span cycle("dispatch.queue_cycle", obs::Category::Dispatch);
       if (cycle.active()) {
@@ -177,16 +190,22 @@ core::OpDesc AdmissionQueue::make_desc(const Request& r) const {
 }
 
 bool AdmissionQueue::coalescible(const Request& r) const {
-  if (r.kind != Kind::GemmF32 && r.kind != Kind::GemmF64) return false;
-  if (r.m <= 0 || r.n <= 0 || r.k <= 0) return false;
   const int dim = config_.coalesce_max_dim;
+  if (r.kind == Kind::GemvF32 || r.kind == Kind::GemvF64) {
+    // Small GEMVs coalesce into one blas::gemv_batched submission.
+    // Strided vectors group too (the batched primitive stages them);
+    // the GroupKey keeps unequal increments apart.
+    if (r.m <= 0 || r.n <= 0) return false;
+    return r.m <= dim && r.n <= dim;
+  }
+  if (r.m <= 0 || r.n <= 0 || r.k <= 0) return false;
   return r.m <= dim && r.n <= dim && r.k <= dim;
 }
 
 void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
   // -- identify coalesce groups (same shape + layout, scalars, lds) --------
   using GroupKey = std::tuple<int, int, int, int, int, int, int, int, int,
-                              double, double>;
+                              int, int, double, double>;
   std::map<GroupKey, std::vector<std::size_t>> groups;
   std::vector<bool> coalesced(batch.size(), false);
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -194,7 +213,7 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
     if (!coalescible(r)) continue;
     groups[GroupKey{static_cast<int>(r.kind), static_cast<int>(r.ta),
                     static_cast<int>(r.tb), r.m, r.n, r.k, r.lda, r.ldb,
-                    r.ldc, r.alpha, r.beta}]
+                    r.ldc, r.incx, r.incy, r.alpha, r.beta}]
         .push_back(i);
   }
   std::vector<const std::vector<std::size_t>*> to_batch;
@@ -276,34 +295,55 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
     const int count = static_cast<int>(members->size());
     try {
       const core::OpDesc desc = make_desc(head);
-      if (head.kind == Kind::GemmF32) {
-        std::vector<const float*> as, bs;
-        std::vector<float*> cs;
-        as.reserve(members->size());
-        bs.reserve(members->size());
-        cs.reserve(members->size());
+      const auto gather = [&](auto tag) {
+        using T = decltype(tag);
+        struct Ptrs {
+          std::vector<const T*> as, bs;
+          std::vector<T*> cs;
+        } p;
+        p.as.reserve(members->size());
+        p.bs.reserve(members->size());
+        p.cs.reserve(members->size());
         for (const std::size_t i : *members) {
-          as.push_back(static_cast<const float*>(batch[i].a));
-          bs.push_back(static_cast<const float*>(batch[i].b));
-          cs.push_back(static_cast<float*>(batch[i].c));
+          p.as.push_back(static_cast<const T*>(batch[i].a));
+          p.bs.push_back(static_cast<const T*>(batch[i].b));
+          p.cs.push_back(static_cast<T*>(batch[i].c));
         }
-        dispatcher_.run_gemm_coalesced<float>(
-            desc, static_cast<float>(head.alpha), as.data(), bs.data(),
-            static_cast<float>(head.beta), cs.data(), count);
-      } else {
-        std::vector<const double*> as, bs;
-        std::vector<double*> cs;
-        as.reserve(members->size());
-        bs.reserve(members->size());
-        cs.reserve(members->size());
-        for (const std::size_t i : *members) {
-          as.push_back(static_cast<const double*>(batch[i].a));
-          bs.push_back(static_cast<const double*>(batch[i].b));
-          cs.push_back(static_cast<double*>(batch[i].c));
+        return p;
+      };
+      switch (head.kind) {
+        case Kind::GemmF32: {
+          auto p = gather(float{});
+          dispatcher_.run_gemm_coalesced<float>(
+              desc, static_cast<float>(head.alpha), p.as.data(),
+              p.bs.data(), static_cast<float>(head.beta), p.cs.data(),
+              count);
+          break;
         }
-        dispatcher_.run_gemm_coalesced<double>(desc, head.alpha, as.data(),
-                                               bs.data(), head.beta,
-                                               cs.data(), count);
+        case Kind::GemmF64: {
+          auto p = gather(double{});
+          dispatcher_.run_gemm_coalesced<double>(desc, head.alpha,
+                                                 p.as.data(), p.bs.data(),
+                                                 head.beta, p.cs.data(),
+                                                 count);
+          break;
+        }
+        case Kind::GemvF32: {
+          auto p = gather(float{});
+          dispatcher_.run_gemv_coalesced<float>(
+              desc, static_cast<float>(head.alpha), p.as.data(),
+              p.bs.data(), static_cast<float>(head.beta), p.cs.data(),
+              count);
+          break;
+        }
+        case Kind::GemvF64: {
+          auto p = gather(double{});
+          dispatcher_.run_gemv_coalesced<double>(desc, head.alpha,
+                                                 p.as.data(), p.bs.data(),
+                                                 head.beta, p.cs.data(),
+                                                 count);
+          break;
+        }
       }
       for (const std::size_t i : *members) batch[i].done.set_value();
     } catch (...) {

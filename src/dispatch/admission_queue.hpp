@@ -2,10 +2,15 @@
 // Admission queue: the dispatcher's concurrent front door.
 //
 // Many client threads submit BLAS requests and receive futures; one
-// worker thread drains the queue in cycles. Each cycle the worker
+// worker thread drains the queue in cycles (with a one-yield second
+// sweep per cycle so a producer burst caught mid-flight lands in one
+// cycle instead of dribbling through many). Each cycle the worker
 //  1. coalesces same-shape small GEMMs into a single blas::gemm_batched
 //     submission (the paper's §V future-work observation that batching
 //     "can greatly improve GEMM performance for small problem sizes"),
+//     and same-shape small GEMVs into one blas::gemv_batched submission
+//     (one fork/join amortised across the group — the biggest relative
+//     win, since a small GEMV is all overhead),
 //  2. plans the remaining requests through the decision table,
 //  3. enqueues every GPU-routed request on the simulated device WITHOUT
 //     synchronising, then runs all CPU-routed work while those virtual
@@ -31,10 +36,10 @@ namespace blob::dispatch {
 struct AdmissionQueueConfig {
   /// Requests drained per worker cycle (the coalescing window).
   std::size_t max_drain = 32;
-  /// Same-shape CPU-eligible GEMM groups of at least this size are
+  /// Same-shape CPU-eligible GEMM/GEMV groups of at least this size are
   /// merged into one batched submission.
   int coalesce_min = 4;
-  /// Only GEMMs with every dimension at or below this coalesce — large
+  /// Only calls with every dimension at or below this coalesce — large
   /// problems are better served by the per-call routing decision.
   int coalesce_max_dim = 128;
 };
@@ -101,8 +106,10 @@ class AdmissionQueue {
   [[nodiscard]] core::OpDesc make_desc(const Request& r) const;
 
   /// True when the request qualifies for CPU-batched coalescing.
-  /// Transposed GEMMs coalesce like NN ones — blas::gemm_batched takes
-  /// the flags — so layout never disqualifies a group, only size does.
+  /// Transposed GEMMs/GEMVs coalesce like NN ones — the batched
+  /// primitives take the flags — so layout never disqualifies a group,
+  /// only size does. Strided GEMV vectors coalesce too (gemv_batched
+  /// stages them); unequal increments land in different groups.
   [[nodiscard]] bool coalescible(const Request& r) const;
 
   Dispatcher& dispatcher_;

@@ -467,6 +467,37 @@ void Dispatcher::run_gemm_coalesced(const core::OpDesc& desc, T alpha,
   account_and_observe(desc, key, decision, cost, batch);
 }
 
+template <typename T>
+void Dispatcher::run_gemv_coalesced(const core::OpDesc& desc, T alpha,
+                                    const T* const* a, const T* const* x,
+                                    T beta, T* const* y, int batch) {
+  obs::Span span("dispatch.coalesced_batch", obs::Category::Dispatch);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (desc.m <= 0 || desc.n <= 0 || batch <= 0) return;
+  const BucketKey key = bucket_key(desc);
+  ensure_seeded(key, desc);
+
+  blas::gemv_batched<T>(desc.trans_a, static_cast<int>(desc.m),
+                        static_cast<int>(desc.n), alpha, a,
+                        static_cast<int>(desc.lda), x,
+                        static_cast<int>(desc.incx), beta, y,
+                        static_cast<int>(desc.incy), batch, cpu_->pool(),
+                        cpu_->max_threads());
+
+  core::OpDesc batched = desc;
+  batched.batch = batch;
+  const double cost = model_.cpu_time(batched, /*iterations=*/1);
+
+  Decision decision;
+  decision.route = Route::CpuBatched;
+  decision.reason = Reason::Coalesced;
+  if (const BucketState* state = table_.find(key)) {
+    decision.cpu_est_s = state->cpu.ewma_s;
+    decision.gpu_est_s = state->gpu.ewma_s;
+  }
+  account_and_observe(desc, key, decision, cost, batch);
+}
+
 // -- GPU path ----------------------------------------------------------------
 
 template <typename T, typename S>
@@ -745,6 +776,18 @@ template void Dispatcher::run_gemm_coalesced<float>(const core::OpDesc&,
                                                     float, float* const*,
                                                     int);
 template void Dispatcher::run_gemm_coalesced<double>(const core::OpDesc&,
+                                                     double,
+                                                     const double* const*,
+                                                     const double* const*,
+                                                     double, double* const*,
+                                                     int);
+template void Dispatcher::run_gemv_coalesced<float>(const core::OpDesc&,
+                                                    float,
+                                                    const float* const*,
+                                                    const float* const*,
+                                                    float, float* const*,
+                                                    int);
+template void Dispatcher::run_gemv_coalesced<double>(const core::OpDesc&,
                                                      double,
                                                      const double* const*,
                                                      const double* const*,

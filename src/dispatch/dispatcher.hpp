@@ -136,6 +136,16 @@ class Dispatcher final : public blas::CblasDispatchHook {
                           const T* const* a, const T* const* b, T beta,
                           T* const* c, int batch);
 
+  /// A batch of same-shape small GEMVs coalesced by the admission queue:
+  /// executed as one blas::gemv_batched submission (across-batch
+  /// parallelism), charged the modelled amortised batched-GEMV cost,
+  /// observed into the CPU arm of the bucket. `desc` describes ONE
+  /// member call (batch handling is internal).
+  template <typename T>
+  void run_gemv_coalesced(const core::OpDesc& desc, T alpha,
+                          const T* const* a, const T* const* x, T beta,
+                          T* const* y, int batch);
+
   // -- asynchronous GPU submission (admission-queue overlap path) ----------
 
   /// A GPU call in flight on the dispatch stream. Buffers stay alive and

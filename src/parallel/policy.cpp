@@ -48,4 +48,19 @@ ThreadPolicy scaled_policy(double flops_per_thread) {
   return ThreadPolicy{ThreadPolicyKind::ScaleWithProblem, flops_per_thread};
 }
 
+std::size_t flops_grain(std::size_t items, double flops_per_item,
+                        double min_flops_per_chunk,
+                        std::size_t max_threads) {
+  if (items == 0) return 1;
+  max_threads = std::max<std::size_t>(1, max_threads);
+  const double per_item = std::max(flops_per_item, 1.0);
+  const double by_flops = std::ceil(min_flops_per_chunk / per_item);
+  const auto fan_limit =
+      static_cast<double>((items + max_threads - 1) / max_threads);
+  const double grain =
+      std::clamp(std::max(by_flops, fan_limit), 1.0,
+                 static_cast<double>(items));
+  return static_cast<std::size_t>(grain);
+}
+
 }  // namespace blob::parallel

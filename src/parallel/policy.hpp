@@ -45,4 +45,15 @@ ThreadPolicy all_threads_policy();
 ThreadPolicy single_thread_policy();
 ThreadPolicy scaled_policy(double flops_per_thread = 2.0e6);
 
+/// Chunk grain for a parallel_for over `items` independent outputs, each
+/// costing `flops_per_item` FLOPs. The grain is the larger of (a) the
+/// item count that amortises one fork/join (`min_flops_per_chunk`) and
+/// (b) the fan-out limit `ceil(items / max_threads)` — parallel_for
+/// otherwise spreads the range across the whole pool regardless of the
+/// thread count the library personality asked for. Result is clamped to
+/// [1, items] (1 when items == 0).
+[[nodiscard]] std::size_t flops_grain(std::size_t items, double flops_per_item,
+                                      double min_flops_per_chunk,
+                                      std::size_t max_threads);
+
 }  // namespace blob::parallel

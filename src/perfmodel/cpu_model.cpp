@@ -157,6 +157,34 @@ double CpuModel::gemm_batched_time(Precision p, double m, double n,
   return t;
 }
 
+double CpuModel::gemv_batched_time(Precision p, double m, double n,
+                                   double batch, bool beta_zero,
+                                   bool trans_a) const {
+  if (batch <= 1.0) return gemv_time(p, m, n, beta_zero, false, trans_a);
+  if (m <= 0 || n <= 0) return call_overhead_s;
+  const double x = gemv_effective_dim(m, n);
+  // Across-batch parallelism: independent items aggregate bandwidth up to
+  // the socket even when the personality pins a single GEMV at one core
+  // (AOCL-like gemv_parallel == false) — item-level concurrency needs no
+  // intra-kernel threading.
+  const double threads = std::min(cores, batch);
+  const double peak = peak_gflops(p, threads) * 1e9;
+  const double compute_s = batch * gemv_flops(m, n, beta_zero) / peak;
+  const double y_traffic = (beta_zero ? 1.0 : 2.0) * m;
+  const double bytes = batch * static_cast<double>(bytes_of(p)) *
+                       (m * n + n + y_traffic);
+  double bw = std::min(socket_mem_bw_gbs,
+                       core_mem_bw_gbs * std::max(1.0, threads)) *
+              1e9;
+  bw *= gemv_eff.at(x) / gemv_eff.eff_max;  // per-item ramp position
+  bw *= apply_quirks(gemv_quirks, x, p, m, n);
+  if (trans_a) bw /= gemv_trans_penalty;
+  const double memory_s = bytes / bw;
+  double t = std::max(compute_s, memory_s) + call_overhead_s;
+  if (threads > 1) t += fork_join_overhead_s;
+  return t;
+}
+
 double CpuModel::power_w(double threads) const {
   const double fraction = std::clamp(threads / std::max(1.0, cores), 0.0, 1.0);
   return idle_w + (tdp_w - idle_w) * fraction;

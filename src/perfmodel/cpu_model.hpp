@@ -114,6 +114,16 @@ struct CpuModel {
                                          bool trans_a = false,
                                          bool trans_b = false) const;
 
+  /// Total seconds for one batched-GEMV call of `batch` independent
+  /// m x n items: across-batch parallelism at the socket bandwidth with
+  /// one fork/join and one dispatch overhead for the whole batch — the
+  /// amortisation the dispatcher's small-GEMV coalescing buys. Applies
+  /// even for AOCL-like personalities that refuse to thread a single
+  /// GEMV (independent items need no intra-kernel threading).
+  [[nodiscard]] double gemv_batched_time(Precision p, double m, double n,
+                                         double batch, bool beta_zero = true,
+                                         bool trans_a = false) const;
+
   /// Average socket power when `threads` cores are busy.
   [[nodiscard]] double power_w(double threads) const;
 

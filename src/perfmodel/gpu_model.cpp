@@ -86,6 +86,28 @@ double GpuModel::gemm_batched_kernel_time(Precision p, double m, double n,
   return std::max({compute_s, memory_s, min_kernel_s}) + launch_latency_s;
 }
 
+double GpuModel::gemv_batched_kernel_time(Precision p, double m, double n,
+                                          double batch, bool beta_zero,
+                                          bool trans_a) const {
+  if (batch <= 1.0) return gemv_kernel_time(p, m, n, beta_zero, trans_a);
+  if (m <= 0 || n <= 0) return launch_latency_s;
+  const double x_item = gemv_effective_dim(m, n);
+  // GEMV's effective dimension is 2D (sqrt(m*n)), so `batch` items fill
+  // the device like one problem sqrt(batch) times larger — the level-2
+  // analogue of the batched GEMM cbrt(batch) aggregate.
+  const double x_agg = x_item * std::sqrt(batch);
+  const double compute_s =
+      batch * gemv_flops(m, n, beta_zero) / (peak_gflops(p) * 1e9);
+  const double y_traffic = (beta_zero ? 1.0 : 2.0) * m;
+  const double bytes = batch * static_cast<double>(bytes_of(p)) *
+                       (m * n + n + y_traffic);
+  double bw = hbm_bw_gbs * 1e9 * gemv_eff.at(x_agg) *
+              apply_quirks(gemv_quirks, x_item, p, m, n);
+  if (trans_a) bw /= gemv_trans_penalty;
+  const double memory_s = bytes / bw;
+  return std::max({compute_s, memory_s, min_kernel_s}) + launch_latency_s;
+}
+
 double GpuModel::gemm_gflops(Precision p, double m, double n, double k,
                              bool beta_zero) const {
   const double t = gemm_kernel_time(p, m, n, k, beta_zero);

@@ -73,6 +73,16 @@ struct GpuModel {
                                                 bool trans_a = false,
                                                 bool trans_b = false) const;
 
+  /// Predicted seconds for ONE batched-GEMV kernel computing `batch`
+  /// independent m x n items: one launch, bandwidth ramp at the
+  /// aggregate size (sqrt(batch) times the per-item effective dimension
+  /// — GEMV work grows quadratically in its dimension, not cubically),
+  /// per-item quirks, batch-scaled traffic.
+  [[nodiscard]] double gemv_batched_kernel_time(Precision p, double m,
+                                                double n, double batch,
+                                                bool beta_zero = true,
+                                                bool trans_a = false) const;
+
   [[nodiscard]] double gemm_gflops(Precision p, double m, double n, double k,
                                    bool beta_zero = true) const;
   [[nodiscard]] double gemv_gflops(Precision p, double m, double n,

@@ -389,6 +389,76 @@ double SimGpu::gemm_strided_batched(blas::Transpose ta, blas::Transpose tb,
   return usm_cost + kernel_s;
 }
 
+template <typename T>
+double SimGpu::gemv_strided_batched(blas::Transpose ta, int m, int n,
+                                    kernel_scalar_t<T> alpha, Buffer& a,
+                                    int lda, std::int64_t stride_a,
+                                    Buffer& x, std::int64_t stride_x,
+                                    kernel_scalar_t<T> beta, Buffer& y,
+                                    std::int64_t stride_y, int batch,
+                                    Stream* stream) {
+  require_device_visible(a, "A");
+  require_device_visible(x, "x");
+  require_device_visible(y, "y");
+  if (batch < 1) throw SimError("gemv_strided_batched: batch must be >= 1");
+  const std::size_t x_len =
+      ta == blas::Transpose::No ? static_cast<std::size_t>(n)
+                                : static_cast<std::size_t>(m);
+  const std::size_t y_len =
+      ta == blas::Transpose::No ? static_cast<std::size_t>(m)
+                                : static_cast<std::size_t>(n);
+  const std::size_t need_a =
+      (static_cast<std::size_t>(batch - 1) * stride_a +
+       static_cast<std::size_t>(lda) * n) * sizeof(T);
+  const std::size_t need_x =
+      (static_cast<std::size_t>(batch - 1) * stride_x + x_len) * sizeof(T);
+  const std::size_t need_y =
+      (static_cast<std::size_t>(batch - 1) * stride_y + y_len) * sizeof(T);
+  if (need_a > a.bytes() || need_x > x.bytes() || need_y > y.bytes()) {
+    throw SimError("gemv_strided_batched: strides exceed buffer");
+  }
+
+  double usm_cost = managed_in_cost(a) + managed_in_cost(x);
+  usm_cost += managed_in_cost(y);
+  if (y.kind() == MemKind::Managed) y.set_device_dirty(true);
+  if (a.kind() == MemKind::Managed || x.kind() == MemKind::Managed ||
+      y.kind() == MemKind::Managed) {
+    usm_cost += config_.link.usm_kernel_overhead_s;
+  }
+
+  const double kernel_s = config_.gpu.gemv_batched_kernel_time(
+      precision_of<T>(), m, n, static_cast<double>(batch),
+      /*beta_zero=*/true, ta != blas::Transpose::No);
+  obs::Span span = obs::enabled()
+                       ? obs::Span("gpu.gemv_batched", obs::Category::Gpu)
+                       : obs::Span();
+  const double end = (stream != nullptr ? *stream : stream_)
+                         .enqueue(usm_cost + kernel_s, "gemv-batched");
+  ++kernels_;
+  if (span.active()) {
+    span.set_virtual(end - (usm_cost + kernel_s), usm_cost + kernel_s);
+    static obs::Counter& launched = obs::counter("gpu.kernels_launched");
+    launched.add(1);
+  }
+
+  if (config_.functional &&
+      model::gemv_effective_dim(m, n) * std::sqrt(batch) <=
+          config_.functional_dim_limit) {
+    for (int i = 0; i < batch; ++i) {
+      if constexpr (kIsHalf<T>) {
+        blas::hgemv<T>(ta, m, n, alpha, a.as<T>() + i * stride_a, lda,
+                       x.as<T>() + i * stride_x, beta,
+                       y.as<T>() + i * stride_y);
+      } else {
+        blas::gemv_serial(ta, m, n, alpha, a.as<T>() + i * stride_a, lda,
+                          x.as<T>() + i * stride_x, 1, beta,
+                          y.as<T>() + i * stride_y, 1);
+      }
+    }
+  }
+  return usm_cost + kernel_s;
+}
+
 template double SimGpu::gemm<float>(blas::Transpose, blas::Transpose, int,
                                     int, int, float, Buffer&, int, Buffer&,
                                     int, float, Buffer&, int, Stream*);
@@ -431,5 +501,17 @@ template double SimGpu::gemm_strided_batched<blas::bf16>(
     blas::Transpose, blas::Transpose, int, int, int, float, Buffer&, int,
     std::int64_t, Buffer&, int, std::int64_t, float, Buffer&, int,
     std::int64_t, int, Stream*);
+template double SimGpu::gemv_strided_batched<float>(
+    blas::Transpose, int, int, float, Buffer&, int, std::int64_t, Buffer&,
+    std::int64_t, float, Buffer&, std::int64_t, int, Stream*);
+template double SimGpu::gemv_strided_batched<double>(
+    blas::Transpose, int, int, double, Buffer&, int, std::int64_t, Buffer&,
+    std::int64_t, double, Buffer&, std::int64_t, int, Stream*);
+template double SimGpu::gemv_strided_batched<blas::f16>(
+    blas::Transpose, int, int, float, Buffer&, int, std::int64_t, Buffer&,
+    std::int64_t, float, Buffer&, std::int64_t, int, Stream*);
+template double SimGpu::gemv_strided_batched<blas::bf16>(
+    blas::Transpose, int, int, float, Buffer&, int, std::int64_t, Buffer&,
+    std::int64_t, float, Buffer&, std::int64_t, int, Stream*);
 
 }  // namespace blob::sim

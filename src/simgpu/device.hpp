@@ -177,6 +177,20 @@ class SimGpu {
                                    stream);
   }
 
+  /// Enqueue ONE batched-GEMV kernel over strided operands (the
+  /// cublasSgemvStridedBatched analogue): item b reads A at
+  /// a + b * stride_a, x at x + b * stride_x and writes y at
+  /// y + b * stride_y (all unit-increment vectors). A single launch;
+  /// the bandwidth ramp follows the aggregate size (see
+  /// GpuModel::gemv_batched_kernel_time).
+  template <typename T>
+  double gemv_strided_batched(blas::Transpose ta, int m, int n,
+                              kernel_scalar_t<T> alpha, Buffer& a, int lda,
+                              std::int64_t stride_a, Buffer& x,
+                              std::int64_t stride_x, kernel_scalar_t<T> beta,
+                              Buffer& y, std::int64_t stride_y, int batch,
+                              Stream* stream = nullptr);
+
   /// Block the host until all device work completes.
   void synchronize() { stream_.synchronize(); }
 

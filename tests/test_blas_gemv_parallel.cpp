@@ -1,0 +1,305 @@
+// The bandwidth-saturating GEMV engine: serial-vs-parallel agreement
+// (bitwise where the summation order is preserved, tight-ULP for the
+// split-m tree reduction), strided/negative increments through the
+// staging path, padded lda, flops-aware grain behaviour, and the batched
+// GEMV primitives against per-item serial execution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "blas/batched.hpp"
+#include "blas/gemv.hpp"
+#include "blas/ref_blas.hpp"
+#include "blas_test_util.hpp"
+#include "parallel/policy.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace blob;
+using blas::Transpose;
+using blob::test::random_vector;
+
+template <typename T>
+std::vector<T> strided_copy(const std::vector<T>& contiguous, int len,
+                            int inc, std::uint64_t fill_seed) {
+  // A buffer big enough for |inc|-strided access, filled with noise so a
+  // kernel writing outside its stride is caught.
+  std::vector<T> out =
+      random_vector<T>(static_cast<std::size_t>(len) * std::abs(inc) + 3,
+                       fill_seed);
+  int idx = inc >= 0 ? 0 : (len - 1) * (-inc);
+  for (int i = 0; i < len; ++i, idx += inc) {
+    out[static_cast<std::size_t>(idx)] = contiguous[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+/// Run one problem through gemv_serial and the threaded gemv and compare.
+/// `bitwise` asserts exact equality (row/column splits preserve each
+/// output element's summation order); otherwise a reduction-depth-scaled
+/// relative tolerance covers the split-m tree reduction.
+template <typename T>
+void expect_parallel_matches_serial(Transpose ta, int m, int n, T alpha,
+                                    T beta, std::size_t threads,
+                                    bool bitwise, int lda_pad = 0,
+                                    int incx = 1, int incy = 1) {
+  const int lda = std::max(1, m + lda_pad);
+  const int x_len = ta == Transpose::No ? n : m;
+  const int y_len = ta == Transpose::No ? m : n;
+
+  const auto a = random_vector<T>(
+      static_cast<std::size_t>(lda) * std::max(1, n), 101);
+  const auto x_c = random_vector<T>(static_cast<std::size_t>(x_len), 102);
+  const auto y_c = random_vector<T>(static_cast<std::size_t>(y_len), 103);
+  const auto x = strided_copy(x_c, x_len, incx, 104);
+  auto y_serial = strided_copy(y_c, y_len, incy, 105);
+  auto y_parallel = y_serial;
+
+  blas::gemv_serial(ta, m, n, alpha, a.data(), lda, x.data(), incx, beta,
+                    y_serial.data(), incy);
+  parallel::ThreadPool pool(threads);
+  blas::gemv(ta, m, n, alpha, a.data(), lda, x.data(), incx, beta,
+             y_parallel.data(), incy, &pool, threads);
+
+  if (bitwise) {
+    for (std::size_t i = 0; i < y_serial.size(); ++i) {
+      ASSERT_EQ(y_parallel[i], y_serial[i])
+          << "mismatch at flat index " << i << " with " << threads
+          << " threads";
+    }
+  } else {
+    const int depth = ta == Transpose::No ? n : m;
+    test::expect_near_rel(y_parallel, y_serial, test::gemm_tol<T>(depth));
+  }
+}
+
+class GemvParallelThreads : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GemvParallelThreads, NoTransBitwiseF32) {
+  // Row splits at any chunk boundary: an element's result must not
+  // depend on which slab it landed in.
+  expect_parallel_matches_serial<float>(Transpose::No, 1500, 300, 1.0f,
+                                        0.0f, GetParam(), /*bitwise=*/true);
+  expect_parallel_matches_serial<float>(Transpose::No, 2048, 97, -0.5f,
+                                        1.5f, GetParam(), /*bitwise=*/true);
+}
+
+TEST_P(GemvParallelThreads, NoTransBitwiseF64) {
+  expect_parallel_matches_serial<double>(Transpose::No, 1201, 257, 2.0,
+                                         -1.0, GetParam(),
+                                         /*bitwise=*/true, /*lda_pad=*/5);
+}
+
+TEST_P(GemvParallelThreads, TransWideBitwise) {
+  // Wide transposed shapes split over output columns; each column's dot
+  // is computed identically in either path.
+  expect_parallel_matches_serial<double>(Transpose::Yes, 300, 1800, 1.0,
+                                         0.0, GetParam(), /*bitwise=*/true);
+  expect_parallel_matches_serial<float>(Transpose::Yes, 180, 2500, -2.0f,
+                                        0.5f, GetParam(), /*bitwise=*/true,
+                                        /*lda_pad=*/3);
+}
+
+TEST_P(GemvParallelThreads, TransTallSkinnySplitM) {
+  // Tall-skinny transposed: the split-m path reduces per-chunk partial
+  // y vectors with a tree reduction — a different summation order, so
+  // the comparison is tight-ULP rather than bitwise.
+  expect_parallel_matches_serial<double>(Transpose::Yes, 20000, 8, 1.0,
+                                         0.0, GetParam(),
+                                         /*bitwise=*/false);
+  expect_parallel_matches_serial<float>(Transpose::Yes, 16384, 4, 0.5f,
+                                        2.0f, GetParam(),
+                                        /*bitwise=*/false);
+}
+
+TEST_P(GemvParallelThreads, StridedIncrementsStageAndMatch) {
+  // Strided and negative increments go through the PackArena staging
+  // path and must agree with the (equally staged) serial engine exactly.
+  expect_parallel_matches_serial<float>(Transpose::No, 1400, 220, 1.0f,
+                                        0.5f, GetParam(), /*bitwise=*/true,
+                                        /*lda_pad=*/0, /*incx=*/3,
+                                        /*incy=*/2);
+  expect_parallel_matches_serial<double>(Transpose::Yes, 250, 1700, -1.0,
+                                         1.0, GetParam(), /*bitwise=*/true,
+                                         /*lda_pad=*/2, /*incx=*/-2,
+                                         /*incy=*/3);
+  expect_parallel_matches_serial<double>(Transpose::No, 900, 150, 2.0,
+                                         -0.5, GetParam(),
+                                         /*bitwise=*/true, /*lda_pad=*/0,
+                                         /*incx=*/-1, /*incy=*/-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GemvParallelThreads,
+                         ::testing::Values(1, 2, 4, 7));
+
+// Serial engine vs the textbook reference: the blocked SIMD kernels must
+// produce the right numbers, not merely self-consistent ones.
+TEST(GemvSerial, MatchesReferenceAcrossLayouts) {
+  for (const Transpose ta : {Transpose::No, Transpose::Yes}) {
+    for (const int incx : {1, 2, -1}) {
+      for (const int incy : {1, 3}) {
+        const int m = 173, n = 129, lda = 180;
+        const int x_len = ta == Transpose::No ? n : m;
+        const int y_len = ta == Transpose::No ? m : n;
+        const auto a = random_vector<double>(
+            static_cast<std::size_t>(lda) * n, 201);
+        const auto x_c = random_vector<double>(x_len, 202);
+        const auto y_c = random_vector<double>(y_len, 203);
+        const auto x = strided_copy(x_c, x_len, incx, 204);
+        auto y_opt = strided_copy(y_c, y_len, incy, 205);
+        auto y_ref = y_opt;
+
+        blas::gemv_serial(ta, m, n, 1.25, a.data(), lda, x.data(), incx,
+                          0.75, y_opt.data(), incy);
+        blas::ref::gemv(ta, m, n, 1.25, a.data(), lda, x.data(), incx,
+                        0.75, y_ref.data(), incy);
+        const int depth = ta == Transpose::No ? n : m;
+        test::expect_near_rel(y_opt, y_ref, test::gemm_tol<double>(depth));
+      }
+    }
+  }
+}
+
+TEST(GemvSerial, BetaZeroOverwritesNaN) {
+  // beta == 0 must overwrite y without reading it (BLAS convention).
+  const int m = 64, n = 32;
+  const auto a = random_vector<float>(static_cast<std::size_t>(m) * n, 211);
+  const auto x = random_vector<float>(n, 212);
+  std::vector<float> y(m, std::numeric_limits<float>::quiet_NaN());
+  blas::gemv_serial(Transpose::No, m, n, 1.0f, a.data(), m, x.data(), 1,
+                    0.0f, y.data(), 1);
+  for (const float v : y) EXPECT_FALSE(std::isnan(v));
+}
+
+// ----------------------------------------------------------- flops grain
+
+TEST(FlopsGrain, RespectsWorkAndThreadBounds) {
+  // Tiny per-item work: the minimum-flops bound dominates and one chunk
+  // covers everything.
+  EXPECT_EQ(parallel::flops_grain(100, 2.0, 2.0e5, 8), 100u);
+  // Heavy rows: the fan-out limit ceil(items/threads) dominates, so the
+  // chunk count equals the personality's thread budget, not the pool's.
+  EXPECT_EQ(parallel::flops_grain(1000, 1.0e6, 2.0e5, 4), 250u);
+  // Grain never exceeds the item count and never drops below 1.
+  EXPECT_EQ(parallel::flops_grain(3, 1.0e9, 2.0e5, 8), 1u);
+  EXPECT_EQ(parallel::flops_grain(0, 1.0, 2.0e5, 8), 1u);
+}
+
+TEST(FlopsGrain, SmallWidthKeepsGemvSerial) {
+  // The old kMinRowsPerThread = 256 heuristic would have parallelised a
+  // 512 x 4 GEMV (512 rows, 8 flops each: ~4 KFLOP of work). The
+  // flops-aware grain folds per-row work in and keeps it on one chunk.
+  const std::size_t grain = parallel::flops_grain(512, 2.0 * 4, 2.0e5, 8);
+  EXPECT_EQ(grain, 512u);  // one chunk == serial execution
+}
+
+// -------------------------------------------------------------- batched
+
+template <typename T>
+void expect_batched_matches_serial(Transpose ta, int m, int n, int batch,
+                                   T alpha, T beta, std::size_t threads) {
+  const int lda = std::max(1, m);
+  const int x_len = ta == Transpose::No ? n : m;
+  const int y_len = ta == Transpose::No ? m : n;
+  const std::ptrdiff_t stride_a =
+      static_cast<std::ptrdiff_t>(lda) * n + 5;  // padded between items
+  const std::ptrdiff_t stride_x = x_len + 2;
+  const std::ptrdiff_t stride_y = y_len + 1;
+
+  const auto a = random_vector<T>(
+      static_cast<std::size_t>(stride_a) * batch, 301);
+  const auto x = random_vector<T>(
+      static_cast<std::size_t>(stride_x) * batch, 302);
+  const auto y0 = random_vector<T>(
+      static_cast<std::size_t>(stride_y) * batch, 303);
+
+  // Per-item serial execution is the ground truth.
+  auto y_ref = y0;
+  for (int b = 0; b < batch; ++b) {
+    blas::gemv_serial(ta, m, n, alpha, a.data() + b * stride_a, lda,
+                      x.data() + b * stride_x, 1, beta,
+                      y_ref.data() + b * stride_y, 1);
+  }
+
+  parallel::ThreadPool pool(threads);
+
+  auto y_strided = y0;
+  blas::gemv_strided_batched(ta, m, n, alpha, a.data(), lda, stride_a,
+                             x.data(), 1, stride_x, beta, y_strided.data(),
+                             1, stride_y, batch, &pool, threads);
+
+  auto y_ptr = y0;
+  std::vector<const T*> as, xs;
+  std::vector<T*> ys;
+  for (int b = 0; b < batch; ++b) {
+    as.push_back(a.data() + b * stride_a);
+    xs.push_back(x.data() + b * stride_x);
+    ys.push_back(y_ptr.data() + b * stride_y);
+  }
+  blas::gemv_batched(ta, m, n, alpha, as.data(), lda, xs.data(), 1, beta,
+                     ys.data(), 1, batch, &pool, threads);
+
+  // Small items take the across-batch path: whole items run through the
+  // serial engine on worker threads, so equality is bitwise.
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    ASSERT_EQ(y_strided[i], y_ref[i]) << "strided, flat index " << i;
+    ASSERT_EQ(y_ptr[i], y_ref[i]) << "pointer-array, flat index " << i;
+  }
+}
+
+TEST(GemvBatched, AcrossBatchBitwiseF32) {
+  expect_batched_matches_serial<float>(Transpose::No, 64, 48, 12, 1.0f,
+                                       0.0f, 4);
+  expect_batched_matches_serial<float>(Transpose::Yes, 48, 64, 9, -1.0f,
+                                       0.5f, 4);
+}
+
+TEST(GemvBatched, AcrossBatchBitwiseF64) {
+  expect_batched_matches_serial<double>(Transpose::No, 96, 32, 7, 2.0,
+                                        1.0, 7);
+  expect_batched_matches_serial<double>(Transpose::Yes, 32, 96, 5, 1.0,
+                                        -2.0, 2);
+}
+
+TEST(GemvBatched, SerialPoolAndSingleItemDegenerate) {
+  // No pool / one thread / batch of one all reduce to the serial engine.
+  expect_batched_matches_serial<double>(Transpose::No, 50, 40, 1, 1.0,
+                                        0.0, 1);
+  expect_batched_matches_serial<float>(Transpose::No, 40, 50, 3, 1.0,
+                                       1.0, 1);
+}
+
+TEST(GemvBatched, LargeItemsThreadWithinEachCall) {
+  // Items above the intra-kernel threshold run the threaded gemv one at
+  // a time; NoTrans row splits stay bitwise against serial.
+  const int m = 2000, n = 1800, batch = 2;
+  const std::ptrdiff_t stride_a = static_cast<std::ptrdiff_t>(m) * n;
+  const auto a = random_vector<double>(
+      static_cast<std::size_t>(stride_a) * batch, 311);
+  const auto x = random_vector<double>(static_cast<std::size_t>(n) * batch,
+                                       312);
+  const auto y0 = random_vector<double>(
+      static_cast<std::size_t>(m) * batch, 313);
+
+  auto y_ref = y0;
+  for (int b = 0; b < batch; ++b) {
+    blas::gemv_serial(Transpose::No, m, n, 1.0, a.data() + b * stride_a, m,
+                      x.data() + b * n, 1, 0.0, y_ref.data() + b * m, 1);
+  }
+  auto y_batched = y0;
+  parallel::ThreadPool pool(4);
+  blas::gemv_strided_batched(Transpose::No, m, n, 1.0, a.data(), m,
+                             stride_a, x.data(), 1, n, 0.0,
+                             y_batched.data(), 1, m, batch, &pool, 4);
+  for (std::size_t i = 0; i < y_ref.size(); ++i) {
+    ASSERT_EQ(y_batched[i], y_ref[i]) << "flat index " << i;
+  }
+}
+
+}  // namespace
