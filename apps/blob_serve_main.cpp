@@ -19,8 +19,10 @@
 // run starts warm (cold_starts == 0, explores == 0 in the stats).
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -134,6 +136,15 @@ blob::core::TransferMode mode_by_name(const std::string& name) {
   throw std::invalid_argument("unknown transfer mode: " + name);
 }
 
+blob::dispatch::ResidencyPolicy residency_by_name(const std::string& name) {
+  if (name == "off") return blob::dispatch::ResidencyPolicy::Off;
+  if (name == "track") return blob::dispatch::ResidencyPolicy::Track;
+  if (name == "first-touch") {
+    return blob::dispatch::ResidencyPolicy::FirstTouch;
+  }
+  throw std::invalid_argument("unknown residency policy: " + name);
+}
+
 struct Baselines {
   double oracle_s = 0.0;
   double always_cpu_s = 0.0;
@@ -156,6 +167,16 @@ int main(int argc, char** argv) {
                   "(generic|nvpl|armpl|aocl|openblas|single)",
                   "generic");
   args.add_string("--mode", "transfer mode (once|always|usm)", "once");
+  args.add_string("--residency",
+                  "residency policy (off|track|first-touch); active "
+                  "policies derive the transfer mode per call",
+                  "off");
+  args.add_int("--residency-horizon",
+               "iterations a cold upload is amortised over", 12);
+  args.add_flag("--solver",
+                "iterative-solver mode: repeated-A f64 power iteration "
+                "(-n = iterations) instead of the mixed replay");
+  args.add_int("--solver-dim", "solver matrix dimension", 1536);
   args.add_int("-n", "number of calls to replay", 400);
   args.add_int("--warmup", "calls regarded as warm-up (default n/4)", -1);
   args.add_int("--threads", "CPU worker-pool cap (0 = hardware)", 0);
@@ -195,10 +216,12 @@ int main(int argc, char** argv) {
     config.profile = blob::profile::by_name(args.get_string("--system"));
     config.personality = personality_by_name(args.get_string("--personality"));
     config.mode = mode_by_name(args.get_string("--mode"));
+    config.residency = residency_by_name(args.get_string("--residency"));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
+  config.residency_horizon = args.get_int("--residency-horizon");
   config.cpu_threads = static_cast<std::size_t>(args.get_int("--threads"));
   config.noise_sigma = args.get_double("--noise");
   config.autotune = args.get_flag("--autotune");
@@ -210,6 +233,166 @@ int main(int argc, char** argv) {
     std::cout << "calibration load: "
               << blob::dispatch::to_string(dispatcher.startup_load_status())
               << "\n";
+  }
+
+  if (args.get_flag("--solver")) {
+    // Iterative-solver traffic: power iteration y = A x, x = y / |y|_inf
+    // with one matrix reused across every iteration — the pattern
+    // residency tracking exists for. A reference pass through the native
+    // CPU path runs first; the sim GPU kernels preserve summation order,
+    // so the dispatcher run must reproduce each iterate bitwise.
+    const int dim = args.get_int("--solver-dim");
+    const std::size_t iters = calls == 0 ? 1 : calls;
+    const auto nn = static_cast<std::size_t>(dim);
+    std::vector<double> a(nn * nn), x0(nn);
+    fill_deterministic(a, 0xa0);
+    fill_deterministic(x0, 0xb0);
+
+    auto step = [&](std::vector<double>& x, std::vector<double>& y) {
+      cblas_dgemv(CblasColMajor, CblasNoTrans, dim, dim, 1.0, a.data(), dim,
+                  x.data(), 1, 0.0, y.data(), 1);
+      double norm = 0.0;
+      for (const double v : y) norm = std::max(norm, std::abs(v));
+      if (norm == 0.0) norm = 1.0;
+      for (std::size_t i = 0; i < nn; ++i) x[i] = y[i] / norm;
+    };
+
+    std::vector<std::vector<double>> ref(iters);
+    {
+      std::vector<double> x = x0, y(nn, 0.0);
+      for (std::size_t it = 0; it < iters; ++it) {
+        step(x, y);
+        ref[it] = y;
+      }
+    }
+
+    dispatcher.install();
+    std::size_t mismatches = 0;
+    {
+      std::vector<double> x = x0, y(nn, 0.0);
+      for (std::size_t it = 0; it < iters; ++it) {
+        step(x, y);
+        if (std::memcmp(y.data(), ref[it].data(), nn * sizeof(double)) !=
+            0) {
+          ++mismatches;
+        }
+      }
+    }
+    dispatcher.uninstall();
+
+    // Constant-policy baselines from the same noise-free models: the
+    // cold GPU cost is what a Transfer-Always run pays every iteration.
+    const blob::core::OpDesc desc = blob::core::OpDesc::gemv(
+        blob::model::Precision::F64, Transpose::No, dim, dim, 0, 1, 1,
+        /*alpha_one=*/true, /*beta_zero=*/true, config.mode);
+    const Dispatcher::Costs costs = dispatcher.modelled_costs(desc);
+
+    const std::vector<blob::dispatch::TraceRecord> records =
+        dispatcher.trace().snapshot();
+    std::int64_t first_gpu = 0;  // 1-based; 0 = never offloaded
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (records[i].route == blob::dispatch::Route::Gpu) {
+        first_gpu = static_cast<std::int64_t>(i) + 1;
+        break;
+      }
+    }
+
+    const blob::dispatch::DispatchStats stats = dispatcher.stats();
+    std::cout << blob::util::strfmt(
+        "\nsolver: dim %d, %zu iterations on %s (residency %s)\n", dim,
+        iters, config.profile.name.c_str(),
+        args.get_string("--residency").c_str());
+    std::cout << blob::util::strfmt(
+        "  first gpu iteration:  %lld%s\n",
+        static_cast<long long>(first_gpu), first_gpu == 0 ? " (never)" : "");
+    std::cout << blob::util::strfmt("  checksum mismatches:  %zu\n",
+                                    mismatches);
+    std::cout << blob::util::strfmt(
+        "  h2d bytes: %.3e moved, %.3e skipped (%llu hits, %llu misses, "
+        "%llu invalidations)\n",
+        stats.h2d_bytes_moved, stats.h2d_bytes_skipped,
+        static_cast<unsigned long long>(stats.residency_hits),
+        static_cast<unsigned long long>(stats.residency_misses),
+        static_cast<unsigned long long>(stats.residency_invalidations));
+    std::cout << blob::util::strfmt(
+        "  routed %.4es   always-cpu %.4es   always-gpu(cold) %.4es\n",
+        stats.cpu_seconds + stats.gpu_seconds,
+        costs.cpu_s * static_cast<double>(iters),
+        costs.gpu_s * static_cast<double>(iters));
+
+    const std::string solver_trace = args.get_string("--trace-out");
+    if (!solver_trace.empty()) {
+      std::ofstream out(solver_trace);
+      if (!out) {
+        std::cerr << "error: cannot write " << solver_trace << "\n";
+        return 1;
+      }
+      dispatcher.trace().dump_json(out);
+    }
+    const std::string solver_metrics = args.get_string("--metrics-out");
+    if (!solver_metrics.empty() &&
+        !blob::obs::write_metrics_file(solver_metrics)) {
+      std::cerr << "error: cannot write " << solver_metrics << "\n";
+      return 1;
+    }
+    const std::string solver_calib = args.get_string("--save-calib");
+    if (!solver_calib.empty() &&
+        !dispatcher.save_calibration(solver_calib)) {
+      std::cerr << "error: cannot write " << solver_calib << "\n";
+      return 1;
+    }
+
+    const std::string solver_json = args.get_string("--json-out");
+    if (!solver_json.empty()) {
+      std::ofstream out(solver_json);
+      if (!out) {
+        std::cerr << "error: cannot write " << solver_json << "\n";
+        return 1;
+      }
+      blob::util::JsonWriter json(out, /*pretty=*/true);
+      json.begin_object();
+      json.kv("system", config.profile.name);
+      json.kv("personality", config.personality.name);
+      json.kv("mode", args.get_string("--mode"));
+      json.kv("residency", args.get_string("--residency"));
+      json.key("solver").begin_object();
+      json.kv("dim", dim);
+      json.kv("iterations", iters);
+      json.kv("first_gpu_iteration", first_gpu);
+      json.kv("checksum_mismatches",
+              static_cast<std::int64_t>(mismatches));
+      json.kv("cpu_cost_per_iter_s", costs.cpu_s);
+      json.kv("gpu_cold_cost_per_iter_s", costs.gpu_s);
+      json.kv("routed_s", stats.cpu_seconds + stats.gpu_seconds);
+      // Per-iteration curve: cumulative routed cost next to the constant
+      // policies, plus what each call moved vs skipped over the link.
+      double cum = 0.0;
+      json.key("iterations_trace").begin_array();
+      for (std::size_t i = 0; i < records.size(); ++i) {
+        const blob::dispatch::TraceRecord& r = records[i];
+        cum += r.cost_s;
+        json.begin_object();
+        json.kv("iter", static_cast<std::int64_t>(i) + 1);
+        json.kv("route", blob::dispatch::to_string(r.route));
+        json.kv("residency", blob::dispatch::to_string(r.residency));
+        json.kv("cost_s", r.cost_s);
+        json.kv("cum_routed_s", cum);
+        json.kv("cum_always_cpu_s", costs.cpu_s * static_cast<double>(i + 1));
+        json.kv("cum_always_gpu_s", costs.gpu_s * static_cast<double>(i + 1));
+        json.kv("h2d_moved_bytes", r.h2d_moved_bytes);
+        json.kv("h2d_skipped_bytes", r.h2d_skipped_bytes);
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
+      json.key("stats").begin_object();
+      blob::dispatch::write_stats_fields(json, stats);
+      json.end_object();
+      json.end_object();
+      out << "\n";
+      std::cout << "summary written to " << solver_json << "\n";
+    }
+    return mismatches == 0 ? 0 : 1;
   }
 
   // Operand arenas per shape class.
@@ -445,6 +628,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(stats.hysteresis_holds),
       static_cast<unsigned long long>(stats.forced_cpu),
       static_cast<unsigned long long>(stats.route_switches));
+  std::cout << blob::util::strfmt(
+      "  residency: %llu hits, %llu misses, %llu invalidations "
+      "(h2d %.3e moved, %.3e skipped)\n",
+      static_cast<unsigned long long>(stats.residency_hits),
+      static_cast<unsigned long long>(stats.residency_misses),
+      static_cast<unsigned long long>(stats.residency_invalidations),
+      stats.h2d_bytes_moved, stats.h2d_bytes_skipped);
 
   // Transposed shapes are first-class on the GPU path: none of them may
   // fall back with Reason::Forced (that reason survives only for strided
@@ -502,6 +692,7 @@ int main(int argc, char** argv) {
     json.kv("system", config.profile.name);
     json.kv("personality", config.personality.name);
     json.kv("mode", args.get_string("--mode"));
+    json.kv("residency", args.get_string("--residency"));
     json.kv("queued", use_queue);
     json.kv("calls", calls);
     json.kv("warmup_calls", warmup);

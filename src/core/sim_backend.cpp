@@ -80,6 +80,32 @@ double SimBackend::kernel_time(const OpDesc& desc) const {
                    trans_a_of(desc));
 }
 
+double SimBackend::gpu_time_with(const OpDesc& desc,
+                                 const GpuTraffic& traffic) const {
+  const auto& link = profile_.link;
+  const double kernel = kernel_time(desc);
+  if (traffic.usm) {
+    // Each still-host-resident structure faults across on first touch;
+    // resident structures (0 bytes) migrate nothing but the per-kernel
+    // driver tax on managed memory is always due.
+    double total = link.usm_kernel_overhead_s + kernel;
+    for (const double bytes : traffic.h2d) {
+      total += link.usm_first_touch_time(bytes);
+    }
+    return total + link.usm_writeback_time(traffic.d2h_bytes);
+  }
+  double bytes = 0.0;
+  int structures = 0;
+  for (const double b : traffic.h2d) {
+    if (b > 0.0) {
+      bytes += b;
+      ++structures;
+    }
+  }
+  return link.h2d_structures_time(bytes, structures, true) + kernel +
+         link.d2h_time(traffic.d2h_bytes, true);
+}
+
 std::optional<double> SimBackend::gpu_time(const OpDesc& desc,
                                            std::int64_t iterations) {
   const double in_bytes = h2d_bytes(desc);

@@ -8,6 +8,8 @@
 // Consumes the core::OpDesc IR, so transposed and batched descriptors
 // are costed with the perfmodel's transpose/batch terms.
 
+#include <array>
+
 #include "core/backend.hpp"
 #include "perfmodel/noise.hpp"
 #include "sysprofile/profile.hpp"
@@ -37,6 +39,22 @@ class SimBackend final : public ExecutionBackend {
   [[nodiscard]] double kernel_time(const Problem& problem) const {
     return kernel_time(lower(problem));
   }
+
+  /// The link traffic one call actually needs, as decided by a
+  /// residency-aware dispatcher: per-structure H2D byte counts (0 for a
+  /// device-resident operand) and the output download. `usm` prices the
+  /// moves as page-fault migration instead of explicit DMA.
+  struct GpuTraffic {
+    std::array<double, 3> h2d{};  ///< bytes to move per structure (A, B/x, C/y)
+    double d2h_bytes = 0.0;
+    bool usm = false;
+  };
+
+  /// One GPU execution priced with exactly `traffic` on the link —
+  /// noise-free, because it feeds routing decisions (the decision table
+  /// already absorbs noise through measured-cost EWMAs).
+  [[nodiscard]] double gpu_time_with(const OpDesc& desc,
+                                     const GpuTraffic& traffic) const;
 
  private:
   profile::SystemProfile profile_;

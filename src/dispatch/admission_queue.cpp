@@ -11,6 +11,29 @@
 
 namespace blob::dispatch {
 
+namespace {
+
+/// Host operand footprints of a queued request, for residency-aware
+/// planning (element size follows the request's precision).
+OperandRegions regions_of(const void* a, const void* b, const void* c,
+                          std::size_t elem_bytes, const core::OpDesc& desc) {
+  OperandRegions out;
+  if (desc.op == core::KernelOp::Gemm) {
+    out.a = matrix_region(a, elem_bytes, desc.lda, desc.rows_a(),
+                          desc.cols_a());
+    out.b = matrix_region(b, elem_bytes, desc.ldb, desc.rows_b(),
+                          desc.cols_b());
+    out.c = matrix_region(c, elem_bytes, desc.ldc, desc.m, desc.n);
+  } else {
+    out.a = matrix_region(a, elem_bytes, desc.lda, desc.m, desc.n);
+    out.b = vector_region(b, elem_bytes, desc.x_len(), desc.incx);
+    out.c = vector_region(c, elem_bytes, desc.y_len(), desc.incy);
+  }
+  return out;
+}
+
+}  // namespace
+
 AdmissionQueue::AdmissionQueue(Dispatcher& dispatcher,
                                AdmissionQueueConfig config)
     : dispatcher_(dispatcher), config_(config) {
@@ -179,7 +202,9 @@ core::OpDesc AdmissionQueue::make_desc(const Request& r) const {
       (r.kind == Kind::GemmF32 || r.kind == Kind::GemvF32)
           ? model::Precision::F32
           : model::Precision::F64;
-  const auto mode = dispatcher_.config().mode;
+  // The transfer mode is DERIVED: under an active residency policy the
+  // dispatcher, not the client, decides how operands move.
+  const auto mode = dispatcher_.effective_mode();
   if (r.kind == Kind::GemmF32 || r.kind == Kind::GemmF64) {
     return core::OpDesc::gemm(precision, r.ta, r.tb, r.m, r.n, r.k, r.lda,
                               r.ldb, r.ldc, r.alpha == 1.0, r.beta == 0.0,
@@ -247,7 +272,10 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
       continue;
     }
     const bool gpu_ok = Dispatcher::gpu_supported(desc);
-    const Decision decision = dispatcher_.plan(desc, gpu_ok);
+    const std::size_t es =
+        (r.kind == Kind::GemmF32 || r.kind == Kind::GemvF32) ? 4 : 8;
+    const Decision decision =
+        dispatcher_.plan(desc, gpu_ok, regions_of(r.a, r.b, r.c, es, desc));
     if (decision.route == Route::Gpu) {
       GpuWork w;
       w.idx = i;

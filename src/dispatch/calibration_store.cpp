@@ -45,6 +45,13 @@ Route parse_route(const std::string& s) {
   throw util::JsonError("calibration: unknown route '" + s + "'");
 }
 
+ResidencyClass parse_residency(const std::string& s) {
+  if (s == "cold") return ResidencyClass::Cold;
+  if (s == "warm-partial") return ResidencyClass::WarmPartial;
+  if (s == "warm") return ResidencyClass::Warm;
+  throw util::JsonError("calibration: unknown residency class '" + s + "'");
+}
+
 void write_estimate(util::JsonWriter& json, std::string_view name,
                     const RouteEstimate& est) {
   json.key(name).begin_object();
@@ -118,6 +125,7 @@ void save_calibration(std::ostream& out, const CalibrationData& data) {
     json.kv("bucket", key.bucket);
     json.kv("ta", blas::to_string(key.trans_a));
     json.kv("tb", blas::to_string(key.trans_b));
+    json.kv("residency", to_string(key.residency));
     write_estimate(json, "cpu", state.cpu);
     write_estimate(json, "gpu", state.gpu);
     json.kv("incumbent", to_string(state.incumbent));
@@ -146,7 +154,9 @@ LoadResult load_calibration(std::istream& in,
   buffer << in.rdbuf();
   try {
     const util::JsonValue doc = util::json_parse(buffer.str());
-    if (doc.at("version").as_int() != kCalibrationVersion) {
+    const auto version = doc.at("version").as_int();
+    if (version < kCalibrationMinVersion ||
+        version > kCalibrationVersion) {
       result.status = LoadStatus::VersionMismatch;
       return result;
     }
@@ -176,6 +186,12 @@ LoadResult load_calibration(std::istream& in,
       key.bucket = static_cast<int>(entry.at("bucket").as_int());
       key.trans_a = parse_transpose(entry.at("ta").as_string());
       key.trans_b = parse_transpose(entry.at("tb").as_string());
+      // v2 stores predate residency classes: their timings were learned
+      // with every call priced as a full transfer, which is exactly the
+      // cold side of a v3 table (BucketKey defaults to Cold).
+      if (const util::JsonValue* r = entry.find("residency")) {
+        key.residency = parse_residency(r->as_string());
+      }
       BucketState state;
       state.cpu = read_estimate(entry.at("cpu"));
       state.gpu = read_estimate(entry.at("gpu"));
@@ -187,6 +203,11 @@ LoadResult load_calibration(std::istream& in,
     }
     result.data = std::move(data);
     result.status = LoadStatus::Ok;
+    if (version < kCalibrationVersion) {
+      result.warning = "calibration store is v" + std::to_string(version) +
+                       " (current v" + std::to_string(kCalibrationVersion) +
+                       "); entries seed the cold side of the table";
+    }
   } catch (const util::JsonError&) {
     result.status = LoadStatus::BadJson;
   }

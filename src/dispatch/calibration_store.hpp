@@ -24,9 +24,15 @@
 
 namespace blob::dispatch {
 
-/// Bump when the on-disk schema changes; older files are rejected.
+/// Bump when the on-disk schema changes; older files are rejected —
+/// except v2, which reads gracefully (see load_calibration).
 /// v2: bucket keys carry the transpose flags (ta/tb).
-inline constexpr int kCalibrationVersion = 2;
+/// v3: bucket keys carry the residency class; warm and cold cost entries
+///     persist per shape bucket. v2 entries seed the cold side.
+inline constexpr int kCalibrationVersion = 3;
+
+/// Oldest schema version load_calibration still accepts.
+inline constexpr int kCalibrationMinVersion = 2;
 
 /// Everything a warm restart needs.
 struct CalibrationData {
@@ -51,6 +57,9 @@ const char* to_string(LoadStatus status);
 struct LoadResult {
   LoadStatus status = LoadStatus::IoError;
   CalibrationData data;  ///< valid only when status == Ok
+  /// Non-empty when the load succeeded with a caveat (e.g. a v2 store
+  /// whose entries all seeded the cold side). One line, for logs.
+  std::string warning;
 };
 
 /// Serialise `data` as one JSON document.

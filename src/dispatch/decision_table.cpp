@@ -37,6 +37,18 @@ const char* to_string(Reason reason) {
   return "?";
 }
 
+const char* to_string(ResidencyClass cls) {
+  switch (cls) {
+    case ResidencyClass::Cold:
+      return "cold";
+    case ResidencyClass::WarmPartial:
+      return "warm-partial";
+    case ResidencyClass::Warm:
+      return "warm";
+  }
+  return "?";
+}
+
 int size_bucket(const core::OpDesc& desc) {
   core::OpDesc item = desc;
   item.batch = 1;  // bucket the per-call shape, not the coalescing
@@ -77,15 +89,20 @@ void DecisionTable::restore(const BucketKey& key, const BucketState& state) {
   entries_.insert_or_assign(key, restored);
 }
 
-Decision DecisionTable::choose(const BucketKey& key, bool gpu_available) {
+Decision DecisionTable::choose(const BucketKey& key, bool gpu_available,
+                               std::optional<double> gpu_cost_override) {
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     throw std::logic_error("DecisionTable::choose: bucket not seeded");
   }
   BucketState& s = it->second;
+  // The override replaces the GPU arm in every comparison below (the
+  // stored EWMA is untouched); the decision reports the cost it actually
+  // weighed so traces show the amortised price, not the raw estimate.
+  const double gpu_eff = gpu_cost_override.value_or(s.gpu.ewma_s);
   Decision d;
   d.cpu_est_s = s.cpu.ewma_s;
-  d.gpu_est_s = s.gpu.ewma_s;
+  d.gpu_est_s = gpu_eff;
 
   if (!gpu_available) {
     ++s.visits;
@@ -130,16 +147,19 @@ Decision DecisionTable::choose(const BucketKey& key, bool gpu_available) {
   // the margin, on enough samples, before the route flips.
   const Route challenger =
       s.incumbent == Route::Cpu ? Route::Gpu : Route::Cpu;
-  const RouteEstimate& inc_est =
-      s.incumbent == Route::Cpu ? s.cpu : s.gpu;
+  const double inc_cost = s.incumbent == Route::Cpu ? s.cpu.ewma_s : gpu_eff;
+  const double cha_cost = s.incumbent == Route::Cpu ? gpu_eff : s.cpu.ewma_s;
   const RouteEstimate& cha_est =
       s.incumbent == Route::Cpu ? s.gpu : s.cpu;
-  const bool challenger_cheaper = cha_est.ewma_s < inc_est.ewma_s;
+  const bool challenger_cheaper = cha_cost < inc_cost;
   if (challenger_cheaper) {
     const bool clears_margin =
-        cha_est.ewma_s < inc_est.ewma_s * (1.0 - config_.hysteresis_margin);
+        cha_cost < inc_cost * (1.0 - config_.hysteresis_margin);
+    // An overridden GPU cost is a modelled prior, not a noisy probe — it
+    // does not need the min-samples protection against lucky draws.
     const bool enough_samples =
-        cha_est.samples >= config_.min_samples_to_switch;
+        cha_est.samples >= config_.min_samples_to_switch ||
+        (challenger == Route::Gpu && gpu_cost_override.has_value());
     if (clears_margin && enough_samples) {
       s.incumbent = challenger;
       ++s.switches;

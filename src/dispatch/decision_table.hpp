@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 
 #include "dispatch/types.hpp"
 #include "util/rng.hpp"
@@ -28,10 +29,12 @@
 namespace blob::dispatch {
 
 /// Decision-table key: (op, precision, transfer mode, log-scale size
-/// bucket, transposes). Transposed traffic learns its own estimates — a
-/// TN GEMM does not cost what an NN GEMM of the same FLOPs costs on
-/// either backend. Ordered so the calibration store serialises
-/// deterministically.
+/// bucket, transposes, residency class). Transposed traffic learns its
+/// own estimates — a TN GEMM does not cost what an NN GEMM of the same
+/// FLOPs costs on either backend — and warm traffic learns separately
+/// from cold: a GEMV whose A panel is device-resident pays none of the
+/// H2D cost that dominates its cold sibling. Ordered so the calibration
+/// store serialises deterministically.
 struct BucketKey {
   core::KernelOp op = core::KernelOp::Gemm;
   model::Precision precision = model::Precision::F32;
@@ -39,6 +42,7 @@ struct BucketKey {
   int bucket = 0;
   blas::Transpose trans_a = blas::Transpose::No;
   blas::Transpose trans_b = blas::Transpose::No;
+  ResidencyClass residency = ResidencyClass::Cold;
 
   auto operator<=>(const BucketKey&) const = default;
 };
@@ -94,6 +98,9 @@ struct Decision {
   Reason reason = Reason::Exploit;
   double cpu_est_s = 0.0;
   double gpu_est_s = 0.0;
+  /// Operand warmth the dispatcher derived before choosing (always Cold
+  /// when the residency policy is off).
+  ResidencyClass residency = ResidencyClass::Cold;
 };
 
 class DecisionTable {
@@ -114,7 +121,18 @@ class DecisionTable {
   /// (seed() first); `visits` is incremented. `gpu_available` = false
   /// forces the CPU route without touching the incumbent (layouts the
   /// simulated GPU genuinely cannot take, e.g. strided GEMV vectors).
-  Decision choose(const BucketKey& key, bool gpu_available = true);
+  ///
+  /// `gpu_cost_override` substitutes the GPU-side estimate in the
+  /// comparison (the EWMA is untouched). The dispatcher passes the
+  /// horizon-amortised Transfer-Once cost for cold-class calls under a
+  /// residency policy: a cold call is the down payment on a warm run,
+  /// so judging it by its own measured cost alone would route every
+  /// iterative workload to the CPU and residency would never warm. As a
+  /// modelled prior (not a noisy probe) the override is exempt from the
+  /// challenger's min-samples requirement, though not from the
+  /// hysteresis margin.
+  Decision choose(const BucketKey& key, bool gpu_available = true,
+                  std::optional<double> gpu_cost_override = std::nullopt);
 
   /// Fold a measured per-call cost into the bucket's estimate for the
   /// executed backend. Route::CpuBatched feeds the CPU estimate — the

@@ -54,8 +54,14 @@ DispatchStats DispatchCounters::snapshot() const {
       overlapped_gpu_calls.load(std::memory_order_relaxed);
   s.autotune_runs = autotune_runs.load(std::memory_order_relaxed);
   s.calibration_loads = calibration_loads.load(std::memory_order_relaxed);
+  s.residency_hits = residency_hits.load(std::memory_order_relaxed);
+  s.residency_misses = residency_misses.load(std::memory_order_relaxed);
+  s.residency_invalidations =
+      residency_invalidations.load(std::memory_order_relaxed);
   s.cpu_seconds = cpu_seconds.load(std::memory_order_relaxed);
   s.gpu_seconds = gpu_seconds.load(std::memory_order_relaxed);
+  s.h2d_bytes_moved = h2d_bytes_moved.load(std::memory_order_relaxed);
+  s.h2d_bytes_skipped = h2d_bytes_skipped.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -114,6 +120,9 @@ void DecisionTrace::dump_json(std::ostream& out) const {
     json.kv("cost_s", r.cost_s);
     json.kv("observed_s", r.observed_s);
     json.kv("batch", r.batch);
+    json.kv("residency", to_string(r.residency));
+    json.kv("h2d_moved_bytes", r.h2d_moved_bytes);
+    json.kv("h2d_skipped_bytes", r.h2d_skipped_bytes);
     json.kv("span_id", static_cast<std::int64_t>(r.span_id));
     json.end_object();
   }
@@ -146,8 +155,16 @@ void write_stats_fields(util::JsonWriter& json, const DispatchStats& stats) {
   json.kv("autotune_runs", static_cast<std::int64_t>(stats.autotune_runs));
   json.kv("calibration_loads",
           static_cast<std::int64_t>(stats.calibration_loads));
+  json.kv("residency_hits",
+          static_cast<std::int64_t>(stats.residency_hits));
+  json.kv("residency_misses",
+          static_cast<std::int64_t>(stats.residency_misses));
+  json.kv("residency_invalidations",
+          static_cast<std::int64_t>(stats.residency_invalidations));
   json.kv("cpu_seconds", stats.cpu_seconds);
   json.kv("gpu_seconds", stats.gpu_seconds);
+  json.kv("h2d_bytes_moved", stats.h2d_bytes_moved);
+  json.kv("h2d_bytes_skipped", stats.h2d_bytes_skipped);
 }
 
 void write_stats_json(std::ostream& out, const DispatchStats& stats) {

@@ -40,6 +40,12 @@ struct TraceRecord {
   double cost_s = 0.0;      ///< accounted (noise-free) cost of the route
   double observed_s = 0.0;  ///< noisy measurement folded into the table
   int batch = 1;            ///< >1 when executed inside a coalesced batch
+  /// Operand warmth at decision time (Cold whenever the residency policy
+  /// is off) and the H2D bytes the call actually moved vs the bytes a
+  /// Transfer-Always run would have moved but residency skipped.
+  ResidencyClass residency = ResidencyClass::Cold;
+  double h2d_moved_bytes = 0.0;
+  double h2d_skipped_bytes = 0.0;
   /// Innermost obs span active when the call was accounted (0 when
   /// tracing is off) — joins this record to the chrome trace.
   std::uint64_t span_id = 0;
@@ -65,8 +71,13 @@ struct DispatchStats {
                                            ///< the queue ran CPU work
   std::uint64_t autotune_runs = 0;      ///< blocking autotunes executed
   std::uint64_t calibration_loads = 0;  ///< stores applied at startup
+  std::uint64_t residency_hits = 0;    ///< operand uploads skipped (clean)
+  std::uint64_t residency_misses = 0;  ///< operand uploads that had to move
+  std::uint64_t residency_invalidations = 0;  ///< intervals killed by writes
   double cpu_seconds = 0.0;  ///< accounted cost summed per route
   double gpu_seconds = 0.0;
+  double h2d_bytes_moved = 0.0;    ///< modelled H2D DMA actually charged
+  double h2d_bytes_skipped = 0.0;  ///< H2D avoided via resident-clean hits
 };
 
 /// Live atomic counters behind DispatchStats. Relaxed ordering — these
@@ -90,8 +101,13 @@ class DispatchCounters {
   std::atomic<std::uint64_t> overlapped_gpu_calls{0};
   std::atomic<std::uint64_t> autotune_runs{0};
   std::atomic<std::uint64_t> calibration_loads{0};
+  std::atomic<std::uint64_t> residency_hits{0};
+  std::atomic<std::uint64_t> residency_misses{0};
+  std::atomic<std::uint64_t> residency_invalidations{0};
   std::atomic<double> cpu_seconds{0.0};
   std::atomic<double> gpu_seconds{0.0};
+  std::atomic<double> h2d_bytes_moved{0.0};
+  std::atomic<double> h2d_bytes_skipped{0.0};
 
   void add_seconds(std::atomic<double>& target, double s);
   void count_reason(Reason reason);

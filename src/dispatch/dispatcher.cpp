@@ -1,6 +1,7 @@
 #include "dispatch/dispatcher.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <type_traits>
@@ -72,6 +73,29 @@ const char* route_noise_tag(Route route) {
       return "dispatch-batched";
   }
   return "dispatch";
+}
+
+/// Host operand footprints of one GEMM call, in STORED shapes.
+template <typename T>
+OperandRegions gemm_regions(const core::OpDesc& desc, const T* a, const T* b,
+                            const T* c) {
+  OperandRegions r;
+  r.a = matrix_region(a, sizeof(T), desc.lda, desc.rows_a(), desc.cols_a());
+  r.b = matrix_region(b, sizeof(T), desc.ldb, desc.rows_b(), desc.cols_b());
+  r.c = matrix_region(c, sizeof(T), desc.ldc, desc.m, desc.n);
+  return r;
+}
+
+/// Host operand footprints of one GEMV call (A is the stored m x n
+/// matrix regardless of trans_a; x/y lengths follow the transpose).
+template <typename T>
+OperandRegions gemv_regions(const core::OpDesc& desc, const T* a, const T* x,
+                            const T* y) {
+  OperandRegions r;
+  r.a = matrix_region(a, sizeof(T), desc.lda, desc.m, desc.n);
+  r.b = vector_region(x, sizeof(T), desc.x_len(), desc.incx);
+  r.c = vector_region(y, sizeof(T), desc.y_len(), desc.incy);
+  return r;
 }
 
 }  // namespace
@@ -148,6 +172,101 @@ bool Dispatcher::gpu_supported(const core::OpDesc& desc) {
   return desc.incx == 1 && desc.incy == 1;
 }
 
+core::TransferMode Dispatcher::effective_mode() const {
+  switch (config_.residency) {
+    case ResidencyPolicy::Off:
+      return config_.mode;
+    case ResidencyPolicy::Track:
+      return core::TransferMode::Once;
+    case ResidencyPolicy::FirstTouch:
+      return core::TransferMode::Usm;
+  }
+  return config_.mode;
+}
+
+bool Dispatcher::tracking_enabled() const {
+  if (config_.residency == ResidencyPolicy::Off) return false;
+  if (config_.residency == ResidencyPolicy::FirstTouch &&
+      !device_.link_model().xnack) {
+    return false;
+  }
+  return true;
+}
+
+ResidencyClass Dispatcher::classify_locked(
+    const OperandRegions& regions) const {
+  if (!tracking_enabled()) return ResidencyClass::Cold;
+  int total = 0;
+  int clean = 0;
+  for (const Region* r : {&regions.a, &regions.b, &regions.c}) {
+    if (!r->valid()) continue;
+    ++total;
+    if (residency_.resident_clean(*r)) ++clean;
+  }
+  if (total == 0 || clean == 0) return ResidencyClass::Cold;
+  return clean == total ? ResidencyClass::Warm : ResidencyClass::WarmPartial;
+}
+
+core::SimBackend::GpuTraffic Dispatcher::traffic_locked(
+    const core::OpDesc& desc, const OperandRegions& regions) const {
+  // Packed per-structure byte counts — exactly what the enqueue paths
+  // stage and what SimBackend::gpu_time charges per structure.
+  const double es = static_cast<double>(model::bytes_of(desc.precision));
+  const double md = static_cast<double>(desc.m);
+  const double nd = static_cast<double>(desc.n);
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0;  // A, B/x, C/y
+  if (desc.op == core::KernelOp::Gemm) {
+    const double kd = static_cast<double>(desc.k);
+    s0 = es * md * kd;
+    s1 = es * kd * nd;
+    s2 = es * md * nd;
+  } else {
+    s0 = es * md * nd;
+    s1 = es * static_cast<double>(desc.x_len());
+    s2 = es * static_cast<double>(desc.y_len());
+  }
+  core::SimBackend::GpuTraffic traffic;
+  const bool live = tracking_enabled();
+  traffic.h2d[0] =
+      live && residency_.resident_clean(regions.a) ? 0.0 : s0;
+  traffic.h2d[1] =
+      live && residency_.resident_clean(regions.b) ? 0.0 : s1;
+  traffic.h2d[2] =
+      live && residency_.resident_clean(regions.c) ? 0.0 : s2;
+  traffic.d2h_bytes = s2;
+  traffic.usm = config_.residency == ResidencyPolicy::FirstTouch;
+  return traffic;
+}
+
+void Dispatcher::count_residency_hit() {
+  counters_.residency_hits.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    static obs::Counter& hits = obs::counter("dispatch.residency.hit");
+    hits.add(1);
+  }
+}
+
+void Dispatcher::count_residency_miss() {
+  counters_.residency_misses.fetch_add(1, std::memory_order_relaxed);
+  if (obs::enabled()) {
+    static obs::Counter& misses = obs::counter("dispatch.residency.miss");
+    misses.add(1);
+  }
+}
+
+void Dispatcher::note_host_output_locked(const Region& region) {
+  if (!tracking_enabled() || !region.valid()) return;
+  const std::size_t killed = residency_.note_host_write(region);
+  if (killed == 0) return;
+  counters_.residency_invalidations.fetch_add(killed,
+                                              std::memory_order_relaxed);
+  if (obs::enabled()) {
+    static obs::Counter& invalidations =
+        obs::counter("dispatch.residency.invalidate");
+    invalidations.add(killed);
+  }
+}
+
 // -- hook entry points -------------------------------------------------------
 
 bool Dispatcher::gemm(const core::OpDesc& desc, float alpha, const float* a,
@@ -216,19 +335,46 @@ void Dispatcher::run_gemv(const core::OpDesc& desc, S alpha, const T* a,
 
 // -- decision plumbing -------------------------------------------------------
 
-void Dispatcher::ensure_seeded(const BucketKey& key,
-                               const core::OpDesc& desc) {
+void Dispatcher::ensure_seeded(const BucketKey& key, const core::OpDesc& desc,
+                               std::optional<double> gpu_seed) {
   if (table_.contains(key)) return;
   const core::Advice advice = advisor_.advise(desc, /*iterations=*/1);
-  table_.seed(key, advice.cpu_seconds, advice.gpu_seconds);
+  table_.seed(key, advice.cpu_seconds,
+              gpu_seed.value_or(advice.gpu_seconds));
 }
 
-Decision Dispatcher::plan_locked(const core::OpDesc& desc, bool gpu_ok) {
+Decision Dispatcher::plan_locked(const core::OpDesc& desc, bool gpu_ok,
+                                 const OperandRegions& regions) {
   obs::Span span("dispatch.decide", obs::Category::Dispatch);
-  const BucketKey key = bucket_key(desc);
-  ensure_seeded(key, desc);
+  const ResidencyClass cls = classify_locked(regions);
+  BucketKey key = bucket_key(desc);
+  key.residency = cls;
+
+  // Residency-aware pricing of the GPU arm. Cold calls are priced as the
+  // down payment on a warm run — gpu_time over the reuse horizon,
+  // amortised — because a cold call's own full-transfer cost would route
+  // every iterative workload to the CPU and residency would never warm.
+  // Warm(-partial) calls are seeded with the cost of moving only the
+  // bytes that are not already resident; from then on their bucket
+  // learns from measured warm executions.
+  std::optional<double> gpu_seed;
+  std::optional<double> gpu_override;
+  if (config_.residency != ResidencyPolicy::Off && gpu_ok) {
+    if (cls == ResidencyClass::Cold) {
+      const int horizon = std::max(1, config_.residency_horizon);
+      if (const auto amortised = model_.gpu_time(desc, horizon)) {
+        gpu_seed = *amortised / static_cast<double>(horizon);
+        gpu_override = gpu_seed;
+      }
+    } else {
+      gpu_seed = model_.gpu_time_with(desc, traffic_locked(desc, regions));
+    }
+  }
+
+  ensure_seeded(key, desc, gpu_seed);
   const Route before = table_.find(key)->incumbent;
-  const Decision decision = table_.choose(key, gpu_ok);
+  Decision decision = table_.choose(key, gpu_ok, gpu_override);
+  decision.residency = cls;
   if (table_.find(key)->incumbent != before) {
     counters_.route_switches.fetch_add(1, std::memory_order_relaxed);
   }
@@ -236,9 +382,10 @@ Decision Dispatcher::plan_locked(const core::OpDesc& desc, bool gpu_ok) {
   return decision;
 }
 
-Decision Dispatcher::plan(const core::OpDesc& desc, bool gpu_ok) {
+Decision Dispatcher::plan(const core::OpDesc& desc, bool gpu_ok,
+                          const OperandRegions& regions) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return plan_locked(desc, gpu_ok);
+  return plan_locked(desc, gpu_ok, regions);
 }
 
 double Dispatcher::cpu_cost(const core::OpDesc& desc) const {
@@ -261,7 +408,8 @@ double Dispatcher::noise_factor(const core::OpDesc& desc, Route route,
 void Dispatcher::account_and_observe(const core::OpDesc& desc,
                                      const BucketKey& key,
                                      const Decision& decision, double cost_s,
-                                     int batch) {
+                                     int batch, double h2d_moved,
+                                     double h2d_skipped) {
   const std::uint64_t seq = seq_++;
   const auto b = static_cast<std::uint64_t>(batch);
   counters_.calls.fetch_add(b, std::memory_order_relaxed);
@@ -283,6 +431,14 @@ void Dispatcher::account_and_observe(const core::OpDesc& desc,
       counters_.gpu_routed.fetch_add(b, std::memory_order_relaxed);
       counters_.add_seconds(counters_.gpu_seconds, cost_s);
       break;
+  }
+  // Byte accounting is unconditional (policy Off included) so baselines
+  // and residency runs compare on the same counter.
+  if (h2d_moved > 0.0) {
+    counters_.add_seconds(counters_.h2d_bytes_moved, h2d_moved);
+  }
+  if (h2d_skipped > 0.0) {
+    counters_.add_seconds(counters_.h2d_bytes_skipped, h2d_skipped);
   }
 
   // Per-call amortised observation: for a coalesced batch the CPU arm
@@ -310,6 +466,9 @@ void Dispatcher::account_and_observe(const core::OpDesc& desc,
   rec.cost_s = per_call;
   rec.observed_s = observed;
   rec.batch = batch;
+  rec.residency = decision.residency;
+  rec.h2d_moved_bytes = h2d_moved;
+  rec.h2d_skipped_bytes = h2d_skipped;
   rec.span_id = obs::Span::current();
   trace_.record(rec);
 
@@ -377,16 +536,19 @@ void Dispatcher::dispatch_gemm(core::OpDesc desc, S alpha, const T* a,
   obs::Span span("dispatch.gemm", obs::Category::Dispatch);
   std::lock_guard<std::mutex> lock(mutex_);
   if (desc.m <= 0 || desc.n <= 0) return;  // nothing to update
-  desc.mode = config_.mode;
+  desc.mode = effective_mode();
   const bool gpu_ok = gpu_supported(desc);
-  const BucketKey key = bucket_key(desc);
-  const Decision decision = plan_locked(desc, gpu_ok);
+  const OperandRegions regions = gemm_regions(desc, a, b, c);
+  const Decision decision = plan_locked(desc, gpu_ok, regions);
+  BucketKey key = bucket_key(desc);
+  key.residency = decision.residency;
   if (decision.route == Route::Gpu) {
     GpuJob job =
         enqueue_gemm_gpu_locked<T, S>(decision, desc, alpha, a, b, beta, c);
     finish_gpu_job_locked(job, /*overlapped=*/false);
   } else {
     cpu_exec_gemm<T, S>(desc, alpha, a, b, beta, c);
+    note_host_output_locked(regions.c);
     account_and_observe(desc, key, decision, cpu_cost(desc), 1);
   }
 }
@@ -397,16 +559,19 @@ void Dispatcher::dispatch_gemv(core::OpDesc desc, S alpha, const T* a,
   obs::Span span("dispatch.gemv", obs::Category::Dispatch);
   std::lock_guard<std::mutex> lock(mutex_);
   if (desc.m <= 0 || desc.n <= 0) return;
-  desc.mode = config_.mode;
+  desc.mode = effective_mode();
   const bool gpu_ok = gpu_supported(desc);
-  const BucketKey key = bucket_key(desc);
-  const Decision decision = plan_locked(desc, gpu_ok);
+  const OperandRegions regions = gemv_regions(desc, a, x, y);
+  const Decision decision = plan_locked(desc, gpu_ok, regions);
+  BucketKey key = bucket_key(desc);
+  key.residency = decision.residency;
   if (decision.route == Route::Gpu) {
     GpuJob job =
         enqueue_gemv_gpu_locked<T, S>(decision, desc, alpha, a, x, beta, y);
     finish_gpu_job_locked(job, /*overlapped=*/false);
   } else {
     cpu_exec_gemv<T, S>(desc, alpha, a, x, beta, y);
+    note_host_output_locked(regions.c);
     account_and_observe(desc, key, decision, cpu_cost(desc), 1);
   }
 }
@@ -417,9 +582,12 @@ void Dispatcher::run_gemm_cpu(const Decision& decision,
                               const T* b, S beta, T* c) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (desc.m <= 0 || desc.n <= 0) return;
-  const BucketKey key = bucket_key(desc);
+  BucketKey key = bucket_key(desc);
+  key.residency = decision.residency;
   ensure_seeded(key, desc);
   cpu_exec_gemm<T, S>(desc, alpha, a, b, beta, c);
+  note_host_output_locked(
+      matrix_region(c, sizeof(T), desc.ldc, desc.m, desc.n));
   account_and_observe(desc, key, decision, cpu_cost(desc), 1);
 }
 
@@ -429,9 +597,12 @@ void Dispatcher::run_gemv_cpu(const Decision& decision,
                               const T* x, S beta, T* y) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (desc.m <= 0 || desc.n <= 0) return;
-  const BucketKey key = bucket_key(desc);
+  BucketKey key = bucket_key(desc);
+  key.residency = decision.residency;
   ensure_seeded(key, desc);
   cpu_exec_gemv<T, S>(desc, alpha, a, x, beta, y);
+  note_host_output_locked(
+      vector_region(y, sizeof(T), desc.y_len(), desc.incy));
   account_and_observe(desc, key, decision, cpu_cost(desc), 1);
 }
 
@@ -452,6 +623,10 @@ void Dispatcher::run_gemm_coalesced(const core::OpDesc& desc, T alpha,
                         static_cast<int>(desc.ldb), beta, c,
                         static_cast<int>(desc.ldc), batch, cpu_->pool(),
                         cpu_->max_threads());
+  for (int i = 0; i < batch; ++i) {
+    note_host_output_locked(
+        matrix_region(c[i], sizeof(T), desc.ldc, desc.m, desc.n));
+  }
 
   core::OpDesc batched = desc;
   batched.batch = batch;
@@ -483,6 +658,10 @@ void Dispatcher::run_gemv_coalesced(const core::OpDesc& desc, T alpha,
                         static_cast<int>(desc.incx), beta, y,
                         static_cast<int>(desc.incy), batch, cpu_->pool(),
                         cpu_->max_threads());
+  for (int i = 0; i < batch; ++i) {
+    note_host_output_locked(
+        vector_region(y[i], sizeof(T), desc.y_len(), desc.incy));
+  }
 
   core::OpDesc batched = desc;
   batched.batch = batch;
@@ -500,6 +679,46 @@ void Dispatcher::run_gemv_coalesced(const core::OpDesc& desc, T alpha,
 
 // -- GPU path ----------------------------------------------------------------
 
+void Dispatcher::upload_operand_locked(sim::Stream& stream, sim::Buffer& dst,
+                                       const sim::Buffer& src,
+                                       std::size_t bytes,
+                                       const Region& region, GpuJob& job) {
+  if (config_.residency == ResidencyPolicy::Track && region.valid() &&
+      residency_.resident_clean(region)) {
+    // The device copy is current. Refresh the simulated storage so the
+    // kernel still computes from host truth (a caching runtime would
+    // reuse its live device buffer outright) without a modelled DMA.
+    std::memcpy(dst.data(), src.data(), bytes);
+    job.h2d_skipped += static_cast<double>(bytes);
+    count_residency_hit();
+    return;
+  }
+  device_.memcpy_h2d_async(stream, dst, src, bytes);
+  job.h2d_moved += static_cast<double>(bytes);
+  if (config_.residency == ResidencyPolicy::Track && region.valid()) {
+    residency_.note_upload(region);
+    count_residency_miss();
+  }
+}
+
+void Dispatcher::place_managed_locked(sim::Buffer& buffer,
+                                      const Region& region, GpuJob& job) {
+  const double bytes = static_cast<double>(buffer.bytes());
+  if (tracking_enabled() && region.valid() &&
+      residency_.resident_clean(region)) {
+    // Pages were migrated by an earlier kernel; first touch is free.
+    buffer.set_residency(sim::Residency::Device);
+    job.h2d_skipped += bytes;
+    count_residency_hit();
+    return;
+  }
+  job.h2d_moved += bytes;  // fault-migrates inside the kernel enqueue
+  if (tracking_enabled() && region.valid()) {
+    residency_.note_upload(region);
+    count_residency_miss();
+  }
+}
+
 template <typename T, typename S>
 Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu_locked(
     const Decision& decision, const core::OpDesc& desc, S alpha, const T* a,
@@ -510,6 +729,7 @@ Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu_locked(
   job.decision = decision;
   job.desc = desc;
   job.key = bucket_key(desc);
+  job.key.residency = decision.residency;
 
   sim::Stream& s = gpu_stream_;
   job.submit_floor = std::max(s.tail(), device_.now());
@@ -529,43 +749,84 @@ Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu_locked(
                   static_cast<std::size_t>(cols_b);
   const auto cb =
       es * static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
-
-  sim::Buffer ha = device_.alloc_host(ab);
-  sim::Buffer hb = device_.alloc_host(bb);
-  sim::Buffer hc = device_.alloc_host(cb);
-  pack_dense(ha.as<T>(), a, desc.lda, rows_a, cols_a);
-  pack_dense(hb.as<T>(), b, desc.ldb, rows_b, cols_b);
-  // GPU-BLOB uploads all three structures (paper §III-B2), so C crosses
-  // the link even when beta == 0 — matching the analytic cost exactly.
-  pack_dense(hc.as<T>(), c, desc.ldc, m, n);
-
-  sim::Buffer da = device_.alloc_device(ab);
-  sim::Buffer db = device_.alloc_device(bb);
-  sim::Buffer dc = device_.alloc_device(cb);
-  device_.memcpy_h2d_async(s, da, ha, ab);
-  device_.memcpy_h2d_async(s, db, hb, bb);
-  device_.memcpy_h2d_async(s, dc, hc, cb);
-  device_.gemm<T>(desc.trans_a, desc.trans_b, static_cast<int>(m),
-                  static_cast<int>(n), static_cast<int>(desc.k), alpha, da,
-                  static_cast<int>(rows_a), db, static_cast<int>(rows_b),
-                  beta, dc, static_cast<int>(m), &s);
-  device_.memcpy_d2h_async(s, hc, dc, cb);
-  job.done = s.tail();
-
-  // Buffer storage addresses are stable across Buffer moves, so the raw
-  // pointer captured here stays valid inside job.buffers.
-  T* staged = hc.as<T>();
+  const OperandRegions regions = gemm_regions(desc, a, b, c);
+  job.out_region = regions.c;
   const std::int64_t ldc = desc.ldc;
-  job.unpack = [staged, c, ldc, m, n]() {
-    unpack_dense(c, ldc, staged, m, n);
-  };
-  job.buffers.reserve(6);
-  job.buffers.push_back(std::move(ha));
-  job.buffers.push_back(std::move(hb));
-  job.buffers.push_back(std::move(hc));
-  job.buffers.push_back(std::move(da));
-  job.buffers.push_back(std::move(db));
-  job.buffers.push_back(std::move(dc));
+
+  if (config_.residency == ResidencyPolicy::FirstTouch) {
+    // USM placement: operands live in managed memory and the kernel's
+    // page-migration model moves only what is not already resident.
+    sim::Buffer ma = device_.alloc_managed(ab);
+    sim::Buffer mb = device_.alloc_managed(bb);
+    sim::Buffer mc = device_.alloc_managed(cb);
+    pack_dense(ma.as<T>(), a, desc.lda, rows_a, cols_a);
+    pack_dense(mb.as<T>(), b, desc.ldb, rows_b, cols_b);
+    pack_dense(mc.as<T>(), c, desc.ldc, m, n);
+    place_managed_locked(ma, regions.a, job);
+    place_managed_locked(mb, regions.b, job);
+    place_managed_locked(mc, regions.c, job);
+    device_.gemm<T>(desc.trans_a, desc.trans_b, static_cast<int>(m),
+                    static_cast<int>(n), static_cast<int>(desc.k), alpha, ma,
+                    static_cast<int>(rows_a), mb, static_cast<int>(rows_b),
+                    beta, mc, static_cast<int>(m), &s);
+    // The host reads the result at the join; charge the page writeback
+    // on the stream so it lands inside this job's measured span
+    // (SimGpu::host_access_managed would charge the host clock instead).
+    s.enqueue(
+        device_.link_model().usm_writeback_time(static_cast<double>(cb)),
+        "usm-writeback");
+    job.done = s.tail();
+    T* staged = mc.as<T>();
+    job.unpack = [staged, c, ldc, m, n]() {
+      unpack_dense(c, ldc, staged, m, n);
+    };
+    job.buffers.reserve(3);
+    job.buffers.push_back(std::move(ma));
+    job.buffers.push_back(std::move(mb));
+    job.buffers.push_back(std::move(mc));
+  } else {
+    sim::Buffer ha = device_.alloc_host(ab);
+    sim::Buffer hb = device_.alloc_host(bb);
+    sim::Buffer hc = device_.alloc_host(cb);
+    pack_dense(ha.as<T>(), a, desc.lda, rows_a, cols_a);
+    pack_dense(hb.as<T>(), b, desc.ldb, rows_b, cols_b);
+    // GPU-BLOB uploads all three structures (paper §III-B2), so C crosses
+    // the link even when beta == 0 — matching the analytic cost exactly.
+    pack_dense(hc.as<T>(), c, desc.ldc, m, n);
+
+    sim::Buffer da = device_.alloc_device(ab);
+    sim::Buffer db = device_.alloc_device(bb);
+    sim::Buffer dc = device_.alloc_device(cb);
+    // Each upload re-checks the tracker AT ENQUEUE TIME (not plan time),
+    // so sequential enqueues within one queue cycle warm each other —
+    // the second batch member sharing an A panel never re-charges it.
+    upload_operand_locked(s, da, ha, ab, regions.a, job);
+    upload_operand_locked(s, db, hb, bb, regions.b, job);
+    upload_operand_locked(s, dc, hc, cb, regions.c, job);
+    device_.gemm<T>(desc.trans_a, desc.trans_b, static_cast<int>(m),
+                    static_cast<int>(n), static_cast<int>(desc.k), alpha, da,
+                    static_cast<int>(rows_a), db, static_cast<int>(rows_b),
+                    beta, dc, static_cast<int>(m), &s);
+    device_.memcpy_d2h_async(s, hc, dc, cb);
+    job.done = s.tail();
+
+    // Buffer storage addresses are stable across Buffer moves, so the raw
+    // pointer captured here stays valid inside job.buffers.
+    T* staged = hc.as<T>();
+    job.unpack = [staged, c, ldc, m, n]() {
+      unpack_dense(c, ldc, staged, m, n);
+    };
+    job.buffers.reserve(6);
+    job.buffers.push_back(std::move(ha));
+    job.buffers.push_back(std::move(hb));
+    job.buffers.push_back(std::move(hc));
+    job.buffers.push_back(std::move(da));
+    job.buffers.push_back(std::move(db));
+    job.buffers.push_back(std::move(dc));
+  }
+  // The kernel overwrites the device copy of C: dirty until the result
+  // is downloaded and unpacked at the join.
+  if (tracking_enabled()) residency_.note_device_write(regions.c);
   return job;
 }
 
@@ -579,6 +840,7 @@ Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu_locked(
   job.decision = decision;
   job.desc = desc;
   job.key = bucket_key(desc);
+  job.key.residency = decision.residency;
 
   sim::Stream& s = gpu_stream_;
   job.submit_floor = std::max(s.tail(), device_.now());
@@ -590,34 +852,61 @@ Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu_locked(
       es * static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
   const auto xb = es * static_cast<std::size_t>(desc.x_len());
   const auto yb = es * static_cast<std::size_t>(desc.y_len());
+  const OperandRegions regions = gemv_regions(desc, a, x, y);
+  job.out_region = regions.c;
 
-  sim::Buffer ha = device_.alloc_host(ab);
-  sim::Buffer hx = device_.alloc_host(xb);
-  sim::Buffer hy = device_.alloc_host(yb);
-  pack_dense(ha.as<T>(), a, desc.lda, m, n);
-  std::memcpy(hx.data(), x, xb);
-  std::memcpy(hy.data(), y, yb);
+  if (config_.residency == ResidencyPolicy::FirstTouch) {
+    sim::Buffer ma = device_.alloc_managed(ab);
+    sim::Buffer mx = device_.alloc_managed(xb);
+    sim::Buffer my = device_.alloc_managed(yb);
+    pack_dense(ma.as<T>(), a, desc.lda, m, n);
+    std::memcpy(mx.data(), x, xb);
+    std::memcpy(my.data(), y, yb);
+    place_managed_locked(ma, regions.a, job);
+    place_managed_locked(mx, regions.b, job);
+    place_managed_locked(my, regions.c, job);
+    device_.gemv<T>(desc.trans_a, static_cast<int>(m), static_cast<int>(n),
+                    alpha, ma, static_cast<int>(m), mx, beta, my, &s);
+    s.enqueue(
+        device_.link_model().usm_writeback_time(static_cast<double>(yb)),
+        "usm-writeback");
+    job.done = s.tail();
+    T* staged = my.as<T>();
+    job.unpack = [staged, y, yb]() { std::memcpy(y, staged, yb); };
+    job.buffers.reserve(3);
+    job.buffers.push_back(std::move(ma));
+    job.buffers.push_back(std::move(mx));
+    job.buffers.push_back(std::move(my));
+  } else {
+    sim::Buffer ha = device_.alloc_host(ab);
+    sim::Buffer hx = device_.alloc_host(xb);
+    sim::Buffer hy = device_.alloc_host(yb);
+    pack_dense(ha.as<T>(), a, desc.lda, m, n);
+    std::memcpy(hx.data(), x, xb);
+    std::memcpy(hy.data(), y, yb);
 
-  sim::Buffer da = device_.alloc_device(ab);
-  sim::Buffer dx = device_.alloc_device(xb);
-  sim::Buffer dy = device_.alloc_device(yb);
-  device_.memcpy_h2d_async(s, da, ha, ab);
-  device_.memcpy_h2d_async(s, dx, hx, xb);
-  device_.memcpy_h2d_async(s, dy, hy, yb);
-  device_.gemv<T>(desc.trans_a, static_cast<int>(m), static_cast<int>(n),
-                  alpha, da, static_cast<int>(m), dx, beta, dy, &s);
-  device_.memcpy_d2h_async(s, hy, dy, yb);
-  job.done = s.tail();
+    sim::Buffer da = device_.alloc_device(ab);
+    sim::Buffer dx = device_.alloc_device(xb);
+    sim::Buffer dy = device_.alloc_device(yb);
+    upload_operand_locked(s, da, ha, ab, regions.a, job);
+    upload_operand_locked(s, dx, hx, xb, regions.b, job);
+    upload_operand_locked(s, dy, hy, yb, regions.c, job);
+    device_.gemv<T>(desc.trans_a, static_cast<int>(m), static_cast<int>(n),
+                    alpha, da, static_cast<int>(m), dx, beta, dy, &s);
+    device_.memcpy_d2h_async(s, hy, dy, yb);
+    job.done = s.tail();
 
-  T* staged = hy.as<T>();
-  job.unpack = [staged, y, yb]() { std::memcpy(y, staged, yb); };
-  job.buffers.reserve(6);
-  job.buffers.push_back(std::move(ha));
-  job.buffers.push_back(std::move(hx));
-  job.buffers.push_back(std::move(hy));
-  job.buffers.push_back(std::move(da));
-  job.buffers.push_back(std::move(dx));
-  job.buffers.push_back(std::move(dy));
+    T* staged = hy.as<T>();
+    job.unpack = [staged, y, yb]() { std::memcpy(y, staged, yb); };
+    job.buffers.reserve(6);
+    job.buffers.push_back(std::move(ha));
+    job.buffers.push_back(std::move(hx));
+    job.buffers.push_back(std::move(hy));
+    job.buffers.push_back(std::move(da));
+    job.buffers.push_back(std::move(dx));
+    job.buffers.push_back(std::move(dy));
+  }
+  if (tracking_enabled()) residency_.note_device_write(regions.c);
   return job;
 }
 
@@ -648,11 +937,16 @@ void Dispatcher::finish_gpu_job_locked(GpuJob& job, bool overlapped) {
   // stream synchronize).
   device_.clock().advance_to(job.done);
   if (job.unpack) job.unpack();
+  // The device result has been unpacked into the client buffer: host and
+  // device copies agree, so the output region is resident-clean — the
+  // next iteration of a solver that feeds C/y back in uploads nothing.
+  if (tracking_enabled()) residency_.note_device_result(job.out_region);
   if (overlapped) {
     counters_.overlapped_gpu_calls.fetch_add(1, std::memory_order_relaxed);
   }
   const double cost = job.done - job.submit_floor;
-  account_and_observe(job.desc, job.key, job.decision, cost, 1);
+  account_and_observe(job.desc, job.key, job.decision, cost, 1,
+                      job.h2d_moved, job.h2d_skipped);
   job.buffers.clear();
   job.unpack = nullptr;
   job.active = false;
@@ -714,6 +1008,9 @@ LoadStatus Dispatcher::load_calibration(const std::string& path) {
   const LoadResult result = load_calibration_file(
       path, config_.personality.name, config_.profile.name);
   if (result.status == LoadStatus::Ok) {
+    if (!result.warning.empty()) {
+      std::fprintf(stderr, "blob-dispatch: %s\n", result.warning.c_str());
+    }
     apply_calibration(result.data);
   }
   return result.status;

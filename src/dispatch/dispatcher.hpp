@@ -39,6 +39,7 @@
 #include "dispatch/calibration_store.hpp"
 #include "dispatch/decision_table.hpp"
 #include "dispatch/decision_trace.hpp"
+#include "dispatch/residency.hpp"
 #include "perfmodel/noise.hpp"
 #include "simgpu/device.hpp"
 #include "sysprofile/profile.hpp"
@@ -52,7 +53,20 @@ struct DispatcherConfig {
   blas::CpuLibraryPersonality personality = blas::generic_personality();
   std::size_t cpu_threads = 0;  ///< worker-pool cap (0 = hw concurrency)
   /// Declared data-movement pattern of the client (part of the table key).
+  /// Under an active residency policy the dispatcher derives the mode
+  /// itself (see effective_mode()) and this field is ignored.
   core::TransferMode mode = core::TransferMode::Once;
+  /// Residency policy at the seam: Off prices every call as if nothing
+  /// were resident (legacy Transfer-Always behaviour of the dispatcher),
+  /// Track skips explicit H2D DMA for resident-clean operands,
+  /// FirstTouch places operands in managed memory and lets the simgpu
+  /// page-migration model move only what is not already device-resident.
+  ResidencyPolicy residency = ResidencyPolicy::Off;
+  /// Expected reuse horizon (calls) a cold upload is amortised over when
+  /// pricing the GPU side of a cold-class call: a cold call under an
+  /// active policy is the down payment on a warm run, so it is charged
+  /// gpu_time(desc, horizon) / horizon instead of its full one-shot cost.
+  int residency_horizon = 12;
   DecisionTableConfig table{};
   std::size_t trace_capacity = 2048;
   /// Log-normal sigma of the observation noise folded into the EWMAs
@@ -89,6 +103,12 @@ class Dispatcher final : public blas::CblasDispatchHook {
   /// (transposes included) with positive dims; GEMV additionally needs
   /// unit vector strides. False routes are recorded Reason::Forced.
   [[nodiscard]] static bool gpu_supported(const core::OpDesc& desc);
+
+  /// The transfer mode stamped on every descriptor: the configured mode
+  /// when the residency policy is off, otherwise the mode the policy
+  /// implies (Track -> Once, FirstTouch -> Usm). OpDesc::transfer is a
+  /// DERIVED property under an active policy, not a client declaration.
+  [[nodiscard]] core::TransferMode effective_mode() const;
 
   // -- CblasDispatchHook (return true = call handled) ----------------------
   bool gemm(const core::OpDesc& desc, float alpha, const float* a,
@@ -160,12 +180,19 @@ class Dispatcher final : public blas::CblasDispatchHook {
     BucketKey key;
     Decision decision;
     std::uint64_t seq = 0;
+    double h2d_moved = 0.0;    ///< H2D bytes this job actually charged
+    double h2d_skipped = 0.0;  ///< H2D bytes skipped via residency hits
+    Region out_region;         ///< client output footprint (C or y)
   };
 
   /// Decide the route for `desc` without executing (seeds the bucket if
   /// needed). Used by the queue to learn whether a call goes to the GPU
-  /// (overlap-eligible) before committing work.
-  Decision plan(const core::OpDesc& desc, bool gpu_ok);
+  /// (overlap-eligible) before committing work. `regions` are the host
+  /// operand footprints; with an active residency policy they classify
+  /// the call cold/warm and price only the bytes that must move (an
+  /// empty OperandRegions classifies as cold).
+  Decision plan(const core::OpDesc& desc, bool gpu_ok,
+                const OperandRegions& regions = {});
 
   /// Enqueue a GPU-routed GEMM/GEMV on the dispatch stream and return
   /// without synchronising; the caller overlaps CPU work and later calls
@@ -228,6 +255,10 @@ class Dispatcher final : public blas::CblasDispatchHook {
   }
   /// Virtual seconds elapsed on the simulated device.
   [[nodiscard]] double virtual_now() const { return device_.now(); }
+  /// The residency interval map (tests inspect interval counts).
+  [[nodiscard]] const ResidencyTracker& residency() const {
+    return residency_;
+  }
 
  private:
   template <typename T, typename S>
@@ -247,8 +278,38 @@ class Dispatcher final : public blas::CblasDispatchHook {
                      const T* x, S beta, T* y);
 
   /// Seed + choose under mutex_ (callers hold the lock).
-  Decision plan_locked(const core::OpDesc& desc, bool gpu_ok);
-  void ensure_seeded(const BucketKey& key, const core::OpDesc& desc);
+  Decision plan_locked(const core::OpDesc& desc, bool gpu_ok,
+                       const OperandRegions& regions = {});
+  /// `gpu_seed` replaces the advisor's GPU-side seed (warm buckets are
+  /// seeded with the residency-priced cost, not the full-transfer one).
+  void ensure_seeded(const BucketKey& key, const core::OpDesc& desc,
+                     std::optional<double> gpu_seed = std::nullopt);
+
+  /// Is the interval map live? Off disables it; FirstTouch without XNACK
+  /// also disables it (no page ever migrates, so nothing becomes
+  /// resident and classifying calls warm would mis-price them).
+  [[nodiscard]] bool tracking_enabled() const;
+  /// Cold / warm-partial / warm from the tracker's view of `regions`.
+  [[nodiscard]] ResidencyClass classify_locked(
+      const OperandRegions& regions) const;
+  /// Per-structure H2D bytes this call still needs to move (0 for
+  /// resident-clean operands) plus the output download.
+  [[nodiscard]] core::SimBackend::GpuTraffic traffic_locked(
+      const core::OpDesc& desc, const OperandRegions& regions) const;
+  /// Track path: DMA a staged operand unless its host region is
+  /// resident-clean (then the device copy is current — refresh the
+  /// simulated storage without a modelled transfer).
+  void upload_operand_locked(sim::Stream& stream, sim::Buffer& dst,
+                             const sim::Buffer& src, std::size_t bytes,
+                             const Region& region, GpuJob& job);
+  /// FirstTouch path: decide whether a managed operand's pages are
+  /// already device-resident (free) or will fault-migrate in the kernel.
+  void place_managed_locked(sim::Buffer& buffer, const Region& region,
+                            GpuJob& job);
+  /// A host-side (CPU-routed) write landed on `region`: invalidate.
+  void note_host_output_locked(const Region& region);
+  void count_residency_hit();
+  void count_residency_miss();
 
   template <typename T, typename S>
   GpuJob enqueue_gemm_gpu_locked(const Decision& decision,
@@ -267,7 +328,8 @@ class Dispatcher final : public blas::CblasDispatchHook {
                                     std::uint64_t seq) const;
   void account_and_observe(const core::OpDesc& desc, const BucketKey& key,
                            const Decision& decision, double cost_s,
-                           int batch);
+                           int batch, double h2d_moved = 0.0,
+                           double h2d_skipped = 0.0);
 
   DispatcherConfig config_;
   mutable std::mutex mutex_;
@@ -280,6 +342,7 @@ class Dispatcher final : public blas::CblasDispatchHook {
   DecisionTable table_;
   DecisionTrace trace_;
   DispatchCounters counters_;
+  ResidencyTracker residency_;
   model::NoiseModel noise_;
   std::optional<blas::GemmBlocking> tuned_f32_;
   std::optional<blas::GemmBlocking> tuned_f64_;

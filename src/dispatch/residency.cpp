@@ -1,0 +1,119 @@
+#include "dispatch/residency.hpp"
+
+namespace blob::dispatch {
+
+const char* to_string(ResidencyPolicy policy) {
+  switch (policy) {
+    case ResidencyPolicy::Off:
+      return "off";
+    case ResidencyPolicy::Track:
+      return "track";
+    case ResidencyPolicy::FirstTouch:
+      return "first-touch";
+  }
+  return "?";
+}
+
+Region matrix_region(const void* ptr, std::size_t elem_bytes,
+                     std::int64_t ld, std::int64_t rows, std::int64_t cols) {
+  if (ptr == nullptr || rows <= 0 || cols <= 0) return {};
+  if (ld < rows) ld = rows;
+  const auto span = static_cast<std::size_t>((cols - 1) * ld + rows);
+  return {ptr, elem_bytes * span};
+}
+
+Region vector_region(const void* ptr, std::size_t elem_bytes,
+                     std::int64_t len, std::int64_t inc) {
+  if (ptr == nullptr || len <= 0) return {};
+  if (inc < 1) inc = 1;
+  const auto span = static_cast<std::size_t>((len - 1) * inc + 1);
+  return {ptr, elem_bytes * span};
+}
+
+std::size_t ResidencyTracker::erase_range(std::uintptr_t begin,
+                                          std::uintptr_t end) {
+  if (begin >= end) return 0;
+  std::size_t touched = 0;
+  auto it = map_.lower_bound(begin);
+  // The interval starting before `begin` may still reach into the range.
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > begin) it = prev;
+  }
+  while (it != map_.end() && it->first < end) {
+    const std::uintptr_t ib = it->first;
+    const std::uintptr_t ie = it->second.end;
+    const CopyState st = it->second.state;
+    ++touched;
+    it = map_.erase(it);
+    if (ib < begin) map_.emplace(ib, Node{begin, st});
+    if (ie > end) it = map_.emplace(end, Node{ie, st}).first;
+  }
+  return touched;
+}
+
+void ResidencyTracker::mark(std::uintptr_t begin, std::uintptr_t end,
+                            CopyState state) {
+  if (begin >= end) return;
+  erase_range(begin, end);
+  // Coalesce with equal-state neighbours so long-lived panels stay one
+  // interval no matter how they were assembled.
+  auto it = map_.lower_bound(begin);
+  if (it != map_.end() && it->first == end && it->second.state == state) {
+    end = it->second.end;
+    map_.erase(it);
+  }
+  it = map_.lower_bound(begin);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end == begin && prev->second.state == state) {
+      prev->second.end = end;
+      return;
+    }
+  }
+  map_.emplace(begin, Node{end, state});
+}
+
+void ResidencyTracker::note_upload(const Region& region) {
+  if (!region.valid()) return;
+  const auto b = reinterpret_cast<std::uintptr_t>(region.ptr);
+  mark(b, b + region.bytes, CopyState::ResidentClean);
+}
+
+void ResidencyTracker::note_device_write(const Region& region) {
+  if (!region.valid()) return;
+  const auto b = reinterpret_cast<std::uintptr_t>(region.ptr);
+  mark(b, b + region.bytes, CopyState::ResidentDirty);
+}
+
+void ResidencyTracker::note_device_result(const Region& region) {
+  if (!region.valid()) return;
+  const auto b = reinterpret_cast<std::uintptr_t>(region.ptr);
+  mark(b, b + region.bytes, CopyState::ResidentClean);
+}
+
+std::size_t ResidencyTracker::note_host_write(const Region& region) {
+  if (!region.valid()) return 0;
+  const auto b = reinterpret_cast<std::uintptr_t>(region.ptr);
+  return erase_range(b, b + region.bytes);
+}
+
+bool ResidencyTracker::resident_clean(const Region& region) const {
+  if (!region.valid()) return false;
+  std::uintptr_t pos = reinterpret_cast<std::uintptr_t>(region.ptr);
+  const std::uintptr_t end = pos + region.bytes;
+  auto it = map_.upper_bound(pos);
+  if (it == map_.begin()) return false;
+  --it;
+  for (;;) {
+    if (it->second.end <= pos || it->second.state != CopyState::ResidentClean) {
+      return false;
+    }
+    if (it->second.end >= end) return true;
+    pos = it->second.end;
+    ++it;
+    if (it == map_.end() || it->first != pos) return false;  // coverage gap
+  }
+}
+
+}  // namespace blob::dispatch

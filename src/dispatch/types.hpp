@@ -37,7 +37,19 @@ enum class Reason {
                    ///< (non-unit vector strides; transposes are first-class)
 };
 
+/// Device-residency class of one call's operand set at decision time,
+/// derived from the ResidencyTracker (residency.hpp). Part of the bucket
+/// key: warm and cold traffic of the same shape have very different GPU
+/// costs (the paper's Transfer-Once vs Transfer-Always gap), so they must
+/// learn separate estimates instead of one pessimistic blend.
+enum class ResidencyClass {
+  Cold,         ///< no operand region resident on the device
+  WarmPartial,  ///< some, but not all, operand regions resident-clean
+  Warm,         ///< every operand region resident-clean (only outputs move)
+};
+
 const char* to_string(Route route);
 const char* to_string(Reason reason);
+const char* to_string(ResidencyClass cls);
 
 }  // namespace blob::dispatch

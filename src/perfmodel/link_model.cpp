@@ -10,6 +10,13 @@ double LinkModel::h2d_time(double bytes, bool pinned) const {
   return latency_s + bytes / bw;
 }
 
+double LinkModel::h2d_structures_time(double bytes, int structures,
+                                      bool pinned) const {
+  if (structures <= 0) return 0.0;
+  const double bw = h2d_bw_gbs * 1e9 / (pinned ? 1.0 : pageable_penalty);
+  return static_cast<double>(structures) * latency_s + bytes / bw;
+}
+
 double LinkModel::d2h_time(double bytes, bool pinned) const {
   if (bytes <= 0) return 0.0;
   const double bw = d2h_bw_gbs * 1e9 / (pinned ? 1.0 : pageable_penalty);

@@ -36,6 +36,13 @@ struct LinkModel {
   /// Seconds to move `bytes` host->device with an explicit copy.
   [[nodiscard]] double h2d_time(double bytes, bool pinned = true) const;
 
+  /// Seconds to move `bytes` host->device split over `structures`
+  /// explicit copies (one per data structure, each paying the setup
+  /// latency). `structures` = 0 costs nothing — how a residency-aware
+  /// dispatcher prices a call whose operands are all device-resident.
+  [[nodiscard]] double h2d_structures_time(double bytes, int structures,
+                                           bool pinned = true) const;
+
   /// Seconds to move `bytes` device->host with an explicit copy.
   [[nodiscard]] double d2h_time(double bytes, bool pinned = true) const;
 
