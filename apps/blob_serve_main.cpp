@@ -31,10 +31,16 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <chrono>
+#include <string_view>
+
 #include "blas/cblas.hpp"
 #include "dispatch/admission_queue.hpp"
 #include "dispatch/dispatcher.hpp"
 #include "obs/obs.hpp"
+#include "serve/fleet.hpp"
+#include "serve/metrics.hpp"
 #include "sysprofile/profile.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -151,6 +157,593 @@ struct Baselines {
   double always_gpu_s = 0.0;
 };
 
+constexpr std::size_t kNumClasses = std::size(kClasses);
+
+/// Element counts for one class's operands (see the arena comments).
+struct ClassExtents {
+  std::size_t a = 0, b = 0, c = 0;
+};
+
+ClassExtents extents_of(const ShapeClass& sc) {
+  ClassExtents e;
+  e.a = static_cast<std::size_t>(sc.m) *
+        (sc.op == blob::core::KernelOp::Gemm ? static_cast<std::size_t>(sc.k)
+                                             : static_cast<std::size_t>(sc.n));
+  e.b = sc.op == blob::core::KernelOp::Gemm
+            ? static_cast<std::size_t>(sc.k) * static_cast<std::size_t>(sc.n)
+            : static_cast<std::size_t>(sc.ta == kN ? sc.n : sc.m);
+  e.c = sc.op == blob::core::KernelOp::Gemm
+            ? static_cast<std::size_t>(sc.m) * static_cast<std::size_t>(sc.n)
+            : static_cast<std::size_t>(sc.ta == kN ? sc.m : sc.n);
+  return e;
+}
+
+/// Deterministically filled operand arenas for every shape class.
+std::vector<ClassBuffers> make_arenas() {
+  std::vector<ClassBuffers> buffers(kNumClasses);
+  for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
+    const ShapeClass& sc = kClasses[ci];
+    // Element counts are invariant under transposition (a k x m stored A
+    // holds as many values as an m x k one); GEMV vector lengths swap.
+    const ClassExtents e = extents_of(sc);
+    if (sc.precision == blob::model::Precision::F16) {
+      buffers[ci].ah.resize(e.a);
+      buffers[ci].bh.resize(e.b);
+      buffers[ci].ch.resize(e.c);
+      fill_deterministic(buffers[ci].ah, ci * 3 + 0);
+      fill_deterministic(buffers[ci].bh, ci * 3 + 1);
+      fill_deterministic(buffers[ci].ch, ci * 3 + 2);
+    } else if (sc.precision == blob::model::Precision::F32) {
+      buffers[ci].af.resize(e.a);
+      buffers[ci].bf.resize(e.b);
+      buffers[ci].cf.resize(e.c);
+      fill_deterministic(buffers[ci].af, ci * 3 + 0);
+      fill_deterministic(buffers[ci].bf, ci * 3 + 1);
+      fill_deterministic(buffers[ci].cf, ci * 3 + 2);
+    } else {
+      buffers[ci].ad.resize(e.a);
+      buffers[ci].bd.resize(e.b);
+      buffers[ci].cd.resize(e.c);
+      fill_deterministic(buffers[ci].ad, ci * 3 + 0);
+      fill_deterministic(buffers[ci].bd, ci * 3 + 1);
+      fill_deterministic(buffers[ci].cd, ci * 3 + 2);
+    }
+  }
+  return buffers;
+}
+
+/// Issue one call of class `sc` on `buf` through the cblas entry points
+/// (routes through the dispatcher when its hook is installed, natively
+/// otherwise — the native form computes checksum references).
+void issue_class(const ShapeClass& sc, ClassBuffers& buf) {
+  if (sc.op == blob::core::KernelOp::Gemm) {
+    const int lda = sc.ta == kN ? sc.m : sc.k;
+    const int ldb = sc.tb == kN ? sc.k : sc.n;
+    if (sc.precision == blob::model::Precision::F16) {
+      cblas_hgemm(CblasColMajor, to_cblas(sc.ta), to_cblas(sc.tb), sc.m,
+                  sc.n, sc.k, 1.0F, buf.ah.data(), lda, buf.bh.data(), ldb,
+                  0.0F, buf.ch.data(), sc.m);
+    } else if (sc.precision == blob::model::Precision::F32) {
+      cblas_sgemm(CblasColMajor, to_cblas(sc.ta), to_cblas(sc.tb), sc.m,
+                  sc.n, sc.k, 1.0F, buf.af.data(), lda, buf.bf.data(), ldb,
+                  0.0F, buf.cf.data(), sc.m);
+    } else {
+      cblas_dgemm(CblasColMajor, to_cblas(sc.ta), to_cblas(sc.tb), sc.m,
+                  sc.n, sc.k, 1.0, buf.ad.data(), lda, buf.bd.data(), ldb,
+                  0.0, buf.cd.data(), sc.m);
+    }
+  } else {
+    if (sc.precision == blob::model::Precision::F32) {
+      cblas_sgemv(CblasColMajor, to_cblas(sc.ta), sc.m, sc.n, 1.0F,
+                  buf.af.data(), sc.m, buf.bf.data(), 1, 0.0F, buf.cf.data(),
+                  1);
+    } else {
+      cblas_dgemv(CblasColMajor, to_cblas(sc.ta), sc.m, sc.n, 1.0,
+                  buf.ad.data(), sc.m, buf.bd.data(), 1, 0.0, buf.cd.data(),
+                  1);
+    }
+  }
+}
+
+/// Output (C or y) footprint in bytes.
+std::size_t c_bytes(const ShapeClass& sc) {
+  const std::size_t elems = extents_of(sc).c;
+  if (sc.precision == blob::model::Precision::F16) {
+    return elems * sizeof(blob::blas::f16);
+  }
+  if (sc.precision == blob::model::Precision::F32) {
+    return elems * sizeof(float);
+  }
+  return elems * sizeof(double);
+}
+
+const void* c_ptr(const ClassBuffers& buf, const ShapeClass& sc) {
+  if (sc.precision == blob::model::Precision::F16) return buf.ch.data();
+  if (sc.precision == blob::model::Precision::F32) return buf.cf.data();
+  return buf.cd.data();
+}
+
+/// Does this class's output match the reference bitwise?
+bool class_matches(const ClassBuffers& got, const ClassBuffers& ref,
+                   const ShapeClass& sc) {
+  return std::memcmp(c_ptr(got, sc), c_ptr(ref, sc), c_bytes(sc)) == 0;
+}
+
+/// Deterministic weighted class sequence over `allowed` class indices.
+std::vector<std::size_t> sample_sequence(
+    std::size_t calls, std::uint64_t seed,
+    const std::vector<std::size_t>& allowed) {
+  blob::util::Xoshiro256 rng(seed);
+  double weight_sum = 0.0;
+  for (const std::size_t ci : allowed) weight_sum += kClasses[ci].weight;
+  std::vector<std::size_t> sequence(calls);
+  for (std::size_t i = 0; i < calls; ++i) {
+    double draw = rng.next_double() * weight_sum;
+    std::size_t pick = allowed.front();
+    for (const std::size_t ci : allowed) {
+      draw -= kClasses[ci].weight;
+      if (draw <= 0.0) {
+        pick = ci;
+        break;
+      }
+    }
+    sequence[i] = pick;
+  }
+  return sequence;
+}
+
+// -- fleet mode --------------------------------------------------------------
+
+/// Service class per shape class: tiny filler GEMMs ride best-effort
+/// (never shed), shapes near the crossover serve interactive traffic
+/// (tight SLO), large GPU-bound shapes are batch/pipeline traffic
+/// (loose SLO).
+blob::serve::RequestClass request_class_of(const ShapeClass& sc) {
+  const std::string_view label(sc.label);
+  if (label.find("small") != std::string_view::npos) {
+    return blob::serve::RequestClass::BestEffort;
+  }
+  if (label.find("large") != std::string_view::npos) {
+    return blob::serve::RequestClass::Batch;
+  }
+  return blob::serve::RequestClass::Interactive;
+}
+
+constexpr blob::serve::RequestClass kRequestClasses[] = {
+    blob::serve::RequestClass::Interactive,
+    blob::serve::RequestClass::Batch,
+    blob::serve::RequestClass::BestEffort,
+};
+
+/// Two trace records are bitwise-equal on every routed-decision field
+/// (span ids are excluded: they depend on live tracing state).
+bool records_equal(const blob::dispatch::TraceRecord& a,
+                   const blob::dispatch::TraceRecord& b) {
+  return a.seq == b.seq && a.device == b.device && a.op == b.op &&
+         a.precision == b.precision && a.mode == b.mode &&
+         a.bucket == b.bucket && a.trans_a == b.trans_a &&
+         a.trans_b == b.trans_b && a.m == b.m && a.n == b.n && a.k == b.k &&
+         a.route == b.route && a.reason == b.reason &&
+         a.cpu_est_s == b.cpu_est_s && a.gpu_est_s == b.gpu_est_s &&
+         a.cost_s == b.cost_s && a.observed_s == b.observed_s &&
+         a.batch == b.batch && a.residency == b.residency &&
+         a.h2d_moved_bytes == b.h2d_moved_bytes &&
+         a.h2d_skipped_bytes == b.h2d_skipped_bytes;
+}
+
+int run_fleet(const blob::util::ArgParser& args,
+              blob::dispatch::DispatcherConfig base) {
+  using blob::serve::RequestClass;
+
+  const auto calls = static_cast<std::size_t>(args.get_int("-n"));
+  const int devices = args.get_int("--devices");
+  const bool verify_single = args.get_flag("--verify-single");
+  double slo_ms = args.get_double("--slo-ms");
+  double slo_batch_ms = args.get_double("--slo-batch-ms");
+  if (slo_batch_ms < 0.0) slo_batch_ms = slo_ms * 10.0;
+  auto clients = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.get_int("--clients"), 1));
+  const auto burst = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.get_int("--burst"), 1));
+  const auto gap_us = std::max<std::int64_t>(args.get_int("--gap-us"), 0);
+
+  if (verify_single) {
+    if (devices != 1) {
+      std::cerr << "error: --verify-single requires --devices 1\n";
+      return 2;
+    }
+    // Bit-identity needs a deterministic admission order and zero
+    // shedding; force both rather than silently comparing noise.
+    clients = 1;
+    slo_ms = 0.0;
+    slo_batch_ms = 0.0;
+  }
+
+  // Device personalities: --device-systems cycles over the fleet (so
+  // "dawn,lumi --devices 4" builds dawn,lumi,dawn,lumi); default is a
+  // homogeneous fleet of --system.
+  std::vector<blob::profile::SystemProfile> profiles;
+  {
+    std::vector<std::string> names;
+    const std::string spec = args.get_string("--device-systems");
+    std::size_t start = 0;
+    while (start <= spec.size() && !spec.empty()) {
+      const std::size_t comma = spec.find(',', start);
+      const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+      if (end > start) names.push_back(spec.substr(start, end - start));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (names.empty()) names.push_back(args.get_string("--system"));
+    try {
+      for (int i = 0; i < devices; ++i) {
+        profiles.push_back(
+            blob::profile::by_name(names[static_cast<std::size_t>(i) %
+                                         names.size()]));
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  // The fleet serves the f32/f64 mix (half precisions stay on the
+  // single-device replay path — see serve::OpKind).
+  std::vector<std::size_t> mix;
+  for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
+    if (kClasses[ci].precision != blob::model::Precision::F16) {
+      mix.push_back(ci);
+    }
+  }
+
+  std::vector<ClassBuffers> buffers = make_arenas();
+  // Per-class checksum references through the native CPU path (no hook
+  // is installed in fleet mode, so plain cblas is the ground truth; the
+  // simulated GPU kernels are bitwise-identical to the CPU path, so one
+  // reference validates every route on every device).
+  std::vector<ClassBuffers> refs = buffers;
+  for (const std::size_t ci : mix) issue_class(kClasses[ci], refs[ci]);
+
+  const std::vector<std::size_t> sequence = sample_sequence(
+      calls, static_cast<std::uint64_t>(args.get_int("--seed")), mix);
+
+  blob::serve::FleetConfig fc;
+  fc.devices = profiles;
+  fc.base = base;
+  fc.base.trace_capacity = calls == 0 ? 1 : calls;
+  fc.slo.interactive_ms = slo_ms;
+  fc.slo.batch_ms = slo_batch_ms;
+  fc.queue_capacity = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.get_int("--queue-capacity"), 0));
+  fc.tenant = args.get_string("--tenant");
+  fc.calibration_prefix = args.get_string("--calib-prefix");
+  blob::serve::DeviceFleet fleet(fc);
+
+  std::cout << blob::util::strfmt(
+      "fleet: %d devices, %zu calls, %zu clients x burst %zu (gap %lld us, "
+      "slo %.1f/%.1f ms)\n",
+      devices, calls, clients, burst, static_cast<long long>(gap_us),
+      slo_ms, slo_batch_ms);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    std::cout << blob::util::strfmt("  device %zu: %s\n", i,
+                                    profiles[i].name.c_str());
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> completed_seen{0};
+
+  // Closed-loop bursty producers. Each client owns a ring of `burst`
+  // output slots per class, so every in-flight request of a class writes
+  // a distinct buffer even when two land on different devices; the
+  // burst barrier (wait before reuse) makes the ring bound exact. In
+  // --verify-single mode the single client writes the shared arenas
+  // directly (one device drains FIFO, so nothing ever overlaps) — this
+  // keeps operand addresses identical to the plain-dispatcher replay,
+  // which matters under an active residency policy.
+  struct Pending {
+    std::future<blob::serve::ServeResult> fut;
+    std::size_t ci = 0;
+    const void* out = nullptr;
+  };
+  auto producer = [&](std::size_t t) {
+    std::vector<std::vector<std::vector<float>>> slots_f(kNumClasses);
+    std::vector<std::vector<std::vector<double>>> slots_d(kNumClasses);
+    std::vector<std::size_t> ring(kNumClasses, 0);
+    if (!verify_single) {
+      for (const std::size_t ci : mix) {
+        const ShapeClass& sc = kClasses[ci];
+        if (sc.precision == blob::model::Precision::F32) {
+          slots_f[ci].assign(burst, buffers[ci].cf);
+        } else {
+          slots_d[ci].assign(burst, buffers[ci].cd);
+        }
+      }
+    }
+    std::vector<Pending> pending;
+    pending.reserve(burst);
+    auto drain = [&] {
+      for (Pending& p : pending) {
+        const blob::serve::ServeResult r = p.fut.get();
+        if (r.outcome != blob::serve::Outcome::Completed) continue;
+        completed_seen.fetch_add(1, std::memory_order_relaxed);
+        const ShapeClass& sc = kClasses[p.ci];
+        if (std::memcmp(p.out, c_ptr(refs[p.ci], sc), c_bytes(sc)) != 0) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      pending.clear();
+    };
+    for (std::size_t i = t; i < calls; i += clients) {
+      const std::size_t ci = sequence[i];
+      const ShapeClass& sc = kClasses[ci];
+      const RequestClass cls = request_class_of(sc);
+      Pending p;
+      p.ci = ci;
+      if (sc.op == blob::core::KernelOp::Gemm) {
+        const int lda = sc.ta == kN ? sc.m : sc.k;
+        const int ldb = sc.tb == kN ? sc.k : sc.n;
+        if (sc.precision == blob::model::Precision::F32) {
+          float* out = verify_single
+                           ? buffers[ci].cf.data()
+                           : slots_f[ci][ring[ci]++ % burst].data();
+          p.out = out;
+          p.fut = fleet.submit_gemm<float>(
+              cls, sc.ta, sc.tb, sc.m, sc.n, sc.k, 1.0F,
+              buffers[ci].af.data(), lda, buffers[ci].bf.data(), ldb, 0.0F,
+              out, sc.m);
+        } else {
+          double* out = verify_single
+                            ? buffers[ci].cd.data()
+                            : slots_d[ci][ring[ci]++ % burst].data();
+          p.out = out;
+          p.fut = fleet.submit_gemm<double>(
+              cls, sc.ta, sc.tb, sc.m, sc.n, sc.k, 1.0,
+              buffers[ci].ad.data(), lda, buffers[ci].bd.data(), ldb, 0.0,
+              out, sc.m);
+        }
+      } else {
+        if (sc.precision == blob::model::Precision::F32) {
+          float* out = verify_single
+                           ? buffers[ci].cf.data()
+                           : slots_f[ci][ring[ci]++ % burst].data();
+          p.out = out;
+          p.fut = fleet.submit_gemv<float>(
+              cls, sc.ta, sc.m, sc.n, 1.0F, buffers[ci].af.data(), sc.m,
+              buffers[ci].bf.data(), 1, 0.0F, out, 1);
+        } else {
+          double* out = verify_single
+                            ? buffers[ci].cd.data()
+                            : slots_d[ci][ring[ci]++ % burst].data();
+          p.out = out;
+          p.fut = fleet.submit_gemv<double>(
+              cls, sc.ta, sc.m, sc.n, 1.0, buffers[ci].ad.data(), sc.m,
+              buffers[ci].bd.data(), 1, 0.0, out, 1);
+        }
+      }
+      pending.push_back(std::move(p));
+      if (pending.size() >= burst) {
+        drain();
+        if (gap_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(gap_us));
+        }
+      }
+    }
+    drain();
+  };
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t t = 0; t < clients; ++t) {
+      threads.emplace_back(producer, t);
+    }
+    for (auto& th : threads) th.join();
+  }
+  fleet.flush();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // -- N=1 bit-identity: replay the same sequence through a lone
+  // Dispatcher (same config, same buffers) and demand the decision
+  // traces match bitwise.
+  bool verify_identical = true;
+  std::size_t verify_diverged_at = 0;
+  if (verify_single) {
+    const std::vector<blob::dispatch::TraceRecord> fleet_trace =
+        fleet.device(0).trace().snapshot();
+    blob::dispatch::DispatcherConfig plain_cfg = base;
+    plain_cfg.trace_capacity = calls == 0 ? 1 : calls;
+    blob::dispatch::Dispatcher plain(plain_cfg);
+    plain.install();
+    for (std::size_t i = 0; i < calls; ++i) {
+      issue_class(kClasses[sequence[i]], buffers[sequence[i]]);
+    }
+    plain.uninstall();
+    const std::vector<blob::dispatch::TraceRecord> plain_trace =
+        plain.trace().snapshot();
+    if (fleet_trace.size() != plain_trace.size()) {
+      verify_identical = false;
+    } else {
+      for (std::size_t i = 0; i < fleet_trace.size(); ++i) {
+        if (!records_equal(fleet_trace[i], plain_trace[i])) {
+          verify_identical = false;
+          verify_diverged_at = i;
+          break;
+        }
+      }
+    }
+    // The plain replay rewrote the shared arenas; they must still match
+    // the references (both runs compute the same bits).
+    for (const std::size_t ci : mix) {
+      bool appeared = false;
+      for (const std::size_t s : sequence) appeared |= s == ci;
+      if (appeared && !class_matches(buffers[ci], refs[ci], kClasses[ci])) {
+        mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  const blob::serve::FleetStats stats = fleet.stats();
+  const double speedup =
+      stats.makespan_s > 0.0 ? stats.busy_s / stats.makespan_s : 0.0;
+  const double regret =
+      stats.oracle_s > 0.0 ? stats.busy_s / stats.oracle_s - 1.0 : 0.0;
+
+  std::cout << blob::util::strfmt(
+      "\n  submitted %llu  completed %llu  shed %llu  checksum mismatches "
+      "%llu (expect 0)\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(mismatches.load()));
+  for (const RequestClass cls : kRequestClasses) {
+    const blob::obs::Histogram& hist = blob::serve::latency_histogram(cls);
+    if (hist.count() == 0 && blob::serve::shed_counter(cls).value() == 0) {
+      continue;
+    }
+    std::cout << blob::util::strfmt(
+        "  class %-12s n=%-6llu p50 %8.3f ms  p99 %8.3f ms  shed %llu\n",
+        blob::serve::to_string(cls),
+        static_cast<unsigned long long>(hist.count()),
+        blob::serve::histogram_quantile(hist, 0.50) / 1.0e6,
+        blob::serve::histogram_quantile(hist, 0.99) / 1.0e6,
+        static_cast<unsigned long long>(
+            blob::serve::shed_counter(cls).value()));
+  }
+  std::cout << blob::util::strfmt(
+      "  modelled: busy %.4es  makespan %.4es  speedup %.2fx  oracle %.4es "
+      "(regret %+.2f%%)\n",
+      stats.busy_s, stats.makespan_s, speedup, stats.oracle_s,
+      100.0 * regret);
+  std::cout << blob::util::strfmt(
+      "  wall %.3fs  throughput %.0f req/s\n", wall_s,
+      wall_s > 0.0 ? static_cast<double>(stats.completed) / wall_s : 0.0);
+  for (std::size_t i = 0; i < stats.devices.size(); ++i) {
+    const blob::serve::DeviceStats& ds = stats.devices[i];
+    std::cout << blob::util::strfmt(
+        "  device %zu (%s): completed %llu  shed %llu  busy %.4es  "
+        "(cpu %llu, gpu %llu routed)\n",
+        i, ds.profile.c_str(),
+        static_cast<unsigned long long>(ds.completed),
+        static_cast<unsigned long long>(ds.shed), ds.busy_s,
+        static_cast<unsigned long long>(ds.dispatch.cpu_routed),
+        static_cast<unsigned long long>(ds.dispatch.gpu_routed));
+  }
+  if (verify_single) {
+    std::cout << blob::util::strfmt(
+        "  verify-single: %s\n",
+        verify_identical ? "fleet trace bit-identical to lone dispatcher"
+                         : "TRACE DIVERGED");
+    if (!verify_identical) {
+      std::cerr << blob::util::strfmt(
+          "error: fleet(1) diverged from the single-device dispatcher at "
+          "record %zu\n",
+          verify_diverged_at);
+    }
+  }
+
+  if (!fc.calibration_prefix.empty() && !fleet.save_calibration()) {
+    std::cerr << "error: cannot write calibration stores\n";
+    return 1;
+  }
+  const std::string metrics_path = args.get_string("--metrics-out");
+  if (!metrics_path.empty() &&
+      !blob::obs::write_metrics_file(metrics_path)) {
+    std::cerr << "error: cannot write " << metrics_path << "\n";
+    return 1;
+  }
+  const std::string trace_path = args.get_string("--trace-out");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    // One array per device, in device order.
+    out << "[";
+    for (std::size_t i = 0; i < fleet.device_count(); ++i) {
+      if (i > 0) out << ",";
+      fleet.device(i).trace().dump_json(out);
+    }
+    out << "]\n";
+  }
+
+  const std::string json_path = args.get_string("--json-out");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
+    blob::util::JsonWriter json(out, /*pretty=*/true);
+    json.begin_object();
+    json.kv("devices", devices);
+    json.key("systems").begin_array();
+    for (const auto& p : profiles) json.value(p.name);
+    json.end_array();
+    json.kv("personality", base.personality.name);
+    json.kv("residency", args.get_string("--residency"));
+    json.kv("tenant", fc.tenant);
+    json.kv("calls", calls);
+    json.kv("clients", clients);
+    json.kv("burst", burst);
+    json.kv("gap_us", gap_us);
+    json.kv("slo_ms", slo_ms);
+    json.kv("slo_batch_ms", slo_batch_ms);
+    json.kv("submitted", static_cast<std::int64_t>(stats.submitted));
+    json.kv("completed", static_cast<std::int64_t>(stats.completed));
+    json.kv("shed", static_cast<std::int64_t>(stats.shed));
+    json.kv("checksum_mismatches",
+            static_cast<std::int64_t>(mismatches.load()));
+    json.kv("wall_s", wall_s);
+    json.kv("busy_s", stats.busy_s);
+    json.kv("makespan_s", stats.makespan_s);
+    json.kv("speedup", speedup);
+    json.kv("oracle_s", stats.oracle_s);
+    json.kv("routed_est_s", stats.routed_est_s);
+    json.kv("regret_vs_oracle", regret);
+    if (verify_single) json.kv("verify_single_identical", verify_identical);
+    json.key("classes").begin_array();
+    for (const RequestClass cls : kRequestClasses) {
+      const blob::obs::Histogram& hist =
+          blob::serve::latency_histogram(cls);
+      json.begin_object();
+      json.kv("class", blob::serve::to_string(cls));
+      json.kv("completed", static_cast<std::int64_t>(hist.count()));
+      json.kv("shed", static_cast<std::int64_t>(
+                          blob::serve::shed_counter(cls).value()));
+      json.kv("p50_ms", blob::serve::histogram_quantile(hist, 0.50) / 1.0e6);
+      json.kv("p99_ms", blob::serve::histogram_quantile(hist, 0.99) / 1.0e6);
+      json.end_object();
+    }
+    json.end_array();
+    json.key("per_device").begin_array();
+    for (std::size_t i = 0; i < stats.devices.size(); ++i) {
+      const blob::serve::DeviceStats& ds = stats.devices[i];
+      json.begin_object();
+      json.kv("device", static_cast<std::int64_t>(i));
+      json.kv("system", ds.profile);
+      json.kv("completed", static_cast<std::int64_t>(ds.completed));
+      json.kv("shed", static_cast<std::int64_t>(ds.shed));
+      json.kv("busy_s", ds.busy_s);
+      json.key("stats").begin_object();
+      blob::dispatch::write_stats_fields(json, ds.dispatch);
+      json.end_object();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    out << "\n";
+    std::cout << "summary written to " << json_path << "\n";
+  }
+
+  const bool failed = mismatches.load() != 0 || !verify_identical;
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,7 +777,32 @@ int main(int argc, char** argv) {
   args.add_double("--noise", "observation noise sigma (<0 = profile's)",
                   -1.0);
   args.add_flag("--queue", "drive the admission queue from client threads");
-  args.add_int("--clients", "client threads in --queue mode", 4);
+  args.add_int("--clients", "client threads in --queue/--devices mode", 4);
+  args.add_int("--devices",
+               "fleet mode: serve through this many simulated devices "
+               "(0 = legacy single-device modes)",
+               0);
+  args.add_string("--device-systems",
+                  "comma-separated system profiles cycled over the fleet "
+                  "(default: --system, homogeneous)",
+                  "");
+  args.add_double("--slo-ms",
+                  "interactive-class deadline in ms (0 = never shed)", 0.0);
+  args.add_double("--slo-batch-ms",
+                  "batch-class deadline in ms (<0 = 10 x --slo-ms)", -1.0);
+  args.add_int("--burst", "requests per client burst in fleet mode", 16);
+  args.add_int("--gap-us", "pause between client bursts (offered load)", 0);
+  args.add_int("--queue-capacity",
+               "per-device admission bound (backpressure; 0 = unbounded)",
+               1024);
+  args.add_string("--tenant", "calibration namespace for the fleet", "");
+  args.add_string("--calib-prefix",
+                  "per-device calibration stores "
+                  "(<prefix>[.<tenant>].dev<i>.json)",
+                  "");
+  args.add_flag("--verify-single",
+                "with --devices 1: replay through a lone dispatcher and "
+                "require bit-identical decision traces");
   args.add_flag("--autotune", "autotune GEMM blocking at startup");
   args.add_string("--load-calib", "calibration store to load", "");
   args.add_string("--save-calib", "write calibration store on exit", "");
@@ -227,6 +845,18 @@ int main(int argc, char** argv) {
   config.autotune = args.get_flag("--autotune");
   config.calibration_path = args.get_string("--load-calib");
   config.trace_capacity = calls == 0 ? 1 : calls;
+
+  if (args.get_int("--devices") > 0) {
+    // Fleet serving is a different driver entirely (multi-producer
+    // bursty traffic over N devices); the per-device profile overrides
+    // config.profile inside.
+    try {
+      return run_fleet(args, config);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
 
   Dispatcher dispatcher(config);
   if (!config.calibration_path.empty()) {
@@ -395,47 +1025,13 @@ int main(int argc, char** argv) {
     return mismatches == 0 ? 0 : 1;
   }
 
-  // Operand arenas per shape class.
-  constexpr std::size_t kNumClasses = std::size(kClasses);
-  std::vector<ClassBuffers> buffers(kNumClasses);
+  // Operand arenas per shape class, plus native-path checksum references
+  // (computed before the dispatcher hook is installed, so plain cblas is
+  // the ground truth every later route must reproduce bitwise).
+  std::vector<ClassBuffers> buffers = make_arenas();
+  std::vector<ClassBuffers> refs = buffers;
   for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
-    const ShapeClass& sc = kClasses[ci];
-    // Element counts are invariant under transposition (a k x m stored A
-    // holds as many values as an m x k one); GEMV vector lengths swap.
-    const std::size_t am = static_cast<std::size_t>(sc.m) *
-                           (sc.op == blob::core::KernelOp::Gemm
-                                ? static_cast<std::size_t>(sc.k)
-                                : static_cast<std::size_t>(sc.n));
-    const std::size_t bm =
-        sc.op == blob::core::KernelOp::Gemm
-            ? static_cast<std::size_t>(sc.k) * static_cast<std::size_t>(sc.n)
-            : static_cast<std::size_t>(sc.ta == kN ? sc.n : sc.m);
-    const std::size_t cm =
-        sc.op == blob::core::KernelOp::Gemm
-            ? static_cast<std::size_t>(sc.m) * static_cast<std::size_t>(sc.n)
-            : static_cast<std::size_t>(sc.ta == kN ? sc.m : sc.n);
-    if (sc.precision == blob::model::Precision::F16) {
-      buffers[ci].ah.resize(am);
-      buffers[ci].bh.resize(bm);
-      buffers[ci].ch.resize(cm);
-      fill_deterministic(buffers[ci].ah, ci * 3 + 0);
-      fill_deterministic(buffers[ci].bh, ci * 3 + 1);
-      fill_deterministic(buffers[ci].ch, ci * 3 + 2);
-    } else if (sc.precision == blob::model::Precision::F32) {
-      buffers[ci].af.resize(am);
-      buffers[ci].bf.resize(bm);
-      buffers[ci].cf.resize(cm);
-      fill_deterministic(buffers[ci].af, ci * 3 + 0);
-      fill_deterministic(buffers[ci].bf, ci * 3 + 1);
-      fill_deterministic(buffers[ci].cf, ci * 3 + 2);
-    } else {
-      buffers[ci].ad.resize(am);
-      buffers[ci].bd.resize(bm);
-      buffers[ci].cd.resize(cm);
-      fill_deterministic(buffers[ci].ad, ci * 3 + 0);
-      fill_deterministic(buffers[ci].bd, ci * 3 + 1);
-      fill_deterministic(buffers[ci].cd, ci * 3 + 2);
-    }
+    issue_class(kClasses[ci], refs[ci]);
   }
 
   // Per-class modelled costs drive the oracle / constant baselines.
@@ -460,23 +1056,11 @@ int main(int argc, char** argv) {
   }
 
   // Sample the workload sequence (deterministic in --seed).
-  blob::util::Xoshiro256 rng(
-      static_cast<std::uint64_t>(args.get_int("--seed")));
-  double weight_sum = 0.0;
-  for (const ShapeClass& sc : kClasses) weight_sum += sc.weight;
-  std::vector<std::size_t> sequence(calls);
-  for (std::size_t i = 0; i < calls; ++i) {
-    double draw = rng.next_double() * weight_sum;
-    std::size_t pick = 0;
-    for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
-      draw -= kClasses[ci].weight;
-      if (draw <= 0.0) {
-        pick = ci;
-        break;
-      }
-    }
-    sequence[i] = pick;
-  }
+  std::vector<std::size_t> all_classes(kNumClasses);
+  for (std::size_t ci = 0; ci < kNumClasses; ++ci) all_classes[ci] = ci;
+  const std::vector<std::size_t> sequence = sample_sequence(
+      calls, static_cast<std::uint64_t>(args.get_int("--seed")),
+      all_classes);
 
   // Replay. Baselines accumulate alongside; a stats snapshot at the
   // warm-up boundary splits routed cost into warm-up and steady phases.
@@ -484,42 +1068,22 @@ int main(int argc, char** argv) {
   blob::dispatch::DispatchStats warm_stats;
   const bool use_queue = args.get_flag("--queue");
 
-  auto issue_direct = [&](std::size_t ci) {
-    const ShapeClass& sc = kClasses[ci];
-    ClassBuffers& buf = buffers[ci];
-    if (sc.op == blob::core::KernelOp::Gemm) {
-      const int lda = sc.ta == kN ? sc.m : sc.k;
-      const int ldb = sc.tb == kN ? sc.k : sc.n;
-      if (sc.precision == blob::model::Precision::F16) {
-        cblas_hgemm(CblasColMajor, to_cblas(sc.ta), to_cblas(sc.tb), sc.m,
-                    sc.n, sc.k, 1.0F, buf.ah.data(), lda, buf.bh.data(), ldb,
-                    0.0F, buf.ch.data(), sc.m);
-      } else if (sc.precision == blob::model::Precision::F32) {
-        cblas_sgemm(CblasColMajor, to_cblas(sc.ta), to_cblas(sc.tb), sc.m,
-                    sc.n, sc.k, 1.0F, buf.af.data(), lda, buf.bf.data(), ldb,
-                    0.0F, buf.cf.data(), sc.m);
-      } else {
-        cblas_dgemm(CblasColMajor, to_cblas(sc.ta), to_cblas(sc.tb), sc.m,
-                    sc.n, sc.k, 1.0, buf.ad.data(), lda, buf.bd.data(), ldb,
-                    0.0, buf.cd.data(), sc.m);
-      }
-    } else {
-      if (sc.precision == blob::model::Precision::F32) {
-        cblas_sgemv(CblasColMajor, to_cblas(sc.ta), sc.m, sc.n, 1.0F,
-                    buf.af.data(), sc.m, buf.bf.data(), 1, 0.0F,
-                    buf.cf.data(), 1);
-      } else {
-        cblas_dgemv(CblasColMajor, to_cblas(sc.ta), sc.m, sc.n, 1.0,
-                    buf.ad.data(), sc.m, buf.bd.data(), 1, 0.0,
-                    buf.cd.data(), 1);
-      }
-    }
-  };
+  // Final-state checksum validation: every class buffer a run touched
+  // must end bitwise-equal to the native-path reference (beta = 0, so
+  // repeated calls are idempotent). A nonzero count fails the process.
+  std::uint64_t checksum_mismatches = 0;
 
   if (!use_queue) {
+    std::vector<char> issued(kNumClasses, 0);
     for (std::size_t i = 0; i < calls; ++i) {
       if (i == warmup) warm_stats = dispatcher.stats();
-      issue_direct(sequence[i]);
+      issue_class(kClasses[sequence[i]], buffers[sequence[i]]);
+      issued[sequence[i]] = 1;
+    }
+    for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
+      if (issued[ci] && !class_matches(buffers[ci], refs[ci], kClasses[ci])) {
+        ++checksum_mismatches;
+      }
     }
   } else {
     // Queue mode: several client threads submit slices of the sequence.
@@ -574,6 +1138,18 @@ int main(int argc, char** argv) {
     }
     for (auto& t : threads) t.join();
     queue.flush();
+    for (std::size_t t = 0; t < clients; ++t) {
+      std::vector<char> issued(kNumClasses, 0);
+      for (std::size_t i = t; i < calls; i += clients) {
+        issued[sequence[i]] = 1;
+      }
+      for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
+        if (issued[ci] &&
+            !class_matches(client_buffers[t][ci], refs[ci], kClasses[ci])) {
+          ++checksum_mismatches;
+        }
+      }
+    }
     warm_stats = blob::dispatch::DispatchStats{};  // no phase split here
     warmup = 0;
   }
@@ -651,6 +1227,9 @@ int main(int argc, char** argv) {
       "  transposed: %llu calls, %llu forced (expect 0)\n",
       static_cast<unsigned long long>(transposed_calls),
       static_cast<unsigned long long>(transposed_forced));
+  std::cout << blob::util::strfmt(
+      "  checksum mismatches: %llu (expect 0)\n",
+      static_cast<unsigned long long>(checksum_mismatches));
 
   const std::string save_path = args.get_string("--save-calib");
   if (!save_path.empty()) {
@@ -705,6 +1284,8 @@ int main(int argc, char** argv) {
     json.kv("transposed_calls", static_cast<std::int64_t>(transposed_calls));
     json.kv("transposed_forced",
             static_cast<std::int64_t>(transposed_forced));
+    json.kv("checksum_mismatches",
+            static_cast<std::int64_t>(checksum_mismatches));
     if (total.oracle_s > 0.0) {
       json.kv("regret_vs_oracle", routed_total / total.oracle_s - 1.0);
     }
@@ -719,5 +1300,7 @@ int main(int argc, char** argv) {
     out << "\n";
     std::cout << "summary written to " << json_path << "\n";
   }
-  return 0;
+  // Checksum failures fail the process: CI smokes gate on correctness,
+  // not just on the counters being printed.
+  return checksum_mismatches == 0 ? 0 : 1;
 }

@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Drive the multi-device serving layer and emit artifacts/BENCH_serve.json:
+# modelled-throughput scaling for 1/2/4 heterogeneous devices (dawn+lumi
+# mix), a p99-vs-offered-load sweep at the full fleet size, and the N=1
+# bit-identity check against a lone dispatcher.
+#
+# Acceptance baked into the merge step:
+#   - the 1-device fleet trace is bit-identical to a lone Dispatcher
+#   - zero checksum mismatches in every run
+#   - modelled speedup (busy_s / makespan_s) grows with the fleet and the
+#     4-device fleet clears the scaling floor
+#   - shedding touches only deadline-bearing classes (besteffort: never)
+#
+# Usage: scripts/bench_serve.sh [build-dir] [--quick] [extra args...]
+#   --quick  CI smoke mode: 400 calls per run instead of 2000, no load sweep.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [ $# -ge 1 ] && [ "${1#--}" = "$1" ]; then
+  build_dir="$1"
+  shift
+fi
+calls=2000
+quick=0
+if [ "${1:-}" = "--quick" ]; then
+  calls=400
+  quick=1
+  shift
+fi
+serve="$build_dir/apps/blob-serve"
+
+if [ ! -x "$serve" ]; then
+  echo "error: $serve not found — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j --target blob-serve" >&2
+  exit 1
+fi
+
+out_dir="$repo_root/artifacts"
+mkdir -p "$out_dir"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+common=(-n "$calls" --device-systems dawn,lumi --clients 4 --burst 16
+        --slo-ms 30 --seed 11 "$@")
+
+echo "== verify: 1-device fleet vs lone dispatcher (bit-identity) =="
+"$serve" -n "$calls" --devices 1 --verify-single --seed 11 \
+  --json-out "$tmp/verify.json" "$@"
+
+for d in 1 2 4; do
+  echo
+  echo "== fleet scaling: $d device(s) =="
+  "$serve" "${common[@]}" --devices "$d" --json-out "$tmp/scale$d.json"
+done
+
+loads=()
+if [ "$quick" -eq 0 ]; then
+  for gap in 0 200 800; do
+    echo
+    echo "== load sweep: 4 devices, gap ${gap}us between bursts =="
+    "$serve" "${common[@]}" --devices 4 --gap-us "$gap" \
+      --json-out "$tmp/load$gap.json"
+    loads+=("$gap")
+  done
+fi
+
+python3 - "$tmp" "$out_dir/BENCH_serve.json" "${loads[@]+${loads[@]}}" <<'PY'
+import json, sys
+tmp, out = sys.argv[1], sys.argv[2]
+gaps = [int(g) for g in sys.argv[3:]]
+
+doc = {
+    "verify_single": json.load(open(f"{tmp}/verify.json")),
+    "scaling": {str(d): json.load(open(f"{tmp}/scale{d}.json"))
+                for d in (1, 2, 4)},
+    "load_sweep": [json.load(open(f"{tmp}/load{g}.json")) for g in gaps],
+}
+
+def cls(run, name):
+    return next(c for c in run["classes"] if c["class"] == name)
+
+# N=1 identity + functional correctness everywhere.
+assert doc["verify_single"]["verify_single_identical"] is True
+for run in ([doc["verify_single"]] + list(doc["scaling"].values())
+            + doc["load_sweep"]):
+    assert run["checksum_mismatches"] == 0, run["devices"]
+    # Shedding only ever touches deadline-bearing classes.
+    assert cls(run, "besteffort")["shed"] == 0, run["devices"]
+
+# Modelled-throughput scaling: speedup = busy_s / makespan_s. A lone
+# device is ~1.0 by construction; the fleet must spread work.
+s = {d: doc["scaling"][d]["speedup"] for d in ("1", "2", "4")}
+assert s["1"] <= 1.05, s
+assert s["2"] > s["1"], s
+assert s["4"] > s["2"], s
+floor = 1.2 if doc["scaling"]["4"]["calls"] <= 500 else 2.0
+assert s["4"] >= floor, s
+
+# Offered load must move tail latency the right way: the most heavily
+# loaded point sees the worst interactive p99 of the sweep.
+sweep = []
+for run in doc["load_sweep"]:
+    inter = cls(run, "interactive")
+    sweep.append({
+        "gap_us": run["gap_us"],
+        "interactive_p99_ms": inter["p99_ms"],
+        "interactive_shed": inter["shed"],
+        "shed_total": run["shed"],
+        "speedup": run["speedup"],
+    })
+if sweep:
+    heaviest = min(sweep, key=lambda r: r["gap_us"])
+    lightest = max(sweep, key=lambda r: r["gap_us"])
+    assert heaviest["interactive_p99_ms"] >= lightest["interactive_p99_ms"], sweep
+
+doc["summary"] = {
+    "calls_per_run": doc["scaling"]["1"]["calls"],
+    "speedup_1dev": s["1"],
+    "speedup_2dev": s["2"],
+    "speedup_4dev": s["4"],
+    "regret_vs_oracle_4dev": doc["scaling"]["4"]["regret_vs_oracle"],
+    "shed_4dev": doc["scaling"]["4"]["shed"],
+    "verify_single_identical": True,
+    "load_sweep": sweep,
+}
+
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"summary: {json.dumps(doc['summary'], indent=2)}")
+PY
+
+echo
+echo "wrote $out_dir/BENCH_serve.json"

@@ -21,6 +21,13 @@ for b in build/bench/*; do
   "$b" > "artifacts/$name.txt"
 done
 
+echo "== bench scripts (BENCH_*.json artifacts) ============================="
+scripts/bench_gemm.sh build
+scripts/bench_gemv.sh build
+scripts/bench_dispatch.sh build
+scripts/bench_residency.sh build
+scripts/bench_serve.sh build
+
 echo "== artifact-style CSV run (square problems, 8 iterations) ============"
 ./build/apps/gpu-blob -i 8 -d 1024 --stride 4 --kernel all \
     --system isambard-ai --csv-dir artifacts/csv > artifacts/gpu-blob.txt

@@ -18,10 +18,14 @@ bool trans_b_of(const OpDesc& desc) {
 }  // namespace
 
 SimBackend::SimBackend(profile::SystemProfile profile, double noise_override,
-                       std::uint64_t noise_seed)
+                       std::uint64_t noise_seed, int device_id)
     : profile_(std::move(profile)),
+      // Salt the seed by device id (id 0 keeps the legacy stream) so
+      // same-profile fleet devices draw independent noise.
       noise_(noise_override >= 0.0 ? noise_override : profile_.noise_sigma,
-             noise_seed) {}
+             noise_seed +
+                 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(device_id)),
+      device_id_(device_id) {}
 
 double SimBackend::cpu_time(const OpDesc& desc, std::int64_t iterations) {
   const double iters = static_cast<double>(iterations);

@@ -18,15 +18,20 @@ namespace blob::core {
 
 class SimBackend final : public ExecutionBackend {
  public:
-  /// `noise_override` < 0 keeps the profile's own sigma.
+  /// `noise_override` < 0 keeps the profile's own sigma. `device_id`
+  /// identifies which device of a fleet this backend models: it salts
+  /// the noise stream so two same-profile cards in one box do not
+  /// produce correlated jitter. Device 0 keeps the legacy stream, so
+  /// single-device callers are bit-unchanged.
   explicit SimBackend(profile::SystemProfile profile,
                       double noise_override = -1.0,
-                      std::uint64_t noise_seed = 0x5eed);
+                      std::uint64_t noise_seed = 0x5eed, int device_id = 0);
 
   [[nodiscard]] std::string name() const override { return profile_.name; }
   [[nodiscard]] const profile::SystemProfile& profile() const {
     return profile_;
   }
+  [[nodiscard]] int device_id() const { return device_id_; }
 
   using ExecutionBackend::cpu_time;
   using ExecutionBackend::gpu_time;
@@ -59,6 +64,7 @@ class SimBackend final : public ExecutionBackend {
  private:
   profile::SystemProfile profile_;
   model::NoiseModel noise_;
+  int device_id_ = 0;
 };
 
 }  // namespace blob::core

@@ -49,13 +49,16 @@ std::future<void> AdmissionQueue::push(Request request) {
   std::future<void> future = request.done.get_future();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (stop_) {
+    if (queue_.closed()) {
       throw std::runtime_error("AdmissionQueue: submit after stop()");
     }
-    queue_.push_back(std::move(request));
     ++submitted_;
   }
-  cv_.notify_one();
+  if (!queue_.push(0, request)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --submitted_;
+    throw std::runtime_error("AdmissionQueue: submit after stop()");
+  }
   return future;
 }
 
@@ -121,16 +124,11 @@ template std::future<void> AdmissionQueue::submit_gemv<double>(
 
 void AdmissionQueue::flush() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] { return queue_.empty() && !worker_busy_; });
+  idle_cv_.wait(lock, [&] { return completed_ >= submitted_; });
 }
 
 void AdmissionQueue::stop() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stop_ && !worker_.joinable()) return;
-    stop_ = true;
-  }
-  cv_.notify_all();
+  queue_.close();
   if (worker_.joinable()) worker_.join();
 }
 
@@ -147,17 +145,9 @@ std::uint64_t AdmissionQueue::completed() const {
 void AdmissionQueue::worker_loop() {
   for (;;) {
     std::vector<Request> batch;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and nothing left to drain
-      worker_busy_ = true;
-      const std::size_t take = std::min(queue_.size(), config_.max_drain);
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+    batch.reserve(config_.max_drain);
+    if (queue_.pop_batch(0, config_.max_drain, batch) == 0) {
+      return;  // closed and nothing left to drain
     }
     if (batch.size() < config_.max_drain) {
       // Give a producer caught mid-burst one scheduling slot to finish
@@ -166,11 +156,7 @@ void AdmissionQueue::worker_loop() {
       // producer and drains a one-request cycle — repeated per push, so
       // bursts that should coalesce degenerate into per-call routing.
       std::this_thread::yield();
-      std::lock_guard<std::mutex> lock(mutex_);
-      while (batch.size() < config_.max_drain && !queue_.empty()) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
+      queue_.try_pop_batch(0, config_.max_drain - batch.size(), batch);
     }
     {
       obs::Span cycle("dispatch.queue_cycle", obs::Category::Dispatch);
@@ -191,7 +177,6 @@ void AdmissionQueue::worker_loop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       completed_ += batch.size();
-      worker_busy_ = false;
     }
     idle_cv_.notify_all();
   }

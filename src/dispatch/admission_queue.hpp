@@ -4,7 +4,9 @@
 // Many client threads submit BLAS requests and receive futures; one
 // worker thread drains the queue in cycles (with a one-yield second
 // sweep per cycle so a producer burst caught mid-flight lands in one
-// cycle instead of dribbling through many). Each cycle the worker
+// cycle instead of dribbling through many). The channel itself is a
+// one-shard dispatch::ShardedQueue — the same template the serve layer
+// fans out across N device shards. Each cycle the worker
 //  1. coalesces same-shape small GEMMs into a single blas::gemm_batched
 //     submission (the paper's §V future-work observation that batching
 //     "can greatly improve GEMM performance for small problem sizes"),
@@ -24,12 +26,12 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <mutex>
 #include <thread>
 
 #include "dispatch/dispatcher.hpp"
+#include "dispatch/sharded_queue.hpp"
 
 namespace blob::dispatch {
 
@@ -115,14 +117,13 @@ class AdmissionQueue {
   Dispatcher& dispatcher_;
   AdmissionQueueConfig config_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;        ///< worker wake-up
-  std::condition_variable idle_cv_;   ///< flush() wake-up
-  std::deque<Request> queue_;
+  /// The MPMC channel (one shard here — the dispatcher has one device;
+  /// serve::DeviceFleet instantiates the same template with N shards).
+  ShardedQueue<Request> queue_{1};
+  mutable std::mutex mutex_;         ///< guards the counters below
+  std::condition_variable idle_cv_;  ///< flush() wake-up
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
-  bool stop_ = false;
-  bool worker_busy_ = false;
   std::thread worker_;
 };
 

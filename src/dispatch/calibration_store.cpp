@@ -104,6 +104,8 @@ const char* to_string(LoadStatus status) {
       return "personality-mismatch";
     case LoadStatus::ProfileMismatch:
       return "profile-mismatch";
+    case LoadStatus::NamespaceMismatch:
+      return "namespace-mismatch";
   }
   return "?";
 }
@@ -114,6 +116,9 @@ void save_calibration(std::ostream& out, const CalibrationData& data) {
   json.kv("version", kCalibrationVersion);
   json.kv("personality", data.personality);
   json.kv("profile", data.profile);
+  // Additive to v3: omitted when empty so shared stores round-trip
+  // byte-identically to files written before namespaces existed.
+  if (!data.nspace.empty()) json.kv("namespace", data.nspace);
   if (data.blocking_f32) write_blocking(json, "blocking_f32", *data.blocking_f32);
   if (data.blocking_f64) write_blocking(json, "blocking_f64", *data.blocking_f64);
   json.key("entries").begin_array();
@@ -148,7 +153,8 @@ bool save_calibration_file(const std::string& path,
 
 LoadResult load_calibration(std::istream& in,
                             const std::string& expect_personality,
-                            const std::string& expect_profile) {
+                            const std::string& expect_profile,
+                            const std::string& expect_nspace) {
   LoadResult result;
   std::ostringstream buffer;
   buffer << in.rdbuf();
@@ -170,6 +176,13 @@ LoadResult load_calibration(std::istream& in,
     }
     if (!expect_profile.empty() && data.profile != expect_profile) {
       result.status = LoadStatus::ProfileMismatch;
+      return result;
+    }
+    if (const util::JsonValue* ns = doc.find("namespace")) {
+      data.nspace = ns->as_string();
+    }
+    if (!expect_nspace.empty() && data.nspace != expect_nspace) {
+      result.status = LoadStatus::NamespaceMismatch;
       return result;
     }
     if (const util::JsonValue* b = doc.find("blocking_f32")) {
@@ -216,14 +229,16 @@ LoadResult load_calibration(std::istream& in,
 
 LoadResult load_calibration_file(const std::string& path,
                                  const std::string& expect_personality,
-                                 const std::string& expect_profile) {
+                                 const std::string& expect_profile,
+                                 const std::string& expect_nspace) {
   std::ifstream in(path);
   if (!in) {
     LoadResult result;
     result.status = LoadStatus::IoError;
     return result;
   }
-  return load_calibration(in, expect_personality, expect_profile);
+  return load_calibration(in, expect_personality, expect_profile,
+                          expect_nspace);
 }
 
 }  // namespace blob::dispatch

@@ -38,6 +38,12 @@ inline constexpr int kCalibrationMinVersion = 2;
 struct CalibrationData {
   std::string personality;  ///< blas::CpuLibraryPersonality::name
   std::string profile;      ///< sysprofile::SystemProfile::name
+  /// Tenant namespace ("" = shared/global). Fleet serving calibrates per
+  /// tenant so one tenant's traffic shape cannot poison another's table;
+  /// the field is additive to the v3 schema — absent in older files and
+  /// omitted from the document when empty, so single-tenant stores
+  /// round-trip byte-identically to pre-namespace ones.
+  std::string nspace;
   std::map<BucketKey, BucketState> entries;
   std::optional<blas::GemmBlocking> blocking_f32;
   std::optional<blas::GemmBlocking> blocking_f64;
@@ -50,6 +56,7 @@ enum class LoadStatus {
   VersionMismatch,      ///< written by a different schema version
   PersonalityMismatch,  ///< calibrated against another CPU library
   ProfileMismatch,      ///< calibrated against another system profile
+  NamespaceMismatch,    ///< calibrated for another tenant namespace
 };
 
 const char* to_string(LoadStatus status);
@@ -69,15 +76,18 @@ void save_calibration(std::ostream& out, const CalibrationData& data);
 bool save_calibration_file(const std::string& path,
                            const CalibrationData& data);
 
-/// Parse and validate a store. `expect_personality` / `expect_profile`
-/// must match what the file was written with; empty expectations skip
-/// that check (used by tooling that just wants to inspect a file).
+/// Parse and validate a store. `expect_personality` / `expect_profile` /
+/// `expect_nspace` must match what the file was written with; empty
+/// expectations skip that check (used by tooling that just wants to
+/// inspect a file, and by single-tenant callers that predate namespaces).
 LoadResult load_calibration(std::istream& in,
                             const std::string& expect_personality,
-                            const std::string& expect_profile);
+                            const std::string& expect_profile,
+                            const std::string& expect_nspace = "");
 
 LoadResult load_calibration_file(const std::string& path,
                                  const std::string& expect_personality,
-                                 const std::string& expect_profile);
+                                 const std::string& expect_profile,
+                                 const std::string& expect_nspace = "");
 
 }  // namespace blob::dispatch

@@ -106,6 +106,7 @@ void DecisionTrace::dump_json(std::ostream& out) const {
   for (const TraceRecord& r : records) {
     json.begin_object();
     json.kv("seq", static_cast<std::int64_t>(r.seq));
+    json.kv("device", r.device);
     json.kv("op", core::to_string(r.op));
     json.kv("precision", model::to_string(r.precision));
     json.kv("mode", core::to_string(r.mode));

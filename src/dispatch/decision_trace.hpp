@@ -26,6 +26,7 @@ namespace blob::dispatch {
 /// One routed call, as recorded after execution.
 struct TraceRecord {
   std::uint64_t seq = 0;  ///< call sequence number (process order)
+  int device = 0;         ///< fleet device id (0 for a lone dispatcher)
   core::KernelOp op = core::KernelOp::Gemm;
   model::Precision precision = model::Precision::F32;
   core::TransferMode mode = core::TransferMode::Once;

@@ -102,15 +102,20 @@ OperandRegions gemv_regions(const core::OpDesc& desc, const T* a, const T* x,
 
 Dispatcher::Dispatcher(DispatcherConfig config)
     : config_(std::move(config)),
-      model_(config_.profile, /*noise_override=*/0.0),
+      model_(config_.profile, /*noise_override=*/0.0, 0x5eed,
+             config_.device_id),
       advisor_(model_),
       device_(device_config(config_)),
       gpu_stream_(device_.create_stream("dispatch")),
       table_(config_.table),
       trace_(config_.trace_capacity),
+      // Device id salts the observation-noise seed (id 0 keeps the
+      // legacy stream) so same-profile fleet devices jitter independently.
       noise_(config_.noise_sigma >= 0.0 ? config_.noise_sigma
                                         : config_.profile.noise_sigma,
-             config_.noise_seed) {
+             config_.noise_seed + 0x9e3779b97f4a7c15ull *
+                                      static_cast<std::uint64_t>(
+                                          config_.device_id)) {
   gpu_stream_.set_on_op([this](const sim::OpRecord&) {
     counters_.gpu_ops_enqueued.fetch_add(1, std::memory_order_relaxed);
   });
@@ -450,6 +455,7 @@ void Dispatcher::account_and_observe(const core::OpDesc& desc,
 
   TraceRecord rec;
   rec.seq = seq;
+  rec.device = config_.device_id;
   rec.op = desc.op;
   rec.precision = desc.precision;
   rec.mode = desc.mode;
@@ -984,6 +990,7 @@ CalibrationData Dispatcher::make_calibration() const {
   CalibrationData data;
   data.personality = config_.personality.name;
   data.profile = config_.profile.name;
+  data.nspace = config_.nspace;
   data.entries = table_.entries();
   data.blocking_f32 = tuned_f32_;
   data.blocking_f64 = tuned_f64_;
@@ -1006,7 +1013,7 @@ bool Dispatcher::save_calibration(const std::string& path) const {
 
 LoadStatus Dispatcher::load_calibration(const std::string& path) {
   const LoadResult result = load_calibration_file(
-      path, config_.personality.name, config_.profile.name);
+      path, config_.personality.name, config_.profile.name, config_.nspace);
   if (result.status == LoadStatus::Ok) {
     if (!result.warning.empty()) {
       std::fprintf(stderr, "blob-dispatch: %s\n", result.warning.c_str());

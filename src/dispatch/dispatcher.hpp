@@ -84,6 +84,15 @@ struct DispatcherConfig {
   /// When non-empty, load_calibration_file() is attempted at
   /// construction (mismatches fall back to advisor-seeded cold start).
   std::string calibration_path;
+  /// Which device of a fleet this dispatcher drives. 0 (the default)
+  /// reproduces the legacy single-device behaviour bit-for-bit; nonzero
+  /// ids decorrelate the modelled noise stream and stamp every trace
+  /// record so fleet traces stay attributable per device.
+  int device_id = 0;
+  /// Tenant namespace for the calibration store ("" = shared). Saved
+  /// stores are stamped with it; loads reject files calibrated for a
+  /// different tenant (NamespaceMismatch → advisor-seeded cold start).
+  std::string nspace;
 };
 
 class Dispatcher final : public blas::CblasDispatchHook {

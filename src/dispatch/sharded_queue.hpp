@@ -1,0 +1,171 @@
+#pragma once
+// ShardedQueue: the bounded MPMC channel behind every admission path.
+//
+// One instance owns N independent shards; producers address a shard
+// explicitly (the serve-layer Router picks the target device, the
+// single-device AdmissionQueue always uses shard 0) and consumers drain
+// their own shard. Shards never share a lock, so a fleet of device
+// workers contends only with the producers that were routed to it —
+// this is the sharded refactor of the original single admission queue.
+//
+// Semantics:
+//  * push() blocks while the shard is at capacity (backpressure) and
+//    returns false once the queue is closed — a rejected item was never
+//    enqueued and is returned to the caller untouched.
+//  * pop()/pop_batch() block until an item arrives or the queue is
+//    closed; after close() they drain whatever is left, then signal
+//    exhaustion (nullopt / 0). Nothing already accepted is ever lost.
+//  * close() is idempotent and safe from any thread, including while
+//    producers sit blocked in push() (shutdown-while-full): they wake
+//    and see the rejection.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace blob::dispatch {
+
+template <typename T>
+class ShardedQueue {
+ public:
+  /// `capacity` bounds each shard (0 = unbounded; push never blocks).
+  explicit ShardedQueue(std::size_t shards, std::size_t capacity = 0)
+      : capacity_(capacity) {
+    if (shards == 0) shards = 1;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  ShardedQueue(const ShardedQueue&) = delete;
+  ShardedQueue& operator=(const ShardedQueue&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Blocking enqueue with backpressure. False = queue closed (the item
+  /// is left in `item`, untouched, so the caller can fail it properly).
+  bool push(std::size_t shard, T& item) {
+    Shard& s = *shards_[shard];
+    std::unique_lock<std::mutex> lock(s.mutex);
+    s.not_full.wait(lock, [&] {
+      return closed_ || capacity_ == 0 || s.items.size() < capacity_;
+    });
+    if (closed_) return false;
+    s.items.push_back(std::move(item));
+    lock.unlock();
+    s.not_empty.notify_one();
+    return true;
+  }
+
+  bool push(std::size_t shard, T&& item) { return push(shard, item); }
+
+  /// Non-blocking enqueue: false when the shard is full or closed.
+  bool try_push(std::size_t shard, T& item) {
+    Shard& s = *shards_[shard];
+    {
+      std::lock_guard<std::mutex> lock(s.mutex);
+      if (closed_ || (capacity_ != 0 && s.items.size() >= capacity_)) {
+        return false;
+      }
+      s.items.push_back(std::move(item));
+    }
+    s.not_empty.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue; nullopt once the queue is closed AND the shard
+  /// has been fully drained.
+  std::optional<T> pop(std::size_t shard) {
+    Shard& s = *shards_[shard];
+    std::unique_lock<std::mutex> lock(s.mutex);
+    s.not_empty.wait(lock, [&] { return closed_ || !s.items.empty(); });
+    if (s.items.empty()) return std::nullopt;
+    std::optional<T> item(std::move(s.items.front()));
+    s.items.pop_front();
+    lock.unlock();
+    s.not_full.notify_one();
+    return item;
+  }
+
+  /// Blocking batch dequeue: waits for at least one item (or close),
+  /// then moves up to `max` items into `out`. Returns the number taken;
+  /// 0 means closed-and-drained. Taking the whole backlog in one lock
+  /// hold is what makes drain cycles (and their coalescing window) cheap.
+  std::size_t pop_batch(std::size_t shard, std::size_t max,
+                        std::vector<T>& out) {
+    Shard& s = *shards_[shard];
+    std::unique_lock<std::mutex> lock(s.mutex);
+    s.not_empty.wait(lock, [&] { return closed_ || !s.items.empty(); });
+    const std::size_t taken = take_locked(s, max, out);
+    lock.unlock();
+    if (taken > 0) s.not_full.notify_all();
+    return taken;
+  }
+
+  /// Non-blocking batch dequeue (the admission queue's second sweep).
+  std::size_t try_pop_batch(std::size_t shard, std::size_t max,
+                            std::vector<T>& out) {
+    Shard& s = *shards_[shard];
+    std::unique_lock<std::mutex> lock(s.mutex);
+    const std::size_t taken = take_locked(s, max, out);
+    lock.unlock();
+    if (taken > 0) s.not_full.notify_all();
+    return taken;
+  }
+
+  /// Reject all future pushes and wake every blocked producer and
+  /// consumer. Items already accepted stay poppable (drain-on-close).
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    // Acquire each shard lock (empty critical section) before notifying:
+    // a waiter that evaluated its predicate just before the store is
+    // guaranteed to be back in wait() when the notification lands.
+    for (auto& shard : shards_) {
+      { std::lock_guard<std::mutex> lock(shard->mutex); }
+      shard->not_empty.notify_all();
+      shard->not_full.notify_all();
+    }
+  }
+
+  [[nodiscard]] bool closed() const {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// Current backlog of one shard (a racy snapshot, for load metrics).
+  [[nodiscard]] std::size_t depth(std::size_t shard) const {
+    Shard& s = *shards_[shard];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.items.size();
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<T> items;
+  };
+
+  static std::size_t take_locked(Shard& s, std::size_t max,
+                                 std::vector<T>& out) {
+    std::size_t taken = 0;
+    while (taken < max && !s.items.empty()) {
+      out.push_back(std::move(s.items.front()));
+      s.items.pop_front();
+      ++taken;
+    }
+    return taken;
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  const std::size_t capacity_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace blob::dispatch

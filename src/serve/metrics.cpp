@@ -1,0 +1,74 @@
+#include "serve/metrics.hpp"
+
+namespace blob::serve {
+
+double histogram_quantile(const obs::Histogram& hist, double q) {
+  const std::uint64_t total = hist.count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target sample, 1-based; q=1 lands on the last sample.
+  const double rank = q * static_cast<double>(total - 1) + 1.0;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < obs::Histogram::kBuckets; ++b) {
+    const std::uint64_t in_bucket = hist.bucket_count(b);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    // Interpolate the target's position within this bucket's value span.
+    const double lo = static_cast<double>(obs::Histogram::bucket_floor(b));
+    const double hi = static_cast<double>(obs::Histogram::bucket_ceil(b));
+    const double frac =
+        (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+    return lo + (hi - lo) * frac;
+  }
+  return static_cast<double>(
+      obs::Histogram::bucket_ceil(obs::Histogram::kBuckets - 1));
+}
+
+obs::Histogram& latency_histogram(RequestClass cls) {
+  // One registry lookup per class per process; callers hit the atomics.
+  switch (cls) {
+    case RequestClass::Interactive: {
+      static obs::Histogram& h =
+          obs::histogram("serve.latency_ns.interactive");
+      return h;
+    }
+    case RequestClass::Batch: {
+      static obs::Histogram& h = obs::histogram("serve.latency_ns.batch");
+      return h;
+    }
+    case RequestClass::BestEffort:
+    default: {
+      static obs::Histogram& h =
+          obs::histogram("serve.latency_ns.besteffort");
+      return h;
+    }
+  }
+}
+
+obs::Histogram& queue_depth_histogram(int device) {
+  return obs::histogram("serve.queue_depth.dev" + std::to_string(device));
+}
+
+obs::Counter& shed_counter(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::Interactive: {
+      static obs::Counter& c = obs::counter("serve.shed.interactive");
+      return c;
+    }
+    case RequestClass::Batch: {
+      static obs::Counter& c = obs::counter("serve.shed.batch");
+      return c;
+    }
+    case RequestClass::BestEffort:
+    default: {
+      static obs::Counter& c = obs::counter("serve.shed.besteffort");
+      return c;
+    }
+  }
+}
+
+}  // namespace blob::serve

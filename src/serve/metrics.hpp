@@ -1,0 +1,39 @@
+#pragma once
+// Serving-layer metric plumbing on top of the obs registry.
+//
+// Naming scheme (all under the process-wide registry, so they land in
+// --metrics-out files untouched):
+//   serve.submitted / serve.completed / serve.shed        counters
+//   serve.shed.<class>                                    counters
+//   serve.latency_ns.<class>                              histograms
+//   serve.queue_depth.dev<i>                              histograms
+//
+// The log2 histograms give p50/p99 by quantile interpolation: walk the
+// cumulative bucket counts to the target rank, then interpolate
+// linearly inside the bucket (a bucket spans [2^(b-1), 2^b), so the
+// estimate is exact for 0/1-count buckets and within 2x worst case —
+// plenty for latency SLO reporting, and it costs 65 atomics per
+// snapshot instead of retaining every sample).
+
+#include <cstdint>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "serve/request.hpp"
+
+namespace blob::serve {
+
+/// Quantile estimate (q in [0,1]) from a log2-bucketed histogram.
+/// Returns 0 when the histogram is empty.
+[[nodiscard]] double histogram_quantile(const obs::Histogram& hist, double q);
+
+/// The per-class admission→resolution latency histogram.
+[[nodiscard]] obs::Histogram& latency_histogram(RequestClass cls);
+
+/// The per-device queue-depth histogram (sampled each worker cycle).
+[[nodiscard]] obs::Histogram& queue_depth_histogram(int device);
+
+/// serve.shed.<class>.
+[[nodiscard]] obs::Counter& shed_counter(RequestClass cls);
+
+}  // namespace blob::serve

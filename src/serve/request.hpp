@@ -1,0 +1,101 @@
+#pragma once
+// Serving-layer request vocabulary.
+//
+// A ServeRequest is one BLAS call travelling through the DeviceFleet:
+// the operands (borrowed — the client keeps them alive until the future
+// resolves), the request class that picks its SLO, and the routing
+// stamps (chosen device, modelled cost estimate, deadline) added at
+// admission. The worker resolves the promise with a ServeResult that
+// says what happened — completed on which device, or shed because its
+// deadline had already passed when it reached the front of the queue.
+
+#include <cstdint>
+#include <future>
+
+#include "blas/types.hpp"
+
+namespace blob::serve {
+
+/// Per-request service class; each maps to one SLO deadline.
+enum class RequestClass {
+  Interactive,  ///< tight deadline (an end-user is waiting)
+  Batch,        ///< loose deadline (pipeline traffic)
+  BestEffort,   ///< no deadline — never shed, absorbs spare capacity
+};
+
+inline const char* to_string(RequestClass cls) {
+  switch (cls) {
+    case RequestClass::Interactive:
+      return "interactive";
+    case RequestClass::Batch:
+      return "batch";
+    case RequestClass::BestEffort:
+      return "besteffort";
+  }
+  return "?";
+}
+
+/// Deadlines per class, in wall milliseconds from admission. 0 disables
+/// the deadline for that class (nothing in it is ever shed).
+struct SloPolicy {
+  double interactive_ms = 50.0;
+  double batch_ms = 500.0;
+
+  [[nodiscard]] double deadline_ms(RequestClass cls) const {
+    switch (cls) {
+      case RequestClass::Interactive:
+        return interactive_ms;
+      case RequestClass::Batch:
+        return batch_ms;
+      case RequestClass::BestEffort:
+        return 0.0;
+    }
+    return 0.0;
+  }
+};
+
+enum class Outcome {
+  Completed,
+  Shed,  ///< past its deadline at dequeue; the output buffer is untouched
+};
+
+/// What the future resolves to.
+struct ServeResult {
+  Outcome outcome = Outcome::Completed;
+  int device = 0;           ///< device that executed (or would have)
+  std::uint64_t id = 0;     ///< fleet-wide admission sequence number
+  double modelled_s = 0.0;  ///< router's modelled best-route cost estimate
+  std::int64_t latency_ns = 0;  ///< admission -> resolution wall latency
+};
+
+/// The four precision/op combinations the fleet serves. (The half
+/// precisions stay on the single-device replay path for now: their CPU
+/// fallback shares one global accumulator config, which would serialise
+/// a fleet.)
+enum class OpKind { GemmF32, GemmF64, GemvF32, GemvF64 };
+
+/// One queued call. Moved (never copied) through the sharded queue; the
+/// promise makes it move-only by construction.
+struct ServeRequest {
+  OpKind kind = OpKind::GemmF32;
+  RequestClass cls = RequestClass::BestEffort;
+  blas::Transpose ta = blas::Transpose::No;
+  blas::Transpose tb = blas::Transpose::No;
+  int m = 0, n = 0, k = 0;
+  int lda = 0, ldb = 0, ldc = 0;
+  int incx = 1, incy = 1;
+  // Scalars held as double; float round-trips losslessly.
+  double alpha = 1.0, beta = 0.0;
+  const void* a = nullptr;
+  const void* b = nullptr;  ///< B for GEMM, x for GEMV
+  void* c = nullptr;        ///< C for GEMM, y for GEMV
+
+  std::uint64_t id = 0;         ///< fleet-wide admission sequence
+  int device = 0;               ///< router's pick, set at admission
+  double est_s = 0.0;           ///< modelled best-route cost on that device
+  std::int64_t submit_ns = 0;   ///< steady-clock ns at admission
+  std::int64_t deadline_ns = 0; ///< absolute steady-clock deadline (0 = none)
+  std::promise<ServeResult> done;
+};
+
+}  // namespace blob::serve

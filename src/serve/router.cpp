@@ -1,0 +1,37 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+
+namespace blob::serve {
+
+RouteChoice Router::choose(const core::OpDesc& desc,
+                           const std::vector<DeviceView>& views) const {
+  RouteChoice choice;
+  double best_score = 0.0;
+  std::size_t best_depth = 0;
+  double oracle = 0.0;
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const DeviceView& view = views[i];
+    const dispatch::Dispatcher::Costs costs =
+        view.dispatcher->modelled_costs(desc);
+    // gpu_s is +inf for layouts the simulated device cannot take, so
+    // min() degrades to the CPU arm rather than excluding the device.
+    const double est = std::min(costs.cpu_s, costs.gpu_s);
+    const double score = est + view.outstanding_s;
+    if (i == 0 || est < oracle) oracle = est;
+    const bool better =
+        i == 0 || score < best_score ||
+        (score == best_score && view.queue_depth < best_depth);
+    if (better) {
+      choice.device = static_cast<int>(i);
+      choice.est_s = est;
+      choice.score = score;
+      best_score = score;
+      best_depth = view.queue_depth;
+    }
+  }
+  choice.oracle_s = oracle;
+  return choice;
+}
+
+}  // namespace blob::serve

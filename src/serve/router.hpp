@@ -1,0 +1,47 @@
+#pragma once
+// Fleet router: least-outstanding-modelled-work over heterogeneous
+// devices.
+//
+// Each candidate device is scored with the SAME noise-free cost models
+// the dispatcher's decision table is seeded from: the device's modelled
+// best-route cost for this descriptor (min of CPU and GPU arms — a
+// DAWN-like and a LUMI-like card genuinely price the same GEMM
+// differently) plus the modelled seconds of work already admitted to it
+// but not yet finished. The request goes to the cheapest total; ties
+// break toward the shallower queue, then the lower device id, so
+// routing is a pure function of (descriptor, fleet load) — identical
+// profiles under zero load always pick device 0, which is what makes
+// the N=1 fleet bit-identical to a lone dispatcher.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/op_desc.hpp"
+#include "dispatch/dispatcher.hpp"
+
+namespace blob::serve {
+
+/// One device as the router sees it at admission time.
+struct DeviceView {
+  dispatch::Dispatcher* dispatcher = nullptr;
+  double outstanding_s = 0.0;     ///< admitted-but-unfinished modelled work
+  std::size_t queue_depth = 0;    ///< requests sitting in the shard
+};
+
+/// The router's verdict for one request.
+struct RouteChoice {
+  int device = 0;
+  double est_s = 0.0;     ///< modelled best-route cost on the chosen device
+  double oracle_s = 0.0;  ///< fleet-wide minimum modelled cost (regret base)
+  double score = 0.0;     ///< est_s + outstanding at decision time
+};
+
+class Router {
+ public:
+  /// Score every device and pick the cheapest. `views` must be
+  /// non-empty; index in `views` is the device id.
+  [[nodiscard]] RouteChoice choose(
+      const core::OpDesc& desc, const std::vector<DeviceView>& views) const;
+};
+
+}  // namespace blob::serve

@@ -121,6 +121,57 @@ TEST(DispatchStore, RejectsMismatches) {
             LoadStatus::IoError);
 }
 
+TEST(DispatchStore, TenantNamespaceRoundTripsAndGatesLoads) {
+  CalibrationData data = sample_data();
+  data.nspace = "tenant-a";
+  std::stringstream tagged;
+  dispatch::save_calibration(tagged, data);
+  {
+    std::stringstream in(tagged.str());
+    const LoadResult result =
+        dispatch::load_calibration(in, "generic", "dawn", "tenant-a");
+    ASSERT_EQ(result.status, LoadStatus::Ok);
+    EXPECT_EQ(result.data.nspace, "tenant-a");
+  }
+  {
+    // A store calibrated for one tenant must not seed another's table.
+    std::stringstream in(tagged.str());
+    EXPECT_EQ(
+        dispatch::load_calibration(in, "generic", "dawn", "tenant-b").status,
+        LoadStatus::NamespaceMismatch);
+  }
+  {
+    // Empty expectation = tooling inspection: always accepted.
+    std::stringstream in(tagged.str());
+    EXPECT_EQ(dispatch::load_calibration(in, "generic", "dawn", "").status,
+              LoadStatus::Ok);
+  }
+  {
+    // A shared (un-namespaced) store does not satisfy a tenant caller.
+    std::stringstream shared;
+    dispatch::save_calibration(shared, sample_data());
+    EXPECT_EQ(
+        dispatch::load_calibration(shared, "generic", "dawn", "tenant-a")
+            .status,
+        LoadStatus::NamespaceMismatch);
+  }
+}
+
+TEST(DispatchStore, EmptyNamespaceKeepsPreNamespaceBytes) {
+  // The namespace field is additive: a store with no tenant serialises
+  // without the key at all, so single-tenant files round-trip
+  // byte-identically to pre-namespace ones.
+  std::stringstream out;
+  dispatch::save_calibration(out, sample_data());
+  EXPECT_EQ(out.str().find("namespace"), std::string::npos);
+  CalibrationData tagged = sample_data();
+  tagged.nspace = "tenant-a";
+  std::stringstream tagged_out;
+  dispatch::save_calibration(tagged_out, tagged);
+  EXPECT_NE(tagged_out.str().find("\"namespace\""), std::string::npos);
+  EXPECT_NE(tagged_out.str().find("tenant-a"), std::string::npos);
+}
+
 TEST(DispatchStore, DispatcherRejectsForeignStoreAndColdStarts) {
   const std::string path =
       testing::TempDir() + "/dispatch_store_foreign.json";
