@@ -36,8 +36,12 @@
 #include <string_view>
 
 #include "blas/cblas.hpp"
+#include "blas/gemm.hpp"
 #include "dispatch/admission_queue.hpp"
 #include "dispatch/dispatcher.hpp"
+#include "lapack/geqrf.hpp"
+#include "lapack/getrf.hpp"
+#include "lapack/potrf.hpp"
 #include "obs/obs.hpp"
 #include "serve/fleet.hpp"
 #include "serve/metrics.hpp"
@@ -463,10 +467,17 @@ int run_fleet(const blob::util::ArgParser& args,
     std::vector<Pending> pending;
     pending.reserve(burst);
     auto drain = [&] {
-      for (Pending& p : pending) {
-        const blob::serve::ServeResult r = p.fut.get();
-        if (r.outcome != blob::serve::Outcome::Completed) continue;
+      // Resolve every future of the burst before checking any output: in
+      // --verify-single mode in-flight requests of one class share a
+      // single arena, so comparing request i while request j > i of the
+      // same class still executes would race the worker's writes.
+      std::vector<blob::serve::ServeResult> results;
+      results.reserve(pending.size());
+      for (Pending& p : pending) results.push_back(p.fut.get());
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (results[i].outcome != blob::serve::Outcome::Completed) continue;
         completed_seen.fetch_add(1, std::memory_order_relaxed);
+        const Pending& p = pending[i];
         const ShapeClass& sc = kClasses[p.ci];
         if (std::memcmp(p.out, c_ptr(refs[p.ci], sc), c_bytes(sc)) != 0) {
           mismatches.fetch_add(1, std::memory_order_relaxed);
@@ -744,6 +755,214 @@ int run_fleet(const blob::util::ArgParser& args,
   return failed ? 1 : 0;
 }
 
+// --factorize: run one blocked factorization twice — once hook-free (the
+// exact direct blas:: path) and once with the dispatcher installed behind
+// the seam — and require the dispatched factor, pivots, and tau scalars
+// to be bitwise identical to the reference. The decision trace then shows
+// the offload decisions the dispatcher took panel by panel, next to what
+// constant always-CPU / always-GPU policies would have cost on the same
+// op stream.
+int run_factorize(blob::util::ArgParser& args,
+                  const blob::dispatch::DispatcherConfig& config,
+                  Dispatcher& dispatcher) {
+  const std::string which = args.get_string("--factorize");
+  if (which != "getrf" && which != "potrf" && which != "geqrf") {
+    std::cerr << "error: --factorize must be getrf, potrf or geqrf\n";
+    return 2;
+  }
+  const int dim = args.get_int("--factor-dim");
+  const int block = args.get_int("--factor-block");
+  if (dim <= 0 || block <= 0) {
+    std::cerr << "error: --factor-dim and --factor-block must be positive\n";
+    return 2;
+  }
+  const auto nn = static_cast<std::size_t>(dim);
+
+  std::vector<double> a0(nn * nn);
+  fill_deterministic(a0, 0xfac);
+  if (which == "potrf") {
+    // SPD prep: A = G G^T + dim * I, lower triangle factored.
+    const std::vector<double> g = a0;
+    blob::blas::gemm(Transpose::No, Transpose::Yes, dim, dim, dim, 1.0,
+                     g.data(), dim, g.data(), dim, 0.0, a0.data(), dim);
+    for (std::size_t i = 0; i < nn; ++i) {
+      a0[i + i * nn] += static_cast<double>(dim);
+    }
+  }
+
+  std::vector<int> ipiv_ref, ipiv_disp;
+  std::vector<double> tau_ref, tau_disp;
+  auto run = [&](std::vector<double>& a, std::vector<int>& ipiv,
+                 std::vector<double>& tau) {
+    if (which == "getrf") {
+      blob::lapack::getrf(dim, a.data(), dim, ipiv, nullptr, 1, block);
+    } else if (which == "potrf") {
+      blob::lapack::potrf(blob::blas::UpLo::Lower, dim, a.data(), dim,
+                          nullptr, 1, block);
+    } else {
+      blob::lapack::geqrf(dim, dim, a.data(), dim, tau, nullptr, 1, block);
+    }
+  };
+
+  std::vector<double> a_ref = a0;
+  run(a_ref, ipiv_ref, tau_ref);
+
+  std::vector<double> a_disp = a0;
+  dispatcher.install();
+  run(a_disp, ipiv_disp, tau_disp);
+  dispatcher.uninstall();
+
+  std::size_t mismatches = 0;
+  if (std::memcmp(a_ref.data(), a_disp.data(), nn * nn * sizeof(double)) !=
+      0) {
+    ++mismatches;
+  }
+  if (ipiv_ref != ipiv_disp) ++mismatches;
+  if (tau_ref.size() != tau_disp.size() ||
+      (!tau_ref.empty() &&
+       std::memcmp(tau_ref.data(), tau_disp.data(),
+                   tau_ref.size() * sizeof(double)) != 0)) {
+    ++mismatches;
+  }
+
+  // Constant-policy baselines on exactly the op stream the factorization
+  // generated: rebuild each record's descriptor and price both backends
+  // with the same noise-free models the router consulted.
+  const std::vector<blob::dispatch::TraceRecord> records =
+      dispatcher.trace().snapshot();
+  std::vector<Dispatcher::Costs> rec_costs(records.size());
+  double always_cpu_s = 0.0;
+  double always_gpu_s = 0.0;
+  std::int64_t first_gpu = 0;  // 1-based; 0 = never offloaded
+  std::int64_t gemm_ops = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const blob::dispatch::TraceRecord& r = records[i];
+    const blob::core::OpDesc desc =
+        r.op == blob::core::KernelOp::Gemm
+            ? blob::core::OpDesc::gemm(r.precision, r.trans_a, r.trans_b,
+                                       r.m, r.n, r.k, 0, 0, 0,
+                                       /*alpha_one=*/true,
+                                       /*beta_zero=*/true, config.mode)
+            : blob::core::OpDesc::gemv(r.precision, r.trans_a, r.m, r.n, 0,
+                                       1, 1, /*alpha_one=*/true,
+                                       /*beta_zero=*/true, config.mode);
+    rec_costs[i] = dispatcher.modelled_costs(desc);
+    always_cpu_s += rec_costs[i].cpu_s;
+    always_gpu_s += rec_costs[i].gpu_s;
+    if (r.op == blob::core::KernelOp::Gemm) ++gemm_ops;
+    if (first_gpu == 0 && r.route == blob::dispatch::Route::Gpu) {
+      first_gpu = static_cast<std::int64_t>(i) + 1;
+    }
+  }
+
+  const blob::dispatch::DispatchStats stats = dispatcher.stats();
+  const double routed_s = stats.cpu_seconds + stats.gpu_seconds;
+  std::cout << blob::util::strfmt(
+      "\nfactorize: %s dim %d block %d on %s (residency %s)\n",
+      which.c_str(), dim, block, config.profile.name.c_str(),
+      args.get_string("--residency").c_str());
+  std::cout << blob::util::strfmt(
+      "  seam ops: %zu (%lld gemm, %lld gemv); first gpu op %lld%s\n",
+      records.size(), static_cast<long long>(gemm_ops),
+      static_cast<long long>(static_cast<std::int64_t>(records.size()) -
+                             gemm_ops),
+      static_cast<long long>(first_gpu), first_gpu == 0 ? " (never)" : "");
+  std::cout << blob::util::strfmt("  checksum mismatches:  %zu\n",
+                                  mismatches);
+  std::cout << blob::util::strfmt(
+      "  h2d bytes: %.3e moved, %.3e skipped (%llu hits, %llu misses, "
+      "%llu invalidations, %llu swaps mirrored)\n",
+      stats.h2d_bytes_moved, stats.h2d_bytes_skipped,
+      static_cast<unsigned long long>(stats.residency_hits),
+      static_cast<unsigned long long>(stats.residency_misses),
+      static_cast<unsigned long long>(stats.residency_invalidations),
+      static_cast<unsigned long long>(stats.residency_swaps_mirrored));
+  std::cout << blob::util::strfmt(
+      "  routed %.4es   always-cpu %.4es   always-gpu(cold) %.4es\n",
+      routed_s, always_cpu_s, always_gpu_s);
+
+  const std::string trace_path = args.get_string("--trace-out");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << trace_path << "\n";
+      return 1;
+    }
+    dispatcher.trace().dump_json(out);
+  }
+  const std::string metrics_path = args.get_string("--metrics-out");
+  if (!metrics_path.empty() &&
+      !blob::obs::write_metrics_file(metrics_path)) {
+    std::cerr << "error: cannot write " << metrics_path << "\n";
+    return 1;
+  }
+  const std::string calib_path = args.get_string("--save-calib");
+  if (!calib_path.empty() && !dispatcher.save_calibration(calib_path)) {
+    std::cerr << "error: cannot write " << calib_path << "\n";
+    return 1;
+  }
+
+  const std::string json_path = args.get_string("--json-out");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
+    blob::util::JsonWriter json(out, /*pretty=*/true);
+    json.begin_object();
+    json.kv("system", config.profile.name);
+    json.kv("personality", config.personality.name);
+    json.kv("mode", args.get_string("--mode"));
+    json.kv("residency", args.get_string("--residency"));
+    json.key("factorize").begin_object();
+    json.kv("name", which);
+    json.kv("dim", dim);
+    json.kv("block", block);
+    json.kv("ops", static_cast<std::int64_t>(records.size()));
+    json.kv("gemm_ops", gemm_ops);
+    json.kv("gemv_ops",
+            static_cast<std::int64_t>(records.size()) - gemm_ops);
+    json.kv("first_gpu_op", first_gpu);
+    json.kv("checksum_mismatches", static_cast<std::int64_t>(mismatches));
+    json.kv("always_cpu_s", always_cpu_s);
+    json.kv("always_gpu_s", always_gpu_s);
+    json.kv("routed_s", routed_s);
+    // Per-op curve: the routed cumulative cost next to what the constant
+    // policies accrue over the same shrinking trailing-update shapes.
+    double cum = 0.0, cum_cpu = 0.0, cum_gpu = 0.0;
+    json.key("ops_trace").begin_array();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const blob::dispatch::TraceRecord& r = records[i];
+      cum += r.cost_s;
+      cum_cpu += rec_costs[i].cpu_s;
+      cum_gpu += rec_costs[i].gpu_s;
+      json.begin_object();
+      json.kv("op_index", static_cast<std::int64_t>(i) + 1);
+      json.kv("op", blob::core::to_string(r.op));
+      json.kv("m", r.m).kv("n", r.n).kv("k", r.k);
+      json.kv("route", blob::dispatch::to_string(r.route));
+      json.kv("residency", blob::dispatch::to_string(r.residency));
+      json.kv("cost_s", r.cost_s);
+      json.kv("cum_routed_s", cum);
+      json.kv("cum_always_cpu_s", cum_cpu);
+      json.kv("cum_always_gpu_s", cum_gpu);
+      json.kv("h2d_moved_bytes", r.h2d_moved_bytes);
+      json.kv("h2d_skipped_bytes", r.h2d_skipped_bytes);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    json.key("stats").begin_object();
+    blob::dispatch::write_stats_fields(json, stats);
+    json.end_object();
+    json.end_object();
+    out << "\n";
+    std::cout << "summary written to " << json_path << "\n";
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -770,6 +989,13 @@ int main(int argc, char** argv) {
                 "iterative-solver mode: repeated-A f64 power iteration "
                 "(-n = iterations) instead of the mixed replay");
   args.add_int("--solver-dim", "solver matrix dimension", 1536);
+  args.add_string("--factorize",
+                  "factorization mode: run this blocked solver "
+                  "(getrf|potrf|geqrf) with its trailing-update traffic "
+                  "routed through the dispatch seam",
+                  "");
+  args.add_int("--factor-dim", "factorization matrix dimension", 768);
+  args.add_int("--factor-block", "factorization panel width", 64);
   args.add_int("-n", "number of calls to replay", 400);
   args.add_int("--warmup", "calls regarded as warm-up (default n/4)", -1);
   args.add_int("--threads", "CPU worker-pool cap (0 = hardware)", 0);
@@ -845,6 +1071,11 @@ int main(int argc, char** argv) {
   config.autotune = args.get_flag("--autotune");
   config.calibration_path = args.get_string("--load-calib");
   config.trace_capacity = calls == 0 ? 1 : calls;
+  if (!args.get_string("--factorize").empty()) {
+    // A factorization emits its own op stream (panel GEMVs + trailing
+    // GEMMs), not -n replay calls; keep the whole decision trace.
+    config.trace_capacity = 8192;
+  }
 
   if (args.get_int("--devices") > 0) {
     // Fleet serving is a different driver entirely (multi-producer
@@ -863,6 +1094,15 @@ int main(int argc, char** argv) {
     std::cout << "calibration load: "
               << blob::dispatch::to_string(dispatcher.startup_load_status())
               << "\n";
+  }
+
+  if (!args.get_string("--factorize").empty()) {
+    try {
+      return run_factorize(args, config, dispatcher);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
   }
 
   if (args.get_flag("--solver")) {

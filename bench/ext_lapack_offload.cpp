@@ -1,0 +1,162 @@
+// Extension (future work): whole-factorization offload through the
+// dispatcher rather than per-call thresholding.
+//
+// The paper prices single GEMM/GEMV calls against the offload threshold.
+// A blocked factorization is a stream of such calls with heavy operand
+// reuse: every trailing update reads the panel just written and rewrites
+// the same trailing submatrix. src/lapack routes that traffic through the
+// cblas dispatch seam, so under ResidencyPolicy::Track the trailing
+// blocks stay resident-dirty on device and Transfer-Once pricing
+// collapses the threshold mid-factorization. This bench runs LU /
+// Cholesky / QR end to end on each system profile and compares the
+// dispatcher's modelled wall time against the two static ports the paper
+// contemplates: keep everything on the CPU, or push every call to the
+// GPU.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "blas/gemm.hpp"
+#include "blas/library.hpp"
+#include "dispatch/dispatcher.hpp"
+#include "lapack/geqrf.hpp"
+#include "lapack/getrf.hpp"
+#include "lapack/potrf.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace blob;
+
+struct RunResult {
+  std::size_t ops = 0;
+  std::int64_t first_gpu = 0;  ///< 1-based; 0 = never offloaded
+  double routed_s = 0.0;
+  double always_cpu_s = 0.0;
+  double always_gpu_s = 0.0;
+  double h2d_skipped = 0.0;
+};
+
+RunResult run(const std::string& system, const std::string& fact, int dim,
+              int block) {
+  dispatch::DispatcherConfig cfg;
+  cfg.profile = profile::by_name(system);
+  cfg.personality = blas::single_thread_personality();
+  cfg.cpu_threads = 1;
+  cfg.autotune = false;
+  cfg.mode = core::TransferMode::Once;
+  cfg.residency = dispatch::ResidencyPolicy::Track;
+  cfg.trace_capacity = 8192;
+  dispatch::Dispatcher disp(cfg);
+
+  const auto nn = static_cast<std::size_t>(dim);
+  util::Xoshiro256 rng(0xfac ^ std::hash<std::string>{}(system + fact));
+  std::vector<double> a(nn * nn);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  if (fact == "potrf") {
+    // A = G * G^T + dim * I is symmetric positive definite.
+    std::vector<double> g = a;
+    blas::gemm(blas::Transpose::No, blas::Transpose::Yes, dim, dim, dim, 1.0,
+               g.data(), dim, g.data(), dim, 0.0, a.data(), dim);
+    for (int i = 0; i < dim; ++i) {
+      a[static_cast<std::size_t>(i) * (nn + 1)] += dim;
+    }
+  }
+
+  disp.install();
+  if (fact == "getrf") {
+    std::vector<int> ipiv;
+    lapack::getrf(dim, a.data(), dim, ipiv, nullptr, 1, block);
+  } else if (fact == "potrf") {
+    lapack::potrf(blas::UpLo::Lower, dim, a.data(), dim, nullptr, 1, block);
+  } else {
+    std::vector<double> tau;
+    lapack::geqrf(dim, dim, a.data(), dim, tau, nullptr, 1, block);
+  }
+  disp.uninstall();
+
+  RunResult result;
+  const std::vector<dispatch::TraceRecord> records = disp.trace().snapshot();
+  result.ops = records.size();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const dispatch::TraceRecord& r = records[i];
+    const core::OpDesc desc =
+        r.op == core::KernelOp::Gemm
+            ? core::OpDesc::gemm(r.precision, r.trans_a, r.trans_b, r.m, r.n,
+                                 r.k, 0, 0, 0, /*alpha_one=*/true,
+                                 /*beta_zero=*/true, cfg.mode)
+            : core::OpDesc::gemv(r.precision, r.trans_a, r.m, r.n, 0, 1, 1,
+                                 /*alpha_one=*/true, /*beta_zero=*/true,
+                                 cfg.mode);
+    const auto costs = disp.modelled_costs(desc);
+    result.always_cpu_s += costs.cpu_s;
+    result.always_gpu_s += costs.gpu_s;
+    if (result.first_gpu == 0 && r.route == dispatch::Route::Gpu) {
+      result.first_gpu = static_cast<std::int64_t>(i) + 1;
+    }
+  }
+  const dispatch::DispatchStats stats = disp.stats();
+  result.routed_s = stats.cpu_seconds + stats.gpu_seconds;
+  result.h2d_skipped = stats.h2d_bytes_skipped;
+  return result;
+}
+
+std::string pct(double value, double baseline) {
+  if (baseline <= 0.0) return "--";
+  return util::strfmt("%+.1f%%", 100.0 * (value - baseline) / baseline);
+}
+
+}  // namespace
+
+int main() {
+  using namespace blob;
+  bench::banner(
+      "Extension -- LAPACK factorizations through the offload dispatcher");
+  bench::paper_reference({
+      "The paper thresholds single kernels. A blocked factorization is a",
+      "reuse-heavy stream of them: residency-aware Transfer-Once pricing",
+      "should beat both static ports (always-CPU, always-GPU) end to end",
+      "by offloading only the trailing updates, and only once they are",
+      "large and warm enough.",
+  });
+
+  constexpr int kDim = 512;
+  constexpr int kBlock = 64;
+  util::TextTable table({"system", "factorization", "ops", "first gpu op",
+                         "routed (s)", "vs always-cpu", "vs always-gpu",
+                         "h2d skipped (MB)"},
+                        {util::Align::Left, util::Align::Left,
+                         util::Align::Right, util::Align::Right,
+                         util::Align::Right, util::Align::Right,
+                         util::Align::Right, util::Align::Right});
+  for (const char* system : {"dawn", "lumi", "isambard-ai"}) {
+    for (const char* fact : {"getrf", "potrf", "geqrf"}) {
+      const RunResult r = run(system, fact, kDim, kBlock);
+      table.row({system, fact, util::strfmt("%zu", r.ops),
+                 r.first_gpu == 0 ? "never"
+                                  : util::strfmt("%lld", static_cast<long long>(
+                                                             r.first_gpu)),
+                 util::strfmt("%.4e", r.routed_s),
+                 pct(r.routed_s, r.always_cpu_s),
+                 pct(r.routed_s, r.always_gpu_s),
+                 util::strfmt("%.2f", r.h2d_skipped / 1e6)});
+    }
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nReading: modelled end-to-end time of a dim-%d block-%d double\n"
+      "factorization with trailing updates routed per call. Negative\n"
+      "percentages mean the dispatched run beats that constant policy.\n"
+      "On the PCIe-attached systems this size sits below the offload\n"
+      "threshold, so the amortised-upload bet does not pay off and a\n"
+      "static CPU port stays ahead; on the GH200's NVLink-C2C the\n"
+      "resident-operand discount collapses the threshold and the\n"
+      "dispatched run beats both static ports for all three solvers --\n"
+      "the skipped H2D bytes are the trailing blocks that never left\n"
+      "the device between updates.\n",
+      kDim, kBlock);
+  return 0;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# The single list of bench scripts that produce artifacts/BENCH_*.json.
+# CI's bench-smoke step and scripts/reproduce_all.sh both run this, so a
+# new bench registers here once instead of being hand-synced into both.
+#
+# Usage: scripts/ci_bench_quick.sh [build-dir] [--full]
+#   default  quick mode (CI smoke: small sizes, --quick passed through)
+#   --full   full-size runs for reproduce_all
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-build}"
+if [ "$build_dir" = "--full" ]; then
+  build_dir="build"
+  mode="--full"
+else
+  mode="${2:-}"
+fi
+
+benches=(
+  bench_gemm.sh
+  bench_gemv.sh
+  bench_dispatch.sh
+  bench_residency.sh
+  bench_serve.sh
+  bench_lapack.sh
+)
+
+for bench in "${benches[@]}"; do
+  echo "== $bench =="
+  if [ "$mode" = "--full" ]; then
+    "$repo_root/scripts/$bench" "$build_dir"
+  else
+    "$repo_root/scripts/$bench" "$build_dir" --quick
+  fi
+done

@@ -22,11 +22,7 @@ for b in build/bench/*; do
 done
 
 echo "== bench scripts (BENCH_*.json artifacts) ============================="
-scripts/bench_gemm.sh build
-scripts/bench_gemv.sh build
-scripts/bench_dispatch.sh build
-scripts/bench_residency.sh build
-scripts/bench_serve.sh build
+scripts/ci_bench_quick.sh build --full
 
 echo "== artifact-style CSV run (square problems, 8 iterations) ============"
 ./build/apps/gpu-blob -i 8 -d 1024 --stride 4 --kernel all \

@@ -236,6 +236,77 @@ void trsm_dispatch(CBLAS_ORDER order, CBLAS_SIDE side, CBLAS_UPLO uplo,
 
 }  // namespace
 
+namespace blob::blas {
+
+namespace {
+
+// Shared by the f32/f64 offer_* overloads: validate, lower to the same
+// canonical OpDesc the cblas entry points build, offer to the hook.
+template <typename T>
+bool offer_gemm_impl(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
+                     const T* a, int lda, const T* b, int ldb, T beta, T* c,
+                     int ldc) {
+  check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
+  auto* hook = cblas_dispatch_hook();
+  if (hook == nullptr) return false;
+  const auto desc = core::OpDesc::gemm(
+      precision_of<T>(), ta, tb, m, n, k, lda, ldb, ldc,
+      /*alpha_one=*/alpha == T(1), /*beta_zero=*/beta == T(0));
+  return hook->gemm(desc, alpha, a, b, beta, c);
+}
+
+template <typename T>
+bool offer_gemv_impl(Transpose ta, int m, int n, T alpha, const T* a, int lda,
+                     const T* x, int incx, T beta, T* y, int incy) {
+  check_gemv(ta, m, n, lda, incx, incy);
+  auto* hook = cblas_dispatch_hook();
+  if (hook == nullptr) return false;
+  const auto desc = core::OpDesc::gemv(
+      precision_of<T>(), ta, m, n, lda, incx, incy,
+      /*alpha_one=*/alpha == T(1), /*beta_zero=*/beta == T(0));
+  return hook->gemv(desc, alpha, a, x, beta, y);
+}
+
+}  // namespace
+
+bool offer_gemm(Transpose ta, Transpose tb, int m, int n, int k, float alpha,
+                const float* a, int lda, const float* b, int ldb, float beta,
+                float* c, int ldc) {
+  return offer_gemm_impl(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+bool offer_gemm(Transpose ta, Transpose tb, int m, int n, int k, double alpha,
+                const double* a, int lda, const double* b, int ldb,
+                double beta, double* c, int ldc) {
+  return offer_gemm_impl(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+}
+bool offer_gemv(Transpose ta, int m, int n, float alpha, const float* a,
+                int lda, const float* x, int incx, float beta, float* y,
+                int incy) {
+  return offer_gemv_impl(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+bool offer_gemv(Transpose ta, int m, int n, double alpha, const double* a,
+                int lda, const double* x, int incx, double beta, double* y,
+                int incy) {
+  return offer_gemv_impl(ta, m, n, alpha, a, lda, x, incx, beta, y, incy);
+}
+
+void cblas_note_host_write(const void* ptr, std::size_t chunk_bytes,
+                           std::size_t stride_bytes, std::size_t count) {
+  if (auto* hook = cblas_dispatch_hook()) {
+    hook->host_write(ptr, chunk_bytes, stride_bytes, count);
+  }
+}
+
+void cblas_note_host_swap(const void* pa, const void* pb,
+                          std::size_t chunk_bytes, std::size_t stride_bytes,
+                          std::size_t count) {
+  if (auto* hook = cblas_dispatch_hook()) {
+    hook->host_swap(pa, pb, chunk_bytes, stride_bytes, count);
+  }
+}
+
+}  // namespace blob::blas
+
 
 extern "C" {
 

@@ -191,6 +191,25 @@ class CblasDispatchHook {
                     bf16* /*y*/) {
     return false;
   }
+
+  /// A host store outside the BLAS seam touched `count` chunks of
+  /// `chunk_bytes` starting at `ptr`, `stride_bytes` apart (stride 0 /
+  /// count 1 = one contiguous range). Factorization panel kernels call
+  /// this so a residency-tracking hook can invalidate its device copies;
+  /// the default hook ignores it. Purely advisory — correctness never
+  /// depends on it.
+  virtual void host_write(const void* /*ptr*/, std::size_t /*chunk_bytes*/,
+                          std::size_t /*stride_bytes*/,
+                          std::size_t /*count*/) {}
+
+  /// The host swapped the chunk pair (pa + i*stride, pb + i*stride) for
+  /// each i in [0, count) — a pivoting row interchange. A tracking hook
+  /// may mirror the swap on its device copies (both sides clean ->
+  /// still clean, matching a device-side laswp) instead of invalidating.
+  virtual void host_swap(const void* /*pa*/, const void* /*pb*/,
+                         std::size_t /*chunk_bytes*/,
+                         std::size_t /*stride_bytes*/,
+                         std::size_t /*count*/) {}
 };
 
 /// Install (or, with nullptr, remove) the hook behind the cblas GEMM/GEMV
@@ -201,5 +220,33 @@ void cblas_set_dispatch_hook(CblasDispatchHook* hook);
 
 /// The currently installed hook (nullptr when none).
 [[nodiscard]] CblasDispatchHook* cblas_dispatch_hook();
+
+/// Offer one column-major GEMM/GEMV to the installed dispatch hook
+/// without committing to a CPU fallback. Arguments are validated and
+/// lowered to the same canonical OpDesc the cblas_* entry points build;
+/// returns true when a hook existed and claimed (executed) the call,
+/// false when the caller must run the op itself. This is the seam for
+/// call sites — the LAPACK factorizations — that carry their own thread
+/// pool and cannot round-trip through the global cblas library.
+bool offer_gemm(Transpose ta, Transpose tb, int m, int n, int k, float alpha,
+                const float* a, int lda, const float* b, int ldb, float beta,
+                float* c, int ldc);
+bool offer_gemm(Transpose ta, Transpose tb, int m, int n, int k, double alpha,
+                const double* a, int lda, const double* b, int ldb,
+                double beta, double* c, int ldc);
+bool offer_gemv(Transpose ta, int m, int n, float alpha, const float* a,
+                int lda, const float* x, int incx, float beta, float* y,
+                int incy);
+bool offer_gemv(Transpose ta, int m, int n, double alpha, const double* a,
+                int lda, const double* x, int incx, double beta, double* y,
+                int incy);
+
+/// Forward a host-write / host-swap notification to the installed hook
+/// (no-op when none). See CblasDispatchHook::host_write / host_swap.
+void cblas_note_host_write(const void* ptr, std::size_t chunk_bytes,
+                           std::size_t stride_bytes, std::size_t count);
+void cblas_note_host_swap(const void* pa, const void* pb,
+                          std::size_t chunk_bytes, std::size_t stride_bytes,
+                          std::size_t count);
 
 }  // namespace blob::blas

@@ -58,6 +58,8 @@ DispatchStats DispatchCounters::snapshot() const {
   s.residency_misses = residency_misses.load(std::memory_order_relaxed);
   s.residency_invalidations =
       residency_invalidations.load(std::memory_order_relaxed);
+  s.residency_swaps_mirrored =
+      residency_swaps_mirrored.load(std::memory_order_relaxed);
   s.cpu_seconds = cpu_seconds.load(std::memory_order_relaxed);
   s.gpu_seconds = gpu_seconds.load(std::memory_order_relaxed);
   s.h2d_bytes_moved = h2d_bytes_moved.load(std::memory_order_relaxed);
@@ -162,6 +164,8 @@ void write_stats_fields(util::JsonWriter& json, const DispatchStats& stats) {
           static_cast<std::int64_t>(stats.residency_misses));
   json.kv("residency_invalidations",
           static_cast<std::int64_t>(stats.residency_invalidations));
+  json.kv("residency_swaps_mirrored",
+          static_cast<std::int64_t>(stats.residency_swaps_mirrored));
   json.kv("cpu_seconds", stats.cpu_seconds);
   json.kv("gpu_seconds", stats.gpu_seconds);
   json.kv("h2d_bytes_moved", stats.h2d_bytes_moved);

@@ -75,6 +75,7 @@ struct DispatchStats {
   std::uint64_t residency_hits = 0;    ///< operand uploads skipped (clean)
   std::uint64_t residency_misses = 0;  ///< operand uploads that had to move
   std::uint64_t residency_invalidations = 0;  ///< intervals killed by writes
+  std::uint64_t residency_swaps_mirrored = 0;  ///< row swaps mirrored clean
   double cpu_seconds = 0.0;  ///< accounted cost summed per route
   double gpu_seconds = 0.0;
   double h2d_bytes_moved = 0.0;    ///< modelled H2D DMA actually charged
@@ -105,6 +106,7 @@ class DispatchCounters {
   std::atomic<std::uint64_t> residency_hits{0};
   std::atomic<std::uint64_t> residency_misses{0};
   std::atomic<std::uint64_t> residency_invalidations{0};
+  std::atomic<std::uint64_t> residency_swaps_mirrored{0};
   std::atomic<double> cpu_seconds{0.0};
   std::atomic<double> gpu_seconds{0.0};
   std::atomic<double> h2d_bytes_moved{0.0};

@@ -326,6 +326,40 @@ bool Dispatcher::gemv(const core::OpDesc& desc, float alpha,
   return true;
 }
 
+void Dispatcher::host_write(const void* ptr, std::size_t chunk_bytes,
+                            std::size_t stride_bytes, std::size_t count) {
+  if (!tracking_enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  note_host_output_locked(Region{ptr, chunk_bytes, stride_bytes, count});
+}
+
+void Dispatcher::host_swap(const void* pa, const void* pb,
+                           std::size_t chunk_bytes, std::size_t stride_bytes,
+                           std::size_t count) {
+  if (!tracking_enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t mirrored = 0;
+  const auto* ba = static_cast<const char*>(pa);
+  const auto* bb = static_cast<const char*>(pb);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Region ra{ba + i * stride_bytes, chunk_bytes};
+    const Region rb{bb + i * stride_bytes, chunk_bytes};
+    if (residency_.resident_clean(ra) && residency_.resident_clean(rb)) {
+      // Both device copies matched the host before the interchange, and
+      // the modelled device applies the same interchange (laswp), so
+      // they still match after it: the swap is mirrored, not a write.
+      ++mirrored;
+    } else {
+      note_host_output_locked(ra);
+      note_host_output_locked(rb);
+    }
+  }
+  if (mirrored > 0) {
+    counters_.residency_swaps_mirrored.fetch_add(mirrored,
+                                                 std::memory_order_relaxed);
+  }
+}
+
 template <typename T, typename S>
 void Dispatcher::run_gemm(const core::OpDesc& desc, S alpha, const T* a,
                           const T* b, S beta, T* c) {

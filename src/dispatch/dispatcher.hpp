@@ -137,6 +137,16 @@ class Dispatcher final : public blas::CblasDispatchHook {
   bool gemv(const core::OpDesc& desc, float alpha, const blas::bf16* a,
             const blas::bf16* x, float beta, blas::bf16* y) override;
 
+  /// Host stores outside the seam (factorization panel kernels, pivot
+  /// interchanges). host_write invalidates the touched chunks; host_swap
+  /// mirrors the interchange on the device copies when both sides are
+  /// clean (a device laswp would keep them clean) and invalidates
+  /// otherwise.
+  void host_write(const void* ptr, std::size_t chunk_bytes,
+                  std::size_t stride_bytes, std::size_t count) override;
+  void host_swap(const void* pa, const void* pb, std::size_t chunk_bytes,
+                 std::size_t stride_bytes, std::size_t count) override;
+
   // -- direct typed entry points (used by the admission queue) -------------
   // S is the scalar type: T for f32/f64, float for f16/bf16.
   template <typename T, typename S>

@@ -18,8 +18,15 @@ Region matrix_region(const void* ptr, std::size_t elem_bytes,
                      std::int64_t ld, std::int64_t rows, std::int64_t cols) {
   if (ptr == nullptr || rows <= 0 || cols <= 0) return {};
   if (ld < rows) ld = rows;
-  const auto span = static_cast<std::size_t>((cols - 1) * ld + rows);
-  return {ptr, elem_bytes * span};
+  if (ld == rows) {
+    // Tightly packed: one contiguous chunk covering the whole matrix.
+    return {ptr, elem_bytes * static_cast<std::size_t>(rows * cols)};
+  }
+  // Padded: one chunk per column so the ld padding (which may belong to
+  // a byte-interleaved neighbouring submatrix) stays untracked.
+  return {ptr, elem_bytes * static_cast<std::size_t>(rows),
+          elem_bytes * static_cast<std::size_t>(ld),
+          static_cast<std::size_t>(cols)};
 }
 
 Region vector_region(const void* ptr, std::size_t elem_bytes,
@@ -74,46 +81,77 @@ void ResidencyTracker::mark(std::uintptr_t begin, std::uintptr_t end,
   map_.emplace(begin, Node{end, state});
 }
 
+namespace {
+
+// Invoke fn(begin, end) for each chunk of the region, in address order.
+template <typename Fn>
+void for_each_chunk(const Region& region, Fn&& fn) {
+  auto base = reinterpret_cast<std::uintptr_t>(region.ptr);
+  for (std::size_t i = 0; i < region.count; ++i) {
+    fn(base, base + region.bytes);
+    base += region.stride;
+  }
+}
+
+}  // namespace
+
 void ResidencyTracker::note_upload(const Region& region) {
   if (!region.valid()) return;
-  const auto b = reinterpret_cast<std::uintptr_t>(region.ptr);
-  mark(b, b + region.bytes, CopyState::ResidentClean);
+  for_each_chunk(region, [this](std::uintptr_t b, std::uintptr_t e) {
+    mark(b, e, CopyState::ResidentClean);
+  });
 }
 
 void ResidencyTracker::note_device_write(const Region& region) {
   if (!region.valid()) return;
-  const auto b = reinterpret_cast<std::uintptr_t>(region.ptr);
-  mark(b, b + region.bytes, CopyState::ResidentDirty);
+  for_each_chunk(region, [this](std::uintptr_t b, std::uintptr_t e) {
+    mark(b, e, CopyState::ResidentDirty);
+  });
 }
 
 void ResidencyTracker::note_device_result(const Region& region) {
   if (!region.valid()) return;
-  const auto b = reinterpret_cast<std::uintptr_t>(region.ptr);
-  mark(b, b + region.bytes, CopyState::ResidentClean);
+  for_each_chunk(region, [this](std::uintptr_t b, std::uintptr_t e) {
+    mark(b, e, CopyState::ResidentClean);
+  });
 }
 
 std::size_t ResidencyTracker::note_host_write(const Region& region) {
   if (!region.valid()) return 0;
-  const auto b = reinterpret_cast<std::uintptr_t>(region.ptr);
-  return erase_range(b, b + region.bytes);
+  std::size_t touched = 0;
+  for_each_chunk(region, [this, &touched](std::uintptr_t b, std::uintptr_t e) {
+    touched += erase_range(b, e);
+  });
+  return touched;
 }
 
 bool ResidencyTracker::resident_clean(const Region& region) const {
   if (!region.valid()) return false;
-  std::uintptr_t pos = reinterpret_cast<std::uintptr_t>(region.ptr);
-  const std::uintptr_t end = pos + region.bytes;
-  auto it = map_.upper_bound(pos);
-  if (it == map_.begin()) return false;
-  --it;
-  for (;;) {
-    if (it->second.end <= pos || it->second.state != CopyState::ResidentClean) {
-      return false;
+  bool clean = true;
+  for_each_chunk(region, [this, &clean](std::uintptr_t pos, std::uintptr_t end) {
+    if (!clean) return;
+    auto it = map_.upper_bound(pos);
+    if (it == map_.begin()) {
+      clean = false;
+      return;
     }
-    if (it->second.end >= end) return true;
-    pos = it->second.end;
-    ++it;
-    if (it == map_.end() || it->first != pos) return false;  // coverage gap
-  }
+    --it;
+    for (;;) {
+      if (it->second.end <= pos ||
+          it->second.state != CopyState::ResidentClean) {
+        clean = false;
+        return;
+      }
+      if (it->second.end >= end) return;
+      pos = it->second.end;
+      ++it;
+      if (it == map_.end() || it->first != pos) {  // coverage gap
+        clean = false;
+        return;
+      }
+    }
+  });
+  return clean;
 }
 
 }  // namespace blob::dispatch

@@ -26,9 +26,13 @@
 // current host bytes, so a stale entry can only mis-price a call, never
 // corrupt a result.
 //
-// Region spans cover the full leading-dimension footprint of an operand
-// (padding included): a write anywhere inside the span conservatively
-// invalidates it.
+// Regions describe the exact stored footprint of an operand. A tightly
+// packed operand is one contiguous chunk; an ld-padded matrix is a
+// strided sequence of per-column chunks so the inter-column padding (and
+// any neighbouring submatrix sharing the same leading dimension) is
+// never claimed or invalidated by mistake. Blocked factorizations rely
+// on this: panel writes must not knock out the residency of the
+// byte-disjoint trailing submatrix they interleave with.
 
 #include <cstddef>
 #include <cstdint>
@@ -47,16 +51,27 @@ enum class ResidencyPolicy {
 
 const char* to_string(ResidencyPolicy policy);
 
-/// One contiguous host byte range (an operand's stored footprint).
+/// The stored footprint of one operand: `count` chunks of `bytes` bytes
+/// each, the chunk starts `stride` bytes apart. A contiguous range is
+/// the degenerate single-chunk case (stride 0, count 1), so the common
+/// aggregate init `Region{ptr, bytes}` keeps its old meaning.
 struct Region {
   const void* ptr = nullptr;
-  std::size_t bytes = 0;
+  std::size_t bytes = 0;   ///< bytes per chunk
+  std::size_t stride = 0;  ///< byte distance between chunk starts
+  std::size_t count = 1;   ///< number of chunks
 
-  [[nodiscard]] bool valid() const { return ptr != nullptr && bytes > 0; }
+  [[nodiscard]] bool valid() const {
+    return ptr != nullptr && bytes > 0 && count > 0;
+  }
+  [[nodiscard]] std::size_t total_bytes() const {
+    return valid() ? bytes * count : 0;
+  }
 };
 
-/// Stored footprint of an ld-strided column-major matrix: the span from
-/// the first to one-past-the-last addressable element.
+/// Stored footprint of an ld-strided column-major matrix. Tightly packed
+/// (ld == rows) collapses to a single chunk; a padded matrix is one
+/// chunk per column so the padding bytes between columns stay untracked.
 Region matrix_region(const void* ptr, std::size_t elem_bytes,
                      std::int64_t ld, std::int64_t rows, std::int64_t cols);
 
@@ -89,14 +104,15 @@ class ResidencyTracker {
   void note_device_result(const Region& region);
 
   /// The host wrote `region` (a CPU-routed output, or any seam-visible
-  /// store): every overlapping interval loses its overlapping part
-  /// (partial overlaps are split; the non-overlapping remainder keeps
-  /// its state). Returns the number of intervals invalidated.
+  /// store): every interval overlapping one of its chunks loses the
+  /// overlapping part (partial overlaps are split; the non-overlapping
+  /// remainder keeps its state). Returns the number of intervals
+  /// invalidated, summed over chunks.
   std::size_t note_host_write(const Region& region);
 
-  /// True when EVERY byte of `region` is covered by resident-clean
-  /// intervals. Partial coverage (or any dirty byte) is a miss — the
-  /// dispatcher re-uploads whole operands, never slices.
+  /// True when EVERY byte of EVERY chunk of `region` is covered by
+  /// resident-clean intervals. Partial coverage (or any dirty byte) is a
+  /// miss — the dispatcher re-uploads whole operands, never slices.
   [[nodiscard]] bool resident_clean(const Region& region) const;
 
   /// Number of distinct intervals currently tracked (tests).

@@ -7,6 +7,7 @@
 #include "blas/level2.hpp"
 #include "blas/level3.hpp"
 #include "blas/ref_blas.hpp"
+#include "lapack/seam.hpp"
 
 namespace blob::lapack {
 
@@ -36,49 +37,54 @@ T make_reflector(int m, int j, T* a, int lda) {
 }
 
 /// Apply H = I - tau v v^T (v from column j of the factor, v[0]=1
-/// implicit) to C[j:m, 0:ncols] with leading dimension ldc.
+/// implicit; A[j,j] holds beta) to C[j:m, 0:ncols] with leading
+/// dimension ldc. The two BLAS-shaped halves — the panel GEMV
+/// w = C^T v and the rank-1 update C -= tau v w^T — go through the
+/// dispatch seam, LAPACK dlarf style, with v staged into scratch so
+/// the implicit unit head becomes explicit.
 template <typename T>
 void apply_reflector(int m, int j, const T* qr, int lda, T tau, T* c,
-                     int ldc, int ncols, std::vector<T>& w) {
+                     int ldc, int ncols, std::vector<T>& v, std::vector<T>& w,
+                     parallel::ThreadPool* pool, std::size_t threads) {
   if (tau == T(0) || ncols <= 0) return;
   const int len = m - j;
-  const T* v = qr + j + static_cast<std::size_t>(j) * lda;  // v[0] -> beta!
-  // w = C^T v, treating v[0] as 1.
+  const T* col = qr + j + static_cast<std::size_t>(j) * lda;  // col[0]=beta
+  v.assign(static_cast<std::size_t>(len), T(1));
+  std::copy(col + 1, col + len, v.begin() + 1);
+  seam::note_block_write(v.data(), len, len, 1);
   w.assign(static_cast<std::size_t>(ncols), T(0));
-  for (int col = 0; col < ncols; ++col) {
-    const T* ccol = c + j + static_cast<std::size_t>(col) * ldc;
-    T sum = ccol[0];  // v[0] == 1
-    for (int i = 1; i < len; ++i) sum += v[i] * ccol[i];
-    w[static_cast<std::size_t>(col)] = sum;
-  }
-  // C -= tau * v * w^T.
-  for (int col = 0; col < ncols; ++col) {
-    T* ccol = c + j + static_cast<std::size_t>(col) * ldc;
-    const T tw = tau * w[static_cast<std::size_t>(col)];
-    ccol[0] -= tw;
-    for (int i = 1; i < len; ++i) ccol[i] -= v[i] * tw;
-  }
+  seam::note_block_write(w.data(), ncols, ncols, 1);
+  // w = C^T v.
+  seam::gemv_via_seam(blas::Transpose::Yes, len, ncols, T(1), c + j, ldc,
+                      v.data(), 1, T(0), w.data(), 1, pool, threads);
+  // C -= tau * v * w^T (a rank-1 GEMM so the seam sees it).
+  seam::gemm_via_seam(blas::Transpose::No, blas::Transpose::No, len, ncols,
+                      1, -tau, v.data(), len, w.data(), 1, T(1), c + j, ldc,
+                      pool, threads);
 }
 
 }  // namespace
 
 template <typename T>
 void geqrf(int m, int n, T* a, int lda, std::vector<T>& tau,
-           parallel::ThreadPool* /*pool*/, std::size_t /*threads*/,
-           int /*block*/) {
+           parallel::ThreadPool* pool, std::size_t threads, int /*block*/) {
   if (m < 0 || n < 0 || m < n || lda < std::max(1, m)) {
     throw blas::BlasError("geqrf: bad dimensions (need m >= n)");
   }
   tau.assign(static_cast<std::size_t>(n), T(0));
+  std::vector<T> v;
   std::vector<T> w;
   for (int j = 0; j < n; ++j) {
     const T t = make_reflector(m, j, a, lda);
     tau[static_cast<std::size_t>(j)] = t;
+    // The reflector generation rewrote column j below the diagonal.
+    seam::note_block_write(a + j + static_cast<std::size_t>(j) * lda, lda,
+                           m - j, 1);
     // Trailing update: apply H_j to A[j:m, j+1:n].
     if (j + 1 < n) {
       apply_reflector(m, j, a, lda, t,
                       a + static_cast<std::size_t>(j + 1) * lda, lda,
-                      n - j - 1, w);
+                      n - j - 1, v, w, pool, threads);
     }
   }
 }
@@ -93,11 +99,12 @@ void ormqr_qt(int m, int n, int nrhs, const T* qr, int lda,
   if (static_cast<int>(tau.size()) < n) {
     throw blas::BlasError("ormqr_qt: tau too short");
   }
+  std::vector<T> v;
   std::vector<T> w;
   // Q^T = H_{n-1} ... H_1 H_0 applied left to right.
   for (int j = 0; j < n; ++j) {
     apply_reflector(m, j, qr, lda, tau[static_cast<std::size_t>(j)], c, ldc,
-                    nrhs, w);
+                    nrhs, v, w, /*pool=*/nullptr, /*threads=*/1);
   }
 }
 

@@ -5,6 +5,7 @@
 
 #include "blas/gemm.hpp"
 #include "blas/level3.hpp"
+#include "lapack/seam.hpp"
 
 namespace blob::lapack {
 
@@ -37,6 +38,10 @@ void getrf_panel(int n_rows, int n_cols_total, int j0, int jb, T* a, int lda,
         std::swap(a[j + static_cast<std::size_t>(c) * lda],
                   a[pivot + static_cast<std::size_t>(c) * lda]);
       }
+      // A residency-tracking hook mirrors the interchange on its device
+      // copies (a device laswp keeps clean columns clean) instead of
+      // losing the trailing matrix's warmth to every pivot.
+      seam::note_row_swap(a + j, a + pivot, lda, n_cols_total);
     }
     // Scale the column below the pivot and update the trailing panel.
     const T inv = T(1) / a[j + static_cast<std::size_t>(j) * lda];
@@ -70,6 +75,10 @@ void getrf(int n, T* a, int lda, std::vector<int>& ipiv,
     // Factor the current panel (pivoting swaps whole rows, so the
     // already-factored left part and the unfactored right part follow).
     getrf_panel(n, n, j0, jb, a, lda, ipiv);
+    // The panel kernel wrote columns [j0, j0+jb) of rows [j0, n) behind
+    // the seam's back.
+    seam::note_block_write(a + j0 + static_cast<std::size_t>(j0) * lda, lda,
+                           n - j0, jb);
 
     const int trailing = n - j0 - jb;
     if (trailing > 0) {
@@ -79,13 +88,20 @@ void getrf(int n, T* a, int lda, std::vector<int>& ipiv,
                  a + j0 + static_cast<std::size_t>(j0) * lda, lda,
                  a + j0 + static_cast<std::size_t>(j0 + jb) * lda, lda, pool,
                  threads);
-      // A22 -= L21 * U12: the tall-times-wide GEMM that dominates LU.
-      blas::gemm(blas::Transpose::No, blas::Transpose::No, n - j0 - jb,
-                 trailing, jb, T(-1),
-                 a + (j0 + jb) + static_cast<std::size_t>(j0) * lda, lda,
-                 a + j0 + static_cast<std::size_t>(j0 + jb) * lda, lda, T(1),
-                 a + (j0 + jb) + static_cast<std::size_t>(j0 + jb) * lda,
-                 lda, pool, threads);
+      seam::note_block_write(
+          a + j0 + static_cast<std::size_t>(j0 + jb) * lda, lda, jb,
+          trailing);
+      // A22 -= L21 * U12: the tall-times-wide GEMM that dominates LU,
+      // offered to the dispatch hook panel by panel.
+      seam::gemm_via_seam(blas::Transpose::No, blas::Transpose::No,
+                          n - j0 - jb, trailing, jb, T(-1),
+                          a + (j0 + jb) + static_cast<std::size_t>(j0) * lda,
+                          lda,
+                          a + j0 + static_cast<std::size_t>(j0 + jb) * lda,
+                          lda, T(1),
+                          a + (j0 + jb) +
+                              static_cast<std::size_t>(j0 + jb) * lda,
+                          lda, pool, threads);
     }
   }
 }

@@ -5,6 +5,7 @@
 
 #include "blas/gemm.hpp"
 #include "blas/level3.hpp"
+#include "lapack/seam.hpp"
 
 namespace blob::lapack {
 
@@ -44,6 +45,8 @@ void potrf_lower(int n, T* a, int lda, parallel::ThreadPool* pool,
   for (int j0 = 0; j0 < n; j0 += block) {
     const int jb = std::min(block, n - j0);
     potrf_diag_lower(j0, jb, a, lda);
+    seam::note_block_write(a + j0 + static_cast<std::size_t>(j0) * lda, lda,
+                           jb, jb);
     const int below = n - j0 - jb;
     if (below > 0) {
       // L21 = A21 * L11^-T.
@@ -52,12 +55,32 @@ void potrf_lower(int n, T* a, int lda, parallel::ThreadPool* pool,
                  a + j0 + static_cast<std::size_t>(j0) * lda, lda,
                  a + (j0 + jb) + static_cast<std::size_t>(j0) * lda, lda,
                  pool, threads);
-      // A22 -= L21 * L21^T (trailing symmetric update).
-      blas::syrk(blas::UpLo::Lower, blas::Transpose::No, below, jb, T(-1),
-                 a + (j0 + jb) + static_cast<std::size_t>(j0) * lda, lda,
-                 T(1),
-                 a + (j0 + jb) + static_cast<std::size_t>(j0 + jb) * lda,
-                 lda, pool, threads);
+      seam::note_block_write(a + (j0 + jb) + static_cast<std::size_t>(j0) * lda,
+                             lda, below, jb);
+      // A22 -= L21 * L21^T, split per trailing block column: a small
+      // host syrk keeps the symmetric jbb x jbb diagonal tile, and the
+      // rectangle below it goes through the dispatch seam as a GEMM.
+      // Each block column's GEMM writes the SAME C region on every
+      // panel, so a residency-tracking hook keeps the trailing matrix
+      // device-resident across the whole factorization.
+      for (int jj = j0 + jb; jj < n; jj += block) {
+        const int jbb = std::min(block, n - jj);
+        blas::syrk(blas::UpLo::Lower, blas::Transpose::No, jbb, jb, T(-1),
+                   a + jj + static_cast<std::size_t>(j0) * lda, lda, T(1),
+                   a + jj + static_cast<std::size_t>(jj) * lda, lda, pool,
+                   threads);
+        seam::note_block_write(a + jj + static_cast<std::size_t>(jj) * lda,
+                               lda, jbb, jbb);
+        const int rows = n - jj - jbb;
+        if (rows > 0) {
+          seam::gemm_via_seam(
+              blas::Transpose::No, blas::Transpose::Yes, rows, jbb, jb,
+              T(-1), a + (jj + jbb) + static_cast<std::size_t>(j0) * lda,
+              lda, a + jj + static_cast<std::size_t>(j0) * lda, lda, T(1),
+              a + (jj + jbb) + static_cast<std::size_t>(jj) * lda, lda, pool,
+              threads);
+        }
+      }
     }
   }
 }
@@ -98,10 +121,13 @@ void potrf(blas::UpLo uplo, int n, T* a, int lda, parallel::ThreadPool* pool,
     potrf_lower(n, a, lda, pool, threads, block);
   } else {
     // Factor via the lower algorithm on the mirrored data, then mirror
-    // the factor back. Costs one O(n^2) transpose each way.
+    // the factor back. Costs one O(n^2) transpose each way. Both
+    // mirrors are whole-matrix host writes the seam cannot see.
     mirror_upper_to_lower(n, a, lda);
+    seam::note_block_write(a, lda, n, n);
     potrf_lower(n, a, lda, pool, threads, block);
     mirror_lower_to_upper(n, a, lda);
+    seam::note_block_write(a, lda, n, n);
   }
 }
 

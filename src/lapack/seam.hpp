@@ -1,0 +1,82 @@
+#pragma once
+// The factorizations' connection to the cblas dispatch seam.
+//
+// The auto-offload papers (arXiv:2404.13195, arXiv:2501.00279) intercept
+// BLAS traffic generated *inside* solvers — that is where the offload
+// threshold question actually gets asked in production. These helpers
+// let the blocked factorizations offer their trailing-update GEMM and
+// panel GEMV traffic to an installed dispatch hook while keeping their
+// own thread pool for the CPU fallback: with no hook installed every
+// call degenerates to the exact direct blas:: call the solvers made
+// before, bit for bit.
+//
+// The note_* helpers report the host-side writes the seam cannot see
+// (panel kernels, pivot row interchanges) so a residency-tracking hook
+// can keep its device-copy map truthful across panel iterations. They
+// are advisory: correctness never depends on them.
+
+#include <cstddef>
+
+#include "blas/cblas.hpp"
+#include "blas/gemm.hpp"
+#include "blas/gemv.hpp"
+
+namespace blob::lapack::seam {
+
+/// Offer one column-major GEMM to the dispatch hook; fall back to the
+/// caller's own pool when no hook claims it.
+template <typename T>
+void gemm_via_seam(blas::Transpose ta, blas::Transpose tb, int m, int n,
+                   int k, T alpha, const T* a, int lda, const T* b, int ldb,
+                   T beta, T* c, int ldc, parallel::ThreadPool* pool,
+                   std::size_t threads) {
+  if (!blas::offer_gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c,
+                        ldc)) {
+    blas::gemm(ta, tb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc, pool,
+               threads);
+  }
+}
+
+/// Offer one column-major GEMV to the dispatch hook; fall back to the
+/// caller's own pool when no hook claims it.
+template <typename T>
+void gemv_via_seam(blas::Transpose ta, int m, int n, T alpha, const T* a,
+                   int lda, const T* x, int incx, T beta, T* y, int incy,
+                   parallel::ThreadPool* pool, std::size_t threads) {
+  if (!blas::offer_gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy)) {
+    blas::gemv(ta, m, n, alpha, a, lda, x, incx, beta, y, incy, pool,
+               threads);
+  }
+}
+
+/// Notify the hook that the host wrote the rows x cols block at `ptr`
+/// (leading dimension lda). Tight blocks collapse to one contiguous
+/// range; padded blocks are reported column by column so byte-disjoint
+/// neighbours keep their residency.
+template <typename T>
+void note_block_write(const T* ptr, int lda, int rows, int cols) {
+  if (ptr == nullptr || rows <= 0 || cols <= 0) return;
+  if (lda == rows) {
+    blas::cblas_note_host_write(
+        ptr, sizeof(T) * static_cast<std::size_t>(rows) *
+                 static_cast<std::size_t>(cols),
+        0, 1);
+  } else {
+    blas::cblas_note_host_write(ptr,
+                                sizeof(T) * static_cast<std::size_t>(rows),
+                                sizeof(T) * static_cast<std::size_t>(lda),
+                                static_cast<std::size_t>(cols));
+  }
+}
+
+/// Notify the hook that rows `ra` and `rb` of an lda-strided matrix were
+/// interchanged across `cols` columns (one element per column).
+template <typename T>
+void note_row_swap(const T* ra, const T* rb, int lda, int cols) {
+  if (ra == nullptr || rb == nullptr || cols <= 0) return;
+  blas::cblas_note_host_swap(ra, rb, sizeof(T),
+                             sizeof(T) * static_cast<std::size_t>(lda),
+                             static_cast<std::size_t>(cols));
+}
+
+}  // namespace blob::lapack::seam

@@ -179,17 +179,48 @@ TEST(ResidencyTracker, AliasedIntervalsShareState) {
 
 // ----------------------------------------------- region span helpers
 
-TEST(ResidencyRegions, MatrixSpanCoversLeadingDimensionFootprint) {
-  // 8-byte elements, ld 10, 6 x 4 stored: span is
-  // elem * ((cols-1) * ld + rows) = 8 * (30 + 6).
+TEST(ResidencyRegions, MatrixRegionChunksPerColumnWhenPadded) {
+  // 8-byte elements, ld 10, 6 x 4 stored: one 48-byte chunk per column,
+  // stride elem * ld, so the 4 rows of ld padding per column stay out of
+  // the tracked footprint.
   const Region r = dispatch::matrix_region(kBase, 8, 10, 6, 4);
   EXPECT_EQ(r.ptr, kBase);
-  EXPECT_EQ(r.bytes, 8U * 36U);
-  // ld below rows clamps to tight storage.
+  EXPECT_EQ(r.bytes, 8U * 6U);
+  EXPECT_EQ(r.stride, 8U * 10U);
+  EXPECT_EQ(r.count, 4U);
+  EXPECT_EQ(r.total_bytes(), 8U * 6U * 4U);
+  // Tight storage (ld == rows, including ld-below-rows clamping) stays
+  // one contiguous chunk.
   const Region tight = dispatch::matrix_region(kBase, 4, 2, 6, 4);
-  EXPECT_EQ(tight.bytes, 4U * ((4 - 1) * 6 + 6));
+  EXPECT_EQ(tight.bytes, 4U * 6U * 4U);
+  EXPECT_EQ(tight.count, 1U);
   EXPECT_FALSE(dispatch::matrix_region(nullptr, 8, 10, 6, 4).valid());
   EXPECT_FALSE(dispatch::matrix_region(kBase, 8, 10, 0, 4).valid());
+}
+
+TEST(ResidencyRegions, PaddedMatrixUploadLeavesPaddingUntracked) {
+  // Warming a padded panel must not claim the inter-column padding: a
+  // byte-interleaved neighbour (e.g. the panel to the right in a larger
+  // factorization) would otherwise be marked clean without an upload.
+  ResidencyTracker tracker;
+  const Region panel = dispatch::matrix_region(kBase, 8, 10, 6, 4);
+  tracker.note_upload(panel);
+  EXPECT_EQ(tracker.interval_count(), 4U);
+  EXPECT_TRUE(tracker.resident_clean(panel));
+  for (std::size_t col = 0; col < 4; ++col) {
+    EXPECT_TRUE(tracker.resident_clean(region_at(col * 80, 48)));
+    EXPECT_FALSE(tracker.resident_clean(region_at(col * 80 + 48, 32)))
+        << "padding after column " << col << " wrongly tracked";
+  }
+
+  // A host write through the same chunked shape kills every column but
+  // leaves unrelated bytes alone.
+  ResidencyTracker other;
+  other.note_upload(region_at(0, 400));
+  EXPECT_EQ(other.note_host_write(panel), 4U);
+  EXPECT_FALSE(other.resident_clean(panel));
+  EXPECT_TRUE(other.resident_clean(region_at(48, 32)));
+  EXPECT_TRUE(other.resident_clean(region_at(320, 80)));
 }
 
 TEST(ResidencyRegions, VectorSpanFollowsStride) {

@@ -1,15 +1,22 @@
-// LU and Cholesky factorizations built on the BLAS.
+// LU and Cholesky factorizations built on the BLAS, plus the dispatcher
+// routing property: a factorization whose trailing updates flow through
+// the offload dispatcher must reproduce the hook-free result bitwise and
+// move strictly fewer modelled H2D bytes than a Transfer-Always run.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "blas/gemm.hpp"
+#include "blas/library.hpp"
 #include "blas/ref_blas.hpp"
 #include "blas_test_util.hpp"
+#include "dispatch/dispatcher.hpp"
 #include "lapack/geqrf.hpp"
 #include "lapack/getrf.hpp"
 #include "lapack/potrf.hpp"
+#include "sysprofile/profile.hpp"
 
 namespace {
 
@@ -311,6 +318,137 @@ TEST(Geqrf, RejectsWideMatrices) {
   std::vector<double> a(6);
   std::vector<double> tau;
   EXPECT_THROW(lapack::geqrf(2, 3, a.data(), 2, tau), blas::BlasError);
+}
+
+// -------------------------------- dispatcher routing (bitwise identity)
+
+/// Dispatcher whose CPU route runs the exact serial kernel the hook-free
+/// blas:: path runs (single-thread personality, one worker), so routing
+/// decisions can reprice calls but never perturb bits.
+dispatch::DispatcherConfig factor_config(const std::string& profile_name) {
+  dispatch::DispatcherConfig cfg;
+  cfg.profile = profile::by_name(profile_name);
+  cfg.personality = blas::single_thread_personality();
+  cfg.cpu_threads = 1;
+  cfg.autotune = false;
+  cfg.mode = core::TransferMode::Once;
+  cfg.residency = dispatch::ResidencyPolicy::Track;
+  return cfg;
+}
+
+/// Scatter a tightly stored rows x cols matrix into an ld-padded buffer
+/// whose padding rows hold deterministic junk — routed and hook-free runs
+/// must agree on every byte including the untouched padding.
+template <typename T>
+std::vector<T> pad_columns(const std::vector<T>& tight, int rows, int cols,
+                           int ld, std::uint64_t seed) {
+  auto padded = random_vector<T>(static_cast<std::size_t>(ld) * cols, seed);
+  for (int j = 0; j < cols; ++j) {
+    std::copy(tight.begin() + static_cast<std::size_t>(j) * rows,
+              tight.begin() + static_cast<std::size_t>(j + 1) * rows,
+              padded.begin() + static_cast<std::size_t>(j) * ld);
+  }
+  return padded;
+}
+
+template <typename T>
+void expect_bitwise_equal(const std::vector<T>& got, const std::vector<T>& ref,
+                          const char* what) {
+  ASSERT_EQ(got.size(), ref.size());
+  EXPECT_EQ(std::memcmp(got.data(), ref.data(), sizeof(T) * got.size()), 0)
+      << what << " differs from the hook-free reference";
+}
+
+class LapackDispatchProfiles
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LapackDispatchProfiles, GetrfRoutedMatchesHookFreeBitwise) {
+  const int n = 128, lda = n + 7, block = 32;
+  const auto tight =
+      random_vector<double>(static_cast<std::size_t>(n) * n, 31);
+  auto ref = pad_columns(tight, n, n, lda, 131);
+  auto got = ref;
+  std::vector<int> p_ref, p_got;
+  lapack::getrf(n, ref.data(), lda, p_ref, nullptr, 1, block);
+
+  dispatch::Dispatcher disp(factor_config(GetParam()));
+  disp.install();
+  lapack::getrf(n, got.data(), lda, p_got, nullptr, 1, block);
+  disp.uninstall();
+
+  EXPECT_EQ(p_ref, p_got);
+  expect_bitwise_equal(got, ref, "getrf factor");
+}
+
+TEST_P(LapackDispatchProfiles, PotrfRoutedMatchesHookFreeBitwise) {
+  const int n = 144, lda = n + 7, block = 32;
+  const auto spd = make_spd<double>(n, 32);
+  auto ref = pad_columns(spd, n, n, lda, 132);
+  auto got = ref;
+  lapack::potrf(blas::UpLo::Lower, n, ref.data(), lda, nullptr, 1, block);
+
+  dispatch::Dispatcher disp(factor_config(GetParam()));
+  disp.install();
+  lapack::potrf(blas::UpLo::Lower, n, got.data(), lda, nullptr, 1, block);
+  disp.uninstall();
+
+  expect_bitwise_equal(got, ref, "potrf factor");
+}
+
+TEST_P(LapackDispatchProfiles, GeqrfRoutedMatchesHookFreeBitwise) {
+  const int m = 160, n = 96, lda = m + 7;
+  const auto tight =
+      random_vector<double>(static_cast<std::size_t>(m) * n, 33);
+  auto ref = pad_columns(tight, m, n, lda, 133);
+  auto got = ref;
+  std::vector<double> tau_ref, tau_got;
+  lapack::geqrf(m, n, ref.data(), lda, tau_ref, nullptr, 1);
+
+  dispatch::Dispatcher disp(factor_config(GetParam()));
+  disp.install();
+  lapack::geqrf(m, n, got.data(), lda, tau_got, nullptr, 1);
+  disp.uninstall();
+
+  ASSERT_EQ(tau_got.size(), tau_ref.size());
+  EXPECT_EQ(std::memcmp(tau_got.data(), tau_ref.data(),
+                        sizeof(double) * tau_ref.size()),
+            0);
+  expect_bitwise_equal(got, ref, "geqrf factor");
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, LapackDispatchProfiles,
+                         ::testing::Values("dawn", "lumi", "isambard-ai"));
+
+TEST(LapackDispatch, GetrfSkipsResidentPanelDmaAboveThreshold) {
+  // Above the offload threshold the trailing updates route to the GPU,
+  // and because panel results stay resident-dirty on device, the
+  // dispatched run must charge strictly fewer H2D bytes than a
+  // Transfer-Always run of the same GPU-routed calls would.
+  const int n = 512, block = 64;
+  auto a = random_vector<double>(static_cast<std::size_t>(n) * n, 34);
+  std::vector<int> ipiv;
+
+  dispatch::Dispatcher disp(factor_config("isambard-ai"));
+  disp.install();
+  lapack::getrf(n, a.data(), n, ipiv, nullptr, 1, block);
+  disp.uninstall();
+
+  const dispatch::DispatchStats stats = disp.stats();
+  double transfer_always_bytes = 0.0;
+  std::uint64_t gpu_records = 0;
+  for (const auto& r : disp.trace().snapshot()) {
+    if (r.route != dispatch::Route::Gpu) continue;
+    ++gpu_records;
+    // A (m x k), B (k x n) and C (m x n, beta == 1 so it uploads too).
+    const auto m_ = static_cast<double>(r.m);
+    const auto n_ = static_cast<double>(r.n);
+    const auto k_ = static_cast<double>(r.k);
+    transfer_always_bytes += sizeof(double) * (m_ * k_ + k_ * n_ + m_ * n_);
+  }
+  ASSERT_GT(gpu_records, 0U) << "no trailing update offloaded";
+  EXPECT_GT(stats.h2d_bytes_skipped, 0.0);
+  EXPECT_LT(stats.h2d_bytes_moved, transfer_always_bytes);
+  EXPECT_GT(stats.residency_hits, 0U);
 }
 
 }  // namespace
