@@ -37,6 +37,7 @@
 
 #include "blas/cblas.hpp"
 #include "blas/gemm.hpp"
+#include "core/validate.hpp"
 #include "dispatch/admission_queue.hpp"
 #include "dispatch/dispatcher.hpp"
 #include "lapack/geqrf.hpp"
@@ -144,6 +145,18 @@ blob::core::TransferMode mode_by_name(const std::string& name) {
   if (name == "always") return blob::core::TransferMode::Always;
   if (name == "usm") return blob::core::TransferMode::Usm;
   throw std::invalid_argument("unknown transfer mode: " + name);
+}
+
+blob::core::ErrorBudget budget_by_name(const std::string& name) {
+  if (name == "exact") return blob::core::ErrorBudget::exact();
+  if (name == "relaxed") return blob::core::ErrorBudget::relaxed();
+  if (name.rfind("ulp:", 0) == 0) {
+    const unsigned long ulps = std::stoul(name.substr(4));
+    return blob::core::ErrorBudget::ulp_bounded(
+        static_cast<std::uint32_t>(ulps));
+  }
+  throw std::invalid_argument("unknown error budget: " + name +
+                              " (want exact, relaxed or ulp:N)");
 }
 
 blob::dispatch::ResidencyPolicy residency_by_name(const std::string& name) {
@@ -267,10 +280,47 @@ const void* c_ptr(const ClassBuffers& buf, const ShapeClass& sc) {
   return buf.cd.data();
 }
 
-/// Does this class's output match the reference bitwise?
+/// The one output-verification helper every mode funnels through (replay,
+/// fleet drain, factorize, solver). Compares under `spec` — bitwise for
+/// the exact contract, tolerance-aware when the run declared an error
+/// budget — and on failure reports the first differing index and the
+/// worst ULP distance instead of a bare "memcmp failed".
+template <typename T>
+bool verify_buffers(const char* what, const T* ref, const T* got,
+                    std::size_t len, const blob::core::CompareSpec& spec) {
+  const blob::core::CompareResult r =
+      blob::core::compare_buffers(ref, got, len, spec);
+  if (!r.passed) {
+    std::cerr << "verify(" << what << "): " << r.detail << "\n";
+  }
+  return r.passed;
+}
+
+/// Typed verification of one class's raw output pointer against the
+/// reference arenas. f16 outputs always verify bitwise (no route relaxes
+/// half precision); f32/f64 follow `spec`.
+bool verify_class_output(const void* got, const ClassBuffers& ref,
+                         const ShapeClass& sc,
+                         const blob::core::CompareSpec& spec) {
+  const std::size_t elems = extents_of(sc).c;
+  if (sc.precision == blob::model::Precision::F16) {
+    if (std::memcmp(got, ref.ch.data(), c_bytes(sc)) == 0) return true;
+    std::cerr << "verify(" << sc.label << "): f16 output not bit-identical\n";
+    return false;
+  }
+  if (sc.precision == blob::model::Precision::F32) {
+    return verify_buffers(sc.label, ref.cf.data(),
+                          static_cast<const float*>(got), elems, spec);
+  }
+  return verify_buffers(sc.label, ref.cd.data(),
+                        static_cast<const double*>(got), elems, spec);
+}
+
+/// Does this class's output match the reference under `spec`?
 bool class_matches(const ClassBuffers& got, const ClassBuffers& ref,
-                   const ShapeClass& sc) {
-  return std::memcmp(c_ptr(got, sc), c_ptr(ref, sc), c_bytes(sc)) == 0;
+                   const ShapeClass& sc,
+                   const blob::core::CompareSpec& spec) {
+  return verify_class_output(c_ptr(got, sc), ref, sc, spec);
 }
 
 /// Deterministic weighted class sequence over `allowed` class indices.
@@ -329,6 +379,8 @@ bool records_equal(const blob::dispatch::TraceRecord& a,
          a.trans_b == b.trans_b && a.m == b.m && a.n == b.n && a.k == b.k &&
          a.route == b.route && a.reason == b.reason &&
          a.cpu_est_s == b.cpu_est_s && a.gpu_est_s == b.gpu_est_s &&
+         a.emu_est_s == b.emu_est_s && a.budget == b.budget &&
+         a.slices == b.slices &&
          a.cost_s == b.cost_s && a.observed_s == b.observed_s &&
          a.batch == b.batch && a.residency == b.residency &&
          a.h2d_moved_bytes == b.h2d_moved_bytes &&
@@ -479,7 +531,8 @@ int run_fleet(const blob::util::ArgParser& args,
         completed_seen.fetch_add(1, std::memory_order_relaxed);
         const Pending& p = pending[i];
         const ShapeClass& sc = kClasses[p.ci];
-        if (std::memcmp(p.out, c_ptr(refs[p.ci], sc), c_bytes(sc)) != 0) {
+        if (!verify_class_output(p.out, refs[p.ci], sc,
+                                 blob::core::CompareSpec::bitwise())) {
           mismatches.fetch_add(1, std::memory_order_relaxed);
         }
       }
@@ -591,7 +644,8 @@ int run_fleet(const blob::util::ArgParser& args,
     for (const std::size_t ci : mix) {
       bool appeared = false;
       for (const std::size_t s : sequence) appeared |= s == ci;
-      if (appeared && !class_matches(buffers[ci], refs[ci], kClasses[ci])) {
+      if (appeared && !class_matches(buffers[ci], refs[ci], kClasses[ci],
+                                     blob::core::CompareSpec::bitwise())) {
         mismatches.fetch_add(1, std::memory_order_relaxed);
       }
     }
@@ -812,16 +866,19 @@ int run_factorize(blob::util::ArgParser& args,
   run(a_disp, ipiv_disp, tau_disp);
   dispatcher.uninstall();
 
+  // Factorizations carry the exact contract (pivot choices would change
+  // under perturbation), so the spec is always bitwise here.
   std::size_t mismatches = 0;
-  if (std::memcmp(a_ref.data(), a_disp.data(), nn * nn * sizeof(double)) !=
-      0) {
+  if (!verify_buffers("factor", a_ref.data(), a_disp.data(), nn * nn,
+                      blob::core::CompareSpec::bitwise())) {
     ++mismatches;
   }
   if (ipiv_ref != ipiv_disp) ++mismatches;
   if (tau_ref.size() != tau_disp.size() ||
       (!tau_ref.empty() &&
-       std::memcmp(tau_ref.data(), tau_disp.data(),
-                   tau_ref.size() * sizeof(double)) != 0)) {
+       !verify_buffers("tau", tau_ref.data(), tau_disp.data(),
+                       tau_ref.size(),
+                       blob::core::CompareSpec::bitwise()))) {
     ++mismatches;
   }
 
@@ -1029,6 +1086,12 @@ int main(int argc, char** argv) {
   args.add_flag("--verify-single",
                 "with --devices 1: replay through a lone dispatcher and "
                 "require bit-identical decision traces");
+  args.add_string("--error-budget",
+                  "accuracy contract stamped on every replayed call "
+                  "(exact|relaxed|ulp:N). Non-exact budgets make f64 GEMMs "
+                  "eligible for the emulated fp32-slice GPU arm and switch "
+                  "output verification to the tolerance the budget implies",
+                  "exact");
   args.add_flag("--autotune", "autotune GEMM blocking at startup");
   args.add_string("--load-calib", "calibration store to load", "");
   args.add_string("--save-calib", "write calibration store on exit", "");
@@ -1056,15 +1119,28 @@ int main(int argc, char** argv) {
   if (warmup > calls) warmup = calls;
 
   blob::dispatch::DispatcherConfig config;
+  blob::core::ErrorBudget budget;
   try {
     config.profile = blob::profile::by_name(args.get_string("--system"));
     config.personality = personality_by_name(args.get_string("--personality"));
     config.mode = mode_by_name(args.get_string("--mode"));
     config.residency = residency_by_name(args.get_string("--residency"));
+    budget = budget_by_name(args.get_string("--error-budget"));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
+  // Budgets apply to the replay modes only: fleet traffic carries no
+  // accuracy contract yet, and factorizations/solvers require exact
+  // results (pivoting diverges under perturbation).
+  if (!budget.is_exact() &&
+      (args.get_int("--devices") > 0 || args.get_flag("--solver") ||
+       !args.get_string("--factorize").empty())) {
+    std::cerr << "error: --error-budget requires the replay modes\n";
+    return 2;
+  }
+  const blob::core::CompareSpec verify_spec =
+      blob::core::spec_for_budget(budget);
   config.residency_horizon = args.get_int("--residency-horizon");
   config.cpu_threads = static_cast<std::size_t>(args.get_int("--threads"));
   config.noise_sigma = args.get_double("--noise");
@@ -1142,8 +1218,8 @@ int main(int argc, char** argv) {
       std::vector<double> x = x0, y(nn, 0.0);
       for (std::size_t it = 0; it < iters; ++it) {
         step(x, y);
-        if (std::memcmp(y.data(), ref[it].data(), nn * sizeof(double)) !=
-            0) {
+        if (!verify_buffers("solver-iterate", ref[it].data(), y.data(), nn,
+                            blob::core::CompareSpec::bitwise())) {
           ++mismatches;
         }
       }
@@ -1279,7 +1355,7 @@ int main(int argc, char** argv) {
   std::vector<Dispatcher::Costs> class_costs(kNumClasses);
   for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
     const ShapeClass& sc = kClasses[ci];
-    const blob::core::OpDesc desc =
+    blob::core::OpDesc desc =
         sc.op == blob::core::KernelOp::Gemm
             ? blob::core::OpDesc::gemm(sc.precision, sc.ta, sc.tb, sc.m,
                                        sc.n, sc.k, 0, 0, 0,
@@ -1288,11 +1364,22 @@ int main(int argc, char** argv) {
             : blob::core::OpDesc::gemv(sc.precision, sc.ta, sc.m, sc.n, 0, 1,
                                        1, /*alpha_one=*/true,
                                        /*beta_zero=*/true, config.mode);
+    desc.budget = budget;
     class_costs[ci] = dispatcher.modelled_costs(desc);
-    std::cout << blob::util::strfmt(
-        "  class %-18s cpu %.3es  gpu %.3es  oracle=%s\n", sc.label,
-        class_costs[ci].cpu_s, class_costs[ci].gpu_s,
-        class_costs[ci].gpu_s < class_costs[ci].cpu_s ? "gpu" : "cpu");
+    const Dispatcher::Costs& cc = class_costs[ci];
+    const char* best_arm =
+        (cc.emu_s < cc.cpu_s && cc.emu_s < cc.gpu_s) ? "emu"
+        : cc.gpu_s < cc.cpu_s                        ? "gpu"
+                                                     : "cpu";
+    if (std::isfinite(cc.emu_s)) {
+      std::cout << blob::util::strfmt(
+          "  class %-18s cpu %.3es  gpu %.3es  emu %.3es  oracle=%s\n",
+          sc.label, cc.cpu_s, cc.gpu_s, cc.emu_s, best_arm);
+    } else {
+      std::cout << blob::util::strfmt(
+          "  class %-18s cpu %.3es  gpu %.3es  oracle=%s\n", sc.label,
+          cc.cpu_s, cc.gpu_s, best_arm);
+    }
   }
 
   // Sample the workload sequence (deterministic in --seed).
@@ -1314,6 +1401,9 @@ int main(int argc, char** argv) {
   std::uint64_t checksum_mismatches = 0;
 
   if (!use_queue) {
+    // The budget is a thread-local cblas contract: scope it to the replay
+    // so the reference passes above stayed exact.
+    const blob::blas::ScopedErrorBudget scoped(budget);
     std::vector<char> issued(kNumClasses, 0);
     for (std::size_t i = 0; i < calls; ++i) {
       if (i == warmup) warm_stats = dispatcher.stats();
@@ -1321,7 +1411,8 @@ int main(int argc, char** argv) {
       issued[sequence[i]] = 1;
     }
     for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
-      if (issued[ci] && !class_matches(buffers[ci], refs[ci], kClasses[ci])) {
+      if (issued[ci] &&
+          !class_matches(buffers[ci], refs[ci], kClasses[ci], verify_spec)) {
         ++checksum_mismatches;
       }
     }
@@ -1338,6 +1429,9 @@ int main(int argc, char** argv) {
     threads.reserve(clients);
     for (std::size_t t = 0; t < clients; ++t) {
       threads.emplace_back([&, t] {
+        // Each producer declares the budget on its own thread — submit_*
+        // capture it per request, so it survives the hop to the worker.
+        const blob::blas::ScopedErrorBudget scoped(budget);
         std::vector<std::future<void>> pending;
         for (std::size_t i = t; i < calls; i += clients) {
           const std::size_t ci = sequence[i];
@@ -1384,8 +1478,8 @@ int main(int argc, char** argv) {
         issued[sequence[i]] = 1;
       }
       for (std::size_t ci = 0; ci < kNumClasses; ++ci) {
-        if (issued[ci] &&
-            !class_matches(client_buffers[t][ci], refs[ci], kClasses[ci])) {
+        if (issued[ci] && !class_matches(client_buffers[t][ci], refs[ci],
+                                         kClasses[ci], verify_spec)) {
           ++checksum_mismatches;
         }
       }
@@ -1397,7 +1491,10 @@ int main(int argc, char** argv) {
 
   for (std::size_t i = 0; i < calls; ++i) {
     const Dispatcher::Costs& costs = class_costs[sequence[i]];
-    const double best = std::min(costs.cpu_s, costs.gpu_s);
+    // Three-arm oracle: emu_s is +inf unless the budget admitted the
+    // emulated arm, so exact-budget runs reduce to the two-arm oracle.
+    const double best =
+        std::min({costs.cpu_s, costs.gpu_s, costs.emu_s});
     total.oracle_s += best;
     total.always_cpu_s += costs.cpu_s;
     total.always_gpu_s += costs.gpu_s;
@@ -1414,13 +1511,17 @@ int main(int argc, char** argv) {
       routed_total - (warm_stats.cpu_seconds + warm_stats.gpu_seconds);
 
   std::cout << blob::util::strfmt(
-      "\nreplayed %zu calls on %s/%s (mode %s%s)\n", calls,
+      "\nreplayed %zu calls on %s/%s (mode %s, budget %s%s)\n", calls,
       config.profile.name.c_str(), config.personality.name.c_str(),
-      args.get_string("--mode").c_str(), use_queue ? ", queued" : "");
+      args.get_string("--mode").c_str(),
+      args.get_string("--error-budget").c_str(),
+      use_queue ? ", queued" : "");
   std::cout << blob::util::strfmt(
-      "  routed      %.4es   (cpu %llu, gpu %llu, batched %llu)\n",
+      "  routed      %.4es   (cpu %llu, gpu %llu, emulated %llu, "
+      "batched %llu)\n",
       routed_total, static_cast<unsigned long long>(stats.cpu_routed),
       static_cast<unsigned long long>(stats.gpu_routed),
+      static_cast<unsigned long long>(stats.emulated_routed),
       static_cast<unsigned long long>(stats.batched_routed));
   std::cout << blob::util::strfmt("  oracle      %.4es\n", total.oracle_s);
   std::cout << blob::util::strfmt("  always-cpu  %.4es\n",
@@ -1512,6 +1613,8 @@ int main(int argc, char** argv) {
     json.kv("personality", config.personality.name);
     json.kv("mode", args.get_string("--mode"));
     json.kv("residency", args.get_string("--residency"));
+    json.kv("error_budget", args.get_string("--error-budget"));
+    json.kv("verify_mode", blob::core::to_string(verify_spec.mode));
     json.kv("queued", use_queue);
     json.kv("calls", calls);
     json.kv("warmup_calls", warmup);

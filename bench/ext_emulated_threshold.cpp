@@ -1,0 +1,282 @@
+// Extension (paper §V, precision as a tunable): Ozaki-style emulated
+// fp64 GEMM as a third routing arm.
+//
+// The paper's offload threshold treats precision as fixed: an fp64 GEMM
+// either stays on the CPU or crosses the link to the GPU's native DGEMM.
+// On parts where fp32 throughput is a large multiple of fp64 (consumer
+// silicon, Intel Max-class ratios), an fp64 GEMM can instead run as a
+// small number of fp32 slice products (split-representation emulation)
+// whose error is bounded and declared. That makes precision a ROUTING
+// dimension: for calls that carry a non-exact error budget, the
+// dispatcher weighs cpu / gpu-native / gpu-emulated and the offload
+// threshold becomes a three-way frontier.
+//
+// Part 1 sweeps square f64 GEMM sizes per system profile and prints the
+// three-way modelled costs: the emulated arm wins exactly where compute
+// (not the link) binds AND peak_f32/peak_f64 exceeds the slice-product
+// count. Part 2 replays an f64 GEMM mix with a relaxed budget through
+// the live dispatcher and reports regret against the three-arm oracle.
+//
+// With a JSON output path as argv[1], the sweep and replay results are
+// also written as one document (scripts/bench_emulated.sh gates
+// artifacts/BENCH_emulated.json on it).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/op_desc.hpp"
+#include "dispatch/dispatcher.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/strfmt.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace blob;
+
+constexpr int kSweepSizes[] = {128, 192, 256, 384, 512, 768, 1024, 1536};
+
+struct SweepPoint {
+  int n = 0;
+  double cpu_s = 0.0;
+  double gpu_s = 0.0;
+  double emu_s = 0.0;
+  const char* winner = "cpu";
+};
+
+std::vector<SweepPoint> sweep_system(const std::string& system) {
+  dispatch::DispatcherConfig cfg;
+  cfg.profile = profile::by_name(system);
+  cfg.cpu_threads = 2;
+  cfg.trace_capacity = 8;
+  dispatch::Dispatcher disp(cfg);
+
+  std::vector<SweepPoint> points;
+  for (const int n : kSweepSizes) {
+    core::OpDesc desc = core::OpDesc::gemm(
+        model::Precision::F64, blas::Transpose::No, blas::Transpose::No, n,
+        n, n, 0, 0, 0, /*alpha_one=*/true, /*beta_zero=*/true, cfg.mode);
+    desc.budget = core::ErrorBudget::relaxed();
+    const auto costs = disp.modelled_costs(desc);
+    SweepPoint p;
+    p.n = n;
+    p.cpu_s = costs.cpu_s;
+    p.gpu_s = costs.gpu_s;
+    p.emu_s = costs.emu_s;
+    p.winner = (p.emu_s < p.cpu_s && p.emu_s < p.gpu_s) ? "emu"
+               : p.gpu_s < p.cpu_s                      ? "gpu"
+                                                        : "cpu";
+    points.push_back(p);
+  }
+  return points;
+}
+
+// -- part 2: live three-arm replay ------------------------------------------
+
+struct ReplayShape {
+  int n;
+  double weight;
+};
+
+// f64 GEMM mix spanning the three-way frontier: small shapes stay CPU,
+// mid shapes sit near the native crossover, large squares are where the
+// emulated arm can beat native DGEMM on wide-ratio parts. Each shape
+// lands in its own log2-FLOPs bucket — two shapes with OPPOSITE oracle
+// arms sharing a bucket (e.g. 512 and 640 both hit bucket 28) would cap
+// how close any per-bucket router can get to the per-call oracle.
+constexpr ReplayShape kReplayShapes[] = {
+    {64, 0.35}, {192, 0.20}, {320, 0.20}, {512, 0.15}, {768, 0.10},
+};
+
+struct ReplayResult {
+  double routed_s = 0.0;   ///< post-warmup routed seconds
+  double oracle3_s = 0.0;  ///< post-warmup per-call min(cpu, gpu, emu)
+  double oracle2_s = 0.0;  ///< post-warmup min(cpu, gpu) — no emulated arm
+  std::uint64_t emulated_routed = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t warmup = 0;
+};
+
+ReplayResult replay_system(const std::string& system, int calls,
+                           int warmup) {
+  dispatch::DispatcherConfig cfg;
+  cfg.profile = profile::by_name(system);
+  cfg.cpu_threads = 2;
+  cfg.trace_capacity = 64;
+  dispatch::Dispatcher disp(cfg);
+
+  const int max_n = kReplayShapes[std::size(kReplayShapes) - 1].n;
+  const auto max_len = static_cast<std::size_t>(max_n) *
+                       static_cast<std::size_t>(max_n);
+  std::vector<double> a(max_len), b(max_len), c(max_len);
+  util::Xoshiro256 rng(0xe3a1 ^ std::hash<std::string>{}(system));
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  ReplayResult result;
+  result.calls = static_cast<std::uint64_t>(calls);
+  result.warmup = static_cast<std::uint64_t>(warmup);
+  // Regret is judged on the post-warmup window only, like the two-arm
+  // regret bench: the early calls pay the unavoidable exploration tax
+  // (the emulated arm must be probed before it can be trusted), and
+  // folding them in would measure the explorer, not the learned policy.
+  double warmup_routed_s = 0.0;
+  double warmup_oracle3_s = 0.0;
+  double warmup_oracle2_s = 0.0;
+  for (int i = 0; i < calls; ++i) {
+    if (i == warmup) {
+      const auto stats = disp.stats();
+      warmup_routed_s = stats.cpu_seconds + stats.gpu_seconds;
+      warmup_oracle3_s = result.oracle3_s;
+      warmup_oracle2_s = result.oracle2_s;
+    }
+    double pick = rng.next_double();
+    std::size_t si = 0;
+    for (; si + 1 < std::size(kReplayShapes); ++si) {
+      if (pick < kReplayShapes[si].weight) break;
+      pick -= kReplayShapes[si].weight;
+    }
+    const int n = kReplayShapes[si].n;
+    core::OpDesc desc = core::OpDesc::gemm(
+        model::Precision::F64, blas::Transpose::No, blas::Transpose::No, n,
+        n, n, 0, 0, 0, /*alpha_one=*/true, /*beta_zero=*/true, cfg.mode);
+    desc.budget = core::ErrorBudget::relaxed();
+    const auto costs = disp.modelled_costs(desc);
+    result.oracle3_s += std::min({costs.cpu_s, costs.gpu_s, costs.emu_s});
+    result.oracle2_s += std::min(costs.cpu_s, costs.gpu_s);
+    disp.run_gemm<double>(desc, 1.0, a.data(), b.data(), 0.0, c.data());
+  }
+  const auto stats = disp.stats();
+  result.routed_s =
+      stats.cpu_seconds + stats.gpu_seconds - warmup_routed_s;
+  result.oracle3_s -= warmup_oracle3_s;
+  result.oracle2_s -= warmup_oracle2_s;
+  result.emulated_routed = stats.emulated_routed;
+  return result;
+}
+
+std::string pct(double value, double baseline) {
+  if (baseline <= 0.0) return "--";
+  return util::strfmt("%+.1f%%", 100.0 * (value - baseline) / baseline);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blob;
+  bench::banner(
+      "Extension -- emulated fp64 GEMM (fp32 slices) as a third routing "
+      "arm");
+  bench::paper_reference({
+      "The paper's threshold (SIII-D) picks between CPU and native GPU",
+      "fp64. Where peak_f32/peak_f64 exceeds the slice-product count,",
+      "running the fp64 GEMM as bounded-error fp32 slice products beats",
+      "both native arms for compute-bound shapes; calls opt in with an",
+      "error budget, so exact traffic never sees the emulated path.",
+  });
+
+  const char* const systems[] = {"dawn", "isambard-ai", "lumi",
+                                 "mi300a-apu"};
+
+  std::printf("\n-- modelled three-way cost, square f64 GEMM, relaxed "
+              "budget (1 fp32 slice) --\n");
+  std::vector<std::vector<SweepPoint>> sweeps;
+  for (const char* system : systems) {
+    sweeps.push_back(sweep_system(system));
+    util::TextTable table({"n", "cpu (s)", "gpu native (s)",
+                           "gpu emulated (s)", "winner"},
+                          {util::Align::Right, util::Align::Right,
+                           util::Align::Right, util::Align::Right,
+                           util::Align::Left});
+    for (const SweepPoint& p : sweeps.back()) {
+      table.row({std::to_string(p.n), util::strfmt("%.3e", p.cpu_s),
+                 util::strfmt("%.3e", p.gpu_s),
+                 util::strfmt("%.3e", p.emu_s), p.winner});
+    }
+    std::printf("\n%s:\n%s", system, table.str().c_str());
+  }
+
+  constexpr int kReplayCalls = 400;
+  constexpr int kReplayWarmup = 150;
+  std::printf(
+      "\n-- live replay, f64 GEMM mix under a relaxed budget (%d calls, "
+      "regret over the %d post-warmup calls) --\n",
+      kReplayCalls, kReplayCalls - kReplayWarmup);
+  util::TextTable rt({"system", "3-arm oracle (s)", "routed (steady)",
+                      "emulated routed", "2-arm oracle penalty"},
+                     {util::Align::Left, util::Align::Right,
+                      util::Align::Right, util::Align::Right,
+                      util::Align::Right});
+  std::vector<ReplayResult> replays;
+  for (const char* system : systems) {
+    replays.push_back(replay_system(system, kReplayCalls, kReplayWarmup));
+    const ReplayResult& r = replays.back();
+    rt.row({system, util::strfmt("%.4e", r.oracle3_s),
+            pct(r.routed_s, r.oracle3_s),
+            util::strfmt("%llu/%llu",
+                         static_cast<unsigned long long>(r.emulated_routed),
+                         static_cast<unsigned long long>(r.calls)),
+            pct(r.oracle2_s, r.oracle3_s)});
+  }
+  std::fputs(rt.str().c_str(), stdout);
+  std::printf(
+      "\nReading: the emulated arm wins where the fp32:fp64 peak ratio\n"
+      "exceeds the slice-product count (1 at a relaxed budget) and the\n"
+      "shape is compute-bound. Max-class parts (dawn, isambard-ai, ~2:1)\n"
+      "open a decisive win range at mid-to-large squares — a substantial\n"
+      "2-arm oracle penalty. Near-1:1 parts (lumi, mi300a-apu) see only\n"
+      "hairline (<1%%) wins, so dropping the arm there costs almost\n"
+      "nothing. '2-arm oracle penalty' is what the best possible router\n"
+      "WITHOUT the emulated arm would pay over the three-arm oracle.\n");
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", argv[1]);
+      return 1;
+    }
+    util::JsonWriter json(out, /*pretty=*/true);
+    json.begin_object();
+    json.key("systems").begin_array();
+    for (std::size_t i = 0; i < std::size(systems); ++i) {
+      json.begin_object();
+      json.kv("system", systems[i]);
+      json.key("sweep").begin_array();
+      for (const SweepPoint& p : sweeps[i]) {
+        json.begin_object();
+        json.kv("n", p.n);
+        json.kv("cpu_s", p.cpu_s);
+        json.kv("gpu_s", p.gpu_s);
+        json.kv("emu_s", p.emu_s);
+        json.kv("winner", p.winner);
+        json.end_object();
+      }
+      json.end_array();
+      const ReplayResult& r = replays[i];
+      json.key("replay").begin_object();
+      json.kv("calls", static_cast<std::int64_t>(r.calls));
+      json.kv("warmup", static_cast<std::int64_t>(r.warmup));
+      json.kv("routed_s", r.routed_s);
+      json.kv("oracle3_s", r.oracle3_s);
+      json.kv("oracle2_s", r.oracle2_s);
+      json.kv("emulated_routed",
+              static_cast<std::int64_t>(r.emulated_routed));
+      if (r.oracle3_s > 0.0) {
+        json.kv("regret_vs_oracle3", r.routed_s / r.oracle3_s - 1.0);
+      }
+      json.end_object();
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+    out << "\n";
+    std::printf("\nsweep JSON written to %s\n", argv[1]);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Sweep the three-way (cpu / gpu-native / gpu-emulated) f64 GEMM cost
+# frontier per system profile and replay a relaxed-budget workload
+# through the live dispatcher, emitting artifacts/BENCH_emulated.json.
+#
+# Acceptance gates baked into the merge step:
+#   * at least one profile has a shape range where the emulated arm's
+#     modelled cost beats BOTH native arms,
+#   * on such a profile the dispatcher actually routes calls to the
+#     emulated arm and lands near the three-arm oracle,
+#   * the end-to-end blob-serve replay under a relaxed budget verifies
+#     every output within the declared tolerance (zero mismatches) while
+#     exercising the emulated route.
+#
+# Usage: scripts/bench_emulated.sh [build-dir] [--quick] [extra args...]
+#   --quick  CI smoke mode: 120 serve calls instead of 400.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="$repo_root/build"
+if [ $# -ge 1 ] && [ "${1#--}" = "$1" ]; then
+  build_dir="$1"
+  shift
+fi
+calls=400
+if [ "${1:-}" = "--quick" ]; then
+  calls=120
+  shift
+fi
+sweep="$build_dir/bench/ext_emulated_threshold"
+serve="$build_dir/apps/blob-serve"
+
+for bin in "$sweep" "$serve"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not found — build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+done
+
+out_dir="$repo_root/artifacts"
+mkdir -p "$out_dir"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== three-way cost sweep + dispatcher replay =="
+"$sweep" "$tmp/sweep.json"
+
+echo
+echo "== blob-serve replay, relaxed budget (tolerance-aware verify) =="
+"$serve" --system dawn -n "$calls" --seed 42 --error-budget relaxed \
+  --json-out "$tmp/serve-relaxed.json" "$@"
+
+echo
+echo "== blob-serve replay, exact budget (control: arm stays cold) =="
+"$serve" --system dawn -n "$calls" --seed 42 --error-budget exact \
+  --json-out "$tmp/serve-exact.json" "$@"
+
+python3 - "$tmp" "$out_dir/BENCH_emulated.json" <<'PY'
+import json, sys
+tmp, out = sys.argv[1], sys.argv[2]
+doc = {
+    "sweep": json.load(open(f"{tmp}/sweep.json")),
+    "serve_relaxed": json.load(open(f"{tmp}/serve-relaxed.json")),
+    "serve_exact": json.load(open(f"{tmp}/serve-exact.json")),
+}
+
+# Per-profile emulated win range from the modelled sweep.
+win_ranges = {}
+for sysdoc in doc["sweep"]["systems"]:
+    ns = [p["n"] for p in sysdoc["sweep"] if p["winner"] == "emu"]
+    win_ranges[sysdoc["system"]] = [min(ns), max(ns)] if ns else None
+doc["summary"] = {
+    "emulated_win_ranges": win_ranges,
+    "serve_relaxed_emulated_routed":
+        doc["serve_relaxed"]["stats"]["emulated_routed"],
+    "serve_exact_emulated_routed":
+        doc["serve_exact"]["stats"]["emulated_routed"],
+    "serve_relaxed_regret_vs_oracle":
+        doc["serve_relaxed"]["regret_vs_oracle"],
+}
+
+# Gate 1: some profile must have a shape range where emulation beats
+# both native arms (the wide-f32:f64-ratio parts).
+winners = {s: r for s, r in win_ranges.items() if r}
+assert winners, f"no profile has an emulated win range: {win_ranges}"
+
+# Gate 2: on a winning profile, the dispatcher must actually learn to
+# pick the arm and stay near the three-arm oracle.
+for sysdoc in doc["sweep"]["systems"]:
+    if win_ranges[sysdoc["system"]] is None:
+        continue
+    rep = sysdoc["replay"]
+    assert rep["emulated_routed"] > 0, sysdoc["system"]
+    assert rep["regret_vs_oracle3"] < 0.25, rep
+
+# Gate 3: end-to-end relaxed replay routes emulated work and verifies
+# within tolerance; the exact control never touches the arm.
+rel = doc["serve_relaxed"]
+assert rel["stats"]["emulated_routed"] > 0, rel["stats"]
+assert rel["checksum_mismatches"] == 0, rel
+assert rel["verify_mode"] == "rel-frobenius", rel
+assert doc["serve_exact"]["stats"]["emulated_routed"] == 0
+assert doc["serve_exact"]["checksum_mismatches"] == 0
+
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("summary:", json.dumps(doc["summary"], indent=2))
+PY
+
+echo
+echo "wrote $out_dir/BENCH_emulated.json"

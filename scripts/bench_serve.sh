@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Drive the multi-device serving layer and emit artifacts/BENCH_serve.json:
 # modelled-throughput scaling for 1/2/4 heterogeneous devices (dawn+lumi
-# mix), a p99-vs-offered-load sweep at the full fleet size, and the N=1
-# bit-identity check against a lone dispatcher.
+# mix), a p99-vs-offered-load sweep at the full fleet size, the N=1
+# bit-identity check against a lone dispatcher, and (full mode) a
+# saturation-point finder that escalates the burst size under a loose
+# SLO until the shed rate crosses target and records the knee.
 #
 # Acceptance baked into the merge step:
 #   - the 1-device fleet trace is bit-identical to a lone Dispatcher
@@ -63,10 +65,39 @@ if [ "$quick" -eq 0 ]; then
       --json-out "$tmp/load$gap.json"
     loads+=("$gap")
   done
+
+  # Saturation-point finder: escalate the offered load (burst size — the
+  # whole burst lands on the queue at once, so it is the knob that moves
+  # real queueing delay; inter-burst gaps barely do) under a loose SLO
+  # until the shed rate crosses the target. The knee — the lightest load
+  # the fleet can no longer serve within target — goes into
+  # BENCH_serve.json for capacity planning.
+  sat_target_pct=5
+  sat_slo_ms=240
+  sat_knee="none"
+  sat_bursts=()
+  echo
+  echo "== saturation finder: target shed rate ${sat_target_pct}% at slo ${sat_slo_ms}ms =="
+  for sburst in 2 4 8 16 32 64; do
+    "$serve" -n "$calls" --device-systems dawn,lumi --clients 4 \
+      --burst "$sburst" --slo-ms "$sat_slo_ms" --seed 11 --devices 4 \
+      --gap-us 200 --json-out "$tmp/sat$sburst.json" "$@" > /dev/null
+    sat_bursts+=("$sburst")
+    shed_pct=$(python3 -c "import json; d = json.load(open('$tmp/sat$sburst.json')); print(100.0 * d['shed'] / max(d['submitted'], 1))")
+    echo "  burst ${sburst} -> shed rate ${shed_pct}%"
+    if python3 -c "import sys; sys.exit(0 if float('$shed_pct') > $sat_target_pct else 1)"; then
+      sat_knee="$sburst"
+      echo "  knee: shed rate crossed ${sat_target_pct}% at burst ${sburst}"
+      break
+    fi
+  done
+  printf '%s\n' "${sat_bursts[@]}" > "$tmp/sat_bursts.txt"
+  echo "$sat_knee" > "$tmp/sat_knee.txt"
+  echo "$sat_target_pct" > "$tmp/sat_target.txt"
 fi
 
 python3 - "$tmp" "$out_dir/BENCH_serve.json" "${loads[@]+${loads[@]}}" <<'PY'
-import json, sys
+import json, os, sys
 tmp, out = sys.argv[1], sys.argv[2]
 gaps = [int(g) for g in sys.argv[3:]]
 
@@ -114,6 +145,43 @@ if sweep:
     lightest = max(sweep, key=lambda r: r["gap_us"])
     assert heaviest["interactive_p99_ms"] >= lightest["interactive_p99_ms"], sweep
 
+# Saturation finder (full mode): the ascending-burst sweep under a loose
+# SLO, stopped at the first offered load whose shed rate crossed target.
+saturation = None
+if os.path.exists(f"{tmp}/sat_bursts.txt"):
+    sat_bursts = [int(l) for l in open(f"{tmp}/sat_bursts.txt") if l.strip()]
+    target = float(open(f"{tmp}/sat_target.txt").read().strip()) / 100.0
+    knee_raw = open(f"{tmp}/sat_knee.txt").read().strip()
+    points = []
+    for b in sat_bursts:
+        run = json.load(open(f"{tmp}/sat{b}.json"))
+        submitted = max(run["submitted"], 1)
+        points.append({
+            "burst": b,
+            "slo_ms": run["slo_ms"],
+            "submitted": run["submitted"],
+            "shed": run["shed"],
+            "shed_rate": run["shed"] / submitted,
+            "interactive_p99_ms": cls(run, "interactive")["p99_ms"],
+        })
+        # Sheds are legitimate under overload, but completed outputs must
+        # still verify; besteffort traffic is never shed.
+        assert run["checksum_mismatches"] == 0, b
+        assert cls(run, "besteffort")["shed"] == 0, b
+    saturation = {
+        "target_shed_rate": target,
+        "points": points,
+        "knee_burst": None if knee_raw == "none" else int(knee_raw),
+    }
+    # The finder stops at the knee: every lighter load held the target,
+    # the knee itself crossed it.
+    if saturation["knee_burst"] is not None:
+        assert points[-1]["burst"] == saturation["knee_burst"]
+        assert points[-1]["shed_rate"] > target, points
+        for p in points[:-1]:
+            assert p["shed_rate"] <= target, points
+    doc["saturation"] = saturation
+
 doc["summary"] = {
     "calls_per_run": doc["scaling"]["1"]["calls"],
     "speedup_1dev": s["1"],
@@ -124,6 +192,10 @@ doc["summary"] = {
     "verify_single_identical": True,
     "load_sweep": sweep,
 }
+if saturation is not None:
+    doc["summary"]["saturation_knee_burst"] = saturation["knee_burst"]
+    doc["summary"]["saturation_target_shed_rate"] = (
+        saturation["target_shed_rate"])
 
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)

@@ -23,6 +23,7 @@ benches=(
   bench_dispatch.sh
   bench_residency.sh
   bench_serve.sh
+  bench_emulated.sh
   bench_lapack.sh
 )
 

@@ -24,6 +24,11 @@ std::atomic<CblasDispatchHook*>& hook_slot() {
   return hook;
 }
 
+core::ErrorBudget& budget_slot() {
+  thread_local core::ErrorBudget budget = core::ErrorBudget::exact();
+  return budget;
+}
+
 }  // namespace
 
 void cblas_set_library(CpuLibraryPersonality personality,
@@ -41,6 +46,12 @@ void cblas_set_dispatch_hook(CblasDispatchHook* hook) {
 CblasDispatchHook* cblas_dispatch_hook() {
   return hook_slot().load(std::memory_order_acquire);
 }
+
+void cblas_set_error_budget(core::ErrorBudget budget) {
+  budget_slot() = budget;
+}
+
+core::ErrorBudget cblas_error_budget() { return budget_slot(); }
 
 }  // namespace blob::blas
 
@@ -80,9 +91,10 @@ void gemm_entry(blob::blas::Transpose ta, blob::blas::Transpose tb, int m,
                 int ldb, S beta, T* c, int ldc) {
   blob::blas::check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
   if (auto* hook = cblas_dispatch_hook()) {
-    const auto desc = blob::core::OpDesc::gemm(
+    auto desc = blob::core::OpDesc::gemm(
         precision_of<T>(), ta, tb, m, n, k, lda, ldb, ldc,
         /*alpha_one=*/alpha == S(1), /*beta_zero=*/beta == S(0));
+    desc.budget = blob::blas::cblas_error_budget();
     if (hook->gemm(desc, alpha, a, b, beta, c)) return;
   }
   if constexpr (kIsHalf<T>) {
@@ -100,9 +112,10 @@ void gemv_entry(blob::blas::Transpose ta, int m, int n, S alpha, const T* a,
                 int lda, const T* x, int incx, S beta, T* y, int incy) {
   blob::blas::check_gemv(ta, m, n, lda, incx, incy);
   if (auto* hook = cblas_dispatch_hook()) {
-    const auto desc = blob::core::OpDesc::gemv(
+    auto desc = blob::core::OpDesc::gemv(
         precision_of<T>(), ta, m, n, lda, incx, incy,
         /*alpha_one=*/alpha == S(1), /*beta_zero=*/beta == S(0));
+    desc.budget = blob::blas::cblas_error_budget();
     if (hook->gemv(desc, alpha, a, x, beta, y)) return;
   }
   if constexpr (kIsHalf<T>) {
@@ -249,9 +262,10 @@ bool offer_gemm_impl(Transpose ta, Transpose tb, int m, int n, int k, T alpha,
   check_gemm(ta, tb, m, n, k, lda, ldb, ldc);
   auto* hook = cblas_dispatch_hook();
   if (hook == nullptr) return false;
-  const auto desc = core::OpDesc::gemm(
+  auto desc = core::OpDesc::gemm(
       precision_of<T>(), ta, tb, m, n, k, lda, ldb, ldc,
       /*alpha_one=*/alpha == T(1), /*beta_zero=*/beta == T(0));
+  desc.budget = cblas_error_budget();
   return hook->gemm(desc, alpha, a, b, beta, c);
 }
 
@@ -261,9 +275,10 @@ bool offer_gemv_impl(Transpose ta, int m, int n, T alpha, const T* a, int lda,
   check_gemv(ta, m, n, lda, incx, incy);
   auto* hook = cblas_dispatch_hook();
   if (hook == nullptr) return false;
-  const auto desc = core::OpDesc::gemv(
+  auto desc = core::OpDesc::gemv(
       precision_of<T>(), ta, m, n, lda, incx, incy,
       /*alpha_one=*/alpha == T(1), /*beta_zero=*/beta == T(0));
+  desc.budget = cblas_error_budget();
   return hook->gemv(desc, alpha, a, x, beta, y);
 }
 

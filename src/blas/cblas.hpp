@@ -249,4 +249,28 @@ void cblas_note_host_swap(const void* pa, const void* pb,
                           std::size_t chunk_bytes, std::size_t stride_bytes,
                           std::size_t count);
 
+/// Per-thread error budget stamped on every OpDesc the seam builds.
+/// cblas has no argument slot for an accuracy contract, so callers that
+/// tolerate non-exact results declare it out of band, scoped to the
+/// calling thread: budgets never leak across threads or survive a scope.
+/// The default (Exact) keeps every descriptor bitwise-reproducible.
+void cblas_set_error_budget(core::ErrorBudget budget);
+[[nodiscard]] core::ErrorBudget cblas_error_budget();
+
+/// RAII scope for cblas_set_error_budget: restores the previous budget on
+/// destruction.
+class ScopedErrorBudget {
+ public:
+  explicit ScopedErrorBudget(core::ErrorBudget budget)
+      : previous_(cblas_error_budget()) {
+    cblas_set_error_budget(budget);
+  }
+  ~ScopedErrorBudget() { cblas_set_error_budget(previous_); }
+  ScopedErrorBudget(const ScopedErrorBudget&) = delete;
+  ScopedErrorBudget& operator=(const ScopedErrorBudget&) = delete;
+
+ private:
+  core::ErrorBudget previous_;
+};
+
 }  // namespace blob::blas

@@ -1,0 +1,151 @@
+#include "blas/emulated_gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "blas/half.hpp"
+
+namespace blob::blas {
+
+namespace {
+
+// Significand bits one slice captures.
+int slice_bits(SliceType type) { return type == SliceType::F32 ? 24 : 11; }
+
+// Slice one stored operand element into `slices` descending-magnitude
+// components: s_i = cvt(r); r -= double(s_i). F16 slices round through
+// the half storage type so the stored component is exactly what a
+// half-precision unit would hold.
+void slice_element(double v, int slices, SliceType type, float* out,
+                   std::size_t stride) {
+  double r = v;
+  for (int s = 0; s < slices; ++s) {
+    float f = static_cast<float>(r);
+    if (type == SliceType::F16) f = static_cast<float>(f16(f));
+    out[static_cast<std::size_t>(s) * stride] = f;
+    r -= static_cast<double>(f);
+  }
+}
+
+}  // namespace
+
+double emulated_relative_bound(int slices, SliceType type) {
+  return std::ldexp(1.0, -slice_bits(type) * slices);
+}
+
+int slices_for_budget(const core::ErrorBudget& budget) {
+  switch (budget.kind) {
+    case core::ErrorBudgetKind::Exact:
+      return 0;
+    case core::ErrorBudgetKind::Relaxed:
+      return 1;
+    case core::ErrorBudgetKind::UlpBounded:
+      break;
+  }
+  // A bound of `ulps` units in the last place tolerates relative error
+  // ~ ulps * 2^-52, i.e. the slices must cover 52 - floor(log2(ulps))
+  // mantissa bits; 24 bits per fp32 slice, three slices capture the full
+  // fp64 significand.
+  const std::uint32_t ulps = std::max<std::uint32_t>(budget.ulps, 1);
+  int covered_by_budget = 0;
+  while ((ulps >> (covered_by_budget + 1)) != 0) ++covered_by_budget;
+  const int bits_needed = std::max(52 - covered_by_budget, 1);
+  return std::min((bits_needed + 23) / 24, 3);
+}
+
+void emulated_gemm(Transpose ta, Transpose tb, int m, int n, int k,
+                   double alpha, const double* a, int lda, const double* b,
+                   int ldb, double beta, double* c, int ldc, int slices,
+                   SliceType type) {
+  if (slices < 1 || slices > kMaxEmulatedSlices) {
+    throw std::invalid_argument("emulated_gemm: slice count out of range");
+  }
+  if (m < 0 || n < 0 || k < 0) {
+    throw std::invalid_argument("emulated_gemm: negative dimension");
+  }
+  if (m == 0 || n == 0) return;
+
+  const auto mz = static_cast<std::size_t>(m);
+  const auto nz = static_cast<std::size_t>(n);
+  const auto kz = static_cast<std::size_t>(k);
+  const std::size_t a_elems = mz * kz;
+  const std::size_t b_elems = kz * nz;
+
+  // Tightly packed slice planes of op(A) (m x k) and op(B) (k x n);
+  // transposition and ld padding are resolved here so the product loops
+  // below see plain column-major panels.
+  std::vector<float> a_slices(a_elems * static_cast<std::size_t>(slices));
+  std::vector<float> b_slices(b_elems * static_cast<std::size_t>(slices));
+  for (int kk = 0; kk < k; ++kk) {
+    for (int i = 0; i < m; ++i) {
+      const double v = ta == Transpose::No
+                           ? a[static_cast<std::size_t>(i) +
+                               static_cast<std::size_t>(kk) *
+                                   static_cast<std::size_t>(lda)]
+                           : a[static_cast<std::size_t>(kk) +
+                               static_cast<std::size_t>(i) *
+                                   static_cast<std::size_t>(lda)];
+      slice_element(v, slices, type,
+                    a_slices.data() + static_cast<std::size_t>(i) +
+                        static_cast<std::size_t>(kk) * mz,
+                    a_elems);
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    for (int kk = 0; kk < k; ++kk) {
+      const double v = tb == Transpose::No
+                           ? b[static_cast<std::size_t>(kk) +
+                               static_cast<std::size_t>(j) *
+                                   static_cast<std::size_t>(ldb)]
+                           : b[static_cast<std::size_t>(j) +
+                               static_cast<std::size_t>(kk) *
+                                   static_cast<std::size_t>(ldb)];
+      slice_element(v, slices, type,
+                    b_slices.data() + static_cast<std::size_t>(kk) +
+                        static_cast<std::size_t>(j) * kz,
+                    b_elems);
+    }
+  }
+
+  // Accumulate the kept slice-pair products diagonal by diagonal
+  // (i + j = 2, 3, ..., slices + 1): descending magnitude, largest
+  // contributions first. Every fp32 x fp32 product is exact in double,
+  // so the only per-pair error is fp64 summation rounding.
+  std::vector<double> acc(mz * nz, 0.0);
+  for (int diag = 2; diag <= slices + 1; ++diag) {
+    for (int i = 1; i <= slices; ++i) {
+      const int j = diag - i;
+      if (j < 1 || j > slices) continue;
+      const float* ap =
+          a_slices.data() + static_cast<std::size_t>(i - 1) * a_elems;
+      const float* bp =
+          b_slices.data() + static_cast<std::size_t>(j - 1) * b_elems;
+      for (int jj = 0; jj < n; ++jj) {
+        double* acol = acc.data() + static_cast<std::size_t>(jj) * mz;
+        const float* bcol = bp + static_cast<std::size_t>(jj) * kz;
+        for (int kk = 0; kk < k; ++kk) {
+          const auto bv = static_cast<double>(bcol[kk]);
+          if (bv == 0.0) continue;
+          const float* arow = ap + static_cast<std::size_t>(kk) * mz;
+          for (int ii = 0; ii < m; ++ii) {
+            acol[ii] += static_cast<double>(arow[ii]) * bv;
+          }
+        }
+      }
+    }
+  }
+
+  for (int jj = 0; jj < n; ++jj) {
+    double* ccol = c + static_cast<std::size_t>(jj) *
+                           static_cast<std::size_t>(ldc);
+    const double* acol = acc.data() + static_cast<std::size_t>(jj) * mz;
+    for (int ii = 0; ii < m; ++ii) {
+      const double scaled = alpha * acol[ii];
+      ccol[ii] = beta == 0.0 ? scaled : scaled + beta * ccol[ii];
+    }
+  }
+}
+
+}  // namespace blob::blas

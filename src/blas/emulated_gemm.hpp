@@ -1,0 +1,64 @@
+#pragma once
+// Ozaki-style split-representation emulated fp64 GEMM.
+//
+// Each fp64 operand element is sliced into `s` descending-magnitude
+// lower-precision components (fp32 by default, optionally fp16 through
+// the half.hpp conversions): s_i = cvt(r); r -= double(s_i). The product
+// of two slices is exact in double (24+24 significand bits fit in 53),
+// so accumulating the slice-pair products in fp64 loses only (a) the
+// slice pairs beyond the error budget and (b) ordinary fp64 summation
+// rounding. Pairs (i, j) with i + j <= s + 1 are kept — s(s+1)/2 partial
+// products — and accumulated diagonal by diagonal in descending
+// magnitude order (i + j = 2, then 3, ...), so the largest contributions
+// land first. The omitted tail bounds the relative error at roughly
+// 2^(-24 s) for fp32 slices (2^(-11 s) for fp16): one slice matches
+// single-precision-grade accuracy, three slices capture all 53 fp64
+// mantissa bits.
+//
+// This is the functional arm behind Route::GpuEmulated: the simulated
+// GPU runs these exact numerics while the cost model charges
+// emulated_products(s) fp32 kernels plus slicing traffic (see
+// model::GpuModel::gemm_emulated_kernel_time). The kernel itself is
+// plain serial host code — batch traffic and GEMV stay native.
+
+#include <cstdint>
+
+#include "blas/types.hpp"
+#include "core/op_desc.hpp"
+
+namespace blob::blas {
+
+/// Storage type of the slices. F32 is the routing default; F16 exists to
+/// exercise the half.hpp conversions the slicer leans on.
+enum class SliceType { F32, F16 };
+
+/// Partial products launched for `slices` slices: the (i, j) pairs with
+/// i + j <= slices + 1, i.e. slices * (slices + 1) / 2.
+[[nodiscard]] constexpr int emulated_products(int slices) {
+  return slices * (slices + 1) / 2;
+}
+
+/// Upper bound on the relative error of the emulated product versus the
+/// exact real product (omitted-tail term only; fp64 accumulation adds the
+/// same k-dependent rounding native dgemm pays).
+[[nodiscard]] double emulated_relative_bound(int slices,
+                                             SliceType type = SliceType::F32);
+
+/// Slice count needed to satisfy `budget`: 1 for Relaxed
+/// (single-precision-grade), enough slices to cover 53 - log2(ulps)
+/// mantissa bits for UlpBounded, and 0 for Exact — emulation is never
+/// eligible for a bitwise-reproducible request.
+[[nodiscard]] int slices_for_budget(const core::ErrorBudget& budget);
+
+/// Emulated C = alpha * op(A) * op(B) + beta * C, column-major fp64
+/// operands, fp64 result. `slices` must be in [1, kMaxSlices]. Leading
+/// dimensions may exceed the tight stored extents (ld-padded operands are
+/// sliced column by column).
+inline constexpr int kMaxEmulatedSlices = 4;
+
+void emulated_gemm(Transpose ta, Transpose tb, int m, int n, int k,
+                   double alpha, const double* a, int lda, const double* b,
+                   int ldb, double beta, double* c, int ldc, int slices,
+                   SliceType type = SliceType::F32);
+
+}  // namespace blob::blas

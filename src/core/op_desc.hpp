@@ -54,6 +54,46 @@ inline const char* to_string(TransferMode mode) {
 inline constexpr TransferMode kTransferModes[] = {
     TransferMode::Once, TransferMode::Always, TransferMode::Usm};
 
+/// How much numerical error a request tolerates relative to the native
+/// fp64 reference. `Exact` demands bitwise reproducibility (today's
+/// default everywhere); `UlpBounded` allows results within `ulps` units
+/// in the last place; `Relaxed` accepts single-precision-grade relative
+/// error (~2^-24). Non-exact budgets make the split-representation
+/// emulated GEMM arm eligible for routing.
+enum class ErrorBudgetKind { Exact, UlpBounded, Relaxed };
+
+inline const char* to_string(ErrorBudgetKind kind) {
+  switch (kind) {
+    case ErrorBudgetKind::Exact:
+      return "exact";
+    case ErrorBudgetKind::UlpBounded:
+      return "ulp";
+    case ErrorBudgetKind::Relaxed:
+      return "relaxed";
+  }
+  return "?";
+}
+
+struct ErrorBudget {
+  ErrorBudgetKind kind = ErrorBudgetKind::Exact;
+  std::uint32_t ulps = 0;  ///< bound when kind == UlpBounded, else 0
+
+  friend constexpr auto operator<=>(const ErrorBudget&,
+                                    const ErrorBudget&) = default;
+
+  [[nodiscard]] constexpr bool is_exact() const {
+    return kind == ErrorBudgetKind::Exact;
+  }
+
+  static constexpr ErrorBudget exact() { return {}; }
+  static constexpr ErrorBudget ulp_bounded(std::uint32_t ulps) {
+    return {ErrorBudgetKind::UlpBounded, ulps == 0 ? 1 : ulps};
+  }
+  static constexpr ErrorBudget relaxed() {
+    return {ErrorBudgetKind::Relaxed, 0};
+  }
+};
+
 struct OpDesc {
   KernelOp op = KernelOp::Gemm;
   model::Precision precision = model::Precision::F32;
@@ -74,6 +114,10 @@ struct OpDesc {
   bool alpha_one = true;  ///< Scaling class only; never enters FLOPs.
   bool beta_zero = true;
   TransferMode mode = TransferMode::Once;
+  /// Per-request accuracy contract. Defaults to Exact so every existing
+  /// construction site keeps today's bitwise-reproducible behaviour; the
+  /// cblas seam stamps the caller's thread-local budget over it.
+  ErrorBudget budget = ErrorBudget::exact();
 
   /// Stored shape of A: GEMM m×k or k×m depending on trans_a; GEMV m×n.
   [[nodiscard]] std::int64_t rows_a() const {

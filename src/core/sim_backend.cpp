@@ -84,10 +84,28 @@ double SimBackend::kernel_time(const OpDesc& desc) const {
                    trans_a_of(desc));
 }
 
+double SimBackend::emulated_kernel_time(const OpDesc& desc,
+                                        int slices) const {
+  return profile_.gpu.gemm_emulated_kernel_time(
+      static_cast<double>(desc.m), static_cast<double>(desc.n),
+      static_cast<double>(desc.k), slices, desc.beta_zero, trans_a_of(desc),
+      trans_b_of(desc));
+}
+
 double SimBackend::gpu_time_with(const OpDesc& desc,
                                  const GpuTraffic& traffic) const {
+  return time_with_kernel(traffic, kernel_time(desc));
+}
+
+double SimBackend::gpu_time_emulated_with(const OpDesc& desc,
+                                          const GpuTraffic& traffic,
+                                          int slices) const {
+  return time_with_kernel(traffic, emulated_kernel_time(desc, slices));
+}
+
+double SimBackend::time_with_kernel(const GpuTraffic& traffic,
+                                    double kernel) const {
   const auto& link = profile_.link;
-  const double kernel = kernel_time(desc);
   if (traffic.usm) {
     // Each still-host-resident structure faults across on first touch;
     // resident structures (0 bytes) migrate nothing but the per-kernel

@@ -61,7 +61,23 @@ class SimBackend final : public ExecutionBackend {
   [[nodiscard]] double gpu_time_with(const OpDesc& desc,
                                      const GpuTraffic& traffic) const;
 
+  /// One EMULATED fp64 GEMM kernel (fp32 slice assembly), excluding link
+  /// traffic. Only meaningful for non-batched F64 GEMM descriptors.
+  [[nodiscard]] double emulated_kernel_time(const OpDesc& desc,
+                                            int slices) const;
+
+  /// The emulated twin of gpu_time_with: identical link terms (operands
+  /// still cross as fp64), only the kernel term swaps to the sliced
+  /// assembly — so the two prices differ exactly where the paper says
+  /// precision can matter, in the on-device compute.
+  [[nodiscard]] double gpu_time_emulated_with(const OpDesc& desc,
+                                              const GpuTraffic& traffic,
+                                              int slices) const;
+
  private:
+  [[nodiscard]] double time_with_kernel(const GpuTraffic& traffic,
+                                        double kernel) const;
+
   profile::SystemProfile profile_;
   model::NoiseModel noise_;
   int device_id_ = 0;

@@ -115,6 +115,36 @@ ValidationResult validate_impl(const Problem& problem,
 
 }  // namespace
 
+const char* to_string(CompareMode mode) {
+  switch (mode) {
+    case CompareMode::Bitwise:
+      return "bitwise";
+    case CompareMode::Ulp:
+      return "ulp";
+    case CompareMode::RelFrobenius:
+      return "rel-frobenius";
+  }
+  return "?";
+}
+
+namespace detail {
+
+std::string format_compare_detail(const CompareSpec& spec,
+                                  const CompareResult& r) {
+  if (r.mismatches == 0) {
+    return util::strfmt("%s: %zu elements bit-identical",
+                        to_string(spec.mode), r.count);
+  }
+  return util::strfmt(
+      "%s %s: %zu/%zu elements differ, first at [%td], max %llu ulps, "
+      "rel-frobenius %.3g",
+      to_string(spec.mode), r.passed ? "pass" : "FAIL", r.mismatches,
+      r.count, r.first_index,
+      static_cast<unsigned long long>(r.max_ulps), r.rel_frobenius);
+}
+
+}  // namespace detail
+
 ValidationResult validate_problem(const Problem& problem,
                                   const blas::CpuBlasLibrary& cpu,
                                   sim::SimGpu& gpu) {

@@ -7,10 +7,15 @@
 // CPU BLAS library and through the simulated GPU's functional kernels on
 // identically seeded data, and compare checksums.
 
+#include <bit>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <type_traits>
 
 #include "blas/library.hpp"
+#include "core/op_desc.hpp"
 #include "core/problem.hpp"
 #include "simgpu/device.hpp"
 
@@ -44,6 +49,149 @@ double checksum(const T* data, std::size_t len) {
   double sum = 0.0;
   for (std::size_t i = 0; i < len; ++i) sum += static_cast<double>(data[i]);
   return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Tolerance-aware buffer comparison.
+//
+// Bitwise equality is the right acceptance test only for routes that
+// promise bitwise results (the dispatcher's exact-budget contract). Once
+// a call declares a non-exact ErrorBudget the reference and the routed
+// output may legitimately differ, and "memcmp failed" stops being a
+// verdict — the question becomes "did it differ by MORE than the declared
+// budget?". CompareSpec captures the acceptance criterion; compare_buffers
+// always computes the full diagnostic set (first differing index, worst
+// element ULP distance, relative Frobenius error) so a failure report is
+// actionable under any mode.
+
+enum class CompareMode {
+  Bitwise,       ///< every element bit-identical
+  Ulp,           ///< every element within `max_ulps` representable steps
+  RelFrobenius,  ///< ||ref - got||_F / ||ref||_F within `max_rel`
+};
+
+const char* to_string(CompareMode mode);
+
+struct CompareSpec {
+  CompareMode mode = CompareMode::Bitwise;
+  std::uint64_t max_ulps = 0;  ///< bound when mode == Ulp
+  double max_rel = 0.0;        ///< bound when mode == RelFrobenius
+
+  static constexpr CompareSpec bitwise() { return {}; }
+  static constexpr CompareSpec ulps(std::uint64_t n) {
+    return {CompareMode::Ulp, n, 0.0};
+  }
+  static constexpr CompareSpec rel_frobenius(double tol) {
+    return {CompareMode::RelFrobenius, 0, tol};
+  }
+};
+
+/// Norm-relative tolerance a Relaxed budget accepts. One fp32 slice
+/// carries ~2^-24 relative error per product; the sqrt(k) accumulation
+/// growth of a large GEMM still leaves orders of magnitude of headroom
+/// below this, while genuine wrong-answer bugs (swapped operands, stale
+/// uploads) overshoot it immediately.
+inline constexpr double kRelaxedFrobeniusTolerance = 1e-4;
+
+/// Map a call's declared error budget to the acceptance criterion its
+/// output must meet: exact verifies bitwise, ulp_bounded(n) verifies
+/// element-wise within n ULPs, relaxed verifies norm-relative.
+constexpr CompareSpec spec_for_budget(const ErrorBudget& budget) {
+  switch (budget.kind) {
+    case ErrorBudgetKind::UlpBounded:
+      return CompareSpec::ulps(budget.ulps);
+    case ErrorBudgetKind::Relaxed:
+      return CompareSpec::rel_frobenius(kRelaxedFrobeniusTolerance);
+    case ErrorBudgetKind::Exact:
+      break;
+  }
+  return CompareSpec::bitwise();
+}
+
+struct CompareResult {
+  bool passed = false;
+  std::size_t count = 0;        ///< elements compared
+  std::size_t mismatches = 0;   ///< elements that are not bit-identical
+  std::ptrdiff_t first_index = -1;  ///< first non-identical element
+  std::uint64_t max_ulps = 0;   ///< worst element ULP distance observed
+  double rel_frobenius = 0.0;   ///< ||ref - got||_F / ||ref||_F
+  std::string detail;           ///< one line, human-readable
+};
+
+/// Distance in representable values between two floats of the same type.
+/// Equal NaNs (any payload) are distance 0; NaN vs non-NaN, or a compare
+/// across the infinity of an overflowed result, saturates to max.
+template <typename T>
+std::uint64_t ulp_distance(T a, T b) {
+  static_assert(std::is_floating_point_v<T>);
+  using U = std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
+  if (std::isnan(a) || std::isnan(b)) {
+    return (std::isnan(a) && std::isnan(b))
+               ? 0
+               : std::numeric_limits<std::uint64_t>::max();
+  }
+  // Map the IEEE bit pattern to a monotonically ordered integer line
+  // (sign-magnitude folded so that -0.0 and +0.0 are adjacent), then the
+  // ULP distance is plain integer distance on that line.
+  constexpr U sign = U{1} << (sizeof(U) * 8 - 1);
+  const auto ordered = [](U u) -> std::int64_t {
+    return (u & sign) ? -static_cast<std::int64_t>(u & ~sign)
+                      : static_cast<std::int64_t>(u);
+  };
+  const std::int64_t oa = ordered(std::bit_cast<U>(a));
+  const std::int64_t ob = ordered(std::bit_cast<U>(b));
+  const std::int64_t lo = oa < ob ? oa : ob;
+  const std::int64_t hi = oa < ob ? ob : oa;
+  return static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+}
+
+namespace detail {
+std::string format_compare_detail(const CompareSpec& spec,
+                                  const CompareResult& r);
+}  // namespace detail
+
+/// Compare `got` against `ref` under `spec`. All diagnostics are filled
+/// regardless of mode; `passed` reflects the spec's criterion only.
+template <typename T>
+CompareResult compare_buffers(const T* ref, const T* got, std::size_t len,
+                              const CompareSpec& spec) {
+  CompareResult r;
+  r.count = len;
+  double diff_sq = 0.0;
+  double ref_sq = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const double rv = static_cast<double>(ref[i]);
+    const double gv = static_cast<double>(got[i]);
+    ref_sq += rv * rv;
+    const double d = rv - gv;
+    diff_sq += d * d;
+    if (std::bit_cast<std::conditional_t<sizeof(T) == 4, std::uint32_t,
+                                         std::uint64_t>>(ref[i]) !=
+        std::bit_cast<std::conditional_t<sizeof(T) == 4, std::uint32_t,
+                                         std::uint64_t>>(got[i])) {
+      if (r.first_index < 0) r.first_index = static_cast<std::ptrdiff_t>(i);
+      ++r.mismatches;
+      const std::uint64_t u = ulp_distance(ref[i], got[i]);
+      if (u > r.max_ulps) r.max_ulps = u;
+    }
+  }
+  r.rel_frobenius =
+      ref_sq > 0.0 ? std::sqrt(diff_sq) / std::sqrt(ref_sq)
+                   : (diff_sq > 0.0 ? std::numeric_limits<double>::infinity()
+                                    : 0.0);
+  switch (spec.mode) {
+    case CompareMode::Bitwise:
+      r.passed = r.mismatches == 0;
+      break;
+    case CompareMode::Ulp:
+      r.passed = r.max_ulps <= spec.max_ulps;
+      break;
+    case CompareMode::RelFrobenius:
+      r.passed = r.rel_frobenius <= spec.max_rel;
+      break;
+  }
+  r.detail = detail::format_compare_detail(spec, r);
+  return r;
 }
 
 }  // namespace blob::core

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <vector>
 
+#include "blas/cblas.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -84,6 +85,7 @@ std::future<void> AdmissionQueue::submit_gemm(blas::Transpose ta,
   r.a = a;
   r.b = b;
   r.c = c;
+  r.budget = blas::cblas_error_budget();
   return push(std::move(r));
 }
 
@@ -106,6 +108,7 @@ std::future<void> AdmissionQueue::submit_gemv(blas::Transpose ta, int m,
   r.a = a;
   r.b = x;
   r.c = y;
+  r.budget = blas::cblas_error_budget();
   return push(std::move(r));
 }
 
@@ -190,13 +193,15 @@ core::OpDesc AdmissionQueue::make_desc(const Request& r) const {
   // The transfer mode is DERIVED: under an active residency policy the
   // dispatcher, not the client, decides how operands move.
   const auto mode = dispatcher_.effective_mode();
-  if (r.kind == Kind::GemmF32 || r.kind == Kind::GemmF64) {
-    return core::OpDesc::gemm(precision, r.ta, r.tb, r.m, r.n, r.k, r.lda,
-                              r.ldb, r.ldc, r.alpha == 1.0, r.beta == 0.0,
-                              mode);
-  }
-  return core::OpDesc::gemv(precision, r.ta, r.m, r.n, r.lda, r.incx,
-                            r.incy, r.alpha == 1.0, r.beta == 0.0, mode);
+  core::OpDesc desc =
+      (r.kind == Kind::GemmF32 || r.kind == Kind::GemmF64)
+          ? core::OpDesc::gemm(precision, r.ta, r.tb, r.m, r.n, r.k, r.lda,
+                               r.ldb, r.ldc, r.alpha == 1.0, r.beta == 0.0,
+                               mode)
+          : core::OpDesc::gemv(precision, r.ta, r.m, r.n, r.lda, r.incx,
+                               r.incy, r.alpha == 1.0, r.beta == 0.0, mode);
+  desc.budget = r.budget;
+  return desc;
 }
 
 bool AdmissionQueue::coalescible(const Request& r) const {
@@ -214,8 +219,11 @@ bool AdmissionQueue::coalescible(const Request& r) const {
 
 void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
   // -- identify coalesce groups (same shape + layout, scalars, lds) --------
+  // The error budget is part of the key: a coalesced group lowers through
+  // one shared OpDesc, so mixing contracts would silently promote or
+  // demote someone's accuracy.
   using GroupKey = std::tuple<int, int, int, int, int, int, int, int, int,
-                              int, int, double, double>;
+                              int, int, double, double, int, std::uint32_t>;
   std::map<GroupKey, std::vector<std::size_t>> groups;
   std::vector<bool> coalesced(batch.size(), false);
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -223,7 +231,8 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
     if (!coalescible(r)) continue;
     groups[GroupKey{static_cast<int>(r.kind), static_cast<int>(r.ta),
                     static_cast<int>(r.tb), r.m, r.n, r.k, r.lda, r.ldb,
-                    r.ldc, r.incx, r.incy, r.alpha, r.beta}]
+                    r.ldc, r.incx, r.incy, r.alpha, r.beta,
+                    static_cast<int>(r.budget.kind), r.budget.ulps}]
         .push_back(i);
   }
   std::vector<const std::vector<std::size_t>*> to_batch;
@@ -261,7 +270,8 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
         (r.kind == Kind::GemmF32 || r.kind == Kind::GemvF32) ? 4 : 8;
     const Decision decision =
         dispatcher_.plan(desc, gpu_ok, regions_of(r.a, r.b, r.c, es, desc));
-    if (decision.route == Route::Gpu) {
+    if (decision.route == Route::Gpu ||
+        decision.route == Route::GpuEmulated) {
       GpuWork w;
       w.idx = i;
       try {
@@ -274,10 +284,20 @@ void AdmissionQueue::drain_cycle(std::vector<Request>& batch) {
                 static_cast<float*>(r.c));
             break;
           case Kind::GemmF64:
-            w.job = dispatcher_.enqueue_gemm_gpu<double>(
-                decision, desc, r.alpha, static_cast<const double*>(r.a),
-                static_cast<const double*>(r.b), r.beta,
-                static_cast<double*>(r.c));
+            // The emulated route is only ever chosen for fp64 GEMM (the
+            // eligibility gate enforces it), so this is the one kind that
+            // can land on the sliced kernel.
+            if (decision.route == Route::GpuEmulated) {
+              w.job = dispatcher_.enqueue_gemm_emulated_gpu(
+                  decision, desc, r.alpha, static_cast<const double*>(r.a),
+                  static_cast<const double*>(r.b), r.beta,
+                  static_cast<double*>(r.c));
+            } else {
+              w.job = dispatcher_.enqueue_gemm_gpu<double>(
+                  decision, desc, r.alpha, static_cast<const double*>(r.a),
+                  static_cast<const double*>(r.b), r.beta,
+                  static_cast<double*>(r.c));
+            }
             break;
           case Kind::GemvF32:
             w.job = dispatcher_.enqueue_gemv_gpu<float>(

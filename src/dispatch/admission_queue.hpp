@@ -93,6 +93,11 @@ class AdmissionQueue {
     const void* a = nullptr;
     const void* b = nullptr;  ///< B for GEMM, x for GEMV
     void* c = nullptr;        ///< C for GEMM, y for GEMV
+    /// Error budget captured from the PRODUCER's thread-local at submit
+    /// time — the worker thread that lowers the request has its own
+    /// (always-exact) slot, so reading it at drain time would silently
+    /// erase every relaxed contract.
+    core::ErrorBudget budget = core::ErrorBudget::exact();
     std::promise<void> done;
     /// obs::now_ns() at push() when tracing is on (0 otherwise); the
     /// drain cycle turns it into the admission-wait histogram.

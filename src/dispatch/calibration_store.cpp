@@ -42,7 +42,15 @@ Route parse_route(const std::string& s) {
   if (s == "cpu") return Route::Cpu;
   if (s == "gpu") return Route::Gpu;
   if (s == "cpu-batched") return Route::CpuBatched;
+  if (s == "gpu-emulated") return Route::GpuEmulated;
   throw util::JsonError("calibration: unknown route '" + s + "'");
+}
+
+core::ErrorBudgetKind parse_budget_kind(const std::string& s) {
+  if (s == "exact") return core::ErrorBudgetKind::Exact;
+  if (s == "ulp") return core::ErrorBudgetKind::UlpBounded;
+  if (s == "relaxed") return core::ErrorBudgetKind::Relaxed;
+  throw util::JsonError("calibration: unknown budget kind '" + s + "'");
 }
 
 ResidencyClass parse_residency(const std::string& s) {
@@ -131,8 +139,17 @@ void save_calibration(std::ostream& out, const CalibrationData& data) {
     json.kv("ta", blas::to_string(key.trans_a));
     json.kv("tb", blas::to_string(key.trans_b));
     json.kv("residency", to_string(key.residency));
+    // v4 additions, omitted for exact-budget entries (the overwhelming
+    // default) so legacy tables serialise with v3-shaped entries.
+    if (key.budget_kind != core::ErrorBudgetKind::Exact) {
+      json.kv("budget", core::to_string(key.budget_kind));
+      if (key.budget_kind == core::ErrorBudgetKind::UlpBounded) {
+        json.kv("budget_ulps", static_cast<std::int64_t>(key.budget_ulps));
+      }
+    }
     write_estimate(json, "cpu", state.cpu);
     write_estimate(json, "gpu", state.gpu);
+    if (state.emu.samples > 0) write_estimate(json, "emu", state.emu);
     json.kv("incumbent", to_string(state.incumbent));
     json.kv("visits", static_cast<std::int64_t>(state.visits));
     json.kv("switches", static_cast<std::int64_t>(state.switches));
@@ -205,9 +222,20 @@ LoadResult load_calibration(std::istream& in,
       if (const util::JsonValue* r = entry.find("residency")) {
         key.residency = parse_residency(r->as_string());
       }
+      // v2/v3 stores predate error budgets: every entry loads as exact
+      // (the BucketKey default), and the emulated arm stays zero-sample.
+      if (const util::JsonValue* b = entry.find("budget")) {
+        key.budget_kind = parse_budget_kind(b->as_string());
+        if (const util::JsonValue* u = entry.find("budget_ulps")) {
+          key.budget_ulps = static_cast<std::uint32_t>(u->as_int());
+        }
+      }
       BucketState state;
       state.cpu = read_estimate(entry.at("cpu"));
       state.gpu = read_estimate(entry.at("gpu"));
+      if (const util::JsonValue* e = entry.find("emu")) {
+        state.emu = read_estimate(*e);
+      }
       state.incumbent = parse_route(entry.at("incumbent").as_string());
       state.visits = static_cast<std::uint64_t>(entry.at("visits").as_int());
       state.switches =
@@ -219,7 +247,8 @@ LoadResult load_calibration(std::istream& in,
     if (version < kCalibrationVersion) {
       result.warning = "calibration store is v" + std::to_string(version) +
                        " (current v" + std::to_string(kCalibrationVersion) +
-                       "); entries seed the cold side of the table";
+                       "); absent key fields load as their defaults "
+                       "(cold residency, exact budget)";
     }
   } catch (const util::JsonError&) {
     result.status = LoadStatus::BadJson;

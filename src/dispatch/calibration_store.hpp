@@ -25,11 +25,16 @@
 namespace blob::dispatch {
 
 /// Bump when the on-disk schema changes; older files are rejected —
-/// except v2, which reads gracefully (see load_calibration).
+/// except v2/v3, which read gracefully (see load_calibration).
 /// v2: bucket keys carry the transpose flags (ta/tb).
 /// v3: bucket keys carry the residency class; warm and cold cost entries
 ///     persist per shape bucket. v2 entries seed the cold side.
-inline constexpr int kCalibrationVersion = 3;
+/// v4: bucket keys carry the error budget and bucket states carry the
+///     emulated-arm estimate. Both are omitted for exact-budget entries,
+///     so a table that never saw relaxed traffic serialises byte-
+///     identically to v3 content (version field aside); v3 files load
+///     with every entry exact.
+inline constexpr int kCalibrationVersion = 4;
 
 /// Oldest schema version load_calibration still accepts.
 inline constexpr int kCalibrationMinVersion = 2;

@@ -15,6 +15,8 @@ const char* to_string(Route route) {
       return "gpu";
     case Route::CpuBatched:
       return "cpu-batched";
+    case Route::GpuEmulated:
+      return "gpu-emulated";
   }
   return "?";
 }
@@ -57,8 +59,11 @@ int size_bucket(const core::OpDesc& desc) {
 }
 
 BucketKey bucket_key(const core::OpDesc& desc) {
-  return BucketKey{desc.op,          desc.precision, desc.mode,
-                   size_bucket(desc), desc.trans_a,  desc.trans_b};
+  BucketKey key{desc.op,          desc.precision, desc.mode,
+                size_bucket(desc), desc.trans_a,  desc.trans_b};
+  key.budget_kind = desc.budget.kind;
+  key.budget_ulps = desc.budget.ulps;
+  return key;
 }
 
 DecisionTable::DecisionTable(DecisionTableConfig config)
@@ -74,12 +79,19 @@ const BucketState* DecisionTable::find(const BucketKey& key) const {
 }
 
 void DecisionTable::seed(const BucketKey& key, double cpu_pred_s,
-                         double gpu_pred_s) {
+                         double gpu_pred_s,
+                         std::optional<double> emu_pred_s) {
   if (entries_.contains(key)) return;
   BucketState state;
   state.cpu = {cpu_pred_s, 1};
   state.gpu = {gpu_pred_s, 1};
   state.incumbent = gpu_pred_s < cpu_pred_s ? Route::Gpu : Route::Cpu;
+  if (emu_pred_s.has_value()) {
+    state.emu = {*emu_pred_s, 1};
+    const double best =
+        state.incumbent == Route::Gpu ? gpu_pred_s : cpu_pred_s;
+    if (*emu_pred_s < best) state.incumbent = Route::GpuEmulated;
+  }
   entries_.emplace(key, state);
 }
 
@@ -90,7 +102,9 @@ void DecisionTable::restore(const BucketKey& key, const BucketState& state) {
 }
 
 Decision DecisionTable::choose(const BucketKey& key, bool gpu_available,
-                               std::optional<double> gpu_cost_override) {
+                               std::optional<double> gpu_cost_override,
+                               bool emu_available,
+                               std::optional<double> emu_cost_override) {
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     throw std::logic_error("DecisionTable::choose: bucket not seeded");
@@ -104,6 +118,15 @@ Decision DecisionTable::choose(const BucketKey& key, bool gpu_available,
   d.cpu_est_s = s.cpu.ewma_s;
   d.gpu_est_s = gpu_eff;
 
+  // The emulated arm joins the comparison only when the caller offers it
+  // AND the bucket was seeded with an emulated estimate; otherwise every
+  // branch below is the original two-arm logic, untouched — including
+  // the single exploration draw — so exact-budget traffic consumes the
+  // RNG stream exactly as before this arm existed.
+  const bool emu_on = emu_available && gpu_available && s.emu.samples > 0;
+  const double emu_eff = emu_cost_override.value_or(s.emu.ewma_s);
+  if (emu_on) d.emu_est_s = emu_eff;
+
   if (!gpu_available) {
     ++s.visits;
     d.route = Route::Cpu;
@@ -116,6 +139,82 @@ Decision DecisionTable::choose(const BucketKey& key, bool gpu_available,
   if (first_visit) {
     d.route = s.incumbent;
     d.reason = Reason::ColdStart;
+    return d;
+  }
+
+  if (emu_on) {
+    // -- three-arm bucket -------------------------------------------------
+    if (!s.converged && s.visits >= config_.converged_visits &&
+        s.cpu.samples > config_.min_samples_to_switch &&
+        s.gpu.samples > config_.min_samples_to_switch &&
+        s.emu.samples > config_.min_samples_to_switch) {
+      s.converged = true;
+    }
+
+    struct Arm {
+      Route route;
+      double eff;
+      const RouteEstimate* est;
+      bool overridden;
+    };
+    const Arm arms[3] = {
+        {Route::Cpu, s.cpu.ewma_s, &s.cpu, false},
+        {Route::Gpu, gpu_eff, &s.gpu, gpu_cost_override.has_value()},
+        {Route::GpuEmulated, emu_eff, &s.emu,
+         emu_cost_override.has_value()},
+    };
+    const Arm* inc = &arms[0];
+    for (const Arm& a : arms) {
+      if (a.route == s.incumbent) inc = &a;
+    }
+
+    if (!s.converged) {
+      const double eps =
+          config_.epsilon * config_.epsilon_decay_visits /
+          (config_.epsilon_decay_visits + static_cast<double>(s.visits));
+      if (rng_.next_double() < eps) {
+        // Probe one of the two non-incumbent arms uniformly.
+        const Arm* others[2] = {nullptr, nullptr};
+        int count = 0;
+        for (const Arm& a : arms) {
+          if (a.route != s.incumbent) others[count++] = &a;
+        }
+        d.route = (rng_.next_double() < 0.5 ? others[0] : others[1])->route;
+        d.reason = Reason::Explore;
+        return d;
+      }
+    }
+
+    // Exploit with hysteresis: challengers in ascending cost order; the
+    // first one that beats the incumbent by the margin on enough samples
+    // takes the route. A cheaper-but-unqualified challenger holds.
+    const Arm* challengers[2] = {nullptr, nullptr};
+    int count = 0;
+    for (const Arm& a : arms) {
+      if (a.route != s.incumbent) challengers[count++] = &a;
+    }
+    if (challengers[0]->eff > challengers[1]->eff) {
+      std::swap(challengers[0], challengers[1]);
+    }
+    bool any_cheaper = false;
+    for (const Arm* cha : challengers) {
+      if (cha->eff >= inc->eff) continue;
+      any_cheaper = true;
+      const bool clears_margin =
+          cha->eff < inc->eff * (1.0 - config_.hysteresis_margin);
+      const bool enough_samples =
+          cha->est->samples >= config_.min_samples_to_switch ||
+          (cha->route != Route::Cpu && cha->overridden);
+      if (clears_margin && enough_samples) {
+        s.incumbent = cha->route;
+        ++s.switches;
+        d.route = cha->route;
+        d.reason = Reason::Exploit;
+        return d;
+      }
+    }
+    d.route = s.incumbent;
+    d.reason = any_cheaper ? Reason::HysteresisHold : Reason::Exploit;
     return d;
   }
 
@@ -182,8 +281,10 @@ void DecisionTable::observe(const BucketKey& key, Route route,
   if (it == entries_.end()) {
     throw std::logic_error("DecisionTable::observe: bucket not seeded");
   }
-  RouteEstimate& est =
-      route == Route::Gpu ? it->second.gpu : it->second.cpu;
+  RouteEstimate& est = route == Route::Gpu ? it->second.gpu
+                       : route == Route::GpuEmulated
+                           ? it->second.emu
+                           : it->second.cpu;
   if (est.samples == 0) {
     est.ewma_s = measured_s;
   } else {

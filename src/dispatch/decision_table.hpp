@@ -43,6 +43,13 @@ struct BucketKey {
   blas::Transpose trans_a = blas::Transpose::No;
   blas::Transpose trans_b = blas::Transpose::No;
   ResidencyClass residency = ResidencyClass::Cold;
+  /// Error-budget component of the key: exact and relaxed traffic of the
+  /// same shape price completely differently (the relaxed bucket has an
+  /// emulated arm), so they learn separate estimates. Defaults keep
+  /// every existing key — and its calibration-store serialisation —
+  /// identical for exact traffic.
+  core::ErrorBudgetKind budget_kind = core::ErrorBudgetKind::Exact;
+  std::uint32_t budget_ulps = 0;
 
   auto operator<=>(const BucketKey&) const = default;
 };
@@ -64,6 +71,10 @@ struct RouteEstimate {
 struct BucketState {
   RouteEstimate cpu;
   RouteEstimate gpu;
+  /// Emulated-GPU arm. Zero-sample on every bucket whose budget is exact
+  /// (the arm is never offered there); seeded alongside cpu/gpu when the
+  /// dispatcher deems the bucket emulation-eligible.
+  RouteEstimate emu;
   Route incumbent = Route::Cpu;
   std::uint64_t visits = 0;    ///< choose() calls against this bucket
   std::uint64_t switches = 0;  ///< incumbent changes since creation
@@ -98,6 +109,9 @@ struct Decision {
   Reason reason = Reason::Exploit;
   double cpu_est_s = 0.0;
   double gpu_est_s = 0.0;
+  /// Emulated-arm estimate weighed by the decision; 0 when the arm was
+  /// not offered (exact budgets, GEMV, batched traffic).
+  double emu_est_s = 0.0;
   /// Operand warmth the dispatcher derived before choosing (always Cold
   /// when the residency policy is off).
   ResidencyClass residency = ResidencyClass::Cold;
@@ -114,8 +128,11 @@ class DecisionTable {
 
   /// Cold-start a bucket from model predictions (no-op if it exists).
   /// The seed counts as one sample per backend; the incumbent starts on
-  /// the predicted-cheaper route.
-  void seed(const BucketKey& key, double cpu_pred_s, double gpu_pred_s);
+  /// the predicted-cheapest route. `emu_pred_s` seeds the emulated arm
+  /// on emulation-eligible buckets; without it the arm stays zero-sample
+  /// and is never routed to.
+  void seed(const BucketKey& key, double cpu_pred_s, double gpu_pred_s,
+            std::optional<double> emu_pred_s = std::nullopt);
 
   /// Pick the route for a call in `key`'s bucket. The bucket must exist
   /// (seed() first); `visits` is incremented. `gpu_available` = false
@@ -131,8 +148,18 @@ class DecisionTable {
   /// modelled prior (not a noisy probe) the override is exempt from the
   /// challenger's min-samples requirement, though not from the
   /// hysteresis margin.
+  ///
+  /// `emu_available` adds the emulated-GPU arm as a third candidate.
+  /// When false (every exact-budget call) the two-arm logic below runs
+  /// unchanged — same branches, same single exploration draw per
+  /// non-converged visit — so exact traffic's decision stream is
+  /// bitwise-identical to a build without the emulated arm.
+  /// `emu_cost_override` mirrors `gpu_cost_override` for the emulated
+  /// arm (same transfers, different kernel).
   Decision choose(const BucketKey& key, bool gpu_available = true,
-                  std::optional<double> gpu_cost_override = std::nullopt);
+                  std::optional<double> gpu_cost_override = std::nullopt,
+                  bool emu_available = false,
+                  std::optional<double> emu_cost_override = std::nullopt);
 
   /// Fold a measured per-call cost into the bucket's estimate for the
   /// executed backend. Route::CpuBatched feeds the CPU estimate — the

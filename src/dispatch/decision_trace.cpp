@@ -41,6 +41,7 @@ DispatchStats DispatchCounters::snapshot() const {
   s.gemv_calls = gemv_calls.load(std::memory_order_relaxed);
   s.cpu_routed = cpu_routed.load(std::memory_order_relaxed);
   s.gpu_routed = gpu_routed.load(std::memory_order_relaxed);
+  s.emulated_routed = emulated_routed.load(std::memory_order_relaxed);
   s.batched_routed = batched_routed.load(std::memory_order_relaxed);
   s.coalesced_batches = coalesced_batches.load(std::memory_order_relaxed);
   s.cold_starts = cold_starts.load(std::memory_order_relaxed);
@@ -120,6 +121,16 @@ void DecisionTrace::dump_json(std::ostream& out) const {
     json.kv("reason", to_string(r.reason));
     json.kv("cpu_est_s", r.cpu_est_s);
     json.kv("gpu_est_s", r.gpu_est_s);
+    // Budget/emulation keys appear only on non-exact traffic, keeping
+    // exact-budget trace dumps byte-identical to pre-emulation builds.
+    if (!r.budget.is_exact()) {
+      json.kv("budget", core::to_string(r.budget.kind));
+      if (r.budget.kind == core::ErrorBudgetKind::UlpBounded) {
+        json.kv("budget_ulps", static_cast<std::int64_t>(r.budget.ulps));
+      }
+      json.kv("emu_est_s", r.emu_est_s);
+      if (r.slices > 0) json.kv("slices", r.slices);
+    }
     json.kv("cost_s", r.cost_s);
     json.kv("observed_s", r.observed_s);
     json.kv("batch", r.batch);
@@ -139,6 +150,8 @@ void write_stats_fields(util::JsonWriter& json, const DispatchStats& stats) {
   json.kv("gemv_calls", static_cast<std::int64_t>(stats.gemv_calls));
   json.kv("cpu_routed", static_cast<std::int64_t>(stats.cpu_routed));
   json.kv("gpu_routed", static_cast<std::int64_t>(stats.gpu_routed));
+  json.kv("emulated_routed",
+          static_cast<std::int64_t>(stats.emulated_routed));
   json.kv("batched_routed",
           static_cast<std::int64_t>(stats.batched_routed));
   json.kv("coalesced_batches",

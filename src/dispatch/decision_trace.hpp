@@ -38,6 +38,12 @@ struct TraceRecord {
   Reason reason = Reason::Exploit;
   double cpu_est_s = 0.0;   ///< table estimate at decision time
   double gpu_est_s = 0.0;
+  /// Emulated-arm estimate weighed (0 when the arm was not offered).
+  double emu_est_s = 0.0;
+  /// Error budget the call carried (exact for all legacy traffic).
+  core::ErrorBudget budget{};
+  /// fp32 slice count of an emulated execution; 0 on every other route.
+  int slices = 0;
   double cost_s = 0.0;      ///< accounted (noise-free) cost of the route
   double observed_s = 0.0;  ///< noisy measurement folded into the table
   int batch = 1;            ///< >1 when executed inside a coalesced batch
@@ -59,6 +65,7 @@ struct DispatchStats {
   std::uint64_t gemv_calls = 0;
   std::uint64_t cpu_routed = 0;
   std::uint64_t gpu_routed = 0;
+  std::uint64_t emulated_routed = 0;  ///< fp64 GEMMs run as fp32 slices
   std::uint64_t batched_routed = 0;  ///< calls absorbed into batches
   std::uint64_t coalesced_batches = 0;  ///< batched submissions issued
   std::uint64_t cold_starts = 0;
@@ -91,6 +98,7 @@ class DispatchCounters {
   std::atomic<std::uint64_t> gemv_calls{0};
   std::atomic<std::uint64_t> cpu_routed{0};
   std::atomic<std::uint64_t> gpu_routed{0};
+  std::atomic<std::uint64_t> emulated_routed{0};
   std::atomic<std::uint64_t> batched_routed{0};
   std::atomic<std::uint64_t> coalesced_batches{0};
   std::atomic<std::uint64_t> cold_starts{0};

@@ -1,6 +1,7 @@
 #include "dispatch/dispatcher.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -8,6 +9,7 @@
 
 #include "blas/autotune.hpp"
 #include "blas/batched.hpp"
+#include "blas/emulated_gemm.hpp"
 #include "blas/half_gemm.hpp"
 #include "core/flops.hpp"
 #include "obs/registry.hpp"
@@ -71,6 +73,8 @@ const char* route_noise_tag(Route route) {
       return "dispatch-gpu";
     case Route::CpuBatched:
       return "dispatch-batched";
+    case Route::GpuEmulated:
+      return "dispatch-emulated";
   }
   return "dispatch";
 }
@@ -175,6 +179,12 @@ bool Dispatcher::gpu_supported(const core::OpDesc& desc) {
   // GEMV: the device kernels take dense unit-stride vectors only; a
   // strided x/y is the one layout that still forces the CPU route.
   return desc.incx == 1 && desc.incy == 1;
+}
+
+bool Dispatcher::emulation_eligible(const core::OpDesc& desc) {
+  return desc.op == core::KernelOp::Gemm &&
+         desc.precision == model::Precision::F64 &&
+         !desc.budget.is_exact() && desc.batch <= 1;
 }
 
 core::TransferMode Dispatcher::effective_mode() const {
@@ -375,11 +385,14 @@ void Dispatcher::run_gemv(const core::OpDesc& desc, S alpha, const T* a,
 // -- decision plumbing -------------------------------------------------------
 
 void Dispatcher::ensure_seeded(const BucketKey& key, const core::OpDesc& desc,
-                               std::optional<double> gpu_seed) {
+                               std::optional<double> gpu_seed,
+                               std::optional<double> emu_kernel_delta) {
   if (table_.contains(key)) return;
   const core::Advice advice = advisor_.advise(desc, /*iterations=*/1);
-  table_.seed(key, advice.cpu_seconds,
-              gpu_seed.value_or(advice.gpu_seconds));
+  const double gpu_s = gpu_seed.value_or(advice.gpu_seconds);
+  std::optional<double> emu_s;
+  if (emu_kernel_delta.has_value()) emu_s = gpu_s + *emu_kernel_delta;
+  table_.seed(key, advice.cpu_seconds, gpu_s, emu_s);
 }
 
 Decision Dispatcher::plan_locked(const core::OpDesc& desc, bool gpu_ok,
@@ -410,9 +423,24 @@ Decision Dispatcher::plan_locked(const core::OpDesc& desc, bool gpu_ok,
     }
   }
 
-  ensure_seeded(key, desc, gpu_seed);
+  // The emulated arm prices as the GPU arm with the kernel term swapped
+  // (link traffic is identical — operands cross as fp64 either way), so
+  // every GPU-side pricing refinement above carries over as a constant
+  // kernel delta.
+  const bool emu_ok = gpu_ok && emulation_eligible(desc);
+  std::optional<double> emu_delta;
+  std::optional<double> emu_override;
+  if (emu_ok) {
+    const int slices = blas::slices_for_budget(desc.budget);
+    emu_delta =
+        model_.emulated_kernel_time(desc, slices) - model_.kernel_time(desc);
+    if (gpu_override.has_value()) emu_override = *gpu_override + *emu_delta;
+  }
+
+  ensure_seeded(key, desc, gpu_seed, emu_delta);
   const Route before = table_.find(key)->incumbent;
-  Decision decision = table_.choose(key, gpu_ok, gpu_override);
+  Decision decision =
+      table_.choose(key, gpu_ok, gpu_override, emu_ok, emu_override);
   decision.residency = cls;
   if (table_.find(key)->incumbent != before) {
     counters_.route_switches.fetch_add(1, std::memory_order_relaxed);
@@ -470,6 +498,10 @@ void Dispatcher::account_and_observe(const core::OpDesc& desc,
       counters_.gpu_routed.fetch_add(b, std::memory_order_relaxed);
       counters_.add_seconds(counters_.gpu_seconds, cost_s);
       break;
+    case Route::GpuEmulated:
+      counters_.emulated_routed.fetch_add(b, std::memory_order_relaxed);
+      counters_.add_seconds(counters_.gpu_seconds, cost_s);
+      break;
   }
   // Byte accounting is unconditional (policy Off included) so baselines
   // and residency runs compare on the same counter.
@@ -503,6 +535,11 @@ void Dispatcher::account_and_observe(const core::OpDesc& desc,
   rec.reason = decision.reason;
   rec.cpu_est_s = decision.cpu_est_s;
   rec.gpu_est_s = decision.gpu_est_s;
+  rec.emu_est_s = decision.emu_est_s;
+  rec.budget = desc.budget;
+  rec.slices = decision.route == Route::GpuEmulated
+                   ? blas::slices_for_budget(desc.budget)
+                   : 0;
   rec.cost_s = per_call;
   rec.observed_s = observed;
   rec.batch = batch;
@@ -518,6 +555,8 @@ void Dispatcher::account_and_observe(const core::OpDesc& desc,
     static obs::Counter& gpu_routed = obs::counter("dispatch.gpu_routed");
     static obs::Counter& batched_routed =
         obs::counter("dispatch.batched_routed");
+    static obs::Counter& emulated_routed =
+        obs::counter("dispatch.emulated_routed");
     calls.add(b);
     switch (decision.route) {
       case Route::Cpu:
@@ -528,6 +567,9 @@ void Dispatcher::account_and_observe(const core::OpDesc& desc,
         break;
       case Route::Gpu:
         gpu_routed.add(b);
+        break;
+      case Route::GpuEmulated:
+        emulated_routed.add(b);
         break;
     }
   }
@@ -586,6 +628,16 @@ void Dispatcher::dispatch_gemm(core::OpDesc desc, S alpha, const T* a,
     GpuJob job =
         enqueue_gemm_gpu_locked<T, S>(decision, desc, alpha, a, b, beta, c);
     finish_gpu_job_locked(job, /*overlapped=*/false);
+  } else if (decision.route == Route::GpuEmulated) {
+    // Only fp64 traffic is ever emulation-eligible, so this branch is
+    // unreachable for other T; the constexpr guard keeps those
+    // instantiations from referencing the double-only enqueue path.
+    if constexpr (std::is_same_v<T, double>) {
+      GpuJob job =
+          enqueue_gemm_emulated_gpu_locked(decision, desc, alpha, a, b, beta,
+                                           c);
+      finish_gpu_job_locked(job, /*overlapped=*/false);
+    }
   } else {
     cpu_exec_gemm<T, S>(desc, alpha, a, b, beta, c);
     note_host_output_locked(regions.c);
@@ -870,6 +922,108 @@ Dispatcher::GpuJob Dispatcher::enqueue_gemm_gpu_locked(
   return job;
 }
 
+Dispatcher::GpuJob Dispatcher::enqueue_gemm_emulated_gpu_locked(
+    const Decision& decision, const core::OpDesc& desc, double alpha,
+    const double* a, const double* b, double beta, double* c) {
+  obs::Span span("dispatch.gpu_enqueue", obs::Category::Dispatch);
+  GpuJob job;
+  job.active = true;
+  job.decision = decision;
+  job.desc = desc;
+  job.key = bucket_key(desc);
+  job.key.residency = decision.residency;
+
+  const int slices = blas::slices_for_budget(desc.budget);
+
+  sim::Stream& s = gpu_stream_;
+  job.submit_floor = std::max(s.tail(), device_.now());
+
+  // Staging is identical to the native GPU path — the operands cross the
+  // link as fp64 and are sliced on the device — so the measured span
+  // differs from the native arm exactly by the kernel term.
+  using T = double;
+  const std::size_t es = sizeof(T);
+  const auto rows_a = desc.rows_a();
+  const auto cols_a = desc.cols_a();
+  const auto rows_b = desc.rows_b();
+  const auto cols_b = desc.cols_b();
+  const auto m = desc.m;
+  const auto n = desc.n;
+  const auto ab = es * static_cast<std::size_t>(rows_a) *
+                  static_cast<std::size_t>(cols_a);
+  const auto bb = es * static_cast<std::size_t>(rows_b) *
+                  static_cast<std::size_t>(cols_b);
+  const auto cb =
+      es * static_cast<std::size_t>(m) * static_cast<std::size_t>(n);
+  const OperandRegions regions = gemm_regions(desc, a, b, c);
+  job.out_region = regions.c;
+  const std::int64_t ldc = desc.ldc;
+
+  if (config_.residency == ResidencyPolicy::FirstTouch) {
+    sim::Buffer ma = device_.alloc_managed(ab);
+    sim::Buffer mb = device_.alloc_managed(bb);
+    sim::Buffer mc = device_.alloc_managed(cb);
+    pack_dense(ma.as<T>(), a, desc.lda, rows_a, cols_a);
+    pack_dense(mb.as<T>(), b, desc.ldb, rows_b, cols_b);
+    pack_dense(mc.as<T>(), c, desc.ldc, m, n);
+    place_managed_locked(ma, regions.a, job);
+    place_managed_locked(mb, regions.b, job);
+    place_managed_locked(mc, regions.c, job);
+    device_.gemm_emulated(desc.trans_a, desc.trans_b, static_cast<int>(m),
+                          static_cast<int>(n), static_cast<int>(desc.k),
+                          alpha, ma, static_cast<int>(rows_a), mb,
+                          static_cast<int>(rows_b), beta, mc,
+                          static_cast<int>(m), slices, &s);
+    s.enqueue(
+        device_.link_model().usm_writeback_time(static_cast<double>(cb)),
+        "usm-writeback");
+    job.done = s.tail();
+    T* staged = mc.as<T>();
+    job.unpack = [staged, c, ldc, m, n]() {
+      unpack_dense(c, ldc, staged, m, n);
+    };
+    job.buffers.reserve(3);
+    job.buffers.push_back(std::move(ma));
+    job.buffers.push_back(std::move(mb));
+    job.buffers.push_back(std::move(mc));
+  } else {
+    sim::Buffer ha = device_.alloc_host(ab);
+    sim::Buffer hb = device_.alloc_host(bb);
+    sim::Buffer hc = device_.alloc_host(cb);
+    pack_dense(ha.as<T>(), a, desc.lda, rows_a, cols_a);
+    pack_dense(hb.as<T>(), b, desc.ldb, rows_b, cols_b);
+    pack_dense(hc.as<T>(), c, desc.ldc, m, n);
+
+    sim::Buffer da = device_.alloc_device(ab);
+    sim::Buffer db = device_.alloc_device(bb);
+    sim::Buffer dc = device_.alloc_device(cb);
+    upload_operand_locked(s, da, ha, ab, regions.a, job);
+    upload_operand_locked(s, db, hb, bb, regions.b, job);
+    upload_operand_locked(s, dc, hc, cb, regions.c, job);
+    device_.gemm_emulated(desc.trans_a, desc.trans_b, static_cast<int>(m),
+                          static_cast<int>(n), static_cast<int>(desc.k),
+                          alpha, da, static_cast<int>(rows_a), db,
+                          static_cast<int>(rows_b), beta, dc,
+                          static_cast<int>(m), slices, &s);
+    device_.memcpy_d2h_async(s, hc, dc, cb);
+    job.done = s.tail();
+
+    T* staged = hc.as<T>();
+    job.unpack = [staged, c, ldc, m, n]() {
+      unpack_dense(c, ldc, staged, m, n);
+    };
+    job.buffers.reserve(6);
+    job.buffers.push_back(std::move(ha));
+    job.buffers.push_back(std::move(hb));
+    job.buffers.push_back(std::move(hc));
+    job.buffers.push_back(std::move(da));
+    job.buffers.push_back(std::move(db));
+    job.buffers.push_back(std::move(dc));
+  }
+  if (tracking_enabled()) residency_.note_device_write(regions.c);
+  return job;
+}
+
 template <typename T, typename S>
 Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu_locked(
     const Decision& decision, const core::OpDesc& desc, S alpha, const T* a,
@@ -968,6 +1122,14 @@ Dispatcher::GpuJob Dispatcher::enqueue_gemv_gpu(const Decision& decision,
   return enqueue_gemv_gpu_locked<T, S>(decision, desc, alpha, a, x, beta, y);
 }
 
+Dispatcher::GpuJob Dispatcher::enqueue_gemm_emulated_gpu(
+    const Decision& decision, const core::OpDesc& desc, double alpha,
+    const double* a, const double* b, double beta, double* c) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enqueue_gemm_emulated_gpu_locked(decision, desc, alpha, a, b, beta,
+                                          c);
+}
+
 void Dispatcher::finish_gpu_job_locked(GpuJob& job, bool overlapped) {
   if (!job.active) return;
   obs::Span span("dispatch.gpu_join", obs::Category::Dispatch);
@@ -1006,6 +1168,11 @@ Dispatcher::Costs Dispatcher::modelled_costs(const core::OpDesc& desc) const {
   if (gpu_supported(desc)) {
     const auto gpu = model_.gpu_time(desc, /*iterations=*/1);
     costs.gpu_s = gpu.value_or(std::numeric_limits<double>::infinity());
+    if (std::isfinite(costs.gpu_s) && emulation_eligible(desc)) {
+      const int slices = blas::slices_for_budget(desc.budget);
+      costs.emu_s = costs.gpu_s + model_.emulated_kernel_time(desc, slices) -
+                    model_.kernel_time(desc);
+    }
   } else {
     costs.gpu_s = std::numeric_limits<double>::infinity();
   }
@@ -1014,6 +1181,9 @@ Dispatcher::Costs Dispatcher::modelled_costs(const core::OpDesc& desc) const {
 
 Route Dispatcher::oracle_route(const core::OpDesc& desc) const {
   const Costs costs = modelled_costs(desc);
+  if (costs.emu_s < costs.cpu_s && costs.emu_s < costs.gpu_s) {
+    return Route::GpuEmulated;
+  }
   return costs.gpu_s < costs.cpu_s ? Route::Gpu : Route::Cpu;
 }
 

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -112,6 +113,12 @@ class Dispatcher final : public blas::CblasDispatchHook {
   /// (transposes included) with positive dims; GEMV additionally needs
   /// unit vector strides. False routes are recorded Reason::Forced.
   [[nodiscard]] static bool gpu_supported(const core::OpDesc& desc);
+
+  /// Is the emulated-GEMM arm on the table for this call? fp64 GEMM
+  /// under a non-exact error budget (per-call, batch == 1). Exact-budget
+  /// traffic never sees the arm — its decision stream is identical to a
+  /// build without emulation.
+  [[nodiscard]] static bool emulation_eligible(const core::OpDesc& desc);
 
   /// The transfer mode stamped on every descriptor: the configured mode
   /// when the residency policy is off, otherwise the mode the policy
@@ -223,6 +230,15 @@ class Dispatcher final : public blas::CblasDispatchHook {
   GpuJob enqueue_gemv_gpu(const Decision& decision, const core::OpDesc& desc,
                           S alpha, const T* a, const T* x, S beta, T* y);
 
+  /// Enqueue an EMULATED-fp64-routed GEMM: identical staging and link
+  /// traffic to enqueue_gemm_gpu<double>, but the kernel runs the fp32
+  /// slice assembly (slice count derived from desc.budget). `decision`
+  /// must carry Route::GpuEmulated from plan() for this desc.
+  GpuJob enqueue_gemm_emulated_gpu(const Decision& decision,
+                                   const core::OpDesc& desc, double alpha,
+                                   const double* a, const double* b,
+                                   double beta, double* c);
+
   /// Join a pending GPU job: advance the virtual clock to its completion,
   /// write the output back to the client buffer, account + observe.
   /// `overlapped` marks that CPU work ran while the job was in flight.
@@ -233,6 +249,9 @@ class Dispatcher final : public blas::CblasDispatchHook {
   struct Costs {
     double cpu_s = 0.0;
     double gpu_s = 0.0;
+    /// Emulated-GPU price; infinity whenever the call is not
+    /// emulation-eligible (exact budget, GEMV, non-f64, batched).
+    double emu_s = std::numeric_limits<double>::infinity();
   };
 
   /// Noise-free modelled per-call costs — the same numbers used to seed
@@ -301,8 +320,12 @@ class Dispatcher final : public blas::CblasDispatchHook {
                        const OperandRegions& regions = {});
   /// `gpu_seed` replaces the advisor's GPU-side seed (warm buckets are
   /// seeded with the residency-priced cost, not the full-transfer one).
+  /// `emu_kernel_delta` (emulated kernel time minus native kernel time,
+  /// set only for emulation-eligible calls) seeds the emulated arm at
+  /// the GPU seed plus the delta — same transfers, swapped kernel.
   void ensure_seeded(const BucketKey& key, const core::OpDesc& desc,
-                     std::optional<double> gpu_seed = std::nullopt);
+                     std::optional<double> gpu_seed = std::nullopt,
+                     std::optional<double> emu_kernel_delta = std::nullopt);
 
   /// Is the interval map live? Off disables it; FirstTouch without XNACK
   /// also disables it (no page ever migrates, so nothing becomes
@@ -338,6 +361,11 @@ class Dispatcher final : public blas::CblasDispatchHook {
   GpuJob enqueue_gemv_gpu_locked(const Decision& decision,
                                  const core::OpDesc& desc, S alpha,
                                  const T* a, const T* x, S beta, T* y);
+  GpuJob enqueue_gemm_emulated_gpu_locked(const Decision& decision,
+                                          const core::OpDesc& desc,
+                                          double alpha, const double* a,
+                                          const double* b, double beta,
+                                          double* c);
   void finish_gpu_job_locked(GpuJob& job, bool overlapped);
 
   /// CPU-side modelled cost of one call (noise-free).

@@ -21,9 +21,11 @@ namespace blob::dispatch {
 
 /// Where a call was executed.
 enum class Route {
-  Cpu,         ///< CPU library (blas::CpuBlasLibrary)
-  Gpu,         ///< simulated GPU (sim::SimGpu), transfers included
-  CpuBatched,  ///< coalesced into one blas::gemm_batched submission
+  Cpu,          ///< CPU library (blas::CpuBlasLibrary)
+  Gpu,          ///< simulated GPU (sim::SimGpu), transfers included
+  CpuBatched,   ///< coalesced into one blas::gemm_batched submission
+  GpuEmulated,  ///< simulated GPU, fp64 GEMM emulated via fp32 slices
+                ///< (eligible only under a non-exact error budget)
 };
 
 /// Why the router picked the route it picked.

@@ -64,6 +64,37 @@ double GpuModel::gemv_kernel_time(Precision p, double m, double n,
   return std::max({compute_s, memory_s, min_kernel_s}) + launch_latency_s;
 }
 
+double GpuModel::gemm_emulated_kernel_time(double m, double n, double k,
+                                           int slices, bool beta_zero,
+                                           bool trans_a, bool trans_b) const {
+  if (m <= 0 || n <= 0 || k <= 0) return launch_latency_s;
+  const double x = gemm_effective_dim(m, n, k);
+  const double trans = (trans_a ? gemm_trans_a_penalty : 1.0) *
+                       (trans_b ? gemm_trans_b_penalty : 1.0);
+  const double products = slices * (slices + 1) / 2.0;
+  // Every kept slice pair is one fp32 GEMM; the assembly runs at the
+  // fp32 achieved rate, scaled by the kept-product count. Emulation
+  // beats the native fp64 arm on compute-bound shapes exactly when
+  // peak_f32 / peak_f64 > products — a property of the device, which is
+  // why the offload-threshold sweep contrasts profiles.
+  const double achieved = peak_gflops_f32 * 1e9 * gemm_eff.at(x) *
+                          apply_quirks(gemm_quirks, x, Precision::F32, m, n) /
+                          trans;
+  const double compute_s = products * gemm_flops(m, n, k, beta_zero) / achieved;
+  // HBM traffic: read the fp64 operands once to slice, write the fp32
+  // slice planes, stream one fp32 A/B plane pair back per kept product,
+  // and keep an fp64 accumulator live across products before the final
+  // C write. Roughly 2x the native arm's traffic at one slice — the
+  // slicing tax that keeps emulation from winning bandwidth-bound shapes.
+  const double ab = m * k + k * n;
+  const double c_traffic = (beta_zero ? 1.0 : 2.0) * m * n;
+  const double bytes = 8.0 * ab + 4.0 * static_cast<double>(slices) * ab +
+                       4.0 * products * ab + 16.0 * products * m * n +
+                       8.0 * c_traffic;
+  const double memory_s = bytes * trans / (hbm_bw_gbs * 1e9);
+  return std::max({compute_s, memory_s, min_kernel_s}) + launch_latency_s;
+}
+
 double GpuModel::gemm_batched_kernel_time(Precision p, double m, double n,
                                            double k, double batch,
                                            bool beta_zero, bool trans_a,

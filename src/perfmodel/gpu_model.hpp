@@ -61,6 +61,20 @@ struct GpuModel {
                                         bool beta_zero = true,
                                         bool trans_a = false) const;
 
+  /// Predicted seconds for one EMULATED fp64 GEMM kernel: the operands
+  /// are sliced into fp32 components and the product is assembled from
+  /// slices*(slices+1)/2 fp32 GEMMs (Ozaki-style splitting), so compute
+  /// runs at the fp32 peak scaled by the kept-product count, plus one
+  /// HBM slicing pass over A/B and an fp64 accumulate pass over C per
+  /// product. Transfers are NOT included — over the host link the
+  /// operands move as fp64 exactly like the native arm, which is why
+  /// emulation only pays off where the kernel (not the link) dominates.
+  [[nodiscard]] double gemm_emulated_kernel_time(double m, double n, double k,
+                                                 int slices,
+                                                 bool beta_zero = true,
+                                                 bool trans_a = false,
+                                                 bool trans_b = false) const;
+
   /// Predicted seconds for ONE batched-GEMM kernel computing `batch`
   /// independent m x n x k products: a single launch whose device fill
   /// follows the aggregate work (cbrt(batch) times the per-item

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <type_traits>
 
+#include "blas/emulated_gemm.hpp"
 #include "blas/gemm.hpp"
 #include "blas/gemv.hpp"
 #include "blas/half_gemm.hpp"
@@ -263,6 +264,55 @@ double SimGpu::gemm(blas::Transpose ta, blas::Transpose tb, int m, int n,
       blas::gemm_serial(ta, tb, m, n, k, alpha, a.as<T>(), lda, b.as<T>(),
                         ldb, beta, c.as<T>(), ldc);
     }
+  }
+  return usm_cost + kernel_s;
+}
+
+double SimGpu::gemm_emulated(blas::Transpose ta, blas::Transpose tb, int m,
+                             int n, int k, double alpha, Buffer& a, int lda,
+                             Buffer& b, int ldb, double beta, Buffer& c,
+                             int ldc, int slices, Stream* stream) {
+  require_device_visible(a, "A");
+  require_device_visible(b, "B");
+  require_device_visible(c, "C");
+
+  double usm_cost = managed_in_cost(a) + managed_in_cost(b);
+  usm_cost += managed_in_cost(c);
+  if (c.kind() == MemKind::Managed) {
+    c.set_device_dirty(true);
+    if (!config_.link.xnack) {
+      usm_cost += config_.link.usm_remote_access_time(
+          static_cast<double>(c.bytes()));
+    }
+  }
+  if (a.kind() == MemKind::Managed || b.kind() == MemKind::Managed ||
+      c.kind() == MemKind::Managed) {
+    usm_cost += config_.link.usm_kernel_overhead_s;
+  }
+
+  const double kernel_s = config_.gpu.gemm_emulated_kernel_time(
+      m, n, k, slices, /*beta_zero=*/true, ta != blas::Transpose::No,
+      tb != blas::Transpose::No);
+  obs::Span span = obs::enabled()
+                       ? obs::Span("gpu.gemm_emulated", obs::Category::Gpu)
+                       : obs::Span();
+  const double end = (stream != nullptr ? *stream : stream_)
+                         .enqueue(usm_cost + kernel_s, "gemm_emulated");
+  ++kernels_;
+  if (span.active()) {
+    span.set_virtual(end - (usm_cost + kernel_s), usm_cost + kernel_s);
+    static obs::Counter& launched = obs::counter("gpu.kernels_launched");
+    launched.add(1);
+  }
+
+  if (config_.functional &&
+      model::gemm_effective_dim(m, n, k) <= config_.functional_dim_limit) {
+    // The sliced assembly IS the functional path: dispatched results
+    // genuinely carry the emulation error, so tolerance-aware
+    // verification is exercised for real, not faked.
+    blas::emulated_gemm(ta, tb, m, n, k, alpha, a.as<double>(), lda,
+                        b.as<double>(), ldb, beta, c.as<double>(), ldc,
+                        slices);
   }
   return usm_cost + kernel_s;
 }

@@ -136,6 +136,18 @@ class SimGpu {
                    a, lda, b, ldb, beta, c, ldc, stream);
   }
 
+  /// Enqueue C = alpha * op(A) * op(B) + beta * C computed by EMULATED
+  /// fp64: operands are sliced into `slices` fp32 components and the
+  /// product assembled from slices*(slices+1)/2 fp32 GEMMs
+  /// (blas::emulated_gemm). Numerics follow the sliced path exactly —
+  /// results carry the documented relative-error bound, NOT bitwise
+  /// fp64 — and timing follows GpuModel::gemm_emulated_kernel_time.
+  /// Same operand rules as gemm<double>.
+  double gemm_emulated(blas::Transpose ta, blas::Transpose tb, int m, int n,
+                       int k, double alpha, Buffer& a, int lda, Buffer& b,
+                       int ldb, double beta, Buffer& c, int ldc, int slices,
+                       Stream* stream = nullptr);
+
   /// Enqueue y = alpha * op(A) * x + beta * y. A is the stored m x n
   /// matrix; ta selects A*x or A^T*x. Same operand rules as gemm.
   template <typename T>

@@ -1,0 +1,241 @@
+// Ozaki-style split-representation emulated fp64 GEMM: slice-count
+// policy, the declared error bound across slice counts (transposed and
+// ld-padded operands included), and the edge semantics (alpha/beta,
+// degenerate dims, slice-count validation) the dispatcher's emulated arm
+// leans on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "blas/emulated_gemm.hpp"
+#include "blas/gemm.hpp"
+#include "blas_test_util.hpp"
+#include "core/op_desc.hpp"
+
+namespace {
+
+using namespace blob;
+using blas::emulated_gemm;
+using blas::emulated_products;
+using blas::emulated_relative_bound;
+using blas::SliceType;
+using blas::slices_for_budget;
+using blas::Transpose;
+using blob::test::random_vector;
+
+// ------------------------------------------------------------ policy
+
+TEST(EmulatedPolicy, ProductsPerSliceCount) {
+  EXPECT_EQ(emulated_products(1), 1);
+  EXPECT_EQ(emulated_products(2), 3);
+  EXPECT_EQ(emulated_products(3), 6);
+}
+
+TEST(EmulatedPolicy, BoundHalvesPerSliceBit) {
+  EXPECT_DOUBLE_EQ(emulated_relative_bound(1), std::ldexp(1.0, -24));
+  EXPECT_DOUBLE_EQ(emulated_relative_bound(2), std::ldexp(1.0, -48));
+  EXPECT_DOUBLE_EQ(emulated_relative_bound(1, SliceType::F16),
+                   std::ldexp(1.0, -11));
+}
+
+TEST(EmulatedPolicy, SlicesForBudget) {
+  // Exact traffic is never emulation-eligible.
+  EXPECT_EQ(slices_for_budget(core::ErrorBudget::exact()), 0);
+  // Relaxed = single-precision-grade = one fp32 slice.
+  EXPECT_EQ(slices_for_budget(core::ErrorBudget::relaxed()), 1);
+  // Tight ulp budgets need the full significand: three slices.
+  EXPECT_EQ(slices_for_budget(core::ErrorBudget::ulp_bounded(1)), 3);
+  // 16 ulps forgives the bottom 4 bits: 48 remain, two slices cover it.
+  EXPECT_EQ(slices_for_budget(core::ErrorBudget::ulp_bounded(16)), 2);
+  // ~2^30 ulps leaves 22 mantissa bits to cover: one slice suffices.
+  EXPECT_EQ(slices_for_budget(core::ErrorBudget::ulp_bounded(1u << 30)), 1);
+  // Mid-range budgets land on two slices.
+  EXPECT_EQ(slices_for_budget(core::ErrorBudget::ulp_bounded(1u << 20)), 2);
+}
+
+// ---------------------------------------------------------- accuracy
+
+struct GemmCase {
+  Transpose ta = Transpose::No;
+  Transpose tb = Transpose::No;
+  int m = 0, n = 0, k = 0;
+  int lda_pad = 0, ldb_pad = 0, ldc_pad = 0;
+  double alpha = 1.0, beta = 0.0;
+};
+
+// Max relative error of the emulated product vs the fp64 reference,
+// measured element-wise against the column scale.
+double max_rel_error(const GemmCase& gc, int slices, std::uint64_t seed) {
+  const int a_rows = gc.ta == Transpose::No ? gc.m : gc.k;
+  const int a_cols = gc.ta == Transpose::No ? gc.k : gc.m;
+  const int b_rows = gc.tb == Transpose::No ? gc.k : gc.n;
+  const int b_cols = gc.tb == Transpose::No ? gc.n : gc.k;
+  const int lda = a_rows + gc.lda_pad;
+  const int ldb = b_rows + gc.ldb_pad;
+  const int ldc = gc.m + gc.ldc_pad;
+
+  const auto a = random_vector<double>(
+      static_cast<std::size_t>(lda) * static_cast<std::size_t>(a_cols),
+      seed);
+  const auto b = random_vector<double>(
+      static_cast<std::size_t>(ldb) * static_cast<std::size_t>(b_cols),
+      seed + 1);
+  const auto c0 = random_vector<double>(
+      static_cast<std::size_t>(ldc) * static_cast<std::size_t>(gc.n),
+      seed + 2);
+
+  std::vector<double> c_ref = c0;
+  blas::gemm(gc.ta, gc.tb, gc.m, gc.n, gc.k, gc.alpha, a.data(), lda,
+             b.data(), ldb, gc.beta, c_ref.data(), ldc);
+  std::vector<double> c_emu = c0;
+  emulated_gemm(gc.ta, gc.tb, gc.m, gc.n, gc.k, gc.alpha, a.data(), lda,
+                b.data(), ldb, gc.beta, c_emu.data(), ldc, slices);
+
+  // The pad rows of C must never be touched by either path.
+  for (int j = 0; j < gc.n; ++j) {
+    for (int i = gc.m; i < ldc; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i) +
+                              static_cast<std::size_t>(j) *
+                                  static_cast<std::size_t>(ldc);
+      EXPECT_EQ(c_emu[idx], c0[idx]) << "pad touched at " << i << "," << j;
+    }
+  }
+
+  // Relative to the accumulation scale, ~|alpha| * k for uniform(-1,1)
+  // inputs, so cancellation in an individual element cannot inflate the
+  // measured "relative" error arbitrarily.
+  const double scale =
+      std::fabs(gc.alpha) * std::max(gc.k, 1) + std::fabs(gc.beta);
+  double worst = 0.0;
+  for (int j = 0; j < gc.n; ++j) {
+    for (int i = 0; i < gc.m; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(i) +
+                              static_cast<std::size_t>(j) *
+                                  static_cast<std::size_t>(ldc);
+      worst = std::max(worst, std::fabs(c_emu[idx] - c_ref[idx]) / scale);
+    }
+  }
+  return worst;
+}
+
+// Error budget for `slices`: the omitted-tail bound plus the fp64
+// summation rounding both paths pay (scaled by the reduction depth).
+double budget_for(int slices, int k) {
+  return emulated_relative_bound(slices) + 64.0 * 2.3e-16 * k;
+}
+
+TEST(EmulatedGemm, ErrorWithinBoundAcrossSliceCounts) {
+  const GemmCase gc{Transpose::No, Transpose::No, 48, 40, 56, 0, 0, 0,
+                    1.0, 0.0};
+  double prev = 1.0;
+  for (int slices = 1; slices <= 3; ++slices) {
+    const double err = max_rel_error(gc, slices, 0x11 * slices);
+    EXPECT_LE(err, budget_for(slices, gc.k)) << "slices=" << slices;
+    // Each extra slice tightens the result (until fp64 rounding floors
+    // it): the measured error must not grow.
+    EXPECT_LE(err, prev + budget_for(3, gc.k)) << "slices=" << slices;
+    prev = err;
+  }
+}
+
+TEST(EmulatedGemm, TransposedAndPaddedOperandsStayWithinBound) {
+  const GemmCase cases[] = {
+      {Transpose::Yes, Transpose::No, 33, 29, 41, 5, 0, 3, 1.0, 0.0},
+      {Transpose::No, Transpose::Yes, 30, 36, 27, 0, 7, 0, 1.0, 0.0},
+      {Transpose::Yes, Transpose::Yes, 25, 31, 37, 4, 6, 2, 1.0, 0.0},
+  };
+  for (int slices = 1; slices <= 3; ++slices) {
+    for (std::size_t i = 0; i < std::size(cases); ++i) {
+      EXPECT_LE(max_rel_error(cases[i], slices, 0x200 + i),
+                budget_for(slices, cases[i].k))
+          << "case " << i << " slices " << slices;
+    }
+  }
+}
+
+TEST(EmulatedGemm, AlphaBetaHandledLikeNativeGemm) {
+  const GemmCase gc{Transpose::No, Transpose::Yes, 24, 28, 32, 3, 2, 1,
+                    -1.75, 0.5};
+  for (int slices = 1; slices <= 3; ++slices) {
+    EXPECT_LE(max_rel_error(gc, slices, 0x300 + slices),
+              budget_for(slices, gc.k))
+        << "slices=" << slices;
+  }
+}
+
+TEST(EmulatedGemm, OneSliceIsSinglePrecisionGrade) {
+  // One fp32 slice must comfortably beat an all-float computation's
+  // worst case but cannot reach fp64: the error floor sits near 2^-24.
+  const GemmCase gc{Transpose::No, Transpose::No, 64, 64, 64, 0, 0, 0,
+                    1.0, 0.0};
+  const double err1 = max_rel_error(gc, 1, 0x44);
+  const double err3 = max_rel_error(gc, 3, 0x44);
+  EXPECT_LE(err1, budget_for(1, gc.k));
+  // Three slices capture the full significand: orders of magnitude
+  // tighter than one.
+  EXPECT_LT(err3, err1 / 1e4);
+}
+
+TEST(EmulatedGemm, F16SlicesHonourTheirLooserBound) {
+  const GemmCase gc{Transpose::No, Transpose::No, 20, 22, 24, 0, 0, 0,
+                    1.0, 0.0};
+  const int a_rows = gc.m, b_rows = gc.k;
+  const auto a = random_vector<double>(
+      static_cast<std::size_t>(a_rows) * gc.k, 0x55);
+  const auto b = random_vector<double>(
+      static_cast<std::size_t>(b_rows) * gc.n, 0x56);
+  std::vector<double> c_ref(static_cast<std::size_t>(gc.m) * gc.n, 0.0);
+  std::vector<double> c_emu = c_ref;
+  blas::gemm(gc.ta, gc.tb, gc.m, gc.n, gc.k, 1.0, a.data(), a_rows,
+             b.data(), b_rows, 0.0, c_ref.data(), gc.m);
+  emulated_gemm(gc.ta, gc.tb, gc.m, gc.n, gc.k, 1.0, a.data(), a_rows,
+                b.data(), b_rows, 0.0, c_emu.data(), gc.m, 2,
+                SliceType::F16);
+  const double bound =
+      emulated_relative_bound(2, SliceType::F16) + 64.0 * 2.3e-16 * gc.k;
+  for (std::size_t i = 0; i < c_ref.size(); ++i) {
+    EXPECT_LE(std::fabs(c_emu[i] - c_ref[i]) / gc.k, bound) << i;
+  }
+}
+
+// -------------------------------------------------------------- edges
+
+TEST(EmulatedGemm, RejectsOutOfRangeSliceCounts) {
+  std::vector<double> a(4, 0.0), b(4, 0.0), c(4, 0.0);
+  EXPECT_THROW(emulated_gemm(Transpose::No, Transpose::No, 2, 2, 2, 1.0,
+                             a.data(), 2, b.data(), 2, 0.0, c.data(), 2, 0),
+               std::invalid_argument);
+  EXPECT_THROW(emulated_gemm(Transpose::No, Transpose::No, 2, 2, 2, 1.0,
+                             a.data(), 2, b.data(), 2, 0.0, c.data(), 2,
+                             blas::kMaxEmulatedSlices + 1),
+               std::invalid_argument);
+}
+
+TEST(EmulatedGemm, KZeroScalesCByBeta) {
+  std::vector<double> c{1.0, -2.0, 3.0, -4.0};
+  std::vector<double> a(1), b(1);
+  emulated_gemm(Transpose::No, Transpose::No, 2, 2, 0, 1.0, a.data(), 2,
+                b.data(), 2, 0.5, c.data(), 2, 1);
+  EXPECT_DOUBLE_EQ(c[0], 0.5);
+  EXPECT_DOUBLE_EQ(c[1], -1.0);
+  EXPECT_DOUBLE_EQ(c[2], 1.5);
+  EXPECT_DOUBLE_EQ(c[3], -2.0);
+}
+
+TEST(EmulatedGemm, BetaZeroOverwritesNaNs) {
+  // beta == 0 must overwrite C without reading it (BLAS semantics).
+  std::vector<double> c(4, std::nan(""));
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0}, b{1.0, 0.0, 0.0, 1.0};
+  emulated_gemm(Transpose::No, Transpose::No, 2, 2, 2, 1.0, a.data(), 2,
+                b.data(), 2, 0.0, c.data(), 2, 2);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 3.0);
+  EXPECT_DOUBLE_EQ(c[3], 4.0);
+}
+
+}  // namespace

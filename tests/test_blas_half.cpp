@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "blas/gemm.hpp"
@@ -68,6 +70,49 @@ TEST(F16, RoundToNearestEven) {
   EXPECT_EQ(f16(above).bits, 0x3c01);
 }
 
+TEST(F16, InfinityPropagatesWithSign) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(f16(inf).bits, 0x7c00);
+  EXPECT_EQ(f16(-inf).bits, 0xfc00);
+  EXPECT_TRUE(std::isinf(static_cast<float>(f16::from_bits(0x7c00))));
+  EXPECT_GT(static_cast<float>(f16::from_bits(0x7c00)), 0.0f);
+  EXPECT_LT(static_cast<float>(f16::from_bits(0xfc00)), 0.0f);
+}
+
+TEST(F16, NanIsQuietedAndKeepsSign) {
+  // Any float NaN payload must land as a QUIET half NaN (top mantissa
+  // bit set) with its sign preserved — a payload that truncated to zero
+  // would silently turn NaN into infinity.
+  const f16 q(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_EQ(q.bits & 0x7c00u, 0x7c00u);
+  EXPECT_EQ(q.bits & 0x0200u, 0x0200u);
+  const f16 neg(
+      std::copysign(std::numeric_limits<float>::quiet_NaN(), -1.0f));
+  EXPECT_EQ(neg.bits & 0x8000u, 0x8000u);
+  EXPECT_TRUE(std::isnan(static_cast<float>(neg)));
+  // A signalling-style payload (low mantissa bits only) stays NaN too.
+  const float snan = std::bit_cast<float>(0x7f800001u);
+  EXPECT_TRUE(std::isnan(static_cast<float>(f16(snan))));
+}
+
+TEST(F16, TiesToEvenRoundsUpAtOddTargets) {
+  // 1 + 3*2^-11 sits exactly halfway between 0x3c01 and 0x3c02; round
+  // to nearest-EVEN goes up here (the complement of the tie-down case).
+  EXPECT_EQ(f16(1.0f + std::ldexp(3.0f, -11)).bits, 0x3c02);
+}
+
+TEST(F16, SubnormalTiesToEven) {
+  // 2^-25 is halfway between 0 and the smallest subnormal 2^-24: even
+  // neighbour is zero.
+  EXPECT_EQ(f16(std::ldexp(1.0f, -25)).bits, 0x0000);
+  // 1.5*2^-24 is halfway between 0x0001 and 0x0002: even is above.
+  EXPECT_EQ(f16(std::ldexp(1.5f, -24)).bits, 0x0002);
+  // 2.5*2^-24 is halfway between 0x0002 and 0x0003: even is below.
+  EXPECT_EQ(f16(std::ldexp(2.5f, -24)).bits, 0x0002);
+  // The subnormal path preserves sign.
+  EXPECT_EQ(f16(-std::ldexp(1.5f, -24)).bits, 0x8002);
+}
+
 TEST(F16, RoundTripThroughFloatIsIdentity) {
   // Every finite half value must survive half -> float -> half.
   for (std::uint32_t bits = 0; bits < 0x10000; ++bits) {
@@ -96,6 +141,50 @@ TEST(Bf16, RoundToNearestEven) {
 TEST(Bf16, NanIsPreserved) {
   EXPECT_TRUE(std::isnan(
       static_cast<float>(bf16(std::numeric_limits<float>::quiet_NaN()))));
+}
+
+TEST(Bf16, InfinityPropagatesWithSign) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(bf16(inf).bits, 0x7f80);
+  EXPECT_EQ(bf16(-inf).bits, 0xff80);
+  EXPECT_TRUE(std::isinf(static_cast<float>(bf16::from_bits(0x7f80))));
+}
+
+TEST(Bf16, OverflowTiesToEvenBecomeInfinity) {
+  // Halfway between the largest finite bf16 (0x7f7f) and infinity
+  // (0x7f80): ties-to-even picks the even neighbour — infinity.
+  const float halfway = std::bit_cast<float>(0x7f7f8000u);
+  EXPECT_EQ(bf16(halfway).bits, 0x7f80);
+  // Just below the halfway point stays finite.
+  const float below = std::bit_cast<float>(0x7f7f7fffu);
+  EXPECT_EQ(bf16(below).bits, 0x7f7f);
+}
+
+TEST(Bf16, NanKeepsSignAndQuietBit) {
+  const bf16 neg(
+      std::copysign(std::numeric_limits<float>::quiet_NaN(), -1.0f));
+  EXPECT_EQ(neg.bits & 0x8000u, 0x8000u);
+  EXPECT_EQ(neg.bits & 0x0040u, 0x0040u);  // quieted payload
+  EXPECT_TRUE(std::isnan(static_cast<float>(neg)));
+  // A payload living only in the truncated low bits must not vanish.
+  const float snan = std::bit_cast<float>(0x7f800001u);
+  EXPECT_TRUE(std::isnan(static_cast<float>(bf16(snan))));
+}
+
+TEST(Bf16, SubnormalsRoundTripAndTieToEven) {
+  // bf16 subnormals are float subnormals with the low 16 mantissa bits
+  // clear; the smallest (0x0001 = 2^-133) survives the round trip.
+  const auto tiny = bf16::from_bits(0x0001);
+  EXPECT_EQ(bf16(static_cast<float>(tiny)).bits, 0x0001);
+  // Halfway between 0x0001 and 0x0002: even is above.
+  EXPECT_EQ(bf16(std::bit_cast<float>(0x00018000u)).bits, 0x0002);
+  // Halfway between 0x0002 and 0x0003: even is below.
+  EXPECT_EQ(bf16(std::bit_cast<float>(0x00028000u)).bits, 0x0002);
+}
+
+TEST(Bf16, SignedZeroKeepsSign) {
+  EXPECT_EQ(bf16(0.0f).bits, 0x0000);
+  EXPECT_EQ(bf16(-0.0f).bits, 0x8000);
 }
 
 TEST(Bf16, RoundTripThroughFloatIsIdentity) {

@@ -1,0 +1,292 @@
+// The emulated-GEMM routing arm: eligibility, three-way pricing, the
+// exact-path bitwise-identity contract (outputs AND decision streams),
+// and end-to-end learning — a relaxed-budget workload on a wide
+// fp32:fp64-ratio profile routes to the emulated arm and verifies within
+// its declared tolerance.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "blas/emulated_gemm.hpp"
+#include "blas/gemm.hpp"
+#include "core/validate.hpp"
+#include "dispatch/decision_table.hpp"
+#include "dispatch/dispatcher.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace blob;
+using dispatch::BucketKey;
+using dispatch::bucket_key;
+using dispatch::Decision;
+using dispatch::DecisionTable;
+using dispatch::Dispatcher;
+using dispatch::DispatcherConfig;
+using dispatch::Route;
+
+core::OpDesc gemm_desc(std::int64_t n, core::ErrorBudget budget,
+                       model::Precision p = model::Precision::F64) {
+  core::OpDesc desc = core::OpDesc::gemm(
+      p, blas::Transpose::No, blas::Transpose::No, n, n, n, 0, 0, 0,
+      /*alpha_one=*/true, /*beta_zero=*/true, core::TransferMode::Once);
+  desc.budget = budget;
+  return desc;
+}
+
+// --------------------------------------------------------- eligibility
+
+TEST(EmulationEligibility, OnlyNonExactF64GemmQualifies) {
+  EXPECT_TRUE(Dispatcher::emulation_eligible(
+      gemm_desc(256, core::ErrorBudget::relaxed())));
+  EXPECT_TRUE(Dispatcher::emulation_eligible(
+      gemm_desc(256, core::ErrorBudget::ulp_bounded(64))));
+  // Exact traffic never sees the arm.
+  EXPECT_FALSE(Dispatcher::emulation_eligible(
+      gemm_desc(256, core::ErrorBudget::exact())));
+  // Only fp64 has anything to slice.
+  EXPECT_FALSE(Dispatcher::emulation_eligible(
+      gemm_desc(256, core::ErrorBudget::relaxed(), model::Precision::F32)));
+  // GEMV stays native.
+  core::OpDesc gemv = core::OpDesc::gemv(
+      model::Precision::F64, blas::Transpose::No, 256, 256, 0, 1, 1, true,
+      true, core::TransferMode::Once);
+  gemv.budget = core::ErrorBudget::relaxed();
+  EXPECT_FALSE(Dispatcher::emulation_eligible(gemv));
+  // Batched traffic stays native.
+  core::OpDesc batched = gemm_desc(256, core::ErrorBudget::relaxed());
+  batched.batch = 4;
+  EXPECT_FALSE(Dispatcher::emulation_eligible(batched));
+}
+
+// ------------------------------------------------------------- pricing
+
+TEST(EmulatedCosts, ExactBudgetPricesTheArmAtInfinity) {
+  DispatcherConfig cfg;
+  cfg.profile = profile::by_name("dawn");
+  Dispatcher disp(cfg);
+  const auto exact = disp.modelled_costs(
+      gemm_desc(512, core::ErrorBudget::exact()));
+  EXPECT_TRUE(std::isinf(exact.emu_s));
+  const auto relaxed = disp.modelled_costs(
+      gemm_desc(512, core::ErrorBudget::relaxed()));
+  EXPECT_TRUE(std::isfinite(relaxed.emu_s));
+  // Native arms are budget-blind: same price either way.
+  EXPECT_DOUBLE_EQ(exact.cpu_s, relaxed.cpu_s);
+  EXPECT_DOUBLE_EQ(exact.gpu_s, relaxed.gpu_s);
+}
+
+TEST(EmulatedCosts, WideRatioProfileOpensAWindowNarrowOneDoesNot) {
+  // dawn's fp32:fp64 peak ratio (~2) beats the 1-slice product count, so
+  // large compute-bound squares price emulated below native; on the
+  // ~1:1-ratio mi300a the arm never wins by more than a hair.
+  DispatcherConfig dawn_cfg;
+  dawn_cfg.profile = profile::by_name("dawn");
+  Dispatcher dawn(dawn_cfg);
+  const auto c = dawn.modelled_costs(
+      gemm_desc(1024, core::ErrorBudget::relaxed()));
+  EXPECT_LT(c.emu_s, c.gpu_s);
+  EXPECT_LT(c.emu_s, c.cpu_s);
+  EXPECT_EQ(dawn.oracle_route(gemm_desc(1024, core::ErrorBudget::relaxed())),
+            Route::GpuEmulated);
+  // The same call with an exact budget must ignore the arm entirely.
+  EXPECT_NE(dawn.oracle_route(gemm_desc(1024, core::ErrorBudget::exact())),
+            Route::GpuEmulated);
+
+  // Tighter budgets need more slices; at three slices (6 products) the
+  // ~2x ratio can no longer pay for the extra kernels.
+  const auto tight = dawn.modelled_costs(
+      gemm_desc(1024, core::ErrorBudget::ulp_bounded(1)));
+  EXPECT_GT(tight.emu_s, c.emu_s);
+  EXPECT_GT(tight.emu_s, tight.gpu_s);
+}
+
+// ----------------------------------------------- exact-path identity
+
+TEST(BucketKeys, ExactBudgetKeyMatchesLegacyDefault) {
+  // A descriptor that never touches .budget and one stamped exact() must
+  // produce the same bucket key: the budget dimension is invisible to
+  // every pre-existing caller.
+  core::OpDesc legacy = core::OpDesc::gemm(
+      model::Precision::F64, blas::Transpose::No, blas::Transpose::No, 384,
+      384, 384, 0, 0, 0, true, true, core::TransferMode::Once);
+  EXPECT_EQ(bucket_key(legacy),
+            bucket_key(gemm_desc(384, core::ErrorBudget::exact())));
+  // Non-exact budgets learn in their own buckets.
+  EXPECT_NE(bucket_key(legacy),
+            bucket_key(gemm_desc(384, core::ErrorBudget::relaxed())));
+  EXPECT_NE(bucket_key(gemm_desc(384, core::ErrorBudget::ulp_bounded(8))),
+            bucket_key(gemm_desc(384, core::ErrorBudget::ulp_bounded(16))));
+}
+
+TEST(ThreeArmTable, TwoArmDecisionStreamUnchangedWhenArmIsOffered) {
+  // Offering the emulated arm on a bucket seeded WITHOUT an emulated
+  // estimate must leave the two-arm decision stream untouched — same
+  // routes, same reasons, same RNG consumption. This is the bitwise
+  // contract that keeps exact traffic identical to a build without the
+  // arm.
+  dispatch::DecisionTableConfig cfg;
+  DecisionTable legacy(cfg), offered(cfg);
+  BucketKey key;
+  key.bucket = 30;
+  legacy.seed(key, 1.0e-3, 1.2e-3);
+  offered.seed(key, 1.0e-3, 1.2e-3);
+
+  util::Xoshiro256 noise(7);
+  for (int i = 0; i < 200; ++i) {
+    const Decision a = legacy.choose(key);
+    const Decision b = offered.choose(key, /*gpu_available=*/true,
+                                      /*gpu_cost_override=*/std::nullopt,
+                                      /*emu_available=*/true);
+    ASSERT_EQ(a.route, b.route) << "call " << i;
+    ASSERT_EQ(a.reason, b.reason) << "call " << i;
+    ASSERT_DOUBLE_EQ(a.cpu_est_s, b.cpu_est_s) << "call " << i;
+    ASSERT_DOUBLE_EQ(a.gpu_est_s, b.gpu_est_s) << "call " << i;
+    ASSERT_EQ(b.emu_est_s, 0.0) << "call " << i;
+    const double measured =
+        (a.route == Route::Cpu ? 1.0e-3 : 1.2e-3) * noise.uniform(0.9, 1.1);
+    legacy.observe(key, a.route, measured);
+    offered.observe(key, b.route, measured);
+  }
+}
+
+TEST(ExactReplay, OutputsAndDecisionStreamIdenticalWithBudgetSeam) {
+  // The same all-exact workload through two dispatchers — one with the
+  // budget left at its default, one stamping ErrorBudget::exact()
+  // explicitly — must produce bitwise-identical outputs AND identical
+  // decision traces: the precision seam is invisible until someone
+  // relaxes a budget.
+  const std::int64_t kN = 192;
+  const int kCalls = 40;
+  const auto len = static_cast<std::size_t>(kN * kN);
+  util::Xoshiro256 rng(0x9d5);
+  std::vector<double> a(len), b(len);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  DispatcherConfig cfg;
+  cfg.profile = profile::by_name("dawn");
+  cfg.cpu_threads = 2;
+  cfg.trace_capacity = 2 * kCalls;
+  Dispatcher defaulted(cfg), stamped(cfg);
+
+  core::OpDesc plain = core::OpDesc::gemm(
+      model::Precision::F64, blas::Transpose::No, blas::Transpose::No, kN,
+      kN, kN, 0, 0, 0, true, true, core::TransferMode::Once);
+  const core::OpDesc exact = gemm_desc(kN, core::ErrorBudget::exact());
+
+  std::vector<double> c_default(len, 0.0), c_exact(len, 0.0);
+  for (int i = 0; i < kCalls; ++i) {
+    defaulted.run_gemm<double>(plain, 1.0, a.data(), b.data(), 0.0,
+                               c_default.data());
+    stamped.run_gemm<double>(exact, 1.0, a.data(), b.data(), 0.0,
+                             c_exact.data());
+  }
+  EXPECT_EQ(std::memcmp(c_default.data(), c_exact.data(),
+                        len * sizeof(double)),
+            0);
+
+  const auto ta = defaulted.trace().snapshot();
+  const auto tb = stamped.trace().snapshot();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].route, tb[i].route) << i;
+    EXPECT_EQ(ta[i].reason, tb[i].reason) << i;
+    EXPECT_EQ(ta[i].bucket, tb[i].bucket) << i;
+    EXPECT_DOUBLE_EQ(ta[i].cost_s, tb[i].cost_s) << i;
+    EXPECT_DOUBLE_EQ(ta[i].observed_s, tb[i].observed_s) << i;
+    EXPECT_EQ(ta[i].emu_est_s, 0.0) << i;
+    EXPECT_EQ(tb[i].emu_est_s, 0.0) << i;
+    EXPECT_TRUE(tb[i].budget.is_exact()) << i;
+    EXPECT_EQ(tb[i].slices, 0) << i;
+  }
+  EXPECT_EQ(defaulted.stats().emulated_routed, 0u);
+  EXPECT_EQ(stamped.stats().emulated_routed, 0u);
+}
+
+// ------------------------------------------------- end-to-end learning
+
+TEST(RelaxedReplay, RoutesEmulatedAndVerifiesWithinTolerance) {
+  // On dawn the relaxed-budget oracle picks the emulated arm at n=1024;
+  // a short replay must actually route there and every output must pass
+  // the tolerance-aware verifier for the declared budget.
+  const std::int64_t kN = 1024;
+  const int kCalls = 12;
+  const auto len = static_cast<std::size_t>(kN * kN);
+  util::Xoshiro256 rng(0x77a);
+  std::vector<double> a(len), b(len);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+
+  std::vector<double> c_ref(len, 0.0);
+  blas::gemm(blas::Transpose::No, blas::Transpose::No, kN, kN, kN, 1.0,
+             a.data(), kN, b.data(), kN, 0.0, c_ref.data(), kN);
+
+  DispatcherConfig cfg;
+  cfg.profile = profile::by_name("dawn");
+  cfg.cpu_threads = 2;
+  Dispatcher disp(cfg);
+  const core::OpDesc desc = gemm_desc(kN, core::ErrorBudget::relaxed());
+  const core::CompareSpec spec = core::spec_for_budget(desc.budget);
+
+  std::vector<double> c(len, 0.0);
+  for (int i = 0; i < kCalls; ++i) {
+    disp.run_gemm<double>(desc, 1.0, a.data(), b.data(), 0.0, c.data());
+    const auto cmp = core::compare_buffers(c_ref.data(), c.data(), len,
+                                           spec);
+    ASSERT_TRUE(cmp.passed) << "call " << i << ": " << cmp.detail;
+  }
+  EXPECT_GT(disp.stats().emulated_routed, 0u);
+
+  // The trace must carry the emulated decisions with their budget and
+  // slice count.
+  bool saw_emulated = false;
+  for (const auto& rec : disp.trace().snapshot()) {
+    if (rec.route != Route::GpuEmulated) continue;
+    saw_emulated = true;
+    EXPECT_EQ(rec.budget.kind, core::ErrorBudgetKind::Relaxed);
+    EXPECT_EQ(rec.slices, 1);
+    EXPECT_GT(rec.emu_est_s, 0.0);
+  }
+  EXPECT_TRUE(saw_emulated);
+}
+
+TEST(RelaxedReplay, UlpBoundedBudgetUsesMoreSlicesAndTightensError) {
+  // A tight ulp budget runs with three slices: the emulated result is
+  // orders of magnitude closer to native fp64 than the relaxed one.
+  const std::int64_t kN = 96;
+  const auto len = static_cast<std::size_t>(kN * kN);
+  util::Xoshiro256 rng(0x90b);
+  std::vector<double> a(len), b(len);
+  for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  std::vector<double> c_ref(len, 0.0);
+  blas::gemm(blas::Transpose::No, blas::Transpose::No, kN, kN, kN, 1.0,
+             a.data(), kN, b.data(), kN, 0.0, c_ref.data(), kN);
+
+  std::vector<double> c1(len, 0.0), c3(len, 0.0);
+  blas::emulated_gemm(blas::Transpose::No, blas::Transpose::No, kN, kN, kN,
+                      1.0, a.data(), kN, b.data(), kN, 0.0, c1.data(), kN,
+                      blas::slices_for_budget(core::ErrorBudget::relaxed()));
+  blas::emulated_gemm(
+      blas::Transpose::No, blas::Transpose::No, kN, kN, kN, 1.0, a.data(),
+      kN, b.data(), kN, 0.0, c3.data(), kN,
+      blas::slices_for_budget(core::ErrorBudget::ulp_bounded(1)));
+
+  const auto r1 = core::compare_buffers(
+      c_ref.data(), c1.data(), len,
+      core::CompareSpec::rel_frobenius(core::kRelaxedFrobeniusTolerance));
+  const auto r3 = core::compare_buffers(
+      c_ref.data(), c3.data(), len,
+      core::CompareSpec::rel_frobenius(core::kRelaxedFrobeniusTolerance));
+  EXPECT_TRUE(r1.passed) << r1.detail;
+  EXPECT_TRUE(r3.passed) << r3.detail;
+  EXPECT_LT(r3.rel_frobenius, r1.rel_frobenius / 1e3);
+}
+
+}  // namespace

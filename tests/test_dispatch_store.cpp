@@ -172,6 +172,85 @@ TEST(DispatchStore, EmptyNamespaceKeepsPreNamespaceBytes) {
   EXPECT_NE(tagged_out.str().find("tenant-a"), std::string::npos);
 }
 
+TEST(DispatchStore, V4BudgetKeysAndEmuEstimatesRoundTrip) {
+  // v4: non-exact budget keys and the emulated-arm estimate persist, so
+  // a warm restart resumes three-arm routing without re-exploring. The
+  // exact-budget entries from sample_data() must coexist untouched.
+  CalibrationData data = sample_data();
+  BucketKey relaxed{core::KernelOp::Gemm, model::Precision::F64,
+                    core::TransferMode::Once, 28};
+  relaxed.budget_kind = core::ErrorBudgetKind::Relaxed;
+  BucketState emu_state;
+  emu_state.cpu = {3.1e-4, 7};
+  emu_state.gpu = {2.4e-4, 11};
+  emu_state.emu = {1.6e-4, 13};
+  emu_state.incumbent = Route::GpuEmulated;
+  emu_state.visits = 33;
+  emu_state.switches = 2;
+  data.entries[relaxed] = emu_state;
+  BucketKey ulp = relaxed;
+  ulp.budget_kind = core::ErrorBudgetKind::UlpBounded;
+  ulp.budget_ulps = 512;
+  data.entries[ulp] = emu_state;
+
+  std::stringstream buffer;
+  dispatch::save_calibration(buffer, data);
+  const LoadResult result =
+      dispatch::load_calibration(buffer, "generic", "dawn");
+  ASSERT_EQ(result.status, LoadStatus::Ok) << to_string(result.status);
+  // A file written at the current version carries no caveat.
+  EXPECT_TRUE(result.warning.empty()) << result.warning;
+  ASSERT_EQ(result.data.entries.size(), 4u);
+
+  ASSERT_TRUE(result.data.entries.contains(relaxed));
+  const BucketState& got = result.data.entries.at(relaxed);
+  EXPECT_DOUBLE_EQ(got.emu.ewma_s, 1.6e-4);
+  EXPECT_EQ(got.emu.samples, 13u);
+  EXPECT_EQ(got.incumbent, Route::GpuEmulated);
+
+  ASSERT_TRUE(result.data.entries.contains(ulp));
+  // The ulp count is part of the key: dropping it would collapse
+  // distinct budgets into one bucket.
+  BucketKey wrong_ulps = ulp;
+  wrong_ulps.budget_ulps = 16;
+  EXPECT_FALSE(result.data.entries.contains(wrong_ulps));
+
+  // Exact entries serialise with v3-shaped bodies: no budget key, no
+  // emulated estimate (it is zero-sample there by construction).
+  std::stringstream exact_only;
+  dispatch::save_calibration(exact_only, sample_data());
+  EXPECT_EQ(exact_only.str().find("\"budget\""), std::string::npos);
+  EXPECT_EQ(exact_only.str().find("\"emu\""), std::string::npos);
+}
+
+TEST(DispatchStore, V3EraStoreLoadsAsExactBudgetBuckets) {
+  // A pre-budget (v3) file must keep seeding warm restarts: every entry
+  // loads under the default exact budget with a cold emulated arm, and
+  // the loader says so in its warning line.
+  std::stringstream buffer;
+  buffer << R"({
+    "version": 3, "personality": "generic", "profile": "dawn",
+    "entries": [{
+      "op": "gemm", "precision": "f64", "mode": "once", "bucket": 24,
+      "ta": "N", "tb": "N", "residency": "warm",
+      "cpu": {"ewma_s": 2.0e-4, "samples": 8},
+      "gpu": {"ewma_s": 1.1e-4, "samples": 14},
+      "incumbent": "gpu", "visits": 22, "switches": 1
+    }]
+  })";
+  const LoadResult result =
+      dispatch::load_calibration(buffer, "generic", "dawn");
+  ASSERT_EQ(result.status, LoadStatus::Ok) << to_string(result.status);
+  EXPECT_NE(result.warning.find("v3"), std::string::npos) << result.warning;
+  ASSERT_EQ(result.data.entries.size(), 1u);
+  const auto& [key, state] = *result.data.entries.begin();
+  EXPECT_EQ(key.budget_kind, core::ErrorBudgetKind::Exact);
+  EXPECT_EQ(key.budget_ulps, 0u);
+  EXPECT_EQ(key.residency, dispatch::ResidencyClass::Warm);
+  EXPECT_EQ(state.emu.samples, 0u);
+  EXPECT_DOUBLE_EQ(state.gpu.ewma_s, 1.1e-4);
+}
+
 TEST(DispatchStore, DispatcherRejectsForeignStoreAndColdStarts) {
   const std::string path =
       testing::TempDir() + "/dispatch_store_foreign.json";
